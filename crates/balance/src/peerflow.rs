@@ -1,0 +1,231 @@
+//! PeerFlow: secure load balancing from peer traffic reports (Johnson et
+//! al., PoPETs 2017; paper §8).
+//!
+//! Relays periodically report to the directory authorities the total
+//! bytes they exchanged with each other relay. A relay's weight is
+//! derived from what a *trusted* subset of relays (holding weight
+//! fraction `τ`) confirms about it — a malicious relay can fabricate
+//! traffic claims with its co-conspirators, but only trusted-confirmed
+//! bytes count toward its weight, bounding inflation by a factor `2/τ`
+//! (Table 2 lists 10× for `τ = 0.2`). PeerFlow additionally rate-limits
+//! how quickly a relay's weight may grow between periods (the paper's
+//! Theorem 1 gives a per-period claim-inflation factor of 4.5 under
+//! suggested parameters).
+
+use flashflow_simnet::rng::SimRng;
+
+/// The pairwise traffic report matrix: `bytes[i][j]` is what relay `i`
+/// claims it exchanged with relay `j` over the period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficReports {
+    n: usize,
+    bytes: Vec<Vec<f64>>,
+}
+
+impl TrafficReports {
+    /// A zero matrix for `n` relays.
+    pub fn zeros(n: usize) -> Self {
+        TrafficReports { n, bytes: vec![vec![0.0; n]; n] }
+    }
+
+    /// Number of relays.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the matrix covers no relays.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets relay `i`'s claim about traffic with `j`.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(value >= 0.0 && value.is_finite(), "bad traffic {value}");
+        self.bytes[i][j] = value;
+    }
+
+    /// Relay `i`'s claim about `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.bytes[i][j]
+    }
+
+    /// Honest reports for relays carrying load proportional to
+    /// `capacities`: pairwise traffic splits proportional to the product
+    /// of weights (Tor's bilateral selection), with noise.
+    pub fn honest(capacities: &[f64], period_secs: f64, noise: f64, rng: &mut SimRng) -> Self {
+        let n = capacities.len();
+        let total: f64 = capacities.iter().sum();
+        let mut m = TrafficReports::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                // Relay i forwards capacity_i×period bytes total; the share
+                // with j is proportional to j's capacity fraction.
+                let pair = capacities[i] * period_secs * (capacities[j] / total);
+                let jitter = 1.0 + noise * (rng.next_f64() * 2.0 - 1.0);
+                m.set(i, j, (pair * jitter).max(0.0));
+            }
+        }
+        // Symmetrise honestly: both endpoints saw the same bytes.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = (m.get(i, j) + m.get(j, i)) / 2.0;
+                m.set(i, j, avg);
+                m.set(j, i, avg);
+            }
+        }
+        m
+    }
+}
+
+/// PeerFlow configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerFlowConfig {
+    /// Indices of trusted relays.
+    pub trusted: Vec<usize>,
+    /// Fraction of total weight the trusted set holds (`τ`).
+    pub tau: f64,
+    /// Maximum factor a relay's weight may grow from one period to the
+    /// next.
+    pub max_growth: f64,
+}
+
+impl Default for PeerFlowConfig {
+    fn default() -> Self {
+        PeerFlowConfig { trusted: Vec::new(), tau: 0.2, max_growth: 4.5 }
+    }
+}
+
+/// Computes PeerFlow weights: a relay's measured traffic is the total
+/// bytes *trusted* relays confirm having exchanged with it, scaled up by
+/// `1/τ` (the trusted set carries a `τ` fraction of everyone's traffic in
+/// expectation). A pairwise claim only counts at the minimum of the two
+/// endpoints' reports, so inflating one's own claims is useless without
+/// the peer's collusion.
+pub fn peerflow_weights(reports: &TrafficReports, cfg: &PeerFlowConfig) -> Vec<f64> {
+    let n = reports.len();
+    assert!(n > 0, "empty reports");
+    assert!(cfg.tau > 0.0 && cfg.tau <= 1.0, "tau out of range");
+    let mut weights = vec![0.0f64; n];
+    for (j, weight) in weights.iter_mut().enumerate() {
+        let mut confirmed = 0.0;
+        for &t in &cfg.trusted {
+            if t == j {
+                continue;
+            }
+            // Count the *minimum* of the two endpoints' claims.
+            confirmed += reports.get(t, j).min(reports.get(j, t));
+        }
+        *weight = confirmed / cfg.tau;
+    }
+    weights
+}
+
+/// Applies PeerFlow's growth limit: the new weight may exceed the old by
+/// at most `max_growth ×`.
+pub fn apply_growth_limit(previous: &[f64], proposed: &[f64], max_growth: f64) -> Vec<f64> {
+    assert_eq!(previous.len(), proposed.len(), "length mismatch");
+    previous
+        .iter()
+        .zip(proposed)
+        .map(|(old, new)| {
+            if *old <= 0.0 {
+                // Bootstrapping relays start from a probation weight.
+                new.min(max_growth)
+            } else {
+                new.min(old * max_growth)
+            }
+        })
+        .collect()
+}
+
+/// Mounts the collusion attack: relays in `clique` inflate their mutual
+/// claims by `inflation ×` and also inflate their claims about trusted
+/// relays (which the minimum rule discards).
+pub fn collusion_attack(
+    honest: &TrafficReports,
+    clique: &[usize],
+    inflation: f64,
+) -> TrafficReports {
+    let mut m = honest.clone();
+    let n = honest.len();
+    for &i in clique {
+        for j in 0..n {
+            if i != j {
+                m.set(i, j, honest.get(i, j) * inflation);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(trusted: Vec<usize>) -> PeerFlowConfig {
+        PeerFlowConfig { trusted, tau: 0.2, max_growth: 4.5 }
+    }
+
+    #[test]
+    fn honest_weights_track_capacity() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let capacities = [10e6, 20e6, 30e6, 40e6, 50e6];
+        let reports = TrafficReports::honest(&capacities, 3600.0, 0.0, &mut rng);
+        let w = peerflow_weights(&reports, &cfg(vec![0, 4]));
+        // Relay 3 (40 MB/s) should outweigh relay 1 (20 MB/s) ≈ 2×.
+        let ratio = w[3] / w[1];
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn unilateral_inflation_is_useless() {
+        // A lone liar inflates its claims; the min() rule keeps its
+        // confirmed traffic at what trusted peers report.
+        let mut rng = SimRng::seed_from_u64(2);
+        let capacities = [10e6; 6];
+        let honest = TrafficReports::honest(&capacities, 3600.0, 0.0, &mut rng);
+        let attacked = collusion_attack(&honest, &[5], 100.0);
+        let c = cfg(vec![0, 1]);
+        let w_honest = peerflow_weights(&honest, &c);
+        let w_attacked = peerflow_weights(&attacked, &c);
+        assert!((w_attacked[5] - w_honest[5]).abs() / w_honest[5] < 1e-9);
+    }
+
+    #[test]
+    fn clique_gains_bounded_by_trusted_confirmation() {
+        // A clique can inflate only its mutual (untrusted) claims, which
+        // don't count: its weight from trusted confirmation is unchanged.
+        let mut rng = SimRng::seed_from_u64(3);
+        let capacities = [10e6; 8];
+        let honest = TrafficReports::honest(&capacities, 3600.0, 0.0, &mut rng);
+        let attacked = collusion_attack(&honest, &[6, 7], 1000.0);
+        let c = cfg(vec![0, 1, 2]);
+        let w_honest = peerflow_weights(&honest, &c);
+        let w_attacked = peerflow_weights(&attacked, &c);
+        let gain = (w_attacked[6] + w_attacked[7]) / (w_honest[6] + w_honest[7]);
+        assert!(gain < 1.01, "clique gained {gain}");
+    }
+
+    #[test]
+    fn growth_limit_caps_weight_jumps() {
+        let prev = [10.0, 10.0, 0.0];
+        let proposed = [100.0, 20.0, 100.0];
+        let limited = apply_growth_limit(&prev, &proposed, 4.5);
+        assert_eq!(limited[0], 45.0);
+        assert_eq!(limited[1], 20.0);
+        assert_eq!(limited[2], 4.5);
+    }
+
+    #[test]
+    fn tau_scales_weights() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let capacities = [10e6; 5];
+        let reports = TrafficReports::honest(&capacities, 3600.0, 0.0, &mut rng);
+        let w_02 = peerflow_weights(&reports, &PeerFlowConfig { trusted: vec![0], tau: 0.2, max_growth: 4.5 });
+        let w_04 = peerflow_weights(&reports, &PeerFlowConfig { trusted: vec![0], tau: 0.4, max_growth: 4.5 });
+        assert!((w_02[1] / w_04[1] - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 2: network capacity error (Eq. 3) over time for windows of a
+//! day, week, month, and year.
+//!
+//! Paper: median NCE 5% (day), 14% (week), 22% (month), 36% (year);
+//! maximum observed 60%.
+
+use flashflow_bench::{compare, header, print_series};
+use flashflow_metrics::error::nce_series;
+use flashflow_metrics::synth::{generate, SynthConfig};
+use flashflow_simnet::stats::{median, min_max};
+
+fn main() {
+    let seed = 2;
+    header("fig02", "Network capacity error over time (11-year archive)", seed);
+    let synth = generate(&SynthConfig::paper_scale(seed));
+    let archive = &synth.archive;
+    let (d, w, m, y) = archive.period_steps();
+
+    let mut overall_max = 0.0f64;
+    for (label, p, paper) in
+        [("day", d, "5%"), ("week", w, "14%"), ("month", m, "22%"), ("year", y, "36%")]
+    {
+        let series: Vec<f64> = nce_series(archive, p).iter().map(|v| v * 100.0).collect();
+        // Skip the window warm-up at the start of the archive.
+        let settled = &series[p.min(series.len() / 4)..];
+        print_series(&format!("NCE %, p = 1 {label}"), "step", settled, 12);
+        let med = median(settled).unwrap_or(0.0);
+        let (_, hi) = min_max(settled).unwrap_or((0.0, 0.0));
+        overall_max = overall_max.max(hi);
+        compare(&format!("median NCE (p = {label})"), paper, &format!("{med:.1}%"));
+    }
+    compare("maximum NCE (any window)", "60%", &format!("{overall_max:.1}%"));
+}

@@ -1,0 +1,31 @@
+//! Figure 3: CDF of log10 mean relay weight error (Eq. 5) per relay.
+//!
+//! Paper: more than 85% of relays are under-weighted (log10 < 0) relative
+//! to their capacity; few are ideally weighted.
+
+use flashflow_bench::{compare, header, print_cdf};
+use flashflow_metrics::error::mean_rwe_per_relay;
+use flashflow_metrics::synth::{generate, SynthConfig};
+
+fn main() {
+    let seed = 3;
+    header("fig03", "Relative error in relay weights (11-year archive)", seed);
+    let synth = generate(&SynthConfig::paper_scale(seed));
+    let archive = &synth.archive;
+    let (d, w, m, y) = archive.period_steps();
+    let min_steps = d * 3;
+
+    for (label, p) in [("day", d), ("week", w), ("month", m), ("year", y)] {
+        let log_rwe: Vec<f64> = mean_rwe_per_relay(archive, p, min_steps)
+            .iter()
+            .map(|v| v.max(1e-6).log10())
+            .collect();
+        print_cdf(&format!("log10(mean RWE), p = 1 {label}"), &log_rwe, 11);
+        let under = log_rwe.iter().filter(|v| **v < 0.0).count() as f64 / log_rwe.len() as f64;
+        compare(
+            &format!("fraction under-weighted (p = {label})"),
+            if label == "year" { ">85%" } else { "—" },
+            &format!("{:.0}%", under * 100.0),
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 4: network weight error (Eq. 6) over time.
+//!
+//! Paper: median NWE 21% (day), 22% (week), 24% (month), 30% (year);
+//! 15–25% over the latest year of data.
+
+use flashflow_bench::{compare, header, print_series};
+use flashflow_metrics::error::nwe_series;
+use flashflow_metrics::synth::{generate, SynthConfig};
+use flashflow_simnet::stats::median;
+
+fn main() {
+    let seed = 4;
+    header("fig04", "Network weight error over time (11-year archive)", seed);
+    let synth = generate(&SynthConfig::paper_scale(seed));
+    let archive = &synth.archive;
+    let (d, w, m, y) = archive.period_steps();
+
+    for (label, p, paper) in
+        [("day", d, "21%"), ("week", w, "22%"), ("month", m, "24%"), ("year", y, "30%")]
+    {
+        let series: Vec<f64> = nwe_series(archive, p).iter().map(|v| v * 100.0).collect();
+        let settled = &series[p.min(series.len() / 4)..];
+        print_series(&format!("NWE %, p = 1 {label}"), "step", settled, 12);
+        let med = median(settled).unwrap_or(0.0);
+        compare(&format!("median NWE (p = {label})"), paper, &format!("{med:.1}%"));
+    }
+    // The last year of the archive (the paper's 2019 reading: 15–25%).
+    let (d, ..) = archive.period_steps();
+    let series: Vec<f64> = nwe_series(archive, d).iter().map(|v| v * 100.0).collect();
+    let last_year = &series[series.len().saturating_sub(archive.steps_for_hours(24.0 * 365.0))..];
+    let med = median(last_year).unwrap_or(0.0);
+    compare("median NWE over final year (day window)", "15-25%", &format!("{med:.1}%"));
+}

@@ -1,0 +1,115 @@
+//! Figure 6: FlashFlow accuracy without background traffic — CDFs of
+//! estimate/ground-truth over every sufficient measurement-team subset,
+//! target limits of 10/250/500/750/unlimited Mbit/s, 7 repetitions each.
+//!
+//! Paper: 99.8% of runs inside the (−20%, +5%) error bounds; 95% within
+//! ±11%.
+
+use flashflow_bench::{compare, header, print_cdf};
+use flashflow_core::measure::{run_measurement, Assignment};
+use flashflow_core::params::Params;
+use flashflow_core::verify::TargetBehavior;
+use flashflow_simnet::host::Net;
+use flashflow_simnet::rng::SimRng;
+use flashflow_simnet::units::Rate;
+use flashflow_tornet::netbuild::TorNet;
+use flashflow_tornet::relay::RelayConfig;
+
+/// Ground-truth Tor capacity of a limit on US-SW (measured once on a
+/// jitter-free run, like the paper's two-hop lab calibration).
+fn ground_truth(limit: Option<f64>, params: &Params) -> f64 {
+    let (net, ids) = Net::table1_seeded(None);
+    let mut tor = TorNet::from_net(net);
+    let mut config = RelayConfig::new("target");
+    if let Some(l) = limit {
+        config = config.with_rate_limit(Rate::from_mbit(l));
+    }
+    let relay = tor.add_relay(ids[0], config);
+    let mut rng = SimRng::seed_from_u64(0xC0DE);
+    let assignments = vec![
+        Assignment { host: ids[4], allocation: Rate::from_mbit(1611.0), processes: 2, sockets: 80 },
+        Assignment { host: ids[2], allocation: Rate::from_mbit(941.0), processes: 2, sockets: 80 },
+    ];
+    let m = run_measurement(&mut tor, relay, &assignments, params, TargetBehavior::Honest, &mut rng);
+    m.estimate.bytes_per_sec()
+}
+
+fn main() {
+    let seed = 6;
+    header("fig06", "FlashFlow accuracy across team subsets and capacities", seed);
+    let params = Params::paper();
+    // Team member capacities (Table 1 measured): US-NW, US-E, IN, NL.
+    let members = [(1usize, 946.0), (2, 941.0), (3, 1076.0), (4, 1611.0)];
+    let limits: [(&str, Option<f64>); 5] = [
+        ("10 Mbit/s", Some(10.0)),
+        ("250 Mbit/s", Some(250.0)),
+        ("500 Mbit/s", Some(500.0)),
+        ("750 Mbit/s", Some(750.0)),
+        ("unlimited", None),
+    ];
+
+    let mut all_fractions: Vec<f64> = Vec::new();
+    for (label, limit) in limits {
+        let gt = ground_truth(limit, &params);
+        let needed = params.excess_factor() * gt;
+        let mut fractions = Vec::new();
+        // All 15 non-empty subsets of the four measurers.
+        for subset_mask in 1u32..16 {
+            let subset: Vec<(usize, f64)> = members
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| subset_mask & (1 << k) != 0)
+                .map(|(_, m)| *m)
+                .collect();
+            let total: f64 = subset.iter().map(|(_, c)| c * 1e6 / 8.0).sum();
+            let share = needed / subset.len() as f64;
+            // Paper: even split across the subset; requires sufficiency.
+            if total < needed || subset.iter().any(|(_, c)| c * 1e6 / 8.0 < share) {
+                continue;
+            }
+            for run in 0..7u64 {
+                let jitter_seed = seed ^ (subset_mask as u64) << 8 ^ run << 32;
+                let (net, ids) = Net::table1_seeded(Some(jitter_seed));
+                let mut tor = TorNet::from_net(net);
+                let mut config = RelayConfig::new("target");
+                if let Some(l) = limit {
+                    config = config.with_rate_limit(Rate::from_mbit(l));
+                }
+                let relay = tor.add_relay(ids[0], config);
+                let sockets_each = (params.sockets as usize / subset.len()).max(1) as u32;
+                let assignments: Vec<Assignment> = subset
+                    .iter()
+                    .map(|(host_idx, _)| Assignment {
+                        host: ids[*host_idx],
+                        allocation: Rate::from_bytes_per_sec(share),
+                        processes: 1,
+                        sockets: sockets_each,
+                    })
+                    .collect();
+                let mut rng = SimRng::seed_from_u64(jitter_seed ^ 0xF00D);
+                let m = run_measurement(
+                    &mut tor,
+                    relay,
+                    &assignments,
+                    &params,
+                    TargetBehavior::Honest,
+                    &mut rng,
+                );
+                fractions.push(m.estimate.bytes_per_sec() / gt);
+            }
+        }
+        print_cdf(&format!("throughput fraction of capacity, {label}"), &fractions, 9);
+        all_fractions.extend(fractions);
+    }
+
+    let within_11 = all_fractions.iter().filter(|f| (0.89..=1.11).contains(*f)).count() as f64
+        / all_fractions.len() as f64;
+    let within_bounds = all_fractions
+        .iter()
+        .filter(|f| (1.0 - params.epsilon1..=1.0 + params.epsilon2).contains(*f))
+        .count() as f64
+        / all_fractions.len() as f64;
+    compare("runs within +-11% of capacity", "95%", &format!("{:.1}%", within_11 * 100.0));
+    compare("runs within (-20%,+5%) bounds", "99.8%", &format!("{:.1}%", within_bounds * 100.0));
+    println!("total runs: {}", all_fractions.len());
+}

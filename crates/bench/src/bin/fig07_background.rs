@@ -1,0 +1,104 @@
+//! Figure 7: Tor throughput during a measurement of a relay carrying
+//! real client background traffic (250 Mbit/s guard with ~50 Mbit/s of
+//! client load, r = 0.1, one NL measurer).
+//!
+//! Paper: background + measurement as reported by FlashFlow equals the
+//! relay's own total; background is clamped to 25 Mbit/s during the
+//! measurement (r/(1−r)·x with r=0.1); a one-second token-bucket burst
+//! spikes at measurement start; background recovers immediately after.
+
+use flashflow_bench::{compare, header};
+use flashflow_core::params::Params;
+use flashflow_simnet::host::{HostProfile, Net};
+use flashflow_simnet::stats::SecondsAccumulator;
+use flashflow_simnet::time::SimDuration;
+use flashflow_simnet::units::Rate;
+use flashflow_tornet::netbuild::TorNet;
+use flashflow_tornet::relay::RelayConfig;
+use flashflow_tornet::sched::Scheduler;
+
+fn main() {
+    header("fig07", "Measurement of a relay with client background traffic", 7);
+    let mut params = Params::paper();
+    params.slot = SimDuration::from_secs(30);
+
+    let mut net = Net::new();
+    net.enable_wan_loss();
+    let nl = net.add_host(HostProfile::host_nl());
+    let target_host = net.add_host(HostProfile::us_sw());
+    let client = net.add_host(HostProfile::new("clients", Rate::from_gbit(2.0)));
+    let server = net.add_host(HostProfile::new("server", Rate::from_gbit(10.0)));
+    net.set_rtt(nl, target_host, SimDuration::from_millis(137));
+    net.set_rtt(client, target_host, SimDuration::from_millis(40));
+    net.set_rtt(server, target_host, SimDuration::from_millis(30));
+    let mut tor = TorNet::from_net(net);
+    let relay = tor.add_relay(
+        target_host,
+        RelayConfig::new("guard").with_rate_limit(Rate::from_mbit(250.0)).with_ratio(0.1),
+    );
+
+    // ~50 Mbit/s of client traffic: 25 circuits window/KIST-capped.
+    let bg = tor.start_client_traffic(server, &[relay], client, 25, Scheduler::Kist);
+    tor.net.engine_mut().set_flow_cap(bg, Some(Rate::from_mbit(50.0).bytes_per_sec()));
+
+    let dt = tor.net.engine().tick_duration().as_secs_f64();
+    let mut all_acc = SecondsAccumulator::new();
+    let mut meas_acc = SecondsAccumulator::new();
+    let mut bg_acc = SecondsAccumulator::new();
+
+    // 50 s before, 30 s measurement, 70 s after.
+    let sample = |tor: &TorNet, meas_bytes: f64,
+                      all_acc: &mut SecondsAccumulator,
+                      meas_acc: &mut SecondsAccumulator,
+                      bg_acc: &mut SecondsAccumulator| {
+        all_acc.push(tor.relay_forwarded_last_tick(relay), dt);
+        meas_acc.push(meas_bytes, dt);
+        bg_acc.push(tor.relay_background_last_tick(relay), dt);
+    };
+    let warm_end = tor.now() + SimDuration::from_secs(50);
+    while tor.now() < warm_end {
+        tor.tick();
+        sample(&tor, 0.0, &mut all_acc, &mut meas_acc, &mut bg_acc);
+    }
+    let flow = tor.start_measurement_flow(nl, relay, 160, Some(Rate::from_mbit(738.0)));
+    tor.begin_measurement(relay, vec![flow]);
+    let meas_end = tor.now() + params.slot;
+    while tor.now() < meas_end {
+        tor.tick();
+        let mb = tor.net.engine().flow_bytes_last_tick(flow);
+        sample(&tor, mb, &mut all_acc, &mut meas_acc, &mut bg_acc);
+    }
+    tor.end_measurement(relay);
+    tor.net.engine_mut().stop_flow(flow);
+    let tail_end = tor.now() + SimDuration::from_secs(70);
+    while tor.now() < tail_end {
+        tor.tick();
+        sample(&tor, 0.0, &mut all_acc, &mut meas_acc, &mut bg_acc);
+    }
+
+    let all = all_acc.into_seconds();
+    let meas = meas_acc.into_seconds();
+    let bg = bg_acc.into_seconds();
+    println!("{:>6} {:>12} {:>12} {:>12}", "t(s)", "all(Mbit)", "meas(Mbit)", "bg(Mbit)");
+    for t in (0..all.len()).step_by(5) {
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>12.1}",
+            t as i64 - 50,
+            all[t] * 8.0 / 1e6,
+            meas[t] * 8.0 / 1e6,
+            bg[t] * 8.0 / 1e6
+        );
+    }
+
+    // Checks mirroring the paper's observations.
+    let mid = 65; // mid-measurement
+    let sum = (meas[mid] + bg[mid]) * 8.0 / 1e6;
+    let total = all[mid] * 8.0 / 1e6;
+    compare("reported meas+bg equals relay total", "yes", &format!("{sum:.1} vs {total:.1} Mbit/s"));
+    compare("background clamped during measurement", "25 Mbit/s", &format!("{:.1} Mbit/s", bg[mid] * 8.0 / 1e6));
+    let before = bg[30] * 8.0 / 1e6;
+    let after = bg[all.len() - 20] * 8.0 / 1e6;
+    compare("background recovers afterwards", "yes", &format!("{before:.1} -> {after:.1} Mbit/s"));
+    let burst = all[50].max(all[51]) * 8.0 / 1e6;
+    compare("one-second burst at start", ">250 Mbit/s", &format!("{burst:.1} Mbit/s"));
+}

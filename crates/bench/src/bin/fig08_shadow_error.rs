@@ -1,0 +1,39 @@
+//! Figure 8: measurement error in the private-network simulation —
+//! (a) FlashFlow's relay capacity error CDF and (b) relay weight error
+//! CDFs for FlashFlow vs TorFlow.
+//!
+//! Paper: FlashFlow median relay capacity error 16%, network capacity
+//! error 14%; network weight error 4% (FlashFlow) vs 29% (TorFlow);
+//! >80% of relays under-weighted by TorFlow.
+
+use flashflow_bench::{compare, header, print_cdf};
+use flashflow_shadow::config::ShadowConfig;
+use flashflow_shadow::run::run_measurement_phase;
+use flashflow_simnet::stats::{median, quantile};
+
+fn main() {
+    let seed = 8;
+    header("fig08", "Measurement error during concurrent relay measurement", seed);
+    let phase = run_measurement_phase(&ShadowConfig::paper_scale(seed));
+
+    let rce_pct: Vec<f64> = phase.flashflow_rce.iter().map(|v| v * 100.0).collect();
+    print_cdf("(a) FlashFlow relay capacity error %", &rce_pct, 11);
+    compare("median relay capacity error", "16%", &format!("{:.1}%", median(&rce_pct).unwrap()));
+    compare(
+        "interquartile range",
+        "~16%",
+        &format!(
+            "{:.1}%",
+            quantile(&rce_pct, 0.75).unwrap() - quantile(&rce_pct, 0.25).unwrap()
+        ),
+    );
+    compare("network capacity error", "14%", &format!("{:.1}%", phase.flashflow_nce.abs() * 100.0));
+
+    print_cdf("(b) log10 relay weight error, FlashFlow", &phase.flashflow_rwe_log10, 11);
+    print_cdf("(b) log10 relay weight error, TorFlow", &phase.torflow_rwe_log10, 11);
+    let tf_under = phase.torflow_rwe_log10.iter().filter(|v| **v < 0.0).count() as f64
+        / phase.torflow_rwe_log10.len() as f64;
+    compare("TorFlow relays under-weighted", ">80%", &format!("{:.0}%", tf_under * 100.0));
+    compare("network weight error, FlashFlow", "4%", &format!("{:.1}%", phase.flashflow_nwe * 100.0));
+    compare("network weight error, TorFlow", "29%", &format!("{:.1}%", phase.torflow_nwe * 100.0));
+}

@@ -1,0 +1,85 @@
+//! Figure 9: client performance with TorFlow vs FlashFlow weights at
+//! 100%, 115%, and 130% load — transfer-time boxplots, timeout rates,
+//! and total relay throughput.
+//!
+//! Paper (100% load): FlashFlow cuts median 50 KiB/1 MiB/5 MiB transfer
+//! times by 15/29/37% and their std-devs by 55/61/41%; timeout rate
+//! drops from 5–23% (TorFlow, by load) to ~0%; FlashFlow's advantage
+//! grows with load, and its throughput scales with added load.
+
+use flashflow_bench::{compare, header, Boxplot};
+use flashflow_shadow::benchmark::SizeClass;
+use flashflow_shadow::config::ShadowConfig;
+use flashflow_shadow::run::{run_experiment, System};
+use flashflow_simnet::stats::{median, std_dev};
+
+fn main() {
+    let seed = 9;
+    header("fig09", "Benchmark performance under TorFlow vs FlashFlow weights", seed);
+    let cfg = ShadowConfig::paper_scale(seed);
+    let exp = run_experiment(&cfg, &[1.0, 1.15, 1.30]);
+
+    println!("--- (a) transfer times (seconds) ---");
+    for class in SizeClass::all() {
+        println!("[TTLB {}]", class.label());
+        for load in &exp.loads {
+            let samples = load.ttlb(class);
+            if let Some(bp) = Boxplot::of(&samples) {
+                println!("  {}{:<4} {}", load.system.label(), format!("{:.0}%", load.load * 100.0), bp);
+            }
+        }
+    }
+    println!("[TTFB all]");
+    for load in &exp.loads {
+        if let Some(bp) = Boxplot::of(&load.ttfb()) {
+            println!("  {}{:<4} {}", load.system.label(), format!("{:.0}%", load.load * 100.0), bp);
+        }
+    }
+
+    println!("--- (b) transfer error (timeout) rates ---");
+    for load in &exp.loads {
+        println!(
+            "  {}{:<4} {:.1}%",
+            load.system.label(),
+            format!("{:.0}%", load.load * 100.0),
+            load.failure_rate() * 100.0
+        );
+    }
+
+    println!("--- (c) total relay throughput (Gbit/s) ---");
+    for load in &exp.loads {
+        let gbit: Vec<f64> = load.throughput_series.iter().map(|b| b * 8.0 / 1e9).collect();
+        if let Some(bp) = Boxplot::of(&gbit) {
+            println!("  {}{:<4} {}", load.system.label(), format!("{:.0}%", load.load * 100.0), bp);
+        }
+    }
+
+    // Headline comparisons at 100% load.
+    let tf100 = exp.loads.iter().find(|l| l.system == System::TorFlow && l.load == 1.0).unwrap();
+    let ff100 = exp.loads.iter().find(|l| l.system == System::FlashFlow && l.load == 1.0).unwrap();
+    for (class, paper_med, paper_sd) in [
+        (SizeClass::Small, "15%", "55%"),
+        (SizeClass::Medium, "29%", "61%"),
+        (SizeClass::Large, "37%", "41%"),
+    ] {
+        let tf = tf100.ttlb(class);
+        let ff = ff100.ttlb(class);
+        let med_drop = 100.0 * (1.0 - median(&ff).unwrap() / median(&tf).unwrap());
+        let sd_drop = 100.0 * (1.0 - std_dev(&ff).unwrap() / std_dev(&tf).unwrap());
+        compare(
+            &format!("median {} transfer-time reduction", class.label()),
+            paper_med,
+            &format!("{med_drop:.0}%"),
+        );
+        compare(
+            &format!("std-dev {} reduction", class.label()),
+            paper_sd,
+            &format!("{sd_drop:.0}%"),
+        );
+    }
+    compare(
+        "timeout rate (TF 100% -> FF 100%)",
+        "5% -> 0%",
+        &format!("{:.1}% -> {:.1}%", tf100.failure_rate() * 100.0, ff100.failure_rate() * 100.0),
+    );
+}

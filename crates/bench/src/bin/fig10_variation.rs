@@ -1,0 +1,45 @@
+//! Figure 10: CDFs of mean relative standard deviation of (a) advertised
+//! bandwidth and (b) normalized consensus weight, per relay.
+//!
+//! Paper: advertised-bandwidth RSD medians 32% (day), 55% (week), 62%
+//! (month), 65% (year); weight RSD medians 14%, 31%, 43%, 50%.
+
+use flashflow_bench::{compare, header, print_cdf};
+use flashflow_metrics::synth::{generate, SynthConfig};
+use flashflow_metrics::variation::{mean_advertised_rsd_per_relay, mean_weight_rsd_per_relay};
+use flashflow_simnet::stats::quantile;
+
+fn main() {
+    let seed = 10;
+    header("fig10", "Relay capacity and weight variation (Eq. 7)", seed);
+    let synth = generate(&SynthConfig::paper_scale(seed));
+    let archive = &synth.archive;
+    let (d, w, m, y) = archive.period_steps();
+    let min_steps = d * 3;
+
+    println!("--- (a) advertised bandwidth RSD ---");
+    for (label, p, paper) in
+        [("day", d, "32%"), ("week", w, "55%"), ("month", m, "62%"), ("year", y, "65%")]
+    {
+        let rsd: Vec<f64> = mean_advertised_rsd_per_relay(archive, p, min_steps)
+            .iter()
+            .map(|v| v * 100.0)
+            .collect();
+        print_cdf(&format!("capacity RSD %, p = 1 {label}"), &rsd, 9);
+        let med = quantile(&rsd, 0.5).unwrap_or(0.0);
+        compare(&format!("median capacity RSD (p = {label})"), paper, &format!("{med:.0}%"));
+    }
+
+    println!("--- (b) normalized consensus weight RSD ---");
+    for (label, p, paper) in
+        [("day", d, "14%"), ("week", w, "31%"), ("month", m, "43%"), ("year", y, "50%")]
+    {
+        let rsd: Vec<f64> = mean_weight_rsd_per_relay(archive, p, min_steps)
+            .iter()
+            .map(|v| v * 100.0)
+            .collect();
+        print_cdf(&format!("weight RSD %, p = 1 {label}"), &rsd, 9);
+        let med = quantile(&rsd, 0.5).unwrap_or(0.0);
+        compare(&format!("median weight RSD (p = {label})"), paper, &format!("{med:.0}%"));
+    }
+}

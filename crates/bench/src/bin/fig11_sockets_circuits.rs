@@ -1,0 +1,63 @@
+//! Figure 11 (Appendix C): lab Tor throughput sweeping the number of
+//! client sockets vs the number of circuits on a single socket.
+//!
+//! Paper: the sockets curve rises to a 1,248 Mbit/s peak around 13–20
+//! sockets (Tor pegs a CPU core from 13), then declines slightly; the
+//! circuits curve stays flat at the single-socket KIST limit.
+
+use flashflow_bench::{compare, header};
+use flashflow_simnet::host::{HostProfile, Net};
+use flashflow_simnet::time::SimDuration;
+use flashflow_simnet::units::Rate;
+use flashflow_tornet::netbuild::TorNet;
+use flashflow_tornet::relay::RelayConfig;
+use flashflow_tornet::sched::Scheduler;
+
+fn lab_pair() -> (TorNet, flashflow_simnet::host::HostId, flashflow_simnet::host::HostId) {
+    let mut net = Net::new();
+    let client = net.add_host(HostProfile::lab("lab-client"));
+    let target = net.add_host(HostProfile::lab("lab-target"));
+    net.set_rtt(client, target, SimDuration::from_micros(130));
+    (TorNet::from_net(net), client, target)
+}
+
+fn main() {
+    header("fig11", "Lab throughput vs sockets and vs circuits", 0);
+    println!("{:>8} {:>16} {:>16}", "n", "sockets(Mbit/s)", "circuits(Mbit/s)");
+    let mut peak = (0u32, 0.0f64);
+    let mut circuits_values = Vec::new();
+    for n in [1u32, 2, 5, 10, 13, 20, 40, 60, 80, 100] {
+        // Sockets experiment: n one-socket clients through the target.
+        let (mut tor, client, target_host) = lab_pair();
+        let relay = tor.add_relay(target_host, RelayConfig::new("target"));
+        let flow = tor.start_client_traffic(client, &[relay], client, n, Scheduler::Kist);
+        tor.run_for(SimDuration::from_secs(120));
+        let sockets_mbit = Rate::from_bytes_per_sec(tor.net.engine().flow_rate(flow)).as_mbit();
+        if sockets_mbit > peak.1 {
+            peak = (n, sockets_mbit);
+        }
+
+        // Circuits experiment: one socket carrying n circuits.
+        let (mut tor2, client2, target_host2) = lab_pair();
+        let relay2 = tor2.add_relay(target_host2, RelayConfig::new("target"));
+        let flow2 = tor2.start_client_traffic(client2, &[relay2], client2, 1, Scheduler::Kist);
+        // n circuits on one socket: the window cap scales, the KIST
+        // single-socket cap does not.
+        let rtt = tor2.circuit_rtt(client2, &[relay2], client2).as_secs_f64().max(1e-4);
+        let window_cap =
+            n as f64 * flashflow_tornet::circuit::circuit_window_rate_cap(rtt);
+        let kist_cap = Scheduler::Kist.bundle_cap(1).unwrap();
+        tor2.net.engine_mut().set_flow_cap(flow2, Some(window_cap.min(kist_cap)));
+        tor2.run_for(SimDuration::from_secs(120));
+        let circuits_mbit =
+            Rate::from_bytes_per_sec(tor2.net.engine().flow_rate(flow2)).as_mbit();
+        circuits_values.push(circuits_mbit);
+        println!("{n:>8} {sockets_mbit:>16.0} {circuits_mbit:>16.0}");
+    }
+    compare("sockets-curve peak", "1248 Mbit/s near 13-20 sockets",
+            &format!("{:.0} Mbit/s at {}", peak.1, peak.0));
+    let spread = circuits_values.iter().cloned().fold(f64::MIN, f64::max)
+        - circuits_values.iter().cloned().fold(f64::MAX, f64::min);
+    compare("circuits curve flat", "yes (KIST single-socket limit)",
+            &format!("spread {spread:.0} Mbit/s"));
+}

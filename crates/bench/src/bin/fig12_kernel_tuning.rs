@@ -1,0 +1,58 @@
+//! Figure 12 (Appendix D.1): single-socket throughput with the default
+//! vs tuned kernel at 28/120/340 ms RTT, measured by FlashFlow against a
+//! lab relay.
+//!
+//! Paper: tuned beats default at every RTT; throughput falls as RTT
+//! rises; tuned at 28 ms reaches 1,269 Mbit/s, consistent with the
+//! 1,248 Mbit/s lab Tor CPU limit.
+
+use flashflow_bench::{compare, header};
+use flashflow_simnet::host::{HostProfile, Net};
+use flashflow_simnet::stats::median;
+use flashflow_simnet::tcp::KernelProfile;
+use flashflow_simnet::time::SimDuration;
+use flashflow_simnet::units::Rate;
+use flashflow_simnet::stats::SecondsAccumulator;
+use flashflow_tornet::netbuild::TorNet;
+use flashflow_tornet::relay::RelayConfig;
+
+fn run(rtt_ms: u64, tuned: bool) -> f64 {
+    let mut net = Net::new();
+    let kernel = if tuned { KernelProfile::tuned() } else { KernelProfile::default_linux() };
+    let measurer = net.add_host(HostProfile::lab("lab-measurer").with_kernel(kernel));
+    let target_host = net.add_host(HostProfile::lab("lab-target").with_kernel(kernel));
+    net.set_rtt(measurer, target_host, SimDuration::from_millis(rtt_ms));
+    let mut tor = TorNet::from_net(net);
+    let target = tor.add_relay(target_host, RelayConfig::new("target"));
+    let flow = tor.start_measurement_flow(measurer, target, 1, None);
+    let mut acc = SecondsAccumulator::new();
+    let dt = tor.net.engine().tick_duration().as_secs_f64();
+    let end = tor.now() + SimDuration::from_secs(240);
+    while tor.now() < end {
+        tor.tick();
+        acc.push(tor.net.engine().flow_bytes_last_tick(flow), dt);
+    }
+    let med = median(acc.seconds()).unwrap_or(0.0);
+    Rate::from_bytes_per_sec(med).as_mbit()
+}
+
+fn main() {
+    header("fig12", "Single-socket throughput: default vs tuned kernel", 0);
+    println!("{:>8} {:>14} {:>14}", "rtt(ms)", "default(Mbit)", "tuned(Mbit)");
+    let mut results = Vec::new();
+    for rtt in [28u64, 120, 340] {
+        let d = run(rtt, false);
+        let t = run(rtt, true);
+        println!("{rtt:>8} {d:>14.0} {t:>14.0}");
+        results.push((rtt, d, t));
+    }
+    for (rtt, d, t) in &results {
+        assert!(t >= d, "tuned must beat default at {rtt} ms");
+    }
+    compare("tuned @28ms", "1269 Mbit/s (Tor CPU-limited)", &format!("{:.0} Mbit/s", results[0].2));
+    compare(
+        "default falls with RTT",
+        "yes",
+        &format!("{:.0} -> {:.0} -> {:.0} Mbit/s", results[0].1, results[1].1, results[2].1),
+    );
+}

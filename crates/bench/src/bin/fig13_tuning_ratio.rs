@@ -1,0 +1,70 @@
+//! Figure 13 (Appendix D.2): ratio of default-kernel to tuned-kernel
+//! median throughput as the measurement socket count grows, per WAN
+//! host measuring US-SW.
+//!
+//! Paper: ratios start below 1 (tuning helps a single socket) and trend
+//! to 1 as sockets aggregate enough buffer to cover the path BDP.
+
+use flashflow_bench::{compare, header};
+use flashflow_simnet::host::Net;
+use flashflow_simnet::tcp::KernelProfile;
+use flashflow_simnet::time::SimDuration;
+use flashflow_tornet::netbuild::TorNet;
+use flashflow_tornet::relay::RelayConfig;
+
+fn run(host_idx: usize, sockets: u32, tuned: bool) -> f64 {
+    // Build the Table 1 hosts with the kernel profile applied to every
+    // endpoint, as in the paper's experiment.
+    let mut net2 = Net::new();
+    net2.enable_wan_loss();
+    let mut ids2 = Vec::new();
+    for (i, mut p) in flashflow_simnet::host::HostProfile::table1().into_iter().enumerate() {
+        if tuned {
+            p = p.with_kernel(KernelProfile::tuned());
+        }
+        ids2.push(net2.add_host(p));
+        let _ = i;
+    }
+    for (i, row) in flashflow_simnet::host::TABLE1_RTT_MS.iter().enumerate() {
+        for (j, &ms) in row.iter().enumerate() {
+            if i != j {
+                net2.set_rtt(ids2[i], ids2[j], SimDuration::from_millis(ms));
+            }
+        }
+    }
+    let mut tor = TorNet::from_net(net2);
+    let target = tor.add_relay(ids2[0], RelayConfig::new("target"));
+    let flow = tor.start_measurement_flow(ids2[host_idx], target, sockets, None);
+    tor.run_for(SimDuration::from_secs(60));
+    tor.net.engine().flow_rate(flow)
+}
+
+fn main() {
+    header("fig13", "Default/tuned kernel throughput ratio vs socket count", 0);
+    println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "sockets", "US-NW", "US-E", "IN", "NL");
+    let counts = [1u32, 2, 4, 8, 16, 32, 64, 128];
+    let mut last_row = Vec::new();
+    let mut first_row = Vec::new();
+    for &s in &counts {
+        let mut ratios = Vec::new();
+        for host_idx in 1..5 {
+            let d = run(host_idx, s, false);
+            let t = run(host_idx, s, true);
+            ratios.push(if t > 0.0 { d / t } else { 1.0 });
+        }
+        println!(
+            "{:>8} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            s, ratios[0], ratios[1], ratios[2], ratios[3]
+        );
+        if s == counts[0] {
+            first_row = ratios.clone();
+        }
+        last_row = ratios;
+    }
+    let improved = first_row.iter().zip(&last_row).filter(|(f, l)| l > f).count();
+    compare(
+        "ratio trends toward 1 as sockets grow",
+        "yes (all hosts)",
+        &format!("{improved}/4 hosts"),
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 14 (Appendix E.1): Tor throughput at the US-SW target relay as
+//! measured by each WAN host, sweeping the socket count. Determines
+//! FlashFlow's s = 160 (the count at which the slowest host, IN, peaks).
+//!
+//! Paper: every host rises with socket count, peaks, then declines
+//! slightly; IN is the slowest to peak (at 160 sockets).
+
+use flashflow_bench::{compare, header};
+use flashflow_simnet::host::Net;
+use flashflow_simnet::time::SimDuration;
+use flashflow_simnet::units::Rate;
+use flashflow_tornet::netbuild::TorNet;
+use flashflow_tornet::relay::RelayConfig;
+
+fn main() {
+    header("fig14", "Throughput at US-SW vs number of measurement sockets", 0);
+    let socket_counts = [1u32, 2, 5, 10, 20, 40, 80, 120, 160, 200, 240, 300];
+    println!("{:>8} {:>10} {:>10} {:>10} {:>10}", "sockets", "US-NW", "US-E", "IN", "NL");
+    let mut peaks = [0u32; 4];
+    let mut best = [0.0f64; 4];
+    let mut rows = Vec::new();
+    for &s in &socket_counts {
+        let mut row = vec![s as f64];
+        for (k, host_idx) in [1usize, 2, 3, 4].iter().enumerate() {
+            let (net, ids) = Net::table1();
+            let mut tor = TorNet::from_net(net);
+            let target = tor.add_relay(ids[0], RelayConfig::new("target"));
+            let flow = tor.start_measurement_flow(ids[*host_idx], target, s, None);
+            tor.run_for(SimDuration::from_secs(60));
+            let mbit = Rate::from_bytes_per_sec(tor.net.engine().flow_rate(flow)).as_mbit();
+            row.push(mbit);
+            if mbit > best[k] {
+                best[k] = mbit;
+                peaks[k] = s;
+            }
+        }
+        println!(
+            "{:>8} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+            s as u32, row[1], row[2], row[3], row[4]
+        );
+        rows.push(row);
+    }
+    for (k, name) in ["US-NW", "US-E", "IN", "NL"].iter().enumerate() {
+        println!("  {name}: peak {:.0} Mbit/s at {} sockets", best[k], peaks[k]);
+    }
+    compare("slowest host to peak", "IN at 160 sockets", &format!("IN at {}", peaks[2]));
+}

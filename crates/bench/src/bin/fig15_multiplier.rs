@@ -1,0 +1,88 @@
+//! Figure 15 (Appendix E.2): the multiplier sweep — relative measured
+//! throughput at m ∈ {1.5, 1.75, 2.0, 2.25, 2.5} across team subsets
+//! and target capacities.
+//!
+//! Paper: m = 2.25 is the smallest multiplier with no outliers below
+//! 0.8× ground truth.
+
+use flashflow_bench::{header, Boxplot};
+use flashflow_core::measure::{run_measurement, Assignment};
+use flashflow_core::params::Params;
+use flashflow_core::verify::TargetBehavior;
+use flashflow_simnet::host::Net;
+use flashflow_simnet::rng::SimRng;
+use flashflow_simnet::units::Rate;
+use flashflow_tornet::netbuild::TorNet;
+use flashflow_tornet::relay::RelayConfig;
+
+fn main() {
+    let seed = 15;
+    header("fig15", "Multiplier sweep: relative throughput vs m", seed);
+    let params = Params::paper();
+    let members = [(1usize, 946.0), (2, 941.0), (3, 1076.0), (4, 1611.0)];
+    let limits: [Option<f64>; 5] = [Some(10.0), Some(250.0), Some(500.0), Some(750.0), None];
+    let gts: Vec<f64> = limits
+        .iter()
+        .map(|l| l.map(|v| Rate::from_mbit(v).bytes_per_sec()).unwrap_or(Rate::from_mbit(890.0).bytes_per_sec()))
+        .collect();
+
+    println!("{:>6} {:>60}", "m", "estimate / ground truth");
+    let mut first_clean = None;
+    for m in [1.5f64, 1.75, 2.0, 2.25, 2.5] {
+        let mut fractions = Vec::new();
+        for (limit, gt) in limits.iter().zip(&gts) {
+            let needed = m * gt;
+            for subset_mask in 1u32..16 {
+                let subset: Vec<(usize, f64)> = members
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| subset_mask & (1 << k) != 0)
+                    .map(|(_, v)| *v)
+                    .collect();
+                let share = needed / subset.len() as f64;
+                let total: f64 = subset.iter().map(|(_, c)| c * 1e6 / 8.0).sum();
+                if total < needed || subset.iter().any(|(_, c)| c * 1e6 / 8.0 < share) {
+                    continue;
+                }
+                let jitter_seed = seed ^ (subset_mask as u64) << 16 ^ (m * 100.0) as u64;
+                let (net, ids) = Net::table1_seeded(Some(jitter_seed));
+                let mut tor = TorNet::from_net(net);
+                let mut config = RelayConfig::new("target");
+                if let Some(l) = limit {
+                    config = config.with_rate_limit(Rate::from_mbit(*l));
+                }
+                let relay = tor.add_relay(ids[0], config);
+                let sockets_each = (params.sockets as usize / subset.len()).max(1) as u32;
+                let assignments: Vec<Assignment> = subset
+                    .iter()
+                    .map(|(host_idx, _)| Assignment {
+                        host: ids[*host_idx],
+                        allocation: Rate::from_bytes_per_sec(share),
+                        processes: 1,
+                        sockets: sockets_each,
+                    })
+                    .collect();
+                let mut rng = SimRng::seed_from_u64(jitter_seed ^ 0xBEEF);
+                let meas = run_measurement(
+                    &mut tor,
+                    relay,
+                    &assignments,
+                    &params,
+                    TargetBehavior::Honest,
+                    &mut rng,
+                );
+                fractions.push(meas.estimate.bytes_per_sec() / gt);
+            }
+        }
+        let bp = Boxplot::of(&fractions).expect("non-empty");
+        let min = fractions.iter().cloned().fold(f64::MAX, f64::min);
+        println!("{m:>6.2} {bp}  min={min:.3}  n={}", fractions.len());
+        if min >= 0.8 && first_clean.is_none() {
+            first_clean = Some(m);
+        }
+    }
+    println!(
+        "smallest m with no result below 0.8x ground truth: {:?} (paper: 2.25)",
+        first_clean
+    );
+}

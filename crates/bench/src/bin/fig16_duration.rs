@@ -1,0 +1,76 @@
+//! Figure 16 (Appendix E.3): measurement-duration strategies — the CDF
+//! of relative accuracy when summarising the same 60-second runs by the
+//! median of their first 10, 20, 30, or all 60 seconds.
+//!
+//! Paper: the 30-second median has the tightest range (0.84–1.01 of
+//! ground truth) and is chosen as the deployment setting.
+
+use flashflow_bench::{compare, header, print_cdf};
+use flashflow_core::measure::{run_measurement, Assignment};
+use flashflow_core::params::Params;
+use flashflow_core::verify::TargetBehavior;
+use flashflow_simnet::host::Net;
+use flashflow_simnet::rng::SimRng;
+use flashflow_simnet::stats::median;
+use flashflow_simnet::units::Rate;
+use flashflow_tornet::netbuild::TorNet;
+use flashflow_tornet::relay::RelayConfig;
+
+fn main() {
+    let seed = 16;
+    header("fig16", "Measurement duration strategies (median of first k seconds)", seed);
+    let mut params = Params::paper();
+    params.slot = flashflow_simnet::time::SimDuration::from_secs(60);
+    let members = [(2usize, 941.0), (3, 1076.0), (4, 1611.0)];
+    let limits: [Option<f64>; 4] = [Some(250.0), Some(500.0), Some(750.0), None];
+
+    // Collect 60-second per-second series across configurations.
+    let mut runs: Vec<(Vec<f64>, f64)> = Vec::new(); // (z series, ground truth)
+    for (li, limit) in limits.iter().enumerate() {
+        let gt = limit
+            .map(|v| Rate::from_mbit(v).bytes_per_sec())
+            .unwrap_or(Rate::from_mbit(890.0).bytes_per_sec());
+        for run in 0..6u64 {
+            let jitter_seed = seed ^ (li as u64) << 8 ^ run << 24;
+            let (net, ids) = Net::table1_seeded(Some(jitter_seed));
+            let mut tor = TorNet::from_net(net);
+            let mut config = RelayConfig::new("target");
+            if let Some(l) = limit {
+                config = config.with_rate_limit(Rate::from_mbit(*l));
+            }
+            let relay = tor.add_relay(ids[0], config);
+            let needed = params.multiplier * gt;
+            let share = needed / members.len() as f64;
+            let assignments: Vec<Assignment> = members
+                .iter()
+                .map(|(host_idx, _)| Assignment {
+                    host: ids[*host_idx],
+                    allocation: Rate::from_bytes_per_sec(share),
+                    processes: 1,
+                    sockets: 53,
+                })
+                .collect();
+            let mut rng = SimRng::seed_from_u64(jitter_seed ^ 0xD00D);
+            let m = run_measurement(&mut tor, relay, &assignments, &params, TargetBehavior::Honest, &mut rng);
+            let z: Vec<f64> = m.seconds.iter().map(|s| s.z).collect();
+            runs.push((z, gt));
+        }
+    }
+
+    let mut best: Option<(&str, f64)> = None;
+    for (label, k) in [("10s", 10usize), ("20s", 20), ("30s", 30), ("60s", 60)] {
+        let fractions: Vec<f64> = runs
+            .iter()
+            .map(|(z, gt)| median(&z[..k.min(z.len())]).unwrap_or(0.0) / gt)
+            .collect();
+        print_cdf(&format!("{label} median, fraction of capacity"), &fractions, 7);
+        let lo = fractions.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = fractions.iter().cloned().fold(f64::MIN, f64::max);
+        let range = hi - lo;
+        println!("  {label}: range [{lo:.3}, {hi:.3}] width {range:.3}");
+        if best.map(|(_, w)| range < w).unwrap_or(true) {
+            best = Some((label, range));
+        }
+    }
+    compare("tightest strategy", "30s median [0.84, 1.01]", &format!("{:?}", best.map(|b| b.0)));
+}

@@ -1,0 +1,47 @@
+//! Table 1: the Internet-experiment hosts and their measured bandwidth
+//! (all other hosts saturate each target with concurrent UDP iPerf for
+//! 60 seconds; the entry is the median per-second total).
+//!
+//! Paper measured: US-SW 954, US-NW 946, US-E 941, IN 1076, NL 1611
+//! Mbit/s.
+
+use flashflow_bench::{compare, header};
+use flashflow_simnet::host::Net;
+use flashflow_simnet::iperf::{saturate_target, IPERF_DURATION};
+
+fn main() {
+    header("tab01", "Summary of hosts used in Internet experiments", 0);
+    println!(
+        "{:<8} {:>8} {:>10} {:>12} {:>12} {:>6} {:>6}",
+        "host", "virtual", "network", "claim(Mbit)", "meas(Mbit)", "rtt", "cores"
+    );
+    let paper = [954.0, 946.0, 941.0, 1076.0, 1611.0];
+    let rtts = [0, 40, 62, 210, 137];
+    for (i, paper_bw) in paper.iter().enumerate() {
+        // Fresh network per target so earlier probes don't interfere.
+        let (mut net, ids) = Net::table1();
+        let target = ids[i];
+        let sources: Vec<_> = ids.iter().copied().filter(|h| *h != target).collect();
+        let report = saturate_target(&mut net, target, &sources, IPERF_DURATION);
+        let profile = net.profile(target);
+        let claimed = if i < 3 { "1000" } else { "N/A" };
+        println!(
+            "{:<8} {:>8} {:>10} {:>12} {:>12.0} {:>6} {:>6}",
+            profile.name,
+            if profile.virtualized { "yes" } else { "no" },
+            match profile.network_type {
+                flashflow_simnet::host::NetworkType::Datacenter => "D.C.",
+                flashflow_simnet::host::NetworkType::Residential => "Res.",
+            },
+            claimed,
+            report.median_rate.as_mbit(),
+            rtts[i],
+            profile.cores,
+        );
+        compare(
+            &format!("{} measured bandwidth", profile.name),
+            &format!("{paper_bw:.0} Mbit/s"),
+            &format!("{:.0} Mbit/s", report.median_rate.as_mbit()),
+        );
+    }
+}

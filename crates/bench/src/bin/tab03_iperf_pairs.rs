@@ -1,0 +1,40 @@
+//! Table 3 (Appendix B): pairwise bidirectional TCP and UDP iPerf
+//! between each host and US-SW, plus the all-to-one UDP saturation.
+//!
+//! Paper: TCP ranges mostly 670–920 Mbit/s (US-NW variable); UDP ranges
+//! 740–956; saturation 954/946/941/1076/1611 Mbit/s.
+
+use flashflow_bench::header;
+use flashflow_simnet::host::Net;
+use flashflow_simnet::iperf::{pairwise_bidirectional, saturate_target, Transport};
+use flashflow_simnet::time::SimDuration;
+
+fn main() {
+    header("tab03", "Throughput estimation of Internet hosts using iPerf", 0);
+    println!("{:<8} {:>12} {:>12} {:>12}", "host", "TCP(Mbit/s)", "UDP(Mbit/s)", "UDP(many)");
+    let probe = SimDuration::from_secs(60);
+    for i in 1..5 {
+        let (mut net, ids) = Net::table1();
+        let tcp = pairwise_bidirectional(&mut net, ids[0], ids[i], Transport::Tcp, probe);
+        let (mut net2, ids2) = Net::table1();
+        let udp = pairwise_bidirectional(&mut net2, ids2[0], ids2[i], Transport::Udp, probe);
+        let (mut net3, ids3) = Net::table1();
+        let sources: Vec<_> = ids3.iter().copied().filter(|h| *h != ids3[i]).collect();
+        let many = saturate_target(&mut net3, ids3[i], &sources, probe);
+        let name = {
+            let (net4, ids4) = Net::table1();
+            net4.profile(ids4[i]).name.clone()
+        };
+        println!(
+            "{:<8} {:>12.0} {:>12.0} {:>12.0}",
+            name,
+            tcp.median_rate.as_mbit(),
+            udp.median_rate.as_mbit(),
+            many.median_rate.as_mbit()
+        );
+    }
+    // US-SW's saturation row (first column of Table 1's measured value).
+    let (mut net, ids) = Net::table1();
+    let many = saturate_target(&mut net, ids[0], &ids[1..], probe);
+    println!("{:<8} {:>12} {:>12} {:>12.0}", "US-SW", "-", "-", many.median_rate.as_mbit());
+}

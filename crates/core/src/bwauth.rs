@@ -1,0 +1,310 @@
+//! BWAuths: driving a measurement period and aggregating across
+//! authorities (§4.3, §4 "Trust and Diversity").
+//!
+//! Each BWAuth owns a measurement team, derives the (secret, shared)
+//! randomized schedule for the period, executes the slots — measuring
+//! multiple relays concurrently when team capacity allows — and emits a
+//! *bandwidth file* with a capacity estimate per relay. The DirAuths then
+//! take the median across BWAuths, so a minority of malicious authorities
+//! cannot move a relay's weight.
+
+use std::collections::BTreeMap;
+
+use flashflow_simnet::rng::SimRng;
+use flashflow_simnet::units::Rate;
+use flashflow_tornet::netbuild::TorNet;
+use flashflow_tornet::relay::RelayId;
+
+use crate::measure::{assignments_for, BatchItem};
+use crate::params::Params;
+use crate::schedule::{build_randomized_schedule, Schedule, ScheduleError};
+use crate::sequence::SequenceEnd;
+use crate::team::Team;
+use crate::verify::TargetBehavior;
+
+/// A per-relay capacity estimate with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BwEntry {
+    /// The relay measured.
+    pub relay: RelayId,
+    /// The accepted capacity estimate.
+    pub capacity: Rate,
+    /// How the relay's sequence ended.
+    pub end: SequenceEnd,
+    /// Number of measurement rounds used.
+    pub rounds: u32,
+}
+
+/// The bandwidth file a BWAuth produces for a period.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BandwidthFile {
+    /// Entries keyed by relay.
+    pub entries: BTreeMap<RelayId, BwEntry>,
+}
+
+impl BandwidthFile {
+    /// Per-relay weights for consensus voting: FlashFlow uses the
+    /// capacity estimates directly as weights.
+    pub fn weights(&self) -> BTreeMap<RelayId, f64> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.end == SequenceEnd::Converged || e.end == SequenceEnd::TeamExhausted)
+            .map(|(r, e)| (*r, e.capacity.bytes_per_sec()))
+            .collect()
+    }
+
+    /// Per-relay capacities.
+    pub fn capacities(&self) -> BTreeMap<RelayId, Rate> {
+        self.entries.iter().map(|(r, e)| (*r, e.capacity)).collect()
+    }
+}
+
+/// A Bandwidth Authority with its measurement team.
+#[derive(Debug)]
+pub struct BwAuth {
+    /// Display name.
+    pub name: String,
+    /// The measurement team.
+    pub team: Team,
+    /// FlashFlow parameters.
+    pub params: Params,
+    rng: SimRng,
+}
+
+impl BwAuth {
+    /// Creates an authority with its own RNG stream.
+    pub fn new(name: impl Into<String>, team: Team, params: Params, seed: u64) -> Self {
+        BwAuth { name: name.into(), team, params, rng: SimRng::seed_from_u64(seed) }
+    }
+
+    /// Derives this period's randomized schedule for the given old relays
+    /// and their priors.
+    ///
+    /// # Errors
+    /// Propagates [`ScheduleError`].
+    pub fn plan_period(
+        &self,
+        relays: &[(RelayId, Rate)],
+        shared_seed: u64,
+    ) -> Result<Schedule, ScheduleError> {
+        build_randomized_schedule(relays, self.team.total_capacity(), &self.params, shared_seed)
+    }
+
+    /// Measures all `relays` (with priors) against the live network,
+    /// packing concurrent measurements into slots greedily and re-queuing
+    /// relays whose measurements were inconclusive with doubled priors.
+    /// `behavior_of` supplies each relay's echo honesty.
+    ///
+    /// This is the engine behind the §7 Shadow experiments: it produces
+    /// the bandwidth file used for load balancing.
+    pub fn measure_network(
+        &mut self,
+        tor: &mut TorNet,
+        relays: &[(RelayId, Rate)],
+        behavior_of: &dyn Fn(RelayId) -> TargetBehavior,
+    ) -> BandwidthFile {
+        // Work queue: (relay, prior, rounds so far).
+        let mut queue: Vec<(RelayId, Rate, u32)> =
+            relays.iter().map(|(r, z0)| (*r, *z0, 0u32)).collect();
+        let mut file = BandwidthFile::default();
+        let max_rounds = 6;
+        let team_total = self.team.total_capacity().bytes_per_sec();
+
+        while !queue.is_empty() {
+            // Pack a slot greedily: largest demand first.
+            queue.sort_by(|a, b| {
+                b.1.bytes_per_sec().partial_cmp(&a.1.bytes_per_sec()).expect("finite")
+            });
+            let mut slot_items: Vec<(RelayId, Rate, u32, Vec<Rate>)> = Vec::new();
+            let mut reserved = vec![Rate::ZERO; self.team.len()];
+            let mut rest: Vec<(RelayId, Rate, u32)> = Vec::new();
+            for (relay, prior, rounds) in queue.drain(..) {
+                // Clamp priors beyond the team so huge relays still get a
+                // best-effort full-team measurement.
+                let prior_clamped = Rate::from_bytes_per_sec(
+                    prior.bytes_per_sec().min(team_total / self.params.excess_factor()),
+                );
+                match self.team.allocate(prior_clamped, &self.params, &reserved) {
+                    Ok(alloc) => {
+                        for (res, a) in reserved.iter_mut().zip(&alloc) {
+                            *res = *res + *a;
+                        }
+                        slot_items.push((relay, prior_clamped, rounds, alloc));
+                    }
+                    Err(_) => rest.push((relay, prior, rounds)),
+                }
+            }
+            queue = rest;
+            assert!(!slot_items.is_empty(), "slot packing made no progress");
+
+            let batch: Vec<BatchItem> = slot_items
+                .iter()
+                .map(|(relay, _, _, alloc)| BatchItem {
+                    target: *relay,
+                    assignments: assignments_for(&self.team, alloc, &self.params),
+                    behavior: behavior_of(*relay),
+                })
+                .collect();
+            let results =
+                crate::measure::run_concurrent_measurements(tor, &batch, &self.params, &mut self.rng);
+
+            for ((relay, prior, rounds, _), m) in slot_items.into_iter().zip(results) {
+                let rounds = rounds + 1;
+                if !m.verified() {
+                    file.entries.insert(
+                        relay,
+                        BwEntry {
+                            relay,
+                            capacity: Rate::ZERO,
+                            end: SequenceEnd::VerificationFailed,
+                            rounds,
+                        },
+                    );
+                    continue;
+                }
+                let at_team_limit = self.params.excess_factor() * prior.bytes_per_sec()
+                    >= team_total * (1.0 - 1e-9);
+                if m.conclusive(&self.params) || rounds >= max_rounds || at_team_limit {
+                    let end = if m.conclusive(&self.params) {
+                        SequenceEnd::Converged
+                    } else {
+                        SequenceEnd::TeamExhausted
+                    };
+                    file.entries
+                        .insert(relay, BwEntry { relay, capacity: m.estimate, end, rounds });
+                } else {
+                    let next = m
+                        .estimate
+                        .bytes_per_sec()
+                        .max(2.0 * prior.bytes_per_sec());
+                    queue.push((relay, Rate::from_bytes_per_sec(next), rounds));
+                }
+            }
+        }
+        file
+    }
+}
+
+/// Aggregates several BWAuths' bandwidth files by taking, for each relay
+/// measured by a majority of them, the low-median capacity — the DirAuth
+/// rule that makes a minority of lying authorities harmless.
+pub fn aggregate_bwauths(files: &[BandwidthFile]) -> BTreeMap<RelayId, Rate> {
+    assert!(!files.is_empty(), "need at least one bandwidth file");
+    let majority = files.len() / 2 + 1;
+    let mut per_relay: BTreeMap<RelayId, Vec<f64>> = BTreeMap::new();
+    for file in files {
+        for (relay, entry) in &file.entries {
+            if entry.end != SequenceEnd::VerificationFailed {
+                per_relay.entry(*relay).or_default().push(entry.capacity.bytes_per_sec());
+            }
+        }
+    }
+    per_relay
+        .into_iter()
+        .filter(|(_, v)| v.len() >= majority)
+        .map(|(relay, mut v)| {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            (relay, Rate::from_bytes_per_sec(v[(v.len() - 1) / 2]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashflow_simnet::host::HostProfile;
+    use flashflow_simnet::time::SimDuration;
+    use flashflow_tornet::relay::RelayConfig;
+
+    fn testbed() -> (TorNet, Team, Vec<(RelayId, Rate)>) {
+        let mut tor = TorNet::new();
+        let m1 = tor.add_host(HostProfile::us_e());
+        let m2 = tor.add_host(HostProfile::host_nl());
+        let mut relays = Vec::new();
+        for (i, limit) in [100.0, 200.0, 150.0, 50.0].iter().enumerate() {
+            let h = tor.add_host(HostProfile::new(format!("rh{i}"), Rate::from_gbit(1.0)));
+            tor.net.set_rtt(m1, h, SimDuration::from_millis(60));
+            tor.net.set_rtt(m2, h, SimDuration::from_millis(120));
+            let r = tor.add_relay(
+                h,
+                RelayConfig::new(format!("r{i}")).with_rate_limit(Rate::from_mbit(*limit)),
+            );
+            relays.push((r, Rate::from_mbit(*limit)));
+        }
+        let team = Team::with_capacities(&[
+            (m1, Rate::from_mbit(941.0)),
+            (m2, Rate::from_mbit(1611.0)),
+        ]);
+        (tor, team, relays)
+    }
+
+    #[test]
+    fn measures_whole_set_accurately() {
+        let (mut tor, team, relays) = testbed();
+        let mut auth = BwAuth::new("bwauth-1", team, Params::paper(), 11);
+        let file = auth.measure_network(&mut tor, &relays, &|_| TargetBehavior::Honest);
+        assert_eq!(file.entries.len(), 4);
+        for (relay, prior) in &relays {
+            let entry = &file.entries[relay];
+            let err = (entry.capacity.as_mbit() - prior.as_mbit()).abs() / prior.as_mbit();
+            assert!(err < 0.25, "relay {relay:?}: {} vs {}", entry.capacity, prior);
+        }
+    }
+
+    #[test]
+    fn plan_period_schedules_everything() {
+        let (_, team, relays) = testbed();
+        let auth = BwAuth::new("bwauth-1", team, Params::paper(), 11);
+        let schedule = auth.plan_period(&relays, 777).unwrap();
+        assert_eq!(schedule.measurement_count(), 4);
+    }
+
+    #[test]
+    fn aggregate_takes_median() {
+        let mk = |caps: &[(usize, f64)]| {
+            let mut f = BandwidthFile::default();
+            for (i, c) in caps {
+                let relay = fake_relay(*i);
+                f.entries.insert(
+                    relay,
+                    BwEntry {
+                        relay,
+                        capacity: Rate::from_mbit(*c),
+                        end: SequenceEnd::Converged,
+                        rounds: 1,
+                    },
+                );
+            }
+            f
+        };
+        let agg = aggregate_bwauths(&[
+            mk(&[(0, 100.0), (1, 10.0)]),
+            mk(&[(0, 110.0), (1, 12.0)]),
+            mk(&[(0, 5000.0)]), // outlier / liar, and missing relay 1
+        ]);
+        assert!((agg[&fake_relay(0)].as_mbit() - 110.0).abs() < 1e-9);
+        assert!((agg[&fake_relay(1)].as_mbit() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_drops_minority_relays() {
+        let mut f1 = BandwidthFile::default();
+        let relay = fake_relay(0);
+        f1.entries.insert(
+            relay,
+            BwEntry { relay, capacity: Rate::from_mbit(10.0), end: SequenceEnd::Converged, rounds: 1 },
+        );
+        let agg = aggregate_bwauths(&[f1, BandwidthFile::default(), BandwidthFile::default()]);
+        assert!(agg.is_empty());
+    }
+
+    fn fake_relay(i: usize) -> RelayId {
+        let mut tor = TorNet::new();
+        let h = tor.add_host(HostProfile::new("h", Rate::from_gbit(1.0)));
+        let mut last = None;
+        for k in 0..=i {
+            last = Some(tor.add_relay(h, RelayConfig::new(format!("r{k}"))));
+        }
+        last.unwrap()
+    }
+}

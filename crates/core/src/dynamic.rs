@@ -1,0 +1,165 @@
+//! Dynamic weight adjustment on a secure FlashFlow base (§9).
+//!
+//! The paper's conclusion sketches an extension: use FlashFlow's secure
+//! capacity measurements as *starting weights*, then incorporate
+//! insecure dynamic signals (relay self-reported utilisation, CPU load)
+//! by only ever adjusting weights **downward**. A malicious relay can
+//! then shed load it dislikes, but can never exceed the weight its
+//! demonstrated capacity earned — the security invariant is preserved
+//! while honest relays under transient pressure get relief.
+
+use std::collections::BTreeMap;
+
+use flashflow_simnet::units::Rate;
+use flashflow_tornet::relay::RelayId;
+
+/// An insecure dynamic signal a relay self-reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicReport {
+    /// Fraction of its capacity the relay claims is already busy,
+    /// in `[0, 1]`.
+    pub utilization: f64,
+    /// Fraction of its CPU the relay claims is busy, in `[0, 1]`.
+    pub cpu_load: f64,
+}
+
+impl DynamicReport {
+    /// An idle report.
+    pub fn idle() -> Self {
+        DynamicReport { utilization: 0.0, cpu_load: 0.0 }
+    }
+
+    /// Validates and clamps the report (self-reports are untrusted:
+    /// anything out of range is clamped rather than rejected, since
+    /// rejection would let a relay veto the mechanism).
+    pub fn sanitized(self) -> Self {
+        DynamicReport {
+            utilization: if self.utilization.is_finite() { self.utilization.clamp(0.0, 1.0) } else { 0.0 },
+            cpu_load: if self.cpu_load.is_finite() { self.cpu_load.clamp(0.0, 1.0) } else { 0.0 },
+        }
+    }
+}
+
+/// Policy for turning dynamic reports into weight multipliers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicPolicy {
+    /// Largest fraction of a relay's secure weight that dynamic signals
+    /// may remove (a floor keeps a lying relay from vanishing entirely
+    /// and then flipping back — bounded oscillation).
+    pub max_reduction: f64,
+    /// Utilisation above this level starts reducing weight.
+    pub utilization_knee: f64,
+}
+
+impl Default for DynamicPolicy {
+    fn default() -> Self {
+        DynamicPolicy { max_reduction: 0.5, utilization_knee: 0.75 }
+    }
+}
+
+impl DynamicPolicy {
+    /// The weight multiplier for a report: 1 at or below the knee,
+    /// decreasing linearly to `1 − max_reduction` at full load. Never
+    /// increases weight — that is the security invariant.
+    pub fn multiplier(&self, report: DynamicReport) -> f64 {
+        let r = report.sanitized();
+        let pressure = r.utilization.max(r.cpu_load);
+        if pressure <= self.utilization_knee {
+            return 1.0;
+        }
+        let over = (pressure - self.utilization_knee) / (1.0 - self.utilization_knee);
+        1.0 - self.max_reduction * over
+    }
+}
+
+/// Applies dynamic reports to secure FlashFlow capacities, producing
+/// adjusted weights. Weights only ever go down from the secure base.
+pub fn adjust_weights(
+    secure: &BTreeMap<RelayId, Rate>,
+    reports: &BTreeMap<RelayId, DynamicReport>,
+    policy: &DynamicPolicy,
+) -> BTreeMap<RelayId, f64> {
+    secure
+        .iter()
+        .map(|(relay, capacity)| {
+            let mult = reports
+                .get(relay)
+                .map(|r| policy.multiplier(*r))
+                .unwrap_or(1.0);
+            (*relay, capacity.bytes_per_sec() * mult)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashflow_simnet::host::HostProfile;
+    use flashflow_tornet::netbuild::TorNet;
+    use flashflow_tornet::relay::RelayConfig;
+
+    fn relay_ids(n: usize) -> Vec<RelayId> {
+        let mut tor = TorNet::new();
+        let h = tor.add_host(HostProfile::new("h", Rate::from_gbit(1.0)));
+        (0..n).map(|i| tor.add_relay(h, RelayConfig::new(format!("r{i}")))).collect()
+    }
+
+    #[test]
+    fn idle_relays_keep_full_weight() {
+        let policy = DynamicPolicy::default();
+        assert_eq!(policy.multiplier(DynamicReport::idle()), 1.0);
+        assert_eq!(policy.multiplier(DynamicReport { utilization: 0.5, cpu_load: 0.3 }), 1.0);
+    }
+
+    #[test]
+    fn loaded_relays_shed_weight_but_bounded() {
+        let policy = DynamicPolicy::default();
+        let full = policy.multiplier(DynamicReport { utilization: 1.0, cpu_load: 1.0 });
+        assert!((full - 0.5).abs() < 1e-12, "full load hits the floor exactly");
+        let partial = policy.multiplier(DynamicReport { utilization: 0.875, cpu_load: 0.0 });
+        assert!((partial - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_never_exceed_secure_base() {
+        let ids = relay_ids(3);
+        let secure: BTreeMap<RelayId, Rate> =
+            ids.iter().map(|r| (*r, Rate::from_mbit(100.0))).collect();
+        // An adversarial report claiming negative load (trying to gain).
+        let reports = BTreeMap::from([(
+            ids[0],
+            DynamicReport { utilization: -5.0, cpu_load: f64::NAN },
+        )]);
+        let adjusted = adjust_weights(&secure, &reports, &DynamicPolicy::default());
+        for (relay, w) in &adjusted {
+            assert!(
+                *w <= secure[relay].bytes_per_sec() + 1e-9,
+                "dynamic adjustment must never raise weight"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_reports_default_to_full_weight() {
+        let ids = relay_ids(2);
+        let secure: BTreeMap<RelayId, Rate> =
+            ids.iter().map(|r| (*r, Rate::from_mbit(50.0))).collect();
+        let adjusted = adjust_weights(&secure, &BTreeMap::new(), &DynamicPolicy::default());
+        for (relay, w) in &adjusted {
+            assert_eq!(*w, secure[relay].bytes_per_sec());
+        }
+    }
+
+    #[test]
+    fn overload_shifts_normalized_share_to_idle_relays() {
+        let ids = relay_ids(2);
+        let secure: BTreeMap<RelayId, Rate> =
+            ids.iter().map(|r| (*r, Rate::from_mbit(100.0))).collect();
+        let reports = BTreeMap::from([(
+            ids[0],
+            DynamicReport { utilization: 1.0, cpu_load: 0.9 },
+        )]);
+        let adjusted = adjust_weights(&secure, &reports, &DynamicPolicy::default());
+        assert!(adjusted[&ids[0]] < adjusted[&ids[1]]);
+    }
+}

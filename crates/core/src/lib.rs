@@ -1,0 +1,93 @@
+//! # flashflow-core
+//!
+//! **FlashFlow** — a secure speed test for Tor (Traudt, Jansen, Johnson;
+//! ICDCS 2021) — reimplemented as a Rust library against the
+//! `flashflow-simnet`/`flashflow-tornet` substrate.
+//!
+//! FlashFlow measures a Tor relay's capacity by *demonstration*: a team of
+//! measurers opens `s` TCP sockets to the target, builds one-hop
+//! measurement circuits, and blasts cells of random bytes that the target
+//! must decrypt and echo for a `t`-second slot. The estimate is the median
+//! per-second total of measurement traffic plus (ratio-clamped) reported
+//! client traffic. Random spot-checks catch forged echoes; secret
+//! randomized scheduling and the cross-BWAuth median defeat
+//! capacity-on-demand games; lying about client traffic is bounded by
+//! `1/(1−r) = 1.33`.
+//!
+//! ## Module map
+//!
+//! | module | paper section | role |
+//! |---|---|---|
+//! | [`params`] | §6.1, App. E | deployment parameters, excess factor `f` |
+//! | [`team`] | §4, §4.2 | measurement teams, measuring measurers |
+//! | [`alloc`] | §4.2 | greedy capacity allocation |
+//! | [`measure`] | §4.1 | one (or many concurrent) measurement slots |
+//! | [`verify`] | §4.1, §5 | random cell spot-checks |
+//! | [`sequence`] | §4.2 | adaptive re-measurement with doubling |
+//! | [`schedule`] | §4.3 | randomized period schedules, greedy packing |
+//! | [`bwauth`] | §4.3, §7 | period driver, bandwidth files, aggregation |
+//! | [`security`] | §5 | analytical attack bounds |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flashflow_core::prelude::*;
+//! use flashflow_simnet::prelude::*;
+//! use flashflow_tornet::prelude::*;
+//!
+//! // A target relay rate-limited to 250 Mbit/s on US-SW, measured by a
+//! // two-host team.
+//! let mut tor = TorNet::new();
+//! let m1 = tor.add_host(HostProfile::us_e());
+//! let m2 = tor.add_host(HostProfile::host_nl());
+//! let host = tor.add_host(HostProfile::us_sw());
+//! let relay = tor.add_relay(host,
+//!     RelayConfig::new("target").with_rate_limit(Rate::from_mbit(250.0)));
+//!
+//! let team = Team::with_capacities(&[
+//!     (m1, Rate::from_mbit(941.0)),
+//!     (m2, Rate::from_mbit(1611.0)),
+//! ]);
+//! let params = Params::paper();
+//! let mut rng = SimRng::seed_from_u64(1);
+//! let m = measure_once(&mut tor, relay, &team, Rate::from_mbit(250.0),
+//!                      &params, &mut rng).unwrap();
+//! let mbit = m.estimate.as_mbit();
+//! assert!((200.0..=270.0).contains(&mbit));
+//! ```
+
+pub mod alloc;
+pub mod bwauth;
+pub mod dynamic;
+pub mod measure;
+pub mod params;
+pub mod schedule;
+pub mod security;
+pub mod sequence;
+pub mod sybil;
+pub mod team;
+pub mod verify;
+
+pub use params::Params;
+
+/// Convenient glob-import of the most used types.
+pub mod prelude {
+    pub use crate::alloc::{greedy_allocate, greedy_allocate_rates, AllocError};
+    pub use crate::bwauth::{aggregate_bwauths, BandwidthFile, BwAuth, BwEntry};
+    pub use crate::measure::{
+        assignments_for, measure_once, run_concurrent_measurements, run_measurement, Assignment,
+        BatchItem, Measurement, SecondSample,
+    };
+    pub use crate::params::Params;
+    pub use crate::schedule::{
+        assign_new_relay, build_randomized_schedule, greedy_pack, Planned, Schedule,
+    };
+    pub use crate::security::{
+        capacity_on_demand_failure_probability, max_inflation_factor, summarize,
+    };
+    pub use crate::sequence::{measure_relay, new_relay_prior, SequenceEnd, SequenceOutcome};
+    pub use crate::dynamic::{adjust_weights, DynamicPolicy, DynamicReport};
+    pub use crate::sybil::{measure_family, FamilyMeasurement};
+    pub use crate::team::{Measurer, Team};
+    pub use crate::verify::{evasion_probability, spot_check, TargetBehavior, VerificationOutcome};
+}

@@ -1,0 +1,335 @@
+//! Measurement scheduling across a period (§4.3) and the greedy
+//! whole-network packing used for the §7 speed estimate.
+//!
+//! Time is divided into `t`-second slots over a (24-hour) measurement
+//! period. To frustrate targeted denial-of-service and
+//! capacity-only-when-watched attacks, each old relay's slot is selected
+//! *uniformly at random without replacement* from the slots that still
+//! have enough unallocated team capacity, using pseudorandom bits derived
+//! from a seed the BWAuths share secretly. New relays are measured in the
+//! first slots with spare capacity, first-come first-served.
+
+use flashflow_simnet::rng::SimRng;
+use flashflow_simnet::units::Rate;
+use flashflow_tornet::relay::RelayId;
+
+use crate::params::Params;
+
+/// One planned measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Planned {
+    /// The relay to measure.
+    pub relay: RelayId,
+    /// Team capacity reserved for it (`f · z₀`).
+    pub demand: Rate,
+}
+
+/// A period's measurement schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Planned measurements per slot.
+    pub slots: Vec<Vec<Planned>>,
+    /// The team capacity every slot shares.
+    pub slot_capacity: Rate,
+}
+
+impl Schedule {
+    /// An empty schedule with `n_slots` slots.
+    pub fn empty(n_slots: usize, slot_capacity: Rate) -> Self {
+        Schedule { slots: vec![Vec::new(); n_slots], slot_capacity }
+    }
+
+    /// Capacity still unallocated in a slot.
+    pub fn free_capacity(&self, slot: usize) -> Rate {
+        let used: Rate = self.slots[slot].iter().map(|p| p.demand).sum();
+        self.slot_capacity - used
+    }
+
+    /// Whether `demand` fits into `slot`.
+    pub fn fits(&self, slot: usize, demand: Rate) -> bool {
+        self.free_capacity(slot).bytes_per_sec() + 1e-9 >= demand.bytes_per_sec()
+    }
+
+    /// Adds a planned measurement.
+    ///
+    /// # Panics
+    /// Panics if it does not fit.
+    pub fn insert(&mut self, slot: usize, planned: Planned) {
+        assert!(self.fits(slot, planned.demand), "slot {slot} cannot fit {planned:?}");
+        self.slots[slot].push(planned);
+    }
+
+    /// Total planned measurements.
+    pub fn measurement_count(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+
+    /// Index of the last non-empty slot, if any.
+    pub fn last_busy_slot(&self) -> Option<usize> {
+        self.slots.iter().rposition(|s| !s.is_empty())
+    }
+}
+
+/// Scheduling failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScheduleError {
+    /// A relay's demand exceeds the whole team capacity; it can never be
+    /// scheduled.
+    DemandExceedsTeam {
+        /// The relay in question.
+        relay: RelayId,
+        /// Its demand (bytes/s).
+        demand: f64,
+    },
+    /// The period has no slot with room left for some relay.
+    PeriodFull {
+        /// The relay that could not be placed.
+        relay: RelayId,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::DemandExceedsTeam { relay, demand } => write!(
+                f,
+                "relay {relay:?} needs {:.1} Mbit/s, beyond the team",
+                demand * 8.0 / 1e6
+            ),
+            ScheduleError::PeriodFull { relay } => {
+                write!(f, "no slot has room for relay {relay:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Builds the randomized period schedule for the given *old* relays
+/// (§4.3). `relays` carries each relay's current estimate `z₀`; the
+/// demand is `f·z₀`. Slots are chosen uniformly at random among those
+/// with sufficient free capacity, from a deterministic seed (the
+/// BWAuths' shared secret randomness).
+///
+/// # Errors
+/// [`ScheduleError`] if a relay cannot be placed.
+pub fn build_randomized_schedule(
+    relays: &[(RelayId, Rate)],
+    team_capacity: Rate,
+    params: &Params,
+    seed: u64,
+) -> Result<Schedule, ScheduleError> {
+    let n_slots = params.slots_per_period() as usize;
+    let mut schedule = Schedule::empty(n_slots, team_capacity);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let f = params.excess_factor();
+
+    for (relay, z0) in relays {
+        let demand = Rate::from_bytes_per_sec(f * z0.bytes_per_sec());
+        if demand.bytes_per_sec() > team_capacity.bytes_per_sec() + 1e-9 {
+            return Err(ScheduleError::DemandExceedsTeam {
+                relay: *relay,
+                demand: demand.bytes_per_sec(),
+            });
+        }
+        let feasible: Vec<usize> =
+            (0..n_slots).filter(|s| schedule.fits(*s, demand)).collect();
+        if feasible.is_empty() {
+            return Err(ScheduleError::PeriodFull { relay: *relay });
+        }
+        let slot = feasible[rng.gen_index(feasible.len())];
+        schedule.insert(slot, Planned { relay: *relay, demand });
+    }
+    Ok(schedule)
+}
+
+/// Places a *new* relay into the earliest slot at or after `from_slot`
+/// with room (§4.3: new relays are measured "in the first slots with
+/// sufficient unallocated capacity", FCFS). Returns the slot index.
+///
+/// # Errors
+/// [`ScheduleError`] if no remaining slot fits.
+pub fn assign_new_relay(
+    schedule: &mut Schedule,
+    relay: RelayId,
+    prior: Rate,
+    params: &Params,
+    from_slot: usize,
+) -> Result<usize, ScheduleError> {
+    let demand = Rate::from_bytes_per_sec(params.excess_factor() * prior.bytes_per_sec());
+    if demand.bytes_per_sec() > schedule.slot_capacity.bytes_per_sec() + 1e-9 {
+        return Err(ScheduleError::DemandExceedsTeam { relay, demand: demand.bytes_per_sec() });
+    }
+    for slot in from_slot..schedule.slots.len() {
+        if schedule.fits(slot, demand) {
+            schedule.insert(slot, Planned { relay, demand });
+            return Ok(slot);
+        }
+    }
+    Err(ScheduleError::PeriodFull { relay })
+}
+
+/// The §7 speed estimate: packs all relays into as few slots as possible
+/// with the paper's greedy rule — fill each slot in order, repeatedly
+/// choosing the *largest* relay that still fits. Returns the packed
+/// schedule (slot count × `t` = total measurement time).
+///
+/// # Errors
+/// [`ScheduleError::DemandExceedsTeam`] if some relay cannot fit even in
+/// an empty slot.
+pub fn greedy_pack(
+    relays: &[(RelayId, Rate)],
+    team_capacity: Rate,
+    params: &Params,
+) -> Result<Schedule, ScheduleError> {
+    let f = params.excess_factor();
+    // Demands, largest first.
+    let mut remaining: Vec<Planned> = relays
+        .iter()
+        .map(|(relay, z0)| Planned {
+            relay: *relay,
+            demand: Rate::from_bytes_per_sec(f * z0.bytes_per_sec()),
+        })
+        .collect();
+    for p in &remaining {
+        if p.demand.bytes_per_sec() > team_capacity.bytes_per_sec() + 1e-9 {
+            return Err(ScheduleError::DemandExceedsTeam {
+                relay: p.relay,
+                demand: p.demand.bytes_per_sec(),
+            });
+        }
+    }
+    remaining.sort_by(|a, b| {
+        b.demand
+            .bytes_per_sec()
+            .partial_cmp(&a.demand.bytes_per_sec())
+            .expect("finite demands")
+    });
+
+    let mut slots: Vec<Vec<Planned>> = Vec::new();
+    while !remaining.is_empty() {
+        let mut slot: Vec<Planned> = Vec::new();
+        let mut free = team_capacity.bytes_per_sec();
+        // Repeatedly take the largest remaining relay that fits. The list
+        // is sorted descending, so scan once.
+        let mut i = 0;
+        while i < remaining.len() {
+            if remaining[i].demand.bytes_per_sec() <= free + 1e-9 {
+                let p = remaining.remove(i);
+                free -= p.demand.bytes_per_sec();
+                slot.push(p);
+            } else {
+                i += 1;
+            }
+        }
+        debug_assert!(!slot.is_empty(), "every relay fits an empty slot");
+        slots.push(slot);
+    }
+    Ok(Schedule { slots, slot_capacity: team_capacity })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashflow_simnet::time::SimDuration;
+
+    fn rid(i: usize) -> RelayId {
+        // Fabricate ids through a scratch TorNet to respect privacy of the
+        // constructor.
+        let mut tor = flashflow_tornet::netbuild::TorNet::new();
+        let h = tor.add_host(flashflow_simnet::host::HostProfile::new(
+            "h",
+            Rate::from_gbit(1.0),
+        ));
+        let mut last = None;
+        for k in 0..=i {
+            last = Some(tor.add_relay(h, flashflow_tornet::relay::RelayConfig::new(format!("r{k}"))));
+        }
+        last.unwrap()
+    }
+
+    fn params() -> Params {
+        Params::paper()
+    }
+
+    #[test]
+    fn randomized_schedule_places_every_relay() {
+        let relays: Vec<(RelayId, Rate)> =
+            (0..50).map(|i| (rid(i), Rate::from_mbit(50.0))).collect();
+        let schedule =
+            build_randomized_schedule(&relays, Rate::from_gbit(3.0), &params(), 1234).unwrap();
+        assert_eq!(schedule.measurement_count(), 50);
+        // No slot over-allocated.
+        for s in 0..schedule.slots.len() {
+            assert!(schedule.free_capacity(s).bytes_per_sec() >= -1.0);
+        }
+    }
+
+    #[test]
+    fn randomized_schedule_is_seed_deterministic() {
+        let relays: Vec<(RelayId, Rate)> =
+            (0..20).map(|i| (rid(i), Rate::from_mbit(100.0))).collect();
+        let a = build_randomized_schedule(&relays, Rate::from_gbit(3.0), &params(), 9).unwrap();
+        let b = build_randomized_schedule(&relays, Rate::from_gbit(3.0), &params(), 9).unwrap();
+        assert_eq!(a, b);
+        let c = build_randomized_schedule(&relays, Rate::from_gbit(3.0), &params(), 10).unwrap();
+        assert_ne!(a, c, "different seeds should shuffle slots");
+    }
+
+    #[test]
+    fn oversized_relay_rejected() {
+        let relays = vec![(rid(0), Rate::from_gbit(2.0))];
+        let err = build_randomized_schedule(&relays, Rate::from_gbit(3.0), &params(), 1);
+        assert!(matches!(err, Err(ScheduleError::DemandExceedsTeam { .. })));
+    }
+
+    #[test]
+    fn new_relay_goes_to_first_free_slot() {
+        let mut schedule = Schedule::empty(10, Rate::from_gbit(3.0));
+        // Fill slot 0 completely.
+        schedule.insert(0, Planned { relay: rid(0), demand: Rate::from_gbit(3.0) });
+        let slot = assign_new_relay(&mut schedule, rid(1), Rate::from_mbit(51.0), &params(), 0)
+            .unwrap();
+        assert_eq!(slot, 1);
+    }
+
+    #[test]
+    fn greedy_pack_matches_hand_example() {
+        // Team 3.0, demands (already ×f≈2.95): use capacities that map to
+        // demands 2.0, 1.0, 1.0, 0.9 by picking z0 = d/f.
+        let f = params().excess_factor();
+        let relays: Vec<(RelayId, Rate)> = [2.0, 1.0, 1.0, 0.9]
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (rid(i), Rate::from_gbit(*d / f)))
+            .collect();
+        let schedule = greedy_pack(&relays, Rate::from_gbit(3.0), &params()).unwrap();
+        // Slot 0: 2.0 + 1.0; slot 1: 1.0 + 0.9.
+        assert_eq!(schedule.slots.len(), 2);
+        assert_eq!(schedule.slots[0].len(), 2);
+        assert_eq!(schedule.slots[1].len(), 2);
+    }
+
+    #[test]
+    fn greedy_pack_total_time() {
+        // 100 relays of 100 Mbit/s each: demand ≈ 295 Mbit/s, 10 per
+        // 3 Gbit/s slot → 10 slots → 300 s.
+        let relays: Vec<(RelayId, Rate)> =
+            (0..100).map(|i| (rid(i), Rate::from_mbit(100.0))).collect();
+        let p = params();
+        let schedule = greedy_pack(&relays, Rate::from_gbit(3.0), &p).unwrap();
+        assert_eq!(schedule.slots.len(), 10);
+        let total = p.slot * schedule.slots.len() as u64;
+        assert_eq!(total, SimDuration::from_secs(300));
+    }
+
+    #[test]
+    fn schedule_capacity_accounting() {
+        let mut s = Schedule::empty(2, Rate::from_mbit(100.0));
+        assert!(s.fits(0, Rate::from_mbit(60.0)));
+        s.insert(0, Planned { relay: rid(0), demand: Rate::from_mbit(60.0) });
+        assert!(!s.fits(0, Rate::from_mbit(60.0)));
+        assert!(s.fits(0, Rate::from_mbit(40.0)));
+        assert_eq!(s.last_busy_slot(), Some(0));
+    }
+}

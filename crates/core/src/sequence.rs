@@ -1,0 +1,252 @@
+//! Measuring a relay: the adaptive sequence of measurements (§4.2).
+//!
+//! The measurer capacity an accurate measurement needs is unknown in
+//! advance, so FlashFlow guesses from the relay's existing estimate `z₀`
+//! (or, for new relays, the 75th-percentile capacity over the last
+//! month), allocates `f·z₀`, measures, and accepts the result `z` only if
+//! `z < Σaᵢ(1−ε₁)/m` — i.e. only if the estimate is small enough that it
+//! could not have been clipped by the allocation itself. Otherwise it
+//! sets `z₀ ← max(z, 2z₀)` (at least doubling the allocation) and
+//! retries.
+
+use flashflow_simnet::rng::SimRng;
+use flashflow_simnet::stats::quantile;
+use flashflow_simnet::units::Rate;
+use flashflow_tornet::netbuild::TorNet;
+use flashflow_tornet::relay::RelayId;
+
+use crate::alloc::AllocError;
+use crate::measure::{assignments_for, run_measurement, Measurement};
+use crate::params::Params;
+use crate::team::Team;
+use crate::verify::TargetBehavior;
+
+/// Why a relay-measurement sequence ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SequenceEnd {
+    /// The acceptance test passed: the estimate is conclusive.
+    Converged,
+    /// The team ran out of capacity before the estimate converged; the
+    /// final (unaccepted) estimate is a lower bound.
+    TeamExhausted,
+    /// A content spot-check failed; the relay is misbehaving and gets no
+    /// estimate.
+    VerificationFailed,
+}
+
+/// The outcome of measuring one relay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceOutcome {
+    /// The final capacity estimate (meaning depends on `end`).
+    pub estimate: Rate,
+    /// Every measurement taken, in order.
+    pub rounds: Vec<Measurement>,
+    /// How the sequence ended.
+    pub end: SequenceEnd,
+}
+
+impl SequenceOutcome {
+    /// True if the sequence produced an accepted estimate.
+    pub fn converged(&self) -> bool {
+        self.end == SequenceEnd::Converged
+    }
+}
+
+/// The prior for a relay that has no usable estimate: the 75th percentile
+/// of the capacities measured across the network in the last month
+/// (§4.2 "Measuring New Relays").
+pub fn new_relay_prior(recent_capacities: &[f64]) -> Rate {
+    let q = quantile(recent_capacities, 0.75).unwrap_or(0.0);
+    Rate::from_bytes_per_sec(q.max(1.0))
+}
+
+/// Measures `target` to convergence with up to `max_rounds` measurements.
+///
+/// `behavior` selects the target's echo honesty; `reserved` carries
+/// capacity already committed to concurrent measurements at each team
+/// member.
+///
+/// # Errors
+/// Returns the allocation error if even the *initial* allocation is
+/// impossible (the caller chose a prior beyond the team).
+pub fn measure_relay(
+    tor: &mut TorNet,
+    target: RelayId,
+    team: &Team,
+    prior: Rate,
+    params: &Params,
+    behavior: TargetBehavior,
+    rng: &mut SimRng,
+    max_rounds: u32,
+) -> Result<SequenceOutcome, AllocError> {
+    assert!(max_rounds >= 1, "need at least one round");
+    let reserved = vec![Rate::ZERO; team.len()];
+    let mut z0 = prior;
+    let mut rounds: Vec<Measurement> = Vec::new();
+
+    for _ in 0..max_rounds {
+        let allocations = match team.allocate(z0, params, &reserved) {
+            Ok(a) => a,
+            Err(e) => {
+                if rounds.is_empty() {
+                    return Err(e);
+                }
+                // Cannot grow the allocation any further: best effort.
+                let estimate = rounds.last().expect("non-empty").estimate;
+                return Ok(SequenceOutcome { estimate, rounds, end: SequenceEnd::TeamExhausted });
+            }
+        };
+        let assignments = assignments_for(team, &allocations, params);
+        let m = run_measurement(tor, target, &assignments, params, behavior, rng);
+
+        if !m.verified() {
+            rounds.push(m);
+            return Ok(SequenceOutcome {
+                estimate: Rate::ZERO,
+                rounds,
+                end: SequenceEnd::VerificationFailed,
+            });
+        }
+
+        let conclusive = m.conclusive(params);
+        let z = m.estimate;
+        rounds.push(m);
+        if conclusive {
+            return Ok(SequenceOutcome { estimate: z, rounds, end: SequenceEnd::Converged });
+        }
+        // §4.2: z0 ← max(z, 2·z0) guarantees at least a doubling.
+        z0 = Rate::from_bytes_per_sec(z.bytes_per_sec().max(2.0 * z0.bytes_per_sec()));
+
+        // If the next allocation would exceed the whole team, try the
+        // full team once before giving up.
+        let needed = params.excess_factor() * z0.bytes_per_sec();
+        let total = team.total_capacity().bytes_per_sec();
+        if needed > total {
+            z0 = Rate::from_bytes_per_sec(total / params.excess_factor());
+        }
+    }
+
+    let estimate = rounds.last().expect("at least one round ran").estimate;
+    Ok(SequenceOutcome { estimate, rounds, end: SequenceEnd::TeamExhausted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashflow_simnet::host::HostProfile;
+    use flashflow_simnet::time::SimDuration;
+    use flashflow_tornet::relay::RelayConfig;
+
+    fn testbed(limit_mbit: Option<f64>) -> (TorNet, Team, RelayId) {
+        let mut tor = TorNet::new();
+        let m1 = tor.add_host(HostProfile::us_e());
+        let m2 = tor.add_host(HostProfile::host_nl());
+        let m3 = tor.add_host(HostProfile::host_in());
+        let target_host = tor.add_host(HostProfile::us_sw());
+        tor.net.set_rtt(m1, target_host, SimDuration::from_millis(62));
+        tor.net.set_rtt(m2, target_host, SimDuration::from_millis(137));
+        tor.net.set_rtt(m3, target_host, SimDuration::from_millis(210));
+        let mut config = RelayConfig::new("target");
+        if let Some(l) = limit_mbit {
+            config = config.with_rate_limit(Rate::from_mbit(l));
+        }
+        let relay = tor.add_relay(target_host, config);
+        let team = Team::with_capacities(&[
+            (m1, Rate::from_mbit(941.0)),
+            (m2, Rate::from_mbit(1611.0)),
+            (m3, Rate::from_mbit(1076.0)),
+        ]);
+        (tor, team, relay)
+    }
+
+    #[test]
+    fn correct_prior_converges_in_one_round() {
+        let (mut tor, team, relay) = testbed(Some(250.0));
+        let params = Params::paper();
+        let mut rng = SimRng::seed_from_u64(7);
+        let out = measure_relay(
+            &mut tor,
+            relay,
+            &team,
+            Rate::from_mbit(250.0),
+            &params,
+            TargetBehavior::Honest,
+            &mut rng,
+            5,
+        )
+        .unwrap();
+        assert!(out.converged());
+        assert_eq!(out.rounds.len(), 1, "a correct prior should conclude immediately");
+        let est = out.estimate.as_mbit();
+        assert!((200.0..=270.0).contains(&est), "estimate {est}");
+    }
+
+    #[test]
+    fn low_prior_doubles_until_converged() {
+        let (mut tor, team, relay) = testbed(Some(500.0));
+        let params = Params::paper();
+        let mut rng = SimRng::seed_from_u64(8);
+        let out = measure_relay(
+            &mut tor,
+            relay,
+            &team,
+            Rate::from_mbit(50.0), // 10× undershoot
+            &params,
+            TargetBehavior::Honest,
+            &mut rng,
+            8,
+        )
+        .unwrap();
+        assert!(out.converged(), "ended {:?} after {} rounds", out.end, out.rounds.len());
+        assert!(out.rounds.len() >= 2, "undershoot must trigger re-measurement");
+        let est = out.estimate.as_mbit();
+        assert!((400.0..=540.0).contains(&est), "estimate {est}");
+    }
+
+    #[test]
+    fn verification_failure_aborts() {
+        let (mut tor, team, relay) = testbed(Some(500.0));
+        let params = Params::paper();
+        let mut rng = SimRng::seed_from_u64(9);
+        let out = measure_relay(
+            &mut tor,
+            relay,
+            &team,
+            Rate::from_mbit(500.0),
+            &params,
+            TargetBehavior::Forging { fraction: 1.0 },
+            &mut rng,
+            5,
+        )
+        .unwrap();
+        assert_eq!(out.end, SequenceEnd::VerificationFailed);
+        assert_eq!(out.estimate, Rate::ZERO);
+    }
+
+    #[test]
+    fn new_relay_prior_is_75th_percentile() {
+        let capacities: Vec<f64> = (1..=100).map(|i| i as f64 * 1e6).collect();
+        let prior = new_relay_prior(&capacities);
+        assert!((prior.bytes_per_sec() - 75.25e6).abs() < 1e4, "{prior}");
+        // Empty history falls back to a tiny positive prior.
+        assert!(new_relay_prior(&[]).bytes_per_sec() >= 1.0);
+    }
+
+    #[test]
+    fn prior_beyond_team_errors() {
+        let (mut tor, team, relay) = testbed(None);
+        let params = Params::paper();
+        let mut rng = SimRng::seed_from_u64(10);
+        let err = measure_relay(
+            &mut tor,
+            relay,
+            &team,
+            Rate::from_gbit(100.0),
+            &params,
+            TargetBehavior::Honest,
+            &mut rng,
+            3,
+        );
+        assert!(err.is_err());
+    }
+}

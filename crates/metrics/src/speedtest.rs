@@ -1,0 +1,273 @@
+//! The §3.4 relay speed-test experiment (Figure 5).
+//!
+//! The authors flooded every live Tor relay with SPEEDTEST cells for 20
+//! seconds each over a 51-hour campaign. The flood pushes each relay's
+//! observed-bandwidth heuristic through a full-capacity 10-second window,
+//! so its next descriptor advertises (≈) its true capacity: the network's
+//! estimated capacity jumped by ≈200 Gbit/s (≈50%), and the network
+//! weight error (Eq. 6) rose 5–10% because consensus weights lagged the
+//! suddenly-accurate capacity estimates; both decayed as the 5-day
+//! observed-bandwidth history expired and TorFlow re-balanced.
+//!
+//! This module reproduces the experiment over the synthetic relay model:
+//! the same utilisation, observed-bandwidth, and descriptor-publication
+//! mechanics as [`crate::synth`], plus the flood event and a lagging
+//! weight response.
+
+use flashflow_simnet::rng::SimRng;
+
+use crate::archive::trailing_max;
+
+/// Configuration of the speed-test simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedTestConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Total simulated days.
+    pub days: f64,
+    /// Hours per step (1 h resolves the Fig. 5 dynamics).
+    pub step_hours: f64,
+    /// Number of relays.
+    pub relays: usize,
+    /// When the flood starts, in days from the simulation start.
+    pub flood_start_day: f64,
+    /// Flood campaign length in hours (the paper's ran 51 h).
+    pub flood_hours: f64,
+    /// Fraction of relays whose speed test times out (paper: 2,132 of
+    /// 6,999 ≈ 0.30).
+    pub timeout_probability: f64,
+    /// How long consensus weights lag advertised-bandwidth changes
+    /// (TorFlow's response time).
+    pub weight_lag_hours: f64,
+    /// Mean long-run utilisation (drives the ≈50% underestimation).
+    pub utilization_mean: f64,
+    /// Median relay capacity (bytes/s).
+    pub median_capacity: f64,
+    /// Log-std-dev of capacities.
+    pub capacity_sigma: f64,
+}
+
+impl SpeedTestConfig {
+    /// A configuration shaped like the paper's August 2019 experiment.
+    pub fn paper_scale(seed: u64) -> Self {
+        SpeedTestConfig {
+            seed,
+            days: 14.0,
+            step_hours: 1.0,
+            relays: 700,
+            flood_start_day: 4.0,
+            flood_hours: 51.0,
+            timeout_probability: 0.30,
+            weight_lag_hours: 36.0,
+            utilization_mean: 0.42,
+            median_capacity: 12.5e6,
+            capacity_sigma: 1.2,
+        }
+    }
+
+    /// A small, fast configuration for tests.
+    pub fn test_scale(seed: u64) -> Self {
+        SpeedTestConfig { relays: 120, ..SpeedTestConfig::paper_scale(seed) }
+    }
+
+    /// Steps on the grid.
+    pub fn steps(&self) -> usize {
+        (self.days * 24.0 / self.step_hours).round() as usize
+    }
+}
+
+/// The simulation output: the two series Fig. 5 plots, plus counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedTestOutcome {
+    /// Estimated network capacity (Σ advertised, bytes/s) per step.
+    pub capacity_series: Vec<f64>,
+    /// Network weight error (Eq. 6 against the advertised-derived
+    /// capacity estimates) per step.
+    pub weight_error_series: Vec<f64>,
+    /// Step at which the flood begins.
+    pub flood_start_step: usize,
+    /// Step at which the flood ends.
+    pub flood_end_step: usize,
+    /// Relays successfully measured.
+    pub measured: usize,
+    /// Relays that timed out.
+    pub timeouts: usize,
+    /// True total capacity (bytes/s).
+    pub true_total_capacity: f64,
+}
+
+impl SpeedTestOutcome {
+    /// Estimated network capacity just before the flood.
+    pub fn baseline_capacity(&self) -> f64 {
+        self.capacity_series[self.flood_start_step.saturating_sub(1)]
+    }
+
+    /// Peak estimated capacity after the flood starts.
+    pub fn peak_capacity(&self) -> f64 {
+        self.capacity_series[self.flood_start_step..]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
+    /// The §3.4 headline: the relative capacity increase the flood
+    /// reveals (the paper found ≈50%).
+    pub fn discovered_fraction(&self) -> f64 {
+        (self.peak_capacity() - self.baseline_capacity()) / self.baseline_capacity()
+    }
+}
+
+/// Runs the speed-test experiment.
+pub fn run_speed_test(cfg: &SpeedTestConfig) -> SpeedTestOutcome {
+    let steps = cfg.steps();
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    let flood_start = (cfg.flood_start_day * 24.0 / cfg.step_hours).round() as usize;
+    let flood_len = (cfg.flood_hours / cfg.step_hours).round() as usize;
+    let flood_end = (flood_start + flood_len).min(steps);
+    let window_5d = ((5.0 * 24.0) / cfg.step_hours).round() as usize;
+    let publish_every = ((18.0 / cfg.step_hours).round() as usize).max(1);
+    let weight_lag = (cfg.weight_lag_hours / cfg.step_hours).round() as usize;
+
+    let mut advertised_all: Vec<Vec<f64>> = Vec::with_capacity(cfg.relays);
+    let mut capacities: Vec<f64> = Vec::with_capacity(cfg.relays);
+    let mut measured = 0usize;
+    let mut timeouts = 0usize;
+
+    for i in 0..cfg.relays {
+        let capacity = cfg.median_capacity * rng.gen_lognormal(0.0, cfg.capacity_sigma);
+        capacities.push(capacity);
+        let timed_out = rng.gen_bool(cfg.timeout_probability);
+        if timed_out {
+            timeouts += 1;
+        } else {
+            measured += 1;
+        }
+        // The campaign sweeps relays one at a time: this relay's 20-second
+        // flood lands at a uniformly random step of the campaign.
+        let flood_step = flood_start + rng.gen_index(flood_len.max(1));
+
+        let base = (cfg.utilization_mean + rng.gen_normal(0.0, 0.15)).clamp(0.05, 0.9);
+        let slow_ar = 0.995f64;
+        let fast_ar = 0.6f64;
+        let mut slow = 0.0f64;
+        let mut fast = 0.0f64;
+        let mut throughput = Vec::with_capacity(steps);
+        for t in 0..steps {
+            slow = slow_ar * slow + rng.gen_normal(0.0, (1.0 - slow_ar * slow_ar).sqrt() * 0.15);
+            fast = fast_ar * fast + rng.gen_normal(0.0, (1.0 - fast_ar * fast_ar).sqrt() * 0.08);
+            let mut tp = capacity * (base + slow + fast).clamp(0.0, 1.0);
+            // The 20-second flood saturates the relay: the 10-second
+            // observed-bandwidth window inside this step sees capacity.
+            if !timed_out && t == flood_step {
+                tp = capacity;
+            }
+            throughput.push(tp);
+        }
+
+        let observed = trailing_max(&throughput, window_5d);
+        let mut advertised = Vec::with_capacity(steps);
+        let mut current = observed[0];
+        for (t, &o) in observed.iter().enumerate() {
+            if t % publish_every == 0 {
+                current = o;
+            }
+            advertised.push(current.min(capacity));
+        }
+        advertised_all.push(advertised);
+        let _ = i;
+    }
+
+    // Consensus weights: advertised lagged by TorFlow's response time,
+    // with mild measurement noise.
+    let mut weight_all: Vec<Vec<f64>> = Vec::with_capacity(cfg.relays);
+    for adv in &advertised_all {
+        let mut log_ratio = rng.gen_normal(0.0, 0.25);
+        let ratio_ar = 0.99f64;
+        let weights: Vec<f64> = (0..steps)
+            .map(|t| {
+                log_ratio = ratio_ar * log_ratio + rng.gen_normal(0.0, 0.035);
+                let lagged = adv[t.saturating_sub(weight_lag)];
+                lagged * log_ratio.exp()
+            })
+            .collect();
+        weight_all.push(weights);
+    }
+
+    // Series: Σ advertised, and Eq. 6 against the advertised estimates.
+    let capacity_series: Vec<f64> = (0..steps)
+        .map(|t| advertised_all.iter().map(|a| a[t]).sum())
+        .collect();
+    let weight_error_series: Vec<f64> = (0..steps)
+        .map(|t| {
+            let total_w: f64 = weight_all.iter().map(|w| w[t]).sum();
+            let total_c: f64 = capacity_series[t];
+            let mut tv = 0.0;
+            for (w, a) in weight_all.iter().zip(&advertised_all) {
+                tv += (w[t] / total_w - a[t] / total_c).abs();
+            }
+            tv / 2.0
+        })
+        .collect();
+
+    SpeedTestOutcome {
+        capacity_series,
+        weight_error_series,
+        flood_start_step: flood_start,
+        flood_end_step: flood_end,
+        measured,
+        timeouts,
+        true_total_capacity: capacities.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashflow_simnet::stats::mean;
+
+    #[test]
+    fn flood_discovers_hidden_capacity() {
+        let out = run_speed_test(&SpeedTestConfig::test_scale(3));
+        let discovered = out.discovered_fraction();
+        // Paper: ≈50%. Accept a generous band around it.
+        assert!((0.2..1.0).contains(&discovered), "discovered {discovered:.2}");
+    }
+
+    #[test]
+    fn capacity_decays_after_five_days() {
+        let out = run_speed_test(&SpeedTestConfig::test_scale(4));
+        let peak = out.peak_capacity();
+        let last = *out.capacity_series.last().unwrap();
+        assert!(last < peak * 0.85, "capacity should decay: peak {peak:.3e}, last {last:.3e}");
+    }
+
+    #[test]
+    fn weight_error_rises_during_flood() {
+        let out = run_speed_test(&SpeedTestConfig::test_scale(5));
+        let before = mean(
+            &out.weight_error_series[out.flood_start_step.saturating_sub(24)..out.flood_start_step],
+        )
+        .unwrap();
+        let campaign_end = out.flood_end_step.min(out.weight_error_series.len() - 1);
+        let during = mean(&out.weight_error_series[out.flood_start_step..=campaign_end]).unwrap();
+        assert!(
+            during > before + 0.02,
+            "weight error should rise: before {before:.3}, during {during:.3}"
+        );
+    }
+
+    #[test]
+    fn timeout_fraction_matches_config() {
+        let out = run_speed_test(&SpeedTestConfig::test_scale(6));
+        let frac = out.timeouts as f64 / (out.timeouts + out.measured) as f64;
+        assert!((frac - 0.30).abs() < 0.12, "timeout fraction {frac:.2}");
+    }
+
+    #[test]
+    fn estimates_stay_below_truth() {
+        let out = run_speed_test(&SpeedTestConfig::test_scale(7));
+        for &c in &out.capacity_series {
+            assert!(c <= out.true_total_capacity * 1.0 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Configuration of the private-network experiments (§7).
+//!
+//! The paper's Shadow testbed is a 5%-scale private Tor network: 3
+//! DirAuths, 328 relays sampled from January 2019 consensuses, 397 TGen
+//! clients generating the traffic of 40k users via Markov models, and 40
+//! benchmark clients performing the 50 KiB / 1 MiB / 5 MiB downloads with
+//! 15/60/120-second timeouts.
+
+use flashflow_simnet::time::SimDuration;
+use flashflow_simnet::units::Rate;
+
+/// Experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Relays in the private network (paper: 328).
+    pub relays: usize,
+    /// Directory authorities (paper: 3).
+    pub dirauths: usize,
+    /// Markov traffic-generator clients (paper: 397).
+    pub markov_clients: usize,
+    /// Benchmark clients (paper: 40).
+    pub benchmark_clients: usize,
+    /// Hosts in the shared client pool.
+    pub client_hosts: usize,
+    /// Hosts in the destination-server pool.
+    pub server_hosts: usize,
+    /// Warm-up time before any measurement (lets observed bandwidths
+    /// form).
+    pub warmup: SimDuration,
+    /// Benchmark phase length per load level.
+    pub bench_duration: SimDuration,
+    /// Median relay capacity (bytes/s); the distribution is log-normal
+    /// like the consensus.
+    pub median_capacity: f64,
+    /// Log-std-dev of relay capacities.
+    pub capacity_sigma: f64,
+    /// FlashFlow measurement team: measurer count × capacity each.
+    pub team_measurers: usize,
+    /// Capacity per measurer.
+    pub team_capacity_each: Rate,
+}
+
+impl ShadowConfig {
+    /// The paper's full 5%-scale configuration.
+    pub fn paper_scale(seed: u64) -> Self {
+        ShadowConfig {
+            seed,
+            relays: 328,
+            dirauths: 3,
+            markov_clients: 397,
+            benchmark_clients: 40,
+            client_hosts: 24,
+            server_hosts: 8,
+            warmup: SimDuration::from_secs(240),
+            bench_duration: SimDuration::from_secs(420),
+            median_capacity: 2.5e6, // 20 Mbit/s median relay
+            capacity_sigma: 1.1,
+            team_measurers: 3,
+            team_capacity_each: Rate::from_gbit(1.0),
+        }
+    }
+
+    /// A small, fast configuration for tests.
+    pub fn test_scale(seed: u64) -> Self {
+        ShadowConfig {
+            relays: 24,
+            markov_clients: 40,
+            benchmark_clients: 8,
+            client_hosts: 6,
+            server_hosts: 3,
+            warmup: SimDuration::from_secs(90),
+            bench_duration: SimDuration::from_secs(120),
+            ..ShadowConfig::paper_scale(seed)
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on degenerate settings.
+    pub fn validate(&self) {
+        assert!(self.relays >= 3, "need at least 3 relays for circuits");
+        assert!(self.client_hosts >= 1 && self.server_hosts >= 1, "need host pools");
+        assert!(self.team_measurers >= 1, "need a measurement team");
+        assert!(self.median_capacity > 0.0, "capacities must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_paper() {
+        let c = ShadowConfig::paper_scale(1);
+        c.validate();
+        assert_eq!(c.relays, 328);
+        assert_eq!(c.dirauths, 3);
+        assert_eq!(c.markov_clients, 397);
+        assert_eq!(c.benchmark_clients, 40);
+        assert_eq!(c.team_measurers, 3);
+        assert_eq!(c.team_capacity_each, Rate::from_gbit(1.0));
+    }
+
+    #[test]
+    fn test_scale_is_smaller_but_valid() {
+        let c = ShadowConfig::test_scale(1);
+        c.validate();
+        assert!(c.relays < ShadowConfig::paper_scale(1).relays);
+    }
+}

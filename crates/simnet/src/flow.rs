@@ -1,0 +1,334 @@
+//! Weighted max-min fair rate allocation (progressive filling).
+//!
+//! A *flow* is a unidirectional fluid stream crossing an ordered set of
+//! resources. FlashFlow's echo measurement appears as a single flow whose
+//! path contains the measurer's uplink, the relay's downlink, CPU, and
+//! uplink, and the measurer's downlink — so one allocation captures the full
+//! send/decrypt/return loop.
+//!
+//! The allocator implements the classic progressive-filling algorithm
+//! extended with per-flow weights (a flow aggregating `n` TCP sockets gets
+//! `n` shares at a bottleneck, which is how "more measurement sockets win
+//! more of the relay" emerges naturally) and per-flow rate caps (application
+//! limits, TCP window/BDP limits, scheduler ceilings).
+
+use crate::resource::ResourceId;
+
+/// Description of one fluid flow for the allocator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Resources this flow consumes, in path order. Duplicate entries are
+    /// allowed and count double (a flow looping through the same NIC).
+    pub path: Vec<ResourceId>,
+    /// Relative share weight at a contended resource (≈ socket count).
+    pub weight: f64,
+    /// Number of underlying TCP sockets (drives CPU per-socket overhead).
+    pub sockets: u32,
+    /// Optional absolute rate cap in bytes/sec (app or window limited).
+    pub cap: Option<f64>,
+}
+
+impl FlowSpec {
+    /// A flow over `path` with weight 1 and one socket.
+    pub fn new(path: Vec<ResourceId>) -> Self {
+        FlowSpec { path, weight: 1.0, sockets: 1, cap: None }
+    }
+
+    /// Sets the bottleneck share weight.
+    ///
+    /// # Panics
+    /// Panics if `weight` is not strictly positive and finite.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(weight.is_finite() && weight > 0.0, "bad weight {weight}");
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the socket count (also used as the share weight unless
+    /// overridden).
+    pub fn with_sockets(mut self, sockets: u32) -> Self {
+        self.sockets = sockets;
+        self.weight = f64::from(sockets.max(1));
+        self
+    }
+
+    /// Sets an absolute rate cap in bytes/sec.
+    ///
+    /// # Panics
+    /// Panics if `cap` is negative or not finite.
+    pub fn with_cap(mut self, cap: f64) -> Self {
+        assert!(cap.is_finite() && cap >= 0.0, "bad cap {cap}");
+        self.cap = Some(cap);
+        self
+    }
+}
+
+/// Input view of one flow for [`max_min_rates`].
+#[derive(Debug, Clone)]
+pub struct AllocFlow<'a> {
+    /// Resource indices (into the capacity slice) crossed by the flow.
+    pub path: &'a [ResourceId],
+    /// Share weight.
+    pub weight: f64,
+    /// Optional absolute cap in bytes/sec.
+    pub cap: Option<f64>,
+}
+
+const EPS_REL: f64 = 1e-9;
+
+/// Computes weighted max-min fair rates.
+///
+/// `capacities[i]` is the effective capacity (bytes/sec) of resource `i`
+/// for this allocation round. Returns one rate per flow, in order.
+///
+/// Invariants (verified by property tests):
+/// * no resource is used beyond its capacity;
+/// * no flow exceeds its cap;
+/// * every flow is *bottlenecked*: it sits at its cap or crosses a
+///   saturated resource.
+///
+/// # Panics
+/// Panics if a flow references an out-of-range resource, has a
+/// non-positive weight, or has an empty path and no cap (its fair rate
+/// would be unbounded).
+pub fn max_min_rates(capacities: &[f64], flows: &[AllocFlow<'_>]) -> Vec<f64> {
+    let nr = capacities.len();
+    let nf = flows.len();
+    for (i, f) in flows.iter().enumerate() {
+        assert!(f.weight.is_finite() && f.weight > 0.0, "flow {i}: bad weight {}", f.weight);
+        assert!(
+            !f.path.is_empty() || f.cap.is_some(),
+            "flow {i}: empty path requires a cap"
+        );
+        for r in f.path {
+            assert!(r.index() < nr, "flow {i}: resource {} out of range", r.index());
+        }
+    }
+
+    let mut rates = vec![0.0f64; nf];
+    let mut frozen = vec![false; nf];
+    let mut remaining: Vec<f64> = capacities.iter().map(|c| c.max(0.0)).collect();
+    let mut active = nf;
+
+    while active > 0 {
+        // Weight mass crossing each resource from unfrozen flows. A path may
+        // visit a resource multiple times; each visit consumes capacity.
+        let mut wsum = vec![0.0f64; nr];
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            for r in f.path {
+                wsum[r.index()] += f.weight;
+            }
+        }
+
+        // Tightest resource constraint: the smallest fair share any resource
+        // can still hand out per unit of weight.
+        let mut res_share = f64::INFINITY;
+        for r in 0..nr {
+            if wsum[r] > 0.0 {
+                res_share = res_share.min(remaining[r].max(0.0) / wsum[r]);
+            }
+        }
+
+        // Tightest cap constraint among unfrozen flows.
+        let mut cap_share = f64::INFINITY;
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            if let Some(cap) = f.cap {
+                cap_share = cap_share.min(cap / f.weight);
+            }
+        }
+
+        let share = res_share.min(cap_share);
+
+        if share.is_infinite() {
+            // Remaining flows cross no finite constraint: they were promised
+            // a cap (checked above) so cap_share must have been finite —
+            // reaching here means all unfrozen flows have empty paths and
+            // infinite caps, which construction forbids.
+            unreachable!("unbounded flows remain");
+        }
+
+        let tol = share.abs().max(1.0) * EPS_REL;
+
+        let mut froze_any = false;
+        if cap_share <= res_share {
+            // Cap-limited flows freeze at their caps.
+            for (i, f) in flows.iter().enumerate() {
+                if frozen[i] {
+                    continue;
+                }
+                if let Some(cap) = f.cap {
+                    if cap / f.weight <= share + tol {
+                        rates[i] = cap;
+                        frozen[i] = true;
+                        active -= 1;
+                        froze_any = true;
+                        for r in f.path {
+                            remaining[r.index()] = (remaining[r.index()] - cap).max(0.0);
+                        }
+                    }
+                }
+            }
+        }
+        if !froze_any {
+            // Freeze every flow crossing a bottleneck resource.
+            let mut bottleneck = vec![false; nr];
+            for r in 0..nr {
+                if wsum[r] > 0.0 && remaining[r].max(0.0) / wsum[r] <= share + tol {
+                    bottleneck[r] = true;
+                }
+            }
+            for (i, f) in flows.iter().enumerate() {
+                if frozen[i] {
+                    continue;
+                }
+                if f.path.iter().any(|r| bottleneck[r.index()]) {
+                    let rate = (f.weight * share).min(f.cap.unwrap_or(f64::INFINITY));
+                    rates[i] = rate;
+                    frozen[i] = true;
+                    active -= 1;
+                    froze_any = true;
+                    for r in f.path {
+                        remaining[r.index()] = (remaining[r.index()] - rate).max(0.0);
+                    }
+                }
+            }
+        }
+        debug_assert!(froze_any, "progressive filling made no progress");
+        if !froze_any {
+            // Defensive: freeze everything at the current share to
+            // guarantee termination even under pathological float inputs.
+            for (i, f) in flows.iter().enumerate() {
+                if !frozen[i] {
+                    rates[i] = (f.weight * share).min(f.cap.unwrap_or(f64::INFINITY));
+                    frozen[i] = true;
+                    active -= 1;
+                }
+            }
+        }
+    }
+
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: usize) -> ResourceId {
+        ResourceId(i)
+    }
+
+    fn flows_of<'a>(specs: &'a [(Vec<ResourceId>, f64, Option<f64>)]) -> Vec<AllocFlow<'a>> {
+        specs
+            .iter()
+            .map(|(p, w, c)| AllocFlow { path: p, weight: *w, cap: *c })
+            .collect()
+    }
+
+    #[test]
+    fn equal_split_on_single_bottleneck() {
+        let caps = [100.0];
+        let specs = vec![
+            (vec![rid(0)], 1.0, None),
+            (vec![rid(0)], 1.0, None),
+            (vec![rid(0)], 1.0, None),
+            (vec![rid(0)], 1.0, None),
+        ];
+        let rates = max_min_rates(&caps, &flows_of(&specs));
+        for r in rates {
+            assert!((r - 25.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weighted_split() {
+        let caps = [120.0];
+        let specs = vec![(vec![rid(0)], 1.0, None), (vec![rid(0)], 2.0, None), (vec![rid(0)], 3.0, None)];
+        let rates = max_min_rates(&caps, &flows_of(&specs));
+        assert!((rates[0] - 20.0).abs() < 1e-6);
+        assert!((rates[1] - 40.0).abs() < 1e-6);
+        assert!((rates[2] - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cap_frees_capacity_for_others() {
+        let caps = [100.0];
+        let specs = vec![(vec![rid(0)], 1.0, Some(10.0)), (vec![rid(0)], 1.0, None)];
+        let rates = max_min_rates(&caps, &flows_of(&specs));
+        assert!((rates[0] - 10.0).abs() < 1e-6);
+        assert!((rates[1] - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classic_three_link_example() {
+        // Textbook max-min: links of 10 and 5; flow A crosses both,
+        // B crosses link0 only, C crosses link1 only.
+        let caps = [10.0, 5.0];
+        let specs = vec![
+            (vec![rid(0), rid(1)], 1.0, None), // A
+            (vec![rid(0)], 1.0, None),         // B
+            (vec![rid(1)], 1.0, None),         // C
+        ];
+        let rates = max_min_rates(&caps, &flows_of(&specs));
+        assert!((rates[0] - 2.5).abs() < 1e-6, "A = {}", rates[0]);
+        assert!((rates[1] - 7.5).abs() < 1e-6, "B = {}", rates[1]);
+        assert!((rates[2] - 2.5).abs() < 1e-6, "C = {}", rates[2]);
+    }
+
+    #[test]
+    fn repeated_resource_counts_twice() {
+        // A flow visiting the same pipe twice can use at most half of it.
+        let caps = [100.0];
+        let specs = vec![(vec![rid(0), rid(0)], 1.0, None)];
+        let rates = max_min_rates(&caps, &flows_of(&specs));
+        assert!((rates[0] - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_path_with_cap_gets_cap() {
+        let caps: [f64; 0] = [];
+        let specs = vec![(vec![], 1.0, Some(42.0))];
+        let rates = max_min_rates(&caps, &flows_of(&specs));
+        assert_eq!(rates[0], 42.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_path_without_cap_panics() {
+        let caps: [f64; 0] = [];
+        let specs = vec![(vec![], 1.0, None)];
+        let _ = max_min_rates(&caps, &flows_of(&specs));
+    }
+
+    #[test]
+    fn zero_capacity_resource_starves_flows() {
+        let caps = [0.0];
+        let specs = vec![(vec![rid(0)], 1.0, None)];
+        let rates = max_min_rates(&caps, &flows_of(&specs));
+        assert_eq!(rates[0], 0.0);
+    }
+
+    #[test]
+    fn no_flows_is_fine() {
+        let rates = max_min_rates(&[5.0], &[]);
+        assert!(rates.is_empty());
+    }
+
+    #[test]
+    fn sockets_weighting_mirrors_measurement_contention() {
+        // 160 measurement sockets vs 20 client sockets on a 1 Gbit/s relay:
+        // measurement takes 160/180 of the capacity.
+        let cap = 125e6;
+        let caps = [cap];
+        let specs = vec![(vec![rid(0)], 160.0, None), (vec![rid(0)], 20.0, None)];
+        let rates = max_min_rates(&caps, &flows_of(&specs));
+        assert!((rates[0] / cap - 160.0 / 180.0).abs() < 1e-9);
+        assert!((rates[1] / cap - 20.0 / 180.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,227 @@
+//! iPerf-style capacity probing (paper §6.1, Appendix B).
+//!
+//! FlashFlow uses iPerf to lower-bound measurer capacity: each measurer
+//! exchanges bidirectional UDP traffic with every other team member
+//! concurrently for 60 seconds, and the capacity estimate is the median of
+//! the per-second rates. This module reproduces that procedure inside the
+//! simulator, including the pairwise TCP/UDP probes of Appendix B
+//! (Table 3) and the all-to-one saturation runs that fill the last column
+//! of Table 1.
+
+use crate::engine::FlowId;
+use crate::host::{HostId, Net};
+use crate::stats::{median, SecondsAccumulator};
+use crate::time::SimDuration;
+use crate::units::Rate;
+
+/// Transport used for a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// UDP: paced only by the NICs and path.
+    Udp,
+    /// TCP: additionally capped by socket buffers and slow start.
+    Tcp,
+}
+
+/// Result of one iPerf run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IperfReport {
+    /// Per-second combined throughput samples (bytes).
+    pub per_second: Vec<f64>,
+    /// Median per-second throughput.
+    pub median_rate: Rate,
+}
+
+impl IperfReport {
+    fn from_seconds(per_second: Vec<f64>) -> Self {
+        let med = median(&per_second).unwrap_or(0.0);
+        IperfReport { per_second, median_rate: Rate::from_bytes_per_sec(med) }
+    }
+}
+
+/// Default iPerf run length used throughout the paper.
+pub const IPERF_DURATION: SimDuration = SimDuration::from_secs(60);
+
+fn run_flows(net: &mut Net, flows: &[FlowId], duration: SimDuration) -> Vec<f64> {
+    let mut acc = SecondsAccumulator::new();
+    let dt = net.engine().tick_duration().as_secs_f64();
+    let end = net.engine().now() + duration;
+    while net.engine().now() < end {
+        net.engine_mut().tick();
+        let bytes: f64 = flows.iter().map(|f| net.engine().flow_bytes_last_tick(*f)).sum();
+        acc.push(bytes, dt);
+    }
+    for f in flows {
+        net.engine_mut().stop_flow(*f);
+    }
+    acc.into_seconds()
+}
+
+/// Bidirectional probe between a pair of hosts, as in Appendix B: reports
+/// the per-second *minimum* of the two directions' totals, summarised by
+/// its median (the paper's summary statistic for Table 3).
+pub fn pairwise_bidirectional(
+    net: &mut Net,
+    a: HostId,
+    b: HostId,
+    transport: Transport,
+    duration: SimDuration,
+) -> IperfReport {
+    let (fwd, rev) = match transport {
+        Transport::Udp => (net.start_udp_flow(a, b, 4), net.start_udp_flow(b, a, 4)),
+        Transport::Tcp => (net.start_tcp_flow(a, b, 4), net.start_tcp_flow(b, a, 4)),
+    };
+    let mut fwd_acc = SecondsAccumulator::new();
+    let mut rev_acc = SecondsAccumulator::new();
+    let dt = net.engine().tick_duration().as_secs_f64();
+    let end = net.engine().now() + duration;
+    while net.engine().now() < end {
+        net.engine_mut().tick();
+        fwd_acc.push(net.engine().flow_bytes_last_tick(fwd), dt);
+        rev_acc.push(net.engine().flow_bytes_last_tick(rev), dt);
+    }
+    net.engine_mut().stop_flow(fwd);
+    net.engine_mut().stop_flow(rev);
+    let per_second: Vec<f64> = fwd_acc
+        .seconds()
+        .iter()
+        .zip(rev_acc.seconds())
+        .map(|(f, r)| f.min(*r))
+        .collect();
+    IperfReport::from_seconds(per_second)
+}
+
+/// All-to-one saturation probe: every `source` sends UDP to `target`
+/// simultaneously; the per-second totals received at the target are summed
+/// (Table 1's "BW (measured)" row and Table 3's "UDP (many)" column).
+pub fn saturate_target(
+    net: &mut Net,
+    target: HostId,
+    sources: &[HostId],
+    duration: SimDuration,
+) -> IperfReport {
+    let flows: Vec<FlowId> =
+        sources.iter().map(|s| net.start_udp_flow(*s, target, 8)).collect();
+    let seconds = run_flows(net, &flows, duration);
+    IperfReport::from_seconds(seconds)
+}
+
+/// The team-capacity estimation FlashFlow performs when a measurer joins
+/// (§4.2 "Measuring Measurers"): `host` exchanges bidirectional UDP with
+/// every other team member concurrently; the estimate is the median of the
+/// per-second totals it simultaneously sends *and* receives (the minimum
+/// of the two directions, since forwarding requires both).
+pub fn measure_measurer(
+    net: &mut Net,
+    host: HostId,
+    team: &[HostId],
+    duration: SimDuration,
+) -> IperfReport {
+    let mut out_flows = Vec::new();
+    let mut in_flows = Vec::new();
+    for peer in team {
+        if *peer == host {
+            continue;
+        }
+        out_flows.push(net.start_udp_flow(host, *peer, 4));
+        in_flows.push(net.start_udp_flow(*peer, host, 4));
+    }
+    assert!(!out_flows.is_empty(), "team must contain another member");
+    let mut out_acc = SecondsAccumulator::new();
+    let mut in_acc = SecondsAccumulator::new();
+    let dt = net.engine().tick_duration().as_secs_f64();
+    let end = net.engine().now() + duration;
+    while net.engine().now() < end {
+        net.engine_mut().tick();
+        let out_bytes: f64 =
+            out_flows.iter().map(|f| net.engine().flow_bytes_last_tick(*f)).sum();
+        let in_bytes: f64 =
+            in_flows.iter().map(|f| net.engine().flow_bytes_last_tick(*f)).sum();
+        out_acc.push(out_bytes, dt);
+        in_acc.push(in_bytes, dt);
+    }
+    for f in out_flows.iter().chain(&in_flows) {
+        net.engine_mut().stop_flow(*f);
+    }
+    let per_second: Vec<f64> = out_acc
+        .seconds()
+        .iter()
+        .zip(in_acc.seconds())
+        .map(|(o, i)| o.min(*i))
+        .collect();
+    IperfReport::from_seconds(per_second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::Net;
+
+    #[test]
+    fn saturation_reaches_nic_limit() {
+        let (mut net, ids) = Net::table1();
+        let report = saturate_target(
+            &mut net,
+            ids[0],
+            &[ids[1], ids[2], ids[3], ids[4]],
+            SimDuration::from_secs(10),
+        );
+        // US-SW's downlink is 954 Mbit/s; four senders saturate it.
+        assert!((report.median_rate.as_mbit() - 954.0).abs() < 5.0, "{}", report.median_rate);
+    }
+
+    #[test]
+    fn pairwise_udp_hits_slower_nic() {
+        let (mut net, ids) = Net::table1();
+        let report =
+            pairwise_bidirectional(&mut net, ids[0], ids[2], Transport::Udp, SimDuration::from_secs(10));
+        // Bottleneck 941 Mbit/s (US-E NIC).
+        assert!((report.median_rate.as_mbit() - 941.0).abs() < 5.0, "{}", report.median_rate);
+    }
+
+    #[test]
+    fn pairwise_tcp_below_udp_on_long_paths() {
+        let (mut net, ids) = Net::table1();
+        let udp = pairwise_bidirectional(
+            &mut net,
+            ids[0],
+            ids[3],
+            Transport::Udp,
+            SimDuration::from_secs(10),
+        );
+        let (mut net2, ids2) = Net::table1();
+        let tcp = pairwise_bidirectional(
+            &mut net2,
+            ids2[0],
+            ids2[3],
+            Transport::Tcp,
+            SimDuration::from_secs(10),
+        );
+        assert!(
+            tcp.median_rate.bytes_per_sec() < udp.median_rate.bytes_per_sec(),
+            "tcp {} vs udp {}",
+            tcp.median_rate,
+            udp.median_rate
+        );
+    }
+
+    #[test]
+    fn measure_measurer_bounded_by_own_nic() {
+        let (mut net, ids) = Net::table1();
+        let report =
+            measure_measurer(&mut net, ids[4], &ids, SimDuration::from_secs(10));
+        // NL's NIC is 1611 Mbit/s; peers can't exceed it and the minimum of
+        // both directions can't either.
+        assert!(report.median_rate.as_mbit() <= 1611.0 + 1.0);
+        assert!(report.median_rate.as_mbit() > 500.0);
+    }
+
+    #[test]
+    fn report_median_matches_seconds() {
+        let (mut net, ids) = Net::table1();
+        let report = saturate_target(&mut net, ids[1], &[ids[0]], SimDuration::from_secs(5));
+        assert_eq!(report.per_second.len(), 5);
+        let med = median(&report.per_second).unwrap();
+        assert_eq!(report.median_rate.bytes_per_sec(), med);
+    }
+}

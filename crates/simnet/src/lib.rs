@@ -1,0 +1,54 @@
+//! # flashflow-simnet
+//!
+//! Deterministic discrete-event **fluid network simulator** — the substrate
+//! the FlashFlow reproduction runs on in place of the paper's Internet
+//! vantage points and Shadow testbed.
+//!
+//! The model: every throughput constraint (NIC direction, rate limiter,
+//! relay CPU) is a [`resource::Resource`]; traffic is a set of
+//! [`flow::FlowSpec`] fluid flows crossing resources; each engine tick
+//! divides capacity among flows with **weighted max-min fairness**
+//! ([`flow::max_min_rates`]), applies TCP window/slow-start caps
+//! ([`tcp`]), moves bytes, and advances time.
+//!
+//! Why fluid and not packet-level: every result in the paper is a
+//! per-second aggregate over tens of seconds (§4.1's estimator consumes
+//! per-second byte counts), so the relevant dynamics are rate shares,
+//! ramps, bursts, and saturation — exactly what a fluid model captures,
+//! at a cost low enough to simulate whole-network experiments.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use flashflow_simnet::prelude::*;
+//!
+//! // Two Table 1 hosts exchange an iPerf probe.
+//! let (mut net, ids) = Net::table1();
+//! let report = flashflow_simnet::iperf::saturate_target(
+//!     &mut net, ids[0], &ids[1..], SimDuration::from_secs(5));
+//! assert!(report.median_rate.as_mbit() > 900.0);
+//! ```
+
+pub mod engine;
+pub mod flow;
+pub mod host;
+pub mod iperf;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod tcp;
+pub mod time;
+pub mod units;
+
+/// Convenient glob-import of the most used types.
+pub mod prelude {
+    pub use crate::engine::{Engine, EngineConfig, FlowId, TickReport};
+    pub use crate::flow::FlowSpec;
+    pub use crate::host::{HostId, HostProfile, Net};
+    pub use crate::resource::{Resource, ResourceId, ResourceKind};
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{mean, median, quantile, relative_std_dev, Ecdf, SecondsAccumulator};
+    pub use crate::tcp::{KernelProfile, TcpProfile};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::units::Rate;
+}

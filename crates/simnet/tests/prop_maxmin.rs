@@ -1,0 +1,178 @@
+//! Property tests for the weighted max-min fair allocator.
+//!
+//! These check the three defining invariants of a max-min allocation on
+//! arbitrary topologies: feasibility (no resource oversubscribed), cap
+//! respect, and bottleneck optimality (every flow is limited by its cap or
+//! by a saturated resource on its path — nobody can be raised without
+//! lowering someone else).
+
+use flashflow_simnet::flow::{max_min_rates, AllocFlow};
+use flashflow_simnet::resource::ResourceId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Problem {
+    capacities: Vec<f64>,
+    flows: Vec<(Vec<usize>, f64, Option<f64>)>, // (path, weight, cap)
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    let caps = prop::collection::vec(1.0f64..1e9, 1..8);
+    caps.prop_flat_map(|capacities| {
+        let nr = capacities.len();
+        let flow = (
+            prop::collection::vec(0..nr, 1..=nr.min(4)),
+            0.1f64..64.0,
+            prop::option::of(1.0f64..1e9),
+        );
+        let flows = prop::collection::vec(flow, 1..12);
+        (Just(capacities), flows)
+            .prop_map(|(capacities, flows)| Problem { capacities, flows })
+    })
+}
+
+fn solve(p: &Problem) -> Vec<f64> {
+    let paths: Vec<Vec<ResourceId>> = p
+        .flows
+        .iter()
+        .map(|(path, _, _)| path.iter().map(|&i| rid(i)).collect())
+        .collect();
+    let flows: Vec<AllocFlow<'_>> = p
+        .flows
+        .iter()
+        .zip(&paths)
+        .map(|((_, w, c), path)| AllocFlow { path, weight: *w, cap: *c })
+        .collect();
+    max_min_rates(&p.capacities, &flows)
+}
+
+fn rid(i: usize) -> ResourceId {
+    // ResourceId construction is crate-private; go through the engine.
+    use flashflow_simnet::engine::{Engine, EngineConfig};
+    use flashflow_simnet::resource::Resource;
+    use flashflow_simnet::units::Rate;
+    // Build ids 0..=i and return the last. Engine assigns sequential ids.
+    let mut eng = Engine::new(EngineConfig::default());
+    let mut last = None;
+    for _ in 0..=i {
+        last = Some(eng.add_resource(Resource::pipe("r", Rate::from_mbit(1.0))));
+    }
+    last.unwrap()
+}
+
+const REL_TOL: f64 = 1e-6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rates_are_nonnegative_and_finite(p in problem_strategy()) {
+        for r in solve(&p) {
+            prop_assert!(r.is_finite());
+            prop_assert!(r >= 0.0);
+        }
+    }
+
+    #[test]
+    fn no_resource_oversubscribed(p in problem_strategy()) {
+        let rates = solve(&p);
+        let mut usage = vec![0.0; p.capacities.len()];
+        for ((path, _, _), rate) in p.flows.iter().zip(&rates) {
+            for &r in path {
+                usage[r] += rate;
+            }
+        }
+        for (u, c) in usage.iter().zip(&p.capacities) {
+            prop_assert!(*u <= c * (1.0 + REL_TOL) + 1e-9, "usage {u} > cap {c}");
+        }
+    }
+
+    #[test]
+    fn caps_respected(p in problem_strategy()) {
+        let rates = solve(&p);
+        for ((_, _, cap), rate) in p.flows.iter().zip(&rates) {
+            if let Some(c) = cap {
+                prop_assert!(*rate <= c * (1.0 + REL_TOL), "rate {rate} > cap {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_flow_is_bottlenecked(p in problem_strategy()) {
+        let rates = solve(&p);
+        let mut usage = vec![0.0; p.capacities.len()];
+        for ((path, _, _), rate) in p.flows.iter().zip(&rates) {
+            for &r in path {
+                usage[r] += rate;
+            }
+        }
+        for ((path, _, cap), rate) in p.flows.iter().zip(&rates) {
+            let at_cap = cap.is_some_and(|c| *rate >= c * (1.0 - REL_TOL) - 1e-9);
+            let crosses_saturated = path.iter().any(|&r| {
+                usage[r] >= p.capacities[r] * (1.0 - REL_TOL) - 1e-9
+            });
+            prop_assert!(
+                at_cap || crosses_saturated,
+                "flow with rate {rate} (cap {cap:?}) is not bottlenecked"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_flows_get_equal_rates(
+        cap in 1.0f64..1e9,
+        n in 1usize..10,
+    ) {
+        let p = Problem {
+            capacities: vec![cap],
+            flows: (0..n).map(|_| (vec![0], 1.0, None)).collect(),
+        };
+        let rates = solve(&p);
+        let expected = cap / n as f64;
+        for r in rates {
+            prop_assert!((r - expected).abs() <= expected * REL_TOL);
+        }
+    }
+
+    #[test]
+    fn allocation_is_scale_invariant(p in problem_strategy(), k in 0.5f64..8.0) {
+        // Scaling every capacity and cap by k scales every rate by k.
+        // (Note per-flow monotonicity under added flows does NOT hold for
+        // max-min fairness — adding a flow at one bottleneck can free
+        // capacity elsewhere — so we test invariances that do hold.)
+        let base = solve(&p);
+        let scaled_problem = Problem {
+            capacities: p.capacities.iter().map(|c| c * k).collect(),
+            flows: p
+                .flows
+                .iter()
+                .map(|(path, w, c)| (path.clone(), *w, c.map(|c| c * k)))
+                .collect(),
+        };
+        let scaled = solve(&scaled_problem);
+        for (b, s) in base.iter().zip(&scaled) {
+            prop_assert!((s - b * k).abs() <= (b * k).abs() * 1e-6 + 1e-6,
+                "scale violated: {b} * {k} != {s}");
+        }
+    }
+
+    #[test]
+    fn allocation_is_deterministic(p in problem_strategy()) {
+        prop_assert_eq!(solve(&p), solve(&p));
+    }
+
+    #[test]
+    fn reversing_flow_order_permutes_rates(p in problem_strategy()) {
+        let forward = solve(&p);
+        let reversed_problem = Problem {
+            capacities: p.capacities.clone(),
+            flows: p.flows.iter().rev().cloned().collect(),
+        };
+        let mut reversed = solve(&reversed_problem);
+        reversed.reverse();
+        for (f, r) in forward.iter().zip(&reversed) {
+            prop_assert!((f - r).abs() <= f.abs() * 1e-6 + 1e-6,
+                "order dependence: {f} vs {r}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Load balancing end to end: measure a private Tor network with both
+//! TorFlow and FlashFlow, then compare client performance under each
+//! system's weights (the paper's §7 experiment at example scale).
+//!
+//! Run with: `cargo run --example load_balancing --release`
+
+use flashflow_repro::shadow::prelude::*;
+use flashflow_repro::simnet::prelude::*;
+
+fn main() {
+    let cfg = ShadowConfig::test_scale(21);
+    println!(
+        "private network: {} relays, {} markov clients, {} benchmark clients",
+        cfg.relays, cfg.markov_clients, cfg.benchmark_clients
+    );
+
+    let exp = run_experiment(&cfg, &[1.0]);
+    println!(
+        "network weight error: FlashFlow {:.1}% vs TorFlow {:.1}%",
+        exp.measurement.flashflow_nwe * 100.0,
+        exp.measurement.torflow_nwe * 100.0
+    );
+
+    for load in &exp.loads {
+        let med_1m = median(&load.ttlb(SizeClass::Medium)).unwrap_or(f64::NAN);
+        println!(
+            "{:9?} @ {:.0}%: {} transfers, median 1MiB TTLB {:.2}s, timeouts {:.1}%",
+            load.system,
+            load.load * 100.0,
+            load.records.len(),
+            med_1m,
+            load.failure_rate() * 100.0
+        );
+    }
+    assert!(
+        exp.measurement.flashflow_nwe < exp.measurement.torflow_nwe,
+        "FlashFlow should balance better"
+    );
+}

@@ -1,0 +1,73 @@
+//! Quickstart: measure one Tor relay with FlashFlow.
+//!
+//! Builds a two-measurer team (US-E + NL from the paper's Table 1), a
+//! 250 Mbit/s target relay on US-SW, runs one 30-second measurement, and
+//! prints the per-second protocol records and the final estimate.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use flashflow_repro::core::prelude::*;
+use flashflow_repro::simnet::prelude::*;
+use flashflow_repro::tornet::prelude::*;
+
+fn main() {
+    // 1. A small Internet: two measurer hosts and the target host.
+    let mut tor = TorNet::new();
+    let us_e = tor.add_host(HostProfile::us_e());
+    let nl = tor.add_host(HostProfile::host_nl());
+    let target_host = tor.add_host(HostProfile::us_sw());
+    tor.net.set_rtt(us_e, target_host, SimDuration::from_millis(62));
+    tor.net.set_rtt(nl, target_host, SimDuration::from_millis(137));
+
+    // 2. The target: a relay rate-limited to 250 Mbit/s.
+    let relay = tor.add_relay(
+        target_host,
+        RelayConfig::new("example-target").with_rate_limit(Rate::from_mbit(250.0)),
+    );
+
+    // 3. The measurement team and the paper's parameters.
+    let team = Team::with_capacities(&[
+        (us_e, Rate::from_mbit(941.0)),
+        (nl, Rate::from_mbit(1611.0)),
+    ]);
+    let params = Params::paper();
+    println!(
+        "team capacity {:.0} Mbit/s, excess factor f = {:.2}",
+        team.total_capacity().as_mbit(),
+        params.excess_factor()
+    );
+
+    // 4. Measure, starting from a 250 Mbit/s prior.
+    let mut rng = SimRng::seed_from_u64(1);
+    let outcome = measure_relay(
+        &mut tor,
+        relay,
+        &team,
+        Rate::from_mbit(250.0),
+        &params,
+        TargetBehavior::Honest,
+        &mut rng,
+        5,
+    )
+    .expect("team has capacity for this prior");
+
+    // 5. Inspect the result.
+    let last = outcome.rounds.last().expect("at least one round");
+    println!("per-second records (x = measurement, y = accepted background, z = x + y):");
+    for (j, s) in last.seconds.iter().enumerate().step_by(5) {
+        println!(
+            "  t={j:2}s  x={:7.1}  y={:6.1}  z={:7.1} Mbit/s",
+            s.x * 8.0 / 1e6,
+            s.y_accepted * 8.0 / 1e6,
+            s.z * 8.0 / 1e6
+        );
+    }
+    println!(
+        "estimate: {} after {} round(s); verified: {}; converged: {}",
+        outcome.estimate,
+        outcome.rounds.len(),
+        last.verification.passed(),
+        outcome.converged()
+    );
+    assert!(outcome.converged(), "a correct prior should converge in one round");
+}

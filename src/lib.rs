@@ -1,0 +1,18 @@
+//! Umbrella crate for the FlashFlow reproduction.
+//!
+//! Re-exports the workspace crates under short names so the examples and
+//! integration tests can use a single dependency:
+//!
+//! ```
+//! use flashflow_repro::core::Params;
+//! let p = Params::default();
+//! // f = m(1+eps2)/(1-eps1) = 2.25 * 1.05 / 0.80
+//! assert!((p.excess_factor() - 2.953).abs() < 0.001);
+//! ```
+
+pub use flashflow_balance as balance;
+pub use flashflow_core as core;
+pub use flashflow_metrics as metrics;
+pub use flashflow_shadow as shadow;
+pub use flashflow_simnet as simnet;
+pub use flashflow_tornet as tornet;

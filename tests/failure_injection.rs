@@ -1,0 +1,131 @@
+//! Failure-injection tests: FlashFlow under misbehaving and failing
+//! components.
+
+use flashflow_repro::core::prelude::*;
+use flashflow_repro::simnet::prelude::*;
+use flashflow_repro::tornet::prelude::*;
+
+fn base() -> (TorNet, Team, Vec<HostId>) {
+    let (net, ids) = Net::table1();
+    let tor = TorNet::from_net(net);
+    let team = Team::with_capacities(&[
+        (ids[2], Rate::from_mbit(941.0)),
+        (ids[4], Rate::from_mbit(1611.0)),
+    ]);
+    (tor, team, ids)
+}
+
+#[test]
+fn measurer_capacity_loss_mid_measurement_underestimates_safely() {
+    // A measurer whose NIC collapses mid-slot: the estimate drops (the
+    // median sees the loss) but never *over*-estimates — failures are
+    // conservative.
+    let (mut tor, _, ids) = base();
+    let relay =
+        tor.add_relay(ids[0], RelayConfig::new("t").with_rate_limit(Rate::from_mbit(500.0)));
+    let params = Params::paper();
+    let flow = tor.start_measurement_flow(ids[4], relay, 160, Some(Rate::from_mbit(1475.0)));
+    tor.begin_measurement(relay, vec![flow]);
+    let mut acc = SecondsAccumulator::new();
+    let dt = tor.net.engine().tick_duration().as_secs_f64();
+    for tick in 0..300 {
+        tor.tick();
+        acc.push(tor.net.engine().flow_bytes_last_tick(flow), dt);
+        if tick == 150 {
+            // NL's uplink collapses to 100 Mbit/s.
+            let tx = tor.net.tx(ids[4]);
+            tor.net.engine_mut().resource_mut(tx).set_capacity(Rate::from_mbit(100.0));
+        }
+    }
+    tor.end_measurement(relay);
+    let z = median(acc.seconds()).unwrap();
+    let estimate = Rate::from_bytes_per_sec(z);
+    assert!(estimate.as_mbit() <= 500.0 * 1.05, "never overestimates: {estimate}");
+    let _ = params;
+}
+
+#[test]
+fn relay_rate_limit_change_mid_period_tracked_next_measurement() {
+    // A relay that halves its rate limit between measurements gets the
+    // new, lower estimate next period — capacity cannot be banked.
+    let (mut tor, team, ids) = base();
+    let relay =
+        tor.add_relay(ids[0], RelayConfig::new("t").with_rate_limit(Rate::from_mbit(400.0)));
+    let params = Params::paper();
+    let mut rng = SimRng::seed_from_u64(1);
+    let m1 = measure_once(&mut tor, relay, &team, Rate::from_mbit(400.0), &params, &mut rng)
+        .unwrap();
+    assert!((m1.estimate.as_mbit() - 400.0).abs() < 60.0);
+
+    // Operator reconfigures the limit downward.
+    let limiter = tor.relay(relay).limiter;
+    tor.net.engine_mut().resource_mut(limiter).set_capacity(Rate::from_mbit(150.0));
+    let m2 = measure_once(&mut tor, relay, &team, m1.estimate, &params, &mut rng).unwrap();
+    assert!(
+        m2.estimate.as_mbit() < 200.0,
+        "second measurement must see the new limit: {}",
+        m2.estimate
+    );
+}
+
+#[test]
+fn partial_forger_caught_with_overwhelming_probability() {
+    // Forging even 5% of a full slot's echoes is caught essentially
+    // always at p = 1e-5 over ≈9M cells.
+    let mut rng = SimRng::seed_from_u64(5);
+    let mut caught = 0;
+    const TRIALS: usize = 20;
+    for _ in 0..TRIALS {
+        let outcome = spot_check(
+            125e6 * 30.0,
+            1e-5,
+            TargetBehavior::Forging { fraction: 0.05 },
+            &mut rng,
+        );
+        if !outcome.passed() {
+            caught += 1;
+        }
+    }
+    assert!(caught >= TRIALS - 2, "caught only {caught}/{TRIALS}");
+}
+
+#[test]
+fn zero_capacity_relay_yields_zero_not_panic() {
+    let (mut tor, team, ids) = base();
+    let relay = tor.add_relay(
+        ids[0],
+        RelayConfig::new("dead").with_rate_limit(Rate::from_bytes_per_sec(1.0)),
+    );
+    let params = Params::paper();
+    let mut rng = SimRng::seed_from_u64(9);
+    let m = measure_once(&mut tor, relay, &team, Rate::from_mbit(10.0), &params, &mut rng)
+        .unwrap();
+    assert!(m.estimate.as_mbit() < 0.1);
+    assert!(m.conclusive(&params), "a dead relay is conclusively dead");
+}
+
+#[test]
+fn schedule_survives_relay_churn() {
+    // Relays disappearing mid-period simply leave their slots unused;
+    // new arrivals fill the earliest free slots.
+    let params = Params::paper();
+    let mut tor = TorNet::new();
+    let h = tor.add_host(HostProfile::new("h", Rate::from_gbit(1.0)));
+    let relays: Vec<(RelayId, Rate)> = (0..40)
+        .map(|i| {
+            (tor.add_relay(h, RelayConfig::new(format!("r{i}"))), Rate::from_mbit(100.0))
+        })
+        .collect();
+    let mut schedule =
+        build_randomized_schedule(&relays, Rate::from_gbit(3.0), &params, 3).unwrap();
+    let before = schedule.measurement_count();
+    // Ten new relays arrive mid-period.
+    for i in 0..10 {
+        let relay = tor.add_relay(h, RelayConfig::new(format!("new{i}")));
+        assign_new_relay(&mut schedule, relay, Rate::from_mbit(51.0), &params, 100).unwrap();
+    }
+    assert_eq!(schedule.measurement_count(), before + 10);
+    for s in 0..schedule.slots.len() {
+        assert!(schedule.free_capacity(s).bytes_per_sec() >= -1.0);
+    }
+}

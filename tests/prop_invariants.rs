@@ -1,0 +1,169 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! parameters and topologies.
+
+use flashflow_repro::core::prelude::*;
+use flashflow_repro::simnet::prelude::*;
+use flashflow_repro::tornet::prelude::*;
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = Params> {
+    (
+        1u32..512,
+        1.0f64..4.0,
+        1u64..120,
+        0.0f64..0.6,
+        0.0f64..0.4,
+        0.0f64..0.9,
+    )
+        .prop_map(|(sockets, multiplier, slot_secs, eps1, eps2, ratio)| {
+            let mut p = Params::paper();
+            p.sockets = sockets;
+            p.multiplier = multiplier;
+            p.slot = SimDuration::from_secs(slot_secs);
+            p.epsilon1 = eps1;
+            p.epsilon2 = eps2;
+            p.ratio = ratio;
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn excess_factor_always_covers_acceptance(params in arb_params()) {
+        prop_assume!(params.validate().is_ok());
+        // §4.2's self-consistency: if the prior is the true capacity and
+        // the estimate lands within (1±ε), the acceptance test passes.
+        let z0 = 1e8;
+        let allocated = params.excess_factor() * z0;
+        let z_max = (1.0 + params.epsilon2) * z0;
+        prop_assert!(z_max <= params.acceptance_threshold(allocated) * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn clamp_bounds_lying_exactly(x in 1e3f64..1e9, y in 0.0f64..1e12, r in 0.0f64..0.9) {
+        // The aggregation clamp keeps the background share at most r of
+        // the total, whatever the relay reports.
+        let clamped = background_allowance(x, r).min(y);
+        let total = x + clamped;
+        prop_assert!(clamped / total <= r + 1e-9);
+        // And the inflation over truth (no background at all) is bounded.
+        prop_assert!(total / x <= 1.0 / (1.0 - r) + 1e-9);
+    }
+
+    #[test]
+    fn greedy_allocation_feasible_and_exact(
+        capacities in prop::collection::vec(1e6f64..2e9, 1..12),
+        fraction in 0.01f64..1.0,
+    ) {
+        let total: f64 = capacities.iter().sum();
+        let needed = total * fraction;
+        let alloc = greedy_allocate(&capacities, needed).unwrap();
+        let assigned: f64 = alloc.iter().sum();
+        prop_assert!((assigned - needed).abs() < needed * 1e-9 + 1.0);
+        for (a, c) in alloc.iter().zip(&capacities) {
+            prop_assert!(a <= c, "allocation exceeds capacity");
+            prop_assert!(*a >= 0.0);
+        }
+    }
+
+    #[test]
+    fn schedule_never_overpacks(
+        caps_mbit in prop::collection::vec(1.0f64..900.0, 1..60),
+        seed in 0u64..1000,
+    ) {
+        let params = Params::paper();
+        let mut tor = TorNet::new();
+        let h = tor.add_host(HostProfile::new("h", Rate::from_gbit(1.0)));
+        let relays: Vec<(RelayId, Rate)> = caps_mbit
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (tor.add_relay(h, RelayConfig::new(format!("r{i}"))), Rate::from_mbit(*c))
+            })
+            .collect();
+        let team = Rate::from_gbit(3.0);
+        if let Ok(schedule) = build_randomized_schedule(&relays, team, &params, seed) {
+            prop_assert_eq!(schedule.measurement_count(), relays.len());
+            for s in 0..schedule.slots.len() {
+                prop_assert!(schedule.free_capacity(s).bytes_per_sec() >= -1.0);
+            }
+        }
+        let packed = greedy_pack(&relays, team, &params).unwrap();
+        prop_assert_eq!(packed.measurement_count(), relays.len());
+        for s in 0..packed.slots.len() {
+            prop_assert!(packed.free_capacity(s).bytes_per_sec() >= -1.0);
+            prop_assert!(!packed.slots[s].is_empty(), "greedy pack left an empty slot");
+        }
+    }
+
+    #[test]
+    fn observed_bandwidth_never_exceeds_peak_window(
+        seconds in prop::collection::vec(0.0f64..1e9, 10..200),
+    ) {
+        let mut ob = ObservedBandwidth::new();
+        for &s in &seconds {
+            ob.push_second(s);
+        }
+        // The observed bandwidth can never exceed the best true
+        // 10-second average...
+        let best_window = seconds
+            .windows(10)
+            .map(|w| w.iter().sum::<f64>() / 10.0)
+            .fold(0.0f64, f64::max);
+        prop_assert!(ob.observed().bytes_per_sec() <= best_window + 1e-6);
+        // ...and equals it when the history is shorter than a day.
+        prop_assert!((ob.observed().bytes_per_sec() - best_window).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cell_round_trip_any_payload(payload in prop::collection::vec(any::<u8>(), 0..=509)) {
+        let cell = Cell::with_payload(CircId(77), Command::Measure, &payload);
+        let decoded = Cell::decode(&cell.encode()).unwrap();
+        prop_assert_eq!(&decoded.payload[..payload.len()], &payload[..]);
+    }
+
+    #[test]
+    fn onion_crypto_round_trips_any_depth(
+        n_hops in 1usize..6,
+        payload in prop::collection::vec(any::<u8>(), 1..400),
+        seed in any::<u64>(),
+    ) {
+        // A circuit of any depth delivers plaintext at the exit and
+        // nowhere earlier.
+        let mut rng = SimRng::seed_from_u64(seed);
+        let pairs: Vec<(SecretKey, SecretKey)> = (0..n_hops)
+            .map(|_| {
+                (SecretKey::from_entropy(rng.next_u64()), SecretKey::from_entropy(rng.next_u64()))
+            })
+            .collect();
+        let client_secrets: Vec<SecretKey> = pairs.iter().map(|(c, _)| *c).collect();
+        let relay_publics: Vec<_> = pairs.iter().map(|(_, r)| r.public()).collect();
+        let mut client = ClientCircuit::build(CircId(1), &client_secrets, &relay_publics);
+        let mut cell = client.package(&payload).unwrap();
+        let mut relays: Vec<_> = pairs
+            .iter()
+            .map(|(c, r)| flashflow_repro::tornet::circuit::RelayCircuit::accept(
+                CircId(1), *r, c.public()))
+            .collect();
+        for relay in relays.iter_mut() {
+            relay.relay_outbound(&mut cell);
+        }
+        prop_assert_eq!(&cell.payload[..payload.len()], &payload[..]);
+    }
+
+    #[test]
+    fn evasion_probability_decreasing_in_k(p in 1e-7f64..1e-2, k1 in 0u64..1000, k2 in 0u64..1000) {
+        let (lo, hi) = if k1 <= k2 { (k1, k2) } else { (k2, k1) };
+        prop_assert!(evasion_probability(p, hi) <= evasion_probability(p, lo) + 1e-12);
+    }
+
+    #[test]
+    fn capacity_on_demand_failure_bound(n in 1u64..12, q in 0.0f64..0.5) {
+        // §5's claim: for q < 1/2 the attack fails with probability ≥ 0.5.
+        let fail = capacity_on_demand_failure_probability(n, q);
+        prop_assert!(fail >= 0.5 - 1e-9, "n={n}, q={q}: fail={fail}");
+        prop_assert!(fail <= 1.0 + 1e-9);
+    }
+}
