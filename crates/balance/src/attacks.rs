@@ -73,28 +73,17 @@ pub fn torflow_attack(n_honest: usize, inflation: f64) -> AttackOutcome {
 /// largest factor that evades the cosine liar flag. Gains a small
 /// multiple on its own; the multi-period *drift* variant below is what
 /// reaches Table 2's ≈21.5×.
-pub fn eigenspeed_attack(
-    n: usize,
-    clique_size: usize,
-    inflation: f64,
-    seed: u64,
-) -> AttackOutcome {
+pub fn eigenspeed_attack(n: usize, clique_size: usize, inflation: f64, seed: u64) -> AttackOutcome {
     assert!(clique_size < n, "clique must be a strict subset");
     let mut rng = SimRng::seed_from_u64(seed);
     let capacities = vec![10e6f64; n];
     let honest = ObservationMatrix::honest(&capacities, 0.05, &mut rng);
     let clique: Vec<usize> = ((n - clique_size)..n).collect();
     let attacked = liar_attack(&honest, &clique, inflation);
-    let cfg = EigenSpeedConfig {
-        trusted: (0..(n / 10).max(1)).collect(),
-        ..Default::default()
-    };
+    let cfg = EigenSpeedConfig { trusted: (0..(n / 10).max(1)).collect(), ..Default::default() };
     let res = eigenspeed(&attacked, &cfg);
     let obtained: f64 = clique.iter().map(|&i| res.weights[i]).sum();
-    AttackOutcome {
-        deserved_fraction: clique_size as f64 / n as f64,
-        obtained_fraction: obtained,
-    }
+    AttackOutcome { deserved_fraction: clique_size as f64 / n as f64, obtained_fraction: obtained }
 }
 
 /// The EigenSpeed drift attack (prior work's demonstrated 7.4–28.1×,

@@ -21,7 +21,9 @@ pub mod prelude {
         eigenspeed_attack, flashflow_advantage_bound, peerflow_advantage_bound, peerflow_attack,
         torflow_attack, AttackOutcome,
     };
-    pub use crate::eigenspeed::{eigenspeed, EigenSpeedConfig, EigenSpeedResult, ObservationMatrix};
+    pub use crate::eigenspeed::{
+        eigenspeed, EigenSpeedConfig, EigenSpeedResult, ObservationMatrix,
+    };
     pub use crate::peerflow::{peerflow_weights, PeerFlowConfig, TrafficReports};
     pub use crate::torflow::{compute_weights, run_torflow, scan_once, TorFlowConfig};
 }

@@ -224,8 +224,14 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(4);
         let capacities = [10e6; 5];
         let reports = TrafficReports::honest(&capacities, 3600.0, 0.0, &mut rng);
-        let w_02 = peerflow_weights(&reports, &PeerFlowConfig { trusted: vec![0], tau: 0.2, max_growth: 4.5 });
-        let w_04 = peerflow_weights(&reports, &PeerFlowConfig { trusted: vec![0], tau: 0.4, max_growth: 4.5 });
+        let w_02 = peerflow_weights(
+            &reports,
+            &PeerFlowConfig { trusted: vec![0], tau: 0.2, max_growth: 4.5 },
+        );
+        let w_04 = peerflow_weights(
+            &reports,
+            &PeerFlowConfig { trusted: vec![0], tau: 0.4, max_growth: 4.5 },
+        );
         assert!((w_02[1] / w_04[1] - 2.0).abs() < 1e-9);
     }
 }

@@ -132,11 +132,8 @@ pub fn compute_weights(
     advertised: &BTreeMap<RelayId, Rate>,
     speeds: &BTreeMap<RelayId, f64>,
 ) -> BTreeMap<RelayId, f64> {
-    let mean_speed = if speeds.is_empty() {
-        1.0
-    } else {
-        speeds.values().sum::<f64>() / speeds.len() as f64
-    };
+    let mean_speed =
+        if speeds.is_empty() { 1.0 } else { speeds.values().sum::<f64>() / speeds.len() as f64 };
     let mean_speed = mean_speed.max(1.0);
     advertised
         .iter()
@@ -218,8 +215,7 @@ mod tests {
         for i in 0..n {
             let h = tor.add_host(HostProfile::new(format!("rh{i}"), Rate::from_gbit(1.0)));
             let limit = Rate::from_mbit(10.0 + 30.0 * i as f64);
-            let r = tor
-                .add_relay(h, RelayConfig::new(format!("r{i}")).with_rate_limit(limit));
+            let r = tor.add_relay(h, RelayConfig::new(format!("r{i}")).with_rate_limit(limit));
             relays.push(r);
         }
         let cfg = TorFlowConfig::new(scanner, server);
@@ -258,10 +254,8 @@ mod tests {
     fn weights_proportional_to_advertised_at_equal_speed() {
         let r0 = fake_relay(0);
         let r1 = fake_relay(1);
-        let advertised = BTreeMap::from([
-            (r0, Rate::from_mbit(100.0)),
-            (r1, Rate::from_mbit(300.0)),
-        ]);
+        let advertised =
+            BTreeMap::from([(r0, Rate::from_mbit(100.0)), (r1, Rate::from_mbit(300.0))]);
         let speeds = BTreeMap::from([(r0, 5e6), (r1, 5e6)]);
         let w = compute_weights(&advertised, &speeds);
         assert!((w[&r1] / w[&r0] - 3.0).abs() < 1e-9);

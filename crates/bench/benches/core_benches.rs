@@ -1,159 +1,154 @@
-//! Criterion micro-benchmarks of FlashFlow's core algorithms: the
-//! allocator, the scheduler, the max-min fair solver, and the metrics
-//! analyses — the hot paths of a deployment and of this reproduction.
+//! Micro-benchmarks of FlashFlow's core algorithms: the allocator, the
+//! scheduler, the max-min fair solver, the metrics analyses, the onion
+//! crypto, and a full measurement slot — the hot paths of a deployment
+//! and of this reproduction.
+//!
+//! Criterion is unavailable in the build environment, so this is a plain
+//! `harness = false` benchmark: each case is timed with
+//! `std::time::Instant` over enough iterations to smooth noise, and the
+//! median per-iteration time is printed in Criterion-like rows.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use flashflow_core::alloc::greedy_allocate;
+use flashflow_core::measure::measure_once;
 use flashflow_core::params::Params;
 use flashflow_core::schedule::{build_randomized_schedule, greedy_pack};
+use flashflow_core::team::Team;
 use flashflow_simnet::flow::{max_min_rates, AllocFlow};
+use flashflow_simnet::host::HostProfile;
+use flashflow_simnet::resource::ResourceId;
 use flashflow_simnet::rng::SimRng;
 use flashflow_simnet::units::Rate;
+use flashflow_tornet::netbuild::TorNet;
+use flashflow_tornet::relay::{RelayConfig, RelayId};
 
-fn bench_greedy_allocate(c: &mut Criterion) {
-    let residual: Vec<f64> = (0..64).map(|i| 1e8 + (i as f64) * 1e6).collect();
-    c.bench_function("alloc/greedy_allocate_64_measurers", |b| {
-        b.iter(|| greedy_allocate(std::hint::black_box(&residual), 3e9).unwrap())
-    });
+/// Times `f` over `iters` iterations, repeated `samples` times; returns
+/// the median nanoseconds per iteration.
+fn time_ns<T>(samples: usize, iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    per_iter[per_iter.len() / 2]
 }
 
-fn relay_set(n: usize) -> Vec<(flashflow_tornet::relay::RelayId, Rate)> {
-    use flashflow_simnet::host::HostProfile;
+fn report(name: &str, ns: f64) {
+    if ns >= 1e9 {
+        println!("{name:<55} {:>12.3} s/iter", ns / 1e9);
+    } else if ns >= 1e6 {
+        println!("{name:<55} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{name:<55} {:>12.3} us/iter", ns / 1e3);
+    } else {
+        println!("{name:<55} {ns:>12.0} ns/iter");
+    }
+}
+
+fn bench_greedy_allocate() {
+    let residual: Vec<f64> = (0..64).map(|i| 1e8 + (i as f64) * 1e6).collect();
+    let ns = time_ns(9, 2000, || greedy_allocate(black_box(&residual), 3e9).unwrap());
+    report("alloc/greedy_allocate_64_measurers", ns);
+}
+
+fn relay_set(n: usize) -> Vec<(RelayId, Rate)> {
     let mut rng = SimRng::seed_from_u64(1);
-    let mut tor = flashflow_tornet::netbuild::TorNet::new();
+    let mut tor = TorNet::new();
     let h = tor.add_host(HostProfile::new("h", Rate::from_gbit(1.0)));
     (0..n)
         .map(|i| {
-            let r = tor.add_relay(h, flashflow_tornet::relay::RelayConfig::new(format!("r{i}")));
+            let r = tor.add_relay(h, RelayConfig::new(format!("r{i}")));
             (r, Rate::from_mbit((36.0 * rng.gen_lognormal(0.0, 1.45)).min(998.0)))
         })
         .collect()
 }
 
-fn bench_greedy_pack(c: &mut Criterion) {
+fn bench_greedy_pack() {
     let params = Params::paper();
     let relays = relay_set(6500);
-    let mut group = c.benchmark_group("schedule");
-    group.sample_size(10);
-    group.bench_function("greedy_pack_6500_relays", |b| {
-        b.iter_batched(
-            || relays.clone(),
-            |r| greedy_pack(&r, Rate::from_gbit(3.0), &params).unwrap(),
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    let ns = time_ns(5, 1, || greedy_pack(&relays, Rate::from_gbit(3.0), &params).unwrap());
+    report("schedule/greedy_pack_6500_relays", ns);
 }
 
-fn bench_randomized_schedule(c: &mut Criterion) {
+fn bench_randomized_schedule() {
     let params = Params::paper();
     let relays = relay_set(1000);
-    c.bench_function("schedule/randomized_period_1000_relays", |b| {
-        b.iter(|| build_randomized_schedule(&relays, Rate::from_gbit(3.0), &params, 7).unwrap())
+    let ns = time_ns(7, 5, || {
+        build_randomized_schedule(&relays, Rate::from_gbit(3.0), &params, 7).unwrap()
     });
+    report("schedule/randomized_period_1000_relays", ns);
 }
 
-fn bench_max_min(c: &mut Criterion) {
+fn bench_max_min() {
     // A shadow-sim-scale allocation: 400 flows over 1500 resources.
-    use flashflow_simnet::resource::ResourceId;
     let mut rng = SimRng::seed_from_u64(2);
     let capacities: Vec<f64> = (0..1500).map(|_| rng.gen_range_f64(1e6, 1e9)).collect();
     // Fabricate ResourceIds through an engine.
     let mut eng = flashflow_simnet::engine::Engine::new(Default::default());
     let ids: Vec<ResourceId> = (0..1500)
         .map(|_| {
-            eng.add_resource(flashflow_simnet::resource::Resource::pipe(
-                "r",
-                Rate::from_mbit(1.0),
-            ))
+            eng.add_resource(flashflow_simnet::resource::Resource::pipe("r", Rate::from_mbit(1.0)))
         })
         .collect();
-    let paths: Vec<Vec<ResourceId>> = (0..400)
-        .map(|_| (0..17).map(|_| ids[rng.gen_index(1500)]).collect())
-        .collect();
+    let paths: Vec<Vec<ResourceId>> =
+        (0..400).map(|_| (0..17).map(|_| ids[rng.gen_index(1500)]).collect()).collect();
     let flows: Vec<AllocFlow<'_>> = paths
         .iter()
         .map(|p| AllocFlow { path: p, weight: 1.0 + rng.gen_index(4) as f64, cap: None })
         .collect();
-    c.bench_function("simnet/max_min_400_flows_1500_resources", |b| {
-        b.iter(|| max_min_rates(std::hint::black_box(&capacities), std::hint::black_box(&flows)))
-    });
+    let ns = time_ns(9, 20, || max_min_rates(black_box(&capacities), black_box(&flows)));
+    report("simnet/max_min_400_flows_1500_resources", ns);
 }
 
-fn bench_measurement_slot(c: &mut Criterion) {
-    use flashflow_core::measure::{measure_once, };
-    use flashflow_core::team::Team;
-    use flashflow_simnet::host::HostProfile;
-    use flashflow_tornet::netbuild::TorNet;
-    use flashflow_tornet::relay::RelayConfig;
-    let mut group = c.benchmark_group("core");
-    group.sample_size(10);
-    group.bench_function("measure_once_30s_slot", |b| {
-        b.iter_batched(
-            || {
-                let mut tor = TorNet::new();
-                let m1 = tor.add_host(HostProfile::us_e());
-                let m2 = tor.add_host(HostProfile::host_nl());
-                let h = tor.add_host(HostProfile::us_sw());
-                let relay = tor.add_relay(
-                    h,
-                    RelayConfig::new("t").with_rate_limit(Rate::from_mbit(250.0)),
-                );
-                let team = Team::with_capacities(&[
-                    (m1, Rate::from_mbit(941.0)),
-                    (m2, Rate::from_mbit(1611.0)),
-                ]);
-                (tor, team, relay)
-            },
-            |(mut tor, team, relay)| {
-                let mut rng = SimRng::seed_from_u64(3);
-                measure_once(
-                    &mut tor,
-                    relay,
-                    &team,
-                    Rate::from_mbit(250.0),
-                    &Params::paper(),
-                    &mut rng,
-                )
-                .unwrap()
-            },
-            BatchSize::LargeInput,
-        )
+fn bench_measurement_slot() {
+    let ns = time_ns(3, 1, || {
+        let mut tor = TorNet::new();
+        let m1 = tor.add_host(HostProfile::us_e());
+        let m2 = tor.add_host(HostProfile::host_nl());
+        let h = tor.add_host(HostProfile::us_sw());
+        let relay = tor.add_relay(h, RelayConfig::new("t").with_rate_limit(Rate::from_mbit(250.0)));
+        let team =
+            Team::with_capacities(&[(m1, Rate::from_mbit(941.0)), (m2, Rate::from_mbit(1611.0))]);
+        let mut rng = SimRng::seed_from_u64(3);
+        measure_once(&mut tor, relay, &team, Rate::from_mbit(250.0), &Params::paper(), &mut rng)
+            .unwrap()
     });
-    group.finish();
+    report("core/measure_once_30s_slot", ns);
 }
 
-fn bench_archive_analysis(c: &mut Criterion) {
+fn bench_archive_analysis() {
     use flashflow_metrics::error::nwe_series;
     use flashflow_metrics::synth::{generate, SynthConfig};
     let synth = generate(&SynthConfig::test_scale(4));
     let (d, ..) = synth.archive.period_steps();
-    c.bench_function("metrics/nwe_series_2y_archive", |b| {
-        b.iter(|| nwe_series(std::hint::black_box(&synth.archive), d))
-    });
+    let ns = time_ns(5, 3, || nwe_series(black_box(&synth.archive), d));
+    report("metrics/nwe_series_2y_archive", ns);
 }
 
-fn bench_onion_crypto(c: &mut Criterion) {
+fn bench_onion_crypto() {
     use flashflow_tornet::cell::PAYLOAD_LEN;
     use flashflow_tornet::crypto::{RelayLayer, SharedKey};
     let mut layer = RelayLayer::new(SharedKey::from_raw(42));
     let mut payload = [0xA5u8; PAYLOAD_LEN];
-    c.bench_function("tornet/relay_peel_one_cell", |b| {
-        b.iter(|| {
-            layer.peel_outbound(std::hint::black_box(&mut payload));
-        })
+    let ns = time_ns(9, 5000, || {
+        layer.peel_outbound(black_box(&mut payload));
     });
+    report("tornet/relay_peel_one_cell", ns);
 }
 
-criterion_group!(
-    benches,
-    bench_greedy_allocate,
-    bench_greedy_pack,
-    bench_randomized_schedule,
-    bench_max_min,
-    bench_measurement_slot,
-    bench_archive_analysis,
-    bench_onion_crypto
-);
-criterion_main!(benches);
+fn main() {
+    bench_greedy_allocate();
+    bench_greedy_pack();
+    bench_randomized_schedule();
+    bench_max_min();
+    bench_measurement_slot();
+    bench_archive_analysis();
+    bench_onion_crypto();
+}

@@ -57,7 +57,11 @@ fn main() {
         ),
     );
     compare("median relays measured", "6419", &format!("{:.0}", median(&relay_counts).unwrap()));
-    compare("median total capacity", "608 Gbit/s", &format!("{:.0} Gbit/s", median(&totals).unwrap()));
+    compare(
+        "median total capacity",
+        "608 Gbit/s",
+        &format!("{:.0} Gbit/s", median(&totals).unwrap()),
+    );
 
     // New-relay latency: a period schedule for the old relays, then new
     // arrivals (median 3 per hourly consensus, prior 51 Mbit/s) assigned
@@ -81,13 +85,12 @@ fn main() {
     for hour in 0..24usize {
         let arrivals = [3usize, 0, 5, 2, 3, 1][hour % 6];
         for a in 0..arrivals {
-            let relay =
-                tor.add_relay(h, flashflow_tornet::relay::RelayConfig::new(format!("new-{hour}-{a}")));
+            let relay = tor
+                .add_relay(h, flashflow_tornet::relay::RelayConfig::new(format!("new-{hour}-{a}")));
             let arrival_slot = hour * slots_per_hour;
             match assign_new_relay(&mut schedule, relay, prior, &params, arrival_slot) {
-                Ok(slot) => {
-                    waits_secs.push(((slot - arrival_slot) as f64 + 1.0) * params.slot.as_secs_f64())
-                }
+                Ok(slot) => waits_secs
+                    .push(((slot - arrival_slot) as f64 + 1.0) * params.slot.as_secs_f64()),
                 Err(e) => println!("  new relay unschedulable: {e}"),
             }
         }

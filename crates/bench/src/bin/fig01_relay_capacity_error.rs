@@ -25,14 +25,16 @@ fn main() {
         print_cdf(&format!("mean capacity error %, p = 1 {label}"), &errors, 11);
         let med = quantile(&errors, 0.5).unwrap_or(0.0);
         let p75 = quantile(&errors, 0.75).unwrap_or(0.0);
-        compare(
-            &format!("median mean-RCE (p = {label})"),
-            paper_median,
-            &format!("{med:.1}%"),
-        );
+        compare(&format!("median mean-RCE (p = {label})"), paper_median, &format!("{med:.1}%"));
         compare(
             &format!("75th-pct mean-RCE (p = {label})"),
-            if label == "day" { "18%" } else if label == "year" { "49%" } else { "—" },
+            if label == "day" {
+                "18%"
+            } else if label == "year" {
+                "49%"
+            } else {
+                "—"
+            },
             &format!("{p75:.1}%"),
         );
     }

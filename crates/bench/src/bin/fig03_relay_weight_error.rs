@@ -16,10 +16,8 @@ fn main() {
     let min_steps = d * 3;
 
     for (label, p) in [("day", d), ("week", w), ("month", m), ("year", y)] {
-        let log_rwe: Vec<f64> = mean_rwe_per_relay(archive, p, min_steps)
-            .iter()
-            .map(|v| v.max(1e-6).log10())
-            .collect();
+        let log_rwe: Vec<f64> =
+            mean_rwe_per_relay(archive, p, min_steps).iter().map(|v| v.max(1e-6).log10()).collect();
         print_cdf(&format!("log10(mean RWE), p = 1 {label}"), &log_rwe, 11);
         let under = log_rwe.iter().filter(|v| **v < 0.0).count() as f64 / log_rwe.len() as f64;
         compare(

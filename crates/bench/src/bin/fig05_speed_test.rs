@@ -15,11 +15,9 @@ fn main() {
     header("fig05", "Relay speed test: discovered capacity and weight error", seed);
     let out = run_speed_test(&SpeedTestConfig::paper_scale(seed));
 
-    let capacity_gbit: Vec<f64> =
-        out.capacity_series.iter().map(|b| b * 8.0 / 1e9).collect();
+    let capacity_gbit: Vec<f64> = out.capacity_series.iter().map(|b| b * 8.0 / 1e9).collect();
     print_series("estimated network capacity (Gbit/s)", "hour", &capacity_gbit, 24);
-    let weight_err_pct: Vec<f64> =
-        out.weight_error_series.iter().map(|v| v * 100.0).collect();
+    let weight_err_pct: Vec<f64> = out.weight_error_series.iter().map(|v| v * 100.0).collect();
     print_series("network weight error (%)", "hour", &weight_err_pct, 24);
 
     println!(
@@ -33,8 +31,8 @@ fn main() {
     );
     let before = mean(&weight_err_pct[out.flood_start_step - 24..out.flood_start_step]).unwrap();
     let after_start = out.flood_start_step + 18; // descriptor lag
-    let campaign = &weight_err_pct
-        [after_start..(out.flood_end_step + 36).min(weight_err_pct.len())];
+    let campaign =
+        &weight_err_pct[after_start..(out.flood_end_step + 36).min(weight_err_pct.len())];
     let peak = campaign.iter().cloned().fold(0.0f64, f64::max);
     compare(
         "weight error increase during test",
@@ -44,7 +42,11 @@ fn main() {
     compare(
         "timeout fraction",
         "2132/6999 = 30%",
-        &format!("{}/{} = {:.0}%", out.timeouts, out.timeouts + out.measured,
-                 100.0 * out.timeouts as f64 / (out.timeouts + out.measured) as f64),
+        &format!(
+            "{}/{} = {:.0}%",
+            out.timeouts,
+            out.timeouts + out.measured,
+            100.0 * out.timeouts as f64 / (out.timeouts + out.measured) as f64
+        ),
     );
 }

@@ -30,7 +30,8 @@ fn ground_truth(limit: Option<f64>, params: &Params) -> f64 {
         Assignment { host: ids[4], allocation: Rate::from_mbit(1611.0), processes: 2, sockets: 80 },
         Assignment { host: ids[2], allocation: Rate::from_mbit(941.0), processes: 2, sockets: 80 },
     ];
-    let m = run_measurement(&mut tor, relay, &assignments, params, TargetBehavior::Honest, &mut rng);
+    let m =
+        run_measurement(&mut tor, relay, &assignments, params, TargetBehavior::Honest, &mut rng);
     m.estimate.bytes_per_sec()
 }
 

@@ -47,10 +47,11 @@ fn main() {
     let mut bg_acc = SecondsAccumulator::new();
 
     // 50 s before, 30 s measurement, 70 s after.
-    let sample = |tor: &TorNet, meas_bytes: f64,
-                      all_acc: &mut SecondsAccumulator,
-                      meas_acc: &mut SecondsAccumulator,
-                      bg_acc: &mut SecondsAccumulator| {
+    let sample = |tor: &TorNet,
+                  meas_bytes: f64,
+                  all_acc: &mut SecondsAccumulator,
+                  meas_acc: &mut SecondsAccumulator,
+                  bg_acc: &mut SecondsAccumulator| {
         all_acc.push(tor.relay_forwarded_last_tick(relay), dt);
         meas_acc.push(meas_bytes, dt);
         bg_acc.push(tor.relay_background_last_tick(relay), dt);
@@ -94,8 +95,16 @@ fn main() {
     let mid = 65; // mid-measurement
     let sum = (meas[mid] + bg[mid]) * 8.0 / 1e6;
     let total = all[mid] * 8.0 / 1e6;
-    compare("reported meas+bg equals relay total", "yes", &format!("{sum:.1} vs {total:.1} Mbit/s"));
-    compare("background clamped during measurement", "25 Mbit/s", &format!("{:.1} Mbit/s", bg[mid] * 8.0 / 1e6));
+    compare(
+        "reported meas+bg equals relay total",
+        "yes",
+        &format!("{sum:.1} vs {total:.1} Mbit/s"),
+    );
+    compare(
+        "background clamped during measurement",
+        "25 Mbit/s",
+        &format!("{:.1} Mbit/s", bg[mid] * 8.0 / 1e6),
+    );
     let before = bg[30] * 8.0 / 1e6;
     let after = bg[all.len() - 20] * 8.0 / 1e6;
     compare("background recovers afterwards", "yes", &format!("{before:.1} -> {after:.1} Mbit/s"));

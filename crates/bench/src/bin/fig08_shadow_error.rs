@@ -22,10 +22,7 @@ fn main() {
     compare(
         "interquartile range",
         "~16%",
-        &format!(
-            "{:.1}%",
-            quantile(&rce_pct, 0.75).unwrap() - quantile(&rce_pct, 0.25).unwrap()
-        ),
+        &format!("{:.1}%", quantile(&rce_pct, 0.75).unwrap() - quantile(&rce_pct, 0.25).unwrap()),
     );
     compare("network capacity error", "14%", &format!("{:.1}%", phase.flashflow_nce.abs() * 100.0));
 
@@ -34,6 +31,10 @@ fn main() {
     let tf_under = phase.torflow_rwe_log10.iter().filter(|v| **v < 0.0).count() as f64
         / phase.torflow_rwe_log10.len() as f64;
     compare("TorFlow relays under-weighted", ">80%", &format!("{:.0}%", tf_under * 100.0));
-    compare("network weight error, FlashFlow", "4%", &format!("{:.1}%", phase.flashflow_nwe * 100.0));
+    compare(
+        "network weight error, FlashFlow",
+        "4%",
+        &format!("{:.1}%", phase.flashflow_nwe * 100.0),
+    );
     compare("network weight error, TorFlow", "29%", &format!("{:.1}%", phase.torflow_nwe * 100.0));
 }

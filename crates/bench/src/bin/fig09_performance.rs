@@ -25,7 +25,12 @@ fn main() {
         for load in &exp.loads {
             let samples = load.ttlb(class);
             if let Some(bp) = Boxplot::of(&samples) {
-                println!("  {}{:<4} {}", load.system.label(), format!("{:.0}%", load.load * 100.0), bp);
+                println!(
+                    "  {}{:<4} {}",
+                    load.system.label(),
+                    format!("{:.0}%", load.load * 100.0),
+                    bp
+                );
             }
         }
     }

@@ -34,10 +34,8 @@ fn main() {
     for (label, p, paper) in
         [("day", d, "14%"), ("week", w, "31%"), ("month", m, "43%"), ("year", y, "50%")]
     {
-        let rsd: Vec<f64> = mean_weight_rsd_per_relay(archive, p, min_steps)
-            .iter()
-            .map(|v| v * 100.0)
-            .collect();
+        let rsd: Vec<f64> =
+            mean_weight_rsd_per_relay(archive, p, min_steps).iter().map(|v| v * 100.0).collect();
         print_cdf(&format!("weight RSD %, p = 1 {label}"), &rsd, 9);
         let med = quantile(&rsd, 0.5).unwrap_or(0.0);
         compare(&format!("median weight RSD (p = {label})"), paper, &format!("{med:.0}%"));

@@ -44,20 +44,24 @@ fn main() {
         // n circuits on one socket: the window cap scales, the KIST
         // single-socket cap does not.
         let rtt = tor2.circuit_rtt(client2, &[relay2], client2).as_secs_f64().max(1e-4);
-        let window_cap =
-            n as f64 * flashflow_tornet::circuit::circuit_window_rate_cap(rtt);
+        let window_cap = n as f64 * flashflow_tornet::circuit::circuit_window_rate_cap(rtt);
         let kist_cap = Scheduler::Kist.bundle_cap(1).unwrap();
         tor2.net.engine_mut().set_flow_cap(flow2, Some(window_cap.min(kist_cap)));
         tor2.run_for(SimDuration::from_secs(120));
-        let circuits_mbit =
-            Rate::from_bytes_per_sec(tor2.net.engine().flow_rate(flow2)).as_mbit();
+        let circuits_mbit = Rate::from_bytes_per_sec(tor2.net.engine().flow_rate(flow2)).as_mbit();
         circuits_values.push(circuits_mbit);
         println!("{n:>8} {sockets_mbit:>16.0} {circuits_mbit:>16.0}");
     }
-    compare("sockets-curve peak", "1248 Mbit/s near 13-20 sockets",
-            &format!("{:.0} Mbit/s at {}", peak.1, peak.0));
+    compare(
+        "sockets-curve peak",
+        "1248 Mbit/s near 13-20 sockets",
+        &format!("{:.0} Mbit/s at {}", peak.1, peak.0),
+    );
     let spread = circuits_values.iter().cloned().fold(f64::MIN, f64::max)
         - circuits_values.iter().cloned().fold(f64::MAX, f64::min);
-    compare("circuits curve flat", "yes (KIST single-socket limit)",
-            &format!("spread {spread:.0} Mbit/s"));
+    compare(
+        "circuits curve flat",
+        "yes (KIST single-socket limit)",
+        &format!("spread {spread:.0} Mbit/s"),
+    );
 }

@@ -9,10 +9,10 @@
 use flashflow_bench::{compare, header};
 use flashflow_simnet::host::{HostProfile, Net};
 use flashflow_simnet::stats::median;
+use flashflow_simnet::stats::SecondsAccumulator;
 use flashflow_simnet::tcp::KernelProfile;
 use flashflow_simnet::time::SimDuration;
 use flashflow_simnet::units::Rate;
-use flashflow_simnet::stats::SecondsAccumulator;
 use flashflow_tornet::netbuild::TorNet;
 use flashflow_tornet::relay::RelayConfig;
 

@@ -34,10 +34,7 @@ fn main() {
                 peaks[k] = s;
             }
         }
-        println!(
-            "{:>8} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
-            s as u32, row[1], row[2], row[3], row[4]
-        );
+        println!("{:>8} {:>10.0} {:>10.0} {:>10.0} {:>10.0}", s, row[1], row[2], row[3], row[4]);
         rows.push(row);
     }
     for (k, name) in ["US-NW", "US-E", "IN", "NL"].iter().enumerate() {

@@ -23,7 +23,10 @@ fn main() {
     let limits: [Option<f64>; 5] = [Some(10.0), Some(250.0), Some(500.0), Some(750.0), None];
     let gts: Vec<f64> = limits
         .iter()
-        .map(|l| l.map(|v| Rate::from_mbit(v).bytes_per_sec()).unwrap_or(Rate::from_mbit(890.0).bytes_per_sec()))
+        .map(|l| {
+            l.map(|v| Rate::from_mbit(v).bytes_per_sec())
+                .unwrap_or(Rate::from_mbit(890.0).bytes_per_sec())
+        })
         .collect();
 
     println!("{:>6} {:>60}", "m", "estimate / ground truth");
@@ -81,8 +84,5 @@ fn main() {
             first_clean = Some(m);
         }
     }
-    println!(
-        "smallest m with no result below 0.8x ground truth: {:?} (paper: 2.25)",
-        first_clean
-    );
+    println!("smallest m with no result below 0.8x ground truth: {:?} (paper: 2.25)", first_clean);
 }

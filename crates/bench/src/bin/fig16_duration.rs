@@ -51,7 +51,14 @@ fn main() {
                 })
                 .collect();
             let mut rng = SimRng::seed_from_u64(jitter_seed ^ 0xD00D);
-            let m = run_measurement(&mut tor, relay, &assignments, &params, TargetBehavior::Honest, &mut rng);
+            let m = run_measurement(
+                &mut tor,
+                relay,
+                &assignments,
+                &params,
+                TargetBehavior::Honest,
+                &mut rng,
+            );
             let z: Vec<f64> = m.seconds.iter().map(|s| s.z).collect();
             runs.push((z, gt));
         }
@@ -59,10 +66,8 @@ fn main() {
 
     let mut best: Option<(&str, f64)> = None;
     for (label, k) in [("10s", 10usize), ("20s", 20), ("30s", 30), ("60s", 60)] {
-        let fractions: Vec<f64> = runs
-            .iter()
-            .map(|(z, gt)| median(&z[..k.min(z.len())]).unwrap_or(0.0) / gt)
-            .collect();
+        let fractions: Vec<f64> =
+            runs.iter().map(|(z, gt)| median(&z[..k.min(z.len())]).unwrap_or(0.0) / gt).collect();
         print_cdf(&format!("{label} median, fraction of capacity"), &fractions, 7);
         let lo = fractions.iter().cloned().fold(f64::MAX, f64::min);
         let hi = fractions.iter().cloned().fold(f64::MIN, f64::max);

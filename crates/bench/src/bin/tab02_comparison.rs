@@ -44,11 +44,42 @@ fn main() {
     let pf_bound = peerflow_advantage_bound(0.2);
     let ff_bound = flashflow_advantage_bound(params.ratio);
 
-    println!("{:<12} {:>10} {:>12} {:>10} {:>10}", "system", "server BW", "attack adv", "capacity?", "speed");
-    println!("{:<12} {:>10} {:>12} {:>10} {:>10}", "TorFlow", "1 Gbit/s", format!("{:.0}x", tf.advantage()), "partial", "2 days");
-    println!("{:<12} {:>10} {:>12} {:>10} {:>10}", "EigenSpeed", "0", format!("{:.1}x", es.advantage()), "no", "1 day");
-    println!("{:<12} {:>10} {:>12} {:>10} {:>10}", "PeerFlow", "0", format!("{:.0}x", pf_bound), "partial", "14 days+");
-    println!("{:<12} {:>10} {:>12} {:>10} {:>10}", "FlashFlow", "3 Gbit/s", format!("{:.2}x", ff_bound), "yes", format!("{hours:.1} h"));
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>10}",
+        "system", "server BW", "attack adv", "capacity?", "speed"
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>10}",
+        "TorFlow",
+        "1 Gbit/s",
+        format!("{:.0}x", tf.advantage()),
+        "partial",
+        "2 days"
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>10}",
+        "EigenSpeed",
+        "0",
+        format!("{:.1}x", es.advantage()),
+        "no",
+        "1 day"
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>10}",
+        "PeerFlow",
+        "0",
+        format!("{:.0}x", pf_bound),
+        "partial",
+        "14 days+"
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>10}",
+        "FlashFlow",
+        "3 Gbit/s",
+        format!("{:.2}x", ff_bound),
+        "yes",
+        format!("{hours:.1} h")
+    );
 
     compare("TorFlow attack advantage", "177x", &format!("{:.0}x", tf.advantage()));
     compare("EigenSpeed attack advantage", "21.5x", &format!("{:.1}x", es.advantage()));

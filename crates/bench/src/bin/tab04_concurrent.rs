@@ -6,7 +6,7 @@
 //! the (−20%, +5%) bounds.
 
 use flashflow_bench::{compare, header};
-use flashflow_core::measure::{BatchItem, Assignment, run_concurrent_measurements};
+use flashflow_core::measure::{run_concurrent_measurements, Assignment, BatchItem};
 use flashflow_core::params::Params;
 use flashflow_core::verify::TargetBehavior;
 use flashflow_simnet::host::Net;

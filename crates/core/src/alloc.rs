@@ -65,9 +65,7 @@ pub fn greedy_allocate(residual: &[f64], needed: f64) -> Result<Vec<f64>, AllocE
     let mut remaining = needed;
     // Index order of descending residual capacity (stable for ties).
     let mut order: Vec<usize> = (0..residual.len()).collect();
-    order.sort_by(|&a, &b| {
-        residual[b].partial_cmp(&residual[a]).expect("finite").then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| residual[b].partial_cmp(&residual[a]).expect("finite").then(a.cmp(&b)));
     for i in order {
         if remaining <= 0.0 {
             break;

@@ -17,6 +17,7 @@ use flashflow_tornet::relay::RelayId;
 
 use crate::measure::{assignments_for, BatchItem};
 use crate::params::Params;
+use crate::proto_driver::{run_concurrent_measurements_via_proto, ProtoConfig};
 use crate::schedule::{build_randomized_schedule, Schedule, ScheduleError};
 use crate::sequence::SequenceEnd;
 use crate::team::Team;
@@ -59,6 +60,17 @@ impl BandwidthFile {
     }
 }
 
+/// How a BWAuth executes its measurement slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MeasureBackend {
+    /// Direct calls into the blast loop (the original shared-memory path).
+    #[default]
+    Direct,
+    /// The `flashflow-proto` control protocol: sessions, frames, and
+    /// timeouts between the coordinator and every measurer and target.
+    Protocol,
+}
+
 /// A Bandwidth Authority with its measurement team.
 #[derive(Debug)]
 pub struct BwAuth {
@@ -68,13 +80,28 @@ pub struct BwAuth {
     pub team: Team,
     /// FlashFlow parameters.
     pub params: Params,
+    /// How slots are executed.
+    pub backend: MeasureBackend,
     rng: SimRng,
 }
 
 impl BwAuth {
-    /// Creates an authority with its own RNG stream.
+    /// Creates an authority with its own RNG stream, using the direct
+    /// measurement backend.
     pub fn new(name: impl Into<String>, team: Team, params: Params, seed: u64) -> Self {
-        BwAuth { name: name.into(), team, params, rng: SimRng::seed_from_u64(seed) }
+        BwAuth {
+            name: name.into(),
+            team,
+            params,
+            backend: MeasureBackend::default(),
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Selects the measurement backend (builder style).
+    pub fn with_backend(mut self, backend: MeasureBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Derives this period's randomized schedule for the given old relays
@@ -145,8 +172,25 @@ impl BwAuth {
                     behavior: behavior_of(*relay),
                 })
                 .collect();
-            let results =
-                crate::measure::run_concurrent_measurements(tor, &batch, &self.params, &mut self.rng);
+            let results = match self.backend {
+                MeasureBackend::Direct => crate::measure::run_concurrent_measurements(
+                    tor,
+                    &batch,
+                    &self.params,
+                    &mut self.rng,
+                ),
+                MeasureBackend::Protocol => run_concurrent_measurements_via_proto(
+                    tor,
+                    &batch,
+                    &self.params,
+                    &mut self.rng,
+                    &ProtoConfig::default(),
+                    &[],
+                )
+                .into_iter()
+                .map(|p| p.measurement)
+                .collect(),
+            };
 
             for ((relay, prior, rounds, _), m) in slot_items.into_iter().zip(results) {
                 let rounds = rounds + 1;
@@ -173,10 +217,7 @@ impl BwAuth {
                     file.entries
                         .insert(relay, BwEntry { relay, capacity: m.estimate, end, rounds });
                 } else {
-                    let next = m
-                        .estimate
-                        .bytes_per_sec()
-                        .max(2.0 * prior.bytes_per_sec());
+                    let next = m.estimate.bytes_per_sec().max(2.0 * prior.bytes_per_sec());
                     queue.push((relay, Rate::from_bytes_per_sec(next), rounds));
                 }
             }
@@ -231,10 +272,8 @@ mod tests {
             );
             relays.push((r, Rate::from_mbit(*limit)));
         }
-        let team = Team::with_capacities(&[
-            (m1, Rate::from_mbit(941.0)),
-            (m2, Rate::from_mbit(1611.0)),
-        ]);
+        let team =
+            Team::with_capacities(&[(m1, Rate::from_mbit(941.0)), (m2, Rate::from_mbit(1611.0))]);
         (tor, team, relays)
     }
 
@@ -292,7 +331,12 @@ mod tests {
         let relay = fake_relay(0);
         f1.entries.insert(
             relay,
-            BwEntry { relay, capacity: Rate::from_mbit(10.0), end: SequenceEnd::Converged, rounds: 1 },
+            BwEntry {
+                relay,
+                capacity: Rate::from_mbit(10.0),
+                end: SequenceEnd::Converged,
+                rounds: 1,
+            },
         );
         let agg = aggregate_bwauths(&[f1, BandwidthFile::default(), BandwidthFile::default()]);
         assert!(agg.is_empty());

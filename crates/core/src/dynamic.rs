@@ -34,7 +34,11 @@ impl DynamicReport {
     /// rejection would let a relay veto the mechanism).
     pub fn sanitized(self) -> Self {
         DynamicReport {
-            utilization: if self.utilization.is_finite() { self.utilization.clamp(0.0, 1.0) } else { 0.0 },
+            utilization: if self.utilization.is_finite() {
+                self.utilization.clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
             cpu_load: if self.cpu_load.is_finite() { self.cpu_load.clamp(0.0, 1.0) } else { 0.0 },
         }
     }
@@ -82,10 +86,7 @@ pub fn adjust_weights(
     secure
         .iter()
         .map(|(relay, capacity)| {
-            let mult = reports
-                .get(relay)
-                .map(|r| policy.multiplier(*r))
-                .unwrap_or(1.0);
+            let mult = reports.get(relay).map(|r| policy.multiplier(*r)).unwrap_or(1.0);
             (*relay, capacity.bytes_per_sec() * mult)
         })
         .collect()
@@ -126,10 +127,8 @@ mod tests {
         let secure: BTreeMap<RelayId, Rate> =
             ids.iter().map(|r| (*r, Rate::from_mbit(100.0))).collect();
         // An adversarial report claiming negative load (trying to gain).
-        let reports = BTreeMap::from([(
-            ids[0],
-            DynamicReport { utilization: -5.0, cpu_load: f64::NAN },
-        )]);
+        let reports =
+            BTreeMap::from([(ids[0], DynamicReport { utilization: -5.0, cpu_load: f64::NAN })]);
         let adjusted = adjust_weights(&secure, &reports, &DynamicPolicy::default());
         for (relay, w) in &adjusted {
             assert!(
@@ -155,10 +154,7 @@ mod tests {
         let ids = relay_ids(2);
         let secure: BTreeMap<RelayId, Rate> =
             ids.iter().map(|r| (*r, Rate::from_mbit(100.0))).collect();
-        let reports = BTreeMap::from([(
-            ids[0],
-            DynamicReport { utilization: 1.0, cpu_load: 0.9 },
-        )]);
+        let reports = BTreeMap::from([(ids[0], DynamicReport { utilization: 1.0, cpu_load: 0.9 })]);
         let adjusted = adjust_weights(&secure, &reports, &DynamicPolicy::default());
         assert!(adjusted[&ids[0]] < adjusted[&ids[1]]);
     }

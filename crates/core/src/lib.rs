@@ -22,6 +22,7 @@
 //! | [`team`] | §4, §4.2 | measurement teams, measuring measurers |
 //! | [`alloc`] | §4.2 | greedy capacity allocation |
 //! | [`measure`] | §4.1 | one (or many concurrent) measurement slots |
+//! | [`proto_driver`] | §4.1 | the same slots driven end-to-end through the `flashflow-proto` control protocol |
 //! | [`verify`] | §4.1, §5 | random cell spot-checks |
 //! | [`sequence`] | §4.2 | adaptive re-measurement with doubling |
 //! | [`schedule`] | §4.3 | randomized period schedules, greedy packing |
@@ -61,6 +62,7 @@ pub mod bwauth;
 pub mod dynamic;
 pub mod measure;
 pub mod params;
+pub mod proto_driver;
 pub mod schedule;
 pub mod security;
 pub mod sequence;
@@ -73,12 +75,18 @@ pub use params::Params;
 /// Convenient glob-import of the most used types.
 pub mod prelude {
     pub use crate::alloc::{greedy_allocate, greedy_allocate_rates, AllocError};
-    pub use crate::bwauth::{aggregate_bwauths, BandwidthFile, BwAuth, BwEntry};
+    pub use crate::bwauth::{aggregate_bwauths, BandwidthFile, BwAuth, BwEntry, MeasureBackend};
+    pub use crate::dynamic::{adjust_weights, DynamicPolicy, DynamicReport};
     pub use crate::measure::{
         assignments_for, measure_once, run_concurrent_measurements, run_measurement, Assignment,
         BatchItem, Measurement, SecondSample,
     };
     pub use crate::params::Params;
+    pub use crate::proto_driver::{
+        fingerprint_for, measure_via_proto, run_concurrent_measurements_via_proto,
+        run_measurement_via_proto, FaultSpec, PeerFailure, PeerFault, ProtoConfig,
+        ProtoMeasurement,
+    };
     pub use crate::schedule::{
         assign_new_relay, build_randomized_schedule, greedy_pack, Planned, Schedule,
     };
@@ -86,7 +94,6 @@ pub mod prelude {
         capacity_on_demand_failure_probability, max_inflation_factor, summarize,
     };
     pub use crate::sequence::{measure_relay, new_relay_prior, SequenceEnd, SequenceOutcome};
-    pub use crate::dynamic::{adjust_weights, DynamicPolicy, DynamicReport};
     pub use crate::sybil::{measure_family, FamilyMeasurement};
     pub use crate::team::{Measurer, Team};
     pub use crate::verify::{evasion_probability, spot_check, TargetBehavior, VerificationOutcome};

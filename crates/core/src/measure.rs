@@ -71,6 +71,21 @@ pub struct SecondSample {
     pub z: f64,
 }
 
+/// Builds per-second protocol records from measurement (`x_j`) and
+/// reported-background (`y_j`) series, applying the BWAuth ratio clamp.
+/// Missing trailing background reports (a target that stopped reporting)
+/// count as zero rather than truncating the slot.
+pub fn build_second_samples(x: &[f64], y_reported: &[f64], ratio: f64) -> Vec<SecondSample> {
+    x.iter()
+        .enumerate()
+        .map(|(j, &x)| {
+            let y_reported = y_reported.get(j).copied().unwrap_or(0.0);
+            let y_accepted = clamp_reported_background(y_reported, x, ratio);
+            SecondSample { x, y_reported, y_accepted, z: x + y_accepted }
+        })
+        .collect()
+}
+
 /// The result of one measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
@@ -93,8 +108,7 @@ impl Measurement {
     /// §4.2's acceptance test: is the estimate small enough, relative to
     /// the allocated capacity, to be conclusive?
     pub fn conclusive(&self, params: &Params) -> bool {
-        self.estimate.bytes_per_sec()
-            < params.acceptance_threshold(self.allocated.bytes_per_sec())
+        self.estimate.bytes_per_sec() < params.acceptance_threshold(self.allocated.bytes_per_sec())
     }
 }
 
@@ -155,8 +169,7 @@ pub fn run_concurrent_measurements(
     while tor.now() < end {
         tor.tick();
         for (flows, acc) in per_item_flows.iter().zip(&mut x_accs) {
-            let bytes: f64 =
-                flows.iter().map(|f| tor.net.engine().flow_bytes_last_tick(*f)).sum();
+            let bytes: f64 = flows.iter().map(|f| tor.net.engine().flow_bytes_last_tick(*f)).sum();
             acc.push(bytes, dt);
         }
     }
@@ -173,14 +186,8 @@ pub fn run_concurrent_measurements(
 
         let x_seconds = x_acc.into_seconds();
         let n = x_seconds.len().min(y_reports.len());
-        let seconds: Vec<SecondSample> = (0..n)
-            .map(|j| {
-                let x = x_seconds[j];
-                let y_reported = y_reports[j].reported_background;
-                let y_accepted = clamp_reported_background(y_reported, x, ratio);
-                SecondSample { x, y_reported, y_accepted, z: x + y_accepted }
-            })
-            .collect();
+        let y_seconds: Vec<f64> = y_reports[..n].iter().map(|r| r.reported_background).collect();
+        let seconds = build_second_samples(&x_seconds[..n], &y_seconds, ratio);
 
         let z_values: Vec<f64> = seconds.iter().map(|s| s.z).collect();
         let estimate = Rate::from_bytes_per_sec(median(&z_values).unwrap_or(0.0));
@@ -189,12 +196,8 @@ pub fn run_concurrent_measurements(
         let verification =
             spot_check(total_measurement_bytes, params.check_probability, item.behavior, rng);
 
-        let allocated: Rate = item
-            .assignments
-            .iter()
-            .filter(|a| !a.allocation.is_zero())
-            .map(|a| a.allocation)
-            .sum();
+        let allocated: Rate =
+            item.assignments.iter().filter(|a| !a.allocation.is_zero()).map(|a| a.allocation).sum();
         results.push(Measurement { estimate, seconds, allocated, verification });
     }
     results
@@ -216,8 +219,7 @@ pub fn run_measurement(
     behavior: TargetBehavior,
     rng: &mut SimRng,
 ) -> Measurement {
-    let items =
-        vec![BatchItem { target, assignments: assignments.to_vec(), behavior }];
+    let items = vec![BatchItem { target, assignments: assignments.to_vec(), behavior }];
     run_concurrent_measurements(tor, &items, params, rng)
         .pop()
         .expect("one item yields one measurement")
@@ -261,10 +263,8 @@ mod tests {
             config = config.with_rate_limit(Rate::from_mbit(l));
         }
         let relay = tor.add_relay(target_host, config);
-        let team = Team::with_capacities(&[
-            (m1, Rate::from_mbit(941.0)),
-            (m2, Rate::from_mbit(1611.0)),
-        ]);
+        let team =
+            Team::with_capacities(&[(m1, Rate::from_mbit(941.0)), (m2, Rate::from_mbit(1611.0))]);
         (tor, team, relay)
     }
 
@@ -307,10 +307,8 @@ mod tests {
                 .with_rate_limit(Rate::from_mbit(200.0))
                 .with_inflated_reporting(),
         );
-        let team = Team::with_capacities(&[
-            (m1, Rate::from_mbit(941.0)),
-            (m2, Rate::from_mbit(1611.0)),
-        ]);
+        let team =
+            Team::with_capacities(&[(m1, Rate::from_mbit(941.0)), (m2, Rate::from_mbit(1611.0))]);
         let params = Params::paper();
         let mut rng = SimRng::seed_from_u64(44);
         let m = measure_once(&mut tor, relay, &team, Rate::from_mbit(200.0), &params, &mut rng)

@@ -1,0 +1,651 @@
+//! Running measurements *through* the control protocol (§4.1).
+//!
+//! [`measure_once`](crate::measure::measure_once) and friends call the
+//! blast loop directly — coordinator and measurers share memory. This
+//! module is the production-shaped path: the coordinator drives each
+//! measurer and the target relay through `flashflow-proto` sessions over
+//! an in-memory byte-stream transport, and **only** session actions start
+//! or stop traffic. Per-second byte counts cross the wire as
+//! `SecondReport` frames; the estimate is computed from what the frames
+//! said, not from shared state.
+//!
+//! One slot, per peer (measurers and the reporting target):
+//!
+//! 1. `Auth`/`AuthOk` with a per-peer pre-shared token;
+//! 2. `MeasureCmd` (fingerprint, slot seconds, socket share, rate cap `a_i`)
+//!    answered by `Ready`;
+//! 3. a `Go` barrier released only when every surviving peer is ready;
+//! 4. `SecondReport` per completed second — measurers report echoed
+//!    measurement bytes (`x_j` shares), the target reports background
+//!    bytes (`y_j`);
+//! 5. `SlotDone`, after which flows are torn down.
+//!
+//! A peer that fails authentication, stalls mid-handshake, or goes silent
+//! mid-slot is aborted by its session timeout and its contribution
+//! dropped: the measurement *degrades* instead of wedging, and the slot
+//! always terminates (there is also a hard wall-clock bound).
+
+use flashflow_proto::msg::{AbortReason, MeasureSpec, PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN};
+use flashflow_proto::session::{
+    CoordAction, CoordPhase, CoordinatorSession, MeasurerAction, MeasurerSession, SessionTimeouts,
+};
+use flashflow_proto::transport::{Duplex, End};
+use flashflow_simnet::engine::FlowId;
+use flashflow_simnet::host::HostId;
+use flashflow_simnet::rng::SimRng;
+use flashflow_simnet::stats::{median, SecondsAccumulator};
+use flashflow_simnet::time::SimDuration;
+use flashflow_simnet::units::Rate;
+use flashflow_tornet::netbuild::TorNet;
+use flashflow_tornet::relay::RelayId;
+
+use crate::alloc::AllocError;
+use crate::measure::{assignments_for, build_second_samples, BatchItem, Measurement};
+use crate::params::Params;
+use crate::team::Team;
+use crate::verify::{spot_check, TargetBehavior};
+
+/// Transport and liveness knobs for a protocol-driven slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtoConfig {
+    /// Session timeouts (handshake steps, report gaps).
+    pub timeouts: SessionTimeouts,
+    /// One-way latency of every control connection.
+    pub control_latency: SimDuration,
+    /// Stream chunk size; deliberately not frame-aligned so reassembly
+    /// is exercised on every message.
+    pub chunk: usize,
+}
+
+impl Default for ProtoConfig {
+    fn default() -> Self {
+        ProtoConfig {
+            timeouts: SessionTimeouts::default(),
+            control_latency: SimDuration::from_secs_f64(0.040),
+            chunk: 97,
+        }
+    }
+}
+
+/// Fault injection for tests and failure-mode experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerFault {
+    /// The measurer crashes after reporting this many seconds: flows
+    /// stop and no further frames are sent.
+    StallAfterSeconds(u32),
+}
+
+/// Binds a fault to one measurer of one batch item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Index into the batch.
+    pub item: usize,
+    /// The measurer host to break.
+    pub host: HostId,
+    /// How it breaks.
+    pub fault: PeerFault,
+}
+
+/// A peer whose session ended in failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerFailure {
+    /// The measurer host, or `None` for the target's reporting session.
+    pub host: Option<HostId>,
+    /// The peer's protocol role.
+    pub role: PeerRole,
+    /// The abort reason its coordinator session recorded.
+    pub reason: AbortReason,
+}
+
+/// A measurement that ran through the protocol, with provenance.
+#[derive(Debug, Clone)]
+pub struct ProtoMeasurement {
+    /// The aggregate result (same type the direct path produces).
+    pub measurement: Measurement,
+    /// Peers that were aborted; empty for a clean slot.
+    pub failures: Vec<PeerFailure>,
+    /// Control frames sent by the coordinator, across its sessions.
+    pub frames_tx: u64,
+    /// Control frames received by the coordinator, across its sessions.
+    pub frames_rx: u64,
+}
+
+impl ProtoMeasurement {
+    /// True if every peer completed its session cleanly.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Deterministic 20-byte fingerprint for a simulated relay.
+pub fn fingerprint_for(relay: RelayId) -> [u8; FINGERPRINT_LEN] {
+    let mut fp = [0u8; FINGERPRINT_LEN];
+    let ix = relay.index() as u64;
+    fp[..8].copy_from_slice(&ix.to_be_bytes());
+    // Spread the index through the rest so fingerprints look distinct.
+    let mut h = ix.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xF1A5_00F1_A500_F1A5;
+    for b in fp[8..].iter_mut() {
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        *b = (h & 0xFF) as u8;
+    }
+    fp
+}
+
+fn fresh_token(rng: &mut SimRng) -> [u8; AUTH_TOKEN_LEN] {
+    let mut token = [0u8; AUTH_TOKEN_LEN];
+    for chunk in token.chunks_mut(8) {
+        let word = rng.next_u64().to_be_bytes();
+        chunk.copy_from_slice(&word[..chunk.len()]);
+    }
+    token
+}
+
+/// One coordinator↔peer conversation plus the peer's local state.
+struct Peer {
+    item: usize,
+    host: Option<HostId>,
+    role: PeerRole,
+    coord: CoordinatorSession,
+    session: MeasurerSession,
+    link: Duplex,
+    /// Blast flows (measurer role only), live once started.
+    flows: Vec<FlowId>,
+    acc: SecondsAccumulator,
+    reported: u32,
+    /// Background seconds already forwarded (target role only).
+    bg_sent: usize,
+    processes: u32,
+    fault: Option<PeerFault>,
+    started: bool,
+    go_sent: bool,
+    /// Samples received over the wire, quarantined per peer: they only
+    /// enter the estimate if the whole session completes cleanly, so an
+    /// aborted peer's contribution is dropped in full.
+    samples: Vec<(u32, u64, u64)>,
+}
+
+impl Peer {
+    fn stalled(&self) -> bool {
+        match self.fault {
+            Some(PeerFault::StallAfterSeconds(n)) => self.reported >= n,
+            None => false,
+        }
+    }
+}
+
+/// Runs a batch of concurrent measurements entirely through
+/// `flashflow-proto` sessions. The contract mirrors
+/// [`run_concurrent_measurements`](crate::measure::run_concurrent_measurements):
+/// one result per item, in order.
+///
+/// # Panics
+/// Panics if any item has no participating measurer.
+pub fn run_concurrent_measurements_via_proto(
+    tor: &mut TorNet,
+    items: &[BatchItem],
+    params: &Params,
+    rng: &mut SimRng,
+    cfg: &ProtoConfig,
+    faults: &[FaultSpec],
+) -> Vec<ProtoMeasurement> {
+    let slot_secs = params.slot.as_secs() as u32;
+    assert!(slot_secs > 0, "slot must be at least one second");
+    let now0 = tor.now();
+
+    // Build every conversation up front; `start` queues the Auth frames.
+    let mut peers: Vec<Peer> = Vec::new();
+    for (ix, item) in items.iter().enumerate() {
+        let fp = fingerprint_for(item.target);
+        let active: Vec<_> = item.assignments.iter().filter(|a| !a.allocation.is_zero()).collect();
+        assert!(!active.is_empty(), "measurement needs at least one participating measurer");
+        for a in &active {
+            let token = fresh_token(rng);
+            let spec = MeasureSpec {
+                relay_fp: fp,
+                slot_secs,
+                sockets: a.sockets,
+                rate_cap: a.allocation.bytes_per_sec() as u64,
+            };
+            let fault = faults.iter().find(|f| f.item == ix && f.host == a.host).map(|f| f.fault);
+            let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec, cfg.timeouts);
+            coord.start(now0);
+            peers.push(Peer {
+                item: ix,
+                host: Some(a.host),
+                role: PeerRole::Measurer,
+                coord,
+                session: MeasurerSession::new(
+                    token,
+                    PeerRole::Measurer,
+                    rng.next_u64(),
+                    cfg.timeouts,
+                ),
+                link: Duplex::new(cfg.control_latency, cfg.chunk),
+                flows: Vec::new(),
+                acc: SecondsAccumulator::new(),
+                reported: 0,
+                bg_sent: 0,
+                processes: a.processes.max(1),
+                fault,
+                started: false,
+                go_sent: false,
+                samples: Vec::new(),
+            });
+        }
+        // The target relay's reporting session.
+        let token = fresh_token(rng);
+        let spec = MeasureSpec { relay_fp: fp, slot_secs, sockets: 0, rate_cap: 0 };
+        let mut coord = CoordinatorSession::new(token, PeerRole::Target, spec, cfg.timeouts);
+        coord.start(now0);
+        peers.push(Peer {
+            item: ix,
+            host: None,
+            role: PeerRole::Target,
+            coord,
+            session: MeasurerSession::new(token, PeerRole::Target, rng.next_u64(), cfg.timeouts),
+            link: Duplex::new(cfg.control_latency, cfg.chunk),
+            flows: Vec::new(),
+            acc: SecondsAccumulator::new(),
+            reported: 0,
+            bg_sent: 0,
+            processes: 0,
+            fault: None,
+            started: false,
+            go_sent: false,
+            samples: Vec::new(),
+        });
+    }
+
+    // Per-item failure records, filled by coordinator PeerFailed actions.
+    let mut failures: Vec<Vec<PeerFailure>> = vec![Vec::new(); items.len()];
+    let mut governor_on: Vec<bool> = vec![false; items.len()];
+    let mut ended: Vec<bool> = vec![false; items.len()];
+
+    // Generous hard wall: handshake, slot, report-timeout drain, margin.
+    let hard_deadline = now0
+        + cfg.timeouts.handshake * 3
+        + params.slot
+        + cfg.timeouts.report * 3
+        + SimDuration::from_secs(30);
+
+    let dt = tor.net.engine().tick_duration().as_secs_f64();
+    while !peers.iter().all(|p| p.coord.is_terminal()) {
+        let now = tor.now();
+        if now >= hard_deadline {
+            for p in peers.iter_mut().filter(|p| !p.coord.is_terminal()) {
+                p.coord.abort(AbortReason::Shutdown);
+            }
+        }
+
+        tor.tick();
+        let now = tor.now();
+
+        // Account the tick's bytes and complete seconds at every peer.
+        for p in peers.iter_mut() {
+            match p.role {
+                PeerRole::Measurer => {
+                    if !p.started || p.session.is_terminal() {
+                        continue;
+                    }
+                    let bytes: f64 =
+                        p.flows.iter().map(|f| tor.net.engine().flow_bytes_last_tick(*f)).sum();
+                    p.acc.push(bytes, dt);
+                    while (p.reported as usize) < p.acc.seconds().len() && !p.session.is_terminal()
+                    {
+                        if p.stalled() {
+                            // Crash simulation: traffic and reports both
+                            // stop; the coordinator's timeout must react.
+                            for f in &p.flows {
+                                tor.net.engine_mut().stop_flow(*f);
+                            }
+                            break;
+                        }
+                        let measured = p.acc.seconds()[p.reported as usize].round() as u64;
+                        p.session.report_second(0, measured);
+                        p.reported += 1;
+                    }
+                }
+                PeerRole::Target => {
+                    if !p.started || p.session.is_terminal() {
+                        continue;
+                    }
+                    let target = items[p.item].target;
+                    let reports = tor.relay_background_seconds(target);
+                    while p.bg_sent < reports.len() && !p.session.is_terminal() {
+                        let bg = reports[p.bg_sent].reported_background.round() as u64;
+                        p.session.report_second(bg, 0);
+                        p.bg_sent += 1;
+                    }
+                }
+            }
+        }
+
+        // Pump frames until this tick moves no more bytes: coordinator
+        // outbound → link → peer, peer outbound → link → coordinator.
+        loop {
+            let mut moved = false;
+            for p in peers.iter_mut() {
+                while let Some(frame) = p.coord.poll_outbound() {
+                    p.link.send(End::A, now, &frame);
+                    moved = true;
+                }
+                let inbound = p.link.recv(End::B, now);
+                if !inbound.is_empty() && !p.stalled() {
+                    p.session.receive(now, &inbound);
+                    moved = true;
+                }
+                while let Some(frame) = p.session.poll_outbound() {
+                    if !p.stalled() {
+                        p.link.send(End::B, now, &frame);
+                        moved = true;
+                    }
+                }
+                let inbound = p.link.recv(End::A, now);
+                if !inbound.is_empty() {
+                    p.coord.receive(now, &inbound);
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+
+        // Peer-side actions: only these start or stop traffic.
+        for i in 0..peers.len() {
+            while let Some(action) = peers[i].session.poll_action() {
+                match action {
+                    MeasurerAction::Prepare { .. } => {}
+                    MeasurerAction::Start { spec } => {
+                        peers[i].started = true;
+                        if peers[i].role == PeerRole::Measurer {
+                            let host = peers[i].host.expect("measurer has host");
+                            let target = items[peers[i].item].target;
+                            let k = peers[i].processes;
+                            let per_process_cap =
+                                Rate::from_bytes_per_sec(spec.rate_cap as f64 / f64::from(k));
+                            let per_process_sockets = (spec.sockets / k).max(1);
+                            for _ in 0..k {
+                                let flow = tor.start_measurement_flow(
+                                    host,
+                                    target,
+                                    per_process_sockets,
+                                    Some(per_process_cap),
+                                );
+                                peers[i].flows.push(flow);
+                            }
+                        }
+                    }
+                    MeasurerAction::Stop => {
+                        for f in &peers[i].flows {
+                            tor.net.engine_mut().stop_flow(*f);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Install the ratio governor once an item's surviving measurers
+        // are all blasting (uniform control latency makes this one tick).
+        for ix in 0..items.len() {
+            if governor_on[ix] {
+                continue;
+            }
+            let mut flows = Vec::new();
+            let mut all_started = true;
+            let mut any = false;
+            for p in peers.iter().filter(|p| p.item == ix && p.role == PeerRole::Measurer) {
+                if p.session.is_terminal() && !p.started {
+                    continue; // failed before starting; degraded slot
+                }
+                any = true;
+                if p.started {
+                    flows.extend(p.flows.iter().copied());
+                } else {
+                    all_started = false;
+                }
+            }
+            if any && all_started && !flows.is_empty() {
+                tor.begin_measurement(items[ix].target, flows);
+                governor_on[ix] = true;
+            }
+        }
+
+        // Coordinator-side actions: samples, completions, failures.
+        for p in peers.iter_mut() {
+            while let Some(action) = p.coord.poll_action() {
+                match action {
+                    CoordAction::PeerReady | CoordAction::PeerDone => {}
+                    CoordAction::Sample { second, bg_bytes, measured_bytes } => {
+                        // The session enforces in-order, exactly-once
+                        // reports within the commanded slot (replays
+                        // abort the peer). Quarantine the sample with
+                        // its peer; it is merged into the estimate only
+                        // if the session ends cleanly.
+                        if second < slot_secs {
+                            p.samples.push((second, bg_bytes, measured_bytes));
+                        }
+                    }
+                    CoordAction::PeerFailed { reason } => {
+                        failures[p.item].push(PeerFailure { host: p.host, role: p.role, reason });
+                    }
+                }
+            }
+        }
+
+        // Release each item's Go barrier when every surviving peer is
+        // armed (at least one measurer among them).
+        for ix in 0..items.len() {
+            let mut armed_measurers = 0;
+            let mut waiting = false;
+            for p in peers.iter().filter(|p| p.item == ix) {
+                match p.coord.phase() {
+                    CoordPhase::Armed => {
+                        if p.role == PeerRole::Measurer {
+                            armed_measurers += 1;
+                        }
+                    }
+                    CoordPhase::Done | CoordPhase::Failed => {}
+                    _ => waiting = true,
+                }
+            }
+            if armed_measurers > 0 && !waiting {
+                let now = tor.now();
+                for p in peers.iter_mut().filter(|p| p.item == ix) {
+                    if p.coord.phase() == CoordPhase::Armed && !p.go_sent {
+                        p.coord.go(now);
+                        p.go_sent = true;
+                    }
+                }
+            }
+        }
+
+        // Liveness: fire timeouts.
+        let now = tor.now();
+        for p in peers.iter_mut() {
+            p.coord.on_tick(now);
+            p.session.on_tick(now);
+        }
+
+        // Tear down completed items so the network returns to normal.
+        for ix in 0..items.len() {
+            if ended[ix] || !peers.iter().filter(|p| p.item == ix).all(|p| p.coord.is_terminal()) {
+                continue;
+            }
+            if governor_on[ix] {
+                tor.end_measurement(items[ix].target);
+            }
+            for p in peers.iter().filter(|p| p.item == ix) {
+                for f in &p.flows {
+                    tor.net.engine_mut().stop_flow(*f);
+                }
+            }
+            ended[ix] = true;
+        }
+    }
+
+    // Merge the per-second series, trusting only peers whose sessions
+    // completed cleanly: an aborted peer's quarantined samples are
+    // discarded wholesale, so a lie-then-stall peer cannot leave
+    // inflated seconds behind.
+    let mut x_by_second: Vec<Vec<f64>> = vec![Vec::new(); items.len()];
+    let mut y_by_second: Vec<Vec<f64>> = vec![Vec::new(); items.len()];
+    for p in &peers {
+        if p.coord.phase() != CoordPhase::Done {
+            continue;
+        }
+        for &(second, bg_bytes, measured_bytes) in &p.samples {
+            let j = second as usize;
+            let series = match p.role {
+                PeerRole::Measurer => &mut x_by_second[p.item],
+                PeerRole::Target => &mut y_by_second[p.item],
+            };
+            if series.len() <= j {
+                series.resize(j + 1, 0.0);
+            }
+            series[j] += match p.role {
+                PeerRole::Measurer => measured_bytes as f64,
+                PeerRole::Target => bg_bytes as f64,
+            };
+        }
+    }
+
+    // Aggregate exactly as §4.1 specifies, from what crossed the wire.
+    items
+        .iter()
+        .enumerate()
+        .map(|(ix, item)| {
+            let ratio = tor.relay(item.target).config.ratio;
+            let seconds = build_second_samples(&x_by_second[ix], &y_by_second[ix], ratio);
+            let z_values: Vec<f64> = seconds.iter().map(|s| s.z).collect();
+            let estimate = Rate::from_bytes_per_sec(median(&z_values).unwrap_or(0.0));
+            let total_measurement_bytes: f64 = seconds.iter().map(|s| s.x).sum();
+            let verification =
+                spot_check(total_measurement_bytes, params.check_probability, item.behavior, rng);
+            let allocated: Rate = item
+                .assignments
+                .iter()
+                .filter(|a| !a.allocation.is_zero())
+                .map(|a| a.allocation)
+                .sum();
+            let (mut frames_tx, mut frames_rx) = (0u64, 0u64);
+            for p in peers.iter().filter(|p| p.item == ix) {
+                frames_tx += p.coord.frames_tx;
+                frames_rx += p.coord.frames_rx;
+            }
+            ProtoMeasurement {
+                measurement: Measurement { estimate, seconds, allocated, verification },
+                failures: failures[ix].clone(),
+                frames_tx,
+                frames_rx,
+            }
+        })
+        .collect()
+}
+
+/// Runs one protocol-driven measurement of `target` with the given
+/// assignments (the protocol twin of
+/// [`run_measurement`](crate::measure::run_measurement)).
+///
+/// # Panics
+/// Panics if no assignment participates.
+#[allow(clippy::too_many_arguments)]
+pub fn run_measurement_via_proto(
+    tor: &mut TorNet,
+    target: RelayId,
+    assignments: &[crate::measure::Assignment],
+    params: &Params,
+    behavior: TargetBehavior,
+    rng: &mut SimRng,
+    cfg: &ProtoConfig,
+    faults: &[FaultSpec],
+) -> ProtoMeasurement {
+    let items = vec![BatchItem { target, assignments: assignments.to_vec(), behavior }];
+    run_concurrent_measurements_via_proto(tor, &items, params, rng, cfg, faults)
+        .pop()
+        .expect("one item yields one measurement")
+}
+
+/// Convenience: allocate from `team` for prior `z0` and run one
+/// protocol-driven measurement of an honest target (the protocol twin of
+/// [`measure_once`](crate::measure::measure_once)).
+///
+/// # Errors
+/// Propagates allocation failure when the team lacks capacity.
+pub fn measure_via_proto(
+    tor: &mut TorNet,
+    target: RelayId,
+    team: &Team,
+    z0: Rate,
+    params: &Params,
+    rng: &mut SimRng,
+) -> Result<ProtoMeasurement, AllocError> {
+    let reserved = vec![Rate::ZERO; team.len()];
+    let allocations = team.allocate(z0, params, &reserved)?;
+    let assignments = assignments_for(team, &allocations, params);
+    Ok(run_measurement_via_proto(
+        tor,
+        target,
+        &assignments,
+        params,
+        TargetBehavior::Honest,
+        rng,
+        &ProtoConfig::default(),
+        &[],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashflow_simnet::host::HostProfile;
+    use flashflow_tornet::relay::RelayConfig;
+
+    fn testbed(limit_mbit: f64) -> (TorNet, Team, RelayId) {
+        let mut tor = TorNet::new();
+        let m1 = tor.add_host(HostProfile::us_e());
+        let m2 = tor.add_host(HostProfile::host_nl());
+        let target_host = tor.add_host(HostProfile::us_sw());
+        tor.net.set_rtt(m1, target_host, SimDuration::from_millis(62));
+        tor.net.set_rtt(m2, target_host, SimDuration::from_millis(137));
+        let relay = tor.add_relay(
+            target_host,
+            RelayConfig::new("target").with_rate_limit(Rate::from_mbit(limit_mbit)),
+        );
+        let team =
+            Team::with_capacities(&[(m1, Rate::from_mbit(941.0)), (m2, Rate::from_mbit(1611.0))]);
+        (tor, team, relay)
+    }
+
+    #[test]
+    fn protocol_slot_measures_rate_limited_relay() {
+        let (mut tor, team, relay) = testbed(250.0);
+        let params = Params::paper();
+        let mut rng = SimRng::seed_from_u64(7);
+        let m =
+            measure_via_proto(&mut tor, relay, &team, Rate::from_mbit(250.0), &params, &mut rng)
+                .unwrap();
+        assert!(m.clean(), "failures: {:?}", m.failures);
+        let est = m.measurement.estimate.as_mbit();
+        assert!((200.0..=270.0).contains(&est), "estimate {est} Mbit/s");
+        assert_eq!(m.measurement.seconds.len(), 30);
+        assert!(m.measurement.verified());
+        // Greedy allocation fits f·z0 on the larger measurer alone, so
+        // two sessions run (one measurer + the target): Auth +
+        // MeasureCmd + Go toward each; AuthOk + Ready + 30 reports +
+        // SlotDone back from each.
+        assert_eq!(m.frames_tx, 2 * 3);
+        assert_eq!(m.frames_rx, 2 * 33);
+    }
+
+    #[test]
+    fn fingerprints_are_distinct_and_stable() {
+        let (mut tor, _, _) = testbed(100.0);
+        let h = tor.add_host(HostProfile::new("x", Rate::from_gbit(1.0)));
+        let r1 = tor.add_relay(h, RelayConfig::new("a"));
+        let r2 = tor.add_relay(h, RelayConfig::new("b"));
+        assert_ne!(fingerprint_for(r1), fingerprint_for(r2));
+        assert_eq!(fingerprint_for(r1), fingerprint_for(r1));
+    }
+}

@@ -91,11 +91,9 @@ pub enum ScheduleError {
 impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ScheduleError::DemandExceedsTeam { relay, demand } => write!(
-                f,
-                "relay {relay:?} needs {:.1} Mbit/s, beyond the team",
-                demand * 8.0 / 1e6
-            ),
+            ScheduleError::DemandExceedsTeam { relay, demand } => {
+                write!(f, "relay {relay:?} needs {:.1} Mbit/s, beyond the team", demand * 8.0 / 1e6)
+            }
             ScheduleError::PeriodFull { relay } => {
                 write!(f, "no slot has room for relay {relay:?}")
             }
@@ -132,8 +130,7 @@ pub fn build_randomized_schedule(
                 demand: demand.bytes_per_sec(),
             });
         }
-        let feasible: Vec<usize> =
-            (0..n_slots).filter(|s| schedule.fits(*s, demand)).collect();
+        let feasible: Vec<usize> = (0..n_slots).filter(|s| schedule.fits(*s, demand)).collect();
         if feasible.is_empty() {
             return Err(ScheduleError::PeriodFull { relay: *relay });
         }
@@ -200,10 +197,7 @@ pub fn greedy_pack(
         }
     }
     remaining.sort_by(|a, b| {
-        b.demand
-            .bytes_per_sec()
-            .partial_cmp(&a.demand.bytes_per_sec())
-            .expect("finite demands")
+        b.demand.bytes_per_sec().partial_cmp(&a.demand.bytes_per_sec()).expect("finite demands")
     });
 
     let mut slots: Vec<Vec<Planned>> = Vec::new();
@@ -237,13 +231,11 @@ mod tests {
         // Fabricate ids through a scratch TorNet to respect privacy of the
         // constructor.
         let mut tor = flashflow_tornet::netbuild::TorNet::new();
-        let h = tor.add_host(flashflow_simnet::host::HostProfile::new(
-            "h",
-            Rate::from_gbit(1.0),
-        ));
+        let h = tor.add_host(flashflow_simnet::host::HostProfile::new("h", Rate::from_gbit(1.0)));
         let mut last = None;
         for k in 0..=i {
-            last = Some(tor.add_relay(h, flashflow_tornet::relay::RelayConfig::new(format!("r{k}"))));
+            last =
+                Some(tor.add_relay(h, flashflow_tornet::relay::RelayConfig::new(format!("r{k}"))));
         }
         last.unwrap()
     }
@@ -288,8 +280,8 @@ mod tests {
         let mut schedule = Schedule::empty(10, Rate::from_gbit(3.0));
         // Fill slot 0 completely.
         schedule.insert(0, Planned { relay: rid(0), demand: Rate::from_gbit(3.0) });
-        let slot = assign_new_relay(&mut schedule, rid(1), Rate::from_mbit(51.0), &params(), 0)
-            .unwrap();
+        let slot =
+            assign_new_relay(&mut schedule, rid(1), Rate::from_mbit(51.0), &params(), 0).unwrap();
         assert_eq!(slot, 1);
     }
 

@@ -69,6 +69,7 @@ pub fn new_relay_prior(recent_capacities: &[f64]) -> Rate {
 /// # Errors
 /// Returns the allocation error if even the *initial* allocation is
 /// impossible (the caller chose a prior beyond the team).
+#[allow(clippy::too_many_arguments)]
 pub fn measure_relay(
     tor: &mut TorNet,
     target: RelayId,

@@ -56,10 +56,7 @@ impl FamilyMeasurement {
     /// over the members of the connected set.
     pub fn corrected_weights(&self) -> BTreeMap<RelayId, Rate> {
         let share = self.concurrent_total().bytes_per_sec() / self.concurrent.len() as f64;
-        self.concurrent
-            .keys()
-            .map(|r| (*r, Rate::from_bytes_per_sec(share)))
-            .collect()
+        self.concurrent.keys().map(|r| (*r, Rate::from_bytes_per_sec(share))).collect()
     }
 }
 
@@ -111,11 +108,8 @@ pub fn measure_family(
         });
     }
     let results = run_concurrent_measurements(tor, &items, params, rng);
-    let concurrent: BTreeMap<RelayId, Rate> = family
-        .iter()
-        .zip(results)
-        .map(|(r, m)| (*r, m.estimate))
-        .collect();
+    let concurrent: BTreeMap<RelayId, Rate> =
+        family.iter().zip(results).map(|(r, m)| (*r, m.estimate)).collect();
 
     FamilyMeasurement { concurrent, individual }
 }

@@ -118,10 +118,7 @@ impl Team {
             .map(|(m, r)| (m.capacity.bytes_per_sec() - r.bytes_per_sec()).max(0.0))
             .collect();
         let needed = params.excess_factor() * z0.bytes_per_sec();
-        Ok(greedy_allocate(&residual, needed)?
-            .into_iter()
-            .map(Rate::from_bytes_per_sec)
-            .collect())
+        Ok(greedy_allocate(&residual, needed)?.into_iter().map(Rate::from_bytes_per_sec).collect())
     }
 
     /// Per-measurer socket shares: `s/m` sockets each (§4.1, with `m` the
@@ -129,10 +126,7 @@ impl Team {
     pub fn socket_shares(&self, allocations: &[Rate], params: &Params) -> Vec<u32> {
         let participating = allocations.iter().filter(|a| !a.is_zero()).count().max(1);
         let share = (params.sockets as usize / participating).max(1) as u32;
-        allocations
-            .iter()
-            .map(|a| if a.is_zero() { 0 } else { share })
-            .collect()
+        allocations.iter().map(|a| if a.is_zero() { 0 } else { share }).collect()
     }
 }
 

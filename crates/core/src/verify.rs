@@ -100,8 +100,7 @@ pub fn spot_check(
     // Handshake.
     let measurer_secret = SecretKey::from_entropy(rng.next_u64());
     let target_secret = SecretKey::from_entropy(rng.next_u64());
-    let mut circuit =
-        MeasurementCircuit::build(CircId(1), measurer_secret, target_secret.public());
+    let mut circuit = MeasurementCircuit::build(CircId(1), measurer_secret, target_secret.public());
     let mut target = MeasurementTarget::accept(target_secret, measurer_secret.public());
 
     let forge_fraction = match behavior {
@@ -198,12 +197,8 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(5);
         let mut caught = 0;
         for _ in 0..10 {
-            let outcome = spot_check(
-                125e6 * 30.0,
-                1e-5,
-                TargetBehavior::Forging { fraction: 0.1 },
-                &mut rng,
-            );
+            let outcome =
+                spot_check(125e6 * 30.0, 1e-5, TargetBehavior::Forging { fraction: 0.1 }, &mut rng);
             if !outcome.passed() {
                 caught += 1;
             }

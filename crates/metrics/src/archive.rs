@@ -172,11 +172,7 @@ mod tests {
             advertised: vec![10.0; 10],
             weight: vec![1.0; 10],
         });
-        a.add_relay(RelaySeries {
-            start_step: 5,
-            advertised: vec![30.0; 5],
-            weight: vec![3.0; 5],
-        });
+        a.add_relay(RelaySeries { start_step: 5, advertised: vec![30.0; 5], weight: vec![3.0; 5] });
         a
     }
 

@@ -13,10 +13,7 @@ use crate::archive::{trailing_max, Archive};
 /// Per-relay trailing-max capacity estimates (Eq. 1) for window `p`
 /// steps: `result[r][i]` corresponds to the relay's local step `i`.
 pub fn capacity_estimates(archive: &Archive, p: usize) -> Vec<Vec<f64>> {
-    archive
-        .relay_ids()
-        .map(|r| trailing_max(&archive.relay(r).advertised, p))
-        .collect()
+    archive.relay_ids().map(|r| trailing_max(&archive.relay(r).advertised, p)).collect()
 }
 
 /// Mean relay capacity error per relay (the Fig. 1 distribution): for
@@ -139,12 +136,7 @@ pub fn nwe_against_truth(weights: &[f64], true_capacities: &[f64]) -> f64 {
     let wsum: f64 = weights.iter().sum();
     let csum: f64 = true_capacities.iter().sum();
     assert!(wsum > 0.0 && csum > 0.0, "degenerate distributions");
-    weights
-        .iter()
-        .zip(true_capacities)
-        .map(|(w, c)| (w / wsum - c / csum).abs())
-        .sum::<f64>()
-        / 2.0
+    weights.iter().zip(true_capacities).map(|(w, c)| (w / wsum - c / csum).abs()).sum::<f64>() / 2.0
 }
 
 /// Relay capacity error against known truth (Fig. 8a): `1 − est/true`,
@@ -182,7 +174,11 @@ mod tests {
     #[test]
     fn nce_zero_for_constant_advertised() {
         let mut a = Archive::new(1.0, 50);
-        a.add_relay(RelaySeries { start_step: 0, advertised: vec![10.0; 50], weight: vec![1.0; 50] });
+        a.add_relay(RelaySeries {
+            start_step: 0,
+            advertised: vec![10.0; 50],
+            weight: vec![1.0; 50],
+        });
         let series = nce_series(&a, 10);
         for v in series {
             assert!(v.abs() < 1e-12);
@@ -201,8 +197,16 @@ mod tests {
     fn rwe_detects_misweighting() {
         // Two relays with equal capacity estimates but 1:3 weights.
         let mut a = Archive::new(1.0, 20);
-        a.add_relay(RelaySeries { start_step: 0, advertised: vec![100.0; 20], weight: vec![1.0; 20] });
-        a.add_relay(RelaySeries { start_step: 0, advertised: vec![100.0; 20], weight: vec![3.0; 20] });
+        a.add_relay(RelaySeries {
+            start_step: 0,
+            advertised: vec![100.0; 20],
+            weight: vec![1.0; 20],
+        });
+        a.add_relay(RelaySeries {
+            start_step: 0,
+            advertised: vec![100.0; 20],
+            weight: vec![3.0; 20],
+        });
         let rwe = mean_rwe_per_relay(&a, 5, 1);
         // Relay 0: W=0.25 vs C̄=0.5 → 0.5 (under-weighted); relay 1: 1.5.
         assert!((rwe[0] - 0.5).abs() < 1e-9);
@@ -212,8 +216,16 @@ mod tests {
     #[test]
     fn nwe_matches_hand_computation() {
         let mut a = Archive::new(1.0, 10);
-        a.add_relay(RelaySeries { start_step: 0, advertised: vec![100.0; 10], weight: vec![1.0; 10] });
-        a.add_relay(RelaySeries { start_step: 0, advertised: vec![100.0; 10], weight: vec![3.0; 10] });
+        a.add_relay(RelaySeries {
+            start_step: 0,
+            advertised: vec![100.0; 10],
+            weight: vec![1.0; 10],
+        });
+        a.add_relay(RelaySeries {
+            start_step: 0,
+            advertised: vec![100.0; 10],
+            weight: vec![3.0; 10],
+        });
         let nwe = nwe_series(&a, 5);
         // W = (0.25, 0.75), C̄ = (0.5, 0.5) → TV = ½(0.25+0.25) = 0.25.
         assert!((nwe[5] - 0.25).abs() < 1e-12);

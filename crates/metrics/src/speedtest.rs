@@ -104,10 +104,7 @@ impl SpeedTestOutcome {
 
     /// Peak estimated capacity after the flood starts.
     pub fn peak_capacity(&self) -> f64 {
-        self.capacity_series[self.flood_start_step..]
-            .iter()
-            .copied()
-            .fold(0.0, f64::max)
+        self.capacity_series[self.flood_start_step..].iter().copied().fold(0.0, f64::max)
     }
 
     /// The §3.4 headline: the relative capacity increase the flood
@@ -194,9 +191,8 @@ pub fn run_speed_test(cfg: &SpeedTestConfig) -> SpeedTestOutcome {
     }
 
     // Series: Σ advertised, and Eq. 6 against the advertised estimates.
-    let capacity_series: Vec<f64> = (0..steps)
-        .map(|t| advertised_all.iter().map(|a| a[t]).sum())
-        .collect();
+    let capacity_series: Vec<f64> =
+        (0..steps).map(|t| advertised_all.iter().map(|a| a[t]).sum()).collect();
     let weight_error_series: Vec<f64> = (0..steps)
         .map(|t| {
             let total_w: f64 = weight_all.iter().map(|w| w[t]).sum();

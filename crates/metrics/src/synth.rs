@@ -117,11 +117,8 @@ pub fn generate(cfg: &SynthConfig) -> SynthArchive {
     // Spawn schedule: linear population ramp with exponential lifetimes.
     // We spawn relays at a rate that sustains the ramp.
     let lifetime_steps = (cfg.mean_lifetime_days * 24.0 / cfg.step_hours).max(1.0);
-    let mut spawn_events: Vec<usize> = Vec::new();
-    // Initial population.
-    for _ in 0..cfg.initial_relays {
-        spawn_events.push(0);
-    }
+    // Initial population spawns at step zero.
+    let mut spawn_events: Vec<usize> = vec![0; cfg.initial_relays];
     // Ongoing: at each step, expected spawns = replacement + growth.
     let growth_per_step = (cfg.final_relays as f64 - cfg.initial_relays as f64) / steps as f64;
     let mut acc = 0.0f64;
@@ -156,9 +153,11 @@ pub fn generate(cfg: &SynthConfig) -> SynthArchive {
         let mut throughput = Vec::with_capacity(n);
         for _ in 0..n {
             slow = slow_ar * slow
-                + rng.gen_normal(0.0, (1.0 - slow_ar * slow_ar).sqrt() * cfg.utilization_slow_sigma);
+                + rng
+                    .gen_normal(0.0, (1.0 - slow_ar * slow_ar).sqrt() * cfg.utilization_slow_sigma);
             fast = fast_ar * fast
-                + rng.gen_normal(0.0, (1.0 - fast_ar * fast_ar).sqrt() * cfg.utilization_fast_sigma);
+                + rng
+                    .gen_normal(0.0, (1.0 - fast_ar * fast_ar).sqrt() * cfg.utilization_fast_sigma);
             let u = (base + slow + fast).clamp(0.0, 1.0);
             throughput.push(capacity * u);
         }
@@ -182,11 +181,8 @@ pub fn generate(cfg: &SynthConfig) -> SynthArchive {
         // ratio flatters relays its probes happen to favour) while the
         // large majority sit slightly below their fair share — which
         // yields >80% under-weighting at a 20–30% total-variation error.
-        let static_bias = if rng.gen_bool(0.10) {
-            rng.gen_normal(1.5, 0.5)
-        } else {
-            rng.gen_normal(-0.15, 0.30)
-        };
+        let static_bias =
+            if rng.gen_bool(0.10) { rng.gen_normal(1.5, 0.5) } else { rng.gen_normal(-0.15, 0.30) };
         let ratio_ar = 0.98f64;
         let mut log_ratio = rng.gen_normal(0.0, cfg.weight_noise_sigma);
         let mut weight = Vec::with_capacity(n);

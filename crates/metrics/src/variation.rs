@@ -112,7 +112,11 @@ mod tests {
     #[test]
     fn weight_rsd_computable() {
         let mut a = Archive::new(1.0, 30);
-        a.add_relay(RelaySeries { start_step: 0, advertised: vec![10.0; 30], weight: vec![1.0; 30] });
+        a.add_relay(RelaySeries {
+            start_step: 0,
+            advertised: vec![10.0; 30],
+            weight: vec![1.0; 30],
+        });
         a.add_relay(RelaySeries {
             start_step: 0,
             advertised: vec![10.0; 30],

@@ -1,0 +1,163 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real proptest, a strategy here is just a sampler: it draws
+/// a fresh value from the RNG each case, with no shrink tree.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(
+            self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+            "bad f64 range {}..{}",
+            self.start,
+            self.end
+        );
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        (self.start as f64..self.end as f64).sample(rng) as f32
+    }
+}
+
+macro_rules! uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = self.end as u128 - self.start as u128;
+                (self.start as u128 + (rng.next_u64() as u128 % span)) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range");
+                let span = *self.end() as u128 - *self.start() as u128 + 1;
+                (*self.start() as u128 + (rng.next_u64() as u128 % span)) as $t
+            }
+        }
+    )*}
+}
+
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*}
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);

@@ -1,0 +1,49 @@
+//! # flashflow-proto
+//!
+//! The coordinator ↔ measurer **control protocol** of FlashFlow (§4.1),
+//! reified as a wire format plus sans-IO session state machines.
+//!
+//! The paper's control plane: a BWAuth (coordinator) authenticates to
+//! each measurer and to the target relay, commands them to blast/serve a
+//! `t`-second measurement slot over `s` sockets at a capped rate, releases
+//! a synchronized start, and collects per-second byte reports from which
+//! the capacity estimate is computed. This crate owns everything between
+//! "decided to measure" and "per-second numbers collected":
+//!
+//! | module | role |
+//! |---|---|
+//! | [`msg`] | message vocabulary: `Auth`, `AuthOk`, `MeasureCmd`, `Ready`, `Go`, `SecondReport`, `SlotDone`, `Abort` |
+//! | [`frame`] | length-prefixed, versioned binary codec with a total decoder and typed error taxonomy |
+//! | [`session`] | `CoordinatorSession` / `MeasurerSession` state machines with timeout and abort handling |
+//! | [`transport`] | in-memory chunked duplex byte stream driven by the simulation clock |
+//!
+//! The sessions are **sans-IO**: they consume bytes and emit bytes plus
+//! actions, never touching sockets or clocks. Today they run over
+//! [`transport::Duplex`] inside the fluid simulator (see
+//! `flashflow_core::proto_driver`); the same state machines are the
+//! contract for a future tokio TCP transport.
+//!
+//! Security posture: peers are authenticated with pre-shared tokens; all
+//! input is length-bounded before buffering; decoding is total (arbitrary
+//! bytes produce a typed [`frame::WireError`], never a panic — property
+//! tested); a peer that stalls, floods, or speaks out of turn is aborted
+//! and its contribution dropped, degrading the measurement instead of
+//! wedging it.
+
+pub mod frame;
+pub mod msg;
+pub mod session;
+pub mod transport;
+
+/// Convenient glob-import of the most used types.
+pub mod prelude {
+    pub use crate::frame::{decode_payload, encode, FrameDecoder, WireError, MAX_FRAME_LEN};
+    pub use crate::msg::{
+        AbortReason, MeasureSpec, Msg, PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN, PROTOCOL_VERSION,
+    };
+    pub use crate::session::{
+        CoordAction, CoordPhase, CoordinatorSession, MeasurerAction, MeasurerPhase,
+        MeasurerSession, SessionTimeouts,
+    };
+    pub use crate::transport::{Duplex, End};
+}

@@ -1,0 +1,198 @@
+//! The control-plane message vocabulary (§4.1).
+//!
+//! One measurement slot is driven by a small fixed conversation between
+//! the coordinator (the BWAuth) and each peer (a measurer, or the target
+//! relay in its reporting role):
+//!
+//! ```text
+//! coordinator                         peer
+//!     | ---------- Auth ---------------> |   authenticate
+//!     | <--------- AuthOk -------------- |
+//!     | ---------- MeasureCmd ---------> |   relay_fp, t, s, rate cap
+//!     | <--------- Ready --------------- |
+//!     | ---------- Go -----------------> |   all peers ready: blast
+//!     | <--------- SecondReport x t ---- |   per-second byte counts
+//!     | <--------- SlotDone ------------ |
+//! ```
+//!
+//! Either side may send [`Msg::Abort`] at any point; the conversation is
+//! then over. All multi-byte integers are big-endian on the wire (see
+//! [`crate::frame`] for the framing).
+
+/// Protocol version carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Length of the pre-shared authentication token.
+pub const AUTH_TOKEN_LEN: usize = 32;
+
+/// Length of a relay fingerprint (SHA-1 sized, as in Tor descriptors).
+pub const FINGERPRINT_LEN: usize = 20;
+
+/// What kind of peer is authenticating to the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PeerRole {
+    /// A measurer host that will blast the target.
+    Measurer = 0,
+    /// The target relay itself, reporting its background traffic.
+    Target = 1,
+}
+
+impl PeerRole {
+    /// Parses a wire byte.
+    pub fn from_u8(v: u8) -> Option<PeerRole> {
+        match v {
+            0 => Some(PeerRole::Measurer),
+            1 => Some(PeerRole::Target),
+            _ => None,
+        }
+    }
+}
+
+/// Why a conversation was aborted. Fixed codes keep frames bounded; the
+/// human-readable detail lives in session errors, not on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AbortReason {
+    /// The authentication token did not match.
+    AuthFailed = 0,
+    /// A handshake step did not complete in time.
+    HandshakeTimeout = 1,
+    /// A running peer stopped sending per-second reports.
+    ReportTimeout = 2,
+    /// A frame arrived that the current state cannot accept.
+    OutOfOrder = 3,
+    /// A frame failed to decode.
+    Malformed = 4,
+    /// The sender is shutting down (operator action, reschedule, ...).
+    Shutdown = 5,
+}
+
+impl AbortReason {
+    /// Parses a wire byte.
+    pub fn from_u8(v: u8) -> Option<AbortReason> {
+        match v {
+            0 => Some(AbortReason::AuthFailed),
+            1 => Some(AbortReason::HandshakeTimeout),
+            2 => Some(AbortReason::ReportTimeout),
+            3 => Some(AbortReason::OutOfOrder),
+            4 => Some(AbortReason::Malformed),
+            5 => Some(AbortReason::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AbortReason::AuthFailed => "authentication failed",
+            AbortReason::HandshakeTimeout => "handshake timeout",
+            AbortReason::ReportTimeout => "per-second report timeout",
+            AbortReason::OutOfOrder => "out-of-order message",
+            AbortReason::Malformed => "malformed frame",
+            AbortReason::Shutdown => "peer shutdown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The command parameters of one measurement slot (§4.1's `t`, `s`, and
+/// the per-measurer allocation `a_i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeasureSpec {
+    /// Fingerprint of the relay to measure.
+    pub relay_fp: [u8; FINGERPRINT_LEN],
+    /// Slot length in whole seconds (`t`).
+    pub slot_secs: u32,
+    /// Sockets this peer opens to the target (its `s/m` share).
+    pub sockets: u32,
+    /// Send-rate cap in bytes/second (`a_i`); `0` means uncapped.
+    pub rate_cap: u64,
+}
+
+/// A control-plane message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Msg {
+    /// Coordinator → peer: authenticate with a pre-shared token.
+    Auth {
+        /// The pre-shared token for this peer.
+        token: [u8; AUTH_TOKEN_LEN],
+        /// The role the coordinator expects the peer to play.
+        role: PeerRole,
+    },
+    /// Peer → coordinator: token accepted; `session` names the slot.
+    AuthOk {
+        /// Peer-chosen identifier echoed in logs and errors.
+        session: u64,
+    },
+    /// Coordinator → peer: prepare to measure.
+    MeasureCmd(MeasureSpec),
+    /// Peer → coordinator: prepared (sockets open, processes up).
+    Ready,
+    /// Coordinator → peer: every peer is ready — start the slot now.
+    Go,
+    /// Peer → coordinator: byte counts for one completed second.
+    SecondReport {
+        /// Zero-based second index within the slot.
+        second: u32,
+        /// Background (client) bytes the peer reports for this second
+        /// (`y_j`; zero for measurers, meaningful for the target).
+        bg_bytes: u64,
+        /// Measurement bytes relayed this second (`x_j` share).
+        measured_bytes: u64,
+    },
+    /// Peer → coordinator: all `slot_secs` seconds reported.
+    SlotDone,
+    /// Either direction: the conversation is over.
+    Abort {
+        /// Why.
+        reason: AbortReason,
+    },
+}
+
+/// Wire type tags; `Msg` and frame decoding agree through these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum MsgType {
+    Auth = 1,
+    AuthOk = 2,
+    MeasureCmd = 3,
+    Ready = 4,
+    Go = 5,
+    SecondReport = 6,
+    SlotDone = 7,
+    Abort = 8,
+}
+
+impl MsgType {
+    pub(crate) fn from_u8(v: u8) -> Option<MsgType> {
+        match v {
+            1 => Some(MsgType::Auth),
+            2 => Some(MsgType::AuthOk),
+            3 => Some(MsgType::MeasureCmd),
+            4 => Some(MsgType::Ready),
+            5 => Some(MsgType::Go),
+            6 => Some(MsgType::SecondReport),
+            7 => Some(MsgType::SlotDone),
+            8 => Some(MsgType::Abort),
+            _ => None,
+        }
+    }
+}
+
+impl Msg {
+    /// A short name for logs and errors.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Msg::Auth { .. } => "Auth",
+            Msg::AuthOk { .. } => "AuthOk",
+            Msg::MeasureCmd(_) => "MeasureCmd",
+            Msg::Ready => "Ready",
+            Msg::Go => "Go",
+            Msg::SecondReport { .. } => "SecondReport",
+            Msg::SlotDone => "SlotDone",
+            Msg::Abort { .. } => "Abort",
+        }
+    }
+}

@@ -1,0 +1,763 @@
+//! Sans-IO session state machines for both ends of the protocol.
+//!
+//! A session consumes raw bytes ([`CoordinatorSession::receive`] /
+//! [`MeasurerSession::receive`]), emits encoded frames to send
+//! (`poll_outbound`) and *actions* for its driver (`poll_action`), and is
+//! advanced through time with `on_tick`. No clocks, sockets, or threads
+//! are touched — the caller owns IO and time, which is what lets the same
+//! sessions run over the in-memory simulated transport today and a real
+//! TCP transport later.
+//!
+//! Robustness rules (§4.1 "a stalled or lying measurer must degrade the
+//! measurement, not wedge it"):
+//!
+//! * every waiting state has a deadline; passing it aborts the session
+//!   with [`AbortReason::HandshakeTimeout`] or
+//!   [`AbortReason::ReportTimeout`];
+//! * any frame the current state cannot accept aborts with
+//!   [`AbortReason::OutOfOrder`];
+//! * any undecodable byte stream aborts with [`AbortReason::Malformed`];
+//! * a terminal session ignores further input instead of erroring, so a
+//!   late frame from a dead peer cannot resurrect anything.
+
+use std::collections::VecDeque;
+
+use flashflow_simnet::time::{SimDuration, SimTime};
+
+use crate::frame::{encode, FrameDecoder};
+use crate::msg::{AbortReason, MeasureSpec, Msg, PeerRole, AUTH_TOKEN_LEN};
+
+/// Timeouts governing a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTimeouts {
+    /// Longest wait for any single handshake step (Auth → AuthOk,
+    /// MeasureCmd → Ready, Ready → Go).
+    pub handshake: SimDuration,
+    /// Longest gap between per-second reports while a slot runs.
+    pub report: SimDuration,
+}
+
+impl Default for SessionTimeouts {
+    fn default() -> Self {
+        SessionTimeouts { handshake: SimDuration::from_secs(10), report: SimDuration::from_secs(5) }
+    }
+}
+
+/// Where a coordinator-side session stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordPhase {
+    /// Created; `start` not yet called.
+    Idle,
+    /// Auth sent, waiting for AuthOk.
+    AwaitAuthOk,
+    /// MeasureCmd sent, waiting for Ready.
+    AwaitReady,
+    /// Peer is ready; waiting for the coordinator's barrier (`go`).
+    Armed,
+    /// Go sent; collecting per-second reports.
+    Running,
+    /// SlotDone received.
+    Done,
+    /// Aborted (either side) or timed out.
+    Failed,
+}
+
+/// What a coordinator session asks its driver to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordAction {
+    /// The peer authenticated and reports ready; when every session is
+    /// `Armed` the driver should call `go` on all of them.
+    PeerReady,
+    /// One per-second report arrived.
+    Sample {
+        /// Zero-based second index.
+        second: u32,
+        /// Reported background bytes.
+        bg_bytes: u64,
+        /// Reported measurement bytes.
+        measured_bytes: u64,
+    },
+    /// The peer finished its slot.
+    PeerDone,
+    /// The session is dead; drop the peer's contribution.
+    PeerFailed {
+        /// Why.
+        reason: AbortReason,
+    },
+}
+
+/// The coordinator's half of one conversation.
+#[derive(Debug)]
+pub struct CoordinatorSession {
+    phase: CoordPhase,
+    token: [u8; AUTH_TOKEN_LEN],
+    role: PeerRole,
+    spec: MeasureSpec,
+    timeouts: SessionTimeouts,
+    deadline: Option<SimTime>,
+    seconds_received: u32,
+    decoder: FrameDecoder,
+    outbound: VecDeque<Vec<u8>>,
+    actions: VecDeque<CoordAction>,
+    /// Frames successfully decoded from the peer.
+    pub frames_rx: u64,
+    /// Frames queued for the peer.
+    pub frames_tx: u64,
+}
+
+impl CoordinatorSession {
+    /// A session that will drive `role`-peer through `spec`.
+    pub fn new(
+        token: [u8; AUTH_TOKEN_LEN],
+        role: PeerRole,
+        spec: MeasureSpec,
+        timeouts: SessionTimeouts,
+    ) -> Self {
+        CoordinatorSession {
+            phase: CoordPhase::Idle,
+            token,
+            role,
+            spec,
+            timeouts,
+            deadline: None,
+            seconds_received: 0,
+            decoder: FrameDecoder::new(),
+            outbound: VecDeque::new(),
+            actions: VecDeque::new(),
+            frames_rx: 0,
+            frames_tx: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> CoordPhase {
+        self.phase
+    }
+
+    /// True once the session can make no further progress.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.phase, CoordPhase::Done | CoordPhase::Failed)
+    }
+
+    /// The command this session was built around.
+    pub fn spec(&self) -> MeasureSpec {
+        self.spec
+    }
+
+    /// Opens the conversation: queues `Auth` and starts the handshake
+    /// timer.
+    ///
+    /// # Panics
+    /// Panics unless the session is `Idle`.
+    pub fn start(&mut self, now: SimTime) {
+        assert_eq!(self.phase, CoordPhase::Idle, "start() on a started session");
+        self.send(Msg::Auth { token: self.token, role: self.role });
+        self.phase = CoordPhase::AwaitAuthOk;
+        self.deadline = Some(now + self.timeouts.handshake);
+    }
+
+    /// Releases the barrier: queues `Go` and starts the report timer.
+    ///
+    /// # Panics
+    /// Panics unless the session is `Armed`.
+    pub fn go(&mut self, now: SimTime) {
+        assert_eq!(self.phase, CoordPhase::Armed, "go() on a session that is not Armed");
+        self.send(Msg::Go);
+        self.phase = CoordPhase::Running;
+        self.deadline = Some(now + self.timeouts.report);
+    }
+
+    /// Feeds received bytes; decoded frames advance the state machine.
+    pub fn receive(&mut self, now: SimTime, bytes: &[u8]) {
+        if self.is_terminal() {
+            return;
+        }
+        self.decoder.push(bytes);
+        loop {
+            match self.decoder.next_msg() {
+                Ok(Some(msg)) => {
+                    self.frames_rx += 1;
+                    self.on_msg(now, msg);
+                    if self.is_terminal() {
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    self.fail(AbortReason::Malformed, true);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Advances time; fires the current deadline if passed.
+    pub fn on_tick(&mut self, now: SimTime) {
+        if self.is_terminal() {
+            return;
+        }
+        let Some(deadline) = self.deadline else { return };
+        if now < deadline {
+            return;
+        }
+        let reason = match self.phase {
+            CoordPhase::Running => AbortReason::ReportTimeout,
+            _ => AbortReason::HandshakeTimeout,
+        };
+        self.fail(reason, true);
+    }
+
+    /// Aborts locally (e.g. operator shutdown); notifies the peer.
+    pub fn abort(&mut self, reason: AbortReason) {
+        if !self.is_terminal() {
+            self.fail(reason, true);
+        }
+    }
+
+    /// Next encoded frame to put on the wire, if any.
+    pub fn poll_outbound(&mut self) -> Option<Vec<u8>> {
+        self.outbound.pop_front()
+    }
+
+    /// Next action for the driver, if any.
+    pub fn poll_action(&mut self) -> Option<CoordAction> {
+        self.actions.pop_front()
+    }
+
+    fn on_msg(&mut self, now: SimTime, msg: Msg) {
+        match (self.phase, msg) {
+            (CoordPhase::AwaitAuthOk, Msg::AuthOk { .. }) => {
+                self.send(Msg::MeasureCmd(self.spec));
+                self.phase = CoordPhase::AwaitReady;
+                self.deadline = Some(now + self.timeouts.handshake);
+            }
+            (CoordPhase::AwaitReady, Msg::Ready) => {
+                self.phase = CoordPhase::Armed;
+                // The barrier wait is bounded too: if the driver never
+                // releases it (every other peer failed), this session
+                // still times out instead of idling forever.
+                self.deadline = Some(now + self.timeouts.handshake);
+                self.actions.push_back(CoordAction::PeerReady);
+            }
+            (CoordPhase::Running, Msg::SecondReport { second, bg_bytes, measured_bytes }) => {
+                // Reports must arrive exactly once, in order, and never
+                // past the commanded slot: a compromised measurer that
+                // replays or invents seconds would otherwise inflate
+                // every x_j it contributes to — the precise attack this
+                // trust boundary exists to stop.
+                if second != self.seconds_received || second >= self.spec.slot_secs {
+                    self.fail(AbortReason::OutOfOrder, true);
+                    return;
+                }
+                self.seconds_received += 1;
+                self.deadline = Some(now + self.timeouts.report);
+                self.actions.push_back(CoordAction::Sample { second, bg_bytes, measured_bytes });
+            }
+            (CoordPhase::Running, Msg::SlotDone) => {
+                // SlotDone promises every commanded second was reported
+                // (see [`Msg::SlotDone`]); a short slot is a violation,
+                // not a completion.
+                if self.seconds_received != self.spec.slot_secs {
+                    self.fail(AbortReason::OutOfOrder, true);
+                    return;
+                }
+                self.phase = CoordPhase::Done;
+                self.deadline = None;
+                self.actions.push_back(CoordAction::PeerDone);
+            }
+            (_, Msg::Abort { reason }) => {
+                self.fail(reason, false);
+            }
+            (_, other) => {
+                debug_assert!(!self.is_terminal());
+                let _ = other;
+                self.fail(AbortReason::OutOfOrder, true);
+            }
+        }
+    }
+
+    fn send(&mut self, msg: Msg) {
+        self.frames_tx += 1;
+        self.outbound.push_back(encode(&msg));
+    }
+
+    fn fail(&mut self, reason: AbortReason, notify_peer: bool) {
+        if notify_peer {
+            self.send(Msg::Abort { reason });
+        }
+        self.phase = CoordPhase::Failed;
+        self.deadline = None;
+        self.actions.push_back(CoordAction::PeerFailed { reason });
+    }
+}
+
+/// Where a peer-side session stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasurerPhase {
+    /// Waiting for the coordinator's Auth.
+    AwaitAuth,
+    /// Authenticated; waiting for MeasureCmd.
+    AwaitCmd,
+    /// Ready sent; waiting for Go.
+    AwaitGo,
+    /// Blasting (or, for the target role, reporting).
+    Running,
+    /// SlotDone sent.
+    Done,
+    /// Aborted (either side) or timed out.
+    Failed,
+}
+
+/// What a peer session asks its driver to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasurerAction {
+    /// Open sockets / build circuits for this command.
+    Prepare {
+        /// The slot command.
+        spec: MeasureSpec,
+    },
+    /// Go received: start blasting and reporting seconds.
+    Start {
+        /// The slot command.
+        spec: MeasureSpec,
+    },
+    /// Stop blasting and tear down (slot over or session dead).
+    Stop,
+}
+
+/// The measurer's (or reporting target's) half of one conversation.
+#[derive(Debug)]
+pub struct MeasurerSession {
+    phase: MeasurerPhase,
+    expected_token: [u8; AUTH_TOKEN_LEN],
+    expected_role: PeerRole,
+    session_id: u64,
+    timeouts: SessionTimeouts,
+    deadline: Option<SimTime>,
+    spec: Option<MeasureSpec>,
+    seconds_sent: u32,
+    decoder: FrameDecoder,
+    outbound: VecDeque<Vec<u8>>,
+    actions: VecDeque<MeasurerAction>,
+    /// Frames successfully decoded from the coordinator.
+    pub frames_rx: u64,
+    /// Frames queued for the coordinator.
+    pub frames_tx: u64,
+}
+
+impl MeasurerSession {
+    /// A session expecting `expected_token` for `expected_role`.
+    pub fn new(
+        expected_token: [u8; AUTH_TOKEN_LEN],
+        expected_role: PeerRole,
+        session_id: u64,
+        timeouts: SessionTimeouts,
+    ) -> Self {
+        MeasurerSession {
+            phase: MeasurerPhase::AwaitAuth,
+            expected_token,
+            expected_role,
+            session_id,
+            timeouts,
+            deadline: None,
+            spec: None,
+            seconds_sent: 0,
+            decoder: FrameDecoder::new(),
+            outbound: VecDeque::new(),
+            actions: VecDeque::new(),
+            frames_rx: 0,
+            frames_tx: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> MeasurerPhase {
+        self.phase
+    }
+
+    /// True once the session can make no further progress.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.phase, MeasurerPhase::Done | MeasurerPhase::Failed)
+    }
+
+    /// Seconds reported so far.
+    pub fn seconds_sent(&self) -> u32 {
+        self.seconds_sent
+    }
+
+    /// Feeds received bytes; decoded frames advance the state machine.
+    pub fn receive(&mut self, now: SimTime, bytes: &[u8]) {
+        if self.is_terminal() {
+            return;
+        }
+        self.decoder.push(bytes);
+        loop {
+            match self.decoder.next_msg() {
+                Ok(Some(msg)) => {
+                    self.frames_rx += 1;
+                    self.on_msg(now, msg);
+                    if self.is_terminal() {
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    self.fail(AbortReason::Malformed, true);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Advances time; a peer mid-handshake whose coordinator goes silent
+    /// gives up rather than holding resources forever.
+    pub fn on_tick(&mut self, now: SimTime) {
+        if self.is_terminal() {
+            return;
+        }
+        let Some(deadline) = self.deadline else { return };
+        if now >= deadline {
+            self.fail(AbortReason::HandshakeTimeout, true);
+        }
+    }
+
+    /// Reports one completed second of the running slot. Queues the
+    /// `SecondReport`, and `SlotDone` after the final second (the driver
+    /// then receives [`MeasurerAction::Stop`]).
+    ///
+    /// # Panics
+    /// Panics unless the session is `Running`.
+    pub fn report_second(&mut self, bg_bytes: u64, measured_bytes: u64) {
+        assert_eq!(self.phase, MeasurerPhase::Running, "report_second outside Running");
+        let spec = self.spec.expect("Running implies spec");
+        let second = self.seconds_sent;
+        self.send(Msg::SecondReport { second, bg_bytes, measured_bytes });
+        self.seconds_sent += 1;
+        if self.seconds_sent >= spec.slot_secs {
+            self.send(Msg::SlotDone);
+            self.phase = MeasurerPhase::Done;
+            self.deadline = None;
+            self.actions.push_back(MeasurerAction::Stop);
+        }
+    }
+
+    /// Aborts locally; notifies the coordinator.
+    pub fn abort(&mut self, reason: AbortReason) {
+        if !self.is_terminal() {
+            self.fail(reason, true);
+        }
+    }
+
+    /// Next encoded frame to put on the wire, if any.
+    pub fn poll_outbound(&mut self) -> Option<Vec<u8>> {
+        self.outbound.pop_front()
+    }
+
+    /// Next action for the driver, if any.
+    pub fn poll_action(&mut self) -> Option<MeasurerAction> {
+        self.actions.pop_front()
+    }
+
+    fn on_msg(&mut self, now: SimTime, msg: Msg) {
+        match (self.phase, msg) {
+            (MeasurerPhase::AwaitAuth, Msg::Auth { token, role }) => {
+                if token != self.expected_token || role != self.expected_role {
+                    self.fail(AbortReason::AuthFailed, true);
+                    return;
+                }
+                self.send(Msg::AuthOk { session: self.session_id });
+                self.phase = MeasurerPhase::AwaitCmd;
+                self.deadline = Some(now + self.timeouts.handshake);
+            }
+            (MeasurerPhase::AwaitCmd, Msg::MeasureCmd(spec)) => {
+                self.spec = Some(spec);
+                self.actions.push_back(MeasurerAction::Prepare { spec });
+                self.send(Msg::Ready);
+                self.phase = MeasurerPhase::AwaitGo;
+                self.deadline = Some(now + self.timeouts.handshake);
+            }
+            (MeasurerPhase::AwaitGo, Msg::Go) => {
+                let spec = self.spec.expect("AwaitGo implies spec");
+                self.phase = MeasurerPhase::Running;
+                // While running, the peer's own liveness is driven by the
+                // slot itself; the coordinator enforces report gaps.
+                self.deadline = None;
+                self.actions.push_back(MeasurerAction::Start { spec });
+            }
+            (_, Msg::Abort { reason }) => {
+                self.fail(reason, false);
+            }
+            (_, other) => {
+                let _ = other;
+                self.fail(AbortReason::OutOfOrder, true);
+            }
+        }
+    }
+
+    fn send(&mut self, msg: Msg) {
+        self.frames_tx += 1;
+        self.outbound.push_back(encode(&msg));
+    }
+
+    fn fail(&mut self, reason: AbortReason, notify_peer: bool) {
+        if notify_peer {
+            self.send(Msg::Abort { reason });
+        }
+        let was_running = self.phase == MeasurerPhase::Running;
+        self.phase = MeasurerPhase::Failed;
+        self.deadline = None;
+        if was_running {
+            self.actions.push_back(MeasurerAction::Stop);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::FINGERPRINT_LEN;
+
+    fn spec() -> MeasureSpec {
+        MeasureSpec { relay_fp: [3; FINGERPRINT_LEN], slot_secs: 3, sockets: 80, rate_cap: 1_000 }
+    }
+
+    fn pump(now: SimTime, coord: &mut CoordinatorSession, meas: &mut MeasurerSession) {
+        // Deliver queued frames both ways until quiescent.
+        loop {
+            let mut moved = false;
+            while let Some(f) = coord.poll_outbound() {
+                meas.receive(now, &f);
+                moved = true;
+            }
+            while let Some(f) = meas.poll_outbound() {
+                coord.receive(now, &f);
+                moved = true;
+            }
+            if !moved {
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn golden_path_runs_to_completion() {
+        let token = [9u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), t);
+        let mut meas = MeasurerSession::new(token, PeerRole::Measurer, 42, t);
+        let now = SimTime::ZERO;
+
+        coord.start(now);
+        pump(now, &mut coord, &mut meas);
+        assert_eq!(coord.phase(), CoordPhase::Armed);
+        assert_eq!(coord.poll_action(), Some(CoordAction::PeerReady));
+        assert!(matches!(meas.poll_action(), Some(MeasurerAction::Prepare { .. })));
+
+        coord.go(now);
+        pump(now, &mut coord, &mut meas);
+        assert!(matches!(meas.poll_action(), Some(MeasurerAction::Start { .. })));
+
+        for s in 0..3u64 {
+            meas.report_second(0, 1000 + s);
+        }
+        pump(now, &mut coord, &mut meas);
+        assert_eq!(meas.phase(), MeasurerPhase::Done);
+        assert_eq!(meas.poll_action(), Some(MeasurerAction::Stop));
+        assert_eq!(coord.phase(), CoordPhase::Done);
+        let mut samples = 0;
+        while let Some(a) = coord.poll_action() {
+            match a {
+                CoordAction::Sample { second, measured_bytes, .. } => {
+                    assert_eq!(measured_bytes, 1000 + u64::from(second));
+                    samples += 1;
+                }
+                CoordAction::PeerDone => {}
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert_eq!(samples, 3);
+    }
+
+    #[test]
+    fn wrong_token_fails_auth() {
+        let t = SessionTimeouts::default();
+        let mut coord = CoordinatorSession::new([1; AUTH_TOKEN_LEN], PeerRole::Measurer, spec(), t);
+        let mut meas = MeasurerSession::new([2; AUTH_TOKEN_LEN], PeerRole::Measurer, 1, t);
+        let now = SimTime::ZERO;
+        coord.start(now);
+        pump(now, &mut coord, &mut meas);
+        assert_eq!(meas.phase(), MeasurerPhase::Failed);
+        assert_eq!(coord.phase(), CoordPhase::Failed);
+        assert_eq!(
+            coord.poll_action(),
+            Some(CoordAction::PeerFailed { reason: AbortReason::AuthFailed })
+        );
+    }
+
+    #[test]
+    fn silent_peer_times_out() {
+        let t = SessionTimeouts {
+            handshake: SimDuration::from_secs(5),
+            report: SimDuration::from_secs(2),
+        };
+        let mut coord = CoordinatorSession::new([1; AUTH_TOKEN_LEN], PeerRole::Measurer, spec(), t);
+        coord.start(SimTime::ZERO);
+        coord.on_tick(SimTime::from_secs(4));
+        assert_eq!(coord.phase(), CoordPhase::AwaitAuthOk);
+        coord.on_tick(SimTime::from_secs(5));
+        assert_eq!(coord.phase(), CoordPhase::Failed);
+        assert_eq!(
+            coord.poll_action(),
+            Some(CoordAction::PeerFailed { reason: AbortReason::HandshakeTimeout })
+        );
+        // An Abort frame was queued for the (possibly half-dead) peer.
+        let frame = coord.poll_outbound().expect("Auth frame");
+        let _ = frame;
+        let abort = coord.poll_outbound().expect("Abort frame");
+        let mut dec = FrameDecoder::new();
+        dec.push(&abort);
+        assert_eq!(
+            dec.next_msg().unwrap(),
+            Some(Msg::Abort { reason: AbortReason::HandshakeTimeout })
+        );
+    }
+
+    #[test]
+    fn stalled_reports_time_out_and_stop_blast() {
+        let token = [7u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts {
+            handshake: SimDuration::from_secs(5),
+            report: SimDuration::from_secs(2),
+        };
+        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), t);
+        let mut meas = MeasurerSession::new(token, PeerRole::Measurer, 1, t);
+        let now = SimTime::ZERO;
+        coord.start(now);
+        pump(now, &mut coord, &mut meas);
+        coord.go(now);
+        pump(now, &mut coord, &mut meas);
+        meas.report_second(0, 500);
+        pump(now, &mut coord, &mut meas);
+
+        // ... then the measurer goes silent for longer than `report`.
+        let later = SimTime::from_secs(3);
+        coord.on_tick(later);
+        assert_eq!(coord.phase(), CoordPhase::Failed);
+        // Coordinator told the peer; delivering it stops the blast.
+        pump(later, &mut coord, &mut meas);
+        assert_eq!(meas.phase(), MeasurerPhase::Failed);
+        let actions: Vec<_> = std::iter::from_fn(|| meas.poll_action()).collect();
+        assert!(actions.contains(&MeasurerAction::Stop), "{actions:?}");
+    }
+
+    #[test]
+    fn replayed_or_invented_seconds_abort_the_peer() {
+        let token = [7u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let now = SimTime::ZERO;
+
+        // A replayed second index (inflation attempt) is fatal.
+        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), t);
+        let mut meas = MeasurerSession::new(token, PeerRole::Measurer, 1, t);
+        coord.start(now);
+        pump(now, &mut coord, &mut meas);
+        coord.go(now);
+        pump(now, &mut coord, &mut meas);
+        coord.receive(
+            now,
+            &encode(&Msg::SecondReport { second: 0, bg_bytes: 0, measured_bytes: 10 }),
+        );
+        coord.receive(
+            now,
+            &encode(&Msg::SecondReport { second: 0, bg_bytes: 0, measured_bytes: 10 }),
+        );
+        assert_eq!(coord.phase(), CoordPhase::Failed);
+        let actions: Vec<_> = std::iter::from_fn(|| coord.poll_action()).collect();
+        assert!(
+            actions.contains(&CoordAction::PeerFailed { reason: AbortReason::OutOfOrder }),
+            "{actions:?}"
+        );
+        // Exactly one sample survived.
+        let samples = actions.iter().filter(|a| matches!(a, CoordAction::Sample { .. })).count();
+        assert_eq!(samples, 1);
+
+        // A second index beyond the commanded slot is equally fatal.
+        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), t);
+        let mut meas = MeasurerSession::new(token, PeerRole::Measurer, 2, t);
+        coord.start(now);
+        pump(now, &mut coord, &mut meas);
+        coord.go(now);
+        pump(now, &mut coord, &mut meas);
+        let wide = spec().slot_secs;
+        coord.receive(
+            now,
+            &encode(&Msg::SecondReport { second: wide, bg_bytes: 0, measured_bytes: 10 }),
+        );
+        assert_eq!(coord.phase(), CoordPhase::Failed);
+    }
+
+    #[test]
+    fn premature_slot_done_aborts_the_peer() {
+        let token = [7u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let now = SimTime::ZERO;
+        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), t);
+        let mut meas = MeasurerSession::new(token, PeerRole::Measurer, 1, t);
+        coord.start(now);
+        pump(now, &mut coord, &mut meas);
+        coord.go(now);
+        pump(now, &mut coord, &mut meas);
+        // Only 1 of the commanded 3 seconds, then a premature SlotDone.
+        coord.receive(
+            now,
+            &encode(&Msg::SecondReport { second: 0, bg_bytes: 0, measured_bytes: 10 }),
+        );
+        coord.receive(now, &encode(&Msg::SlotDone));
+        assert_eq!(coord.phase(), CoordPhase::Failed);
+        let actions: Vec<_> = std::iter::from_fn(|| coord.poll_action()).collect();
+        assert!(
+            actions.contains(&CoordAction::PeerFailed { reason: AbortReason::OutOfOrder }),
+            "{actions:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_order_frame_aborts() {
+        let token = [7u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let mut meas = MeasurerSession::new(token, PeerRole::Measurer, 1, t);
+        // Go before Auth is a protocol violation.
+        meas.receive(SimTime::ZERO, &encode(&Msg::Go));
+        assert_eq!(meas.phase(), MeasurerPhase::Failed);
+        let mut dec = FrameDecoder::new();
+        dec.push(&meas.poll_outbound().expect("abort frame"));
+        assert_eq!(dec.next_msg().unwrap(), Some(Msg::Abort { reason: AbortReason::OutOfOrder }));
+    }
+
+    #[test]
+    fn garbage_bytes_abort_with_malformed() {
+        let t = SessionTimeouts::default();
+        let mut coord = CoordinatorSession::new([1; AUTH_TOKEN_LEN], PeerRole::Target, spec(), t);
+        coord.start(SimTime::ZERO);
+        coord.receive(SimTime::ZERO, &[0xFF; 64]);
+        assert_eq!(coord.phase(), CoordPhase::Failed);
+        let mut saw_failed = false;
+        while let Some(a) = coord.poll_action() {
+            if a == (CoordAction::PeerFailed { reason: AbortReason::Malformed }) {
+                saw_failed = true;
+            }
+        }
+        assert!(saw_failed);
+    }
+
+    #[test]
+    fn terminal_sessions_ignore_late_frames() {
+        let t = SessionTimeouts::default();
+        let mut coord = CoordinatorSession::new([1; AUTH_TOKEN_LEN], PeerRole::Measurer, spec(), t);
+        coord.start(SimTime::ZERO);
+        coord.abort(AbortReason::Shutdown);
+        assert_eq!(coord.phase(), CoordPhase::Failed);
+        coord.receive(SimTime::ZERO, &encode(&Msg::AuthOk { session: 5 }));
+        assert_eq!(coord.phase(), CoordPhase::Failed);
+    }
+}

@@ -197,10 +197,8 @@ impl BenchmarkDriver {
                             .position(|c| *c == active.class)
                             .expect("known class");
                         tor.net.engine_mut().remove_flow(flow);
-                        client.state = BenchState::Idle {
-                            until: now + self.pause,
-                            next_class: class_idx + 1,
-                        };
+                        client.state =
+                            BenchState::Idle { until: now + self.pause, next_class: class_idx + 1 };
                     } else if elapsed > active.class.timeout().as_secs_f64() {
                         self.records.push(TransferRecord {
                             class: active.class,
@@ -215,10 +213,8 @@ impl BenchmarkDriver {
                             .expect("known class");
                         tor.net.engine_mut().stop_flow(flow);
                         tor.net.engine_mut().remove_flow(flow);
-                        client.state = BenchState::Idle {
-                            until: now + self.pause,
-                            next_class: class_idx + 1,
-                        };
+                        client.state =
+                            BenchState::Idle { until: now + self.pause, next_class: class_idx + 1 };
                     }
                 }
             }
@@ -227,11 +223,7 @@ impl BenchmarkDriver {
 
     /// Completed TTLB samples for a class (seconds).
     pub fn ttlb_of(&self, class: SizeClass) -> Vec<f64> {
-        self.records
-            .iter()
-            .filter(|r| r.class == class)
-            .filter_map(|r| r.ttlb)
-            .collect()
+        self.records.iter().filter(|r| r.class == class).filter_map(|r| r.ttlb).collect()
     }
 
     /// All TTFB samples (seconds).
@@ -241,11 +233,8 @@ impl BenchmarkDriver {
 
     /// Failure (timeout) rate for a class, or overall when `None`.
     pub fn failure_rate(&self, class: Option<SizeClass>) -> f64 {
-        let subset: Vec<&TransferRecord> = self
-            .records
-            .iter()
-            .filter(|r| class.is_none_or(|c| r.class == c))
-            .collect();
+        let subset: Vec<&TransferRecord> =
+            self.records.iter().filter(|r| class.is_none_or(|c| r.class == c)).collect();
         if subset.is_empty() {
             return 0.0;
         }

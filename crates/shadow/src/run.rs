@@ -114,11 +114,8 @@ pub fn run_measurement_phase(cfg: &ShadowConfig) -> MeasurementPhase {
 
     // Advertised bandwidths from the relays' own observed-bandwidth
     // heuristic — TorFlow's first input.
-    let advertised: BTreeMap<RelayId, Rate> = net
-        .relays
-        .iter()
-        .map(|r| (*r, net.tor.relay(*r).observed.advertised(None)))
-        .collect();
+    let advertised: BTreeMap<RelayId, Rate> =
+        net.relays.iter().map(|r| (*r, net.tor.relay(*r).observed.advertised(None))).collect();
 
     // TorFlow scan: one 2-hop probe per relay, with background running.
     let scanner = net.client_hosts[0];
@@ -138,9 +135,7 @@ pub fn run_measurement_phase(cfg: &ShadowConfig) -> MeasurementPhase {
             net.tor.start_client_traffic(server, &[target, partner], scanner, 1, Scheduler::Kist);
         net.tor.net.engine_mut().set_flow_budget(flow, size);
         let deadline = net.tor.now() + SimDuration::from_secs(30);
-        while net.tor.now() < deadline
-            && net.tor.net.engine().flow_finished_at(flow).is_none()
-        {
+        while net.tor.now() < deadline && net.tor.net.engine().flow_finished_at(flow).is_none() {
             net.tor.tick();
             markov.on_tick(&mut net.tor);
         }
@@ -163,19 +158,10 @@ pub fn run_measurement_phase(cfg: &ShadowConfig) -> MeasurementPhase {
     // with the background traffic still running between slots.
     let params = Params::paper();
     let team = Team::with_capacities(
-        &net
-            .measurer_hosts
-            .iter()
-            .map(|h| (*h, cfg.team_capacity_each))
-            .collect::<Vec<_>>(),
+        &net.measurer_hosts.iter().map(|h| (*h, cfg.team_capacity_each)).collect::<Vec<_>>(),
     );
-    let estimates = measure_network_with_background(
-        &mut net,
-        &mut markov,
-        &team,
-        &params,
-        &mut rng,
-    );
+    let estimates =
+        measure_network_with_background(&mut net, &mut markov, &team, &params, &mut rng);
     let flashflow_estimates: Vec<f64> =
         net.relays.iter().map(|r| estimates.get(r).copied().unwrap_or(0.0)).collect();
 
@@ -257,12 +243,8 @@ pub fn measure_network_with_background(
                 behavior: TargetBehavior::Honest,
             })
             .collect();
-        let results = flashflow_core::measure::run_concurrent_measurements(
-            &mut net.tor,
-            &items,
-            params,
-            rng,
-        );
+        let results =
+            flashflow_core::measure::run_concurrent_measurements(&mut net.tor, &items, params, rng);
         // Let the background clients respawn with the elapsed slot time.
         markov.on_tick(&mut net.tor);
 
@@ -315,7 +297,12 @@ impl LoadResult {
 /// Runs one performance simulation: fresh network (same seed), the given
 /// weights installed for circuit selection, `load × markov_clients`
 /// background clients plus the benchmark clients.
-pub fn run_performance(cfg: &ShadowConfig, system: System, weights: &[f64], load: f64) -> LoadResult {
+pub fn run_performance(
+    cfg: &ShadowConfig,
+    system: System,
+    weights: &[f64],
+    load: f64,
+) -> LoadResult {
     let mut net = build_network(cfg);
     assert_eq!(weights.len(), net.relays.len(), "weights mismatch");
     let mut rng = SimRng::seed_from_u64(cfg.seed ^ 0x5045_5246 ^ (load * 100.0) as u64);
@@ -358,11 +345,8 @@ pub fn run_performance(cfg: &ShadowConfig, system: System, weights: &[f64], load
         net.tor.tick();
         markov.on_tick(&mut net.tor);
         bench.on_tick(&mut net.tor);
-        let relay_bytes: f64 = net
-            .relays
-            .iter()
-            .map(|r| net.tor.relay_forwarded_last_tick(*r))
-            .sum();
+        let relay_bytes: f64 =
+            net.relays.iter().map(|r| net.tor.relay_forwarded_last_tick(*r)).sum();
         throughput_acc.push(relay_bytes, dt);
     }
     w.clear();

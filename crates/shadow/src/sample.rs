@@ -87,9 +87,7 @@ pub fn build_network(cfg: &ShadowConfig) -> PrivateNetwork {
         .map(|i| tor.add_host(HostProfile::new(format!("server-{i}"), Rate::from_gbit(10.0))))
         .collect();
     let measurer_hosts: Vec<HostId> = (0..cfg.team_measurers)
-        .map(|i| {
-            tor.add_host(HostProfile::new(format!("measurer-{i}"), cfg.team_capacity_each))
-        })
+        .map(|i| tor.add_host(HostProfile::new(format!("measurer-{i}"), cfg.team_capacity_each)))
         .collect();
 
     // Randomise some pairwise RTTs for diversity (a subset suffices; the
@@ -118,11 +116,7 @@ pub fn build_network(cfg: &ShadowConfig) -> PrivateNetwork {
 ///
 /// # Panics
 /// Panics if fewer than three relays have positive weight.
-pub fn sample_circuit(
-    relays: &[RelayId],
-    weights: &[f64],
-    rng: &mut SimRng,
-) -> [RelayId; 3] {
+pub fn sample_circuit(relays: &[RelayId], weights: &[f64], rng: &mut SimRng) -> [RelayId; 3] {
     assert_eq!(relays.len(), weights.len(), "weights length mismatch");
     assert!(
         weights.iter().filter(|w| **w > 0.0).count() >= 3,

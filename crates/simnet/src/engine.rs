@@ -321,8 +321,7 @@ impl Engine {
             let innovation = (1.0 - j.ar * j.ar).sqrt() * j.sigma;
             j.state = j.ar * j.state + j.rng.gen_normal(0.0, innovation);
             let capacity = j.base * j.state.exp();
-            self.resources[j.resource.index()]
-                .set_capacity(Rate::from_bytes_per_sec(capacity));
+            self.resources[j.resource.index()].set_capacity(Rate::from_bytes_per_sec(capacity));
         }
 
         // Active flow slots, in a stable order.

@@ -96,10 +96,7 @@ pub fn max_min_rates(capacities: &[f64], flows: &[AllocFlow<'_>]) -> Vec<f64> {
     let nf = flows.len();
     for (i, f) in flows.iter().enumerate() {
         assert!(f.weight.is_finite() && f.weight > 0.0, "flow {i}: bad weight {}", f.weight);
-        assert!(
-            !f.path.is_empty() || f.cap.is_some(),
-            "flow {i}: empty path requires a cap"
-        );
+        assert!(!f.path.is_empty() || f.cap.is_some(), "flow {i}: empty path requires a cap");
         for r in f.path {
             assert!(r.index() < nr, "flow {i}: resource {} out of range", r.index());
         }
@@ -225,10 +222,7 @@ mod tests {
     }
 
     fn flows_of<'a>(specs: &'a [(Vec<ResourceId>, f64, Option<f64>)]) -> Vec<AllocFlow<'a>> {
-        specs
-            .iter()
-            .map(|(p, w, c)| AllocFlow { path: p, weight: *w, cap: *c })
-            .collect()
+        specs.iter().map(|(p, w, c)| AllocFlow { path: p, weight: *w, cap: *c }).collect()
     }
 
     #[test]
@@ -249,7 +243,8 @@ mod tests {
     #[test]
     fn weighted_split() {
         let caps = [120.0];
-        let specs = vec![(vec![rid(0)], 1.0, None), (vec![rid(0)], 2.0, None), (vec![rid(0)], 3.0, None)];
+        let specs =
+            vec![(vec![rid(0)], 1.0, None), (vec![rid(0)], 2.0, None), (vec![rid(0)], 3.0, None)];
         let rates = max_min_rates(&caps, &flows_of(&specs));
         assert!((rates[0] - 20.0).abs() < 1e-6);
         assert!((rates[1] - 40.0).abs() < 1e-6);

@@ -288,8 +288,7 @@ impl Net {
         if let Some(seed) = jitter_seed {
             net.enable_jitter(seed);
         }
-        let ids: Vec<HostId> =
-            HostProfile::table1().into_iter().map(|p| net.add_host(p)).collect();
+        let ids: Vec<HostId> = HostProfile::table1().into_iter().map(|p| net.add_host(p)).collect();
         for (i, row) in TABLE1_RTT_MS.iter().enumerate() {
             for (j, &ms) in row.iter().enumerate() {
                 if i != j {
@@ -320,11 +319,8 @@ impl Net {
             .engine
             .add_resource(Resource::pipe(format!("{}/rx", profile.name), profile.nic_down));
         if let Some(rng) = self.jitter_rng.as_mut() {
-            let sigma = if profile.virtualized {
-                JITTER_SIGMA_VIRTUAL
-            } else {
-                JITTER_SIGMA_DEDICATED
-            };
+            let sigma =
+                if profile.virtualized { JITTER_SIGMA_VIRTUAL } else { JITTER_SIGMA_DEDICATED };
             let fork_tx = rng.fork();
             let fork_rx = rng.fork();
             self.engine.add_jitter(tx, sigma, JITTER_AR, fork_tx);
@@ -393,11 +389,8 @@ impl Net {
             buffer_efficiency: ka.buffer_efficiency.min(kb.buffer_efficiency),
             loss_recovery: ka.loss_recovery.min(kb.loss_recovery),
         };
-        let loss = if self.wan_loss {
-            WAN_LOSS_PER_RTT_SEC * self.rtt(a, b).as_secs_f64()
-        } else {
-            0.0
-        };
+        let loss =
+            if self.wan_loss { WAN_LOSS_PER_RTT_SEC * self.rtt(a, b).as_secs_f64() } else { 0.0 };
         TcpProfile::new(self.rtt(a, b))
             .with_kernel(kernel)
             .with_path_efficiency(self.path_efficiency(a, b))

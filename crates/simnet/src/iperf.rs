@@ -82,12 +82,8 @@ pub fn pairwise_bidirectional(
     }
     net.engine_mut().stop_flow(fwd);
     net.engine_mut().stop_flow(rev);
-    let per_second: Vec<f64> = fwd_acc
-        .seconds()
-        .iter()
-        .zip(rev_acc.seconds())
-        .map(|(f, r)| f.min(*r))
-        .collect();
+    let per_second: Vec<f64> =
+        fwd_acc.seconds().iter().zip(rev_acc.seconds()).map(|(f, r)| f.min(*r)).collect();
     IperfReport::from_seconds(per_second)
 }
 
@@ -100,8 +96,7 @@ pub fn saturate_target(
     sources: &[HostId],
     duration: SimDuration,
 ) -> IperfReport {
-    let flows: Vec<FlowId> =
-        sources.iter().map(|s| net.start_udp_flow(*s, target, 8)).collect();
+    let flows: Vec<FlowId> = sources.iter().map(|s| net.start_udp_flow(*s, target, 8)).collect();
     let seconds = run_flows(net, &flows, duration);
     IperfReport::from_seconds(seconds)
 }
@@ -133,22 +128,16 @@ pub fn measure_measurer(
     let end = net.engine().now() + duration;
     while net.engine().now() < end {
         net.engine_mut().tick();
-        let out_bytes: f64 =
-            out_flows.iter().map(|f| net.engine().flow_bytes_last_tick(*f)).sum();
-        let in_bytes: f64 =
-            in_flows.iter().map(|f| net.engine().flow_bytes_last_tick(*f)).sum();
+        let out_bytes: f64 = out_flows.iter().map(|f| net.engine().flow_bytes_last_tick(*f)).sum();
+        let in_bytes: f64 = in_flows.iter().map(|f| net.engine().flow_bytes_last_tick(*f)).sum();
         out_acc.push(out_bytes, dt);
         in_acc.push(in_bytes, dt);
     }
     for f in out_flows.iter().chain(&in_flows) {
         net.engine_mut().stop_flow(*f);
     }
-    let per_second: Vec<f64> = out_acc
-        .seconds()
-        .iter()
-        .zip(in_acc.seconds())
-        .map(|(o, i)| o.min(*i))
-        .collect();
+    let per_second: Vec<f64> =
+        out_acc.seconds().iter().zip(in_acc.seconds()).map(|(o, i)| o.min(*i)).collect();
     IperfReport::from_seconds(per_second)
 }
 
@@ -173,8 +162,13 @@ mod tests {
     #[test]
     fn pairwise_udp_hits_slower_nic() {
         let (mut net, ids) = Net::table1();
-        let report =
-            pairwise_bidirectional(&mut net, ids[0], ids[2], Transport::Udp, SimDuration::from_secs(10));
+        let report = pairwise_bidirectional(
+            &mut net,
+            ids[0],
+            ids[2],
+            Transport::Udp,
+            SimDuration::from_secs(10),
+        );
         // Bottleneck 941 Mbit/s (US-E NIC).
         assert!((report.median_rate.as_mbit() - 941.0).abs() < 5.0, "{}", report.median_rate);
     }
@@ -208,8 +202,7 @@ mod tests {
     #[test]
     fn measure_measurer_bounded_by_own_nic() {
         let (mut net, ids) = Net::table1();
-        let report =
-            measure_measurer(&mut net, ids[4], &ids, SimDuration::from_secs(10));
+        let report = measure_measurer(&mut net, ids[4], &ids, SimDuration::from_secs(10));
         // NL's NIC is 1611 Mbit/s; peers can't exceed it and the minimum of
         // both directions can't either.
         assert!(report.median_rate.as_mbit() <= 1611.0 + 1.0);

@@ -150,7 +150,8 @@ impl Resource {
     /// Consumes `used_bytes` over `dt_secs`, updating token-bucket state.
     pub(crate) fn consume(&mut self, used_bytes: f64, dt_secs: f64) {
         if let ResourceKind::TokenBucket { burst_bytes } = self.kind {
-            let refilled = (self.tokens + self.capacity * dt_secs).min(burst_bytes + self.capacity * dt_secs);
+            let refilled =
+                (self.tokens + self.capacity * dt_secs).min(burst_bytes + self.capacity * dt_secs);
             self.tokens = (refilled - used_bytes).clamp(0.0, burst_bytes);
         }
     }
@@ -192,7 +193,7 @@ mod tests {
         let rate = Rate::from_mbit(80.0);
         let mut r = Resource::token_bucket("limit", rate, 5e6);
         r.consume(r.effective_capacity(1.0, 0.0), 1.0); // drain completely
-        // Idle for one second at 10 MB/s refill, capped at 5 MB burst depth.
+                                                        // Idle for one second at 10 MB/s refill, capped at 5 MB burst depth.
         r.consume(0.0, 1.0);
         assert!((r.tokens() - 5e6).abs() < 1.0);
     }

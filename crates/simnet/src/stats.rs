@@ -126,10 +126,7 @@ impl Ecdf {
     /// Iterates `(value, cumulative_fraction)` pairs, one per sample point.
     pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
         let n = self.sorted.len() as f64;
-        self.sorted
-            .iter()
-            .enumerate()
-            .map(move |(i, &v)| (v, (i + 1) as f64 / n))
+        self.sorted.iter().enumerate().map(move |(i, &v)| (v, (i + 1) as f64 / n))
     }
 
     /// Renders the CDF sampled at `n` evenly spaced quantiles, for printing.

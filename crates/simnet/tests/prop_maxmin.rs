@@ -26,17 +26,13 @@ fn problem_strategy() -> impl Strategy<Value = Problem> {
             prop::option::of(1.0f64..1e9),
         );
         let flows = prop::collection::vec(flow, 1..12);
-        (Just(capacities), flows)
-            .prop_map(|(capacities, flows)| Problem { capacities, flows })
+        (Just(capacities), flows).prop_map(|(capacities, flows)| Problem { capacities, flows })
     })
 }
 
 fn solve(p: &Problem) -> Vec<f64> {
-    let paths: Vec<Vec<ResourceId>> = p
-        .flows
-        .iter()
-        .map(|(path, _, _)| path.iter().map(|&i| rid(i)).collect())
-        .collect();
+    let paths: Vec<Vec<ResourceId>> =
+        p.flows.iter().map(|(path, _, _)| path.iter().map(|&i| rid(i)).collect()).collect();
     let flows: Vec<AllocFlow<'_>> = p
         .flows
         .iter()

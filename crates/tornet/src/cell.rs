@@ -17,8 +17,6 @@
 //! * [`Command::Measure`] — the measurement cell carrying random bytes,
 //!   decrypted and echoed by the target.
 
-use bytes::{Buf, BufMut};
-
 /// Total size of a cell on the wire.
 pub const CELL_LEN: usize = 514;
 /// Bytes of payload in each cell.
@@ -107,12 +105,9 @@ impl Cell {
     /// Serialises to exactly [`CELL_LEN`] bytes.
     pub fn encode(&self) -> [u8; CELL_LEN] {
         let mut out = [0u8; CELL_LEN];
-        {
-            let mut buf = &mut out[..];
-            buf.put_u32(self.circ_id.0);
-            buf.put_u8(self.command as u8);
-            buf.put_slice(&self.payload);
-        }
+        out[..4].copy_from_slice(&self.circ_id.0.to_be_bytes());
+        out[4] = self.command as u8;
+        out[5..].copy_from_slice(&self.payload);
         out
     }
 
@@ -123,11 +118,10 @@ impl Cell {
         if bytes.len() != CELL_LEN {
             return None;
         }
-        let mut buf = bytes;
-        let circ_id = CircId(buf.get_u32());
-        let command = Command::from_u8(buf.get_u8())?;
+        let circ_id = CircId(u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes")));
+        let command = Command::from_u8(bytes[4])?;
         let mut payload = [0u8; PAYLOAD_LEN];
-        payload.copy_from_slice(buf);
+        payload.copy_from_slice(&bytes[5..]);
         Some(Cell { circ_id, command, payload })
     }
 

@@ -53,12 +53,20 @@ pub struct Window {
 impl Window {
     /// A circuit-level window (1000 / 100).
     pub fn circuit() -> Self {
-        Window { current: CIRCUIT_WINDOW_INIT, init: CIRCUIT_WINDOW_INIT, increment: CIRCUIT_SENDME_INC }
+        Window {
+            current: CIRCUIT_WINDOW_INIT,
+            init: CIRCUIT_WINDOW_INIT,
+            increment: CIRCUIT_SENDME_INC,
+        }
     }
 
     /// A stream-level window (500 / 50).
     pub fn stream() -> Self {
-        Window { current: STREAM_WINDOW_INIT, init: STREAM_WINDOW_INIT, increment: STREAM_SENDME_INC }
+        Window {
+            current: STREAM_WINDOW_INIT,
+            init: STREAM_WINDOW_INIT,
+            increment: STREAM_SENDME_INC,
+        }
     }
 
     /// Remaining cells that may be packaged.
@@ -124,12 +132,14 @@ impl ClientCircuit {
     pub fn build(circ_id: CircId, own_secrets: &[SecretKey], hop_publics: &[PublicKey]) -> Self {
         assert_eq!(own_secrets.len(), hop_publics.len(), "one secret per hop");
         assert!(!hop_publics.is_empty(), "a circuit needs at least one hop");
-        let keys: Vec<SharedKey> = own_secrets
-            .iter()
-            .zip(hop_publics)
-            .map(|(s, p)| s.shared_with(*p))
-            .collect();
-        ClientCircuit { circ_id, crypto: OnionCrypto::new(&keys), window: Window::circuit(), hops: keys.len() }
+        let keys: Vec<SharedKey> =
+            own_secrets.iter().zip(hop_publics).map(|(s, p)| s.shared_with(*p)).collect();
+        ClientCircuit {
+            circ_id,
+            crypto: OnionCrypto::new(&keys),
+            window: Window::circuit(),
+            hops: keys.len(),
+        }
     }
 
     /// Number of hops in the circuit.
@@ -288,10 +298,8 @@ mod tests {
         let relay_publics: Vec<_> = hops.iter().map(|(_, r)| r.public()).collect();
         let mut client = ClientCircuit::build(CircId(5), &client_secrets, &relay_publics);
 
-        let mut relays: Vec<RelayCircuit> = hops
-            .iter()
-            .map(|(c, r)| RelayCircuit::accept(CircId(5), *r, c.public()))
-            .collect();
+        let mut relays: Vec<RelayCircuit> =
+            hops.iter().map(|(c, r)| RelayCircuit::accept(CircId(5), *r, c.public())).collect();
 
         let mut cell = client.package(b"GET / HTTP/1.0").unwrap();
         for (i, relay) in relays.iter_mut().enumerate() {

@@ -77,10 +77,7 @@ impl Consensus {
         if total <= 0.0 {
             return None;
         }
-        self.entries
-            .iter()
-            .find(|e| e.relay == relay)
-            .map(|e| e.weight / total)
+        self.entries.iter().find(|e| e.relay == relay).map(|e| e.weight / total)
     }
 
     /// Iterates `(relay, normalized weight)` pairs.
@@ -95,7 +92,7 @@ impl Consensus {
 
 /// The low-median Tor's voting uses: for an even count, take the lower of
 /// the two middle values (matching `dirvote.c`).
-pub fn low_median(values: &mut Vec<f64>) -> Option<f64> {
+pub fn low_median(values: &mut [f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
@@ -191,9 +188,9 @@ mod tests {
 
     #[test]
     fn low_median_even_takes_lower() {
-        assert_eq!(low_median(&mut vec![1.0, 2.0, 3.0, 4.0]), Some(2.0));
-        assert_eq!(low_median(&mut vec![5.0, 1.0, 3.0]), Some(3.0));
-        assert_eq!(low_median(&mut vec![]), None);
+        assert_eq!(low_median(&mut [1.0, 2.0, 3.0, 4.0]), Some(2.0));
+        assert_eq!(low_median(&mut [5.0, 1.0, 3.0]), Some(3.0));
+        assert_eq!(low_median(&mut []), None);
     }
 
     #[test]

@@ -164,12 +164,7 @@ impl TorNet {
     /// Flow spec for a download from `server` through `path` (exit first
     /// in the transmission direction: the path slice is ordered
     /// client-side first, as circuits are built) to `client`.
-    pub fn circuit_flow_spec(
-        &self,
-        server: HostId,
-        path: &[RelayId],
-        client: HostId,
-    ) -> FlowSpec {
+    pub fn circuit_flow_spec(&self, server: HostId, path: &[RelayId], client: HostId) -> FlowSpec {
         assert!(!path.is_empty(), "circuit needs at least one relay");
         let mut resources = vec![self.net.tx(server)];
         // Data flows server → exit → … → guard → client.
@@ -220,8 +215,7 @@ impl TorNet {
         scheduler: Scheduler,
     ) -> FlowId {
         let rtt = self.circuit_rtt(client, path, server).as_secs_f64().max(1e-4);
-        let window_cap =
-            f64::from(sockets.max(1)) * crate::circuit::circuit_window_rate_cap(rtt);
+        let window_cap = f64::from(sockets.max(1)) * crate::circuit::circuit_window_rate_cap(rtt);
         let mut spec = self.circuit_flow_spec(server, path, client).with_sockets(sockets);
         let mut cap = window_cap;
         if let Some(sched_cap) = scheduler.bundle_cap(sockets) {
@@ -297,7 +291,10 @@ impl TorNet {
             .seconds()
             .iter()
             .zip(relay.bg_actual_acc.seconds())
-            .map(|(rep, act)| RelaySecondReport { reported_background: *rep, actual_background: *act })
+            .map(|(rep, act)| RelaySecondReport {
+                reported_background: *rep,
+                actual_background: *act,
+            })
             .collect()
     }
 
@@ -310,11 +307,8 @@ impl TorNet {
         // Measurement traffic per relay under measurement.
         let mut meas_bytes: Vec<(RelayId, f64)> = Vec::with_capacity(self.active.len());
         for m in &self.active {
-            let bytes: f64 = m
-                .flows
-                .iter()
-                .map(|f| self.net.engine().flow_bytes_last_tick(*f))
-                .sum();
+            let bytes: f64 =
+                m.flows.iter().map(|f| self.net.engine().flow_bytes_last_tick(*f)).sum();
             meas_bytes.push((m.target, bytes));
         }
 
@@ -331,10 +325,7 @@ impl TorNet {
                     self.net.engine().resource_bytes_last_tick(relay.bg_gate),
                 )
             };
-            self.net
-                .engine_mut()
-                .resource_mut(gate)
-                .set_capacity(Rate::from_bytes_per_sec(cap));
+            self.net.engine_mut().resource_mut(gate).set_capacity(Rate::from_bytes_per_sec(cap));
             let reported = match reporting {
                 BackgroundReporting::Honest => actual_bg,
                 BackgroundReporting::InflateToAllowance => background_allowance(bytes, ratio),
@@ -474,7 +465,9 @@ mod tests {
         let h2 = tor.add_host(HostProfile::us_sw());
         let liar = tor.add_relay(
             h2,
-            RelayConfig::new("liar").with_inflated_reporting().with_rate_limit(Rate::from_mbit(200.0)),
+            RelayConfig::new("liar")
+                .with_inflated_reporting()
+                .with_rate_limit(Rate::from_mbit(200.0)),
         );
         let flow = tor.start_measurement_flow(measurer, liar, 160, None);
         tor.begin_measurement(liar, vec![flow]);

@@ -72,7 +72,7 @@ impl ObservedBandwidth {
             }
         }
         self.seconds_elapsed += 1;
-        if self.seconds_elapsed % 86_400 == 0 {
+        if self.seconds_elapsed.is_multiple_of(86_400) {
             self.roll_day();
         }
     }

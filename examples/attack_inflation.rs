@@ -22,17 +22,13 @@ fn main() {
     // reports the maximum the ratio allows.
     let liar = tor.add_relay(
         host,
-        RelayConfig::new("liar")
-            .with_rate_limit(true_capacity)
-            .with_inflated_reporting(),
+        RelayConfig::new("liar").with_rate_limit(true_capacity).with_inflated_reporting(),
     );
-    let team = Team::with_capacities(&[
-        (us_e, Rate::from_mbit(941.0)),
-        (nl, Rate::from_mbit(1611.0)),
-    ]);
+    let team =
+        Team::with_capacities(&[(us_e, Rate::from_mbit(941.0)), (nl, Rate::from_mbit(1611.0))]);
     let mut rng = SimRng::seed_from_u64(2);
-    let m = measure_once(&mut tor, liar, &team, true_capacity, &params, &mut rng)
-        .expect("allocatable");
+    let m =
+        measure_once(&mut tor, liar, &team, true_capacity, &params, &mut rng).expect("allocatable");
     let gained = m.estimate.as_mbit() / true_capacity.as_mbit();
     println!(
         "FlashFlow: liar with true capacity {} measured at {} => {:.2}x \

@@ -1,0 +1,107 @@
+//! Protocol session walkthrough: one measurement slot executed entirely
+//! through the `flashflow-proto` control plane.
+//!
+//! Builds a two-measurer team and a 600 Mbit/s target (large enough that
+//! both measurers must participate), runs the slot through coordinator ↔
+//! measurer sessions over the in-memory byte-stream transport, and then
+//! demonstrates the failure handling: a measurer that crashes mid-slot
+//! is aborted by the coordinator's report timeout and the measurement
+//! degrades instead of wedging.
+//!
+//! Run with: `cargo run --example protocol_session`
+
+use flashflow_repro::core::prelude::*;
+use flashflow_repro::simnet::prelude::*;
+use flashflow_repro::tornet::prelude::*;
+
+fn testbed() -> (TorNet, Team, RelayId) {
+    let mut tor = TorNet::new();
+    let us_e = tor.add_host(HostProfile::us_e());
+    let nl = tor.add_host(HostProfile::host_nl());
+    let target_host = tor.add_host(HostProfile::us_sw());
+    tor.net.set_rtt(us_e, target_host, SimDuration::from_millis(62));
+    tor.net.set_rtt(nl, target_host, SimDuration::from_millis(137));
+    let relay = tor.add_relay(
+        target_host,
+        RelayConfig::new("proto-target").with_rate_limit(Rate::from_mbit(600.0)),
+    );
+    let team =
+        Team::with_capacities(&[(us_e, Rate::from_mbit(941.0)), (nl, Rate::from_mbit(1611.0))]);
+    (tor, team, relay)
+}
+
+fn main() {
+    let params = Params::paper();
+    let prior = Rate::from_mbit(600.0);
+
+    // --- A clean slot over the protocol. -----------------------------
+    let (mut tor, team, relay) = testbed();
+    let mut rng = SimRng::seed_from_u64(1);
+    println!("== clean protocol slot ==");
+    println!(
+        "fingerprint {}  slot {}s  sockets {}",
+        hex(&fingerprint_for(relay)[..8]),
+        params.slot.as_secs(),
+        params.sockets
+    );
+    let m = measure_via_proto(&mut tor, relay, &team, prior, &params, &mut rng).unwrap();
+    println!(
+        "sessions clean: {} | coordinator frames tx {} rx {}",
+        m.clean(),
+        m.frames_tx,
+        m.frames_rx
+    );
+    println!("  sec |     x (Mbit/s) |  y-accepted |          z");
+    for (j, s) in m.measurement.seconds.iter().enumerate().take(5) {
+        println!(
+            "  {j:>3} | {:>14.1} | {:>11.1} | {:>10.1}",
+            s.x * 8.0 / 1e6,
+            s.y_accepted * 8.0 / 1e6,
+            s.z * 8.0 / 1e6
+        );
+    }
+    println!("  ... ({} seconds total)", m.measurement.seconds.len());
+    println!(
+        "estimate {} (verified: {}, conclusive: {})",
+        m.measurement.estimate,
+        m.measurement.verified(),
+        m.measurement.conclusive(&params)
+    );
+
+    // --- The same slot with a crashing measurer. ----------------------
+    let (mut tor, team, relay) = testbed();
+    let mut rng = SimRng::seed_from_u64(2);
+    println!("\n== slot with a measurer crash at t+5s ==");
+    let reserved = vec![Rate::ZERO; team.len()];
+    let allocations = team.allocate(prior, &params, &reserved).unwrap();
+    let assignments = assignments_for(&team, &allocations, &params);
+    let faults = vec![FaultSpec {
+        item: 0,
+        host: team.measurers[0].host,
+        fault: PeerFault::StallAfterSeconds(5),
+    }];
+    let start = tor.now();
+    let m = run_measurement_via_proto(
+        &mut tor,
+        relay,
+        &assignments,
+        &params,
+        TargetBehavior::Honest,
+        &mut rng,
+        &ProtoConfig::default(),
+        &faults,
+    );
+    for f in &m.failures {
+        println!("peer {:?} ({:?}) aborted: {}", f.host, f.role, f.reason);
+    }
+    println!("slot still terminated after {} of simulated time", tor.now().duration_since(start));
+    println!(
+        "degraded estimate {} over {} reported seconds",
+        m.measurement.estimate,
+        m.measurement.seconds.len()
+    );
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

@@ -26,10 +26,8 @@ fn main() {
     );
 
     // 3. The measurement team and the paper's parameters.
-    let team = Team::with_capacities(&[
-        (us_e, Rate::from_mbit(941.0)),
-        (nl, Rate::from_mbit(1611.0)),
-    ]);
+    let team =
+        Team::with_capacities(&[(us_e, Rate::from_mbit(941.0)), (nl, Rate::from_mbit(1611.0))]);
     let params = Params::paper();
     println!(
         "team capacity {:.0} Mbit/s, excess factor f = {:.2}",

@@ -13,6 +13,7 @@
 pub use flashflow_balance as balance;
 pub use flashflow_core as core;
 pub use flashflow_metrics as metrics;
+pub use flashflow_proto as proto;
 pub use flashflow_shadow as shadow;
 pub use flashflow_simnet as simnet;
 pub use flashflow_tornet as tornet;

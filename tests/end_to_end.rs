@@ -50,13 +50,13 @@ fn adaptive_sequence_converges_from_bad_priors() {
     for prior_mbit in [10.0, 50.0, 2000.0] {
         let mut tor = TorNet::new();
         let (team, ids) = table1_team(&mut tor);
-        let relay = tor
-            .add_relay(ids[0], RelayConfig::new("t").with_rate_limit(Rate::from_mbit(400.0)));
+        let relay =
+            tor.add_relay(ids[0], RelayConfig::new("t").with_rate_limit(Rate::from_mbit(400.0)));
         let params = Params::paper();
         let mut rng = SimRng::seed_from_u64(600);
-        let prior = Rate::from_mbit(prior_mbit).min(
-            Rate::from_bytes_per_sec(team.total_capacity().bytes_per_sec() / params.excess_factor()),
-        );
+        let prior = Rate::from_mbit(prior_mbit).min(Rate::from_bytes_per_sec(
+            team.total_capacity().bytes_per_sec() / params.excess_factor(),
+        ));
         let out = measure_relay(
             &mut tor,
             relay,
@@ -84,10 +84,7 @@ fn inflation_bound_holds_across_ratios() {
         let truth = Rate::from_mbit(300.0);
         let relay = tor.add_relay(
             ids[0],
-            RelayConfig::new("liar")
-                .with_rate_limit(truth)
-                .with_ratio(r)
-                .with_inflated_reporting(),
+            RelayConfig::new("liar").with_rate_limit(truth).with_ratio(r).with_inflated_reporting(),
         );
         let mut params = Params::paper();
         params.ratio = r;
@@ -117,10 +114,8 @@ fn multi_bwauth_median_defeats_one_liar_authority() {
             (tor.add_relay(h, RelayConfig::new(format!("r{i}")).with_rate_limit(cap)), cap)
         })
         .collect();
-    let team = Team::with_capacities(&[
-        (m1, Rate::from_mbit(941.0)),
-        (m2, Rate::from_mbit(1611.0)),
-    ]);
+    let team =
+        Team::with_capacities(&[(m1, Rate::from_mbit(941.0)), (m2, Rate::from_mbit(1611.0))]);
     let params = Params::paper();
 
     let mut files = Vec::new();
@@ -149,14 +144,11 @@ fn forging_relay_gets_no_estimate_and_honest_relays_do() {
         tor.add_relay(h1, RelayConfig::new("honest").with_rate_limit(Rate::from_mbit(100.0)));
     let forger =
         tor.add_relay(h2, RelayConfig::new("forger").with_rate_limit(Rate::from_mbit(100.0)));
-    let team = Team::with_capacities(&[
-        (m1, Rate::from_mbit(941.0)),
-        (m2, Rate::from_mbit(1611.0)),
-    ]);
+    let team =
+        Team::with_capacities(&[(m1, Rate::from_mbit(941.0)), (m2, Rate::from_mbit(1611.0))]);
     let params = Params::paper();
     let mut auth = BwAuth::new("auth", team, params, 9);
-    let relays =
-        vec![(honest, Rate::from_mbit(100.0)), (forger, Rate::from_mbit(100.0))];
+    let relays = vec![(honest, Rate::from_mbit(100.0)), (forger, Rate::from_mbit(100.0))];
     let file = auth.measure_network(&mut tor, &relays, &|r| {
         if r == forger {
             TargetBehavior::Forging { fraction: 1.0 }

@@ -53,8 +53,8 @@ fn relay_rate_limit_change_mid_period_tracked_next_measurement() {
         tor.add_relay(ids[0], RelayConfig::new("t").with_rate_limit(Rate::from_mbit(400.0)));
     let params = Params::paper();
     let mut rng = SimRng::seed_from_u64(1);
-    let m1 = measure_once(&mut tor, relay, &team, Rate::from_mbit(400.0), &params, &mut rng)
-        .unwrap();
+    let m1 =
+        measure_once(&mut tor, relay, &team, Rate::from_mbit(400.0), &params, &mut rng).unwrap();
     assert!((m1.estimate.as_mbit() - 400.0).abs() < 60.0);
 
     // Operator reconfigures the limit downward.
@@ -76,12 +76,8 @@ fn partial_forger_caught_with_overwhelming_probability() {
     let mut caught = 0;
     const TRIALS: usize = 20;
     for _ in 0..TRIALS {
-        let outcome = spot_check(
-            125e6 * 30.0,
-            1e-5,
-            TargetBehavior::Forging { fraction: 0.05 },
-            &mut rng,
-        );
+        let outcome =
+            spot_check(125e6 * 30.0, 1e-5, TargetBehavior::Forging { fraction: 0.05 }, &mut rng);
         if !outcome.passed() {
             caught += 1;
         }
@@ -92,14 +88,11 @@ fn partial_forger_caught_with_overwhelming_probability() {
 #[test]
 fn zero_capacity_relay_yields_zero_not_panic() {
     let (mut tor, team, ids) = base();
-    let relay = tor.add_relay(
-        ids[0],
-        RelayConfig::new("dead").with_rate_limit(Rate::from_bytes_per_sec(1.0)),
-    );
+    let relay = tor
+        .add_relay(ids[0], RelayConfig::new("dead").with_rate_limit(Rate::from_bytes_per_sec(1.0)));
     let params = Params::paper();
     let mut rng = SimRng::seed_from_u64(9);
-    let m = measure_once(&mut tor, relay, &team, Rate::from_mbit(10.0), &params, &mut rng)
-        .unwrap();
+    let m = measure_once(&mut tor, relay, &team, Rate::from_mbit(10.0), &params, &mut rng).unwrap();
     assert!(m.estimate.as_mbit() < 0.1);
     assert!(m.conclusive(&params), "a dead relay is conclusively dead");
 }
@@ -112,9 +105,7 @@ fn schedule_survives_relay_churn() {
     let mut tor = TorNet::new();
     let h = tor.add_host(HostProfile::new("h", Rate::from_gbit(1.0)));
     let relays: Vec<(RelayId, Rate)> = (0..40)
-        .map(|i| {
-            (tor.add_relay(h, RelayConfig::new(format!("r{i}"))), Rate::from_mbit(100.0))
-        })
+        .map(|i| (tor.add_relay(h, RelayConfig::new(format!("r{i}"))), Rate::from_mbit(100.0)))
         .collect();
     let mut schedule =
         build_randomized_schedule(&relays, Rate::from_gbit(3.0), &params, 3).unwrap();

@@ -7,15 +7,8 @@ use flashflow_repro::tornet::prelude::*;
 use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = Params> {
-    (
-        1u32..512,
-        1.0f64..4.0,
-        1u64..120,
-        0.0f64..0.6,
-        0.0f64..0.4,
-        0.0f64..0.9,
-    )
-        .prop_map(|(sockets, multiplier, slot_secs, eps1, eps2, ratio)| {
+    (1u32..512, 1.0f64..4.0, 1u64..120, 0.0f64..0.6, 0.0f64..0.4, 0.0f64..0.9).prop_map(
+        |(sockets, multiplier, slot_secs, eps1, eps2, ratio)| {
             let mut p = Params::paper();
             p.sockets = sockets;
             p.multiplier = multiplier;
@@ -24,7 +17,8 @@ fn arb_params() -> impl Strategy<Value = Params> {
             p.epsilon2 = eps2;
             p.ratio = ratio;
             p
-        })
+        },
+    )
 }
 
 proptest! {
