@@ -3,8 +3,8 @@
 //!
 //! | system | demonstrated advantage | mechanism |
 //! |---|---|---|
-//! | TorFlow | 177× | false advertised-bandwidth self-report [25] |
-//! | EigenSpeed | 21.5× | targeted liar clique [25] |
+//! | TorFlow | 177× | false advertised-bandwidth self-report \[25\] |
+//! | EigenSpeed | 21.5× | targeted liar clique \[25\] |
 //! | PeerFlow | 10× (`2/τ`) | claims confirmed only by trusted peers |
 //! | FlashFlow | 1.33× (`1/(1−r)`) | lying about background traffic |
 //!

@@ -9,7 +9,7 @@
 //! relays whose reported vectors disagree sharply with the consensus
 //! estimate can be marked malicious.
 //!
-//! The PeerFlow paper (§8 [25]) demonstrated three attacks; the one
+//! The PeerFlow paper (§8 \[25\]) demonstrated three attacks; the one
 //! Table 2 quantifies is the *targeted liar* attack, in which a colluding
 //! clique reports enormous mutual observations and inflates its total
 //! weight by ≈21.5× (7.4–28.1 depending on the trusted set).

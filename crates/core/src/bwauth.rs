@@ -17,7 +17,7 @@ use flashflow_tornet::relay::RelayId;
 
 use crate::measure::{assignments_for, BatchItem};
 use crate::params::Params;
-use crate::proto_driver::{run_concurrent_measurements_via_proto, ProtoConfig};
+use crate::proto_driver::SlotRunner;
 use crate::schedule::{build_randomized_schedule, Schedule, ScheduleError};
 use crate::sequence::SequenceEnd;
 use crate::team::Team;
@@ -179,17 +179,11 @@ impl BwAuth {
                     &self.params,
                     &mut self.rng,
                 ),
-                MeasureBackend::Protocol => run_concurrent_measurements_via_proto(
-                    tor,
-                    &batch,
-                    &self.params,
-                    &mut self.rng,
-                    &ProtoConfig::default(),
-                    &[],
-                )
-                .into_iter()
-                .map(|p| p.measurement)
-                .collect(),
+                MeasureBackend::Protocol => SlotRunner::new(&self.params)
+                    .run(tor, &batch, &mut self.rng)
+                    .into_iter()
+                    .map(|p| p.measurement)
+                    .collect(),
             };
 
             for ((relay, prior, rounds, _), m) in slot_items.into_iter().zip(results) {

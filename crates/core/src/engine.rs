@@ -1,0 +1,682 @@
+//! The coordinator's event loop: N sessions, any transport.
+//!
+//! [`MeasurementEngine`] is the transport-agnostic heart of a FlashFlow
+//! coordinator. It owns one [`CoordinatorSession`] per peer (measurers
+//! and reporting targets), pumps all of them in a batch per tick over
+//! whatever [`Transport`]s they were built with, releases each
+//! measurement item's `Go` barrier when every surviving peer is armed,
+//! fires timeouts, and surfaces everything that matters as typed
+//! [`EngineEvent`]s — it never touches a network model, a socket
+//! library, or a clock. Time enters exclusively through
+//! [`MeasurementEngine::step`], so the same engine drives:
+//!
+//! * the deterministic fluid simulation (`proto_driver` feeds it
+//!   simulated time and in-memory transports),
+//! * real TCP connections to measurer processes (wall-clock time mapped
+//!   to [`SimTime`], see `examples/tcp_coordinator.rs`),
+//! * fault-injection harnesses
+//!   ([`FaultyTransport`](flashflow_proto::fault::FaultyTransport)
+//!   underneath — a mid-slot disconnect aborts the affected session in
+//!   bounded time).
+//!
+//! An *item* is one concurrent measurement (one target relay); peers are
+//! grouped by item for the `Go` barrier and completion tracking, which is
+//! what lets a single engine run a whole slot-packed batch — the
+//! ROADMAP's "batch session pumping" scaling step.
+//!
+//! Security invariant carried over from the sessions: per-second samples
+//! are quarantined per peer by [`SampleLedger`] and only merged into an
+//! estimate if that peer's session ended cleanly ([`CoordPhase::Done`]),
+//! so a peer that lies and then stalls contributes nothing.
+
+use std::collections::VecDeque;
+
+use flashflow_proto::endpoint::Endpoint;
+use flashflow_proto::msg::{AbortReason, MeasureSpec, PeerRole};
+use flashflow_proto::session::{CoordAction, CoordPhase, CoordinatorSession};
+use flashflow_proto::transport::Transport;
+use flashflow_simnet::time::SimTime;
+
+/// Identifies one coordinator↔peer conversation within an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(usize);
+
+impl PeerId {
+    /// Dense index (assignment order), usable for side tables.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Everything a driver can observe from the engine, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// The peer authenticated and reported ready for its command.
+    PeerReady {
+        /// Which conversation.
+        peer: PeerId,
+    },
+    /// Every surviving peer of `item` was armed; `Go` frames are queued.
+    GoReleased {
+        /// Which measurement item.
+        item: usize,
+        /// When the barrier was released.
+        at: SimTime,
+    },
+    /// One per-second report arrived (already order- and range-checked
+    /// by the session).
+    Sample {
+        /// Which conversation.
+        peer: PeerId,
+        /// Which measurement item.
+        item: usize,
+        /// Zero-based second index.
+        second: u32,
+        /// Reported background bytes (`y_j` share; targets).
+        bg_bytes: u64,
+        /// Reported measurement bytes (`x_j` share; measurers).
+        measured_bytes: u64,
+    },
+    /// The peer finished its slot cleanly.
+    PeerDone {
+        /// Which conversation.
+        peer: PeerId,
+    },
+    /// The peer's session died; its samples must not be trusted.
+    PeerFailed {
+        /// Which conversation.
+        peer: PeerId,
+        /// Why.
+        reason: AbortReason,
+    },
+    /// Every conversation of `item` reached a terminal phase.
+    ItemComplete {
+        /// Which measurement item.
+        item: usize,
+    },
+}
+
+/// One conversation: a coordinator session bound to its transport, plus
+/// engine bookkeeping.
+struct Channel {
+    endpoint: Endpoint<CoordinatorSession, Box<dyn Transport>>,
+    item: usize,
+}
+
+/// Builder for a [`MeasurementEngine`].
+///
+/// ```
+/// use flashflow_core::engine::MeasurementEngine;
+/// use flashflow_proto::msg::{MeasureSpec, PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN};
+/// use flashflow_proto::session::{CoordinatorSession, SessionTimeouts};
+/// use flashflow_proto::transport::Duplex;
+/// use flashflow_simnet::time::SimTime;
+///
+/// let spec = MeasureSpec { relay_fp: [0; FINGERPRINT_LEN], slot_secs: 30, sockets: 80, rate_cap: 0 };
+/// let (coord_end, _peer_end) = Duplex::loopback().into_endpoints();
+/// let mut builder = MeasurementEngine::builder();
+/// let peer = builder.add_peer(
+///     0, // item
+///     CoordinatorSession::new([7; AUTH_TOKEN_LEN], PeerRole::Measurer, spec, 42, SessionTimeouts::default()),
+///     Box::new(coord_end),
+/// );
+/// let mut engine = builder.build(SimTime::ZERO); // queues every Auth
+/// assert_eq!(engine.item_count(), 1);
+/// assert!(!engine.is_finished());
+/// # let _ = peer;
+/// ```
+#[derive(Default)]
+pub struct EngineBuilder {
+    channels: Vec<Channel>,
+    hard_deadline: Option<SimTime>,
+}
+
+impl EngineBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Adds one peer conversation under measurement item `item`.
+    /// Returns the dense [`PeerId`] used in events and queries.
+    pub fn add_peer(
+        &mut self,
+        item: usize,
+        session: CoordinatorSession,
+        transport: Box<dyn Transport>,
+    ) -> PeerId {
+        let id = PeerId(self.channels.len());
+        self.channels.push(Channel { endpoint: Endpoint::new(session, transport), item });
+        id
+    }
+
+    /// Aborts everything still live at `deadline` (a wall against driver
+    /// bugs; session timeouts normally fire far earlier).
+    #[must_use]
+    pub fn hard_deadline(mut self, deadline: SimTime) -> Self {
+        self.hard_deadline = Some(deadline);
+        self
+    }
+
+    /// Finishes construction and opens every conversation (queues the
+    /// `Auth` frames; the first [`MeasurementEngine::step`] sends them).
+    pub fn build(self, now: SimTime) -> MeasurementEngine {
+        let mut channels = self.channels;
+        let items = channels.iter().map(|c| c.item + 1).max().unwrap_or(0);
+        let mut channels_by_item: Vec<Vec<usize>> = vec![Vec::new(); items];
+        for (ix, c) in channels.iter().enumerate() {
+            channels_by_item[c.item].push(ix);
+        }
+        for c in &mut channels {
+            c.endpoint.session_mut().start(now);
+        }
+        MeasurementEngine {
+            channels,
+            events: VecDeque::new(),
+            go_released: vec![false; items],
+            // An item index nothing was registered under (sparse
+            // numbering) is born complete but must never emit events.
+            item_completed: channels_by_item.iter().map(|chans| chans.is_empty()).collect(),
+            channels_by_item,
+            hard_deadline: self.hard_deadline,
+        }
+    }
+}
+
+/// The coordinator event loop. See the [module docs](self).
+pub struct MeasurementEngine {
+    channels: Vec<Channel>,
+    events: VecDeque<EngineEvent>,
+    go_released: Vec<bool>,
+    item_completed: Vec<bool>,
+    /// Channel indices grouped by item, so per-item scans stay
+    /// O(channels of that item) across a large slot-packed batch.
+    channels_by_item: Vec<Vec<usize>>,
+    hard_deadline: Option<SimTime>,
+}
+
+impl MeasurementEngine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Number of conversations.
+    pub fn peer_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of measurement items (max item index + 1).
+    pub fn item_count(&self) -> usize {
+        self.go_released.len()
+    }
+
+    /// All peer ids, in assignment order.
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> {
+        (0..self.channels.len()).map(PeerId)
+    }
+
+    /// The item a peer belongs to.
+    pub fn item(&self, peer: PeerId) -> usize {
+        self.channels[peer.0].item
+    }
+
+    /// The peer's current phase.
+    pub fn phase(&self, peer: PeerId) -> CoordPhase {
+        self.channels[peer.0].endpoint.session().phase()
+    }
+
+    /// The role commanded of the peer.
+    pub fn role(&self, peer: PeerId) -> PeerRole {
+        self.channels[peer.0].endpoint.session().role()
+    }
+
+    /// The command the peer's session was built around.
+    pub fn spec(&self, peer: PeerId) -> MeasureSpec {
+        self.channels[peer.0].endpoint.session().spec()
+    }
+
+    /// Control frames (sent, received) by the peer's coordinator session.
+    pub fn frames(&self, peer: PeerId) -> (u64, u64) {
+        let s = self.channels[peer.0].endpoint.session();
+        (s.frames_tx, s.frames_rx)
+    }
+
+    /// True once every conversation is terminal.
+    pub fn is_finished(&self) -> bool {
+        self.channels.iter().all(|c| c.endpoint.is_terminal())
+    }
+
+    /// Next queued event, if any.
+    pub fn poll_event(&mut self) -> Option<EngineEvent> {
+        self.events.pop_front()
+    }
+
+    /// Aborts one conversation (its peer is notified if the wire still
+    /// works).
+    pub fn abort_peer(&mut self, peer: PeerId, reason: AbortReason) {
+        self.channels[peer.0].endpoint.session_mut().abort(reason);
+    }
+
+    /// Aborts every live conversation (operator shutdown, hard wall).
+    pub fn abort_all(&mut self, reason: AbortReason) {
+        for c in &mut self.channels {
+            c.endpoint.session_mut().abort(reason);
+        }
+    }
+
+    /// Moves bytes once on every channel; returns `true` if anything
+    /// moved. Drivers that interleave their own peer-side pumping (the
+    /// sim does) alternate with this until the tick quiesces; everyone
+    /// else just calls [`MeasurementEngine::step`].
+    pub fn pump(&mut self, now: SimTime) -> bool {
+        let mut moved = false;
+        for c in &mut self.channels {
+            moved |= c.endpoint.pump(now);
+        }
+        moved
+    }
+
+    /// Completes one tick at `now` *without* pumping: drains session
+    /// actions into events, releases due `Go` barriers, fires timeouts,
+    /// and emits [`EngineEvent::ItemComplete`]s. Use after one or more
+    /// [`MeasurementEngine::pump`] calls; or use
+    /// [`MeasurementEngine::step`] which does both.
+    pub fn finish_tick(&mut self, now: SimTime) {
+        if let Some(deadline) = self.hard_deadline {
+            if now >= deadline {
+                self.abort_all(AbortReason::Shutdown);
+            }
+        }
+        self.drain_actions();
+        self.release_barriers(now);
+        for c in &mut self.channels {
+            c.endpoint.tick(now);
+        }
+        // Timeout failures surface as actions; pick them up in the same
+        // tick so the driver sees them at the instant they fired.
+        self.drain_actions();
+        self.note_completed_items();
+    }
+
+    /// One full engine tick: pump to quiescence, then
+    /// [`MeasurementEngine::finish_tick`]. Returns `true` while the
+    /// engine still has live conversations.
+    pub fn step(&mut self, now: SimTime) -> bool {
+        while self.pump(now) {}
+        self.finish_tick(now);
+        // Barrier releases and aborts queue frames; give them a push so
+        // zero-latency transports deliver within the same step. That
+        // push can also *receive* (a fast peer's final reports), so
+        // pick up any actions and completions it produced — otherwise a
+        // conversation finishing here would end run_to_completion with
+        // its samples still queued and no ItemComplete ever emitted.
+        while self.pump(now) {}
+        self.drain_actions();
+        self.note_completed_items();
+        !self.is_finished()
+    }
+
+    /// Steps the engine on `clock` until every conversation is terminal,
+    /// returning all events in order. The clock is called once per step
+    /// and may sleep to pace real-time transports; it must be
+    /// non-decreasing. With a [`EngineBuilder::hard_deadline`] set,
+    /// termination is guaranteed even against a wedged driver-side peer.
+    pub fn run_to_completion(&mut self, mut clock: impl FnMut() -> SimTime) -> Vec<EngineEvent> {
+        let mut events = Vec::new();
+        loop {
+            let live = self.step(clock());
+            while let Some(ev) = self.poll_event() {
+                events.push(ev);
+            }
+            if !live {
+                return events;
+            }
+        }
+    }
+
+    fn drain_actions(&mut self) {
+        for (ix, c) in self.channels.iter_mut().enumerate() {
+            let peer = PeerId(ix);
+            let item = c.item;
+            while let Some(action) = c.endpoint.session_mut().poll_action() {
+                let event = match action {
+                    CoordAction::PeerReady => EngineEvent::PeerReady { peer },
+                    CoordAction::Sample { second, bg_bytes, measured_bytes } => {
+                        EngineEvent::Sample { peer, item, second, bg_bytes, measured_bytes }
+                    }
+                    CoordAction::PeerDone => EngineEvent::PeerDone { peer },
+                    CoordAction::PeerFailed { reason } => EngineEvent::PeerFailed { peer, reason },
+                };
+                self.events.push_back(event);
+            }
+        }
+    }
+
+    /// Releases the `Go` barrier of every item whose surviving peers are
+    /// all armed (and at least one measurer is among them — a slot with
+    /// only a reporting target left measures nothing and is left to its
+    /// barrier timeout).
+    fn release_barriers(&mut self, now: SimTime) {
+        for item in 0..self.go_released.len() {
+            if self.go_released[item] {
+                continue;
+            }
+            let mut armed_measurers = 0;
+            let mut waiting = false;
+            for &ix in &self.channels_by_item[item] {
+                let session = self.channels[ix].endpoint.session();
+                match session.phase() {
+                    CoordPhase::Armed => {
+                        if session.role() == PeerRole::Measurer {
+                            armed_measurers += 1;
+                        }
+                    }
+                    CoordPhase::Done | CoordPhase::Failed => {}
+                    _ => waiting = true,
+                }
+            }
+            if armed_measurers > 0 && !waiting {
+                for chan in 0..self.channels_by_item[item].len() {
+                    let ix = self.channels_by_item[item][chan];
+                    if self.channels[ix].endpoint.session().phase() == CoordPhase::Armed {
+                        self.channels[ix].endpoint.session_mut().go(now);
+                    }
+                }
+                self.go_released[item] = true;
+                self.events.push_back(EngineEvent::GoReleased { item, at: now });
+            }
+        }
+    }
+
+    fn note_completed_items(&mut self) {
+        for item in 0..self.item_completed.len() {
+            if self.item_completed[item] {
+                continue;
+            }
+            let done = self.channels_by_item[item]
+                .iter()
+                .all(|&ix| self.channels[ix].endpoint.is_terminal());
+            if done {
+                self.item_completed[item] = true;
+                self.events.push_back(EngineEvent::ItemComplete { item });
+            }
+        }
+    }
+}
+
+/// Quarantined per-second samples, merged only for clean sessions.
+///
+/// Feed it every event ([`SampleLedger::observe`]); when the engine is
+/// finished, [`SampleLedger::merged_series`] returns the per-second
+/// measurement (`x`) and background (`y`) byte series of one item,
+/// summed across exactly those peers whose sessions ended
+/// [`CoordPhase::Done`] — an aborted peer's samples are discarded
+/// wholesale, so a lie-then-stall peer cannot leave inflated seconds
+/// behind.
+#[derive(Debug, Default)]
+pub struct SampleLedger {
+    /// Samples per peer, keyed by dense peer index.
+    per_peer: Vec<Vec<(u32, u64, u64)>>,
+}
+
+impl SampleLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        SampleLedger::default()
+    }
+
+    /// Records sample events; ignores everything else.
+    pub fn observe(&mut self, event: &EngineEvent) {
+        if let EngineEvent::Sample { peer, second, bg_bytes, measured_bytes, .. } = *event {
+            if self.per_peer.len() <= peer.index() {
+                self.per_peer.resize(peer.index() + 1, Vec::new());
+            }
+            self.per_peer[peer.index()].push((second, bg_bytes, measured_bytes));
+        }
+    }
+
+    /// Merges the series of `item`: measurement bytes per second from
+    /// clean measurer sessions, background bytes per second from clean
+    /// target sessions.
+    pub fn merged_series(&self, engine: &MeasurementEngine, item: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (ix, samples) in self.per_peer.iter().enumerate() {
+            let peer = PeerId(ix);
+            if engine.item(peer) != item || engine.phase(peer) != CoordPhase::Done {
+                continue;
+            }
+            let slot_secs = engine.spec(peer).slot_secs;
+            let series = match engine.role(peer) {
+                PeerRole::Measurer => &mut x,
+                PeerRole::Target => &mut y,
+            };
+            for &(second, bg_bytes, measured_bytes) in samples {
+                // The session already rejects out-of-range seconds; keep
+                // the bound as defense in depth.
+                if second >= slot_secs {
+                    continue;
+                }
+                let j = second as usize;
+                if series.len() <= j {
+                    series.resize(j + 1, 0.0);
+                }
+                series[j] += match engine.role(peer) {
+                    PeerRole::Measurer => measured_bytes as f64,
+                    PeerRole::Target => bg_bytes as f64,
+                };
+            }
+        }
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashflow_proto::endpoint::Endpoint;
+    use flashflow_proto::fault::{FaultMode, FaultyTransport};
+    use flashflow_proto::msg::{AUTH_TOKEN_LEN, FINGERPRINT_LEN};
+    use flashflow_proto::session::{MeasurerAction, MeasurerSession, SessionTimeouts};
+    use flashflow_proto::transport::{Duplex, DuplexEnd};
+    use flashflow_simnet::time::SimDuration;
+
+    fn spec(slot_secs: u32) -> MeasureSpec {
+        MeasureSpec { relay_fp: [3; FINGERPRINT_LEN], slot_secs, sockets: 8, rate_cap: 0 }
+    }
+
+    /// A local measurer that reports `per_second` measured bytes.
+    struct LocalPeer {
+        endpoint: Endpoint<MeasurerSession, DuplexEnd>,
+        per_second: u64,
+        started: bool,
+        reported: u32,
+        slot_secs: u32,
+    }
+
+    fn harness(peers: &[(PeerRole, u64)], slot_secs: u32) -> (MeasurementEngine, Vec<LocalPeer>) {
+        let token = [9u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let mut builder = MeasurementEngine::builder();
+        let mut locals = Vec::new();
+        for (ix, &(role, per_second)) in peers.iter().enumerate() {
+            let (ca, cb) = Duplex::loopback().into_endpoints();
+            builder.add_peer(
+                0,
+                CoordinatorSession::new(token, role, spec(slot_secs), 1000 + ix as u64, t),
+                Box::new(ca),
+            );
+            locals.push(LocalPeer {
+                endpoint: Endpoint::new(MeasurerSession::new(token, role, ix as u64, t), cb),
+                per_second,
+                started: false,
+                reported: 0,
+                slot_secs,
+            });
+        }
+        (builder.build(SimTime::ZERO), locals)
+    }
+
+    fn drive(engine: &mut MeasurementEngine, locals: &mut [LocalPeer]) -> Vec<EngineEvent> {
+        let mut events = Vec::new();
+        for tick in 0..200u64 {
+            let now = SimTime::from_secs(tick);
+            loop {
+                let mut moved = engine.pump(now);
+                for p in locals.iter_mut() {
+                    moved |= p.endpoint.pump(now);
+                }
+                if !moved {
+                    break;
+                }
+            }
+            for p in locals.iter_mut() {
+                while let Some(a) = p.endpoint.session_mut().poll_action() {
+                    if matches!(a, MeasurerAction::Start { .. }) {
+                        p.started = true;
+                    }
+                }
+                if p.started && p.reported < p.slot_secs && !p.endpoint.is_terminal() {
+                    let (bg, measured) = (p.per_second / 10, p.per_second);
+                    p.endpoint.session_mut().report_second(bg, measured);
+                    p.reported += 1;
+                }
+                p.endpoint.tick(now);
+            }
+            engine.finish_tick(now);
+            while let Some(ev) = engine.poll_event() {
+                events.push(ev);
+            }
+            if engine.is_finished() {
+                return events;
+            }
+        }
+        panic!("engine did not finish; events so far: {events:?}");
+    }
+
+    #[test]
+    fn batch_of_pairs_completes_with_ordered_events() {
+        let (mut engine, mut locals) = harness(
+            &[(PeerRole::Measurer, 100), (PeerRole::Measurer, 50), (PeerRole::Target, 30)],
+            3,
+        );
+        let mut ledger = SampleLedger::new();
+        let events = drive(&mut engine, &mut locals);
+        for ev in &events {
+            ledger.observe(ev);
+        }
+        // All three conversations done, one barrier, one completion.
+        assert_eq!(events.iter().filter(|e| matches!(e, EngineEvent::PeerDone { .. })).count(), 3);
+        assert_eq!(
+            events.iter().filter(|e| matches!(e, EngineEvent::GoReleased { .. })).count(),
+            1
+        );
+        assert!(events.contains(&EngineEvent::ItemComplete { item: 0 }));
+        // The barrier came after every PeerReady and before every Sample.
+        let go_pos = events
+            .iter()
+            .position(|e| matches!(e, EngineEvent::GoReleased { .. }))
+            .expect("go released");
+        let last_ready = events
+            .iter()
+            .rposition(|e| matches!(e, EngineEvent::PeerReady { .. }))
+            .expect("readies");
+        let first_sample =
+            events.iter().position(|e| matches!(e, EngineEvent::Sample { .. })).expect("samples");
+        assert!(last_ready < go_pos && go_pos < first_sample, "{events:?}");
+        // Ledger merges measurers into x, the target into y.
+        let (x, y) = ledger.merged_series(&engine, 0);
+        assert_eq!(x, vec![150.0; 3]);
+        assert_eq!(y, vec![3.0; 3]);
+    }
+
+    #[test]
+    fn faulty_transport_disconnect_aborts_in_bounded_time() {
+        let token = [9u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let mut builder = MeasurementEngine::builder();
+        // The coordinator's side of the wire dies 2 simulated seconds in
+        // (mid-handshake/slot, depending on pacing).
+        let (ca, cb) = Duplex::loopback().into_endpoints();
+        let faulty = FaultyTransport::new(ca, FaultMode::Disconnect).trip_at(SimTime::from_secs(2));
+        let peer = builder.add_peer(
+            0,
+            CoordinatorSession::new(token, PeerRole::Measurer, spec(30), 5, t),
+            Box::new(faulty),
+        );
+        let mut engine = builder.build(SimTime::ZERO);
+        let mut local = LocalPeer {
+            endpoint: Endpoint::new(MeasurerSession::new(token, PeerRole::Measurer, 1, t), cb),
+            per_second: 10,
+            started: false,
+            reported: 0,
+            slot_secs: 30,
+        };
+        // Reports pace at one per simulated second; the disconnect lands
+        // long before the 30-second slot would finish.
+        let mut ticks = 0u64;
+        let events = loop {
+            let now = SimTime::from_secs(ticks);
+            loop {
+                let moved = engine.pump(now) | local.endpoint.pump(now);
+                if !moved {
+                    break;
+                }
+            }
+            while let Some(a) = local.endpoint.session_mut().poll_action() {
+                if matches!(a, MeasurerAction::Start { .. }) {
+                    local.started = true;
+                }
+            }
+            if local.started && local.reported < 30 && !local.endpoint.is_terminal() {
+                local.endpoint.session_mut().report_second(0, 10);
+                local.reported += 1;
+            }
+            local.endpoint.tick(now);
+            engine.finish_tick(now);
+            if engine.is_finished() {
+                let mut evs = Vec::new();
+                while let Some(ev) = engine.poll_event() {
+                    evs.push(ev);
+                }
+                break evs;
+            }
+            ticks += 1;
+            assert!(ticks < 10, "disconnect did not abort in bounded time");
+        };
+        assert!(
+            events.contains(&EngineEvent::PeerFailed { peer, reason: AbortReason::ConnectionLost }),
+            "{events:?}"
+        );
+        assert_eq!(engine.phase(peer), CoordPhase::Failed);
+    }
+
+    #[test]
+    fn hard_deadline_terminates_a_wedged_batch() {
+        let token = [9u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts {
+            handshake: SimDuration::from_secs(1_000_000),
+            report: SimDuration::from_secs(1_000_000),
+        };
+        let mut builder = MeasurementEngine::builder();
+        let (ca, _cb) = Duplex::loopback().into_endpoints();
+        builder.add_peer(
+            0,
+            CoordinatorSession::new(token, PeerRole::Measurer, spec(30), 5, t),
+            Box::new(ca),
+        );
+        let mut engine = builder.hard_deadline(SimTime::from_secs(3)).build(SimTime::ZERO);
+        // The peer never answers and the session timeouts are absurd;
+        // only the hard wall ends this.
+        let mut now = SimTime::ZERO;
+        let events = engine.run_to_completion(|| {
+            let t = now;
+            now += SimDuration::from_secs(1);
+            t
+        });
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::PeerFailed { reason: AbortReason::Shutdown, .. })));
+    }
+}

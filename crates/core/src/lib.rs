@@ -22,7 +22,8 @@
 //! | [`team`] | §4, §4.2 | measurement teams, measuring measurers |
 //! | [`alloc`] | §4.2 | greedy capacity allocation |
 //! | [`measure`] | §4.1 | one (or many concurrent) measurement slots |
-//! | [`proto_driver`] | §4.1 | the same slots driven end-to-end through the `flashflow-proto` control protocol |
+//! | [`engine`] | §4.1, §7 | transport-agnostic coordinator event loop (`MeasurementEngine`) |
+//! | [`proto_driver`] | §4.1 | the same slots driven end-to-end through the `flashflow-proto` control protocol over the engine |
 //! | [`verify`] | §4.1, §5 | random cell spot-checks |
 //! | [`sequence`] | §4.2 | adaptive re-measurement with doubling |
 //! | [`schedule`] | §4.3 | randomized period schedules, greedy packing |
@@ -60,6 +61,7 @@
 pub mod alloc;
 pub mod bwauth;
 pub mod dynamic;
+pub mod engine;
 pub mod measure;
 pub mod params;
 pub mod proto_driver;
@@ -77,15 +79,19 @@ pub mod prelude {
     pub use crate::alloc::{greedy_allocate, greedy_allocate_rates, AllocError};
     pub use crate::bwauth::{aggregate_bwauths, BandwidthFile, BwAuth, BwEntry, MeasureBackend};
     pub use crate::dynamic::{adjust_weights, DynamicPolicy, DynamicReport};
+    pub use crate::engine::{EngineBuilder, EngineEvent, MeasurementEngine, PeerId, SampleLedger};
     pub use crate::measure::{
         assignments_for, measure_once, run_concurrent_measurements, run_measurement, Assignment,
         BatchItem, Measurement, SecondSample,
     };
     pub use crate::params::Params;
     pub use crate::proto_driver::{
-        fingerprint_for, measure_via_proto, run_concurrent_measurements_via_proto,
-        run_measurement_via_proto, FaultSpec, PeerFailure, PeerFault, ProtoConfig,
-        ProtoMeasurement,
+        fingerprint_for, FaultSpec, PeerFailure, PeerFault, ProtoConfig, ProtoMeasurement,
+        SlotRunner,
+    };
+    #[allow(deprecated)]
+    pub use crate::proto_driver::{
+        measure_via_proto, run_concurrent_measurements_via_proto, run_measurement_via_proto,
     };
     pub use crate::schedule::{
         assign_new_relay, build_randomized_schedule, greedy_pack, Planned, Schedule,

@@ -2,16 +2,28 @@
 //!
 //! [`measure_once`](crate::measure::measure_once) and friends call the
 //! blast loop directly — coordinator and measurers share memory. This
-//! module is the production-shaped path: the coordinator drives each
-//! measurer and the target relay through `flashflow-proto` sessions over
-//! an in-memory byte-stream transport, and **only** session actions start
+//! module is the production-shaped path: a [`SlotRunner`] drives each
+//! measurer and the target relay through `flashflow-proto` sessions
+//! pumped by the transport-agnostic [`MeasurementEngine`], over
+//! simulated byte-stream transports, and **only** session actions start
 //! or stop traffic. Per-second byte counts cross the wire as
 //! `SecondReport` frames; the estimate is computed from what the frames
 //! said, not from shared state.
 //!
+//! The layering: the engine owns the coordinator side (sessions,
+//! barriers, timeouts, events) and knows nothing about the fluid
+//! simulator; this module owns the *peer* side — it binds each
+//! `MeasurerSession` to the other end of the simulated link, converts
+//! ticked flow bytes into `report_second` calls, starts and stops blast
+//! flows in response to session actions, and aggregates the engine's
+//! [`EngineEvent`]s into a
+//! [`ProtoMeasurement`]. Swap this module's transports and peer loop
+//! for TCP sockets and real processes and the engine code does not
+//! change — see `examples/tcp_coordinator.rs`.
+//!
 //! One slot, per peer (measurers and the reporting target):
 //!
-//! 1. `Auth`/`AuthOk` with a per-peer pre-shared token;
+//! 1. `Auth`/`AuthOk` with a per-peer pre-shared token and fresh nonce;
 //! 2. `MeasureCmd` (fingerprint, slot seconds, socket share, rate cap `a_i`)
 //!    answered by `Ready`;
 //! 3. a `Go` barrier released only when every surviving peer is ready;
@@ -20,16 +32,19 @@
 //!    bytes (`y_j`);
 //! 5. `SlotDone`, after which flows are torn down.
 //!
-//! A peer that fails authentication, stalls mid-handshake, or goes silent
-//! mid-slot is aborted by its session timeout and its contribution
-//! dropped: the measurement *degrades* instead of wedging, and the slot
-//! always terminates (there is also a hard wall-clock bound).
+//! A peer that fails authentication, stalls mid-handshake, goes silent
+//! mid-slot, or loses its transport is aborted by its session timeout
+//! (or transport error) and its contribution dropped: the measurement
+//! *degrades* instead of wedging, and the slot always terminates (there
+//! is also a hard wall-clock bound).
 
+use flashflow_proto::endpoint::Endpoint;
+use flashflow_proto::fault::{FaultMode, FaultyTransport};
 use flashflow_proto::msg::{AbortReason, MeasureSpec, PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN};
 use flashflow_proto::session::{
-    CoordAction, CoordPhase, CoordinatorSession, MeasurerAction, MeasurerSession, SessionTimeouts,
+    CoordinatorSession, MeasurerAction, MeasurerSession, SessionTimeouts,
 };
-use flashflow_proto::transport::{Duplex, End};
+use flashflow_proto::transport::{Duplex, DuplexEnd};
 use flashflow_simnet::engine::FlowId;
 use flashflow_simnet::host::HostId;
 use flashflow_simnet::rng::SimRng;
@@ -40,6 +55,7 @@ use flashflow_tornet::netbuild::TorNet;
 use flashflow_tornet::relay::RelayId;
 
 use crate::alloc::AllocError;
+use crate::engine::{EngineEvent, MeasurementEngine, SampleLedger};
 use crate::measure::{assignments_for, build_second_samples, BatchItem, Measurement};
 use crate::params::Params;
 use crate::team::Team;
@@ -67,11 +83,22 @@ impl Default for ProtoConfig {
     }
 }
 
+impl ProtoConfig {
+    /// One control connection as this config describes it — the single
+    /// place the simulated link's latency/chunking is turned into a
+    /// transport.
+    pub fn link(&self) -> Duplex {
+        Duplex::new(self.control_latency, self.chunk)
+    }
+}
+
 /// Fault injection for tests and failure-mode experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PeerFault {
     /// The measurer crashes after reporting this many seconds: flows
-    /// stop and no further frames are sent.
+    /// stop and its end of the control connection goes dark (a
+    /// transport-level blackhole; no further frames in either
+    /// direction).
     StallAfterSeconds(u32),
 }
 
@@ -141,14 +168,13 @@ fn fresh_token(rng: &mut SimRng) -> [u8; AUTH_TOKEN_LEN] {
     token
 }
 
-/// One coordinator↔peer conversation plus the peer's local state.
-struct Peer {
+/// The peer side of one conversation: the measurer (or target) session
+/// bound to its end of the simulated link, plus its local traffic state.
+struct LocalPeer {
     item: usize,
     host: Option<HostId>,
     role: PeerRole,
-    coord: CoordinatorSession,
-    session: MeasurerSession,
-    link: Duplex,
+    endpoint: Endpoint<MeasurerSession, FaultyTransport<DuplexEnd>>,
     /// Blast flows (measurer role only), live once started.
     flows: Vec<FlowId>,
     acc: SecondsAccumulator,
@@ -158,14 +184,9 @@ struct Peer {
     processes: u32,
     fault: Option<PeerFault>,
     started: bool,
-    go_sent: bool,
-    /// Samples received over the wire, quarantined per peer: they only
-    /// enter the estimate if the whole session completes cleanly, so an
-    /// aborted peer's contribution is dropped in full.
-    samples: Vec<(u32, u64, u64)>,
 }
 
-impl Peer {
+impl LocalPeer {
     fn stalled(&self) -> bool {
         match self.fault {
             Some(PeerFault::StallAfterSeconds(n)) => self.reported >= n,
@@ -174,13 +195,408 @@ impl Peer {
     }
 }
 
-/// Runs a batch of concurrent measurements entirely through
-/// `flashflow-proto` sessions. The contract mirrors
-/// [`run_concurrent_measurements`](crate::measure::run_concurrent_measurements):
-/// one result per item, in order.
+/// Runs protocol-driven measurement slots against the fluid simulation:
+/// the sim-facing front end of the [`MeasurementEngine`].
 ///
-/// # Panics
-/// Panics if any item has no participating measurer.
+/// ```no_run
+/// # use flashflow_core::prelude::*;
+/// # use flashflow_simnet::prelude::*;
+/// # use flashflow_tornet::prelude::*;
+/// # fn demo(tor: &mut TorNet, relay: RelayId, team: &Team, rng: &mut SimRng) {
+/// let params = Params::paper();
+/// let result = SlotRunner::new(&params)
+///     .measure(tor, relay, team, Rate::from_mbit(250.0), rng)
+///     .unwrap();
+/// assert!(result.clean());
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlotRunner<'a> {
+    params: &'a Params,
+    cfg: ProtoConfig,
+    faults: Vec<FaultSpec>,
+}
+
+impl<'a> SlotRunner<'a> {
+    /// A runner with the default [`ProtoConfig`] and no faults.
+    pub fn new(params: &'a Params) -> Self {
+        SlotRunner { params, cfg: ProtoConfig::default(), faults: Vec::new() }
+    }
+
+    /// Overrides the transport/liveness knobs.
+    #[must_use]
+    pub fn with_config(mut self, cfg: ProtoConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Injects peer faults (failure-mode experiments).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Vec<FaultSpec>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Runs a batch of concurrent measurements entirely through
+    /// protocol sessions. The contract mirrors
+    /// [`run_concurrent_measurements`](crate::measure::run_concurrent_measurements):
+    /// one result per item, in order.
+    ///
+    /// # Panics
+    /// Panics if any item has no participating measurer or the slot is
+    /// zero seconds.
+    pub fn run(
+        &self,
+        tor: &mut TorNet,
+        items: &[BatchItem],
+        rng: &mut SimRng,
+    ) -> Vec<ProtoMeasurement> {
+        let slot_secs = self.params.slot.as_secs() as u32;
+        assert!(slot_secs > 0, "slot must be at least one second");
+        let now0 = tor.now();
+
+        // Build every conversation: the engine gets the coordinator half
+        // of each link, this runner keeps the peer half.
+        let mut builder = MeasurementEngine::builder();
+        let mut locals: Vec<LocalPeer> = Vec::new();
+        for (ix, item) in items.iter().enumerate() {
+            let fp = fingerprint_for(item.target);
+            let active: Vec<_> =
+                item.assignments.iter().filter(|a| !a.allocation.is_zero()).collect();
+            assert!(!active.is_empty(), "measurement needs at least one participating measurer");
+            for a in &active {
+                let spec = MeasureSpec {
+                    relay_fp: fp,
+                    slot_secs,
+                    sockets: a.sockets,
+                    rate_cap: a.allocation.bytes_per_sec() as u64,
+                };
+                let fault =
+                    self.faults.iter().find(|f| f.item == ix && f.host == a.host).map(|f| f.fault);
+                self.add_peer(
+                    &mut builder,
+                    &mut locals,
+                    ix,
+                    Some(a.host),
+                    PeerRole::Measurer,
+                    spec,
+                    a.processes.max(1),
+                    fault,
+                    rng,
+                );
+            }
+            // The target relay's reporting session.
+            let spec = MeasureSpec { relay_fp: fp, slot_secs, sockets: 0, rate_cap: 0 };
+            self.add_peer(
+                &mut builder,
+                &mut locals,
+                ix,
+                None,
+                PeerRole::Target,
+                spec,
+                0,
+                None,
+                rng,
+            );
+        }
+        let mut engine = builder.build(now0);
+        let mut ledger = SampleLedger::new();
+
+        // Per-item records, filled from engine events.
+        let mut failures: Vec<Vec<PeerFailure>> = vec![Vec::new(); items.len()];
+        let mut governor_on: Vec<bool> = vec![false; items.len()];
+
+        // Generous hard wall: handshake, slot, report-timeout drain, margin.
+        let hard_deadline = now0
+            + self.cfg.timeouts.handshake * 3
+            + self.params.slot
+            + self.cfg.timeouts.report * 3
+            + SimDuration::from_secs(30);
+
+        let dt = tor.net.engine().tick_duration().as_secs_f64();
+        while !engine.is_finished() {
+            let now = tor.now();
+            if now >= hard_deadline {
+                engine.abort_all(AbortReason::Shutdown);
+            }
+
+            tor.tick();
+            let now = tor.now();
+
+            // Account the tick's bytes and complete seconds at every peer.
+            for p in locals.iter_mut() {
+                match p.role {
+                    PeerRole::Measurer => {
+                        if !p.started || p.endpoint.is_terminal() {
+                            continue;
+                        }
+                        let bytes: f64 =
+                            p.flows.iter().map(|f| tor.net.engine().flow_bytes_last_tick(*f)).sum();
+                        p.acc.push(bytes, dt);
+                        while (p.reported as usize) < p.acc.seconds().len()
+                            && !p.endpoint.is_terminal()
+                        {
+                            if p.stalled() {
+                                // Crash simulation: traffic and the control
+                                // connection both go dark; the
+                                // coordinator's timeout must react.
+                                for f in &p.flows {
+                                    tor.net.engine_mut().stop_flow(*f);
+                                }
+                                p.endpoint.transport_mut().trip();
+                                break;
+                            }
+                            let measured = p.acc.seconds()[p.reported as usize].round() as u64;
+                            p.endpoint.session_mut().report_second(0, measured);
+                            p.reported += 1;
+                        }
+                    }
+                    PeerRole::Target => {
+                        if !p.started || p.endpoint.is_terminal() {
+                            continue;
+                        }
+                        let target = items[p.item].target;
+                        let reports = tor.relay_background_seconds(target);
+                        while p.bg_sent < reports.len() && !p.endpoint.is_terminal() {
+                            let bg = reports[p.bg_sent].reported_background.round() as u64;
+                            p.endpoint.session_mut().report_second(bg, 0);
+                            p.bg_sent += 1;
+                        }
+                    }
+                }
+            }
+
+            // Pump frames until this tick moves no more bytes, across
+            // both halves of every conversation.
+            loop {
+                let mut moved = engine.pump(now);
+                for p in locals.iter_mut() {
+                    moved |= p.endpoint.pump(now);
+                }
+                if !moved {
+                    break;
+                }
+            }
+
+            // Peer-side actions: only these start or stop traffic.
+            for p in locals.iter_mut() {
+                while let Some(action) = p.endpoint.session_mut().poll_action() {
+                    match action {
+                        MeasurerAction::Prepare { .. } => {}
+                        MeasurerAction::Start { spec } => {
+                            p.started = true;
+                            if p.role == PeerRole::Measurer {
+                                let host = p.host.expect("measurer has host");
+                                let target = items[p.item].target;
+                                let k = p.processes;
+                                let per_process_cap =
+                                    Rate::from_bytes_per_sec(spec.rate_cap as f64 / f64::from(k));
+                                let per_process_sockets = (spec.sockets / k).max(1);
+                                for _ in 0..k {
+                                    let flow = tor.start_measurement_flow(
+                                        host,
+                                        target,
+                                        per_process_sockets,
+                                        Some(per_process_cap),
+                                    );
+                                    p.flows.push(flow);
+                                }
+                            }
+                        }
+                        MeasurerAction::Stop => {
+                            for f in &p.flows {
+                                tor.net.engine_mut().stop_flow(*f);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Install the ratio governor once an item's surviving
+            // measurers are all blasting (uniform control latency makes
+            // this one tick).
+            for ix in 0..items.len() {
+                if governor_on[ix] {
+                    continue;
+                }
+                let mut flows = Vec::new();
+                let mut all_started = true;
+                let mut any = false;
+                for p in locals.iter().filter(|p| p.item == ix && p.role == PeerRole::Measurer) {
+                    if p.endpoint.is_terminal() && !p.started {
+                        continue; // failed before starting; degraded slot
+                    }
+                    any = true;
+                    if p.started {
+                        flows.extend(p.flows.iter().copied());
+                    } else {
+                        all_started = false;
+                    }
+                }
+                if any && all_started && !flows.is_empty() {
+                    tor.begin_measurement(items[ix].target, flows);
+                    governor_on[ix] = true;
+                }
+            }
+
+            // Coordinator side: actions → events, Go barriers, timeouts.
+            engine.finish_tick(now);
+            // Peer-side liveness: a peer mid-handshake whose coordinator
+            // went silent gives up too.
+            for p in locals.iter_mut() {
+                p.endpoint.tick(now);
+            }
+
+            // Consume the tick's events.
+            while let Some(event) = engine.poll_event() {
+                ledger.observe(&event);
+                match event {
+                    EngineEvent::PeerFailed { peer, reason } => {
+                        let local = &locals[peer.index()];
+                        failures[local.item].push(PeerFailure {
+                            host: local.host,
+                            role: local.role,
+                            reason,
+                        });
+                    }
+                    EngineEvent::ItemComplete { item } => {
+                        // Tear the item down so the network returns to
+                        // normal.
+                        if governor_on[item] {
+                            tor.end_measurement(items[item].target);
+                        }
+                        for p in locals.iter().filter(|p| p.item == item) {
+                            for f in &p.flows {
+                                tor.net.engine_mut().stop_flow(*f);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Aggregate exactly as §4.1 specifies, from what crossed the
+        // wire — only peers whose sessions completed cleanly contribute
+        // (the ledger enforces the quarantine).
+        items
+            .iter()
+            .enumerate()
+            .map(|(ix, item)| {
+                let ratio = tor.relay(item.target).config.ratio;
+                let (x, y) = ledger.merged_series(&engine, ix);
+                let seconds = build_second_samples(&x, &y, ratio);
+                let z_values: Vec<f64> = seconds.iter().map(|s| s.z).collect();
+                let estimate = Rate::from_bytes_per_sec(median(&z_values).unwrap_or(0.0));
+                let total_measurement_bytes: f64 = seconds.iter().map(|s| s.x).sum();
+                let verification = spot_check(
+                    total_measurement_bytes,
+                    self.params.check_probability,
+                    item.behavior,
+                    rng,
+                );
+                let allocated: Rate = item
+                    .assignments
+                    .iter()
+                    .filter(|a| !a.allocation.is_zero())
+                    .map(|a| a.allocation)
+                    .sum();
+                let (mut frames_tx, mut frames_rx) = (0u64, 0u64);
+                for peer in engine.peers().filter(|p| engine.item(*p) == ix) {
+                    let (tx, rx) = engine.frames(peer);
+                    frames_tx += tx;
+                    frames_rx += rx;
+                }
+                ProtoMeasurement {
+                    measurement: Measurement { estimate, seconds, allocated, verification },
+                    failures: failures[ix].clone(),
+                    frames_tx,
+                    frames_rx,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs one protocol-driven measurement of `target` with the given
+    /// assignments (the protocol twin of
+    /// [`run_measurement`](crate::measure::run_measurement)).
+    ///
+    /// # Panics
+    /// Panics if no assignment participates.
+    pub fn run_one(
+        &self,
+        tor: &mut TorNet,
+        target: RelayId,
+        assignments: &[crate::measure::Assignment],
+        behavior: TargetBehavior,
+        rng: &mut SimRng,
+    ) -> ProtoMeasurement {
+        let items = vec![BatchItem { target, assignments: assignments.to_vec(), behavior }];
+        self.run(tor, &items, rng).pop().expect("one item yields one measurement")
+    }
+
+    /// Convenience: allocate from `team` for prior `z0` and run one
+    /// protocol-driven measurement of an honest target (the protocol
+    /// twin of [`measure_once`](crate::measure::measure_once)).
+    ///
+    /// # Errors
+    /// Propagates allocation failure when the team lacks capacity.
+    pub fn measure(
+        &self,
+        tor: &mut TorNet,
+        target: RelayId,
+        team: &Team,
+        z0: Rate,
+        rng: &mut SimRng,
+    ) -> Result<ProtoMeasurement, AllocError> {
+        let reserved = vec![Rate::ZERO; team.len()];
+        let allocations = team.allocate(z0, self.params, &reserved)?;
+        let assignments = assignments_for(team, &allocations, self.params);
+        Ok(self.run_one(tor, target, &assignments, TargetBehavior::Honest, rng))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_peer(
+        &self,
+        builder: &mut crate::engine::EngineBuilder,
+        locals: &mut Vec<LocalPeer>,
+        item: usize,
+        host: Option<HostId>,
+        role: PeerRole,
+        spec: MeasureSpec,
+        processes: u32,
+        fault: Option<PeerFault>,
+        rng: &mut SimRng,
+    ) {
+        let token = fresh_token(rng);
+        let nonce = rng.next_u64();
+        let coord = CoordinatorSession::new(token, role, spec, nonce, self.cfg.timeouts);
+        let (coord_end, peer_end) = self.cfg.link().into_endpoints();
+        builder.add_peer(item, coord, Box::new(coord_end));
+        let session = MeasurerSession::new(token, role, rng.next_u64(), self.cfg.timeouts);
+        locals.push(LocalPeer {
+            item,
+            host,
+            role,
+            endpoint: Endpoint::new(session, FaultyTransport::new(peer_end, FaultMode::Blackhole)),
+            flows: Vec::new(),
+            acc: SecondsAccumulator::new(),
+            reported: 0,
+            bg_sent: 0,
+            processes,
+            fault,
+            started: false,
+        });
+    }
+}
+
+/// Runs a batch of concurrent measurements entirely through
+/// `flashflow-proto` sessions.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SlotRunner::new(params).with_config(cfg).with_faults(faults).run(...)` \
+            (or `MeasurementEngine` directly for custom transports)"
+)]
 pub fn run_concurrent_measurements_via_proto(
     tor: &mut TorNet,
     items: &[BatchItem],
@@ -189,367 +605,15 @@ pub fn run_concurrent_measurements_via_proto(
     cfg: &ProtoConfig,
     faults: &[FaultSpec],
 ) -> Vec<ProtoMeasurement> {
-    let slot_secs = params.slot.as_secs() as u32;
-    assert!(slot_secs > 0, "slot must be at least one second");
-    let now0 = tor.now();
-
-    // Build every conversation up front; `start` queues the Auth frames.
-    let mut peers: Vec<Peer> = Vec::new();
-    for (ix, item) in items.iter().enumerate() {
-        let fp = fingerprint_for(item.target);
-        let active: Vec<_> = item.assignments.iter().filter(|a| !a.allocation.is_zero()).collect();
-        assert!(!active.is_empty(), "measurement needs at least one participating measurer");
-        for a in &active {
-            let token = fresh_token(rng);
-            let spec = MeasureSpec {
-                relay_fp: fp,
-                slot_secs,
-                sockets: a.sockets,
-                rate_cap: a.allocation.bytes_per_sec() as u64,
-            };
-            let fault = faults.iter().find(|f| f.item == ix && f.host == a.host).map(|f| f.fault);
-            let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec, cfg.timeouts);
-            coord.start(now0);
-            peers.push(Peer {
-                item: ix,
-                host: Some(a.host),
-                role: PeerRole::Measurer,
-                coord,
-                session: MeasurerSession::new(
-                    token,
-                    PeerRole::Measurer,
-                    rng.next_u64(),
-                    cfg.timeouts,
-                ),
-                link: Duplex::new(cfg.control_latency, cfg.chunk),
-                flows: Vec::new(),
-                acc: SecondsAccumulator::new(),
-                reported: 0,
-                bg_sent: 0,
-                processes: a.processes.max(1),
-                fault,
-                started: false,
-                go_sent: false,
-                samples: Vec::new(),
-            });
-        }
-        // The target relay's reporting session.
-        let token = fresh_token(rng);
-        let spec = MeasureSpec { relay_fp: fp, slot_secs, sockets: 0, rate_cap: 0 };
-        let mut coord = CoordinatorSession::new(token, PeerRole::Target, spec, cfg.timeouts);
-        coord.start(now0);
-        peers.push(Peer {
-            item: ix,
-            host: None,
-            role: PeerRole::Target,
-            coord,
-            session: MeasurerSession::new(token, PeerRole::Target, rng.next_u64(), cfg.timeouts),
-            link: Duplex::new(cfg.control_latency, cfg.chunk),
-            flows: Vec::new(),
-            acc: SecondsAccumulator::new(),
-            reported: 0,
-            bg_sent: 0,
-            processes: 0,
-            fault: None,
-            started: false,
-            go_sent: false,
-            samples: Vec::new(),
-        });
-    }
-
-    // Per-item failure records, filled by coordinator PeerFailed actions.
-    let mut failures: Vec<Vec<PeerFailure>> = vec![Vec::new(); items.len()];
-    let mut governor_on: Vec<bool> = vec![false; items.len()];
-    let mut ended: Vec<bool> = vec![false; items.len()];
-
-    // Generous hard wall: handshake, slot, report-timeout drain, margin.
-    let hard_deadline = now0
-        + cfg.timeouts.handshake * 3
-        + params.slot
-        + cfg.timeouts.report * 3
-        + SimDuration::from_secs(30);
-
-    let dt = tor.net.engine().tick_duration().as_secs_f64();
-    while !peers.iter().all(|p| p.coord.is_terminal()) {
-        let now = tor.now();
-        if now >= hard_deadline {
-            for p in peers.iter_mut().filter(|p| !p.coord.is_terminal()) {
-                p.coord.abort(AbortReason::Shutdown);
-            }
-        }
-
-        tor.tick();
-        let now = tor.now();
-
-        // Account the tick's bytes and complete seconds at every peer.
-        for p in peers.iter_mut() {
-            match p.role {
-                PeerRole::Measurer => {
-                    if !p.started || p.session.is_terminal() {
-                        continue;
-                    }
-                    let bytes: f64 =
-                        p.flows.iter().map(|f| tor.net.engine().flow_bytes_last_tick(*f)).sum();
-                    p.acc.push(bytes, dt);
-                    while (p.reported as usize) < p.acc.seconds().len() && !p.session.is_terminal()
-                    {
-                        if p.stalled() {
-                            // Crash simulation: traffic and reports both
-                            // stop; the coordinator's timeout must react.
-                            for f in &p.flows {
-                                tor.net.engine_mut().stop_flow(*f);
-                            }
-                            break;
-                        }
-                        let measured = p.acc.seconds()[p.reported as usize].round() as u64;
-                        p.session.report_second(0, measured);
-                        p.reported += 1;
-                    }
-                }
-                PeerRole::Target => {
-                    if !p.started || p.session.is_terminal() {
-                        continue;
-                    }
-                    let target = items[p.item].target;
-                    let reports = tor.relay_background_seconds(target);
-                    while p.bg_sent < reports.len() && !p.session.is_terminal() {
-                        let bg = reports[p.bg_sent].reported_background.round() as u64;
-                        p.session.report_second(bg, 0);
-                        p.bg_sent += 1;
-                    }
-                }
-            }
-        }
-
-        // Pump frames until this tick moves no more bytes: coordinator
-        // outbound → link → peer, peer outbound → link → coordinator.
-        loop {
-            let mut moved = false;
-            for p in peers.iter_mut() {
-                while let Some(frame) = p.coord.poll_outbound() {
-                    p.link.send(End::A, now, &frame);
-                    moved = true;
-                }
-                let inbound = p.link.recv(End::B, now);
-                if !inbound.is_empty() && !p.stalled() {
-                    p.session.receive(now, &inbound);
-                    moved = true;
-                }
-                while let Some(frame) = p.session.poll_outbound() {
-                    if !p.stalled() {
-                        p.link.send(End::B, now, &frame);
-                        moved = true;
-                    }
-                }
-                let inbound = p.link.recv(End::A, now);
-                if !inbound.is_empty() {
-                    p.coord.receive(now, &inbound);
-                    moved = true;
-                }
-            }
-            if !moved {
-                break;
-            }
-        }
-
-        // Peer-side actions: only these start or stop traffic.
-        for i in 0..peers.len() {
-            while let Some(action) = peers[i].session.poll_action() {
-                match action {
-                    MeasurerAction::Prepare { .. } => {}
-                    MeasurerAction::Start { spec } => {
-                        peers[i].started = true;
-                        if peers[i].role == PeerRole::Measurer {
-                            let host = peers[i].host.expect("measurer has host");
-                            let target = items[peers[i].item].target;
-                            let k = peers[i].processes;
-                            let per_process_cap =
-                                Rate::from_bytes_per_sec(spec.rate_cap as f64 / f64::from(k));
-                            let per_process_sockets = (spec.sockets / k).max(1);
-                            for _ in 0..k {
-                                let flow = tor.start_measurement_flow(
-                                    host,
-                                    target,
-                                    per_process_sockets,
-                                    Some(per_process_cap),
-                                );
-                                peers[i].flows.push(flow);
-                            }
-                        }
-                    }
-                    MeasurerAction::Stop => {
-                        for f in &peers[i].flows {
-                            tor.net.engine_mut().stop_flow(*f);
-                        }
-                    }
-                }
-            }
-        }
-
-        // Install the ratio governor once an item's surviving measurers
-        // are all blasting (uniform control latency makes this one tick).
-        for ix in 0..items.len() {
-            if governor_on[ix] {
-                continue;
-            }
-            let mut flows = Vec::new();
-            let mut all_started = true;
-            let mut any = false;
-            for p in peers.iter().filter(|p| p.item == ix && p.role == PeerRole::Measurer) {
-                if p.session.is_terminal() && !p.started {
-                    continue; // failed before starting; degraded slot
-                }
-                any = true;
-                if p.started {
-                    flows.extend(p.flows.iter().copied());
-                } else {
-                    all_started = false;
-                }
-            }
-            if any && all_started && !flows.is_empty() {
-                tor.begin_measurement(items[ix].target, flows);
-                governor_on[ix] = true;
-            }
-        }
-
-        // Coordinator-side actions: samples, completions, failures.
-        for p in peers.iter_mut() {
-            while let Some(action) = p.coord.poll_action() {
-                match action {
-                    CoordAction::PeerReady | CoordAction::PeerDone => {}
-                    CoordAction::Sample { second, bg_bytes, measured_bytes } => {
-                        // The session enforces in-order, exactly-once
-                        // reports within the commanded slot (replays
-                        // abort the peer). Quarantine the sample with
-                        // its peer; it is merged into the estimate only
-                        // if the session ends cleanly.
-                        if second < slot_secs {
-                            p.samples.push((second, bg_bytes, measured_bytes));
-                        }
-                    }
-                    CoordAction::PeerFailed { reason } => {
-                        failures[p.item].push(PeerFailure { host: p.host, role: p.role, reason });
-                    }
-                }
-            }
-        }
-
-        // Release each item's Go barrier when every surviving peer is
-        // armed (at least one measurer among them).
-        for ix in 0..items.len() {
-            let mut armed_measurers = 0;
-            let mut waiting = false;
-            for p in peers.iter().filter(|p| p.item == ix) {
-                match p.coord.phase() {
-                    CoordPhase::Armed => {
-                        if p.role == PeerRole::Measurer {
-                            armed_measurers += 1;
-                        }
-                    }
-                    CoordPhase::Done | CoordPhase::Failed => {}
-                    _ => waiting = true,
-                }
-            }
-            if armed_measurers > 0 && !waiting {
-                let now = tor.now();
-                for p in peers.iter_mut().filter(|p| p.item == ix) {
-                    if p.coord.phase() == CoordPhase::Armed && !p.go_sent {
-                        p.coord.go(now);
-                        p.go_sent = true;
-                    }
-                }
-            }
-        }
-
-        // Liveness: fire timeouts.
-        let now = tor.now();
-        for p in peers.iter_mut() {
-            p.coord.on_tick(now);
-            p.session.on_tick(now);
-        }
-
-        // Tear down completed items so the network returns to normal.
-        for ix in 0..items.len() {
-            if ended[ix] || !peers.iter().filter(|p| p.item == ix).all(|p| p.coord.is_terminal()) {
-                continue;
-            }
-            if governor_on[ix] {
-                tor.end_measurement(items[ix].target);
-            }
-            for p in peers.iter().filter(|p| p.item == ix) {
-                for f in &p.flows {
-                    tor.net.engine_mut().stop_flow(*f);
-                }
-            }
-            ended[ix] = true;
-        }
-    }
-
-    // Merge the per-second series, trusting only peers whose sessions
-    // completed cleanly: an aborted peer's quarantined samples are
-    // discarded wholesale, so a lie-then-stall peer cannot leave
-    // inflated seconds behind.
-    let mut x_by_second: Vec<Vec<f64>> = vec![Vec::new(); items.len()];
-    let mut y_by_second: Vec<Vec<f64>> = vec![Vec::new(); items.len()];
-    for p in &peers {
-        if p.coord.phase() != CoordPhase::Done {
-            continue;
-        }
-        for &(second, bg_bytes, measured_bytes) in &p.samples {
-            let j = second as usize;
-            let series = match p.role {
-                PeerRole::Measurer => &mut x_by_second[p.item],
-                PeerRole::Target => &mut y_by_second[p.item],
-            };
-            if series.len() <= j {
-                series.resize(j + 1, 0.0);
-            }
-            series[j] += match p.role {
-                PeerRole::Measurer => measured_bytes as f64,
-                PeerRole::Target => bg_bytes as f64,
-            };
-        }
-    }
-
-    // Aggregate exactly as §4.1 specifies, from what crossed the wire.
-    items
-        .iter()
-        .enumerate()
-        .map(|(ix, item)| {
-            let ratio = tor.relay(item.target).config.ratio;
-            let seconds = build_second_samples(&x_by_second[ix], &y_by_second[ix], ratio);
-            let z_values: Vec<f64> = seconds.iter().map(|s| s.z).collect();
-            let estimate = Rate::from_bytes_per_sec(median(&z_values).unwrap_or(0.0));
-            let total_measurement_bytes: f64 = seconds.iter().map(|s| s.x).sum();
-            let verification =
-                spot_check(total_measurement_bytes, params.check_probability, item.behavior, rng);
-            let allocated: Rate = item
-                .assignments
-                .iter()
-                .filter(|a| !a.allocation.is_zero())
-                .map(|a| a.allocation)
-                .sum();
-            let (mut frames_tx, mut frames_rx) = (0u64, 0u64);
-            for p in peers.iter().filter(|p| p.item == ix) {
-                frames_tx += p.coord.frames_tx;
-                frames_rx += p.coord.frames_rx;
-            }
-            ProtoMeasurement {
-                measurement: Measurement { estimate, seconds, allocated, verification },
-                failures: failures[ix].clone(),
-                frames_tx,
-                frames_rx,
-            }
-        })
-        .collect()
+    SlotRunner::new(params).with_config(*cfg).with_faults(faults.to_vec()).run(tor, items, rng)
 }
 
 /// Runs one protocol-driven measurement of `target` with the given
-/// assignments (the protocol twin of
-/// [`run_measurement`](crate::measure::run_measurement)).
+/// assignments.
 ///
 /// # Panics
 /// Panics if no assignment participates.
+#[deprecated(since = "0.2.0", note = "use `SlotRunner::run_one`")]
 #[allow(clippy::too_many_arguments)]
 pub fn run_measurement_via_proto(
     tor: &mut TorNet,
@@ -561,18 +625,21 @@ pub fn run_measurement_via_proto(
     cfg: &ProtoConfig,
     faults: &[FaultSpec],
 ) -> ProtoMeasurement {
-    let items = vec![BatchItem { target, assignments: assignments.to_vec(), behavior }];
-    run_concurrent_measurements_via_proto(tor, &items, params, rng, cfg, faults)
-        .pop()
-        .expect("one item yields one measurement")
+    SlotRunner::new(params).with_config(*cfg).with_faults(faults.to_vec()).run_one(
+        tor,
+        target,
+        assignments,
+        behavior,
+        rng,
+    )
 }
 
 /// Convenience: allocate from `team` for prior `z0` and run one
-/// protocol-driven measurement of an honest target (the protocol twin of
-/// [`measure_once`](crate::measure::measure_once)).
+/// protocol-driven measurement of an honest target.
 ///
 /// # Errors
 /// Propagates allocation failure when the team lacks capacity.
+#[deprecated(since = "0.2.0", note = "use `SlotRunner::measure`")]
 pub fn measure_via_proto(
     tor: &mut TorNet,
     target: RelayId,
@@ -581,19 +648,7 @@ pub fn measure_via_proto(
     params: &Params,
     rng: &mut SimRng,
 ) -> Result<ProtoMeasurement, AllocError> {
-    let reserved = vec![Rate::ZERO; team.len()];
-    let allocations = team.allocate(z0, params, &reserved)?;
-    let assignments = assignments_for(team, &allocations, params);
-    Ok(run_measurement_via_proto(
-        tor,
-        target,
-        &assignments,
-        params,
-        TargetBehavior::Honest,
-        rng,
-        &ProtoConfig::default(),
-        &[],
-    ))
+    SlotRunner::new(params).measure(tor, target, team, z0, rng)
 }
 
 #[cfg(test)]
@@ -623,9 +678,9 @@ mod tests {
         let (mut tor, team, relay) = testbed(250.0);
         let params = Params::paper();
         let mut rng = SimRng::seed_from_u64(7);
-        let m =
-            measure_via_proto(&mut tor, relay, &team, Rate::from_mbit(250.0), &params, &mut rng)
-                .unwrap();
+        let m = SlotRunner::new(&params)
+            .measure(&mut tor, relay, &team, Rate::from_mbit(250.0), &mut rng)
+            .unwrap();
         assert!(m.clean(), "failures: {:?}", m.failures);
         let est = m.measurement.estimate.as_mbit();
         assert!((200.0..=270.0).contains(&est), "estimate {est} Mbit/s");
@@ -637,6 +692,29 @@ mod tests {
         // SlotDone back from each.
         assert_eq!(m.frames_tx, 2 * 3);
         assert_eq!(m.frames_rx, 2 * 33);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_still_work() {
+        // One release of backward compatibility: the old free functions
+        // must produce the same result as the SlotRunner they wrap.
+        let (mut tor, team, relay) = testbed(250.0);
+        let params = Params::paper();
+        let mut rng = SimRng::seed_from_u64(7);
+        let via_shim =
+            measure_via_proto(&mut tor, relay, &team, Rate::from_mbit(250.0), &params, &mut rng)
+                .unwrap();
+        let (mut tor2, team2, relay2) = testbed(250.0);
+        let mut rng2 = SimRng::seed_from_u64(7);
+        let via_runner = SlotRunner::new(&params)
+            .measure(&mut tor2, relay2, &team2, Rate::from_mbit(250.0), &mut rng2)
+            .unwrap();
+        assert_eq!(
+            via_shim.measurement.estimate.bytes_per_sec(),
+            via_runner.measurement.estimate.bytes_per_sec()
+        );
+        assert_eq!(via_shim.frames_rx, via_runner.frames_rx);
     }
 
     #[test]

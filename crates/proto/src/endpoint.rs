@@ -1,0 +1,169 @@
+//! Binding a session to a transport: the one pump loop.
+//!
+//! An [`Endpoint`] pairs any [`SessionState`] (either protocol half)
+//! with any [`Transport`] and owns the only code that moves bytes
+//! between them. Drivers call [`Endpoint::pump`] whenever the transport
+//! may have made progress and [`Endpoint::tick`] when time advances;
+//! everything else (actions, phases) is read straight off the session.
+//!
+//! Transport failures are where the byte world meets the state-machine
+//! world: the first [`TransportError`] aborts the session with
+//! [`AbortReason::ConnectionLost`], drops any frames still queued (there
+//! is nowhere for them to go), and closes the transport — so a dead TCP
+//! connection degrades the measurement exactly like a stalled peer does,
+//! through the session's normal failure path.
+
+use flashflow_simnet::time::SimTime;
+
+use crate::msg::AbortReason;
+use crate::session::SessionState;
+use crate::transport::{Transport, TransportError};
+
+/// A session bound to one transport endpoint.
+#[derive(Debug)]
+pub struct Endpoint<S: SessionState, T: Transport> {
+    session: S,
+    transport: T,
+    error: Option<TransportError>,
+}
+
+impl<S: SessionState, T: Transport> Endpoint<S, T> {
+    /// Binds `session` to `transport`.
+    pub fn new(session: S, transport: T) -> Self {
+        Endpoint { session, transport, error: None }
+    }
+
+    /// The session (phase queries, counters).
+    pub fn session(&self) -> &S {
+        &self.session
+    }
+
+    /// The session, mutably (start/go/report_second, action polling).
+    pub fn session_mut(&mut self) -> &mut S {
+        &mut self.session
+    }
+
+    /// The transport, mutably (fault tripping in tests and drivers).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// The first transport error observed, if any.
+    pub fn transport_error(&self) -> Option<TransportError> {
+        self.error
+    }
+
+    /// Moves bytes both ways once: queued session frames onto the
+    /// transport, arrived transport bytes into the session. Returns
+    /// `true` if anything moved (callers loop to quiescence when the
+    /// transport is zero-latency).
+    pub fn pump(&mut self, now: SimTime) -> bool {
+        let mut moved = false;
+        // Session → transport.
+        while let Some(frame) = self.session.poll_outbound() {
+            if self.error.is_some() {
+                continue; // drain and drop: the wire is gone
+            }
+            match self.transport.send(now, &frame) {
+                Ok(()) => moved = true,
+                Err(err) => self.on_transport_error(err),
+            }
+        }
+        // Transport → session.
+        if self.error.is_none() {
+            match self.transport.recv(now) {
+                Ok(bytes) if !bytes.is_empty() => {
+                    self.session.receive(now, &bytes);
+                    moved = true;
+                }
+                Ok(_) => {}
+                Err(err) => {
+                    self.on_transport_error(err);
+                    // The abort frame queued by the session has nowhere
+                    // to go; drop it so it cannot pile up.
+                    while self.session.poll_outbound().is_some() {}
+                }
+            }
+        }
+        moved
+    }
+
+    /// Advances session time (deadline/timeout checks).
+    pub fn tick(&mut self, now: SimTime) {
+        self.session.on_tick(now);
+    }
+
+    /// True once the session can make no further progress.
+    pub fn is_terminal(&self) -> bool {
+        self.session.is_terminal()
+    }
+
+    /// Unbinds, returning the parts.
+    pub fn into_parts(self) -> (S, T) {
+        (self.session, self.transport)
+    }
+
+    fn on_transport_error(&mut self, err: TransportError) {
+        if self.error.is_none() {
+            self.error = Some(err);
+            self.session.abort(AbortReason::ConnectionLost);
+            self.transport.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{MeasureSpec, PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN};
+    use crate::session::{
+        CoordAction, CoordPhase, CoordinatorSession, MeasurerPhase, MeasurerSession,
+        SessionTimeouts,
+    };
+    use crate::transport::Duplex;
+
+    fn spec() -> MeasureSpec {
+        MeasureSpec { relay_fp: [1; FINGERPRINT_LEN], slot_secs: 2, sockets: 8, rate_cap: 0 }
+    }
+
+    #[test]
+    fn endpoints_complete_a_slot_over_a_zero_latency_link() {
+        let token = [4u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let (ca, cb) = Duplex::loopback().into_endpoints();
+        let mut coord =
+            Endpoint::new(CoordinatorSession::new(token, PeerRole::Measurer, spec(), 77, t), ca);
+        let mut meas = Endpoint::new(MeasurerSession::new(token, PeerRole::Measurer, 1, t), cb);
+        let now = SimTime::ZERO;
+        coord.session_mut().start(now);
+        // Zero latency: pump to quiescence completes the handshake.
+        while coord.pump(now) | meas.pump(now) {}
+        assert_eq!(coord.session().phase(), CoordPhase::Armed);
+        coord.session_mut().go(now);
+        while coord.pump(now) | meas.pump(now) {}
+        assert_eq!(meas.session().phase(), MeasurerPhase::Running);
+        meas.session_mut().report_second(0, 10);
+        meas.session_mut().report_second(0, 20);
+        while coord.pump(now) | meas.pump(now) {}
+        assert_eq!(coord.session().phase(), CoordPhase::Done);
+    }
+
+    #[test]
+    fn transport_failure_aborts_with_connection_lost() {
+        let token = [4u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let (ca, mut cb) = Duplex::loopback().into_endpoints();
+        let mut coord =
+            Endpoint::new(CoordinatorSession::new(token, PeerRole::Measurer, spec(), 77, t), ca);
+        let now = SimTime::ZERO;
+        coord.session_mut().start(now);
+        cb.close(); // peer vanishes
+        coord.pump(now); // Auth send fails → ConnectionLost
+        assert_eq!(coord.session().phase(), CoordPhase::Failed);
+        assert_eq!(coord.transport_error(), Some(TransportError::Closed));
+        assert_eq!(
+            coord.session_mut().poll_action(),
+            Some(CoordAction::PeerFailed { reason: AbortReason::ConnectionLost })
+        );
+    }
+}

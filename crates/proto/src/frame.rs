@@ -20,7 +20,7 @@ use crate::msg::{
 };
 
 /// Upper bound on the length prefix. The largest legitimate frame
-/// (`Auth`) is 35 bytes of payload; anything near the cap is garbage or
+/// (`Auth`) is 43 bytes of payload; anything near the cap is garbage or
 /// an attack, and rejecting it bounds decoder memory.
 pub const MAX_FRAME_LEN: usize = 256;
 
@@ -108,14 +108,16 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
     body.extend_from_slice(&[0u8; LEN_PREFIX]);
     body.push(PROTOCOL_VERSION);
     match msg {
-        Msg::Auth { token, role } => {
+        Msg::Auth { token, role, nonce } => {
             body.push(MsgType::Auth as u8);
             body.extend_from_slice(token);
             body.push(*role as u8);
+            body.extend_from_slice(&nonce.to_be_bytes());
         }
-        Msg::AuthOk { session } => {
+        Msg::AuthOk { session, nonce } => {
             body.push(MsgType::AuthOk as u8);
             body.extend_from_slice(&session.to_be_bytes());
+            body.extend_from_slice(&nonce.to_be_bytes());
         }
         Msg::MeasureCmd(spec) => {
             body.push(MsgType::MeasureCmd as u8);
@@ -210,14 +212,16 @@ pub fn decode_payload(payload: &[u8]) -> Result<Msg, WireError> {
             let role_byte = b.u8()?;
             let role = PeerRole::from_u8(role_byte)
                 .ok_or(WireError::BadEnumValue { field: "Auth.role", value: role_byte })?;
+            let nonce = b.u64()?;
             b.finish()?;
-            Msg::Auth { token, role }
+            Msg::Auth { token, role, nonce }
         }
         MsgType::AuthOk => {
             let mut b = Body::new("AuthOk", body);
             let session = b.u64()?;
+            let nonce = b.u64()?;
             b.finish()?;
-            Msg::AuthOk { session }
+            Msg::AuthOk { session, nonce }
         }
         MsgType::MeasureCmd => {
             let mut b = Body::new("MeasureCmd", body);
@@ -330,8 +334,12 @@ mod tests {
 
     fn sample_msgs() -> Vec<Msg> {
         vec![
-            Msg::Auth { token: [7u8; AUTH_TOKEN_LEN], role: PeerRole::Measurer },
-            Msg::AuthOk { session: 0xDEAD_BEEF_0123_4567 },
+            Msg::Auth {
+                token: [7u8; AUTH_TOKEN_LEN],
+                role: PeerRole::Measurer,
+                nonce: 0x0123_4567_89AB_CDEF,
+            },
+            Msg::AuthOk { session: 0xDEAD_BEEF_0123_4567, nonce: 0x0123_4567_89AB_CDEF },
             Msg::MeasureCmd(MeasureSpec {
                 relay_fp: [0xAB; FINGERPRINT_LEN],
                 slot_secs: 30,
@@ -408,7 +416,8 @@ mod tests {
     #[test]
     fn truncated_body_rejected() {
         // An Auth frame whose declared length cuts the token short.
-        let full = encode(&Msg::Auth { token: [1; AUTH_TOKEN_LEN], role: PeerRole::Target });
+        let full =
+            encode(&Msg::Auth { token: [1; AUTH_TOKEN_LEN], role: PeerRole::Target, nonce: 9 });
         let cut = 10usize;
         let mut frame = full[..LEN_PREFIX + cut].to_vec();
         frame[..LEN_PREFIX].copy_from_slice(&(cut as u32).to_be_bytes());

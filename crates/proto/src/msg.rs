@@ -19,8 +19,11 @@
 //! then over. All multi-byte integers are big-endian on the wire (see
 //! [`crate::frame`] for the framing).
 
-/// Protocol version carried in every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version carried in every frame. Version 2 added the
+/// `Auth`/`AuthOk` handshake nonce and the `ConnectionLost` abort code;
+/// a version-1 peer is rejected with a clean `BadVersion` error instead
+/// of a confusing body-layout failure.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Length of the pre-shared authentication token.
 pub const AUTH_TOKEN_LEN: usize = 32;
@@ -66,6 +69,8 @@ pub enum AbortReason {
     Malformed = 4,
     /// The sender is shutting down (operator action, reschedule, ...).
     Shutdown = 5,
+    /// The underlying transport disconnected or failed mid-conversation.
+    ConnectionLost = 6,
 }
 
 impl AbortReason {
@@ -78,6 +83,7 @@ impl AbortReason {
             3 => Some(AbortReason::OutOfOrder),
             4 => Some(AbortReason::Malformed),
             5 => Some(AbortReason::Shutdown),
+            6 => Some(AbortReason::ConnectionLost),
             _ => None,
         }
     }
@@ -92,6 +98,7 @@ impl std::fmt::Display for AbortReason {
             AbortReason::OutOfOrder => "out-of-order message",
             AbortReason::Malformed => "malformed frame",
             AbortReason::Shutdown => "peer shutdown",
+            AbortReason::ConnectionLost => "transport connection lost",
         };
         f.write_str(s)
     }
@@ -120,11 +127,18 @@ pub enum Msg {
         token: [u8; AUTH_TOKEN_LEN],
         /// The role the coordinator expects the peer to play.
         role: PeerRole,
+        /// Fresh random challenge. The peer must echo it in `AuthOk`,
+        /// binding the response to *this* handshake, and rejects a nonce
+        /// it has already seen (a replayed `Auth`).
+        nonce: u64,
     },
     /// Peer → coordinator: token accepted; `session` names the slot.
     AuthOk {
         /// Peer-chosen identifier echoed in logs and errors.
         session: u64,
+        /// Echo of the coordinator's `Auth` nonce; a mismatch (a replayed
+        /// or pre-recorded `AuthOk`) fails the handshake.
+        nonce: u64,
     },
     /// Coordinator → peer: prepare to measure.
     MeasureCmd(MeasureSpec),

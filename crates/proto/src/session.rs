@@ -19,13 +19,101 @@
 //! * any undecodable byte stream aborts with [`AbortReason::Malformed`];
 //! * a terminal session ignores further input instead of erroring, so a
 //!   late frame from a dead peer cannot resurrect anything.
+//!
+//! Handshake freshness: every `Auth` carries a coordinator-chosen random
+//! nonce that the peer must echo in `AuthOk`. The coordinator rejects an
+//! `AuthOk` with the wrong nonce (a replayed or pre-recorded response),
+//! and a peer that threads a [`ReplayWindow`] across its sessions rejects
+//! an `Auth` nonce it has already seen (a replayed handshake opener).
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 use flashflow_simnet::time::{SimDuration, SimTime};
 
 use crate::frame::{encode, FrameDecoder};
 use crate::msg::{AbortReason, MeasureSpec, Msg, PeerRole, AUTH_TOKEN_LEN};
+
+/// The driver-facing surface shared by both session halves: bytes in,
+/// bytes out, actions out, time in. [`crate::endpoint::Endpoint`] and the
+/// engine layers are generic over this, which is what lets one pump loop
+/// drive either side of the protocol over any transport.
+pub trait SessionState {
+    /// What the session asks its driver to do.
+    type Action;
+
+    /// Feeds received bytes; decoded frames advance the state machine.
+    fn receive(&mut self, now: SimTime, bytes: &[u8]);
+    /// Next encoded frame to put on the wire, if any.
+    fn poll_outbound(&mut self) -> Option<Vec<u8>>;
+    /// Next action for the driver, if any.
+    fn poll_action(&mut self) -> Option<Self::Action>;
+    /// Advances time; fires the current deadline if passed.
+    fn on_tick(&mut self, now: SimTime);
+    /// Aborts locally; notifies the peer if the session is still live.
+    fn abort(&mut self, reason: AbortReason);
+    /// True once the session can make no further progress.
+    fn is_terminal(&self) -> bool;
+}
+
+/// A bounded set of `Auth` nonces a peer has accepted, threaded across
+/// that peer's sessions so a replayed handshake opener is rejected even
+/// though each conversation gets a fresh [`MeasurerSession`].
+///
+/// Eviction is FIFO once `cap` nonces are held, bounding memory against a
+/// flood of unique nonces while still catching back-to-back replays.
+#[derive(Debug, Clone)]
+pub struct ReplayWindow {
+    seen: HashSet<u64>,
+    order: VecDeque<u64>,
+    cap: usize,
+}
+
+impl Default for ReplayWindow {
+    fn default() -> Self {
+        ReplayWindow::new(1024)
+    }
+}
+
+impl ReplayWindow {
+    /// A window remembering at most `cap` nonces.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "replay window needs capacity");
+        ReplayWindow { seen: HashSet::new(), order: VecDeque::new(), cap }
+    }
+
+    /// Records `nonce`; returns `true` if it was fresh, `false` if it was
+    /// already in the window (a replay).
+    pub fn witness(&mut self, nonce: u64) -> bool {
+        if self.seen.contains(&nonce) {
+            return false;
+        }
+        if self.order.len() == self.cap {
+            let evicted = self.order.pop_front().expect("cap > 0");
+            self.seen.remove(&evicted);
+        }
+        self.order.push_back(nonce);
+        self.seen.insert(nonce);
+        true
+    }
+
+    /// True if `nonce` is currently remembered.
+    pub fn contains(&self, nonce: u64) -> bool {
+        self.seen.contains(&nonce)
+    }
+
+    /// Number of nonces currently remembered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if no nonce has been witnessed yet.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
 
 /// Timeouts governing a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +181,7 @@ pub struct CoordinatorSession {
     token: [u8; AUTH_TOKEN_LEN],
     role: PeerRole,
     spec: MeasureSpec,
+    nonce: u64,
     timeouts: SessionTimeouts,
     deadline: Option<SimTime>,
     seconds_received: u32,
@@ -106,11 +195,14 @@ pub struct CoordinatorSession {
 }
 
 impl CoordinatorSession {
-    /// A session that will drive `role`-peer through `spec`.
+    /// A session that will drive `role`-peer through `spec`. `nonce`
+    /// must be fresh and unpredictable (the caller owns randomness —
+    /// sessions stay deterministic); the peer has to echo it in `AuthOk`.
     pub fn new(
         token: [u8; AUTH_TOKEN_LEN],
         role: PeerRole,
         spec: MeasureSpec,
+        nonce: u64,
         timeouts: SessionTimeouts,
     ) -> Self {
         CoordinatorSession {
@@ -118,6 +210,7 @@ impl CoordinatorSession {
             token,
             role,
             spec,
+            nonce,
             timeouts,
             deadline: None,
             seconds_received: 0,
@@ -144,6 +237,16 @@ impl CoordinatorSession {
         self.spec
     }
 
+    /// The role this session expects of its peer.
+    pub fn role(&self) -> PeerRole {
+        self.role
+    }
+
+    /// The handshake nonce this session challenges its peer with.
+    pub fn nonce(&self) -> u64 {
+        self.nonce
+    }
+
     /// Opens the conversation: queues `Auth` and starts the handshake
     /// timer.
     ///
@@ -151,7 +254,7 @@ impl CoordinatorSession {
     /// Panics unless the session is `Idle`.
     pub fn start(&mut self, now: SimTime) {
         assert_eq!(self.phase, CoordPhase::Idle, "start() on a started session");
-        self.send(Msg::Auth { token: self.token, role: self.role });
+        self.send(Msg::Auth { token: self.token, role: self.role, nonce: self.nonce });
         self.phase = CoordPhase::AwaitAuthOk;
         self.deadline = Some(now + self.timeouts.handshake);
     }
@@ -226,7 +329,14 @@ impl CoordinatorSession {
 
     fn on_msg(&mut self, now: SimTime, msg: Msg) {
         match (self.phase, msg) {
-            (CoordPhase::AwaitAuthOk, Msg::AuthOk { .. }) => {
+            (CoordPhase::AwaitAuthOk, Msg::AuthOk { nonce, .. }) => {
+                // An AuthOk that does not echo this session's challenge
+                // is a replayed or pre-recorded response, not proof the
+                // peer holds the token *now*.
+                if nonce != self.nonce {
+                    self.fail(AbortReason::AuthFailed, true);
+                    return;
+                }
                 self.send(Msg::MeasureCmd(self.spec));
                 self.phase = CoordPhase::AwaitReady;
                 self.deadline = Some(now + self.timeouts.handshake);
@@ -336,6 +446,7 @@ pub struct MeasurerSession {
     deadline: Option<SimTime>,
     spec: Option<MeasureSpec>,
     seconds_sent: u32,
+    replay: ReplayWindow,
     decoder: FrameDecoder,
     outbound: VecDeque<Vec<u8>>,
     actions: VecDeque<MeasurerAction>,
@@ -346,7 +457,8 @@ pub struct MeasurerSession {
 }
 
 impl MeasurerSession {
-    /// A session expecting `expected_token` for `expected_role`.
+    /// A session expecting `expected_token` for `expected_role`, with an
+    /// empty replay window (see [`MeasurerSession::with_replay_window`]).
     pub fn new(
         expected_token: [u8; AUTH_TOKEN_LEN],
         expected_role: PeerRole,
@@ -362,12 +474,29 @@ impl MeasurerSession {
             deadline: None,
             spec: None,
             seconds_sent: 0,
+            replay: ReplayWindow::default(),
             decoder: FrameDecoder::new(),
             outbound: VecDeque::new(),
             actions: VecDeque::new(),
             frames_rx: 0,
             frames_tx: 0,
         }
+    }
+
+    /// Seeds this session with the nonces earlier sessions on the same
+    /// peer accepted, so a replayed `Auth` is rejected across
+    /// conversations. A long-lived peer extracts the window with
+    /// [`MeasurerSession::take_replay_window`] when a conversation ends
+    /// and threads it into the next session.
+    pub fn with_replay_window(mut self, window: ReplayWindow) -> Self {
+        self.replay = window;
+        self
+    }
+
+    /// Hands the replay window (including this session's accepted nonce)
+    /// back to the driver, leaving an empty one behind.
+    pub fn take_replay_window(&mut self) -> ReplayWindow {
+        std::mem::take(&mut self.replay)
     }
 
     /// Current phase.
@@ -460,12 +589,18 @@ impl MeasurerSession {
 
     fn on_msg(&mut self, now: SimTime, msg: Msg) {
         match (self.phase, msg) {
-            (MeasurerPhase::AwaitAuth, Msg::Auth { token, role }) => {
+            (MeasurerPhase::AwaitAuth, Msg::Auth { token, role, nonce }) => {
                 if token != self.expected_token || role != self.expected_role {
                     self.fail(AbortReason::AuthFailed, true);
                     return;
                 }
-                self.send(Msg::AuthOk { session: self.session_id });
+                // A nonce this peer has already accepted is a replayed
+                // handshake — reject it even though the token matches.
+                if !self.replay.witness(nonce) {
+                    self.fail(AbortReason::AuthFailed, true);
+                    return;
+                }
+                self.send(Msg::AuthOk { session: self.session_id, nonce });
                 self.phase = MeasurerPhase::AwaitCmd;
                 self.deadline = Some(now + self.timeouts.handshake);
             }
@@ -512,6 +647,52 @@ impl MeasurerSession {
     }
 }
 
+impl SessionState for CoordinatorSession {
+    type Action = CoordAction;
+
+    fn receive(&mut self, now: SimTime, bytes: &[u8]) {
+        CoordinatorSession::receive(self, now, bytes);
+    }
+    fn poll_outbound(&mut self) -> Option<Vec<u8>> {
+        CoordinatorSession::poll_outbound(self)
+    }
+    fn poll_action(&mut self) -> Option<CoordAction> {
+        CoordinatorSession::poll_action(self)
+    }
+    fn on_tick(&mut self, now: SimTime) {
+        CoordinatorSession::on_tick(self, now);
+    }
+    fn abort(&mut self, reason: AbortReason) {
+        CoordinatorSession::abort(self, reason);
+    }
+    fn is_terminal(&self) -> bool {
+        CoordinatorSession::is_terminal(self)
+    }
+}
+
+impl SessionState for MeasurerSession {
+    type Action = MeasurerAction;
+
+    fn receive(&mut self, now: SimTime, bytes: &[u8]) {
+        MeasurerSession::receive(self, now, bytes);
+    }
+    fn poll_outbound(&mut self) -> Option<Vec<u8>> {
+        MeasurerSession::poll_outbound(self)
+    }
+    fn poll_action(&mut self) -> Option<MeasurerAction> {
+        MeasurerSession::poll_action(self)
+    }
+    fn on_tick(&mut self, now: SimTime) {
+        MeasurerSession::on_tick(self, now);
+    }
+    fn abort(&mut self, reason: AbortReason) {
+        MeasurerSession::abort(self, reason);
+    }
+    fn is_terminal(&self) -> bool {
+        MeasurerSession::is_terminal(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,7 +724,7 @@ mod tests {
     fn golden_path_runs_to_completion() {
         let token = [9u8; AUTH_TOKEN_LEN];
         let t = SessionTimeouts::default();
-        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), t);
+        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), 0xA5, t);
         let mut meas = MeasurerSession::new(token, PeerRole::Measurer, 42, t);
         let now = SimTime::ZERO;
 
@@ -581,7 +762,8 @@ mod tests {
     #[test]
     fn wrong_token_fails_auth() {
         let t = SessionTimeouts::default();
-        let mut coord = CoordinatorSession::new([1; AUTH_TOKEN_LEN], PeerRole::Measurer, spec(), t);
+        let mut coord =
+            CoordinatorSession::new([1; AUTH_TOKEN_LEN], PeerRole::Measurer, spec(), 0xA5, t);
         let mut meas = MeasurerSession::new([2; AUTH_TOKEN_LEN], PeerRole::Measurer, 1, t);
         let now = SimTime::ZERO;
         coord.start(now);
@@ -600,7 +782,8 @@ mod tests {
             handshake: SimDuration::from_secs(5),
             report: SimDuration::from_secs(2),
         };
-        let mut coord = CoordinatorSession::new([1; AUTH_TOKEN_LEN], PeerRole::Measurer, spec(), t);
+        let mut coord =
+            CoordinatorSession::new([1; AUTH_TOKEN_LEN], PeerRole::Measurer, spec(), 0xA5, t);
         coord.start(SimTime::ZERO);
         coord.on_tick(SimTime::from_secs(4));
         assert_eq!(coord.phase(), CoordPhase::AwaitAuthOk);
@@ -629,7 +812,7 @@ mod tests {
             handshake: SimDuration::from_secs(5),
             report: SimDuration::from_secs(2),
         };
-        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), t);
+        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), 0xA5, t);
         let mut meas = MeasurerSession::new(token, PeerRole::Measurer, 1, t);
         let now = SimTime::ZERO;
         coord.start(now);
@@ -657,7 +840,7 @@ mod tests {
         let now = SimTime::ZERO;
 
         // A replayed second index (inflation attempt) is fatal.
-        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), t);
+        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), 0xA5, t);
         let mut meas = MeasurerSession::new(token, PeerRole::Measurer, 1, t);
         coord.start(now);
         pump(now, &mut coord, &mut meas);
@@ -682,7 +865,7 @@ mod tests {
         assert_eq!(samples, 1);
 
         // A second index beyond the commanded slot is equally fatal.
-        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), t);
+        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), 0xA5, t);
         let mut meas = MeasurerSession::new(token, PeerRole::Measurer, 2, t);
         coord.start(now);
         pump(now, &mut coord, &mut meas);
@@ -701,7 +884,7 @@ mod tests {
         let token = [7u8; AUTH_TOKEN_LEN];
         let t = SessionTimeouts::default();
         let now = SimTime::ZERO;
-        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), t);
+        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, spec(), 0xA5, t);
         let mut meas = MeasurerSession::new(token, PeerRole::Measurer, 1, t);
         coord.start(now);
         pump(now, &mut coord, &mut meas);
@@ -737,7 +920,8 @@ mod tests {
     #[test]
     fn garbage_bytes_abort_with_malformed() {
         let t = SessionTimeouts::default();
-        let mut coord = CoordinatorSession::new([1; AUTH_TOKEN_LEN], PeerRole::Target, spec(), t);
+        let mut coord =
+            CoordinatorSession::new([1; AUTH_TOKEN_LEN], PeerRole::Target, spec(), 0xA5, t);
         coord.start(SimTime::ZERO);
         coord.receive(SimTime::ZERO, &[0xFF; 64]);
         assert_eq!(coord.phase(), CoordPhase::Failed);
@@ -751,13 +935,71 @@ mod tests {
     }
 
     #[test]
+    fn wrong_authok_nonce_fails_auth() {
+        let t = SessionTimeouts::default();
+        let mut coord =
+            CoordinatorSession::new([1; AUTH_TOKEN_LEN], PeerRole::Measurer, spec(), 0xA5, t);
+        coord.start(SimTime::ZERO);
+        // A replayed AuthOk echoing some other handshake's nonce.
+        coord.receive(SimTime::ZERO, &encode(&Msg::AuthOk { session: 5, nonce: 0xBEEF }));
+        assert_eq!(coord.phase(), CoordPhase::Failed);
+        assert_eq!(
+            coord.poll_action(),
+            Some(CoordAction::PeerFailed { reason: AbortReason::AuthFailed })
+        );
+    }
+
+    #[test]
+    fn replayed_auth_nonce_is_rejected_across_sessions() {
+        let token = [9u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let now = SimTime::ZERO;
+        let auth = Msg::Auth { token, role: PeerRole::Measurer, nonce: 0x1111 };
+
+        // First conversation accepts the nonce...
+        let mut first = MeasurerSession::new(token, PeerRole::Measurer, 1, t);
+        first.receive(now, &encode(&auth));
+        assert_eq!(first.phase(), MeasurerPhase::AwaitCmd);
+        let window = first.take_replay_window();
+        assert!(window.contains(0x1111));
+
+        // ...and a later session on the same peer rejects the replay.
+        let mut second =
+            MeasurerSession::new(token, PeerRole::Measurer, 2, t).with_replay_window(window);
+        second.receive(now, &encode(&auth));
+        assert_eq!(second.phase(), MeasurerPhase::Failed);
+        let mut dec = FrameDecoder::new();
+        dec.push(&second.poll_outbound().expect("abort frame"));
+        assert_eq!(dec.next_msg().unwrap(), Some(Msg::Abort { reason: AbortReason::AuthFailed }));
+
+        // A fresh nonce on the same window is fine.
+        let mut third = MeasurerSession::new(token, PeerRole::Measurer, 3, t)
+            .with_replay_window(second.take_replay_window());
+        third.receive(now, &encode(&Msg::Auth { token, role: PeerRole::Measurer, nonce: 0x2222 }));
+        assert_eq!(third.phase(), MeasurerPhase::AwaitCmd);
+    }
+
+    #[test]
+    fn replay_window_is_bounded_fifo() {
+        let mut w = ReplayWindow::new(2);
+        assert!(w.witness(1));
+        assert!(w.witness(2));
+        assert!(!w.witness(1), "replay caught while remembered");
+        assert!(w.witness(3), "fresh nonce evicts the oldest");
+        assert_eq!(w.len(), 2);
+        assert!(!w.contains(1), "oldest evicted");
+        assert!(w.contains(2) && w.contains(3));
+    }
+
+    #[test]
     fn terminal_sessions_ignore_late_frames() {
         let t = SessionTimeouts::default();
-        let mut coord = CoordinatorSession::new([1; AUTH_TOKEN_LEN], PeerRole::Measurer, spec(), t);
+        let mut coord =
+            CoordinatorSession::new([1; AUTH_TOKEN_LEN], PeerRole::Measurer, spec(), 0xA5, t);
         coord.start(SimTime::ZERO);
         coord.abort(AbortReason::Shutdown);
         assert_eq!(coord.phase(), CoordPhase::Failed);
-        coord.receive(SimTime::ZERO, &encode(&Msg::AuthOk { session: 5 }));
+        coord.receive(SimTime::ZERO, &encode(&Msg::AuthOk { session: 5, nonce: 0xA5 }));
         assert_eq!(coord.phase(), CoordPhase::Failed);
     }
 }

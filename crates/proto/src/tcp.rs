@@ -1,0 +1,232 @@
+//! A real TCP endpoint implementing [`Transport`].
+//!
+//! Built on `std::net` with non-blocking sockets — no async runtime, so
+//! the crate stays dependency-free and the build works offline. The
+//! socket carries the same length-prefixed frames as every other
+//! transport; reads surface whatever the kernel has, in arbitrary
+//! chunks, and the sessions' [`FrameDecoder`](crate::frame::FrameDecoder)
+//! reassembles them.
+//!
+//! Time discipline: `now` is caller-injected and **ignored** here — TCP
+//! delivery happens when the kernel says so — but no wall clock is ever
+//! read either. Liveness (handshake/report timeouts) stays entirely in
+//! the sessions, driven by whatever clock the caller supplies, so a
+//! coordinator can run its timeout logic on accelerated time in tests
+//! and on real elapsed time in deployment without touching this code.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+
+use flashflow_simnet::time::SimTime;
+
+use crate::transport::{Readiness, Transport, TransportError};
+
+/// How many bytes one `recv` pulls from the kernel per read call.
+const READ_CHUNK: usize = 4096;
+
+/// Upper bound on bytes one `recv` returns. A peer that floods faster
+/// than we drain must not wedge the caller inside a single call (the
+/// engine serves every peer from one pump loop) or grow the buffer
+/// without limit; whatever is left stays in the kernel buffer for the
+/// next pump, and the sessions' own bounds abort a flooding peer.
+const RECV_BUDGET: usize = 256 * 1024;
+
+/// One endpoint of a TCP control connection.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    /// Bytes accepted by `send` but not yet written (kernel backpressure).
+    outbox: Vec<u8>,
+    /// Set once this side called `close`.
+    closed: bool,
+    /// Set once the peer closed or the socket failed; sticky.
+    broken: Option<TransportError>,
+    /// The peer sent EOF; drained reads then error.
+    eof: bool,
+}
+
+impl TcpTransport {
+    /// Wraps an already-connected stream, switching it to non-blocking
+    /// mode (and disabling Nagle — control frames are latency-sensitive).
+    ///
+    /// # Errors
+    /// Propagates socket-option failures.
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport { stream, outbox: Vec::new(), closed: false, broken: None, eof: false })
+    }
+
+    /// Connects to `addr` (blocking until established) and wraps the
+    /// resulting stream.
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        TcpTransport::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// The local socket address.
+    ///
+    /// # Errors
+    /// Propagates `getsockname` failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.local_addr()
+    }
+
+    /// Writes as much of the outbox as the kernel will take.
+    fn flush_outbox(&mut self) -> Result<(), TransportError> {
+        while !self.outbox.is_empty() {
+            match self.stream.write(&self.outbox) {
+                Ok(0) => return Err(self.fail(TransportError::Closed)),
+                Ok(n) => {
+                    self.outbox.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(self.fail(TransportError::Io(e.kind()))),
+            }
+        }
+        Ok(())
+    }
+
+    fn fail(&mut self, err: TransportError) -> TransportError {
+        self.broken = Some(err);
+        err
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, _now: SimTime, bytes: &[u8]) -> Result<(), TransportError> {
+        if self.closed {
+            return Err(TransportError::Closed);
+        }
+        if let Some(err) = self.broken {
+            return Err(err);
+        }
+        self.outbox.extend_from_slice(bytes);
+        self.flush_outbox()
+    }
+
+    fn recv(&mut self, _now: SimTime) -> Result<Vec<u8>, TransportError> {
+        if self.closed {
+            return Err(TransportError::Closed);
+        }
+        // Opportunistically drain pending writes; send-side backpressure
+        // must not deadlock a driver that only polls recv.
+        if self.broken.is_none() {
+            let _ = self.flush_outbox();
+        }
+        let mut out = Vec::new();
+        let mut buf = [0u8; READ_CHUNK];
+        while out.len() < RECV_BUDGET {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // Surface already-read bytes first; fail next call.
+                    self.broken = Some(TransportError::Io(e.kind()));
+                    break;
+                }
+            }
+        }
+        if out.is_empty() {
+            if let Some(err) = self.broken {
+                return Err(err);
+            }
+            if self.eof {
+                return Err(TransportError::Closed);
+            }
+        }
+        Ok(out)
+    }
+
+    fn readiness(&mut self, _now: SimTime) -> Readiness {
+        if self.closed || self.broken.is_some() || self.eof {
+            return Readiness::Closed;
+        }
+        let mut buf = [0u8; 1];
+        match self.stream.peek(&mut buf) {
+            Ok(0) => Readiness::Closed,
+            Ok(_) => Readiness::Readable,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Readiness::Quiet,
+            Err(_) => Readiness::Closed,
+        }
+    }
+
+    fn close(&mut self) {
+        if !self.closed {
+            let _ = self.flush_outbox();
+            let _ = self.stream.shutdown(Shutdown::Both);
+            self.closed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Loopback pair: (accepted, connected).
+    fn pair() -> (TcpTransport, TcpTransport) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpTransport::connect(addr).expect("connect");
+        let (accepted, _) = listener.accept().expect("accept");
+        (TcpTransport::from_stream(accepted).expect("wrap"), client)
+    }
+
+    /// Drains `t` until `want` bytes arrived (bounded retries — loopback
+    /// delivery is asynchronous but fast).
+    fn recv_exactly(t: &mut TcpTransport, want: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        for _ in 0..1000 {
+            out.extend_from_slice(&t.recv(SimTime::ZERO).expect("recv"));
+            if out.len() >= want {
+                return out;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("only {} of {want} bytes arrived", out.len());
+    }
+
+    #[test]
+    fn round_trips_bytes_both_directions() {
+        let (mut a, mut b) = pair();
+        a.send(SimTime::ZERO, b"ping").unwrap();
+        assert_eq!(recv_exactly(&mut b, 4), b"ping");
+        b.send(SimTime::ZERO, b"pong!").unwrap();
+        assert_eq!(recv_exactly(&mut a, 5), b"pong!");
+    }
+
+    #[test]
+    fn peer_close_surfaces_after_drain() {
+        let (mut a, mut b) = pair();
+        a.send(SimTime::ZERO, b"bye").unwrap();
+        a.close();
+        assert_eq!(recv_exactly(&mut b, 3), b"bye");
+        // Poll until the FIN is visible; then recv must error.
+        for _ in 0..1000 {
+            if b.readiness(SimTime::ZERO) == Readiness::Closed {
+                assert!(b.recv(SimTime::ZERO).is_err());
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("peer close never observed");
+    }
+
+    #[test]
+    fn send_after_local_close_fails() {
+        let (mut a, _b) = pair();
+        a.close();
+        assert_eq!(a.send(SimTime::ZERO, b"x"), Err(TransportError::Closed));
+        assert_eq!(a.recv(SimTime::ZERO), Err(TransportError::Closed));
+    }
+}

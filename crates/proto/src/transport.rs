@@ -1,13 +1,110 @@
-//! In-memory byte-stream transports driven by the simulation clock.
+//! The [`Transport`] abstraction plus the in-memory implementation.
 //!
-//! [`Duplex`] models one control connection: two independent directions,
-//! each a latency-delayed byte stream that deliberately re-chunks writes
-//! (TCP gives no message boundaries), so everything a session receives
-//! has crossed the real framing codec and its reassembly path.
+//! A transport is **one endpoint** of an unreliable, unframed byte
+//! stream. Sessions never see it directly — a driver (an
+//! [`Endpoint`](crate::endpoint::Endpoint) or the measurement engine)
+//! shuttles bytes between sessions and transports. Time is always passed
+//! in explicitly, never read from a clock, so the same trait covers the
+//! deterministic simulated stream and a real socket:
+//!
+//! * [`Duplex`] / [`DuplexEnd`] — the simulated connection: two
+//!   independent latency-delayed directions that deliberately re-chunk
+//!   writes (TCP gives no message boundaries), so everything a session
+//!   receives has crossed the real framing codec and its reassembly path;
+//! * [`TcpTransport`](crate::tcp::TcpTransport) — a non-blocking
+//!   `std::net` socket;
+//! * [`FaultyTransport`](crate::fault::FaultyTransport) — a decorator
+//!   that injects blackholes and disconnects into either of the above.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use flashflow_simnet::time::{SimDuration, SimTime};
+
+/// Everything that can go wrong at the transport layer. Sessions above
+/// the transport treat any of these as a dead connection
+/// ([`AbortReason::ConnectionLost`](crate::msg::AbortReason::ConnectionLost)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The connection was closed (locally or by the peer) and every
+    /// delivered byte has been drained.
+    Closed,
+    /// An OS-level I/O failure (TCP only).
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => f.write_str("connection closed"),
+            TransportError::Io(kind) => write!(f, "transport I/O error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Readiness of a transport endpoint, as reported by
+/// [`Transport::readiness`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Readiness {
+    /// Bytes are available to [`Transport::recv`] right now.
+    Readable,
+    /// Nothing readable at this instant, but the connection is open and
+    /// bytes may yet arrive.
+    Quiet,
+    /// The connection is closed or failed; once drained, `recv` errors.
+    Closed,
+}
+
+/// One endpoint of a byte-stream control connection.
+///
+/// Contract:
+/// * the stream has **no message boundaries** — [`Transport::recv`] may
+///   return any prefix of what was sent, including partial frames;
+/// * delivered bytes preserve send order and are never duplicated;
+/// * `now` is caller-injected; implementations never consult a clock, so
+///   simulated transports stay deterministic and replayable;
+/// * after [`Transport::close`] (or a peer close / failure), `recv`
+///   first drains every byte already delivered, then returns
+///   [`TransportError::Closed`].
+pub trait Transport {
+    /// Queues `bytes` toward the peer.
+    ///
+    /// # Errors
+    /// Fails once the connection is closed or broken.
+    fn send(&mut self, now: SimTime, bytes: &[u8]) -> Result<(), TransportError>;
+
+    /// Drains every byte that has arrived by `now`; an empty vector
+    /// means nothing is available *yet*.
+    ///
+    /// # Errors
+    /// Fails once the connection is closed or broken and drained.
+    fn recv(&mut self, now: SimTime) -> Result<Vec<u8>, TransportError>;
+
+    /// Polls readiness without consuming bytes.
+    fn readiness(&mut self, now: SimTime) -> Readiness;
+
+    /// Closes this endpoint; the peer observes [`Readiness::Closed`]
+    /// after draining. Idempotent.
+    fn close(&mut self);
+}
+
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn send(&mut self, now: SimTime, bytes: &[u8]) -> Result<(), TransportError> {
+        (**self).send(now, bytes)
+    }
+    fn recv(&mut self, now: SimTime) -> Result<Vec<u8>, TransportError> {
+        (**self).recv(now)
+    }
+    fn readiness(&mut self, now: SimTime) -> Readiness {
+        (**self).readiness(now)
+    }
+    fn close(&mut self) {
+        (**self).close();
+    }
+}
 
 /// One direction of a connection.
 #[derive(Debug)]
@@ -97,6 +194,99 @@ impl Duplex {
     pub fn is_idle(&self) -> bool {
         self.a_to_b.is_empty() && self.b_to_a.is_empty()
     }
+
+    /// True while bytes are queued toward `at` (delivered or not).
+    fn has_in_flight(&self, at: End) -> bool {
+        match at {
+            End::A => !self.b_to_a.is_empty(),
+            End::B => !self.a_to_b.is_empty(),
+        }
+    }
+
+    /// True if at least one byte toward `at` is deliverable by `now`.
+    fn peek_deliverable(&self, at: End, now: SimTime) -> bool {
+        let pipe = match at {
+            End::A => &self.b_to_a,
+            End::B => &self.a_to_b,
+        };
+        pipe.queue.front().is_some_and(|(deliver, _)| *deliver <= now)
+    }
+
+    /// Splits the connection into its two [`Transport`] endpoints. The
+    /// halves share this duplex through interior mutability (they stay
+    /// on one thread — cross-thread control connections are what
+    /// [`TcpTransport`](crate::tcp::TcpTransport) is for).
+    pub fn into_endpoints(self) -> (DuplexEnd, DuplexEnd) {
+        let shared = Rc::new(RefCell::new(DuplexShared { duplex: self, closed: [false, false] }));
+        (DuplexEnd { shared: Rc::clone(&shared), end: End::A }, DuplexEnd { shared, end: End::B })
+    }
+}
+
+#[derive(Debug)]
+struct DuplexShared {
+    duplex: Duplex,
+    /// Close flags indexed by `End as usize` ([A, B]).
+    closed: [bool; 2],
+}
+
+impl DuplexShared {
+    fn any_closed(&self) -> bool {
+        self.closed[0] || self.closed[1]
+    }
+}
+
+/// One endpoint of a [`Duplex`], implementing [`Transport`].
+///
+/// Close semantics mirror a real socket: a close on either side stops
+/// new sends, but bytes already in flight toward an endpoint still
+/// deliver (at their latency) before `recv` starts failing.
+#[derive(Debug)]
+pub struct DuplexEnd {
+    shared: Rc<RefCell<DuplexShared>>,
+    end: End,
+}
+
+impl DuplexEnd {
+    /// Which end of the duplex this is.
+    pub fn end(&self) -> End {
+        self.end
+    }
+}
+
+impl Transport for DuplexEnd {
+    fn send(&mut self, now: SimTime, bytes: &[u8]) -> Result<(), TransportError> {
+        let mut shared = self.shared.borrow_mut();
+        if shared.any_closed() {
+            return Err(TransportError::Closed);
+        }
+        shared.duplex.send(self.end, now, bytes);
+        Ok(())
+    }
+
+    fn recv(&mut self, now: SimTime) -> Result<Vec<u8>, TransportError> {
+        let mut shared = self.shared.borrow_mut();
+        let bytes = shared.duplex.recv(self.end, now);
+        if bytes.is_empty() && shared.any_closed() && !shared.duplex.has_in_flight(self.end) {
+            return Err(TransportError::Closed);
+        }
+        Ok(bytes)
+    }
+
+    fn readiness(&mut self, now: SimTime) -> Readiness {
+        let shared = self.shared.borrow();
+        let end = self.end;
+        if shared.duplex.peek_deliverable(end, now) {
+            return Readiness::Readable;
+        }
+        if shared.any_closed() && !shared.duplex.has_in_flight(end) {
+            return Readiness::Closed;
+        }
+        Readiness::Quiet
+    }
+
+    fn close(&mut self) {
+        self.shared.borrow_mut().closed[self.end as usize] = true;
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +318,37 @@ mod tests {
         d.send(End::A, SimTime::ZERO, b"abc");
         d.send(End::A, SimTime::ZERO, b"defg");
         assert_eq!(d.recv(End::B, SimTime::from_secs_f64(0.001)), b"abcdefg");
+    }
+
+    #[test]
+    fn endpoints_exchange_bytes_with_latency() {
+        let (mut a, mut b) = Duplex::new(SimDuration::from_millis(10), 3).into_endpoints();
+        let t0 = SimTime::ZERO;
+        a.send(t0, b"hello").unwrap();
+        assert_eq!(b.readiness(t0), Readiness::Quiet);
+        assert_eq!(b.recv(t0).unwrap(), b"");
+        let t1 = t0 + SimDuration::from_millis(10);
+        assert_eq!(b.readiness(t1), Readiness::Readable);
+        assert_eq!(b.recv(t1).unwrap(), b"hello");
+        b.send(t1, b"hi").unwrap();
+        assert_eq!(a.recv(t1 + SimDuration::from_millis(10)).unwrap(), b"hi");
+    }
+
+    #[test]
+    fn endpoint_close_drains_in_flight_then_fails() {
+        let (mut a, mut b) = Duplex::new(SimDuration::from_millis(10), 64).into_endpoints();
+        let t0 = SimTime::ZERO;
+        a.send(t0, b"last words").unwrap();
+        a.close();
+        // New sends fail on both sides immediately.
+        assert_eq!(a.send(t0, b"x"), Err(TransportError::Closed));
+        assert_eq!(b.send(t0, b"x"), Err(TransportError::Closed));
+        // In-flight bytes still deliver...
+        let t1 = t0 + SimDuration::from_millis(10);
+        assert_eq!(b.readiness(t0), Readiness::Quiet, "in flight, not yet due");
+        assert_eq!(b.recv(t1).unwrap(), b"last words");
+        // ...then the endpoint reports closed.
+        assert_eq!(b.readiness(t1), Readiness::Closed);
+        assert_eq!(b.recv(t1), Err(TransportError::Closed));
     }
 }

@@ -34,12 +34,16 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
         arb_token(),
         arb_fp(),
         (any::<u64>(), any::<u64>(), any::<u64>()),
-        (any::<u32>(), any::<u32>(), 0u8..2, 0u8..6),
+        (any::<u32>(), any::<u32>(), 0u8..2, 0u8..7),
     )
         .prop_map(
             |(variant, token, relay_fp, (a, b, c), (x, y, role, reason))| match variant {
-                0 => Msg::Auth { token, role: PeerRole::from_u8(role).expect("role in range") },
-                1 => Msg::AuthOk { session: a },
+                0 => Msg::Auth {
+                    token,
+                    role: PeerRole::from_u8(role).expect("role in range"),
+                    nonce: c,
+                },
+                1 => Msg::AuthOk { session: a, nonce: c },
                 2 => {
                     Msg::MeasureCmd(MeasureSpec { relay_fp, slot_secs: x, sockets: y, rate_cap: b })
                 }

@@ -1,0 +1,237 @@
+//! One conformance suite, every transport.
+//!
+//! The `Transport` contract (ordered un-duplicated delivery with no
+//! message boundaries, close-drains-then-errors, readiness reporting)
+//! is what lets the sessions and the measurement engine stay identical
+//! across the simulated stream, real TCP, and the fault decorator. This
+//! suite runs the same generic scenarios against all three, including
+//! the two cases that historically break transports: partial-frame
+//! delivery (a length-prefixed frame cut at an arbitrary byte) and a
+//! mid-slot disconnect, which must abort the session in bounded time
+//! rather than wedge it.
+
+use std::net::TcpListener;
+
+use flashflow_proto::endpoint::Endpoint;
+use flashflow_proto::fault::{FaultMode, FaultyTransport};
+use flashflow_proto::frame::{encode, FrameDecoder};
+use flashflow_proto::msg::{MeasureSpec, Msg, PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN};
+use flashflow_proto::session::{
+    CoordPhase, CoordinatorSession, MeasurerAction, MeasurerPhase, MeasurerSession, SessionTimeouts,
+};
+use flashflow_proto::tcp::TcpTransport;
+use flashflow_proto::transport::{Duplex, Readiness, Transport};
+use flashflow_simnet::time::{SimDuration, SimTime};
+
+/// A transport pair under test. `now(round)` supplies the simulated
+/// time for retry round `round` — simulated transports need time to
+/// advance past their latency, TCP needs wall-clock patience (the
+/// helper sleeps between rounds either way).
+struct Pair {
+    name: &'static str,
+    a: Box<dyn Transport>,
+    b: Box<dyn Transport>,
+}
+
+fn now_for(round: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(10 * round)
+}
+
+fn duplex_pair() -> Pair {
+    // 5 ms latency, 5-byte re-chunking: every frame crosses reassembly.
+    let (a, b) = Duplex::new(SimDuration::from_millis(5), 5).into_endpoints();
+    Pair { name: "Duplex", a: Box::new(a), b: Box::new(b) }
+}
+
+fn tcp_pair() -> Pair {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("addr");
+    let client = TcpTransport::connect(addr).expect("connect");
+    let (accepted, _) = listener.accept().expect("accept");
+    let server = TcpTransport::from_stream(accepted).expect("wrap");
+    Pair { name: "TcpTransport", a: Box::new(server), b: Box::new(client) }
+}
+
+fn faulty_pair() -> Pair {
+    // The decorator in its healthy (untripped) state must be a perfect
+    // passthrough over any inner transport.
+    let (a, b) = Duplex::new(SimDuration::from_millis(5), 5).into_endpoints();
+    Pair {
+        name: "FaultyTransport<Duplex>",
+        a: Box::new(FaultyTransport::new(a, FaultMode::Disconnect)),
+        b: Box::new(FaultyTransport::new(b, FaultMode::Blackhole)),
+    }
+}
+
+fn all_pairs() -> Vec<Pair> {
+    vec![duplex_pair(), tcp_pair(), faulty_pair()]
+}
+
+/// Drains `t` until `want` bytes arrived, advancing time and sleeping
+/// between rounds; panics (bounded) if they never do.
+fn recv_exactly(name: &str, t: &mut dyn Transport, want: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    for round in 0..2000 {
+        match t.recv(now_for(round)) {
+            Ok(bytes) => out.extend_from_slice(&bytes),
+            Err(e) => panic!("[{name}] recv failed with {e} after {} bytes", out.len()),
+        }
+        if out.len() >= want {
+            return out;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!("[{name}] only {} of {want} bytes arrived", out.len());
+}
+
+/// Polls until `recv` errors (post-close drain done); bounded.
+fn recv_until_err(name: &str, t: &mut dyn Transport) {
+    for round in 0..2000 {
+        match t.recv(now_for(round)) {
+            Ok(bytes) => assert!(
+                bytes.is_empty(),
+                "[{name}] unexpected bytes after expected close: {bytes:?}"
+            ),
+            Err(_) => return,
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!("[{name}] close never surfaced as a recv error");
+}
+
+#[test]
+fn delivers_ordered_bytes_both_directions() {
+    for mut pair in all_pairs() {
+        let t0 = now_for(0);
+        pair.a.send(t0, b"abc").expect("send");
+        pair.a.send(t0, b"defg").expect("send");
+        assert_eq!(
+            recv_exactly(pair.name, &mut *pair.b, 7),
+            b"abcdefg",
+            "[{}] order across writes",
+            pair.name
+        );
+        pair.b.send(t0, b"up").expect("send");
+        assert_eq!(recv_exactly(pair.name, &mut *pair.a, 2), b"up", "[{}] reverse", pair.name);
+    }
+}
+
+#[test]
+fn partial_frames_reassemble_through_the_codec() {
+    let msg = Msg::Auth { token: [7; AUTH_TOKEN_LEN], role: PeerRole::Measurer, nonce: 0xFEED };
+    let frame = encode(&msg);
+    for mut pair in all_pairs() {
+        // Deliver the frame cut mid-length-prefix and mid-body.
+        let t0 = now_for(0);
+        pair.a.send(t0, &frame[..3]).expect("send head");
+        let mut dec = FrameDecoder::new();
+        dec.push(&recv_exactly(pair.name, &mut *pair.b, 3));
+        assert_eq!(dec.next_msg().expect("no error"), None, "[{}] incomplete", pair.name);
+        pair.a.send(t0, &frame[3..20]).expect("send middle");
+        pair.a.send(t0, &frame[20..]).expect("send tail");
+        dec.push(&recv_exactly(pair.name, &mut *pair.b, frame.len() - 3));
+        assert_eq!(dec.next_msg().expect("no error"), Some(msg), "[{}] reassembled", pair.name);
+    }
+}
+
+#[test]
+fn close_drains_in_flight_bytes_then_errors() {
+    for mut pair in all_pairs() {
+        pair.a.send(now_for(0), b"last words").expect("send");
+        pair.a.close();
+        assert_eq!(recv_exactly(pair.name, &mut *pair.b, 10), b"last words");
+        recv_until_err(pair.name, &mut *pair.b);
+    }
+}
+
+#[test]
+fn readiness_tracks_available_bytes() {
+    for mut pair in all_pairs() {
+        // Nothing sent yet: quiet.
+        assert_eq!(pair.b.readiness(now_for(0)), Readiness::Quiet, "[{}]", pair.name);
+        pair.a.send(now_for(0), b"x").expect("send");
+        // Eventually readable...
+        let mut readable = false;
+        for round in 0..2000 {
+            if pair.b.readiness(now_for(round)) == Readiness::Readable {
+                readable = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(readable, "[{}] sent byte never became readable", pair.name);
+        // ...and quiet again once drained.
+        let last = recv_exactly(pair.name, &mut *pair.b, 1);
+        assert_eq!(last, b"x");
+        assert_eq!(pair.b.readiness(now_for(2000)), Readiness::Quiet, "[{}]", pair.name);
+    }
+}
+
+/// The scenario that motivates the whole error path: a measurer's
+/// connection dies mid-slot. The coordinator session must abort with
+/// `ConnectionLost` within a bounded number of pump rounds — no
+/// timeouts needed, no wedging — and quarantine logic upstream drops the
+/// peer's samples.
+#[test]
+fn mid_slot_disconnect_aborts_in_bounded_rounds() {
+    for base in [duplex_pair(), tcp_pair()] {
+        let name = base.name;
+        let token = [3u8; AUTH_TOKEN_LEN];
+        let timeouts = SessionTimeouts::default();
+        let spec =
+            MeasureSpec { relay_fp: [1; FINGERPRINT_LEN], slot_secs: 30, sockets: 8, rate_cap: 0 };
+        // The coordinator's side of the wire is armed to die after the
+        // handshake traffic (~120 bytes) has crossed it.
+        let faulty = FaultyTransport::new(base.a, FaultMode::Disconnect).trip_after_bytes(40);
+        let mut coord = Endpoint::new(
+            CoordinatorSession::new(token, PeerRole::Measurer, spec, 0xD15C, timeouts),
+            faulty,
+        );
+        let mut meas =
+            Endpoint::new(MeasurerSession::new(token, PeerRole::Measurer, 1, timeouts), base.b);
+        coord.session_mut().start(now_for(0));
+
+        let mut started = false;
+        let mut go_sent = false;
+        let mut reported = 0u32;
+        for round in 0..2000u64 {
+            let now = now_for(round);
+            coord.pump(now);
+            meas.pump(now);
+            // The driver's barrier: one peer, so release as soon as armed.
+            if !go_sent && coord.session().phase() == CoordPhase::Armed {
+                coord.session_mut().go(now);
+                go_sent = true;
+            }
+            while let Some(a) = meas.session_mut().poll_action() {
+                if matches!(a, MeasurerAction::Start { .. }) {
+                    started = true;
+                }
+            }
+            if started && reported < 30 && !meas.is_terminal() {
+                meas.session_mut().report_second(0, 1000);
+                reported += 1;
+            }
+            if coord.is_terminal() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(coord.session().phase(), CoordPhase::Failed, "[{name}] bounded abort");
+        assert!(coord.transport_error().is_some(), "[{name}] failure came from the transport");
+        // The measurer side dies too (reset propagates), or at worst
+        // stays runnable until its own timeout — but with a Disconnect
+        // fault the inner close reaches it promptly here.
+        let mut meas_dead = meas.is_terminal();
+        for round in 0..2000u64 {
+            if meas_dead {
+                break;
+            }
+            meas.pump(now_for(round));
+            meas_dead = meas.is_terminal();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(meas_dead, "[{name}] measurer side observed the disconnect");
+        assert_eq!(meas.session().phase(), MeasurerPhase::Failed, "[{name}]");
+    }
+}

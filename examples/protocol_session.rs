@@ -44,7 +44,7 @@ fn main() {
         params.slot.as_secs(),
         params.sockets
     );
-    let m = measure_via_proto(&mut tor, relay, &team, prior, &params, &mut rng).unwrap();
+    let m = SlotRunner::new(&params).measure(&mut tor, relay, &team, prior, &mut rng).unwrap();
     println!(
         "sessions clean: {} | coordinator frames tx {} rx {}",
         m.clean(),
@@ -81,15 +81,12 @@ fn main() {
         fault: PeerFault::StallAfterSeconds(5),
     }];
     let start = tor.now();
-    let m = run_measurement_via_proto(
+    let m = SlotRunner::new(&params).with_faults(faults).run_one(
         &mut tor,
         relay,
         &assignments,
-        &params,
         TargetBehavior::Honest,
         &mut rng,
-        &ProtoConfig::default(),
-        &faults,
     );
     for f in &m.failures {
         println!("peer {:?} ({:?}) aborted: {}", f.host, f.role, f.reason);

@@ -1,8 +1,9 @@
 //! End-to-end tests of the `flashflow-proto` measurement path: complete
 //! multi-measurer measurements executed entirely through protocol
-//! sessions (the blast loop starts only in response to session actions),
-//! checked against the direct path, plus the failure modes that motivate
-//! the protocol — stalls must abort, not hang.
+//! sessions pumped by the `MeasurementEngine` (the blast loop starts
+//! only in response to session actions), checked against the direct
+//! path, plus the failure modes that motivate the protocol — stalls
+//! must abort, not hang.
 
 use flashflow_repro::core::prelude::*;
 use flashflow_repro::proto::msg::{AbortReason, PeerRole};
@@ -42,7 +43,7 @@ fn protocol_measurement_agrees_with_direct_path() {
     let (mut tor_b, team_b, relay_b) = testbed(600.0);
     let mut rng_b = SimRng::seed_from_u64(1);
     let proto =
-        measure_via_proto(&mut tor_b, relay_b, &team_b, prior, &params, &mut rng_b).unwrap();
+        SlotRunner::new(&params).measure(&mut tor_b, relay_b, &team_b, prior, &mut rng_b).unwrap();
 
     assert!(proto.clean(), "failures: {:?}", proto.failures);
     assert_eq!(proto.measurement.seconds.len(), 30);
@@ -84,15 +85,12 @@ fn stalled_measurer_triggers_abort_not_hang() {
         vec![FaultSpec { item: 0, host: stall_host, fault: PeerFault::StallAfterSeconds(5) }];
 
     let start = tor.now();
-    let proto = run_measurement_via_proto(
+    let proto = SlotRunner::new(&params).with_faults(faults).run_one(
         &mut tor,
         relay,
         &assignments,
-        &params,
         TargetBehavior::Honest,
         &mut rng,
-        &ProtoConfig::default(),
-        &faults,
     );
 
     // The slot terminated in bounded simulated time (slot + handshake +
