@@ -22,7 +22,10 @@
 //! An *item* is one concurrent measurement (one target relay); peers are
 //! grouped by item for the `Go` barrier and completion tracking, which is
 //! what lets a single engine run a whole slot-packed batch — the
-//! ROADMAP's "batch session pumping" scaling step.
+//! ROADMAP's "batch session pumping" scaling step. Engines are fully
+//! independent per item group, which is what
+//! [`ShardedEngine`] exploits to partition a
+//! period's item groups across worker threads.
 //!
 //! Security invariant carried over from the sessions: per-second samples
 //! are quarantined per peer by [`SampleLedger`] and only merged into an
@@ -36,6 +39,16 @@ use flashflow_proto::msg::{AbortReason, MeasureSpec, PeerRole};
 use flashflow_proto::session::{CoordAction, CoordPhase, CoordinatorSession};
 use flashflow_proto::transport::Transport;
 use flashflow_simnet::time::SimTime;
+
+pub use crate::shard::{GroupRunner, PeriodLedger, ShardEvent, ShardedEngine, ShardedRun};
+
+/// Pump rounds one [`MeasurementEngine::step`] will run before declaring
+/// the tick done anyway. Endpoints hang up once their session is
+/// terminal, so a pump loop normally quiesces within a handful of
+/// rounds; this bound is the wall that guarantees a single `step` — and
+/// therefore the hard deadline check — cannot be wedged by a transport
+/// that always claims progress.
+const MAX_PUMP_ROUNDS: usize = 64;
 
 /// Identifies one coordinator↔peer conversation within an engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -296,14 +309,30 @@ impl MeasurementEngine {
         // Timeout failures surface as actions; pick them up in the same
         // tick so the driver sees them at the instant they fired.
         self.drain_actions();
+        // A session that went terminal this tick (timeout, hard wall,
+        // driver abort) still has its dying Abort queued. Flush it now:
+        // drivers stop pumping the moment the engine is finished, and an
+        // unflushed Abort would leave the peer blocked in a pre-Go phase
+        // until its own timeout instead of being told the slot is dead.
+        for c in &mut self.channels {
+            if c.endpoint.is_terminal() {
+                c.endpoint.pump(now);
+            }
+        }
         self.note_completed_items();
     }
 
     /// One full engine tick: pump to quiescence, then
     /// [`MeasurementEngine::finish_tick`]. Returns `true` while the
     /// engine still has live conversations.
+    ///
+    /// Pumping is bounded (64 rounds) so a peer that floods
+    /// bytes forever cannot trap the loop inside one step: its session
+    /// aborts ([`AbortReason::Flooded`] or `Malformed`), its endpoint
+    /// hangs up, and if a transport still claims progress the round
+    /// bound returns control so timeouts and the hard deadline fire.
     pub fn step(&mut self, now: SimTime) -> bool {
-        while self.pump(now) {}
+        self.pump_bounded(now);
         self.finish_tick(now);
         // Barrier releases and aborts queue frames; give them a push so
         // zero-latency transports deliver within the same step. That
@@ -311,10 +340,18 @@ impl MeasurementEngine {
         // pick up any actions and completions it produced — otherwise a
         // conversation finishing here would end run_to_completion with
         // its samples still queued and no ItemComplete ever emitted.
-        while self.pump(now) {}
+        self.pump_bounded(now);
         self.drain_actions();
         self.note_completed_items();
         !self.is_finished()
+    }
+
+    fn pump_bounded(&mut self, now: SimTime) {
+        for _ in 0..MAX_PUMP_ROUNDS {
+            if !self.pump(now) {
+                break;
+            }
+        }
     }
 
     /// Steps the engine on `clock` until every conversation is terminal,
@@ -405,6 +442,131 @@ impl MeasurementEngine {
     }
 }
 
+/// What [`SampleLedger::merged_series`] needs to know about each peer:
+/// who belongs to which item, how their session ended, and what they
+/// were commanded. Implemented by the live [`MeasurementEngine`] and by
+/// the detached, thread-portable [`EngineSnapshot`], so merging works
+/// both inside a driver loop and after a worker thread has torn its
+/// engine (and its non-`Send` transports) down.
+pub trait PeerDirectory {
+    /// Number of conversations.
+    fn peer_count(&self) -> usize;
+    /// The item a peer belongs to.
+    fn item(&self, peer: PeerId) -> usize;
+    /// The peer's final (or current) phase.
+    fn phase(&self, peer: PeerId) -> CoordPhase;
+    /// The role commanded of the peer.
+    fn role(&self, peer: PeerId) -> PeerRole;
+    /// The command the peer's session was built around.
+    fn spec(&self, peer: PeerId) -> MeasureSpec;
+}
+
+impl PeerDirectory for MeasurementEngine {
+    fn peer_count(&self) -> usize {
+        MeasurementEngine::peer_count(self)
+    }
+    fn item(&self, peer: PeerId) -> usize {
+        MeasurementEngine::item(self, peer)
+    }
+    fn phase(&self, peer: PeerId) -> CoordPhase {
+        MeasurementEngine::phase(self, peer)
+    }
+    fn role(&self, peer: PeerId) -> PeerRole {
+        MeasurementEngine::role(self, peer)
+    }
+    fn spec(&self, peer: PeerId) -> MeasureSpec {
+        MeasurementEngine::spec(self, peer)
+    }
+}
+
+/// One peer's record inside an [`EngineSnapshot`].
+#[derive(Debug, Clone, Copy)]
+struct PeerRecord {
+    item: usize,
+    role: PeerRole,
+    spec: MeasureSpec,
+    phase: CoordPhase,
+    frames_tx: u64,
+    frames_rx: u64,
+}
+
+/// A detached, `Send + Clone` record of an engine's conversations —
+/// everything aggregation needs (items, roles, specs, terminal phases,
+/// frame counters) without the engine's transports. Workers in a
+/// [`ShardedEngine`] return one per item
+/// group; [`SampleLedger::merged_series`] accepts it wherever it accepts
+/// the live engine.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    peers: Vec<PeerRecord>,
+    items: usize,
+}
+
+impl EngineSnapshot {
+    /// Number of measurement items (max item index + 1).
+    pub fn item_count(&self) -> usize {
+        self.items
+    }
+
+    /// All peer ids, in assignment order.
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> {
+        (0..self.peers.len()).map(PeerId)
+    }
+
+    /// Control frames (sent, received) by the peer's coordinator session.
+    pub fn frames(&self, peer: PeerId) -> (u64, u64) {
+        let p = &self.peers[peer.0];
+        (p.frames_tx, p.frames_rx)
+    }
+
+    /// True if every conversation ended [`CoordPhase::Done`].
+    pub fn all_clean(&self) -> bool {
+        self.peers.iter().all(|p| p.phase == CoordPhase::Done)
+    }
+}
+
+impl PeerDirectory for EngineSnapshot {
+    fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+    fn item(&self, peer: PeerId) -> usize {
+        self.peers[peer.0].item
+    }
+    fn phase(&self, peer: PeerId) -> CoordPhase {
+        self.peers[peer.0].phase
+    }
+    fn role(&self, peer: PeerId) -> PeerRole {
+        self.peers[peer.0].role
+    }
+    fn spec(&self, peer: PeerId) -> MeasureSpec {
+        self.peers[peer.0].spec
+    }
+}
+
+impl MeasurementEngine {
+    /// Detaches a [`EngineSnapshot`] of every conversation's state.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            peers: self
+                .channels
+                .iter()
+                .map(|c| {
+                    let s = c.endpoint.session();
+                    PeerRecord {
+                        item: c.item,
+                        role: s.role(),
+                        spec: s.spec(),
+                        phase: s.phase(),
+                        frames_tx: s.frames_tx,
+                        frames_rx: s.frames_rx,
+                    }
+                })
+                .collect(),
+            items: self.go_released.len(),
+        }
+    }
+}
+
 /// Quarantined per-second samples, merged only for clean sessions.
 ///
 /// Feed it every event ([`SampleLedger::observe`]); when the engine is
@@ -438,17 +600,18 @@ impl SampleLedger {
 
     /// Merges the series of `item`: measurement bytes per second from
     /// clean measurer sessions, background bytes per second from clean
-    /// target sessions.
-    pub fn merged_series(&self, engine: &MeasurementEngine, item: usize) -> (Vec<f64>, Vec<f64>) {
+    /// target sessions. `dir` is the live engine or a detached
+    /// [`EngineSnapshot`].
+    pub fn merged_series(&self, dir: &impl PeerDirectory, item: usize) -> (Vec<f64>, Vec<f64>) {
         let mut x = Vec::new();
         let mut y = Vec::new();
         for (ix, samples) in self.per_peer.iter().enumerate() {
             let peer = PeerId(ix);
-            if engine.item(peer) != item || engine.phase(peer) != CoordPhase::Done {
+            if dir.item(peer) != item || dir.phase(peer) != CoordPhase::Done {
                 continue;
             }
-            let slot_secs = engine.spec(peer).slot_secs;
-            let series = match engine.role(peer) {
+            let slot_secs = dir.spec(peer).slot_secs;
+            let series = match dir.role(peer) {
                 PeerRole::Measurer => &mut x,
                 PeerRole::Target => &mut y,
             };
@@ -462,7 +625,7 @@ impl SampleLedger {
                 if series.len() <= j {
                     series.resize(j + 1, 0.0);
                 }
-                series[j] += match engine.role(peer) {
+                series[j] += match dir.role(peer) {
                     PeerRole::Measurer => measured_bytes as f64,
                     PeerRole::Target => bg_bytes as f64,
                 };
@@ -650,6 +813,159 @@ mod tests {
             "{events:?}"
         );
         assert_eq!(engine.phase(peer), CoordPhase::Failed);
+    }
+
+    #[test]
+    fn hard_deadline_during_handshake_aborts_item_group_cleanly() {
+        // One item, two peers: A completes the handshake and blocks on
+        // the per-item Go barrier; B is blackholed mid-handshake so the
+        // barrier never releases. The hard deadline lands *inside* the
+        // handshake window (session timeouts are absurdly long) and must
+        // abort the whole item group: engine terminal, ItemComplete
+        // emitted, no Go ever released, and peer A's own session is not
+        // left stranded in a pre-Go phase.
+        let token = [9u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts {
+            handshake: SimDuration::from_secs(1_000_000),
+            report: SimDuration::from_secs(1_000_000),
+        };
+        let mut builder = MeasurementEngine::builder();
+
+        let (ca, cb) = Duplex::loopback().into_endpoints();
+        let peer_a = builder.add_peer(
+            0,
+            CoordinatorSession::new(token, PeerRole::Measurer, spec(30), 11, t),
+            Box::new(ca),
+        );
+        let mut local_a = Endpoint::new(MeasurerSession::new(token, PeerRole::Measurer, 1, t), cb);
+
+        let (ca2, _cb2) = Duplex::loopback().into_endpoints();
+        let blackholed = FaultyTransport::new(ca2, FaultMode::Blackhole).trip_at(SimTime::ZERO);
+        let peer_b = builder.add_peer(
+            0,
+            CoordinatorSession::new(token, PeerRole::Measurer, spec(30), 12, t),
+            Box::new(blackholed),
+        );
+
+        let mut engine = builder.hard_deadline(SimTime::from_secs(3)).build(SimTime::ZERO);
+        let mut events = Vec::new();
+        for tick in 0..10u64 {
+            let now = SimTime::from_secs(tick);
+            loop {
+                let moved = engine.pump(now) | local_a.pump(now);
+                if !moved {
+                    break;
+                }
+            }
+            while local_a.session_mut().poll_action().is_some() {}
+            local_a.tick(now);
+            engine.finish_tick(now);
+            while let Some(ev) = engine.poll_event() {
+                events.push(ev);
+            }
+            if engine.is_finished() {
+                break;
+            }
+        }
+        assert!(engine.is_finished(), "deadline did not end the group: {events:?}");
+        assert!(
+            !events.iter().any(|e| matches!(e, EngineEvent::GoReleased { .. })),
+            "no Go can release with a peer stuck in the handshake: {events:?}"
+        );
+        for peer in [peer_a, peer_b] {
+            assert!(
+                events.contains(&EngineEvent::PeerFailed { peer, reason: AbortReason::Shutdown }),
+                "{events:?}"
+            );
+        }
+        assert_eq!(
+            events.iter().filter(|e| matches!(e, EngineEvent::ItemComplete { item: 0 })).count(),
+            1,
+            "{events:?}"
+        );
+        // Peer A got the coordinator's Abort and left its pre-Go phase.
+        for tick in 10..20u64 {
+            local_a.pump(SimTime::from_secs(tick));
+        }
+        assert!(local_a.is_terminal(), "peer left blocked on the Go barrier");
+    }
+
+    #[test]
+    fn report_flood_is_dropped_with_flooded_not_buffered() {
+        use flashflow_proto::frame::{encode, FrameDecoder};
+        use flashflow_proto::msg::Msg;
+        use flashflow_proto::session::DEFAULT_REPORT_AHEAD_CAP;
+
+        // A protocol-fluent but hostile peer: answers the handshake
+        // correctly, then blasts the entire 30-second slot's reports the
+        // instant it sees Go (plus invented extras) — the SecondReport
+        // flood from the ROADMAP's backpressure item.
+        let token = [9u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let mut builder = MeasurementEngine::builder();
+        let (ca, mut flood_end) = Duplex::loopback().into_endpoints();
+        let peer = builder.add_peer(
+            0,
+            CoordinatorSession::new(token, PeerRole::Measurer, spec(30), 21, t),
+            Box::new(ca),
+        );
+        let mut engine = builder.hard_deadline(SimTime::from_secs(60)).build(SimTime::ZERO);
+
+        let mut dec = FrameDecoder::new();
+        let mut events = Vec::new();
+        for tick in 0..10u64 {
+            let now = SimTime::from_secs(tick);
+            engine.step(now);
+            let bytes = flood_end.recv(now).unwrap_or_default();
+            dec.push(&bytes);
+            while let Ok(Some(msg)) = dec.next_msg() {
+                match msg {
+                    Msg::Auth { nonce, .. } => {
+                        let _ = flood_end.send(now, &encode(&Msg::AuthOk { session: 1, nonce }));
+                    }
+                    Msg::MeasureCmd(_) => {
+                        let _ = flood_end.send(now, &encode(&Msg::Ready));
+                    }
+                    Msg::Go => {
+                        for second in 0..30u32 {
+                            let _ = flood_end.send(
+                                now,
+                                &encode(&Msg::SecondReport {
+                                    second,
+                                    bg_bytes: 0,
+                                    measured_bytes: u64::MAX / 2,
+                                }),
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            while let Some(ev) = engine.poll_event() {
+                events.push(ev);
+            }
+            if engine.is_finished() {
+                break;
+            }
+        }
+        assert!(
+            events.contains(&EngineEvent::PeerFailed { peer, reason: AbortReason::Flooded }),
+            "{events:?}"
+        );
+        // The buffered samples are bounded by the ahead cap (plus a tick
+        // or two of clock slack), not by how much the peer sent; and the
+        // quarantine drops even those.
+        let samples = events.iter().filter(|e| matches!(e, EngineEvent::Sample { .. })).count();
+        assert!(
+            samples <= DEFAULT_REPORT_AHEAD_CAP as usize + 3,
+            "{samples} samples buffered from a flood"
+        );
+        let mut ledger = SampleLedger::new();
+        for ev in &events {
+            ledger.observe(ev);
+        }
+        let (x, _) = ledger.merged_series(&engine, 0);
+        assert!(x.is_empty(), "a flooding peer's samples must never merge: {x:?}");
     }
 
     #[test]

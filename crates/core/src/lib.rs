@@ -23,6 +23,7 @@
 //! | [`alloc`] | §4.2 | greedy capacity allocation |
 //! | [`measure`] | §4.1 | one (or many concurrent) measurement slots |
 //! | [`engine`] | §4.1, §7 | transport-agnostic coordinator event loop (`MeasurementEngine`) |
+//! | [`shard`] | §4.3, §7 | sharding a period's item groups across engines and worker threads (`ShardedEngine`) |
 //! | [`proto_driver`] | §4.1 | the same slots driven end-to-end through the `flashflow-proto` control protocol over the engine |
 //! | [`verify`] | §4.1, §5 | random cell spot-checks |
 //! | [`sequence`] | §4.2 | adaptive re-measurement with doubling |
@@ -68,6 +69,7 @@ pub mod proto_driver;
 pub mod schedule;
 pub mod security;
 pub mod sequence;
+pub mod shard;
 pub mod sybil;
 pub mod team;
 pub mod verify;
@@ -79,7 +81,10 @@ pub mod prelude {
     pub use crate::alloc::{greedy_allocate, greedy_allocate_rates, AllocError};
     pub use crate::bwauth::{aggregate_bwauths, BandwidthFile, BwAuth, BwEntry, MeasureBackend};
     pub use crate::dynamic::{adjust_weights, DynamicPolicy, DynamicReport};
-    pub use crate::engine::{EngineBuilder, EngineEvent, MeasurementEngine, PeerId, SampleLedger};
+    pub use crate::engine::{
+        EngineBuilder, EngineEvent, EngineSnapshot, MeasurementEngine, PeerDirectory, PeerId,
+        SampleLedger,
+    };
     pub use crate::measure::{
         assignments_for, measure_once, run_concurrent_measurements, run_measurement, Assignment,
         BatchItem, Measurement, SecondSample,
@@ -89,10 +94,6 @@ pub mod prelude {
         fingerprint_for, FaultSpec, PeerFailure, PeerFault, ProtoConfig, ProtoMeasurement,
         SlotRunner,
     };
-    #[allow(deprecated)]
-    pub use crate::proto_driver::{
-        measure_via_proto, run_concurrent_measurements_via_proto, run_measurement_via_proto,
-    };
     pub use crate::schedule::{
         assign_new_relay, build_randomized_schedule, greedy_pack, Planned, Schedule,
     };
@@ -100,6 +101,7 @@ pub mod prelude {
         capacity_on_demand_failure_probability, max_inflation_factor, summarize,
     };
     pub use crate::sequence::{measure_relay, new_relay_prior, SequenceEnd, SequenceOutcome};
+    pub use crate::shard::{GroupRunner, PeriodLedger, ShardEvent, ShardedEngine, ShardedRun};
     pub use crate::sybil::{measure_family, FamilyMeasurement};
     pub use crate::team::{Measurer, Team};
     pub use crate::verify::{evasion_probability, spot_check, TargetBehavior, VerificationOutcome};

@@ -4,22 +4,28 @@
 //! blast loop directly — coordinator and measurers share memory. This
 //! module is the production-shaped path: a [`SlotRunner`] drives each
 //! measurer and the target relay through `flashflow-proto` sessions
-//! pumped by the transport-agnostic [`MeasurementEngine`], over
-//! simulated byte-stream transports, and **only** session actions start
-//! or stop traffic. Per-second byte counts cross the wire as
-//! `SecondReport` frames; the estimate is computed from what the frames
-//! said, not from shared state.
+//! pumped by transport-agnostic engines, over simulated byte-stream
+//! transports, and **only** session actions start or stop traffic.
+//! Per-second byte counts cross the wire as `SecondReport` frames; the
+//! estimate is computed from what the frames said, not from shared
+//! state.
 //!
-//! The layering: the engine owns the coordinator side (sessions,
-//! barriers, timeouts, events) and knows nothing about the fluid
-//! simulator; this module owns the *peer* side — it binds each
-//! `MeasurerSession` to the other end of the simulated link, converts
-//! ticked flow bytes into `report_second` calls, starts and stops blast
-//! flows in response to session actions, and aggregates the engine's
-//! [`EngineEvent`]s into a
-//! [`ProtoMeasurement`]. Swap this module's transports and peer loop
-//! for TCP sockets and real processes and the engine code does not
-//! change — see `examples/tcp_coordinator.rs`.
+//! The layering: each batch item is its own item group with its own
+//! [`MeasurementEngine`], and the whole slot-packed batch runs through a
+//! cooperative [`ShardedEngine`] — the same partitioning that
+//! [`ShardedEngine::run_partitioned`] spreads across worker threads in
+//! deployment (the fluid simulator itself is single-threaded, so here
+//! the groups interleave on one thread). The engines own the
+//! coordinator side (sessions, barriers, timeouts, events) and know
+//! nothing about the simulator; this module owns the *peer* side — it
+//! binds each `MeasurerSession` to the other end of the simulated link,
+//! converts ticked flow bytes into `report_second` calls, starts and
+//! stops blast flows in response to session actions, and aggregates the
+//! fan-in [`ShardEvent`] stream into [`ProtoMeasurement`]s via the
+//! shared [`PeriodLedger`]. Swap this module's transports and peer loop
+//! for TCP sockets and real measurer processes and the engine code does
+//! not change — see `examples/tcp_coordinator.rs` and the
+//! `flashflow-measurer` binary crate.
 //!
 //! One slot, per peer (measurers and the reporting target):
 //!
@@ -55,9 +61,10 @@ use flashflow_tornet::netbuild::TorNet;
 use flashflow_tornet::relay::RelayId;
 
 use crate::alloc::AllocError;
-use crate::engine::{EngineEvent, MeasurementEngine, SampleLedger};
+use crate::engine::{EngineBuilder, EngineEvent, MeasurementEngine};
 use crate::measure::{assignments_for, build_second_samples, BatchItem, Measurement};
 use crate::params::Params;
+use crate::shard::{PeriodLedger, ShardEvent, ShardedEngine};
 use crate::team::Team;
 use crate::verify::{spot_check, TargetBehavior};
 
@@ -255,11 +262,17 @@ impl<'a> SlotRunner<'a> {
         assert!(slot_secs > 0, "slot must be at least one second");
         let now0 = tor.now();
 
-        // Build every conversation: the engine gets the coordinator half
-        // of each link, this runner keeps the peer half.
-        let mut builder = MeasurementEngine::builder();
+        // Build every conversation: one engine (item group) per batch
+        // item — the period partitioning ShardedEngine is built around —
+        // with the coordinator half of each link in the engine and the
+        // peer half kept by this runner. `locals_of[g]` maps a group's
+        // dense PeerIds back to this runner's flat peer list.
+        let mut builders: Vec<EngineBuilder> = Vec::new();
         let mut locals: Vec<LocalPeer> = Vec::new();
+        let mut locals_of: Vec<Vec<usize>> = Vec::new();
         for (ix, item) in items.iter().enumerate() {
+            let mut builder = MeasurementEngine::builder();
+            let mut of_group = Vec::new();
             let fp = fingerprint_for(item.target);
             let active: Vec<_> =
                 item.assignments.iter().filter(|a| !a.allocation.is_zero()).collect();
@@ -273,6 +286,7 @@ impl<'a> SlotRunner<'a> {
                 };
                 let fault =
                     self.faults.iter().find(|f| f.item == ix && f.host == a.host).map(|f| f.fault);
+                of_group.push(locals.len());
                 self.add_peer(
                     &mut builder,
                     &mut locals,
@@ -287,6 +301,7 @@ impl<'a> SlotRunner<'a> {
             }
             // The target relay's reporting session.
             let spec = MeasureSpec { relay_fp: fp, slot_secs, sockets: 0, rate_cap: 0 };
+            of_group.push(locals.len());
             self.add_peer(
                 &mut builder,
                 &mut locals,
@@ -298,9 +313,12 @@ impl<'a> SlotRunner<'a> {
                 None,
                 rng,
             );
+            builders.push(builder);
+            locals_of.push(of_group);
         }
-        let mut engine = builder.build(now0);
-        let mut ledger = SampleLedger::new();
+        let mut sharded =
+            ShardedEngine::from_engines(builders.into_iter().map(|b| b.build(now0)).collect());
+        let mut ledger = PeriodLedger::new(items.len());
 
         // Per-item records, filled from engine events.
         let mut failures: Vec<Vec<PeerFailure>> = vec![Vec::new(); items.len()];
@@ -314,10 +332,10 @@ impl<'a> SlotRunner<'a> {
             + SimDuration::from_secs(30);
 
         let dt = tor.net.engine().tick_duration().as_secs_f64();
-        while !engine.is_finished() {
+        while !sharded.is_finished() {
             let now = tor.now();
             if now >= hard_deadline {
-                engine.abort_all(AbortReason::Shutdown);
+                sharded.abort_all(AbortReason::Shutdown);
             }
 
             tor.tick();
@@ -367,9 +385,9 @@ impl<'a> SlotRunner<'a> {
             }
 
             // Pump frames until this tick moves no more bytes, across
-            // both halves of every conversation.
+            // both halves of every conversation in every group.
             loop {
-                let mut moved = engine.pump(now);
+                let mut moved = sharded.pump(now);
                 for p in locals.iter_mut() {
                     moved |= p.endpoint.pump(now);
                 }
@@ -440,32 +458,34 @@ impl<'a> SlotRunner<'a> {
             }
 
             // Coordinator side: actions → events, Go barriers, timeouts.
-            engine.finish_tick(now);
+            sharded.finish_tick(now);
             // Peer-side liveness: a peer mid-handshake whose coordinator
             // went silent gives up too.
             for p in locals.iter_mut() {
                 p.endpoint.tick(now);
             }
 
-            // Consume the tick's events.
-            while let Some(event) = engine.poll_event() {
-                ledger.observe(&event);
+            // Consume the tick's fan-in stream. Group indices are batch
+            // item indices; PeerIds are dense within their group.
+            while let Some(shard_event) = sharded.poll_event() {
+                ledger.observe(&shard_event);
+                let ShardEvent { group, event } = shard_event;
                 match event {
                     EngineEvent::PeerFailed { peer, reason } => {
-                        let local = &locals[peer.index()];
+                        let local = &locals[locals_of[group][peer.index()]];
                         failures[local.item].push(PeerFailure {
                             host: local.host,
                             role: local.role,
                             reason,
                         });
                     }
-                    EngineEvent::ItemComplete { item } => {
+                    EngineEvent::ItemComplete { .. } => {
                         // Tear the item down so the network returns to
                         // normal.
-                        if governor_on[item] {
-                            tor.end_measurement(items[item].target);
+                        if governor_on[group] {
+                            tor.end_measurement(items[group].target);
                         }
-                        for p in locals.iter().filter(|p| p.item == item) {
+                        for p in locals.iter().filter(|p| p.item == group) {
                             for f in &p.flows {
                                 tor.net.engine_mut().stop_flow(*f);
                             }
@@ -484,7 +504,7 @@ impl<'a> SlotRunner<'a> {
             .enumerate()
             .map(|(ix, item)| {
                 let ratio = tor.relay(item.target).config.ratio;
-                let (x, y) = ledger.merged_series(&engine, ix);
+                let (x, y) = ledger.merged_series(ix, sharded.group(ix), 0);
                 let seconds = build_second_samples(&x, &y, ratio);
                 let z_values: Vec<f64> = seconds.iter().map(|s| s.z).collect();
                 let estimate = Rate::from_bytes_per_sec(median(&z_values).unwrap_or(0.0));
@@ -502,8 +522,9 @@ impl<'a> SlotRunner<'a> {
                     .map(|a| a.allocation)
                     .sum();
                 let (mut frames_tx, mut frames_rx) = (0u64, 0u64);
-                for peer in engine.peers().filter(|p| engine.item(*p) == ix) {
-                    let (tx, rx) = engine.frames(peer);
+                let group = sharded.group(ix);
+                for peer in group.peers() {
+                    let (tx, rx) = group.frames(peer);
                     frames_tx += tx;
                     frames_rx += rx;
                 }
@@ -572,7 +593,9 @@ impl<'a> SlotRunner<'a> {
         let nonce = rng.next_u64();
         let coord = CoordinatorSession::new(token, role, spec, nonce, self.cfg.timeouts);
         let (coord_end, peer_end) = self.cfg.link().into_endpoints();
-        builder.add_peer(item, coord, Box::new(coord_end));
+        // Each batch item is its own single-item engine: group-local
+        // item index 0; `item` remains the batch index on the LocalPeer.
+        builder.add_peer(0, coord, Box::new(coord_end));
         let session = MeasurerSession::new(token, role, rng.next_u64(), self.cfg.timeouts);
         locals.push(LocalPeer {
             item,
@@ -588,67 +611,6 @@ impl<'a> SlotRunner<'a> {
             started: false,
         });
     }
-}
-
-/// Runs a batch of concurrent measurements entirely through
-/// `flashflow-proto` sessions.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SlotRunner::new(params).with_config(cfg).with_faults(faults).run(...)` \
-            (or `MeasurementEngine` directly for custom transports)"
-)]
-pub fn run_concurrent_measurements_via_proto(
-    tor: &mut TorNet,
-    items: &[BatchItem],
-    params: &Params,
-    rng: &mut SimRng,
-    cfg: &ProtoConfig,
-    faults: &[FaultSpec],
-) -> Vec<ProtoMeasurement> {
-    SlotRunner::new(params).with_config(*cfg).with_faults(faults.to_vec()).run(tor, items, rng)
-}
-
-/// Runs one protocol-driven measurement of `target` with the given
-/// assignments.
-///
-/// # Panics
-/// Panics if no assignment participates.
-#[deprecated(since = "0.2.0", note = "use `SlotRunner::run_one`")]
-#[allow(clippy::too_many_arguments)]
-pub fn run_measurement_via_proto(
-    tor: &mut TorNet,
-    target: RelayId,
-    assignments: &[crate::measure::Assignment],
-    params: &Params,
-    behavior: TargetBehavior,
-    rng: &mut SimRng,
-    cfg: &ProtoConfig,
-    faults: &[FaultSpec],
-) -> ProtoMeasurement {
-    SlotRunner::new(params).with_config(*cfg).with_faults(faults.to_vec()).run_one(
-        tor,
-        target,
-        assignments,
-        behavior,
-        rng,
-    )
-}
-
-/// Convenience: allocate from `team` for prior `z0` and run one
-/// protocol-driven measurement of an honest target.
-///
-/// # Errors
-/// Propagates allocation failure when the team lacks capacity.
-#[deprecated(since = "0.2.0", note = "use `SlotRunner::measure`")]
-pub fn measure_via_proto(
-    tor: &mut TorNet,
-    target: RelayId,
-    team: &Team,
-    z0: Rate,
-    params: &Params,
-    rng: &mut SimRng,
-) -> Result<ProtoMeasurement, AllocError> {
-    SlotRunner::new(params).measure(tor, target, team, z0, rng)
 }
 
 #[cfg(test)]
@@ -692,29 +654,6 @@ mod tests {
         // SlotDone back from each.
         assert_eq!(m.frames_tx, 2 * 3);
         assert_eq!(m.frames_rx, 2 * 33);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_entry_points_still_work() {
-        // One release of backward compatibility: the old free functions
-        // must produce the same result as the SlotRunner they wrap.
-        let (mut tor, team, relay) = testbed(250.0);
-        let params = Params::paper();
-        let mut rng = SimRng::seed_from_u64(7);
-        let via_shim =
-            measure_via_proto(&mut tor, relay, &team, Rate::from_mbit(250.0), &params, &mut rng)
-                .unwrap();
-        let (mut tor2, team2, relay2) = testbed(250.0);
-        let mut rng2 = SimRng::seed_from_u64(7);
-        let via_runner = SlotRunner::new(&params)
-            .measure(&mut tor2, relay2, &team2, Rate::from_mbit(250.0), &mut rng2)
-            .unwrap();
-        assert_eq!(
-            via_shim.measurement.estimate.bytes_per_sec(),
-            via_runner.measurement.estimate.bytes_per_sec()
-        );
-        assert_eq!(via_shim.frames_rx, via_runner.frames_rx);
     }
 
     #[test]

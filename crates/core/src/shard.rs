@@ -1,0 +1,591 @@
+//! Sharding a measurement period across engines — and across cores.
+//!
+//! A slot-packed period measures many items at once, and
+//! [`MeasurementEngine`]s are fully independent per item group: no
+//! session, barrier, or timeout ever crosses a group boundary. This
+//! module exploits that in two complementary shapes, both fanning their
+//! [`EngineEvent`]s into one ordered stream of [`ShardEvent`]s and
+//! feeding one shared [`PeriodLedger`]:
+//!
+//! * **Cooperative** — [`ShardedEngine`] holds one engine per item group
+//!   and interleaves them on the caller's thread, one tick at a time.
+//!   This is how the deterministic fluid simulation runs a period
+//!   (`SlotRunner` in [`crate::proto_driver`]): the simulator itself is
+//!   single-threaded, but the period is already partitioned, so the
+//!   driving layer is shard-shaped end to end.
+//! * **Partitioned** — [`ShardedEngine::run_partitioned`] spreads item
+//!   groups across N worker threads. Each worker builds its own engine
+//!   *inside* the worker (transports need not be `Send`; `TcpTransport`
+//!   connections to real measurer processes and thread-local simulated
+//!   `Duplex` pairs both work), runs it to completion, and streams
+//!   events through a `std::sync::mpsc` channel back to the caller. The
+//!   worker returns a detached [`EngineSnapshot`], which is all
+//!   aggregation needs once the engine (and its transports) are gone.
+//!
+//! Ordering contract of the fan-in: events of one group arrive in
+//! exactly the order its engine emitted them; events of different
+//! groups interleave in completion order. Per-item aggregation only ever
+//! looks within a group, so this is as strong an ordering as the math
+//! needs — and it is what makes the stream *mergeable* at all without a
+//! global barrier per tick.
+//!
+//! A worker that panics poisons nothing: the run loop drains what
+//! arrived, then the scope join propagates the panic to the caller.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+use flashflow_proto::msg::AbortReason;
+use flashflow_simnet::time::SimTime;
+
+use crate::engine::{EngineEvent, EngineSnapshot, MeasurementEngine, PeerDirectory, SampleLedger};
+
+/// One engine event, tagged with the item group it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardEvent {
+    /// Index of the item group (dense, assignment order).
+    pub group: usize,
+    /// The engine's event.
+    pub event: EngineEvent,
+}
+
+/// One unit of partitioned work: builds and drives one item group's
+/// engine on whatever worker thread picks it up, emitting every event in
+/// order and returning the detached snapshot for aggregation.
+///
+/// Implemented for any `FnOnce(&mut dyn FnMut(EngineEvent)) ->
+/// EngineSnapshot + Send` closure, which is the common case: capture the
+/// group's addresses/specs, build transports and the engine inside the
+/// closure, run to completion, snapshot.
+pub trait GroupRunner: Send {
+    /// Runs the group to completion. `emit` must be called with every
+    /// engine event, in engine order.
+    fn run(self: Box<Self>, emit: &mut dyn FnMut(EngineEvent)) -> EngineSnapshot;
+}
+
+impl<F> GroupRunner for F
+where
+    F: FnOnce(&mut dyn FnMut(EngineEvent)) -> EngineSnapshot + Send,
+{
+    fn run(self: Box<Self>, emit: &mut dyn FnMut(EngineEvent)) -> EngineSnapshot {
+        (*self)(emit)
+    }
+}
+
+/// The period's shared sample ledger: one quarantine per item group,
+/// fed from the fan-in event stream. Samples merge per group exactly as
+/// [`SampleLedger`] does per engine — a peer contributes only if its
+/// session ended cleanly.
+#[derive(Debug)]
+pub struct PeriodLedger {
+    groups: Vec<SampleLedger>,
+}
+
+impl PeriodLedger {
+    /// A ledger for `groups` item groups.
+    pub fn new(groups: usize) -> Self {
+        PeriodLedger { groups: (0..groups).map(|_| SampleLedger::new()).collect() }
+    }
+
+    /// Records sample events; ignores everything else.
+    pub fn observe(&mut self, ev: &ShardEvent) {
+        self.groups[ev.group].observe(&ev.event);
+    }
+
+    /// The per-group ledger.
+    pub fn group(&self, group: usize) -> &SampleLedger {
+        &self.groups[group]
+    }
+
+    /// Merges group-local `item`'s series using `dir` (that group's live
+    /// engine or snapshot). See [`SampleLedger::merged_series`].
+    pub fn merged_series(
+        &self,
+        group: usize,
+        dir: &impl PeerDirectory,
+        item: usize,
+    ) -> (Vec<f64>, Vec<f64>) {
+        self.groups[group].merged_series(dir, item)
+    }
+}
+
+/// Everything a partitioned run produced: the fan-in event stream, one
+/// snapshot per group, and the shared ledger.
+#[derive(Debug)]
+pub struct ShardedRun {
+    /// Every event, group-local order preserved.
+    pub events: Vec<ShardEvent>,
+    /// Final state of each group's engine, indexed by group.
+    pub snapshots: Vec<EngineSnapshot>,
+    /// The shared sample quarantine, already fed with every event.
+    pub ledger: PeriodLedger,
+}
+
+impl ShardedRun {
+    /// Merges group-local `item`'s clean series (see
+    /// [`SampleLedger::merged_series`]).
+    pub fn merged_series(&self, group: usize, item: usize) -> (Vec<f64>, Vec<f64>) {
+        self.ledger.merged_series(group, &self.snapshots[group], item)
+    }
+
+    /// True if every conversation of every group ended cleanly.
+    pub fn all_clean(&self) -> bool {
+        self.snapshots.iter().all(EngineSnapshot::all_clean)
+    }
+}
+
+enum WorkerMsg {
+    Event(usize, EngineEvent),
+    Done(usize, EngineSnapshot),
+}
+
+/// A period's item groups, one [`MeasurementEngine`] each, driven as a
+/// unit. See the [module docs](self) for the two driving shapes.
+pub struct ShardedEngine {
+    groups: Vec<MeasurementEngine>,
+    events: VecDeque<ShardEvent>,
+}
+
+impl ShardedEngine {
+    /// Wraps one already-built engine per item group for cooperative
+    /// (caller-threaded) driving.
+    pub fn from_engines(groups: Vec<MeasurementEngine>) -> Self {
+        ShardedEngine { groups, events: VecDeque::new() }
+    }
+
+    /// Number of item groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// One group's engine (phase/role/frame queries, ledger merging).
+    pub fn group(&self, group: usize) -> &MeasurementEngine {
+        &self.groups[group]
+    }
+
+    /// One group's engine, mutably (driver-side aborts).
+    pub fn group_mut(&mut self, group: usize) -> &mut MeasurementEngine {
+        &mut self.groups[group]
+    }
+
+    /// Moves bytes once on every group's channels; `true` if anything
+    /// moved anywhere.
+    pub fn pump(&mut self, now: SimTime) -> bool {
+        let mut moved = false;
+        for g in &mut self.groups {
+            moved |= g.pump(now);
+        }
+        moved
+    }
+
+    /// Completes the tick on every group (see
+    /// [`MeasurementEngine::finish_tick`]) and collects their events
+    /// into the fan-in stream.
+    pub fn finish_tick(&mut self, now: SimTime) {
+        for (ix, g) in self.groups.iter_mut().enumerate() {
+            g.finish_tick(now);
+            while let Some(event) = g.poll_event() {
+                self.events.push_back(ShardEvent { group: ix, event });
+            }
+        }
+    }
+
+    /// One full tick on every group (see [`MeasurementEngine::step`]);
+    /// `true` while any group still has live conversations.
+    pub fn step(&mut self, now: SimTime) -> bool {
+        let mut live = false;
+        for (ix, g) in self.groups.iter_mut().enumerate() {
+            live |= g.step(now);
+            while let Some(event) = g.poll_event() {
+                self.events.push_back(ShardEvent { group: ix, event });
+            }
+        }
+        live
+    }
+
+    /// Next event from the fan-in stream, if any.
+    pub fn poll_event(&mut self) -> Option<ShardEvent> {
+        self.events.pop_front()
+    }
+
+    /// True once every group's conversations are terminal.
+    pub fn is_finished(&self) -> bool {
+        self.groups.iter().all(MeasurementEngine::is_finished)
+    }
+
+    /// Aborts every live conversation of every group.
+    pub fn abort_all(&mut self, reason: AbortReason) {
+        for g in &mut self.groups {
+            g.abort_all(reason);
+        }
+    }
+
+    /// Detached snapshots, indexed by group.
+    pub fn snapshots(&self) -> Vec<EngineSnapshot> {
+        self.groups.iter().map(MeasurementEngine::snapshot).collect()
+    }
+
+    /// Runs `groups` to completion across at most `shards` worker
+    /// threads, returning the fan-in stream, snapshots, and the shared
+    /// ledger. Groups are pulled from a shared queue, so a slow group
+    /// (a stalling peer riding its timeouts) delays only its own worker
+    /// while the rest of the period proceeds.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero, and propagates any worker panic.
+    pub fn run_partitioned(groups: Vec<Box<dyn GroupRunner>>, shards: usize) -> ShardedRun {
+        assert!(shards > 0, "at least one shard required");
+        let n = groups.len();
+        let queue: Mutex<VecDeque<(usize, Box<dyn GroupRunner>)>> =
+            Mutex::new(groups.into_iter().enumerate().collect());
+        let workers = shards.min(n.max(1));
+        let (tx, rx) = mpsc::channel::<WorkerMsg>();
+
+        let mut events: Vec<ShardEvent> = Vec::new();
+        let mut snapshots: Vec<Option<EngineSnapshot>> = (0..n).map(|_| None).collect();
+        let mut ledger = PeriodLedger::new(n);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let queue = &queue;
+                scope.spawn(move || loop {
+                    let job = queue.lock().expect("queue lock").pop_front();
+                    let Some((group, runner)) = job else { return };
+                    let snapshot = runner.run(&mut |event| {
+                        let _ = tx.send(WorkerMsg::Event(group, event));
+                    });
+                    let _ = tx.send(WorkerMsg::Done(group, snapshot));
+                });
+            }
+            drop(tx);
+            let mut done = 0usize;
+            while done < n {
+                match rx.recv() {
+                    Ok(WorkerMsg::Event(group, event)) => {
+                        let ev = ShardEvent { group, event };
+                        ledger.observe(&ev);
+                        events.push(ev);
+                    }
+                    Ok(WorkerMsg::Done(group, snapshot)) => {
+                        snapshots[group] = Some(snapshot);
+                        done += 1;
+                    }
+                    // Every sender hung up early: a worker died. Fall
+                    // through so the scope join surfaces its panic.
+                    Err(_) => break,
+                }
+            }
+        });
+
+        ShardedRun {
+            events,
+            snapshots: snapshots
+                .into_iter()
+                .map(|s| s.expect("scope join propagates worker panics first"))
+                .collect(),
+            ledger,
+        }
+    }
+}
+
+pub mod script {
+    //! Scripted reference peers for a [`GroupRunner`].
+    //!
+    //! Benches, examples, and harness tests all need the same thing: a
+    //! self-contained item group whose peers answer the handshake and
+    //! then report fixed per-second byte counts over thread-local
+    //! in-memory links — deterministic numbers to check a transport or
+    //! scaling claim against. [`group`] builds exactly that, so the
+    //! driving loop (pump to quiescence, act on `Start`, report, tick,
+    //! collect events, snapshot) lives in one place instead of being
+    //! re-implemented per harness.
+
+    use flashflow_proto::endpoint::Endpoint;
+    use flashflow_proto::msg::{MeasureSpec, PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN};
+    use flashflow_proto::session::{
+        CoordinatorSession, MeasurerAction, MeasurerSession, SessionTimeouts,
+    };
+    use flashflow_proto::transport::Duplex;
+    use flashflow_simnet::time::{SimDuration, SimTime};
+
+    use super::GroupRunner;
+    use crate::engine::{EngineEvent, EngineSnapshot, MeasurementEngine};
+
+    /// One scripted peer of an item: its role and the constant
+    /// per-second byte counts it reports once the slot starts.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ScriptedPeer {
+        /// Protocol role.
+        pub role: PeerRole,
+        /// Background bytes reported per second (`y_j` share).
+        pub bg: u64,
+        /// Measurement bytes reported per second (`x_j` share).
+        pub measured: u64,
+    }
+
+    impl ScriptedPeer {
+        /// A measurer blasting `rate` bytes per second.
+        pub fn measurer(rate: u64) -> Self {
+            ScriptedPeer { role: PeerRole::Measurer, bg: 0, measured: rate }
+        }
+
+        /// The target reporting `bg` background bytes per second.
+        pub fn target(bg: u64) -> Self {
+            ScriptedPeer { role: PeerRole::Target, bg, measured: 0 }
+        }
+    }
+
+    /// Link and clock knobs for a scripted group.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ScriptConfig {
+        /// Commanded slot length in seconds.
+        pub slot_secs: u32,
+        /// One-way latency of each in-memory link.
+        pub link_latency: SimDuration,
+        /// Link re-chunking size (`usize::MAX` = whole writes).
+        pub link_chunk: usize,
+        /// Simulated time advanced per driving tick.
+        pub tick: SimDuration,
+        /// Engine hard deadline (wall against scripting bugs).
+        pub hard_deadline: SimDuration,
+        /// Driving ticks before the group declares itself wedged.
+        pub max_ticks: u64,
+    }
+
+    impl Default for ScriptConfig {
+        fn default() -> Self {
+            ScriptConfig {
+                slot_secs: 5,
+                link_latency: SimDuration::ZERO,
+                link_chunk: usize::MAX,
+                tick: SimDuration::from_secs(1),
+                hard_deadline: SimDuration::from_secs(300),
+                max_ticks: 2_000,
+            }
+        }
+    }
+
+    /// Builds a self-contained [`GroupRunner`]: one engine over `items`
+    /// (each a set of scripted peers), everything — links, sessions,
+    /// peers — created inside the worker that runs it.
+    ///
+    /// The coordinator sessions raise their report-ahead cap to the
+    /// slot length: scripted peers report a "second" per driving tick,
+    /// which can legitimately outpace the scripted clock.
+    pub fn group(items: Vec<Vec<ScriptedPeer>>, cfg: ScriptConfig) -> Box<dyn GroupRunner> {
+        Box::new(move |emit: &mut dyn FnMut(EngineEvent)| -> EngineSnapshot {
+            let token = [0xA5u8; AUTH_TOKEN_LEN];
+            let timeouts = SessionTimeouts::default();
+            let mut builder = MeasurementEngine::builder();
+            let mut locals = Vec::new();
+            for (item_ix, peers) in items.iter().enumerate() {
+                let mut fp = [0u8; FINGERPRINT_LEN];
+                fp[..8].copy_from_slice(&(item_ix as u64).to_be_bytes());
+                for (peer_ix, peer) in peers.iter().enumerate() {
+                    let spec = MeasureSpec {
+                        relay_fp: fp,
+                        slot_secs: cfg.slot_secs,
+                        sockets: if peer.role == PeerRole::Measurer { 8 } else { 0 },
+                        rate_cap: peer.measured,
+                    };
+                    let nonce = (item_ix * 64 + peer_ix) as u64 + 1;
+                    let (ca, cb) = Duplex::new(cfg.link_latency, cfg.link_chunk).into_endpoints();
+                    builder.add_peer(
+                        item_ix,
+                        CoordinatorSession::new(token, peer.role, spec, nonce, timeouts)
+                            .with_report_ahead_cap(cfg.slot_secs),
+                        Box::new(ca),
+                    );
+                    locals.push((
+                        Endpoint::new(MeasurerSession::new(token, peer.role, nonce, timeouts), cb),
+                        *peer,
+                        false, // started
+                        0u32,  // reported
+                    ));
+                }
+            }
+            let mut engine =
+                builder.hard_deadline(SimTime::ZERO + cfg.hard_deadline).build(SimTime::ZERO);
+            for tick in 0..cfg.max_ticks {
+                let now = SimTime::ZERO + cfg.tick * tick as f64;
+                loop {
+                    let mut moved = engine.pump(now);
+                    for (ep, ..) in locals.iter_mut() {
+                        moved |= ep.pump(now);
+                    }
+                    if !moved {
+                        break;
+                    }
+                }
+                for (ep, peer, started, reported) in locals.iter_mut() {
+                    while let Some(a) = ep.session_mut().poll_action() {
+                        if matches!(a, MeasurerAction::Start { .. }) {
+                            *started = true;
+                        }
+                    }
+                    if *started && *reported < cfg.slot_secs && !ep.is_terminal() {
+                        ep.session_mut().report_second(peer.bg, peer.measured);
+                        *reported += 1;
+                    }
+                    ep.tick(now);
+                }
+                engine.finish_tick(now);
+                while let Some(ev) = engine.poll_event() {
+                    emit(ev);
+                }
+                if engine.is_finished() {
+                    return engine.snapshot();
+                }
+            }
+            panic!("scripted group wedged after {} ticks", cfg.max_ticks);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::script::{group as scripted, ScriptConfig, ScriptedPeer};
+    use super::*;
+    use crate::engine::MeasurementEngine;
+    use flashflow_proto::endpoint::Endpoint;
+    use flashflow_proto::msg::{MeasureSpec, PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN};
+    use flashflow_proto::session::{
+        CoordinatorSession, MeasurerAction, MeasurerSession, SessionTimeouts,
+    };
+    use flashflow_proto::transport::Duplex;
+
+    const SLOT_SECS: u32 = 3;
+
+    fn spec(rate_cap: u64) -> MeasureSpec {
+        MeasureSpec { relay_fp: [7; FINGERPRINT_LEN], slot_secs: SLOT_SECS, sockets: 8, rate_cap }
+    }
+
+    fn cfg() -> ScriptConfig {
+        ScriptConfig { slot_secs: SLOT_SECS, ..ScriptConfig::default() }
+    }
+
+    /// A self-contained group: one measurer (reporting `rate` bytes per
+    /// second) and one target (reporting `rate / 10` background).
+    fn scripted_group(rate: u64) -> Box<dyn GroupRunner> {
+        scripted(vec![vec![ScriptedPeer::measurer(rate), ScriptedPeer::target(rate / 10)]], cfg())
+    }
+
+    #[test]
+    fn partitioned_run_completes_every_group_on_any_shard_count() {
+        for shards in [1usize, 3, 8] {
+            let groups: Vec<Box<dyn GroupRunner>> =
+                (0..10).map(|g| scripted_group(1_000 * (g as u64 + 1))).collect();
+            let run = ShardedEngine::run_partitioned(groups, shards);
+            assert!(run.all_clean(), "shards={shards}");
+            assert_eq!(run.snapshots.len(), 10);
+            for g in 0..10 {
+                // Group-local event order: Go before every sample, one
+                // ItemComplete at the end.
+                let of_g: Vec<&EngineEvent> =
+                    run.events.iter().filter(|e| e.group == g).map(|e| &e.event).collect();
+                let go = of_g
+                    .iter()
+                    .position(|e| matches!(e, EngineEvent::GoReleased { .. }))
+                    .expect("go released");
+                let first_sample = of_g
+                    .iter()
+                    .position(|e| matches!(e, EngineEvent::Sample { .. }))
+                    .expect("samples");
+                assert!(go < first_sample, "group {g}: {of_g:?}");
+                assert!(matches!(of_g.last(), Some(EngineEvent::ItemComplete { item: 0 })));
+                // The shared ledger merged the scripted rates.
+                let (x, y) = run.merged_series(g, 0);
+                let rate = 1_000.0 * (g as f64 + 1.0);
+                assert_eq!(x, vec![rate; SLOT_SECS as usize], "group {g}");
+                assert_eq!(y, vec![(rate / 10.0).floor(); SLOT_SECS as usize], "group {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_run_handles_more_shards_than_groups() {
+        let groups: Vec<Box<dyn GroupRunner>> = vec![scripted_group(500)];
+        let run = ShardedEngine::run_partitioned(groups, 16);
+        assert!(run.all_clean());
+        let (x, _) = run.merged_series(0, 0);
+        assert_eq!(x, vec![500.0; SLOT_SECS as usize]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panic_propagates_to_the_caller() {
+        let mut groups: Vec<Box<dyn GroupRunner>> = (0..2).map(|_| scripted_group(1_000)).collect();
+        groups.push(Box::new(|_emit: &mut dyn FnMut(EngineEvent)| -> EngineSnapshot {
+            panic!("group 2 exploded");
+        }));
+        let _ = ShardedEngine::run_partitioned(groups, 2);
+    }
+
+    #[test]
+    fn cooperative_sharded_engine_interleaves_groups() {
+        // Two groups stepped on one thread: the ShardedEngine front.
+        let token = [3u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let mut engines = Vec::new();
+        let mut locals = Vec::new();
+        for g in 0..2u64 {
+            let mut builder = MeasurementEngine::builder();
+            let (ca, cb) = Duplex::loopback().into_endpoints();
+            builder.add_peer(
+                0,
+                CoordinatorSession::new(token, PeerRole::Measurer, spec(100 * (g + 1)), g + 1, t),
+                Box::new(ca),
+            );
+            engines.push(builder.build(SimTime::ZERO));
+            locals.push((
+                Endpoint::new(MeasurerSession::new(token, PeerRole::Measurer, g, t), cb),
+                false,
+                0u32,
+            ));
+        }
+        let mut sharded = ShardedEngine::from_engines(engines);
+        let mut ledger = PeriodLedger::new(2);
+        let mut events = Vec::new();
+        for tick in 0..100u64 {
+            let now = SimTime::from_secs(tick);
+            loop {
+                let mut moved = sharded.pump(now);
+                for (ep, ..) in locals.iter_mut() {
+                    moved |= ep.pump(now);
+                }
+                if !moved {
+                    break;
+                }
+            }
+            for (g, (ep, started, reported)) in locals.iter_mut().enumerate() {
+                while let Some(a) = ep.session_mut().poll_action() {
+                    if matches!(a, MeasurerAction::Start { .. }) {
+                        *started = true;
+                    }
+                }
+                if *started && *reported < SLOT_SECS && !ep.is_terminal() {
+                    ep.session_mut().report_second(0, 100 * (g as u64 + 1));
+                    *reported += 1;
+                }
+                ep.tick(now);
+            }
+            sharded.finish_tick(now);
+            while let Some(ev) = sharded.poll_event() {
+                ledger.observe(&ev);
+                events.push(ev);
+            }
+            if sharded.is_finished() {
+                break;
+            }
+        }
+        assert!(sharded.is_finished());
+        for g in 0..2 {
+            let (x, _) = ledger.merged_series(g, sharded.group(g), 0);
+            assert_eq!(x, vec![100.0 * (g as f64 + 1.0); SLOT_SECS as usize]);
+            assert!(events
+                .contains(&ShardEvent { group: g, event: EngineEvent::ItemComplete { item: 0 } }));
+        }
+    }
+}

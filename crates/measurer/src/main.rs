@@ -1,0 +1,287 @@
+//! `flashflow-measurer` — a standalone measurer (or reporting-target)
+//! process.
+//!
+//! This is the peer side of the paper's deployment topology (§4.1, §7):
+//! a long-lived process on a measurement host that listens on TCP,
+//! authenticates each incoming coordinator connection with the
+//! pre-shared token and nonce handshake, and serves every accepted
+//! conversation as its own [`MeasurerSession`] on its own thread — a
+//! sharded coordinator (see `flashflow-core::shard::ShardedEngine`)
+//! connects one conversation per measurement item, so a busy period
+//! means many concurrent sessions against one process.
+//!
+//! There is no Tor network here: once a slot starts, the process
+//! *scripts* its per-second reports (measurers report their commanded
+//! `rate_cap` — a measurer blasting at its allocation — and targets
+//! report a configured background rate). Everything else — framing,
+//! handshake replay protection, timeouts, abort handling — is the exact
+//! hardened session code the simulation and the loopback-TCP tests
+//! exercise. Swapping the scripted byte counts for real socket counters
+//! is a local change to [`serve_session`].
+//!
+//! Replay protection across sessions: the process keeps one shared
+//! [`ReplayWindow`]. Each session starts from a clone of it (rejecting
+//! replays of any previously claimed opener without holding the lock),
+//! and the moment a session accepts an `Auth` nonce it *claims* it in
+//! the shared window under the lock — so when two concurrent
+//! connections replay the same opener, exactly one wins and the other
+//! is aborted with `AuthFailed`.
+//!
+//! ```text
+//! flashflow-measurer --listen 127.0.0.1:0 --role measurer \
+//!     --token-hex <64 hex chars> [--rate BYTES] [--bg BYTES] \
+//!     [--speedup X] [--sessions N]
+//! ```
+//!
+//! The only line on stdout is `listening <addr>`, so a spawning
+//! harness (or operator tooling) can read the bound ephemeral port;
+//! everything else goes to stderr. With `--sessions N` the process
+//! exits cleanly after serving N conversations (the multi-process
+//! harness test uses this); without it, it serves forever.
+
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use flashflow_proto::endpoint::Endpoint;
+use flashflow_proto::msg::{PeerRole, AUTH_TOKEN_LEN};
+use flashflow_proto::session::{MeasurerAction, MeasurerSession, ReplayWindow, SessionTimeouts};
+use flashflow_proto::tcp::{TcpAcceptor, TcpTransport};
+use flashflow_simnet::time::SimTime;
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+struct Config {
+    listen: String,
+    role: PeerRole,
+    token: [u8; AUTH_TOKEN_LEN],
+    /// Whether `--token-hex` was given. The built-in default token is
+    /// public knowledge (it is in the source), so it is only acceptable
+    /// on loopback; a non-loopback listener must be given a real secret.
+    token_explicit: bool,
+    /// Measurer role: per-second measured bytes; `None` follows the
+    /// commanded `rate_cap`.
+    rate: Option<u64>,
+    /// Target role: per-second background bytes.
+    bg: u64,
+    /// Report pacing multiplier (50 = a "second" every 20 ms). The
+    /// coordinator's clock does not speed up with the peer, so above 1
+    /// it must raise its per-session report-ahead cap to at least the
+    /// slot length (`CoordinatorSession::with_report_ahead_cap`) or the
+    /// legitimately fast reports will be aborted as a flood.
+    speedup: f64,
+    /// Exit after serving this many sessions; `None` serves forever.
+    sessions: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            listen: "127.0.0.1:0".to_string(),
+            role: PeerRole::Measurer,
+            token: [0x42; AUTH_TOKEN_LEN],
+            token_explicit: false,
+            rate: None,
+            bg: 0,
+            speedup: 1.0,
+            sessions: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: flashflow-measurer [--listen ADDR] [--role measurer|target] \
+                     [--token-hex HEX64] [--rate BYTES] [--bg BYTES] [--speedup X] [--sessions N]";
+
+fn parse_token_hex(s: &str) -> Result<[u8; AUTH_TOKEN_LEN], String> {
+    if s.len() != AUTH_TOKEN_LEN * 2 {
+        return Err(format!("--token-hex wants {} hex chars, got {}", AUTH_TOKEN_LEN * 2, s.len()));
+    }
+    let mut token = [0u8; AUTH_TOKEN_LEN];
+    for (ix, byte) in token.iter_mut().enumerate() {
+        *byte = u8::from_str_radix(&s[2 * ix..2 * ix + 2], 16)
+            .map_err(|e| format!("--token-hex: {e}"))?;
+    }
+    Ok(token)
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} wants a value"));
+        match flag.as_str() {
+            "--listen" => cfg.listen = value("--listen")?,
+            "--role" => {
+                cfg.role = match value("--role")?.as_str() {
+                    "measurer" => PeerRole::Measurer,
+                    "target" => PeerRole::Target,
+                    other => return Err(format!("--role: unknown role {other:?}")),
+                }
+            }
+            "--token-hex" => {
+                cfg.token = parse_token_hex(&value("--token-hex")?)?;
+                cfg.token_explicit = true;
+            }
+            "--rate" => {
+                cfg.rate = Some(value("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?)
+            }
+            "--bg" => cfg.bg = value("--bg")?.parse().map_err(|e| format!("--bg: {e}"))?,
+            "--speedup" => {
+                cfg.speedup = value("--speedup")?.parse().map_err(|e| format!("--speedup: {e}"))?;
+                if !(cfg.speedup.is_finite() && cfg.speedup > 0.0) {
+                    return Err("--speedup must be positive and finite".to_string());
+                }
+            }
+            "--sessions" => {
+                cfg.sessions =
+                    Some(value("--sessions")?.parse().map_err(|e| format!("--sessions: {e}"))?)
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// Serves one accepted conversation to completion. Runs on its own
+/// thread; many run concurrently against one process.
+fn serve_session(
+    transport: TcpTransport,
+    session_id: u64,
+    cfg: &Config,
+    replay: &Mutex<ReplayWindow>,
+) {
+    let window = replay.lock().expect("replay lock").clone();
+    let session = MeasurerSession::new(cfg.token, cfg.role, session_id, SessionTimeouts::default())
+        .with_replay_window(window);
+    let mut endpoint = Endpoint::new(session, transport);
+
+    let t0 = Instant::now();
+    let report_every = Duration::from_secs_f64(1.0 / cfg.speedup);
+    let mut slot: Option<(u32, u64, u64)> = None; // (slot_secs, bg, measured)
+    let mut started_at = Instant::now();
+    let mut reported = 0u32;
+    let mut nonce_claimed = false;
+    loop {
+        let now = SimTime::from_secs_f64(t0.elapsed().as_secs_f64());
+        endpoint.pump(now);
+        endpoint.tick(now);
+        // Claim the accepted nonce in the process-wide window the moment
+        // the handshake passes: of two concurrent connections replaying
+        // the same opener, exactly one witnesses it first and the loser
+        // is dropped — a session-local window cannot arbitrate that.
+        if !nonce_claimed {
+            if let Some(nonce) = endpoint.session().accepted_nonce() {
+                nonce_claimed = true;
+                if !replay.lock().expect("replay lock").witness(nonce) {
+                    eprintln!("[session {session_id}] concurrent Auth replay; dropping");
+                    endpoint.session_mut().abort(flashflow_proto::msg::AbortReason::AuthFailed);
+                }
+            }
+        }
+        while let Some(action) = endpoint.session_mut().poll_action() {
+            match action {
+                MeasurerAction::Prepare { spec } => {
+                    eprintln!(
+                        "[session {session_id}] prepare: fp {:02x}{:02x}… slot {}s, {} sockets",
+                        spec.relay_fp[0], spec.relay_fp[1], spec.slot_secs, spec.sockets
+                    );
+                }
+                MeasurerAction::Start { spec } => {
+                    let measured = match cfg.role {
+                        PeerRole::Measurer => cfg.rate.unwrap_or(spec.rate_cap),
+                        PeerRole::Target => 0,
+                    };
+                    let bg = match cfg.role {
+                        PeerRole::Measurer => 0,
+                        PeerRole::Target => cfg.bg,
+                    };
+                    slot = Some((spec.slot_secs, bg, measured));
+                    started_at = Instant::now();
+                    eprintln!("[session {session_id}] go — reporting {measured} B/s");
+                }
+                MeasurerAction::Stop => {
+                    eprintln!("[session {session_id}] stop after {reported} seconds");
+                }
+            }
+        }
+        if let Some((slot_secs, bg, measured)) = slot {
+            // One report per (sped-up) second, paced off the Go instant.
+            while reported < slot_secs
+                && !endpoint.is_terminal()
+                && started_at.elapsed() >= report_every * (reported + 1)
+            {
+                endpoint.session_mut().report_second(bg, measured);
+                reported += 1;
+            }
+        }
+        if endpoint.is_terminal() {
+            // Flush the tail (SlotDone / Abort) before hanging up.
+            for _ in 0..3 {
+                endpoint.pump(SimTime::from_secs_f64(t0.elapsed().as_secs_f64()));
+                thread::sleep(Duration::from_millis(1));
+            }
+            break;
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn main() {
+    let cfg = match parse_args(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let acceptor = match TcpAcceptor::bind(&cfg.listen) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bind {}: {e}", cfg.listen);
+            std::process::exit(1);
+        }
+    };
+    let addr = acceptor.local_addr().expect("local addr");
+    if !addr.ip().is_loopback() && !cfg.token_explicit {
+        eprintln!(
+            "refusing to serve {addr} with the built-in default token; \
+             pass --token-hex with a real pre-shared secret"
+        );
+        std::process::exit(2);
+    }
+    // The one machine-readable stdout line: the advertised endpoint.
+    println!("listening {addr}");
+    std::io::stdout().flush().expect("flush stdout");
+    eprintln!(
+        "flashflow-measurer: role {:?}, speedup {}x, sessions {:?}",
+        cfg.role, cfg.speedup, cfg.sessions
+    );
+
+    let replay = Arc::new(Mutex::new(ReplayWindow::default()));
+    let mut handles = Vec::new();
+    let mut served = 0u64;
+    while cfg.sessions.is_none_or(|n| served < n) {
+        let (transport, peer) = match acceptor.accept() {
+            Ok(accepted) => accepted,
+            Err(e) => {
+                eprintln!("accept: {e}");
+                continue;
+            }
+        };
+        eprintln!("[session {served}] accepted {peer}");
+        let cfg = cfg.clone();
+        let replay = Arc::clone(&replay);
+        let session_id = served;
+        // Reap finished sessions so a long-lived process does not grow
+        // a handle per conversation it ever served.
+        handles.retain(|h: &thread::JoinHandle<()>| !h.is_finished());
+        handles.push(thread::spawn(move || serve_session(transport, session_id, &cfg, &replay)));
+        served += 1;
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    eprintln!("served {served} sessions; exiting");
+}

@@ -1,0 +1,256 @@
+//! The multi-process deployment harness: a sharded coordinator driving
+//! real `flashflow-measurer` processes over loopback TCP.
+//!
+//! This is the acceptance bar for the deployment layer: the coordinator
+//! partitions a slot-packed batch of measurement items across worker
+//! threads (`ShardedEngine::run_partitioned`), each item group opening
+//! its own TCP conversations to **spawned measurer processes** (two
+//! measurer-role processes and one target-role process, each serving
+//! its items' sessions concurrently), and the per-item estimates agree
+//! with the identical scenario run over in-memory transports — sessions
+//! and engines byte-for-byte the same, only the transport and process
+//! boundary differ. The processes are told how many sessions to serve
+//! (`--sessions`) so a clean run ends with every child exiting zero.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use flashflow_core::engine::{
+    EngineEvent, EngineSnapshot, MeasurementEngine, PeriodLedger, ShardedEngine,
+};
+use flashflow_core::measure::build_second_samples;
+use flashflow_core::shard::script::{self, ScriptConfig, ScriptedPeer};
+use flashflow_core::shard::GroupRunner;
+use flashflow_proto::msg::{MeasureSpec, PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN};
+use flashflow_proto::session::{CoordinatorSession, SessionTimeouts};
+use flashflow_proto::tcp::TcpTransport;
+use flashflow_simnet::stats::median;
+use flashflow_simnet::time::{SimDuration, SimTime};
+
+const ITEMS: usize = 8;
+const SHARDS: usize = 4;
+const SLOT_SECS: u32 = 5;
+/// Measurer processes report a "second" every 20 ms.
+const SPEEDUP: &str = "50";
+/// (role, scripted per-second rate): two measurers and the target.
+const PEERS: [(PeerRole, u64); 3] = [
+    (PeerRole::Measurer, 40_000_000),
+    (PeerRole::Measurer, 20_000_000),
+    (PeerRole::Target, 2_000_000),
+];
+/// Paper ratio r; background is far under the allowance, so z = x + y.
+const RATIO: f64 = 0.25;
+
+fn token_for(peer_ix: usize) -> [u8; AUTH_TOKEN_LEN] {
+    [peer_ix as u8 + 0x11; AUTH_TOKEN_LEN]
+}
+
+fn token_hex(peer_ix: usize) -> String {
+    token_for(peer_ix).iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn spec_for(item: usize, role: PeerRole, rate: u64) -> MeasureSpec {
+    let mut fp = [0u8; FINGERPRINT_LEN];
+    fp[0] = item as u8;
+    MeasureSpec {
+        relay_fp: fp,
+        slot_secs: SLOT_SECS,
+        sockets: if role == PeerRole::Measurer { 8 } else { 0 },
+        rate_cap: if role == PeerRole::Measurer { rate } else { 0 },
+    }
+}
+
+/// Spawns one `flashflow-measurer` and reads its advertised address.
+fn spawn_measurer(peer_ix: usize, role: PeerRole, rate: u64) -> (Child, SocketAddr) {
+    let exe = env!("CARGO_BIN_EXE_flashflow-measurer");
+    let role_arg = match role {
+        PeerRole::Measurer => "measurer",
+        PeerRole::Target => "target",
+    };
+    let sessions = ITEMS.to_string();
+    let mut args = vec![
+        "--listen".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--role".to_string(),
+        role_arg.to_string(),
+        "--token-hex".to_string(),
+        token_hex(peer_ix),
+        "--speedup".to_string(),
+        SPEEDUP.to_string(),
+        "--sessions".to_string(),
+        sessions,
+    ];
+    if role == PeerRole::Target {
+        args.extend(["--bg".to_string(), rate.to_string()]);
+    }
+    let mut child = Command::new(exe)
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn flashflow-measurer");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read advertised address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected stdout line: {line:?}"))
+        .parse()
+        .expect("parse advertised address");
+    (child, addr)
+}
+
+/// Extracts per-item median-z estimates from a partitioned run.
+fn estimates(snapshots: &[EngineSnapshot], ledger: &PeriodLedger) -> Vec<f64> {
+    (0..snapshots.len())
+        .map(|g| {
+            let (x, y) = ledger.merged_series(g, &snapshots[g], 0);
+            let seconds = build_second_samples(&x, &y, RATIO);
+            let z: Vec<f64> = seconds.iter().map(|s| s.z).collect();
+            median(&z).expect("item produced seconds")
+        })
+        .collect()
+}
+
+/// One item group against the spawned processes: three TCP
+/// conversations, wall-clock time, run on whatever shard thread picks
+/// it up.
+fn tcp_group(item: usize, addrs: [SocketAddr; 3]) -> Box<dyn GroupRunner> {
+    Box::new(move |emit: &mut dyn FnMut(EngineEvent)| -> EngineSnapshot {
+        let timeouts = SessionTimeouts::default();
+        let mut builder = MeasurementEngine::builder();
+        for (peer_ix, (role, rate)) in PEERS.into_iter().enumerate() {
+            let transport = TcpTransport::connect(addrs[peer_ix]).expect("connect to process");
+            let nonce = 1_000 + (item * PEERS.len() + peer_ix) as u64;
+            // The processes report at SPEEDUP× while this coordinator
+            // runs on wall clock, so legitimately fast reports must not
+            // look like a flood: raise the report-ahead cap to cover the
+            // whole slot.
+            let session = CoordinatorSession::new(
+                token_for(peer_ix),
+                role,
+                spec_for(item, role, rate),
+                nonce,
+                timeouts,
+            )
+            .with_report_ahead_cap(SLOT_SECS + 2);
+            builder.add_peer(0, session, Box::new(transport));
+        }
+        let mut engine = builder.hard_deadline(SimTime::from_secs(60)).build(SimTime::ZERO);
+        let t0 = Instant::now();
+        loop {
+            thread::sleep(Duration::from_millis(1));
+            let live = engine.step(SimTime::from_secs_f64(t0.elapsed().as_secs_f64()));
+            while let Some(ev) = engine.poll_event() {
+                emit(ev);
+            }
+            if !live {
+                return engine.snapshot();
+            }
+        }
+    })
+}
+
+/// The same item group over in-memory `Duplex` links with scripted
+/// local peers — the reference the TCP path must agree with (the
+/// shared harness from `flashflow_core::shard::script`).
+fn duplex_group() -> Box<dyn GroupRunner> {
+    let peers = PEERS
+        .into_iter()
+        .map(|(role, rate)| match role {
+            PeerRole::Measurer => ScriptedPeer::measurer(rate),
+            PeerRole::Target => ScriptedPeer::target(rate),
+        })
+        .collect();
+    script::group(
+        vec![peers],
+        ScriptConfig {
+            slot_secs: SLOT_SECS,
+            link_latency: SimDuration::from_millis(2),
+            link_chunk: 7,
+            tick: SimDuration::from_millis(10),
+            hard_deadline: SimDuration::from_secs(120),
+            ..ScriptConfig::default()
+        },
+    )
+}
+
+#[test]
+fn sharded_coordinator_measures_batch_across_measurer_processes() {
+    // In-memory reference first: deterministic, no processes involved.
+    let reference = ShardedEngine::run_partitioned(
+        (0..ITEMS).map(|_| duplex_group()).collect::<Vec<_>>(),
+        SHARDS,
+    );
+    assert!(reference.all_clean(), "reference run had failures");
+    let reference_estimates = estimates(&reference.snapshots, &reference.ledger);
+
+    // Two measurer processes and one target process; ≥ 2 spawned
+    // `flashflow-measurer` binaries is the acceptance bar.
+    let mut children = Vec::new();
+    let mut addrs = Vec::new();
+    for (peer_ix, (role, rate)) in PEERS.into_iter().enumerate() {
+        let (child, addr) = spawn_measurer(peer_ix, role, rate);
+        children.push(child);
+        addrs.push(addr);
+    }
+    let addrs: [SocketAddr; 3] = [addrs[0], addrs[1], addrs[2]];
+
+    let run = ShardedEngine::run_partitioned(
+        (0..ITEMS).map(|item| tcp_group(item, addrs)).collect::<Vec<_>>(),
+        SHARDS,
+    );
+    assert!(run.all_clean(), "a session failed against the spawned processes");
+    assert_eq!(run.snapshots.len(), ITEMS);
+    // Every group completed its item and the fan-in preserved
+    // group-local order (Go before the first sample).
+    for g in 0..ITEMS {
+        let of_g: Vec<&EngineEvent> =
+            run.events.iter().filter(|e| e.group == g).map(|e| &e.event).collect();
+        assert!(
+            matches!(of_g.last(), Some(EngineEvent::ItemComplete { item: 0 })),
+            "group {g}: {of_g:?}"
+        );
+        let go = of_g
+            .iter()
+            .position(|e| matches!(e, EngineEvent::GoReleased { .. }))
+            .expect("go released");
+        let sample = of_g
+            .iter()
+            .position(|e| matches!(e, EngineEvent::Sample { .. }))
+            .expect("samples arrived");
+        assert!(go < sample, "group {g} ordering: {of_g:?}");
+    }
+
+    // The estimates agree with the in-memory path within 5% (scripted
+    // rates: identical numbers crossed both transports).
+    let tcp_estimates = estimates(&run.snapshots, &run.ledger);
+    for (g, (tcp, dup)) in tcp_estimates.iter().zip(&reference_estimates).enumerate() {
+        assert!(*dup > 0.0, "reference estimate for item {g} is zero");
+        let rel = (tcp - dup).abs() / dup;
+        assert!(
+            rel < 0.05,
+            "item {g}: tcp {tcp:.0} B/s vs duplex {dup:.0} B/s differ by {:.2}%",
+            rel * 100.0
+        );
+        // x = 60 MB/s, y = 2 MB/s ⇒ z = 62 MB/s on both paths.
+        assert!((dup - 62_000_000.0).abs() < 1.0, "item {g} reference {dup}");
+    }
+
+    // Every child served its --sessions quota and exited cleanly.
+    for (ix, mut child) in children.into_iter().enumerate() {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let status = loop {
+            if let Some(status) = child.try_wait().expect("try_wait") {
+                break status;
+            }
+            assert!(Instant::now() < deadline, "process {ix} did not exit");
+            thread::sleep(Duration::from_millis(10));
+        };
+        assert!(status.success(), "process {ix} exited with {status}");
+    }
+}

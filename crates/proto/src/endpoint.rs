@@ -12,6 +12,13 @@
 //! is nowhere for them to go), and closes the transport — so a dead TCP
 //! connection degrades the measurement exactly like a stalled peer does,
 //! through the session's normal failure path.
+//!
+//! The reverse direction also holds: once the **session** is terminal,
+//! the endpoint flushes its final frames and closes the transport. A
+//! terminal session ignores input anyway, so continuing to read would
+//! only let a flooding peer keep the endpoint "making progress" forever
+//! (wedging any driver that pumps to quiescence, hard deadline and all)
+//! while its bytes pile up with nowhere to go.
 
 use flashflow_simnet::time::SimTime;
 
@@ -57,20 +64,16 @@ impl<S: SessionState, T: Transport> Endpoint<S, T> {
     /// transport, arrived transport bytes into the session. Returns
     /// `true` if anything moved (callers loop to quiescence when the
     /// transport is zero-latency).
+    ///
+    /// Once the session is terminal its final frames are flushed and the
+    /// transport is closed; from then on `pump` neither reads nor
+    /// reports progress, so a peer that keeps sending (a flood, a
+    /// half-dead socket) cannot wedge a pump-to-quiescence driver.
     pub fn pump(&mut self, now: SimTime) -> bool {
-        let mut moved = false;
-        // Session → transport.
-        while let Some(frame) = self.session.poll_outbound() {
-            if self.error.is_some() {
-                continue; // drain and drop: the wire is gone
-            }
-            match self.transport.send(now, &frame) {
-                Ok(()) => moved = true,
-                Err(err) => self.on_transport_error(err),
-            }
-        }
-        // Transport → session.
-        if self.error.is_none() {
+        let mut moved = self.flush_outbound(now);
+        // Transport → session (skipped once the session is terminal: it
+        // would ignore the bytes, and reading them counts as progress).
+        if self.error.is_none() && !self.session.is_terminal() {
             match self.transport.recv(now) {
                 Ok(bytes) if !bytes.is_empty() => {
                     self.session.receive(now, &bytes);
@@ -83,6 +86,32 @@ impl<S: SessionState, T: Transport> Endpoint<S, T> {
                     // to go; drop it so it cannot pile up.
                     while self.session.poll_outbound().is_some() {}
                 }
+            }
+        }
+        // The conversation is over: flush the tail the session may have
+        // queued while going terminal during this very pump (its Abort
+        // or SlotDone), then hang up. In-flight bytes still deliver to
+        // the peer; `close` is idempotent.
+        if self.session.is_terminal() && self.error.is_none() {
+            moved |= self.flush_outbound(now);
+            if self.error.is_none() {
+                self.transport.close();
+            }
+        }
+        moved
+    }
+
+    /// Sends every queued session frame; drains and drops them instead
+    /// once the wire is gone.
+    fn flush_outbound(&mut self, now: SimTime) -> bool {
+        let mut moved = false;
+        while let Some(frame) = self.session.poll_outbound() {
+            if self.error.is_some() {
+                continue; // drain and drop: the wire is gone
+            }
+            match self.transport.send(now, &frame) {
+                Ok(()) => moved = true,
+                Err(err) => self.on_transport_error(err),
             }
         }
         moved
@@ -146,6 +175,29 @@ mod tests {
         meas.session_mut().report_second(0, 20);
         while coord.pump(now) | meas.pump(now) {}
         assert_eq!(coord.session().phase(), CoordPhase::Done);
+    }
+
+    #[test]
+    fn terminal_endpoint_stops_reading_and_hangs_up() {
+        let token = [4u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let (ca, mut cb) = Duplex::loopback().into_endpoints();
+        let mut coord =
+            Endpoint::new(CoordinatorSession::new(token, PeerRole::Measurer, spec(), 9, t), ca);
+        let now = SimTime::ZERO;
+        coord.session_mut().start(now);
+        coord.pump(now);
+        // A peer floods bytes at the endpoint...
+        for _ in 0..64 {
+            cb.send(now, &[0xEE; 128]).expect("flood");
+        }
+        // ...and the session goes terminal. The next pump flushes the
+        // Abort frame and hangs up without reading the flood.
+        coord.session_mut().abort(AbortReason::Shutdown);
+        assert!(coord.pump(now), "the Abort frame still goes out");
+        assert!(!coord.pump(now), "a terminal endpoint must not report the flood as progress");
+        // The wire is released: the peer's next send fails.
+        assert_eq!(cb.send(now, b"more"), Err(TransportError::Closed));
     }
 
     #[test]

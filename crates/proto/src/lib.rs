@@ -24,13 +24,17 @@
 //! ## Layering
 //!
 //! ```text
-//!   MeasurementEngine (flashflow-core)      measurer process / thread
-//!        │ events, barriers                      │ actions
+//!   ShardedEngine (flashflow-core)          flashflow-measurer process
+//!        │ one MeasurementEngine per item group   │ one session per connection
 //!   Endpoint<CoordinatorSession, _>         Endpoint<MeasurerSession, _>
 //!        │ bytes                                 │ bytes
 //!        └────────────── dyn Transport ──────────┘
 //!            DuplexEnd │ TcpTransport │ FaultyTransport<_>
 //! ```
+//!
+//! The listener side lives here too: [`tcp::TcpAcceptor`] is what a
+//! standalone measurer process binds and accepts coordinator
+//! connections through.
 //!
 //! The sessions are **sans-IO**: they consume bytes and emit bytes plus
 //! actions, never touching sockets or clocks. Every transport takes its
@@ -66,8 +70,8 @@ pub mod prelude {
     };
     pub use crate::session::{
         CoordAction, CoordPhase, CoordinatorSession, MeasurerAction, MeasurerPhase,
-        MeasurerSession, ReplayWindow, SessionState, SessionTimeouts,
+        MeasurerSession, ReplayWindow, SessionState, SessionTimeouts, DEFAULT_REPORT_AHEAD_CAP,
     };
-    pub use crate::tcp::TcpTransport;
+    pub use crate::tcp::{TcpAcceptor, TcpTransport};
     pub use crate::transport::{Duplex, DuplexEnd, End, Readiness, Transport, TransportError};
 }

@@ -21,9 +21,10 @@
 
 /// Protocol version carried in every frame. Version 2 added the
 /// `Auth`/`AuthOk` handshake nonce and the `ConnectionLost` abort code;
-/// a version-1 peer is rejected with a clean `BadVersion` error instead
-/// of a confusing body-layout failure.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// version 3 added the `Flooded` abort code (per-session `SecondReport`
+/// backpressure). An older peer is rejected with a clean `BadVersion`
+/// error instead of a confusing body-layout failure.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Length of the pre-shared authentication token.
 pub const AUTH_TOKEN_LEN: usize = 32;
@@ -71,6 +72,10 @@ pub enum AbortReason {
     Shutdown = 5,
     /// The underlying transport disconnected or failed mid-conversation.
     ConnectionLost = 6,
+    /// The peer sent per-second reports far faster than seconds elapse
+    /// (an unsolicited-report flood); the coordinator refuses to buffer
+    /// them and drops the peer.
+    Flooded = 7,
 }
 
 impl AbortReason {
@@ -84,6 +89,7 @@ impl AbortReason {
             4 => Some(AbortReason::Malformed),
             5 => Some(AbortReason::Shutdown),
             6 => Some(AbortReason::ConnectionLost),
+            7 => Some(AbortReason::Flooded),
             _ => None,
         }
     }
@@ -99,6 +105,7 @@ impl std::fmt::Display for AbortReason {
             AbortReason::Malformed => "malformed frame",
             AbortReason::Shutdown => "peer shutdown",
             AbortReason::ConnectionLost => "transport connection lost",
+            AbortReason::Flooded => "per-second report flood",
         };
         f.write_str(s)
     }

@@ -17,6 +17,10 @@
 //! * any frame the current state cannot accept aborts with
 //!   [`AbortReason::OutOfOrder`];
 //! * any undecodable byte stream aborts with [`AbortReason::Malformed`];
+//! * a running peer may report at most [`CoordinatorSession`]'s
+//!   report-ahead cap seconds beyond the wall time elapsed since `Go`; a
+//!   flood of unsolicited `SecondReport`s beyond it aborts with
+//!   [`AbortReason::Flooded`] instead of growing buffers without bound;
 //! * a terminal session ignores further input instead of erroring, so a
 //!   late frame from a dead peer cannot resurrect anything.
 //!
@@ -59,8 +63,21 @@ pub trait SessionState {
 /// that peer's sessions so a replayed handshake opener is rejected even
 /// though each conversation gets a fresh [`MeasurerSession`].
 ///
-/// Eviction is FIFO once `cap` nonces are held, bounding memory against a
-/// flood of unique nonces while still catching back-to-back replays.
+/// Semantics (the contract tests and the measurer binary rely on):
+///
+/// * the window never holds more than `cap` nonces, no matter how many
+///   unique nonces are witnessed — memory stays bounded under a flood;
+/// * once full, witnessing a *fresh* nonce evicts the **least recently
+///   seen** nonce. A replay *attempt* refreshes its nonce's recency even
+///   though it is rejected, so an attacker replaying a nonce under
+///   attack cannot also age it out of the window with filler nonces;
+/// * a nonce that has been evicted is forgotten: replaying it afterwards
+///   is **accepted** by the window. This is the unavoidable trade-off of
+///   a bounded window; it is safe because the replayed `Auth` only opens
+///   a session — the coordinator's own `AuthOk` nonce-echo check still
+///   rejects any stale response produced from it, and a flood of `cap`
+///   unique nonces requires knowing the pre-shared token in the first
+///   place.
 #[derive(Debug, Clone)]
 pub struct ReplayWindow {
     seen: HashSet<u64>,
@@ -85,9 +102,14 @@ impl ReplayWindow {
     }
 
     /// Records `nonce`; returns `true` if it was fresh, `false` if it was
-    /// already in the window (a replay).
+    /// already in the window (a replay). A caught replay refreshes the
+    /// nonce's recency, so repeated replay attempts keep it protected.
     pub fn witness(&mut self, nonce: u64) -> bool {
         if self.seen.contains(&nonce) {
+            if let Some(pos) = self.order.iter().position(|&n| n == nonce) {
+                self.order.remove(pos);
+                self.order.push_back(nonce);
+            }
             return false;
         }
         if self.order.len() == self.cap {
@@ -113,6 +135,14 @@ impl ReplayWindow {
     pub fn is_empty(&self) -> bool {
         self.order.is_empty()
     }
+
+    /// The remembered nonces, least recently seen first (inspection and
+    /// window merging; a process serving concurrent sessions should
+    /// claim nonces via [`MeasurerSession::accepted_nonce`] instead of
+    /// bulk-merging windows after the fact).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.order.iter().copied()
+    }
 }
 
 /// Timeouts governing a session.
@@ -130,6 +160,21 @@ impl Default for SessionTimeouts {
         SessionTimeouts { handshake: SimDuration::from_secs(10), report: SimDuration::from_secs(5) }
     }
 }
+
+/// Default for [`CoordinatorSession::with_report_ahead_cap`]: how many
+/// seconds a peer may report beyond the time elapsed since its `Go`.
+///
+/// Legitimate peers run at most a couple of seconds ahead (latency
+/// jitter, coalesced TCP delivery); a peer blasting a whole slot's
+/// worth of reports at once is inflating or probing, and buffering its
+/// backlog is how memory grows without bound.
+///
+/// A coordinator that *knows* its peer reports faster than the
+/// coordinator's own clock — e.g. a `flashflow-measurer --speedup N`
+/// peer in an accelerated harness — must raise the cap to at least the
+/// slot length via [`CoordinatorSession::with_report_ahead_cap`], or
+/// the legitimate fast reports will be mistaken for a flood.
+pub const DEFAULT_REPORT_AHEAD_CAP: u32 = 8;
 
 /// Where a coordinator-side session stands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +230,9 @@ pub struct CoordinatorSession {
     timeouts: SessionTimeouts,
     deadline: Option<SimTime>,
     seconds_received: u32,
+    /// When `Go` was sent; the reference point for the flood cap.
+    go_at: Option<SimTime>,
+    report_ahead_cap: u32,
     decoder: FrameDecoder,
     outbound: VecDeque<Vec<u8>>,
     actions: VecDeque<CoordAction>,
@@ -214,12 +262,25 @@ impl CoordinatorSession {
             timeouts,
             deadline: None,
             seconds_received: 0,
+            go_at: None,
+            report_ahead_cap: DEFAULT_REPORT_AHEAD_CAP,
             decoder: FrameDecoder::new(),
             outbound: VecDeque::new(),
             actions: VecDeque::new(),
             frames_rx: 0,
             frames_tx: 0,
         }
+    }
+
+    /// Overrides the per-session `SecondReport` backpressure cap: the
+    /// peer may report at most `cap` seconds beyond the time elapsed
+    /// since its `Go` (as measured by the caller-supplied clock) before
+    /// the session aborts with [`AbortReason::Flooded`]. Defaults to
+    /// [`DEFAULT_REPORT_AHEAD_CAP`].
+    #[must_use]
+    pub fn with_report_ahead_cap(mut self, cap: u32) -> Self {
+        self.report_ahead_cap = cap;
+        self
     }
 
     /// Current phase.
@@ -267,6 +328,7 @@ impl CoordinatorSession {
         assert_eq!(self.phase, CoordPhase::Armed, "go() on a session that is not Armed");
         self.send(Msg::Go);
         self.phase = CoordPhase::Running;
+        self.go_at = Some(now);
         self.deadline = Some(now + self.timeouts.report);
     }
 
@@ -359,6 +421,19 @@ impl CoordinatorSession {
                     self.fail(AbortReason::OutOfOrder, true);
                     return;
                 }
+                // Backpressure: a report for second `j` should not arrive
+                // before roughly `j` seconds have passed since Go. A peer
+                // far ahead of the clock is flooding unsolicited reports;
+                // buffering its backlog would grow memory without bound,
+                // so drop the peer instead (its samples are quarantined
+                // anyway).
+                let since_go = now
+                    .saturating_duration_since(self.go_at.expect("Running implies go_at"))
+                    .as_secs();
+                if u64::from(second) > since_go + u64::from(self.report_ahead_cap) {
+                    self.fail(AbortReason::Flooded, true);
+                    return;
+                }
                 self.seconds_received += 1;
                 self.deadline = Some(now + self.timeouts.report);
                 self.actions.push_back(CoordAction::Sample { second, bg_bytes, measured_bytes });
@@ -447,6 +522,8 @@ pub struct MeasurerSession {
     spec: Option<MeasureSpec>,
     seconds_sent: u32,
     replay: ReplayWindow,
+    /// The `Auth` nonce accepted by this session, once past that step.
+    accepted_nonce: Option<u64>,
     decoder: FrameDecoder,
     outbound: VecDeque<Vec<u8>>,
     actions: VecDeque<MeasurerAction>,
@@ -475,6 +552,7 @@ impl MeasurerSession {
             spec: None,
             seconds_sent: 0,
             replay: ReplayWindow::default(),
+            accepted_nonce: None,
             decoder: FrameDecoder::new(),
             outbound: VecDeque::new(),
             actions: VecDeque::new(),
@@ -497,6 +575,16 @@ impl MeasurerSession {
     /// back to the driver, leaving an empty one behind.
     pub fn take_replay_window(&mut self) -> ReplayWindow {
         std::mem::take(&mut self.replay)
+    }
+
+    /// The `Auth` nonce this session accepted, once the handshake has
+    /// passed that step. A process serving **concurrent** sessions uses
+    /// this to claim the nonce in a process-wide [`ReplayWindow`] the
+    /// moment it is accepted (see the `flashflow-measurer` binary) — a
+    /// session-local window alone cannot arbitrate two simultaneous
+    /// connections replaying the same opener.
+    pub fn accepted_nonce(&self) -> Option<u64> {
+        self.accepted_nonce
     }
 
     /// Current phase.
@@ -539,9 +627,17 @@ impl MeasurerSession {
     }
 
     /// Advances time; a peer mid-handshake whose coordinator goes silent
-    /// gives up rather than holding resources forever.
+    /// gives up rather than holding resources forever — including a
+    /// coordinator that connects and never says anything at all: the
+    /// first tick arms an accept-time deadline for the initial `Auth`,
+    /// so a silent connection cannot hold a session (and its serving
+    /// thread, in a measurer process) open indefinitely.
     pub fn on_tick(&mut self, now: SimTime) {
         if self.is_terminal() {
+            return;
+        }
+        if self.deadline.is_none() && self.phase == MeasurerPhase::AwaitAuth {
+            self.deadline = Some(now + self.timeouts.handshake);
             return;
         }
         let Some(deadline) = self.deadline else { return };
@@ -600,6 +696,7 @@ impl MeasurerSession {
                     self.fail(AbortReason::AuthFailed, true);
                     return;
                 }
+                self.accepted_nonce = Some(nonce);
                 self.send(Msg::AuthOk { session: self.session_id, nonce });
                 self.phase = MeasurerPhase::AwaitCmd;
                 self.deadline = Some(now + self.timeouts.handshake);
@@ -905,6 +1002,24 @@ mod tests {
     }
 
     #[test]
+    fn silent_connection_times_out_before_auth() {
+        // A coordinator that connects and never sends Auth must not
+        // hold the session open forever: the first tick arms an
+        // accept-time deadline.
+        let t = SessionTimeouts {
+            handshake: SimDuration::from_secs(5),
+            report: SimDuration::from_secs(2),
+        };
+        let mut meas = MeasurerSession::new([7; AUTH_TOKEN_LEN], PeerRole::Measurer, 1, t);
+        meas.on_tick(SimTime::ZERO);
+        assert_eq!(meas.phase(), MeasurerPhase::AwaitAuth, "deadline armed, not yet due");
+        meas.on_tick(SimTime::from_secs(4));
+        assert_eq!(meas.phase(), MeasurerPhase::AwaitAuth);
+        meas.on_tick(SimTime::from_secs(5));
+        assert_eq!(meas.phase(), MeasurerPhase::Failed);
+    }
+
+    #[test]
     fn out_of_order_frame_aborts() {
         let token = [7u8; AUTH_TOKEN_LEN];
         let t = SessionTimeouts::default();
@@ -958,8 +1073,10 @@ mod tests {
 
         // First conversation accepts the nonce...
         let mut first = MeasurerSession::new(token, PeerRole::Measurer, 1, t);
+        assert_eq!(first.accepted_nonce(), None);
         first.receive(now, &encode(&auth));
         assert_eq!(first.phase(), MeasurerPhase::AwaitCmd);
+        assert_eq!(first.accepted_nonce(), Some(0x1111), "accepted nonce exposed");
         let window = first.take_replay_window();
         assert!(window.contains(0x1111));
 
@@ -980,15 +1097,117 @@ mod tests {
     }
 
     #[test]
-    fn replay_window_is_bounded_fifo() {
+    fn replay_window_is_bounded_with_recency_eviction() {
         let mut w = ReplayWindow::new(2);
         assert!(w.witness(1));
         assert!(w.witness(2));
+        // The caught replay of 1 refreshes its recency...
         assert!(!w.witness(1), "replay caught while remembered");
-        assert!(w.witness(3), "fresh nonce evicts the oldest");
+        // ...so the fresh nonce evicts 2, the least recently seen.
+        assert!(w.witness(3), "fresh nonce accepted at capacity");
         assert_eq!(w.len(), 2);
-        assert!(!w.contains(1), "oldest evicted");
-        assert!(w.contains(2) && w.contains(3));
+        assert!(!w.contains(2), "least recently seen evicted");
+        assert!(w.contains(1) && w.contains(3));
+    }
+
+    #[test]
+    fn replay_window_stays_at_capacity_under_unique_nonce_flood() {
+        let cap = 64;
+        let mut w = ReplayWindow::new(cap);
+        for nonce in 0..(10 * cap as u64) {
+            assert!(w.witness(nonce), "unique nonces are all fresh");
+            assert!(w.len() <= cap, "window exceeded its bound at {nonce}");
+        }
+        assert_eq!(w.len(), cap);
+        // Exactly the last `cap` survive, in order.
+        let remembered: Vec<u64> = w.iter().collect();
+        let expect: Vec<u64> = (9 * cap as u64..10 * cap as u64).collect();
+        assert_eq!(remembered, expect);
+    }
+
+    #[test]
+    fn just_evicted_nonce_is_forgotten_but_protected_nonce_is_not() {
+        // The documented trade-off: after a flood of `cap` fresh nonces,
+        // a previously accepted nonce has been evicted and its replay is
+        // accepted by the window (the AuthOk nonce echo upstream is what
+        // still defangs it).
+        let cap = 8;
+        let mut w = ReplayWindow::new(cap);
+        assert!(w.witness(0xAAAA));
+        for nonce in 0..cap as u64 {
+            assert!(w.witness(nonce));
+        }
+        assert!(!w.contains(0xAAAA), "flooded out");
+        assert!(w.witness(0xAAAA), "an evicted nonce is forgotten, per the docs");
+
+        // But a nonce that keeps being *replayed* stays protected: each
+        // caught attempt refreshes it, so filler nonces cannot age it out.
+        let mut w = ReplayWindow::new(cap);
+        assert!(w.witness(0xBBBB));
+        for nonce in 0..(3 * cap as u64) {
+            assert!(!w.witness(0xBBBB), "replay caught at attempt {nonce}");
+            assert!(w.witness(nonce), "filler nonce is fresh");
+        }
+        assert!(w.contains(0xBBBB), "nonce under active replay never ages out");
+    }
+
+    #[test]
+    fn second_report_flood_aborts_with_flooded() {
+        let token = [7u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let now = SimTime::ZERO;
+        let wide = MeasureSpec {
+            relay_fp: [3; FINGERPRINT_LEN],
+            slot_secs: 30,
+            sockets: 8,
+            rate_cap: 1_000,
+        };
+        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, wide, 0xA5, t);
+        let mut meas = MeasurerSession::new(token, PeerRole::Measurer, 1, t);
+        coord.start(now);
+        pump(now, &mut coord, &mut meas);
+        coord.go(now);
+        // The peer blasts the whole slot's reports with no time passing:
+        // everything past the ahead cap is an unsolicited flood.
+        for second in 0..30u32 {
+            coord.receive(
+                now,
+                &encode(&Msg::SecondReport { second, bg_bytes: 0, measured_bytes: 10 }),
+            );
+        }
+        assert_eq!(coord.phase(), CoordPhase::Failed);
+        let actions: Vec<_> = std::iter::from_fn(|| coord.poll_action()).collect();
+        assert!(
+            actions.contains(&CoordAction::PeerFailed { reason: AbortReason::Flooded }),
+            "{actions:?}"
+        );
+        // Buffered samples stay bounded by the cap, not the slot length.
+        let samples = actions.iter().filter(|a| matches!(a, CoordAction::Sample { .. })).count();
+        assert_eq!(samples, DEFAULT_REPORT_AHEAD_CAP as usize + 1);
+    }
+
+    #[test]
+    fn paced_reports_never_trip_the_flood_cap() {
+        let token = [7u8; AUTH_TOKEN_LEN];
+        let t = SessionTimeouts::default();
+        let wide = MeasureSpec {
+            relay_fp: [3; FINGERPRINT_LEN],
+            slot_secs: 30,
+            sockets: 8,
+            rate_cap: 1_000,
+        };
+        let mut coord = CoordinatorSession::new(token, PeerRole::Measurer, wide, 0xA5, t);
+        let mut meas = MeasurerSession::new(token, PeerRole::Measurer, 1, t);
+        coord.start(SimTime::ZERO);
+        pump(SimTime::ZERO, &mut coord, &mut meas);
+        coord.go(SimTime::ZERO);
+        pump(SimTime::ZERO, &mut coord, &mut meas);
+        for second in 0..30u32 {
+            let now = SimTime::from_secs(u64::from(second) + 1);
+            meas.report_second(0, 1_000);
+            pump(now, &mut coord, &mut meas);
+        }
+        assert_eq!(coord.phase(), CoordPhase::Done);
     }
 
     #[test]

@@ -15,11 +15,49 @@
 //! and on real elapsed time in deployment without touching this code.
 
 use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 
 use flashflow_simnet::time::SimTime;
 
 use crate::transport::{Readiness, Transport, TransportError};
+
+/// The listener side of a control endpoint: binds a TCP socket and
+/// wraps every accepted connection as a ready-to-pump [`TcpTransport`].
+///
+/// This is what a standalone measurer process (see the
+/// `flashflow-measurer` binary crate) serves sessions from; a sharded
+/// coordinator connects one conversation per measurement item.
+#[derive(Debug)]
+pub struct TcpAcceptor {
+    listener: TcpListener,
+}
+
+impl TcpAcceptor {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Ok(TcpAcceptor { listener: TcpListener::bind(addr)? })
+    }
+
+    /// The bound socket address (the port to advertise).
+    ///
+    /// # Errors
+    /// Propagates `getsockname` failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Blocks for the next connection and wraps it non-blocking.
+    ///
+    /// # Errors
+    /// Propagates accept and socket-option failures.
+    pub fn accept(&self) -> std::io::Result<(TcpTransport, SocketAddr)> {
+        let (stream, peer) = self.listener.accept()?;
+        Ok((TcpTransport::from_stream(stream)?, peer))
+    }
+}
 
 /// How many bytes one `recv` pulls from the kernel per read call.
 const READ_CHUNK: usize = 4096;
@@ -37,8 +75,14 @@ pub struct TcpTransport {
     stream: TcpStream,
     /// Bytes accepted by `send` but not yet written (kernel backpressure).
     outbox: Vec<u8>,
-    /// Set once this side called `close`.
+    /// Set once this side called `close`; `send`/`recv` refuse from then
+    /// on, but the FIN may be deferred (see `fin_sent`).
     closed: bool,
+    /// Set once `shutdown` was actually issued. Close defers the FIN
+    /// while outbox bytes are still queued so a frame is never torn at
+    /// the shutdown boundary; repeated `close` calls (the endpoint
+    /// retries every pump while its session is terminal) finish the job.
+    fin_sent: bool,
     /// Set once the peer closed or the socket failed; sticky.
     broken: Option<TransportError>,
     /// The peer sent EOF; drained reads then error.
@@ -54,7 +98,14 @@ impl TcpTransport {
     pub fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
-        Ok(TcpTransport { stream, outbox: Vec::new(), closed: false, broken: None, eof: false })
+        Ok(TcpTransport {
+            stream,
+            outbox: Vec::new(),
+            closed: false,
+            fin_sent: false,
+            broken: None,
+            eof: false,
+        })
     }
 
     /// Connects to `addr` (blocking until established) and wraps the
@@ -72,6 +123,15 @@ impl TcpTransport {
     /// Propagates `getsockname` failure.
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.stream.local_addr()
+    }
+
+    /// Bytes accepted by [`Transport::send`] that the kernel has not yet
+    /// taken (send-buffer backpressure). They are flushed opportunistically
+    /// by later `send`/`recv` calls; a non-zero value means a write
+    /// returned `WouldBlock` mid-frame and the remainder is queued, not
+    /// torn or dropped.
+    pub fn pending_send_bytes(&self) -> usize {
+        self.outbox.len()
     }
 
     /// Writes as much of the outbox as the kernel will take.
@@ -160,10 +220,20 @@ impl Transport for TcpTransport {
     }
 
     fn close(&mut self) {
-        if !self.closed {
-            let _ = self.flush_outbox();
+        self.closed = true;
+        if self.fin_sent {
+            return;
+        }
+        // The outbox may still hold frame bytes the kernel refused
+        // (`WouldBlock`). Never tear the conversation's tail
+        // (SlotDone/Abort) mid-frame: flush what the kernel will take
+        // now and defer the FIN until the outbox is empty — callers
+        // retry `close` (the endpoint does so on every pump while its
+        // session is terminal), and this never blocks the pump thread.
+        let _ = self.flush_outbox();
+        if self.outbox.is_empty() || self.broken.is_some() {
             let _ = self.stream.shutdown(Shutdown::Both);
-            self.closed = true;
+            self.fin_sent = true;
         }
     }
 }

@@ -167,6 +167,92 @@ fn readiness_tracks_available_bytes() {
     }
 }
 
+/// Send-side backpressure: a sender that outruns the kernel's send
+/// buffer sees `WouldBlock` mid-frame. The transport must queue the
+/// unwritten remainder and flush it opportunistically — every frame
+/// eventually arrives intact, none torn at the `WouldBlock` boundary,
+/// none silently dropped.
+#[test]
+fn would_block_on_send_never_tears_or_drops_frames() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("addr");
+    let mut tx = TcpTransport::connect(addr).expect("connect");
+    let (accepted, _) = listener.accept().expect("accept");
+    let mut rx = TcpTransport::from_stream(accepted).expect("wrap");
+
+    // One burst of frames large enough to overrun any auto-tuned
+    // loopback send+receive buffering while the peer reads nothing.
+    let frame = encode(&Msg::SecondReport { second: 0, bg_bytes: 7, measured_bytes: 0xDEAD });
+    let frames_per_write = 64 * 1024 / frame.len();
+    let chunk: Vec<u8> =
+        frame.iter().copied().cycle().take(frames_per_write * frame.len()).collect();
+    let writes = 512; // ~32 MiB total
+    let total_frames = writes * frames_per_write;
+    let mut saw_backpressure = false;
+    for _ in 0..writes {
+        tx.send(SimTime::ZERO, &chunk).expect("send queues under backpressure");
+        saw_backpressure |= tx.pending_send_bytes() > 0;
+    }
+    assert!(saw_backpressure, "the kernel send buffer never filled; burst too small?");
+
+    // Hang up mid-backpressure: close must defer the FIN rather than
+    // tear the queued tail — the repeated `close` calls below (the
+    // endpoint retries close every pump while terminal) finish the
+    // flush first.
+    tx.close();
+
+    // Drain the receiver, nudging the sender's outbox along (repeated
+    // close retries the flush, like a terminal endpoint's pump would).
+    let want = total_frames * frame.len();
+    let mut dec = FrameDecoder::new();
+    let mut got_frames = 0usize;
+    let mut got_bytes = 0usize;
+    for round in 0..200_000 {
+        let bytes = rx.recv(now_for(round)).expect("recv");
+        got_bytes += bytes.len();
+        dec.push(&bytes);
+        while let Some(msg) = dec.next_msg().expect("no torn frame ever surfaces") {
+            assert_eq!(
+                msg,
+                Msg::SecondReport { second: 0, bg_bytes: 7, measured_bytes: 0xDEAD },
+                "frame corrupted at the WouldBlock boundary"
+            );
+            got_frames += 1;
+        }
+        if got_bytes >= want {
+            break;
+        }
+        if bytes.is_empty() {
+            tx.close(); // retry the deferred-FIN flush
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    // Let the sender finish flushing its queued remainder.
+    for round in 0..200_000 {
+        if tx.pending_send_bytes() == 0 && got_bytes >= want {
+            break;
+        }
+        tx.close();
+        let bytes = rx.recv(now_for(round)).expect("recv tail");
+        got_bytes += bytes.len();
+        dec.push(&bytes);
+        while let Some(msg) = dec.next_msg().expect("no torn frame in the tail") {
+            assert_eq!(msg, Msg::SecondReport { second: 0, bg_bytes: 7, measured_bytes: 0xDEAD });
+            got_frames += 1;
+        }
+        if bytes.is_empty() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    assert_eq!(got_bytes, want, "bytes lost under send backpressure");
+    assert_eq!(got_frames, total_frames, "frames lost under send backpressure");
+    assert_eq!(tx.pending_send_bytes(), 0, "outbox fully flushed");
+    // With the outbox drained the deferred FIN goes out; the receiver
+    // observes a clean EOF, not a torn stream.
+    tx.close();
+    recv_until_err("TcpTransport", &mut rx);
+}
+
 /// The scenario that motivates the whole error path: a measurer's
 /// connection dies mid-slot. The coordinator session must abort with
 /// `ConnectionLost` within a bounded number of pump rounds — no
