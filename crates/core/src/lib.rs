@@ -22,8 +22,9 @@
 //! | [`team`] | §4, §4.2 | measurement teams, measuring measurers |
 //! | [`alloc`] | §4.2 | greedy capacity allocation |
 //! | [`measure`] | §4.1 | one (or many concurrent) measurement slots |
-//! | [`engine`] | §4.1, §7 | transport-agnostic coordinator event loop (`MeasurementEngine`) |
-//! | [`shard`] | §4.3, §7 | sharding a period's item groups across engines and worker threads (`ShardedEngine`) |
+//! | [`engine`] | §4.1, §7 | transport-agnostic coordinator event loop (`MeasurementEngine`), data channels, counter-backed ledger |
+//! | [`shard`] | §4.3, §7 | sharding a period's item groups across engines and worker threads (`ShardedEngine`), LPT group ordering |
+//! | [`pool`] | §7 | long-lived pool of warm TCP connections to measurer processes |
 //! | [`proto_driver`] | §4.1 | the same slots driven end-to-end through the `flashflow-proto` control protocol over the engine |
 //! | [`verify`] | §4.1, §5 | random cell spot-checks |
 //! | [`sequence`] | §4.2 | adaptive re-measurement with doubling |
@@ -65,6 +66,7 @@ pub mod dynamic;
 pub mod engine;
 pub mod measure;
 pub mod params;
+pub mod pool;
 pub mod proto_driver;
 pub mod schedule;
 pub mod security;
@@ -82,14 +84,15 @@ pub mod prelude {
     pub use crate::bwauth::{aggregate_bwauths, BandwidthFile, BwAuth, BwEntry, MeasureBackend};
     pub use crate::dynamic::{adjust_weights, DynamicPolicy, DynamicReport};
     pub use crate::engine::{
-        EngineBuilder, EngineEvent, EngineSnapshot, MeasurementEngine, PeerDirectory, PeerId,
-        SampleLedger,
+        EngineBuilder, EngineEvent, EngineSnapshot, LedgerRow, MeasurementEngine, PeerDirectory,
+        PeerId, SampleLedger, DIVERGENCE_TOLERANCE,
     };
     pub use crate::measure::{
         assignments_for, measure_once, run_concurrent_measurements, run_measurement, Assignment,
         BatchItem, Measurement, SecondSample,
     };
     pub use crate::params::Params;
+    pub use crate::pool::{ChannelKind, ConnectionPool, PooledConn, ReuseHandle};
     pub use crate::proto_driver::{
         fingerprint_for, FaultSpec, PeerFailure, PeerFault, ProtoConfig, ProtoMeasurement,
         SlotRunner,
@@ -101,7 +104,9 @@ pub mod prelude {
         capacity_on_demand_failure_probability, max_inflation_factor, summarize,
     };
     pub use crate::sequence::{measure_relay, new_relay_prior, SequenceEnd, SequenceOutcome};
-    pub use crate::shard::{GroupRunner, PeriodLedger, ShardEvent, ShardedEngine, ShardedRun};
+    pub use crate::shard::{
+        sized, GroupRunner, PeriodLedger, ShardEvent, ShardedEngine, ShardedRun,
+    };
     pub use crate::sybil::{measure_family, FamilyMeasurement};
     pub use crate::team::{Measurer, Team};
     pub use crate::verify::{evasion_probability, spot_check, TargetBehavior, VerificationOutcome};

@@ -1,0 +1,298 @@
+//! A long-lived pool of warm TCP connections to measurer processes.
+//!
+//! Before this existed, every measurement item dialed fresh control and
+//! data connections to each measurer process — a period of thousands of
+//! items meant thousands of TCP handshakes against the same handful of
+//! hosts (the ROADMAP's "long-lived connection pool" scaling item). The
+//! [`ConnectionPool`] keeps connections **across items**: a
+//! [`GroupRunner`](crate::shard::GroupRunner) checks a connection out,
+//! runs its conversation over it, marks it reusable if the session ended
+//! cleanly, and the connection parks itself back in the pool when the
+//! engine drops it.
+//!
+//! Reuse is safe because both ends agree on it: the serving measurer
+//! process loops sessions on one connection (each new `Auth` starts a
+//! fresh [`MeasurerSession`](flashflow_proto::session::MeasurerSession)
+//! with the shared replay window), and data channels re-bind with a new
+//! [`DataChannelHello`](flashflow_proto::blast::DataChannelHello). The
+//! coordinator side defers the endpoint's terminal hang-up exactly like
+//! [`LeasedTransport`](flashflow_proto::transport::LeasedTransport): a
+//! [`PooledConn`]'s `close` is recorded, not executed, and the *driver*
+//! decides at return time — a connection whose session did not end
+//! [`Done`](flashflow_proto::session::CoordPhase::Done) (or whose
+//! outbox still holds bytes) is really closed, never parked, so a torn
+//! or half-poisoned stream can never leak into the next item.
+//!
+//! The pool is `Sync`:
+//! [`ShardedEngine::run_partitioned`](crate::shard::ShardedEngine::run_partitioned)
+//! workers share one behind an `Arc`, so
+//! warm connections migrate to whichever shard runs the next item
+//! against that process.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use flashflow_proto::tcp::TcpTransport;
+use flashflow_proto::transport::{Readiness, Transport, TransportError};
+use flashflow_simnet::time::SimTime;
+
+/// What a pooled connection is used for. A serving measurer process
+/// classifies each accepted connection **once** — control frames or
+/// blast data — so the pool must never hand a parked data connection
+/// out as a control channel (or vice versa); the idle map is keyed by
+/// `(address, kind)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// A framed control conversation.
+    Control,
+    /// A blast data channel.
+    Data,
+}
+
+#[derive(Default)]
+struct PoolShared {
+    idle: Mutex<HashMap<(SocketAddr, ChannelKind), Vec<TcpTransport>>>,
+    dials: AtomicU64,
+    reuses: AtomicU64,
+    discarded: AtomicU64,
+}
+
+/// A shared pool of warm [`TcpTransport`] connections, keyed by peer
+/// address. See the [module docs](self).
+#[derive(Clone, Default)]
+pub struct ConnectionPool {
+    shared: Arc<PoolShared>,
+}
+
+impl ConnectionPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ConnectionPool::default()
+    }
+
+    /// Checks a `kind` connection to `addr` out: a parked warm one when
+    /// available (stale ones — peer hung up while parked — are
+    /// discarded on the spot), a fresh dial otherwise.
+    ///
+    /// # Errors
+    /// Propagates the dial failure.
+    pub fn checkout(&self, addr: SocketAddr, kind: ChannelKind) -> std::io::Result<PooledConn> {
+        let key = (addr, kind);
+        loop {
+            let parked =
+                self.shared.idle.lock().expect("pool lock").get_mut(&key).and_then(Vec::pop);
+            let Some(mut transport) = parked else { break };
+            // A parked connection can rot: the process exited, or sent
+            // bytes we never asked for. Either disqualifies it.
+            if transport.readiness(SimTime::ZERO) == Readiness::Quiet {
+                self.shared.reuses.fetch_add(1, Ordering::Relaxed);
+                return Ok(self.wrap(key, transport));
+            }
+            self.shared.discarded.fetch_add(1, Ordering::Relaxed);
+        }
+        let transport = TcpTransport::connect(addr)?;
+        self.shared.dials.fetch_add(1, Ordering::Relaxed);
+        Ok(self.wrap(key, transport))
+    }
+
+    fn wrap(&self, key: (SocketAddr, ChannelKind), transport: TcpTransport) -> PooledConn {
+        PooledConn {
+            inner: Some(transport),
+            key,
+            shared: Arc::clone(&self.shared),
+            reuse: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Fresh TCP dials performed so far.
+    pub fn dials(&self) -> u64 {
+        self.shared.dials.load(Ordering::Relaxed)
+    }
+
+    /// Checkouts served from a parked warm connection.
+    pub fn reuses(&self) -> u64 {
+        self.shared.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Parked connections found stale and thrown away.
+    pub fn discarded(&self) -> u64 {
+        self.shared.discarded.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently parked.
+    pub fn idle_count(&self) -> usize {
+        self.shared.idle.lock().expect("pool lock").values().map(Vec::len).sum()
+    }
+}
+
+/// A grant of permission for a [`PooledConn`] to park itself back in
+/// the pool. The driver holds this, and approves only after inspecting
+/// how the conversation ended.
+#[derive(Clone)]
+pub struct ReuseHandle(Arc<AtomicBool>);
+
+impl ReuseHandle {
+    /// Marks the connection clean: it may be parked for the next item.
+    pub fn approve(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+/// One checked-out pool connection, usable anywhere a
+/// [`Transport`] is (engine control channels, blast data channels).
+///
+/// `close` is deferred (recorded, not executed) so the engine's
+/// terminal hang-up cannot destroy a connection the driver wants back.
+/// On drop the connection parks itself in the pool **iff** its
+/// [`ReuseHandle`] was approved and the transport is still sound
+/// (no error, no EOF, empty outbox); otherwise the socket really
+/// closes.
+pub struct PooledConn {
+    inner: Option<TcpTransport>,
+    key: (SocketAddr, ChannelKind),
+    shared: Arc<PoolShared>,
+    reuse: Arc<AtomicBool>,
+}
+
+impl PooledConn {
+    /// The handle the driver approves reuse through.
+    pub fn reuse_handle(&self) -> ReuseHandle {
+        ReuseHandle(Arc::clone(&self.reuse))
+    }
+
+    /// Bytes accepted for send but not yet taken by the kernel.
+    pub fn pending_send_bytes(&self) -> usize {
+        self.inner.as_ref().map_or(0, TcpTransport::pending_send_bytes)
+    }
+
+    fn transport(&mut self) -> &mut TcpTransport {
+        self.inner.as_mut().expect("present until drop")
+    }
+}
+
+impl Transport for PooledConn {
+    fn send(&mut self, now: SimTime, bytes: &[u8]) -> Result<(), TransportError> {
+        self.transport().send(now, bytes)
+    }
+
+    fn recv(&mut self, now: SimTime) -> Result<Vec<u8>, TransportError> {
+        self.transport().recv(now)
+    }
+
+    fn readiness(&mut self, now: SimTime) -> Readiness {
+        self.transport().readiness(now)
+    }
+
+    fn close(&mut self) {
+        // Deferred: the drop decides between parking and real close.
+        // Flush what the kernel will take so a clean conversation's
+        // tail frames are not stranded behind the deferral.
+        if let Some(t) = self.inner.as_mut() {
+            let _ = t.send(SimTime::ZERO, &[]);
+        }
+    }
+}
+
+impl Drop for PooledConn {
+    fn drop(&mut self) {
+        let Some(transport) = self.inner.take() else { return };
+        let sound = transport.is_reusable() && transport.pending_send_bytes() == 0;
+        if self.reuse.load(Ordering::Acquire) && sound {
+            self.shared
+                .idle
+                .lock()
+                .expect("pool lock")
+                .entry(self.key)
+                .or_default()
+                .push(transport);
+        } else {
+            self.shared.discarded.fetch_add(1, Ordering::Relaxed);
+            // Dropping the TcpTransport closes the socket.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn echo_listener() -> (TcpListener, SocketAddr) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("addr");
+        (listener, addr)
+    }
+
+    #[test]
+    fn approved_connections_are_reused_not_redialed() {
+        let (listener, addr) = echo_listener();
+        let server = std::thread::spawn(move || {
+            // One accepted connection serves both checkouts.
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut buf = [0u8; 16];
+            let mut total = 0usize;
+            while total < 10 {
+                let n = stream.read(&mut buf).expect("read");
+                if n == 0 {
+                    break;
+                }
+                total += n;
+            }
+            total
+        });
+
+        let pool = ConnectionPool::new();
+        {
+            let conn = pool.checkout(addr, ChannelKind::Control).expect("dial");
+            let mut conn = conn;
+            conn.send(SimTime::ZERO, b"first").unwrap();
+            conn.reuse_handle().approve();
+            // Engine-style deferred close must not kill the socket.
+            conn.close();
+        }
+        assert_eq!((pool.dials(), pool.reuses(), pool.idle_count()), (1, 0, 1));
+        {
+            let mut conn = pool.checkout(addr, ChannelKind::Control).expect("reuse");
+            conn.send(SimTime::ZERO, b"again").unwrap();
+            // Not approved this time: really closed on drop.
+        }
+        assert_eq!((pool.dials(), pool.reuses(), pool.idle_count()), (1, 1, 0));
+        assert_eq!(server.join().expect("server"), 10, "both writes crossed one connection");
+    }
+
+    #[test]
+    fn unapproved_or_dirty_connections_never_park() {
+        let (listener, addr) = echo_listener();
+        let pool = ConnectionPool::new();
+        let conn = pool.checkout(addr, ChannelKind::Control).expect("dial");
+        let _accepted = listener.accept().expect("accept");
+        drop(conn); // never approved
+        assert_eq!(pool.idle_count(), 0);
+        assert_eq!(pool.discarded(), 1);
+    }
+
+    #[test]
+    fn stale_parked_connections_are_discarded_at_checkout() {
+        let (listener, addr) = echo_listener();
+        let pool = ConnectionPool::new();
+        {
+            let conn = pool.checkout(addr, ChannelKind::Control).expect("dial");
+            let _accepted = listener.accept().expect("accept");
+            conn.reuse_handle().approve();
+            drop(conn);
+            // The peer hangs up while the connection is parked.
+            drop(_accepted);
+        }
+        assert_eq!(pool.idle_count(), 1);
+        // Give the FIN a moment to land.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let conn2 = pool.checkout(addr, ChannelKind::Control).expect("redial after stale discard");
+        let _accepted2 = listener.accept().expect("accept fresh");
+        assert_eq!(pool.dials(), 2, "stale connection was not handed back out");
+        assert_eq!(pool.reuses(), 0);
+        drop(conn2);
+    }
+}

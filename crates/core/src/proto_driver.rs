@@ -142,6 +142,11 @@ pub struct ProtoMeasurement {
     pub frames_tx: u64,
     /// Control frames received by the coordinator, across its sessions.
     pub frames_rx: u64,
+    /// The per-second audit rows: reported rates next to locally
+    /// counted ones (counted is `None` on the simulated path — the
+    /// fluid sim moves its bytes through the network model, not through
+    /// data channels; the deployment path fills it in).
+    pub rows: Vec<crate::engine::LedgerRow>,
 }
 
 impl ProtoMeasurement {
@@ -533,6 +538,7 @@ impl<'a> SlotRunner<'a> {
                     failures: failures[ix].clone(),
                     frames_tx,
                     frames_rx,
+                    rows: ledger.rows(ix, sharded.group(ix), 0),
                 }
             })
             .collect()

@@ -62,6 +62,15 @@ pub trait GroupRunner: Send {
     /// Runs the group to completion. `emit` must be called with every
     /// engine event, in engine order.
     fn run(self: Box<Self>, emit: &mut dyn FnMut(EngineEvent)) -> EngineSnapshot;
+
+    /// Relative cost estimate used by
+    /// [`ShardedEngine::run_partitioned`]'s LPT ordering (any
+    /// monotone proxy works: peer count × slot seconds, expected bytes,
+    /// last period's wall clock). Groups default to equal weight; wrap
+    /// a runner with [`sized`] to assign one.
+    fn estimated_cost(&self) -> u64 {
+        1
+    }
 }
 
 impl<F> GroupRunner for F
@@ -71,6 +80,26 @@ where
     fn run(self: Box<Self>, emit: &mut dyn FnMut(EngineEvent)) -> EngineSnapshot {
         (*self)(emit)
     }
+}
+
+struct SizedGroup {
+    cost: u64,
+    runner: Box<dyn GroupRunner>,
+}
+
+impl GroupRunner for SizedGroup {
+    fn run(self: Box<Self>, emit: &mut dyn FnMut(EngineEvent)) -> EngineSnapshot {
+        self.runner.run(emit)
+    }
+    fn estimated_cost(&self) -> u64 {
+        self.cost
+    }
+}
+
+/// Attaches a cost estimate to a runner for LPT scheduling (see
+/// [`GroupRunner::estimated_cost`]).
+pub fn sized(cost: u64, runner: Box<dyn GroupRunner>) -> Box<dyn GroupRunner> {
+    Box::new(SizedGroup { cost, runner })
 }
 
 /// The period's shared sample ledger: one quarantine per item group,
@@ -108,6 +137,17 @@ impl PeriodLedger {
     ) -> (Vec<f64>, Vec<f64>) {
         self.groups[group].merged_series(dir, item)
     }
+
+    /// The reported-vs-counted audit rows of group-local `item` (see
+    /// [`SampleLedger::rows`]).
+    pub fn rows(
+        &self,
+        group: usize,
+        dir: &impl PeerDirectory,
+        item: usize,
+    ) -> Vec<crate::engine::LedgerRow> {
+        self.groups[group].rows(dir, item)
+    }
 }
 
 /// Everything a partitioned run produced: the fan-in event stream, one
@@ -127,6 +167,12 @@ impl ShardedRun {
     /// [`SampleLedger::merged_series`]).
     pub fn merged_series(&self, group: usize, item: usize) -> (Vec<f64>, Vec<f64>) {
         self.ledger.merged_series(group, &self.snapshots[group], item)
+    }
+
+    /// The reported-vs-counted audit rows of group-local `item` (see
+    /// [`SampleLedger::rows`]).
+    pub fn rows(&self, group: usize, item: usize) -> Vec<crate::engine::LedgerRow> {
+        self.ledger.rows(group, &self.snapshots[group], item)
     }
 
     /// True if every conversation of every group ended cleanly.
@@ -232,13 +278,22 @@ impl ShardedEngine {
     /// (a stalling peer riding its timeouts) delays only its own worker
     /// while the rest of the period proceeds.
     ///
+    /// Scheduling is **LPT** (longest processing time first): the queue
+    /// is ordered by [`GroupRunner::estimated_cost`] descending, so the
+    /// heaviest groups start first and a huge slot no longer tails the
+    /// period after every other worker has gone idle. Event and
+    /// snapshot indices remain the *caller's* group order regardless.
+    ///
     /// # Panics
     /// Panics if `shards` is zero, and propagates any worker panic.
     pub fn run_partitioned(groups: Vec<Box<dyn GroupRunner>>, shards: usize) -> ShardedRun {
         assert!(shards > 0, "at least one shard required");
         let n = groups.len();
+        let mut jobs: Vec<(usize, Box<dyn GroupRunner>)> = groups.into_iter().enumerate().collect();
+        // LPT: heaviest first; ties keep caller order (stable sort).
+        jobs.sort_by_key(|(_, runner)| std::cmp::Reverse(runner.estimated_cost()));
         let queue: Mutex<VecDeque<(usize, Box<dyn GroupRunner>)>> =
-            Mutex::new(groups.into_iter().enumerate().collect());
+            Mutex::new(jobs.into_iter().collect());
         let workers = shards.min(n.max(1));
         let (tx, rx) = mpsc::channel::<WorkerMsg>();
 
@@ -511,6 +566,56 @@ mod tests {
         assert!(run.all_clean());
         let (x, _) = run.merged_series(0, 0);
         assert_eq!(x, vec![500.0; SLOT_SECS as usize]);
+    }
+
+    #[test]
+    fn partitioned_run_starts_heaviest_groups_first() {
+        use std::sync::{Arc, Mutex};
+
+        // Four groups with wildly different cost estimates, one shard:
+        // the queue must pop them in LPT (cost-descending) order, while
+        // events and snapshots keep the caller's indexing.
+        let costs = [5u64, 500, 1, 50];
+        let started: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let groups: Vec<Box<dyn GroupRunner>> = costs
+            .iter()
+            .enumerate()
+            .map(|(ix, &cost)| {
+                let started = Arc::clone(&started);
+                let inner: Box<dyn GroupRunner> =
+                    Box::new(move |emit: &mut dyn FnMut(EngineEvent)| -> EngineSnapshot {
+                        started.lock().unwrap().push(ix);
+                        scripted_group(1_000 * (ix as u64 + 1)).run(emit)
+                    });
+                sized(cost, inner)
+            })
+            .collect();
+        assert_eq!(groups[1].estimated_cost(), 500, "sized() carries the estimate");
+        let run = ShardedEngine::run_partitioned(groups, 1);
+        assert_eq!(*started.lock().unwrap(), vec![1, 3, 0, 2], "LPT start order");
+        assert!(run.all_clean());
+        // Indexing stayed caller-side: group 2 still reports its rate.
+        let (x, _) = run.merged_series(2, 0);
+        assert_eq!(x, vec![3_000.0; SLOT_SECS as usize]);
+    }
+
+    #[test]
+    fn equal_cost_groups_keep_caller_order() {
+        use std::sync::{Arc, Mutex};
+        let started: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let groups: Vec<Box<dyn GroupRunner>> = (0..4)
+            .map(|ix| {
+                let started = Arc::clone(&started);
+                let b: Box<dyn GroupRunner> =
+                    Box::new(move |emit: &mut dyn FnMut(EngineEvent)| -> EngineSnapshot {
+                        started.lock().unwrap().push(ix);
+                        scripted_group(1_000).run(emit)
+                    });
+                b
+            })
+            .collect();
+        let _ = ShardedEngine::run_partitioned(groups, 1);
+        assert_eq!(*started.lock().unwrap(), vec![0, 1, 2, 3], "stable under equal costs");
     }
 
     #[test]

@@ -3,75 +3,129 @@
 //!
 //! This is the peer side of the paper's deployment topology (§4.1, §7):
 //! a long-lived process on a measurement host that listens on TCP,
-//! authenticates each incoming coordinator connection with the
-//! pre-shared token and nonce handshake, and serves every accepted
-//! conversation as its own [`MeasurerSession`] on its own thread — a
-//! sharded coordinator (see `flashflow-core::shard::ShardedEngine`)
-//! connects one conversation per measurement item, so a busy period
-//! means many concurrent sessions against one process.
+//! classifies each accepted connection as **control** (the framed
+//! session protocol) or **data** (a blast channel opening with a
+//! [`DataChannelHello`](flashflow_proto::blast::DataChannelHello)), and
+//! serves both concurrently:
 //!
-//! There is no Tor network here: once a slot starts, the process
-//! *scripts* its per-second reports (measurers report their commanded
-//! `rate_cap` — a measurer blasting at its allocation — and targets
-//! report a configured background rate). Everything else — framing,
-//! handshake replay protection, timeouts, abort handling — is the exact
-//! hardened session code the simulation and the loopback-TCP tests
-//! exercise. Swapping the scripted byte counts for real socket counters
-//! is a local change to [`serve_session`].
+//! * Control connections run [`MeasurerSession`]s — and keep running
+//!   them: after a conversation ends cleanly the process waits for the
+//!   next `Auth` on the *same* connection, which is what lets a
+//!   coordinator-side connection pool reuse warm connections across
+//!   measurement items instead of dialing fresh per item.
+//! * Data connections must present a hello binding them
+//!   to a control session's accepted `Auth` nonce. Blast payloads are
+//!   verified against the nonce-derived pattern keystream and counted
+//!   (received and corrupt bytes) into per-session counters.
+//!
+//! With the default `--report counters`, a measurer-role session's
+//! `SecondReport`s are **derived from those counters** — the bytes that
+//! actually arrived on its data channels that second — not asserted.
+//! `--report scripted` keeps the old fixed-rate behavior for harnesses
+//! that need exact numbers; target-role sessions always report their
+//! configured `--bg` (there is no client-traffic source here to count).
+//!
+//! Liveness at the edges (half-open connections must not hold
+//! resources):
+//!
+//! * a connection that says nothing at all is dropped at the
+//!   classification deadline (pre-`Auth` silence);
+//! * a data connection that dials but never completes its hello — or
+//!   presents a nonce no authenticated control session ever accepted —
+//!   is dropped at the same deadline, so a half-open data dial between
+//!   `AuthOk` and the first `DataChannelHello` cannot pin a slot
+//!   forever (it used to be only the control side that was bounded).
+//!
+//! Operator tooling: `--config FILE` loads `key=value` lines (same keys
+//! as the flags, `#` comments); later command-line flags override the
+//! file. On **SIGTERM** the process drains gracefully: it stops
+//! accepting, lets running slots finish, aborts still-handshaking
+//! sessions with `Shutdown` (flushing the `Abort` frames), joins every
+//! serving thread, and exits 0.
 //!
 //! Replay protection across sessions: the process keeps one shared
-//! [`ReplayWindow`]. Each session starts from a clone of it (rejecting
-//! replays of any previously claimed opener without holding the lock),
-//! and the moment a session accepts an `Auth` nonce it *claims* it in
-//! the shared window under the lock — so when two concurrent
-//! connections replay the same opener, exactly one wins and the other
-//! is aborted with `AuthFailed`.
+//! [`ReplayWindow`]. Each session starts from a clone of it, and the
+//! moment a session accepts an `Auth` nonce it *claims* it in the
+//! shared window under the lock — of two concurrent connections
+//! replaying one opener, exactly one wins. The same claim registers the
+//! nonce with the data plane, so a hello arriving right after `AuthOk`
+//! always finds its session.
 //!
 //! ```text
-//! flashflow-measurer --listen 127.0.0.1:0 --role measurer \
-//!     --token-hex <64 hex chars> [--rate BYTES] [--bg BYTES] \
-//!     [--speedup X] [--sessions N]
+//! flashflow-measurer [--config FILE] [--listen ADDR] [--role measurer|target]
+//!     [--report counters|scripted] [--token-hex HEX64] [--rate BYTES]
+//!     [--bg BYTES] [--speedup X] [--sessions N]
 //! ```
 //!
-//! The only line on stdout is `listening <addr>`, so a spawning
-//! harness (or operator tooling) can read the bound ephemeral port;
-//! everything else goes to stderr. With `--sessions N` the process
-//! exits cleanly after serving N conversations (the multi-process
-//! harness test uses this); without it, it serves forever.
+//! The only line on stdout is `listening <addr>`, so a spawning harness
+//! (or operator tooling) can read the bound ephemeral port; everything
+//! else goes to stderr. With `--sessions N` the process exits cleanly
+//! after completing N control conversations (the multi-process harness
+//! uses this); without it, it serves until SIGTERM.
 
+use std::collections::HashMap;
 use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use flashflow_proto::blast::{BlastEvent, BlastParser, ReportSource, DATA_HELLO_TAG};
 use flashflow_proto::endpoint::Endpoint;
-use flashflow_proto::msg::{PeerRole, AUTH_TOKEN_LEN};
-use flashflow_proto::session::{MeasurerAction, MeasurerSession, ReplayWindow, SessionTimeouts};
+use flashflow_proto::msg::{AbortReason, PeerRole, AUTH_TOKEN_LEN};
+use flashflow_proto::session::{
+    MeasurerAction, MeasurerPhase, MeasurerSession, ReplayWindow, SessionTimeouts,
+};
 use flashflow_proto::tcp::{TcpAcceptor, TcpTransport};
+use flashflow_proto::transport::{LeasedTransport, Transport};
 use flashflow_simnet::time::SimTime;
 
-/// Parsed command line.
+/// Set by the SIGTERM handler; the accept loop begins the drain.
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+#[allow(clippy::fn_to_numeric_cast_any)]
+fn install_sigterm_handler() {
+    extern "C" fn on_sigterm(_sig: i32) {
+        // Only async-signal-safe work here: flip the flag.
+        DRAIN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+/// Parsed configuration (command line and/or `--config` file).
 #[derive(Debug, Clone)]
 struct Config {
     listen: String,
     role: PeerRole,
     token: [u8; AUTH_TOKEN_LEN],
-    /// Whether `--token-hex` was given. The built-in default token is
-    /// public knowledge (it is in the source), so it is only acceptable
-    /// on loopback; a non-loopback listener must be given a real secret.
+    /// Whether a token was given explicitly. The built-in default token
+    /// is public knowledge (it is in the source), so it is only
+    /// acceptable on loopback; a non-loopback listener must be given a
+    /// real secret.
     token_explicit: bool,
-    /// Measurer role: per-second measured bytes; `None` follows the
-    /// commanded `rate_cap`.
+    /// Where measurer-role `SecondReport`s come from.
+    report: ReportSource,
+    /// Scripted measurer rate; `None` follows the commanded `rate_cap`.
     rate: Option<u64>,
-    /// Target role: per-second background bytes.
+    /// Target role: per-second background bytes (always scripted).
     bg: u64,
     /// Report pacing multiplier (50 = a "second" every 20 ms). The
-    /// coordinator's clock does not speed up with the peer, so above 1
-    /// it must raise its per-session report-ahead cap to at least the
-    /// slot length (`CoordinatorSession::with_report_ahead_cap`) or the
-    /// legitimately fast reports will be aborted as a flood.
+    /// coordinator's clock does not speed up with the peer unless it
+    /// runs the same multiplier, so either match the speedup on both
+    /// sides or raise the coordinator's report-ahead cap.
     speedup: f64,
-    /// Exit after serving this many sessions; `None` serves forever.
+    /// Exit after completing this many control conversations; `None`
+    /// serves until SIGTERM.
     sessions: Option<u64>,
 }
 
@@ -82,6 +136,7 @@ impl Default for Config {
             role: PeerRole::Measurer,
             token: [0x42; AUTH_TOKEN_LEN],
             token_explicit: false,
+            report: ReportSource::Counters,
             rate: None,
             bg: 0,
             speedup: 1.0,
@@ -90,8 +145,19 @@ impl Default for Config {
     }
 }
 
-const USAGE: &str = "usage: flashflow-measurer [--listen ADDR] [--role measurer|target] \
-                     [--token-hex HEX64] [--rate BYTES] [--bg BYTES] [--speedup X] [--sessions N]";
+impl Config {
+    /// The window a fresh connection gets to identify itself (first
+    /// byte, complete hello, known nonce), scaled with `--speedup` like
+    /// every other pacing quantity.
+    fn hello_window(&self) -> Duration {
+        Duration::from_secs_f64((10.0 / self.speedup).clamp(0.05, 30.0))
+    }
+}
+
+const USAGE: &str = "usage: flashflow-measurer [--config FILE] [--listen ADDR] \
+                     [--role measurer|target] [--report counters|scripted] \
+                     [--token-hex HEX64] [--rate BYTES] [--bg BYTES] [--speedup X] \
+                     [--sessions N]";
 
 fn parse_token_hex(s: &str) -> Result<[u8; AUTH_TOKEN_LEN], String> {
     if s.len() != AUTH_TOKEN_LEN * 2 {
@@ -105,64 +171,187 @@ fn parse_token_hex(s: &str) -> Result<[u8; AUTH_TOKEN_LEN], String> {
     Ok(token)
 }
 
+/// Applies one `key=value` setting. Shared by the command line (`--key
+/// value`) and the config file (`key=value`), so the two cannot drift.
+fn apply(cfg: &mut Config, key: &str, value: &str) -> Result<(), String> {
+    match key {
+        "listen" => cfg.listen = value.to_string(),
+        "role" => {
+            cfg.role = match value {
+                "measurer" => PeerRole::Measurer,
+                "target" => PeerRole::Target,
+                other => return Err(format!("role: unknown role {other:?}")),
+            }
+        }
+        "report" => cfg.report = value.parse()?,
+        "token-hex" => {
+            cfg.token = parse_token_hex(value)?;
+            cfg.token_explicit = true;
+        }
+        "rate" => cfg.rate = Some(value.parse().map_err(|e| format!("rate: {e}"))?),
+        "bg" => cfg.bg = value.parse().map_err(|e| format!("bg: {e}"))?,
+        "speedup" => {
+            cfg.speedup = value.parse().map_err(|e| format!("speedup: {e}"))?;
+            if !(cfg.speedup.is_finite() && cfg.speedup > 0.0) {
+                return Err("speedup must be positive and finite".to_string());
+            }
+        }
+        "sessions" => cfg.sessions = Some(value.parse().map_err(|e| format!("sessions: {e}"))?),
+        other => return Err(format!("unknown setting {other:?}\n{USAGE}")),
+    }
+    Ok(())
+}
+
+/// Loads a `key=value` config file (blank lines and `#` comments
+/// skipped) into `cfg`.
+fn apply_config_file(cfg: &mut Config, path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--config {path}: {e}"))?;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or(format!("--config {path}:{}: expected key=value", lineno + 1))?;
+        apply(cfg, key.trim(), value.trim())
+            .map_err(|e| format!("--config {path}:{}: {e}", lineno + 1))?;
+    }
+    Ok(())
+}
+
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
     let mut cfg = Config::default();
     let mut args = args.peekable();
     while let Some(flag) = args.next() {
-        let mut value = |name: &str| args.next().ok_or(format!("{name} wants a value"));
-        match flag.as_str() {
-            "--listen" => cfg.listen = value("--listen")?,
-            "--role" => {
-                cfg.role = match value("--role")?.as_str() {
-                    "measurer" => PeerRole::Measurer,
-                    "target" => PeerRole::Target,
-                    other => return Err(format!("--role: unknown role {other:?}")),
-                }
-            }
-            "--token-hex" => {
-                cfg.token = parse_token_hex(&value("--token-hex")?)?;
-                cfg.token_explicit = true;
-            }
-            "--rate" => {
-                cfg.rate = Some(value("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?)
-            }
-            "--bg" => cfg.bg = value("--bg")?.parse().map_err(|e| format!("--bg: {e}"))?,
-            "--speedup" => {
-                cfg.speedup = value("--speedup")?.parse().map_err(|e| format!("--speedup: {e}"))?;
-                if !(cfg.speedup.is_finite() && cfg.speedup > 0.0) {
-                    return Err("--speedup must be positive and finite".to_string());
-                }
-            }
-            "--sessions" => {
-                cfg.sessions =
-                    Some(value("--sessions")?.parse().map_err(|e| format!("--sessions: {e}"))?)
-            }
-            "--help" | "-h" => return Err(USAGE.to_string()),
-            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("unknown argument {flag:?}\n{USAGE}"));
+        };
+        let value = args.next().ok_or(format!("--{key} wants a value"))?;
+        if key == "config" {
+            apply_config_file(&mut cfg, &value)?;
+        } else {
+            apply(&mut cfg, key, &value)?;
         }
     }
     Ok(cfg)
 }
 
-/// Serves one accepted conversation to completion. Runs on its own
-/// thread; many run concurrently against one process.
-fn serve_session(
-    transport: TcpTransport,
+/// Per-session data-plane counters, fed by however many data channels
+/// bound to the session's nonce.
+#[derive(Default)]
+struct SessionCounters {
+    received: AtomicU64,
+    corrupt: AtomicU64,
+    channels: AtomicU64,
+}
+
+/// The process-wide registry binding accepted `Auth` nonces to their
+/// counters. Control sessions register on claim and release at the end;
+/// data channels look their hello's nonce up here — a nonce that was
+/// never accepted by an authenticated session never binds a channel.
+#[derive(Default)]
+struct DataPlane {
+    sessions: Mutex<HashMap<u64, Arc<SessionCounters>>>,
+}
+
+impl DataPlane {
+    fn register(&self, nonce: u64) -> Arc<SessionCounters> {
+        Arc::clone(self.sessions.lock().expect("data plane lock").entry(nonce).or_default())
+    }
+
+    fn lookup(&self, nonce: u64) -> Option<Arc<SessionCounters>> {
+        self.sessions.lock().expect("data plane lock").get(&nonce).map(Arc::clone)
+    }
+
+    fn release(&self, nonce: u64) {
+        self.sessions.lock().expect("data plane lock").remove(&nonce);
+    }
+}
+
+/// Everything the serving threads share.
+struct Shared {
+    cfg: Config,
+    replay: Mutex<ReplayWindow>,
+    data: DataPlane,
+    /// Set when draining: no new conversations, finish in-flight slots.
+    draining: AtomicBool,
+    /// Control conversations completed (the `--sessions` quota).
+    sessions_done: AtomicU64,
+}
+
+impl Shared {
+    fn quota_reached(&self) -> bool {
+        self.cfg.sessions.is_some_and(|n| self.sessions_done.load(Ordering::SeqCst) >= n)
+    }
+
+    fn stop_serving(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || self.quota_reached()
+    }
+}
+
+/// How one control conversation ended.
+struct Outcome {
+    /// The session passed `Auth` (counts toward the quota).
+    authed: bool,
+    /// Ended `Done` on a healthy transport: the connection may serve
+    /// another conversation.
+    reusable: bool,
+}
+
+/// Serves control conversations on one connection until it dies, the
+/// process drains, or the quota fills. Each conversation is a fresh
+/// [`MeasurerSession`] seeded from the shared replay window; the
+/// connection itself is leased so a clean conversation's end does not
+/// close it — the coordinator-side pool reuses it for the next item.
+fn serve_control(transport: TcpTransport, preread: Vec<u8>, conn_id: u64, shared: &Shared) {
+    let mut leased = LeasedTransport::new(transport);
+    let mut preread = Some(preread);
+    let mut conversation = 0u64;
+    loop {
+        leased.reset_close();
+        let session_id = conn_id * 1_000 + conversation;
+        conversation += 1;
+        let outcome = serve_one(&mut leased, preread.take(), session_id, shared);
+        if outcome.authed {
+            shared.sessions_done.fetch_add(1, Ordering::SeqCst);
+        }
+        if !outcome.reusable || shared.stop_serving() {
+            break;
+        }
+        // Warm connection: wait for the next conversation's Auth.
+    }
+}
+
+/// Serves exactly one control conversation over the leased connection.
+fn serve_one(
+    leased: &mut LeasedTransport<TcpTransport>,
+    preread: Option<Vec<u8>>,
     session_id: u64,
-    cfg: &Config,
-    replay: &Mutex<ReplayWindow>,
-) {
-    let window = replay.lock().expect("replay lock").clone();
+    shared: &Shared,
+) -> Outcome {
+    let cfg = &shared.cfg;
+    let window = shared.replay.lock().expect("replay lock").clone();
     let session = MeasurerSession::new(cfg.token, cfg.role, session_id, SessionTimeouts::default())
         .with_replay_window(window);
-    let mut endpoint = Endpoint::new(session, transport);
+    let mut endpoint = Endpoint::new(session, &mut *leased);
 
     let t0 = Instant::now();
+    if let Some(bytes) = preread {
+        endpoint.session_mut().receive(SimTime::ZERO, &bytes);
+    }
     let report_every = Duration::from_secs_f64(1.0 / cfg.speedup);
-    let mut slot: Option<(u32, u64, u64)> = None; // (slot_secs, bg, measured)
+    // (slot_secs, scripted bg, scripted measured) once Go arrives.
+    let mut slot: Option<(u32, u64, u64)> = None;
     let mut started_at = Instant::now();
     let mut reported = 0u32;
-    let mut nonce_claimed = false;
+    let mut claimed_nonce: Option<u64> = None;
+    let mut registered_nonce: Option<u64> = None;
+    let mut counters: Option<Arc<SessionCounters>> = None;
+    let mut counted_through = 0u64;
     loop {
         let now = SimTime::from_secs_f64(t0.elapsed().as_secs_f64());
         endpoint.pump(now);
@@ -170,15 +359,34 @@ fn serve_session(
         // Claim the accepted nonce in the process-wide window the moment
         // the handshake passes: of two concurrent connections replaying
         // the same opener, exactly one witnesses it first and the loser
-        // is dropped — a session-local window cannot arbitrate that.
-        if !nonce_claimed {
+        // is dropped — a session-local window cannot arbitrate that. The
+        // same claim registers the nonce with the data plane *before*
+        // AuthOk reaches the coordinator, so the hellos it then sends
+        // always find their session.
+        if claimed_nonce.is_none() {
             if let Some(nonce) = endpoint.session().accepted_nonce() {
-                nonce_claimed = true;
-                if !replay.lock().expect("replay lock").witness(nonce) {
+                claimed_nonce = Some(nonce);
+                if !shared.replay.lock().expect("replay lock").witness(nonce) {
+                    // The loser of a concurrent replay must NOT release
+                    // the winner's registration below — it never
+                    // registered (registered_nonce stays None).
                     eprintln!("[session {session_id}] concurrent Auth replay; dropping");
-                    endpoint.session_mut().abort(flashflow_proto::msg::AbortReason::AuthFailed);
+                    endpoint.session_mut().abort(AbortReason::AuthFailed);
+                } else if cfg.role == PeerRole::Measurer {
+                    counters = Some(shared.data.register(nonce));
+                    registered_nonce = Some(nonce);
                 }
             }
+        }
+        // Drain: finish a running slot, but abort a conversation still
+        // in its handshake — the Abort frame is flushed below.
+        if shared.draining.load(Ordering::SeqCst)
+            && matches!(
+                endpoint.session().phase(),
+                MeasurerPhase::AwaitAuth | MeasurerPhase::AwaitCmd | MeasurerPhase::AwaitGo
+            )
+        {
+            endpoint.session_mut().abort(AbortReason::Shutdown);
         }
         while let Some(action) = endpoint.session_mut().poll_action() {
             match action {
@@ -189,17 +397,26 @@ fn serve_session(
                     );
                 }
                 MeasurerAction::Start { spec } => {
-                    let measured = match cfg.role {
-                        PeerRole::Measurer => cfg.rate.unwrap_or(spec.rate_cap),
-                        PeerRole::Target => 0,
-                    };
-                    let bg = match cfg.role {
-                        PeerRole::Measurer => 0,
-                        PeerRole::Target => cfg.bg,
+                    let (bg, measured) = match (cfg.role, cfg.report) {
+                        (PeerRole::Measurer, ReportSource::Counters) => (0, 0),
+                        (PeerRole::Measurer, ReportSource::Scripted) => {
+                            (0, cfg.rate.unwrap_or(spec.rate_cap))
+                        }
+                        (PeerRole::Target, _) => (cfg.bg, 0),
                     };
                     slot = Some((spec.slot_secs, bg, measured));
                     started_at = Instant::now();
-                    eprintln!("[session {session_id}] go — reporting {measured} B/s");
+                    counted_through = 0;
+                    match (cfg.role, cfg.report) {
+                        (PeerRole::Measurer, ReportSource::Counters) => {
+                            let channels =
+                                counters.as_ref().map_or(0, |c| c.channels.load(Ordering::Relaxed));
+                            eprintln!(
+                                "[session {session_id}] go — counting {channels} data channel(s)"
+                            );
+                        }
+                        _ => eprintln!("[session {session_id}] go — reporting {measured} B/s"),
+                    }
                 }
                 MeasurerAction::Stop => {
                     eprintln!("[session {session_id}] stop after {reported} seconds");
@@ -212,12 +429,24 @@ fn serve_session(
                 && !endpoint.is_terminal()
                 && started_at.elapsed() >= report_every * (reported + 1)
             {
+                let measured = match (&counters, cfg.report, cfg.role) {
+                    (Some(c), ReportSource::Counters, PeerRole::Measurer) => {
+                        // Counter-derived: the bytes that actually
+                        // arrived on this session's data channels since
+                        // the previous report.
+                        let through = c.received.load(Ordering::Relaxed);
+                        let delta = through - counted_through;
+                        counted_through = through;
+                        delta
+                    }
+                    _ => measured,
+                };
                 endpoint.session_mut().report_second(bg, measured);
                 reported += 1;
             }
         }
         if endpoint.is_terminal() {
-            // Flush the tail (SlotDone / Abort) before hanging up.
+            // Flush the tail (SlotDone / Abort) before returning.
             for _ in 0..3 {
                 endpoint.pump(SimTime::from_secs_f64(t0.elapsed().as_secs_f64()));
                 thread::sleep(Duration::from_millis(1));
@@ -225,6 +454,140 @@ fn serve_session(
             break;
         }
         thread::sleep(Duration::from_millis(1));
+    }
+    let reusable =
+        endpoint.session().phase() == MeasurerPhase::Done && endpoint.transport_error().is_none();
+    let authed = claimed_nonce.is_some();
+    drop(endpoint);
+    // Release only a registration THIS conversation created: a
+    // replay-losing conversation claims the nonce but never registers,
+    // and must not unbind the concurrent winner's data channels.
+    if let Some(nonce) = registered_nonce {
+        shared.data.release(nonce);
+    }
+    Outcome { authed, reusable }
+}
+
+/// Serves one data connection: bind via hello, then count verified
+/// blast bytes into the bound session's counters. A later hello on the
+/// same connection re-binds it (coordinator-side pooled data channels).
+fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, shared: &Shared) {
+    let mut parser = BlastParser::new();
+    let mut counters: Option<Arc<SessionCounters>> = None;
+    // Bytes that arrived between a hello and its nonce registration
+    // landing (sub-millisecond race); credited once bound.
+    let mut unbound: (u64, u64) = (0, 0);
+    let mut pending_nonce: Option<u64> = None;
+    let mut bind_deadline = Instant::now() + shared.cfg.hello_window();
+    let mut last_activity = Instant::now();
+    let mut backlog = Some(preread);
+    loop {
+        let bytes = match backlog.take() {
+            Some(bytes) => bytes,
+            None => match transport.recv(SimTime::ZERO) {
+                Ok(bytes) => bytes,
+                Err(_) => break, // peer closed or failed
+            },
+        };
+        if !bytes.is_empty() {
+            last_activity = Instant::now();
+            let events = match parser.push(&bytes) {
+                Ok(events) => events,
+                Err(e) => {
+                    eprintln!("[data {conn_id}] framing error: {e}; dropping");
+                    break;
+                }
+            };
+            for event in events {
+                match event {
+                    BlastEvent::Hello(hello) => {
+                        if let Some(c) = counters.take() {
+                            c.channels.fetch_sub(1, Ordering::Relaxed);
+                        }
+                        pending_nonce = Some(hello.nonce);
+                        bind_deadline = Instant::now() + shared.cfg.hello_window();
+                        unbound = (0, 0);
+                    }
+                    BlastEvent::Data { bytes, corrupt } => match &counters {
+                        Some(c) => {
+                            c.received.fetch_add(bytes, Ordering::Relaxed);
+                            c.corrupt.fetch_add(corrupt, Ordering::Relaxed);
+                        }
+                        None => {
+                            unbound.0 += bytes;
+                            unbound.1 += corrupt;
+                        }
+                    },
+                }
+            }
+        }
+        // Resolve a pending hello against the registry.
+        if let Some(nonce) = pending_nonce {
+            if let Some(c) = shared.data.lookup(nonce) {
+                c.channels.fetch_add(1, Ordering::Relaxed);
+                c.received.fetch_add(unbound.0, Ordering::Relaxed);
+                c.corrupt.fetch_add(unbound.1, Ordering::Relaxed);
+                unbound = (0, 0);
+                counters = Some(c);
+                pending_nonce = None;
+                eprintln!("[data {conn_id}] bound to session nonce {nonce:#x}");
+            } else if Instant::now() >= bind_deadline {
+                // The nonce never belonged to an authenticated session
+                // (or its session is long gone): refuse the channel.
+                eprintln!("[data {conn_id}] hello nonce {nonce:#x} unknown; dropping");
+                break;
+            }
+        } else if counters.is_none() && Instant::now() >= bind_deadline {
+            // Connected but never completed a hello: the half-open-dial
+            // guard.
+            eprintln!("[data {conn_id}] no hello within the deadline; dropping");
+            break;
+        }
+        // Drain: once the control sessions are gone and the channel has
+        // gone quiet, let the thread end.
+        if shared.draining.load(Ordering::SeqCst)
+            && last_activity.elapsed() > Duration::from_millis(500)
+        {
+            break;
+        }
+        // Sleep only when the wire is quiet: a full read means the
+        // sender is ahead of us, and parking 1 ms per RECV_BUDGET would
+        // cap ingest (and lag the counters behind the wire).
+        if bytes.is_empty() {
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+    if let Some(c) = counters {
+        c.channels.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Classifies a fresh connection by its first byte — control frames
+/// begin with a length prefix (first byte `0x00`), data channels with
+/// [`DATA_HELLO_TAG`] — and serves it. A connection that stays silent
+/// past the hello window is dropped: a half-open dial holds nothing.
+fn dispatch(mut transport: TcpTransport, conn_id: u64, shared: &Shared) {
+    let deadline = Instant::now() + shared.cfg.hello_window();
+    let first = loop {
+        match transport.recv(SimTime::ZERO) {
+            Ok(bytes) if !bytes.is_empty() => break bytes,
+            Ok(_) => {
+                if Instant::now() >= deadline {
+                    eprintln!("[conn {conn_id}] silent connection; dropping");
+                    return;
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => return,
+        }
+    };
+    if first[0] == DATA_HELLO_TAG {
+        serve_data(transport, first, conn_id, shared);
+    } else {
+        serve_control(transport, first, conn_id, shared);
     }
 }
 
@@ -236,6 +599,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    install_sigterm_handler();
     let acceptor = match TcpAcceptor::bind(&cfg.listen) {
         Ok(a) => a,
         Err(e) => {
@@ -255,33 +619,54 @@ fn main() {
     println!("listening {addr}");
     std::io::stdout().flush().expect("flush stdout");
     eprintln!(
-        "flashflow-measurer: role {:?}, speedup {}x, sessions {:?}",
-        cfg.role, cfg.speedup, cfg.sessions
+        "flashflow-measurer: role {:?}, report {:?}, speedup {}x, sessions {:?}",
+        cfg.role, cfg.report, cfg.speedup, cfg.sessions
     );
 
-    let replay = Arc::new(Mutex::new(ReplayWindow::default()));
-    let mut handles = Vec::new();
-    let mut served = 0u64;
-    while cfg.sessions.is_none_or(|n| served < n) {
-        let (transport, peer) = match acceptor.accept() {
-            Ok(accepted) => accepted,
+    let shared = Arc::new(Shared {
+        cfg,
+        replay: Mutex::new(ReplayWindow::default()),
+        data: DataPlane::default(),
+        draining: AtomicBool::new(false),
+        sessions_done: AtomicU64::new(0),
+    });
+    acceptor.set_nonblocking(true).expect("nonblocking listener");
+    let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
+    let mut conn_id = 0u64;
+    loop {
+        if DRAIN.load(Ordering::SeqCst) {
+            eprintln!("SIGTERM: draining — no new connections, finishing in-flight sessions");
+            break;
+        }
+        if shared.quota_reached() {
+            break;
+        }
+        match acceptor.try_accept() {
+            Ok(Some((transport, peer))) => {
+                eprintln!("[conn {conn_id}] accepted {peer}");
+                let shared = Arc::clone(&shared);
+                let id = conn_id;
+                conn_id += 1;
+                // Reap finished threads so a long-lived process does not
+                // grow a handle per connection it ever served.
+                handles.retain(|h| !h.is_finished());
+                handles.push(thread::spawn(move || dispatch(transport, id, &shared)));
+            }
+            Ok(None) => thread::sleep(Duration::from_millis(2)),
             Err(e) => {
                 eprintln!("accept: {e}");
-                continue;
+                thread::sleep(Duration::from_millis(10));
             }
-        };
-        eprintln!("[session {served}] accepted {peer}");
-        let cfg = cfg.clone();
-        let replay = Arc::clone(&replay);
-        let session_id = served;
-        // Reap finished sessions so a long-lived process does not grow
-        // a handle per conversation it ever served.
-        handles.retain(|h: &thread::JoinHandle<()>| !h.is_finished());
-        handles.push(thread::spawn(move || serve_session(transport, session_id, &cfg, &replay)));
-        served += 1;
+        }
     }
+    // Stop serving: running slots finish, handshakes abort, data
+    // channels wind down, and every thread joins before exit.
+    shared.draining.store(true, Ordering::SeqCst);
     for handle in handles {
         let _ = handle.join();
     }
-    eprintln!("served {served} sessions; exiting");
+    eprintln!(
+        "served {} control conversations; exiting",
+        shared.sessions_done.load(Ordering::SeqCst)
+    );
 }

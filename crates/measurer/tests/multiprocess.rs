@@ -19,13 +19,14 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use flashflow_core::engine::{
-    EngineEvent, EngineSnapshot, MeasurementEngine, PeriodLedger, ShardedEngine,
+    EngineEvent, EngineSnapshot, MeasurementEngine, PeerDirectory, PeriodLedger, ShardedEngine,
 };
 use flashflow_core::measure::build_second_samples;
+use flashflow_core::pool::{ChannelKind, ConnectionPool};
 use flashflow_core::shard::script::{self, ScriptConfig, ScriptedPeer};
 use flashflow_core::shard::GroupRunner;
 use flashflow_proto::msg::{MeasureSpec, PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN};
-use flashflow_proto::session::{CoordinatorSession, SessionTimeouts};
+use flashflow_proto::session::{CoordPhase, CoordinatorSession, SessionTimeouts};
 use flashflow_proto::tcp::TcpTransport;
 use flashflow_simnet::stats::median;
 use flashflow_simnet::time::{SimDuration, SimTime};
@@ -63,33 +64,21 @@ fn spec_for(item: usize, role: PeerRole, rate: u64) -> MeasureSpec {
     }
 }
 
-/// Spawns one `flashflow-measurer` and reads its advertised address.
-fn spawn_measurer(peer_ix: usize, role: PeerRole, rate: u64) -> (Child, SocketAddr) {
+/// Spawns one `flashflow-measurer` with the given extra flags and
+/// reads its advertised address.
+fn spawn_measurer_with(args: &[String]) -> (Child, SocketAddr) {
     let exe = env!("CARGO_BIN_EXE_flashflow-measurer");
-    let role_arg = match role {
-        PeerRole::Measurer => "measurer",
-        PeerRole::Target => "target",
+    // FF_MEASURER_DEBUG=1 streams the children's stderr into the test
+    // output for debugging.
+    let stderr = if std::env::var_os("FF_MEASURER_DEBUG").is_some() {
+        Stdio::inherit()
+    } else {
+        Stdio::null()
     };
-    let sessions = ITEMS.to_string();
-    let mut args = vec![
-        "--listen".to_string(),
-        "127.0.0.1:0".to_string(),
-        "--role".to_string(),
-        role_arg.to_string(),
-        "--token-hex".to_string(),
-        token_hex(peer_ix),
-        "--speedup".to_string(),
-        SPEEDUP.to_string(),
-        "--sessions".to_string(),
-        sessions,
-    ];
-    if role == PeerRole::Target {
-        args.extend(["--bg".to_string(), rate.to_string()]);
-    }
     let mut child = Command::new(exe)
-        .args(&args)
+        .args(args)
         .stdout(Stdio::piped())
-        .stderr(Stdio::null())
+        .stderr(stderr)
         .spawn()
         .expect("spawn flashflow-measurer");
     let stdout = child.stdout.take().expect("child stdout");
@@ -102,6 +91,34 @@ fn spawn_measurer(peer_ix: usize, role: PeerRole, rate: u64) -> (Child, SocketAd
         .parse()
         .expect("parse advertised address");
     (child, addr)
+}
+
+/// Spawns one scripted-mode `flashflow-measurer` (the PR-3-era harness
+/// shape: fixed reported rates, no data plane).
+fn spawn_measurer(peer_ix: usize, role: PeerRole, rate: u64) -> (Child, SocketAddr) {
+    let role_arg = match role {
+        PeerRole::Measurer => "measurer",
+        PeerRole::Target => "target",
+    };
+    let sessions = ITEMS.to_string();
+    let mut args = vec![
+        "--listen".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--role".to_string(),
+        role_arg.to_string(),
+        "--report".to_string(),
+        "scripted".to_string(),
+        "--token-hex".to_string(),
+        token_hex(peer_ix),
+        "--speedup".to_string(),
+        SPEEDUP.to_string(),
+        "--sessions".to_string(),
+        sessions,
+    ];
+    if role == PeerRole::Target {
+        args.extend(["--bg".to_string(), rate.to_string()]);
+    }
+    spawn_measurer_with(&args)
 }
 
 /// Extracts per-item median-z estimates from a partitioned run.
@@ -253,4 +270,376 @@ fn sharded_coordinator_measures_batch_across_measurer_processes() {
         };
         assert!(status.success(), "process {ix} exited with {status}");
     }
+}
+
+// ---------------------------------------------------------------------
+// The real-traffic path: counter-backed reports over pooled connections.
+// ---------------------------------------------------------------------
+
+/// Items in the counters run (each = 1 control session per process).
+const C_ITEMS: usize = 4;
+const C_SHARDS: usize = 2;
+const C_SLOT_SECS: u32 = 4;
+/// Both sides run their clocks at this multiple of wall time, so a
+/// "second" is 100 ms and rate caps stay loopback-friendly.
+const C_SPEEDUP: f64 = 10.0;
+/// Data channels per measurer-role peer.
+const C_DATA_CHANNELS: usize = 2;
+/// (role, bytes-per-second): commanded blast caps and the target's bg.
+const C_PEERS: [(PeerRole, u64); 3] =
+    [(PeerRole::Measurer, 300_000), (PeerRole::Measurer, 150_000), (PeerRole::Target, 20_000)];
+
+/// One item group over **pooled** TCP connections: one control session
+/// per peer plus [`C_DATA_CHANNELS`] blast channels per measurer, the
+/// engine blasting real pattern-stamped bytes that the measurer
+/// processes count and report back.
+fn pooled_counters_group(
+    item: usize,
+    addrs: [SocketAddr; 3],
+    pool: ConnectionPool,
+) -> Box<dyn GroupRunner> {
+    Box::new(move |emit: &mut dyn FnMut(EngineEvent)| -> EngineSnapshot {
+        // The coordinator clock runs at C_SPEEDUP×, which shrinks the
+        // default timeouts to fractions of a wall second — too tight
+        // for a loaded CI box. Scale them up so only the hard deadline
+        // bounds a genuinely wedged run.
+        let timeouts = SessionTimeouts {
+            handshake: SimDuration::from_secs(10 * C_SPEEDUP as u64),
+            report: SimDuration::from_secs(5 * C_SPEEDUP as u64),
+        };
+        let mut builder = MeasurementEngine::builder();
+        let mut control = Vec::new();
+        let mut data = Vec::new();
+        for (peer_ix, (role, rate)) in C_PEERS.into_iter().enumerate() {
+            let conn =
+                pool.checkout(addrs[peer_ix], ChannelKind::Control).expect("checkout control");
+            let handle = conn.reuse_handle();
+            let nonce = 0xC0DE_0000 + (item * C_PEERS.len() + peer_ix) as u64;
+            let session = CoordinatorSession::new(
+                token_for(peer_ix),
+                role,
+                MeasureSpec {
+                    relay_fp: {
+                        let mut fp = [0u8; FINGERPRINT_LEN];
+                        fp[0] = item as u8;
+                        fp
+                    },
+                    slot_secs: C_SLOT_SECS,
+                    sockets: if role == PeerRole::Measurer { C_DATA_CHANNELS as u32 } else { 0 },
+                    rate_cap: if role == PeerRole::Measurer { rate } else { 0 },
+                },
+                nonce,
+                timeouts,
+            )
+            .with_report_ahead_cap(C_SLOT_SECS + 2);
+            let peer = builder.add_peer(0, session, Box::new(conn));
+            control.push((peer, handle));
+            if role == PeerRole::Measurer {
+                for _ in 0..C_DATA_CHANNELS {
+                    let dconn =
+                        pool.checkout(addrs[peer_ix], ChannelKind::Data).expect("checkout data");
+                    data.push((peer, dconn.reuse_handle()));
+                    builder.add_data_channel(peer, Box::new(dconn));
+                }
+            }
+        }
+        // 60 sped-up seconds = 6 s wall: far beyond one slot.
+        let mut engine = builder.hard_deadline(SimTime::from_secs(60)).build(SimTime::ZERO);
+        let t0 = Instant::now();
+        loop {
+            thread::sleep(Duration::from_millis(1));
+            let now = SimTime::from_secs_f64(t0.elapsed().as_secs_f64() * C_SPEEDUP);
+            let live = engine.step(now);
+            while let Some(ev) = engine.poll_event() {
+                emit(ev);
+            }
+            if !live {
+                break;
+            }
+        }
+        // Park what stayed clean; everything else really closes.
+        for (peer, handle) in control {
+            if engine.phase(peer) == CoordPhase::Done {
+                handle.approve();
+            }
+        }
+        for (peer, handle) in data {
+            if engine.phase(peer) == CoordPhase::Done && engine.data_channels_clean(peer) {
+                handle.approve();
+            }
+        }
+        let snapshot = engine.snapshot();
+        drop(engine); // pooled connections check themselves back in
+        snapshot
+    })
+}
+
+#[test]
+fn counters_multiprocess_agrees_with_scripted_reference_over_pooled_connections() {
+    // The deterministic reference: the identical rates, scripted over
+    // in-memory Duplex links.
+    let reference = ShardedEngine::run_partitioned(
+        (0..C_ITEMS)
+            .map(|_| {
+                let peers = C_PEERS
+                    .into_iter()
+                    .map(|(role, rate)| match role {
+                        PeerRole::Measurer => ScriptedPeer::measurer(rate),
+                        PeerRole::Target => ScriptedPeer::target(rate),
+                    })
+                    .collect();
+                script::group(
+                    vec![peers],
+                    ScriptConfig { slot_secs: C_SLOT_SECS, ..ScriptConfig::default() },
+                )
+            })
+            .collect::<Vec<_>>(),
+        C_SHARDS,
+    );
+    assert!(reference.all_clean(), "reference run had failures");
+    let reference_estimates = estimates(&reference.snapshots, &reference.ledger);
+
+    // Counter-mode processes (the default --report): two measurers that
+    // count real blast bytes, one scripted-bg target.
+    let mut children = Vec::new();
+    let mut addrs = Vec::new();
+    for (peer_ix, (role, rate)) in C_PEERS.into_iter().enumerate() {
+        let role_arg = match role {
+            PeerRole::Measurer => "measurer",
+            PeerRole::Target => "target",
+        };
+        let mut args = vec![
+            "--listen".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--role".to_string(),
+            role_arg.to_string(),
+            "--token-hex".to_string(),
+            token_hex(peer_ix),
+            "--speedup".to_string(),
+            C_SPEEDUP.to_string(),
+            "--sessions".to_string(),
+            C_ITEMS.to_string(),
+        ];
+        if role == PeerRole::Target {
+            args.extend(["--bg".to_string(), rate.to_string()]);
+        }
+        let (child, addr) = spawn_measurer_with(&args);
+        children.push(child);
+        addrs.push(addr);
+    }
+    let addrs: [SocketAddr; 3] = [addrs[0], addrs[1], addrs[2]];
+
+    let pool = ConnectionPool::new();
+    let run = ShardedEngine::run_partitioned(
+        (0..C_ITEMS).map(|item| pooled_counters_group(item, addrs, pool.clone())).collect(),
+        C_SHARDS,
+    );
+    assert!(run.all_clean(), "a session failed against the counter-mode processes");
+
+    // Real bytes moved and the counter-derived estimates agree with the
+    // scripted/Duplex reference within 5%.
+    let tcp_estimates = estimates(&run.snapshots, &run.ledger);
+    for (g, (tcp, reference)) in tcp_estimates.iter().zip(&reference_estimates).enumerate() {
+        assert!(*reference > 0.0, "reference estimate for item {g} is zero");
+        let rel = (tcp - reference).abs() / reference;
+        assert!(
+            rel < 0.05,
+            "item {g}: counters {tcp:.0} B/s vs scripted {reference:.0} B/s differ by {:.2}%",
+            rel * 100.0
+        );
+    }
+
+    // The audit rows: every measurer second carries BOTH the reported
+    // rate and the coordinator's locally counted one, honest counters
+    // stay inside the divergence tolerance, and the target (no data
+    // plane) has no counted column.
+    for g in 0..C_ITEMS {
+        let rows = run.rows(g, 0);
+        let snapshot = &run.snapshots[g];
+        let mut measurer_rows = 0usize;
+        for row in &rows {
+            match snapshot.role(row.peer) {
+                PeerRole::Measurer => {
+                    assert!(
+                        row.counted.is_some(),
+                        "item {g}: measurer second without a counted rate: {row:?}"
+                    );
+                    measurer_rows += 1;
+                }
+                PeerRole::Target => {
+                    assert_eq!(row.counted, None, "item {g}: target has no data plane: {row:?}");
+                }
+            }
+        }
+        assert_eq!(measurer_rows, 2 * C_SLOT_SECS as usize, "item {g}: {rows:?}");
+        let divergent = rows.iter().filter(|r| r.divergent).count();
+        assert!(
+            divergent <= 2,
+            "item {g}: {divergent} divergent rows from honest counters: {rows:?}"
+        );
+    }
+
+    // The pool did its job: later items rode warm connections instead
+    // of dialing fresh (7 connections per item × 4 items would be 28
+    // dials without reuse).
+    let per_item = C_PEERS.len() + 2 * C_DATA_CHANNELS;
+    assert!(
+        pool.reuses() > 0,
+        "no warm connection was ever reused (dials {}, reuses {})",
+        pool.dials(),
+        pool.reuses()
+    );
+    assert!(
+        (pool.dials() as usize) < C_ITEMS * per_item,
+        "every item dialed fresh: {} dials for {} conversations",
+        pool.dials(),
+        C_ITEMS * per_item
+    );
+
+    // Dropping the pool closes the parked connections, which releases
+    // the children to finish their quotas and exit 0.
+    drop(pool);
+    drop(run);
+    for (ix, mut child) in children.into_iter().enumerate() {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let status = loop {
+            if let Some(status) = child.try_wait().expect("try_wait") {
+                break status;
+            }
+            if Instant::now() >= deadline {
+                let _ = child.kill();
+                panic!("counter-mode process {ix} did not exit");
+            }
+            thread::sleep(Duration::from_millis(10));
+        };
+        assert!(status.success(), "counter-mode process {ix} exited with {status}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Operator tooling: --config files and graceful SIGTERM drain.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sigterm_drains_in_flight_slot_flushes_aborts_and_exits_zero() {
+    use flashflow_proto::frame::{encode, FrameDecoder};
+    use flashflow_proto::msg::{AbortReason, Msg};
+    use flashflow_proto::transport::Transport;
+
+    // Configure via --config (the file), with one CLI override on top.
+    let dir = std::env::temp_dir().join(format!("ff-measurer-cfg-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk temp dir");
+    let cfg_path = dir.join("measurer.conf");
+    std::fs::write(
+        &cfg_path,
+        "# flashflow-measurer drain-test config\n\
+         listen = 127.0.0.1:0\n\
+         role = measurer\n\
+         report = scripted\n\
+         speedup = 2\n",
+    )
+    .expect("write config");
+    let (mut child, addr) = spawn_measurer_with(&[
+        "--config".to_string(),
+        cfg_path.to_string_lossy().to_string(),
+        // CLI overrides the file: reports every 20 ms, not 500 ms.
+        "--speedup".to_string(),
+        "50".to_string(),
+    ]);
+
+    let token = [0x42u8; AUTH_TOKEN_LEN]; // the built-in loopback token
+                                          // The coordinator clock runs at 50×; default timeouts would be
+                                          // 100–200 ms of wall time — flaky on a loaded box. Widen them so
+                                          // only the hard deadline bounds a wedged run.
+    let timeouts = SessionTimeouts {
+        handshake: SimDuration::from_secs(500),
+        report: SimDuration::from_secs(300),
+    };
+    let slot_secs = 5u32;
+    let spec =
+        MeasureSpec { relay_fp: [9; FINGERPRINT_LEN], slot_secs, sockets: 1, rate_cap: 1_000_000 };
+
+    // Conversation A runs a full slot; we SIGTERM mid-slot and it must
+    // still complete (drain finishes in-flight sessions).
+    let mut builder = MeasurementEngine::builder();
+    let session = CoordinatorSession::new(token, PeerRole::Measurer, spec, 0xAB1E, timeouts)
+        .with_report_ahead_cap(slot_secs + 2);
+    let transport = TcpTransport::connect(addr).expect("connect");
+    let peer = builder.add_peer(0, session, Box::new(transport));
+    let mut engine = builder.hard_deadline(SimTime::from_secs(600)).build(SimTime::ZERO);
+
+    // Conversation B stops after AuthOk: mid-handshake at drain time,
+    // it must receive a flushed Abort(Shutdown).
+    let mut pending = TcpTransport::connect(addr).expect("connect pending");
+    pending
+        .send(SimTime::ZERO, &encode(&Msg::Auth { token, role: PeerRole::Measurer, nonce: 0xF00 }))
+        .expect("send Auth");
+
+    let t0 = Instant::now();
+    let mut termed = false;
+    let mut events = Vec::new();
+    loop {
+        thread::sleep(Duration::from_millis(1));
+        let live = engine.step(SimTime::from_secs_f64(t0.elapsed().as_secs_f64() * 50.0));
+        while let Some(ev) = engine.poll_event() {
+            events.push(ev);
+        }
+        // Mid-slot (first sample seen): ask the process to drain.
+        if !termed && events.iter().any(|e| matches!(e, EngineEvent::Sample { .. })) {
+            termed = true;
+            let status = Command::new("kill")
+                .args(["-TERM", &child.id().to_string()])
+                .status()
+                .expect("send SIGTERM");
+            assert!(status.success(), "kill -TERM failed");
+        }
+        if !live {
+            break;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(20), "slot never finished: {events:?}");
+    }
+    assert!(termed, "never saw a sample before the slot ended");
+    assert_eq!(engine.phase(peer), CoordPhase::Done, "in-flight slot finished through the drain");
+    let samples = events.iter().filter(|e| matches!(e, EngineEvent::Sample { .. })).count();
+    assert_eq!(samples, slot_secs as usize);
+
+    // The mid-handshake conversation got its flushed Abort(Shutdown)
+    // (an AuthOk arrived first).
+    let mut dec = FrameDecoder::new();
+    let mut saw_abort = false;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    'outer: while Instant::now() < deadline {
+        match pending.recv(SimTime::ZERO) {
+            Ok(bytes) => dec.push(&bytes),
+            Err(_) => break,
+        }
+        while let Ok(Some(msg)) = dec.next_msg() {
+            match msg {
+                Msg::AuthOk { .. } => {}
+                Msg::Abort { reason } => {
+                    assert_eq!(reason, AbortReason::Shutdown, "drain abort reason");
+                    saw_abort = true;
+                    break 'outer;
+                }
+                other => panic!("unexpected frame on draining handshake: {other:?}"),
+            }
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    assert!(saw_abort, "mid-handshake session never received the drain Abort");
+
+    // And the process itself exits 0.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("drained process did not exit");
+        }
+        thread::sleep(Duration::from_millis(10));
+    };
+    assert!(status.success(), "drain must exit 0, got {status}");
+    let _ = std::fs::remove_dir_all(&dir);
 }

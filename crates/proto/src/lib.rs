@@ -14,6 +14,7 @@
 //! | module | role |
 //! |---|---|
 //! | [`msg`] | message vocabulary: `Auth`, `AuthOk`, `MeasureCmd`, `Ready`, `Go`, `SecondReport`, `SlotDone`, `Abort` |
+//! | [`blast`] | the data plane: pattern-stamped bulk traffic, per-second byte counters, `DataChannelHello` session binding |
 //! | [`frame`] | length-prefixed, versioned binary codec with a total decoder and typed error taxonomy |
 //! | [`session`] | `CoordinatorSession` / `MeasurerSession` state machines with timeout, abort, and handshake-replay handling |
 //! | [`transport`] | the [`Transport`](transport::Transport) trait and the simulated in-memory stream |
@@ -52,6 +53,7 @@
 //! transport is aborted and its contribution dropped, degrading the
 //! measurement instead of wedging it.
 
+pub mod blast;
 pub mod endpoint;
 pub mod fault;
 pub mod frame;
@@ -62,6 +64,10 @@ pub mod transport;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
+    pub use crate::blast::{
+        BlastError, BlastEvent, BlastParser, BlastPattern, ByteCounter, DataChannelHello,
+        ReportSource, TrafficSink, TrafficSource,
+    };
     pub use crate::endpoint::Endpoint;
     pub use crate::fault::{FaultMode, FaultyTransport};
     pub use crate::frame::{decode_payload, encode, FrameDecoder, WireError, MAX_FRAME_LEN};

@@ -57,6 +57,32 @@ impl TcpAcceptor {
         let (stream, peer) = self.listener.accept()?;
         Ok((TcpTransport::from_stream(stream)?, peer))
     }
+
+    /// Switches the listener between blocking and non-blocking accepts.
+    /// A draining process (see the `flashflow-measurer` binary) polls
+    /// with [`TcpAcceptor::try_accept`] so a shutdown signal is never
+    /// stuck behind a blocking `accept`.
+    ///
+    /// # Errors
+    /// Propagates the socket-option failure.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        self.listener.set_nonblocking(nonblocking)
+    }
+
+    /// Accepts one pending connection if there is one (requires
+    /// [`TcpAcceptor::set_nonblocking`]); `Ok(None)` when none is
+    /// waiting.
+    ///
+    /// # Errors
+    /// Propagates accept and socket-option failures other than
+    /// `WouldBlock`.
+    pub fn try_accept(&self) -> std::io::Result<Option<(TcpTransport, SocketAddr)>> {
+        match self.listener.accept() {
+            Ok((stream, peer)) => Ok(Some((TcpTransport::from_stream(stream)?, peer))),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
 }
 
 /// How many bytes one `recv` pulls from the kernel per read call.
@@ -132,6 +158,14 @@ impl TcpTransport {
     /// torn or dropped.
     pub fn pending_send_bytes(&self) -> usize {
         self.outbox.len()
+    }
+
+    /// True while the connection can still carry another conversation:
+    /// never failed, no EOF from the peer, and this side has not closed.
+    /// This is what a connection pool checks (together with an empty
+    /// outbox) before parking a transport for reuse.
+    pub fn is_reusable(&self) -> bool {
+        self.broken.is_none() && !self.eof && !self.closed
     }
 
     /// Writes as much of the outbox as the kernel will take.

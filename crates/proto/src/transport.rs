@@ -106,6 +106,85 @@ impl<T: Transport + ?Sized> Transport for Box<T> {
     }
 }
 
+impl<T: Transport + ?Sized> Transport for &mut T {
+    fn send(&mut self, now: SimTime, bytes: &[u8]) -> Result<(), TransportError> {
+        (**self).send(now, bytes)
+    }
+    fn recv(&mut self, now: SimTime) -> Result<Vec<u8>, TransportError> {
+        (**self).recv(now)
+    }
+    fn readiness(&mut self, now: SimTime) -> Readiness {
+        (**self).readiness(now)
+    }
+    fn close(&mut self) {
+        (**self).close();
+    }
+}
+
+/// A [`Transport`] decorator that **defers** `close`: the underlying
+/// connection stays open so it can serve another session.
+///
+/// Pooled connections need this. An
+/// [`Endpoint`](crate::endpoint::Endpoint) hangs up the moment its
+/// session is terminal — correct for one-shot conversations, fatal for a
+/// warm connection a pool wants back. A lease records the close request
+/// instead of executing it; the owner inspects
+/// [`LeasedTransport::close_requested`], resets it with
+/// [`LeasedTransport::reset_close`] before the next session, or tears
+/// the real connection down with [`LeasedTransport::into_inner`].
+///
+/// The anti-flood property the endpoint's hang-up protects is preserved:
+/// a terminal endpoint stops reading regardless, so a flooding peer
+/// still cannot wedge the pump loop — the bytes simply wait in the
+/// transport for the next session (or the real close).
+#[derive(Debug)]
+pub struct LeasedTransport<T: Transport> {
+    inner: T,
+    close_requested: bool,
+}
+
+impl<T: Transport> LeasedTransport<T> {
+    /// Leases `inner` out for (re)use across sessions.
+    pub fn new(inner: T) -> Self {
+        LeasedTransport { inner, close_requested: false }
+    }
+
+    /// True once some driver called [`Transport::close`] on the lease.
+    pub fn close_requested(&self) -> bool {
+        self.close_requested
+    }
+
+    /// Clears the deferred close before starting another session.
+    pub fn reset_close(&mut self) {
+        self.close_requested = false;
+    }
+
+    /// The wrapped transport.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Unwraps the lease *without* closing the connection.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for LeasedTransport<T> {
+    fn send(&mut self, now: SimTime, bytes: &[u8]) -> Result<(), TransportError> {
+        self.inner.send(now, bytes)
+    }
+    fn recv(&mut self, now: SimTime) -> Result<Vec<u8>, TransportError> {
+        self.inner.recv(now)
+    }
+    fn readiness(&mut self, now: SimTime) -> Readiness {
+        self.inner.readiness(now)
+    }
+    fn close(&mut self) {
+        self.close_requested = true;
+    }
+}
+
 /// One direction of a connection.
 #[derive(Debug)]
 struct Pipe {
@@ -332,6 +411,25 @@ mod tests {
         assert_eq!(b.recv(t1).unwrap(), b"hello");
         b.send(t1, b"hi").unwrap();
         assert_eq!(a.recv(t1 + SimDuration::from_millis(10)).unwrap(), b"hi");
+    }
+
+    #[test]
+    fn leased_transport_defers_close_across_sessions() {
+        let (a, mut b) = Duplex::loopback().into_endpoints();
+        let mut lease = LeasedTransport::new(a);
+        let t = SimTime::ZERO;
+        lease.send(t, b"session 1").unwrap();
+        assert_eq!(b.recv(t).unwrap(), b"session 1");
+        // A driver "hangs up" — the wire survives.
+        lease.close();
+        assert!(lease.close_requested());
+        lease.reset_close();
+        lease.send(t, b"session 2").unwrap();
+        assert_eq!(b.recv(t).unwrap(), b"session 2", "connection survived the deferred close");
+        // Unwrapping keeps it open; a real close still works.
+        let mut inner = lease.into_inner();
+        inner.send(t, b"still open").unwrap();
+        assert_eq!(b.recv(t).unwrap(), b"still open");
     }
 
     #[test]
