@@ -220,6 +220,81 @@ impl BwAuth {
     }
 }
 
+/// One relay's entry in an [`EchoPeriodFile`]: the estimate a period of
+/// the deployed echo topology produced, with its audit provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EchoEntry {
+    /// The relay measured (fingerprint, as commanded over the wire).
+    pub relay_fp: [u8; flashflow_proto::msg::FINGERPRINT_LEN],
+    /// The accepted capacity estimate: median over seconds of echoed
+    /// measurement bytes plus ratio-clamped reported background.
+    pub capacity: Rate,
+    /// True if every session of the item ended cleanly (an unclean item
+    /// still gets a degraded estimate from its surviving peers).
+    pub clean: bool,
+    /// Audit rows that failed a cross-check (echo claim vs aggregated
+    /// measurer reports, background-claim plausibility). A nonzero
+    /// count marks the estimate untrustworthy, like a failed spot check
+    /// in the simulation path.
+    pub divergent_rows: usize,
+}
+
+/// The bandwidth file an echo-topology period produces: the deployment
+/// twin of [`BandwidthFile`], keyed by wire fingerprint because the
+/// peers are real processes rather than simulated [`RelayId`]s.
+#[derive(Debug)]
+pub struct EchoPeriodFile {
+    /// One entry per item, in item order.
+    pub entries: Vec<EchoEntry>,
+    /// The full partitioned run (events, snapshots, ledger) for callers
+    /// that want the raw audit trail.
+    pub run: crate::shard::ShardedRun,
+}
+
+/// Runs one measurement period against **spawned processes** in the
+/// paper's echo topology: for each item, k `flashflow-measurer`
+/// processes blast the `flashflow-relay` process, which echoes and
+/// reports background, and the period's item groups are partitioned
+/// across `shards` worker threads exactly like the simulated path
+/// ([`ShardedEngine::run_partitioned`](crate::shard::ShardedEngine::run_partitioned)).
+/// Warm control connections ride `pool` across items.
+///
+/// The per-item estimate is §4.1's: `z_j = x_j + min(y_j, r·z_j)` per
+/// second (echoed measurement bytes plus ratio-clamped background),
+/// median over seconds — computed from clean sessions only, with the
+/// ledger's cross-check rows surfaced per entry.
+pub fn measure_echo_period(
+    deployment: &crate::echo::EchoDeployment,
+    items: &[crate::echo::EchoItem],
+    shards: usize,
+    pool: &crate::pool::ConnectionPool,
+) -> EchoPeriodFile {
+    use flashflow_simnet::stats::median;
+
+    let groups: Vec<Box<dyn crate::shard::GroupRunner>> =
+        items.iter().map(|item| crate::echo::echo_group(deployment, *item, pool.clone())).collect();
+    let mut run = crate::shard::ShardedEngine::run_partitioned(groups, shards);
+    run.ledger.set_bg_ratio(deployment.ratio);
+    let entries = items
+        .iter()
+        .enumerate()
+        .map(|(g, item)| {
+            let (x, y) = run.merged_series(g, 0);
+            let seconds = crate::measure::build_second_samples(&x, &y, deployment.ratio);
+            let z: Vec<f64> = seconds.iter().map(|s| s.z).collect();
+            let capacity = Rate::from_bytes_per_sec(median(&z).unwrap_or(0.0));
+            let divergent_rows = run.rows(g, 0).iter().filter(|r| r.divergent).count();
+            EchoEntry {
+                relay_fp: item.relay_fp,
+                capacity,
+                clean: run.snapshots[g].all_clean(),
+                divergent_rows,
+            }
+        })
+        .collect();
+    EchoPeriodFile { entries, run }
+}
+
 /// Aggregates several BWAuths' bandwidth files by taking, for each relay
 /// measured by a majority of them, the low-median capacity — the DirAuth
 /// rule that makes a minority of lying authorities harmless.

@@ -1,0 +1,210 @@
+//! Coordinator-side wiring for the **target-relay echo topology**: the
+//! paper's deployment shape, where the coordinator commands *k*
+//! measurer processes and one `flashflow-relay` process, the measurers
+//! blast the relay's data listener directly, and the relay echoes the
+//! verified bytes back while admitting (capped) client traffic
+//! alongside.
+//!
+//! The control plane is unchanged — one [`CoordinatorSession`] per peer
+//! over pooled TCP connections — but unlike the PR-4 topology the
+//! coordinator runs **no data channels of its own**: the measurement
+//! bytes flow measurer → relay → measurer, and the coordinator's
+//! cross-checks are structural instead of counted. Each `MeasureCmd`
+//! carries the relay's data endpoint and a per-item measurement secret;
+//! measurers derive the public hello binding nonce and the secret frame
+//! tag key from it, the relay accepts exactly that nonce, and the
+//! ledger pairs the relay's echo claim against the k measurers'
+//! aggregated reports (plus the background-plausibility bound) — see
+//! [`SampleLedger::rows`](crate::engine::SampleLedger::rows).
+//!
+//! [`echo_group`] builds one item's [`GroupRunner`];
+//! [`crate::bwauth::measure_echo_period`] spreads a period of them
+//! across
+//! [`ShardedEngine::run_partitioned`](crate::shard::ShardedEngine::run_partitioned)
+//! workers and turns the fan-in into a fingerprint-keyed bandwidth
+//! file.
+
+use std::net::SocketAddr;
+
+use flashflow_proto::msg::{
+    MeasureSpec, PeerRole, TargetEndpoint, AUTH_TOKEN_LEN, FINGERPRINT_LEN,
+};
+use flashflow_proto::session::{CoordPhase, CoordinatorSession, SessionTimeouts};
+use flashflow_simnet::time::{SimDuration, SimTime};
+
+use flashflow_proto::transport::{Duplex, Transport};
+
+use crate::engine::{EngineEvent, EngineSnapshot, MeasurementEngine};
+use crate::pool::{ChannelKind, ConnectionPool, ReuseHandle};
+use crate::shard::GroupRunner;
+
+/// One measurer process the deployment commands.
+#[derive(Debug, Clone, Copy)]
+pub struct EchoMeasurer {
+    /// The process's control listener.
+    pub addr: SocketAddr,
+    /// Its pre-shared control token.
+    pub token: [u8; AUTH_TOKEN_LEN],
+    /// The blast allocation `a_i` commanded of it (bytes/second).
+    pub rate_cap: u64,
+    /// Echo sockets it opens to the relay (its `s/m` share).
+    pub sockets: u32,
+}
+
+/// The processes one echo-topology period runs against: k measurers and
+/// the target relay, plus the clock/trust knobs shared by every item.
+#[derive(Debug, Clone)]
+pub struct EchoDeployment {
+    /// The measurer processes.
+    pub measurers: Vec<EchoMeasurer>,
+    /// The relay process's listener (control *and* echo data: the
+    /// relay classifies connections by first byte, like the measurer).
+    pub relay_addr: SocketAddr,
+    /// The relay's pre-shared control token.
+    pub relay_token: [u8; AUTH_TOKEN_LEN],
+    /// Clock multiplier both sides run (a "second" is `1/speedup` wall
+    /// seconds); must match the processes' `--speedup`.
+    pub speedup: f64,
+    /// Background ratio `r` (estimate clamp + plausibility bound).
+    pub ratio: f64,
+}
+
+impl EchoDeployment {
+    fn timeouts(&self) -> SessionTimeouts {
+        // Sped-up clocks shrink the default timeouts to fractions of a
+        // wall second — too tight for a loaded CI box. Scale them so
+        // only the hard deadline bounds a genuinely wedged run.
+        SessionTimeouts {
+            handshake: SimDuration::from_secs_f64(10.0 * self.speedup.max(1.0)),
+            report: SimDuration::from_secs_f64(5.0 * self.speedup.max(1.0)),
+        }
+    }
+}
+
+/// One measurement item of an echo period.
+#[derive(Debug, Clone, Copy)]
+pub struct EchoItem {
+    /// The target relay's fingerprint (identifies the item in the
+    /// period file).
+    pub relay_fp: [u8; FINGERPRINT_LEN],
+    /// Slot length in whole (sped-up) seconds.
+    pub slot_secs: u32,
+    /// Background allowance commanded of the relay (bytes/second);
+    /// `0` leaves it uncapped.
+    pub bg_allowance: u64,
+    /// The item's measurement secret: fresh and unpredictable, caller
+    /// supplied (the coordinator owns randomness). Every peer of the
+    /// item receives it in its `MeasureCmd`; the echo channels derive
+    /// their binding nonce and frame-tag key from it.
+    pub measurement_secret: u64,
+}
+
+/// A checked-out connection to a peer, or the degraded stand-in for a
+/// peer that could not be dialed: a pre-closed in-memory end, so the
+/// session fails with `ConnectionLost` on its first send and the item
+/// *degrades* (that peer's samples quarantined, everyone else's kept)
+/// instead of panicking the shard worker and killing the whole period.
+fn checkout_or_dead(
+    pool: &ConnectionPool,
+    addr: SocketAddr,
+) -> (Box<dyn Transport>, Option<ReuseHandle>) {
+    match pool.checkout(addr, ChannelKind::Control) {
+        Ok(conn) => {
+            let handle = conn.reuse_handle();
+            (Box::new(conn) as Box<dyn Transport>, Some(handle))
+        }
+        Err(e) => {
+            eprintln!("echo item: dialing {addr} failed ({e}); peer degraded");
+            let (a, mut b) = Duplex::loopback().into_endpoints();
+            b.close();
+            (Box::new(a), None)
+        }
+    }
+}
+
+/// Builds the [`GroupRunner`] for one echo item: control sessions to
+/// every measurer and the relay over pooled connections, specs carrying
+/// the relay's data endpoint and the item's measurement secret, clean
+/// sessions parked back in the pool. A peer whose dial fails degrades
+/// the item (its session aborts with `ConnectionLost`) rather than
+/// aborting the period.
+pub fn echo_group(
+    deployment: &EchoDeployment,
+    item: EchoItem,
+    pool: ConnectionPool,
+) -> Box<dyn GroupRunner> {
+    let deployment = deployment.clone();
+    Box::new(move |emit: &mut dyn FnMut(EngineEvent)| -> EngineSnapshot {
+        let timeouts = deployment.timeouts();
+        let target = TargetEndpoint::from_addr(deployment.relay_addr)
+            .expect("relay data listener must be IPv4");
+        let mut builder = MeasurementEngine::builder();
+        let mut handles = Vec::new();
+        for (ix, m) in deployment.measurers.iter().enumerate() {
+            let spec = MeasureSpec {
+                relay_fp: item.relay_fp,
+                slot_secs: item.slot_secs,
+                sockets: m.sockets,
+                rate_cap: m.rate_cap,
+                target,
+                measurement_secret: item.measurement_secret,
+            };
+            let (conn, handle) = checkout_or_dead(&pool, m.addr);
+            handles.push(handle);
+            let nonce = item.measurement_secret ^ (0xEC40_0000 + ix as u64 + 1);
+            let session =
+                CoordinatorSession::new(m.token, PeerRole::Measurer, spec, nonce, timeouts)
+                    .with_report_ahead_cap(item.slot_secs + 2);
+            builder.add_peer(0, session, conn);
+        }
+        // The relay's reporting session: its "rate cap" is the
+        // background allowance for the window.
+        let spec = MeasureSpec {
+            relay_fp: item.relay_fp,
+            slot_secs: item.slot_secs,
+            sockets: 0,
+            rate_cap: item.bg_allowance,
+            target: TargetEndpoint::NONE,
+            measurement_secret: item.measurement_secret,
+        };
+        let (conn, handle) = checkout_or_dead(&pool, deployment.relay_addr);
+        handles.push(handle);
+        let nonce = item.measurement_secret ^ 0xEC40_0000;
+        let session = CoordinatorSession::new(
+            deployment.relay_token,
+            PeerRole::Target,
+            spec,
+            nonce,
+            timeouts,
+        )
+        .with_report_ahead_cap(item.slot_secs + 2);
+        builder.add_peer(0, session, conn);
+
+        // 60 sped-up seconds of hard wall: far beyond one slot.
+        let deadline = SimTime::from_secs_f64(60.0 * deployment.speedup.max(1.0));
+        let mut engine = builder.hard_deadline(deadline).build(SimTime::ZERO);
+        let t0 = std::time::Instant::now();
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let now = SimTime::from_secs_f64(t0.elapsed().as_secs_f64() * deployment.speedup);
+            let live = engine.step(now);
+            while let Some(ev) = engine.poll_event() {
+                emit(ev);
+            }
+            if !live {
+                break;
+            }
+        }
+        // Park what ended cleanly; everything else really closes.
+        for (peer, handle) in engine.peers().zip(&handles) {
+            if let Some(handle) = handle {
+                if engine.phase(peer) == CoordPhase::Done {
+                    handle.approve();
+                }
+            }
+        }
+        let snapshot = engine.snapshot();
+        drop(engine);
+        snapshot
+    })
+}

@@ -152,7 +152,7 @@ struct DataSlot {
 /// use flashflow_proto::transport::Duplex;
 /// use flashflow_simnet::time::SimTime;
 ///
-/// let spec = MeasureSpec { relay_fp: [0; FINGERPRINT_LEN], slot_secs: 30, sockets: 80, rate_cap: 0 };
+/// let spec = MeasureSpec { relay_fp: [0; FINGERPRINT_LEN], slot_secs: 30, sockets: 80, rate_cap: 0, ..MeasureSpec::default() };
 /// let (coord_end, _peer_end) = Duplex::loopback().into_endpoints();
 /// let mut builder = MeasurementEngine::builder();
 /// let peer = builder.add_peer(
@@ -237,7 +237,11 @@ impl EngineBuilder {
                 let session = channels[peer].endpoint.session();
                 let channel = next_channel[peer];
                 next_channel[peer] += 1;
-                let mut source = TrafficSource::new(transport, session.nonce(), channel);
+                // Tagged under the session's pre-shared token: the
+                // serving process verifies the same key, so a data-wire
+                // MITM who reads the hello nonce cannot forge frames.
+                let mut source = TrafficSource::new(transport, session.nonce(), channel)
+                    .with_key(session.channel_key());
                 let cap = session.spec().rate_cap;
                 let n = u64::from(per_peer_count[peer]);
                 if cap > 0 {
@@ -767,23 +771,42 @@ impl MeasurementEngine {
 /// bytes that never moved (TorMult-style inflation) do not.
 pub const DIVERGENCE_TOLERANCE: f64 = 0.10;
 
+/// Default background ratio `r` used by the ledger's background-claim
+/// plausibility check (the paper's deployment value): during a slot a
+/// relay may carry at most `r` of its capacity as client traffic, so a
+/// claimed `bg_j` beyond `r/(1−r)` of that second's echoed measurement
+/// bytes is not physically plausible and flags the row.
+pub const DEFAULT_BACKGROUND_RATIO: f64 = 0.25;
+
 /// One second of one peer's slot, as the ledger recorded it: what the
 /// peer **reported** across the control channel next to what this
-/// coordinator **counted** on the data plane (when it ran one).
+/// coordinator could **cross-check** it against — its own data-plane
+/// counters for a blasted measurer, the aggregated measurer echo for a
+/// target relay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LedgerRow {
     /// Which conversation.
     pub peer: PeerId,
     /// Zero-based second index.
     pub second: u32,
-    /// The rate the peer reported (`measured_bytes` for measurers,
-    /// `bg_bytes` for the target role).
+    /// The measurement rate the peer reported: `measured_bytes` — a
+    /// measurer's received blast, or the target relay's own claim of
+    /// what it echoed.
     pub reported: u64,
-    /// Locally counted data-plane bytes for the same second; `None`
-    /// when no data channel ran (sim, scripted peers, target role).
+    /// The background bytes the peer reported (`bg_bytes`; zero for
+    /// measurers, the client-traffic claim for the target role).
+    pub bg: u64,
+    /// The cross-check column for `reported`: locally counted
+    /// data-plane bytes for a measurer the coordinator blasted
+    /// directly, or the k measurers' summed reported echo for a target
+    /// relay (`None` when neither exists — sim, scripted peers, a
+    /// target in a slot whose measurers all failed).
     pub counted: Option<u64>,
-    /// True when both rates exist and disagree beyond
-    /// [`DIVERGENCE_TOLERANCE`].
+    /// True when the row fails a cross-check: `reported` vs `counted`
+    /// beyond [`DIVERGENCE_TOLERANCE`] (gated, for targets, on the
+    /// relay claiming a nonzero echo — a reporting-only target has no
+    /// echo claim to check), or a target's `bg` claim beyond the
+    /// [background plausibility bound](DEFAULT_BACKGROUND_RATIO).
     pub divergent: bool,
 }
 
@@ -802,18 +825,38 @@ pub struct LedgerRow {
 /// [`SampleLedger::rows`] view pairs the two per second and flags
 /// divergence, which is what makes a lying `SecondReport`
 /// cross-checkable instead of merely believed.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SampleLedger {
     /// Samples per peer, keyed by dense peer index.
     per_peer: Vec<Vec<(u32, u64, u64)>>,
     /// Locally counted data-plane bytes per peer: `(second, bytes)`.
     counted: Vec<Vec<(u32, u64)>>,
+    /// Background ratio `r` for the plausibility bound on target
+    /// `bg` claims (see [`DEFAULT_BACKGROUND_RATIO`]).
+    bg_ratio: f64,
+}
+
+impl Default for SampleLedger {
+    fn default() -> Self {
+        SampleLedger {
+            per_peer: Vec::new(),
+            counted: Vec::new(),
+            bg_ratio: DEFAULT_BACKGROUND_RATIO,
+        }
+    }
 }
 
 impl SampleLedger {
     /// An empty ledger.
     pub fn new() -> Self {
         SampleLedger::default()
+    }
+
+    /// Overrides the background ratio `r` the plausibility bound uses
+    /// (deployments running a different ratio than the paper's 0.25).
+    pub fn set_bg_ratio(&mut self, ratio: f64) {
+        assert!((0.0..1.0).contains(&ratio), "ratio must be in [0, 1)");
+        self.bg_ratio = ratio;
     }
 
     /// Records sample and counted-second events; ignores everything
@@ -836,13 +879,45 @@ impl SampleLedger {
         }
     }
 
-    /// The reported-vs-counted view of `item`: one row per (peer,
-    /// second) that was reported, carrying the locally counted rate
-    /// (where a data channel ran) and the divergence flag. Rows cover
-    /// every peer of the item regardless of how its session ended —
-    /// this is the audit view; the quarantine lives in
-    /// [`SampleLedger::merged_series`].
+    /// Per-second **echoed measurement bytes** of `item`, aggregated
+    /// across its k measurers' reports (every measurer of the item,
+    /// regardless of how its session ended — this feeds the audit view;
+    /// the estimate-side quarantine lives in
+    /// [`SampleLedger::merged_series`]).
+    pub fn echoed_series(&self, dir: &impl PeerDirectory, item: usize) -> Vec<u64> {
+        let mut series: Vec<u64> = Vec::new();
+        for (ix, samples) in self.per_peer.iter().enumerate() {
+            let peer = PeerId(ix);
+            if ix >= dir.peer_count()
+                || dir.item(peer) != item
+                || dir.role(peer) != PeerRole::Measurer
+            {
+                continue;
+            }
+            for &(second, _, measured_bytes) in samples {
+                let j = second as usize;
+                if series.len() <= j {
+                    series.resize(j + 1, 0);
+                }
+                series[j] += measured_bytes;
+            }
+        }
+        series
+    }
+
+    /// The reported-vs-cross-checked view of `item`: one row per (peer,
+    /// second) that was reported. Measurer rows pair the reported rate
+    /// with the coordinator's own data-plane counters (where it blasted
+    /// the peer directly); target rows pair the relay's echo claim with
+    /// the k measurers' aggregated reports and bound its background
+    /// claim by plausibility (`bg ≤ r/(1−r) ·` echoed, within
+    /// tolerance) — the TorMult-shaped channel where a relay inflates
+    /// the client traffic it never carried. Rows cover every peer of
+    /// the item regardless of how its session ended — this is the audit
+    /// view; the quarantine lives in [`SampleLedger::merged_series`].
     pub fn rows(&self, dir: &impl PeerDirectory, item: usize) -> Vec<LedgerRow> {
+        let echoed = self.echoed_series(dir, item);
+        let bg_bound = self.bg_ratio / (1.0 - self.bg_ratio);
         let mut rows = Vec::new();
         for (ix, samples) in self.per_peer.iter().enumerate() {
             let peer = PeerId(ix);
@@ -851,26 +926,44 @@ impl SampleLedger {
             }
             let role = dir.role(peer);
             for &(second, bg_bytes, measured_bytes) in samples {
-                let reported = match role {
-                    PeerRole::Measurer => measured_bytes,
-                    PeerRole::Target => bg_bytes,
+                let reported = measured_bytes;
+                let counted = match role {
+                    // Coordinator-side sends on the peer's own data
+                    // channels, when the engine ran any.
+                    PeerRole::Measurer => self
+                        .counted
+                        .get(ix)
+                        .and_then(|c| c.iter().find(|&&(s, _)| s == second))
+                        .map(|&(_, bytes)| bytes),
+                    // The k measurers' summed echo reports: the other
+                    // side of the same bytes the relay claims it echoed.
+                    PeerRole::Target => echoed.get(second as usize).copied(),
                 };
-                let counted = self
-                    .counted
-                    .get(ix)
-                    .and_then(|c| c.iter().find(|&&(s, _)| s == second))
-                    .map(|&(_, bytes)| bytes);
-                let divergent = match counted {
-                    // Counted sums are coordinator-side *sends*; the
-                    // peer reports what it received. Agreement within
-                    // the tolerance is the honest case.
-                    Some(c) => {
+                let mut divergent = match counted {
+                    // Agreement within the tolerance is the honest
+                    // case. A reporting-only target (echo claim zero,
+                    // pre-echo topologies) has nothing to cross-check.
+                    Some(c) if role == PeerRole::Measurer || reported > 0 => {
                         let hi = reported.max(c) as f64;
                         hi > 0.0 && (reported as f64 - c as f64).abs() > DIVERGENCE_TOLERANCE * hi
                     }
-                    None => false,
+                    _ => false,
                 };
-                rows.push(LedgerRow { peer, second, reported, counted, divergent });
+                if role == PeerRole::Target {
+                    // Background plausibility: during the window the
+                    // relay may admit at most r of its capacity as
+                    // client traffic, and the echo demonstrates the
+                    // other (1−r) share — so bg beyond r/(1−r) of the
+                    // echoed bytes claims capacity that was never
+                    // demonstrated.
+                    if let Some(echo) = counted {
+                        let allowance = bg_bound * echo as f64 * (1.0 + DIVERGENCE_TOLERANCE);
+                        if echo > 0 && bg_bytes as f64 > allowance {
+                            divergent = true;
+                        }
+                    }
+                }
+                rows.push(LedgerRow { peer, second, reported, bg: bg_bytes, counted, divergent });
             }
         }
         rows.sort_by_key(|r| (r.peer, r.second));
@@ -930,7 +1023,13 @@ mod tests {
     use flashflow_simnet::time::SimDuration;
 
     fn spec(slot_secs: u32) -> MeasureSpec {
-        MeasureSpec { relay_fp: [3; FINGERPRINT_LEN], slot_secs, sockets: 8, rate_cap: 0 }
+        MeasureSpec {
+            relay_fp: [3; FINGERPRINT_LEN],
+            slot_secs,
+            sockets: 8,
+            rate_cap: 0,
+            ..MeasureSpec::default()
+        }
     }
 
     /// A local measurer that reports `per_second` measured bytes.
@@ -1254,7 +1353,7 @@ mod tests {
 
     #[test]
     fn data_channels_blast_and_counters_cross_check_reports() {
-        use flashflow_proto::blast::TrafficSink;
+        use flashflow_proto::blast::{channel_key, TrafficSink};
 
         // One measurer peer with two data channels over in-memory
         // links. The peer derives its SecondReports from what its sinks
@@ -1264,8 +1363,13 @@ mod tests {
         let t = SessionTimeouts::default();
         let rate = 40_000u64;
         let slot_secs = 3u32;
-        let spec =
-            MeasureSpec { relay_fp: [3; FINGERPRINT_LEN], slot_secs, sockets: 2, rate_cap: rate };
+        let spec = MeasureSpec {
+            relay_fp: [3; FINGERPRINT_LEN],
+            slot_secs,
+            sockets: 2,
+            rate_cap: rate,
+            ..MeasureSpec::default()
+        };
         let mut builder = MeasurementEngine::builder();
         let (ca, cb) = Duplex::loopback().into_endpoints();
         let peer = builder.add_peer(
@@ -1277,7 +1381,9 @@ mod tests {
         for _ in 0..2 {
             let (da, db) = Duplex::loopback().into_endpoints();
             builder.add_data_channel(peer, Box::new(da));
-            sinks.push(TrafficSink::new(db));
+            // The engine tags frames under the session token; an
+            // unkeyed sink would count everything as forged.
+            sinks.push(TrafficSink::new(db).with_key(channel_key(&token)));
         }
         let mut engine = builder.hard_deadline(SimTime::from_secs(60)).build(SimTime::ZERO);
         let mut local = Endpoint::new(MeasurerSession::new(token, PeerRole::Measurer, 1, t), cb);
@@ -1394,8 +1500,13 @@ mod tests {
         let t = SessionTimeouts::default();
         let rate = 40_000u64;
         let slot_secs = 4u32;
-        let spec =
-            MeasureSpec { relay_fp: [3; FINGERPRINT_LEN], slot_secs, sockets: 1, rate_cap: rate };
+        let spec = MeasureSpec {
+            relay_fp: [3; FINGERPRINT_LEN],
+            slot_secs,
+            sockets: 1,
+            rate_cap: rate,
+            ..MeasureSpec::default()
+        };
         let mut builder = MeasurementEngine::builder();
         let (ca, cb) = Duplex::loopback().into_endpoints();
         let peer = builder.add_peer(
@@ -1461,6 +1572,124 @@ mod tests {
             ledger.divergent_count(&engine, 0) >= slot_secs as usize - 1,
             "full-rate reports over a dead channel must diverge: {rows:?}"
         );
+    }
+
+    /// A fixed-role directory for ledger-only tests (no live engine).
+    struct TestDir {
+        roles: Vec<PeerRole>,
+        slot_secs: u32,
+    }
+
+    impl PeerDirectory for TestDir {
+        fn peer_count(&self) -> usize {
+            self.roles.len()
+        }
+        fn item(&self, _peer: PeerId) -> usize {
+            0
+        }
+        fn phase(&self, _peer: PeerId) -> CoordPhase {
+            CoordPhase::Done
+        }
+        fn role(&self, peer: PeerId) -> PeerRole {
+            self.roles[peer.index()]
+        }
+        fn spec(&self, _peer: PeerId) -> MeasureSpec {
+            MeasureSpec { slot_secs: self.slot_secs, ..MeasureSpec::default() }
+        }
+    }
+
+    fn sample(peer: usize, second: u32, bg: u64, measured: u64) -> EngineEvent {
+        EngineEvent::Sample {
+            peer: PeerId(peer),
+            item: 0,
+            second,
+            bg_bytes: bg,
+            measured_bytes: measured,
+        }
+    }
+
+    #[test]
+    fn target_rows_cross_check_echo_against_aggregated_measurer_reports() {
+        // Two measurers report 40 kB/s of echoed blast each; the relay
+        // honestly claims it echoed the 80 kB/s total and admitted a
+        // plausible background. Nothing diverges.
+        let dir = TestDir {
+            roles: vec![PeerRole::Measurer, PeerRole::Measurer, PeerRole::Target],
+            slot_secs: 2,
+        };
+        let mut ledger = SampleLedger::new();
+        for second in 0..2 {
+            ledger.observe(&sample(0, second, 0, 40_000));
+            ledger.observe(&sample(1, second, 0, 40_000));
+            ledger.observe(&sample(2, second, 20_000, 80_000));
+        }
+        assert_eq!(ledger.echoed_series(&dir, 0), vec![80_000, 80_000]);
+        let rows = ledger.rows(&dir, 0);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(!row.divergent, "honest reports flagged: {row:?}");
+        }
+        // Target rows carry the aggregated measurer echo as their
+        // cross-check column, and the bg claim in its own column.
+        let target_rows: Vec<_> = rows.iter().filter(|r| r.peer == PeerId(2)).collect();
+        assert_eq!(target_rows.len(), 2);
+        for row in &target_rows {
+            assert_eq!(row.counted, Some(80_000));
+            assert_eq!(row.bg, 20_000);
+            assert_eq!(row.reported, 80_000);
+        }
+        assert_eq!(ledger.divergent_count(&dir, 0), 0);
+    }
+
+    #[test]
+    fn background_claim_inflation_and_echo_inflation_diverge_target_rows() {
+        let dir = TestDir {
+            roles: vec![PeerRole::Measurer, PeerRole::Measurer, PeerRole::Target],
+            slot_secs: 3,
+        };
+        let mut ledger = SampleLedger::new();
+        for second in 0..3 {
+            ledger.observe(&sample(0, second, 0, 40_000));
+            ledger.observe(&sample(1, second, 0, 40_000));
+        }
+        // Second 0: a background claim far beyond the r/(1−r) share of
+        // the demonstrated echo (TorMult-style inflation over the
+        // self-reported channel).
+        ledger.observe(&sample(2, 0, 60_000, 80_000));
+        // Second 1: an inflated echo claim (the relay says it echoed
+        // twice what the measurers saw).
+        ledger.observe(&sample(2, 1, 10_000, 160_000));
+        // Second 2: honest (bound is 80_000/3 ≈ 26.7k, ×1.1 tolerance).
+        ledger.observe(&sample(2, 2, 26_000, 80_000));
+        let rows = ledger.rows(&dir, 0);
+        let flags: Vec<bool> =
+            rows.iter().filter(|r| r.peer == PeerId(2)).map(|r| r.divergent).collect();
+        assert_eq!(flags, vec![true, true, false], "{rows:?}");
+        assert_eq!(ledger.divergent_count(&dir, 0), 2);
+    }
+
+    #[test]
+    fn reporting_only_targets_have_no_echo_claim_to_check() {
+        // The pre-echo topologies: the target reports background only
+        // (measured = 0) while measurers sink the coordinator's blast.
+        // Its zero echo claim must not be "divergent" against the
+        // measurers' nonzero series, and a modest bg claim passes.
+        let dir = TestDir { roles: vec![PeerRole::Measurer, PeerRole::Target], slot_secs: 2 };
+        let mut ledger = SampleLedger::new();
+        for second in 0..2 {
+            ledger.observe(&sample(0, second, 0, 100_000));
+            ledger.observe(&sample(1, second, 5_000, 0));
+        }
+        assert_eq!(ledger.divergent_count(&dir, 0), 0, "{:?}", ledger.rows(&dir, 0));
+        // But an absurd bg claim is still caught even with no echo
+        // claim: plausibility binds on the measurers' demonstrated
+        // bytes, not on the relay's own assertion.
+        let mut lying = SampleLedger::new();
+        for second in 0..2 {
+            lying.observe(&sample(0, second, 0, 100_000));
+            lying.observe(&sample(1, second, 2_000_000, 0));
+        }
+        assert_eq!(lying.divergent_count(&dir, 0), 2, "{:?}", lying.rows(&dir, 0));
     }
 
     #[test]

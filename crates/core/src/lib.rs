@@ -25,6 +25,7 @@
 //! | [`engine`] | §4.1, §7 | transport-agnostic coordinator event loop (`MeasurementEngine`), data channels, counter-backed ledger |
 //! | [`shard`] | §4.3, §7 | sharding a period's item groups across engines and worker threads (`ShardedEngine`), LPT group ordering |
 //! | [`pool`] | §7 | long-lived pool of warm TCP connections to measurer processes |
+//! | [`echo`] | §4.1, §7 | the deployed echo topology: coordinator-side wiring for measurers blasting a target relay that echoes back |
 //! | [`proto_driver`] | §4.1 | the same slots driven end-to-end through the `flashflow-proto` control protocol over the engine |
 //! | [`verify`] | §4.1, §5 | random cell spot-checks |
 //! | [`sequence`] | §4.2 | adaptive re-measurement with doubling |
@@ -63,6 +64,7 @@
 pub mod alloc;
 pub mod bwauth;
 pub mod dynamic;
+pub mod echo;
 pub mod engine;
 pub mod measure;
 pub mod params;
@@ -81,18 +83,24 @@ pub use params::Params;
 /// Convenient glob-import of the most used types.
 pub mod prelude {
     pub use crate::alloc::{greedy_allocate, greedy_allocate_rates, AllocError};
-    pub use crate::bwauth::{aggregate_bwauths, BandwidthFile, BwAuth, BwEntry, MeasureBackend};
+    pub use crate::bwauth::{
+        aggregate_bwauths, measure_echo_period, BandwidthFile, BwAuth, BwEntry, EchoEntry,
+        EchoPeriodFile, MeasureBackend,
+    };
     pub use crate::dynamic::{adjust_weights, DynamicPolicy, DynamicReport};
+    pub use crate::echo::{echo_group, EchoDeployment, EchoItem, EchoMeasurer};
     pub use crate::engine::{
         EngineBuilder, EngineEvent, EngineSnapshot, LedgerRow, MeasurementEngine, PeerDirectory,
-        PeerId, SampleLedger, DIVERGENCE_TOLERANCE,
+        PeerId, SampleLedger, DEFAULT_BACKGROUND_RATIO, DIVERGENCE_TOLERANCE,
     };
     pub use crate::measure::{
         assignments_for, measure_once, run_concurrent_measurements, run_measurement, Assignment,
         BatchItem, Measurement, SecondSample,
     };
     pub use crate::params::Params;
-    pub use crate::pool::{ChannelKind, ConnectionPool, PooledConn, ReuseHandle};
+    pub use crate::pool::{
+        ChannelKind, ConnectionPool, PooledConn, ReuseHandle, DEFAULT_IDLE_PROBE_AGE,
+    };
     pub use crate::proto_driver::{
         fingerprint_for, FaultSpec, PeerFailure, PeerFault, ProtoConfig, ProtoMeasurement,
         SlotRunner,

@@ -33,10 +33,26 @@ use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use flashflow_proto::frame::{encode, FrameDecoder};
+use flashflow_proto::msg::Msg;
 use flashflow_proto::tcp::TcpTransport;
 use flashflow_proto::transport::{Readiness, Transport, TransportError};
 use flashflow_simnet::time::SimTime;
+
+/// Default idle age past which a parked connection is health-probed at
+/// checkout (see [`ConnectionPool::with_idle_probe_age`]). Within a
+/// period, items reuse connections within milliseconds; 30 seconds of
+/// idleness means the connection sat across a period gap, where serving
+/// processes restart and NATs expire mappings.
+pub const DEFAULT_IDLE_PROBE_AGE: Duration = Duration::from_secs(30);
+
+/// Longest a keepalive probe waits for its `Pong` before declaring the
+/// parked connection dead. One loopback/LAN round trip is microseconds
+/// to low milliseconds; a peer that cannot answer a ping in this long
+/// is not a peer a fresh measurement item should be handed.
+pub const PROBE_TIMEOUT: Duration = Duration::from_millis(500);
 
 /// What a pooled connection is used for. A serving measurer process
 /// classifies each accepted connection **once** — control frames or
@@ -51,12 +67,67 @@ pub enum ChannelKind {
     Data,
 }
 
-#[derive(Default)]
+/// A connection waiting in the pool, stamped with when it was parked so
+/// checkout can tell a warm handoff from one that idled across a period
+/// gap.
+struct Parked {
+    transport: TcpTransport,
+    parked_at: Instant,
+}
+
 struct PoolShared {
-    idle: Mutex<HashMap<(SocketAddr, ChannelKind), Vec<TcpTransport>>>,
+    idle: Mutex<HashMap<(SocketAddr, ChannelKind), Vec<Parked>>>,
+    idle_probe_age: Duration,
     dials: AtomicU64,
     reuses: AtomicU64,
     discarded: AtomicU64,
+    probes: AtomicU64,
+    probe_seq: AtomicU64,
+}
+
+impl Default for PoolShared {
+    fn default() -> Self {
+        PoolShared {
+            idle: Mutex::new(HashMap::new()),
+            idle_probe_age: DEFAULT_IDLE_PROBE_AGE,
+            dials: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            probe_seq: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Runs one keepalive probe over a parked **control** connection: send
+/// `Ping`, wait (bounded) for the matching `Pong`. The serving process
+/// answers from its parked `AwaitAuth` session, so a positive answer
+/// proves the whole path — socket, process, session loop — is alive,
+/// which no amount of local socket inspection can.
+fn ping_probe(transport: &mut TcpTransport, probe: u64) -> bool {
+    if transport.send(SimTime::ZERO, &encode(&Msg::Ping { probe })).is_err() {
+        return false;
+    }
+    let mut decoder = FrameDecoder::new();
+    let deadline = Instant::now() + PROBE_TIMEOUT;
+    while Instant::now() < deadline {
+        match transport.recv(SimTime::ZERO) {
+            Ok(bytes) => {
+                decoder.push(&bytes);
+                match decoder.next_msg() {
+                    // Anything but our echo — a stale frame, a
+                    // mismatched probe, garbage — disqualifies the
+                    // connection.
+                    Ok(Some(Msg::Pong { probe: got })) => return got == probe,
+                    Ok(Some(_)) | Err(_) => return false,
+                    // Partial (or no) frame yet; wait for more bytes.
+                    Ok(None) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    false
 }
 
 /// A shared pool of warm [`TcpTransport`] connections, keyed by peer
@@ -72,9 +143,30 @@ impl ConnectionPool {
         ConnectionPool::default()
     }
 
+    /// Sets the idle age past which a parked connection is
+    /// **health-probed** at checkout rather than trusted: on top of the
+    /// always-on readiness check (catches a FIN/RST that arrived while
+    /// parked), a control connection gets a `Ping` that the serving
+    /// process's parked session must answer within [`PROBE_TIMEOUT`] —
+    /// a peer that died without saying goodbye fails it now, at
+    /// checkout, where discard-and-redial is cheap, instead of
+    /// mid-handshake inside an engine. Idle *data* connections (no
+    /// session on the far end to answer) are simply redialed past the
+    /// age. Defaults to [`DEFAULT_IDLE_PROBE_AGE`]; [`Duration::ZERO`]
+    /// probes every parked checkout.
+    #[must_use]
+    pub fn with_idle_probe_age(self, age: Duration) -> Self {
+        // The shared state is fresh (builder-style, pre-clone): there
+        // is exactly one Arc holder.
+        let mut shared = Arc::try_unwrap(self.shared).ok().expect("configure before cloning");
+        shared.idle_probe_age = age;
+        ConnectionPool { shared: Arc::new(shared) }
+    }
+
     /// Checks a `kind` connection to `addr` out: a parked warm one when
     /// available (stale ones — peer hung up while parked — are
-    /// discarded on the spot), a fresh dial otherwise.
+    /// discarded on the spot; ones idle past the probe age are
+    /// keepalive-probed first), a fresh dial otherwise.
     ///
     /// # Errors
     /// Propagates the dial failure.
@@ -83,14 +175,38 @@ impl ConnectionPool {
         loop {
             let parked =
                 self.shared.idle.lock().expect("pool lock").get_mut(&key).and_then(Vec::pop);
-            let Some(mut transport) = parked else { break };
+            let Some(Parked { mut transport, parked_at }) = parked else { break };
             // A parked connection can rot: the process exited, or sent
             // bytes we never asked for. Either disqualifies it.
-            if transport.readiness(SimTime::ZERO) == Readiness::Quiet {
-                self.shared.reuses.fetch_add(1, Ordering::Relaxed);
-                return Ok(self.wrap(key, transport));
+            if transport.readiness(SimTime::ZERO) != Readiness::Quiet {
+                self.shared.discarded.fetch_add(1, Ordering::Relaxed);
+                continue;
             }
-            self.shared.discarded.fetch_add(1, Ordering::Relaxed);
+            // Idle long enough to distrust: run a real keepalive. A
+            // peer that vanished without a FIN (process killed, NAT
+            // mapping expired) looks perfectly quiet locally; only a
+            // `Ping` answered by the serving process's parked session
+            // proves the connection can still carry a conversation.
+            // Data-kind connections have no control session on the
+            // other end to answer, so for them age past the threshold
+            // is itself the verdict: redial rather than trust.
+            if parked_at.elapsed() >= self.shared.idle_probe_age {
+                let alive = if kind == ChannelKind::Control {
+                    self.shared.probes.fetch_add(1, Ordering::Relaxed);
+                    let probe = self.shared.probe_seq.fetch_add(1, Ordering::Relaxed) ^ 0x50B0_BE4C;
+                    ping_probe(&mut transport, probe)
+                } else {
+                    // No session on the far end to answer a ping: age
+                    // past the threshold is itself the verdict.
+                    false
+                };
+                if !alive {
+                    self.shared.discarded.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            self.shared.reuses.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.wrap(key, transport));
         }
         let transport = TcpTransport::connect(addr)?;
         self.shared.dials.fetch_add(1, Ordering::Relaxed);
@@ -119,6 +235,11 @@ impl ConnectionPool {
     /// Parked connections found stale and thrown away.
     pub fn discarded(&self) -> u64 {
         self.shared.discarded.load(Ordering::Relaxed)
+    }
+
+    /// Keepalive probes run on idle-past-threshold checkouts.
+    pub fn probes(&self) -> u64 {
+        self.shared.probes.load(Ordering::Relaxed)
     }
 
     /// Connections currently parked.
@@ -193,6 +314,10 @@ impl Transport for PooledConn {
             let _ = t.send(SimTime::ZERO, &[]);
         }
     }
+
+    fn backlog(&self) -> usize {
+        self.pending_send_bytes()
+    }
 }
 
 impl Drop for PooledConn {
@@ -206,7 +331,7 @@ impl Drop for PooledConn {
                 .expect("pool lock")
                 .entry(self.key)
                 .or_default()
-                .push(transport);
+                .push(Parked { transport, parked_at: Instant::now() });
         } else {
             self.shared.discarded.fetch_add(1, Ordering::Relaxed);
             // Dropping the TcpTransport closes the socket.
@@ -272,6 +397,119 @@ mod tests {
         drop(conn); // never approved
         assert_eq!(pool.idle_count(), 0);
         assert_eq!(pool.discarded(), 1);
+    }
+
+    /// A minimal serving peer for probe tests: accepts one connection
+    /// and answers every `Ping` with the matching `Pong`, like a parked
+    /// `MeasurerSession` does, until the prober hangs up.
+    fn pong_server(listener: TcpListener) -> std::thread::JoinHandle<u64> {
+        std::thread::spawn(move || {
+            use flashflow_proto::frame::{encode, FrameDecoder};
+            use flashflow_proto::msg::Msg;
+            use std::io::{Read as _, Write as _};
+            let (mut stream, _) = listener.accept().expect("accept");
+            stream.set_nonblocking(true).expect("nonblocking");
+            let mut dec = FrameDecoder::new();
+            let mut buf = [0u8; 1024];
+            let mut pongs = 0u64;
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while Instant::now() < deadline {
+                match stream.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => dec.push(&buf[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+                while let Ok(Some(Msg::Ping { probe })) = dec.next_msg() {
+                    stream.write_all(&encode(&Msg::Pong { probe })).expect("pong");
+                    pongs += 1;
+                }
+            }
+            pongs
+        })
+    }
+
+    #[test]
+    fn idle_connections_are_probed_and_dead_ones_redialed() {
+        let (listener, addr) = echo_listener();
+        // Probe age zero: every parked checkout is probed.
+        let pool = ConnectionPool::new().with_idle_probe_age(Duration::ZERO);
+        {
+            let conn = pool.checkout(addr, ChannelKind::Control).expect("dial");
+            let _accepted = listener.accept().expect("accept");
+            conn.reuse_handle().approve();
+            drop(conn);
+            // The peer dies while the connection idles in the pool.
+            drop(_accepted);
+        }
+        assert_eq!(pool.idle_count(), 1);
+        std::thread::sleep(Duration::from_millis(20));
+        let conn2 = pool.checkout(addr, ChannelKind::Control).expect("redial after probe discard");
+        let _accepted2 = listener.accept().expect("accept fresh");
+        assert_eq!(pool.dials(), 2, "dead parked connection was redialed, not handed out");
+        assert_eq!(pool.reuses(), 0);
+        assert!(pool.discarded() >= 1);
+        drop(conn2);
+    }
+
+    #[test]
+    fn healthy_idle_connection_answers_its_ping_and_is_reused() {
+        let (listener, addr) = echo_listener();
+        let server = pong_server(listener);
+        let pool = ConnectionPool::new().with_idle_probe_age(Duration::ZERO);
+        {
+            let conn = pool.checkout(addr, ChannelKind::Control).expect("dial healthy");
+            conn.reuse_handle().approve();
+        }
+        let probes_before = pool.probes();
+        let reused = pool.checkout(addr, ChannelKind::Control).expect("probed reuse");
+        assert!(pool.probes() > probes_before, "idle checkout was probed");
+        assert_eq!(pool.reuses(), 1, "healthy probed connection handed back out");
+        assert_eq!(pool.dials(), 1, "no redial needed");
+        drop(reused);
+        assert!(server.join().expect("server") >= 1, "the peer answered the keepalive");
+    }
+
+    #[test]
+    fn silently_dead_peer_fails_the_ping_probe() {
+        // The case local socket inspection cannot catch: the peer
+        // accepts, never answers, and never closes — readiness stays
+        // Quiet, but the Ping goes unanswered and the connection is
+        // discarded at the probe timeout instead of being handed to an
+        // engine.
+        let (listener, addr) = echo_listener();
+        let pool = ConnectionPool::new().with_idle_probe_age(Duration::ZERO);
+        {
+            let conn = pool.checkout(addr, ChannelKind::Control).expect("dial");
+            conn.reuse_handle().approve();
+        }
+        let (_mute, _) = listener.accept().expect("accept");
+        assert_eq!(pool.idle_count(), 1);
+        let t0 = Instant::now();
+        let conn2 = pool.checkout(addr, ChannelKind::Control).expect("redial after mute peer");
+        let _accepted2 = listener.accept().expect("accept fresh");
+        assert!(t0.elapsed() >= PROBE_TIMEOUT, "probe waited out its timeout");
+        assert_eq!(pool.dials(), 2, "mute peer's connection was not reused");
+        assert_eq!(pool.reuses(), 0);
+        drop(conn2);
+    }
+
+    #[test]
+    fn young_connections_skip_the_keepalive_probe() {
+        let (listener, addr) = echo_listener();
+        // A generous probe age: a connection parked moments ago is
+        // trusted without the extra probe.
+        let pool = ConnectionPool::new().with_idle_probe_age(Duration::from_secs(3600));
+        let conn = pool.checkout(addr, ChannelKind::Control).expect("dial");
+        let _accepted = listener.accept().expect("accept");
+        conn.reuse_handle().approve();
+        drop(conn);
+        let conn2 = pool.checkout(addr, ChannelKind::Control).expect("warm reuse");
+        assert_eq!(pool.probes(), 0, "young parked connection not probed");
+        assert_eq!((pool.dials(), pool.reuses()), (1, 1));
+        drop(conn2);
     }
 
     #[test]

@@ -288,6 +288,7 @@ impl<'a> SlotRunner<'a> {
                     slot_secs,
                     sockets: a.sockets,
                     rate_cap: a.allocation.bytes_per_sec() as u64,
+                    ..MeasureSpec::default()
                 };
                 let fault =
                     self.faults.iter().find(|f| f.item == ix && f.host == a.host).map(|f| f.fault);
@@ -305,7 +306,13 @@ impl<'a> SlotRunner<'a> {
                 );
             }
             // The target relay's reporting session.
-            let spec = MeasureSpec { relay_fp: fp, slot_secs, sockets: 0, rate_cap: 0 };
+            let spec = MeasureSpec {
+                relay_fp: fp,
+                slot_secs,
+                sockets: 0,
+                rate_cap: 0,
+                ..MeasureSpec::default()
+            };
             of_group.push(locals.len());
             self.add_peer(
                 &mut builder,

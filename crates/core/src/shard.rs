@@ -122,6 +122,14 @@ impl PeriodLedger {
         self.groups[ev.group].observe(&ev.event);
     }
 
+    /// Overrides the background ratio `r` every group's plausibility
+    /// bound uses (see [`SampleLedger::set_bg_ratio`]).
+    pub fn set_bg_ratio(&mut self, ratio: f64) {
+        for g in &mut self.groups {
+            g.set_bg_ratio(ratio);
+        }
+    }
+
     /// The per-group ledger.
     pub fn group(&self, group: usize) -> &SampleLedger {
         &self.groups[group]
@@ -444,6 +452,7 @@ pub mod script {
                         slot_secs: cfg.slot_secs,
                         sockets: if peer.role == PeerRole::Measurer { 8 } else { 0 },
                         rate_cap: peer.measured,
+                        ..MeasureSpec::default()
                     };
                     let nonce = (item_ix * 64 + peer_ix) as u64 + 1;
                     let (ca, cb) = Duplex::new(cfg.link_latency, cfg.link_chunk).into_endpoints();
@@ -514,7 +523,13 @@ mod tests {
     const SLOT_SECS: u32 = 3;
 
     fn spec(rate_cap: u64) -> MeasureSpec {
-        MeasureSpec { relay_fp: [7; FINGERPRINT_LEN], slot_secs: SLOT_SECS, sockets: 8, rate_cap }
+        MeasureSpec {
+            relay_fp: [7; FINGERPRINT_LEN],
+            slot_secs: SLOT_SECS,
+            sockets: 8,
+            rate_cap,
+            ..MeasureSpec::default()
+        }
     }
 
     fn cfg() -> ScriptConfig {

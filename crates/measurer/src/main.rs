@@ -25,6 +25,15 @@
 //! that need exact numbers; target-role sessions always report their
 //! configured `--bg` (there is no client-traffic source here to count).
 //!
+//! **Echo topology** (the paper's full shape): when a `MeasureCmd`
+//! carries a target endpoint, this measurer *initiates* the data plane
+//! instead of sinking it — at `Go` it dials `sockets` echo channels to
+//! the target relay's listener, blasts pattern-stamped frames bound to
+//! the command's measurement secret (public binding nonce in the
+//! hello, secret-keyed integrity tag on every frame), verifies the
+//! relay's echo stream, and reports the **verified echoed bytes** per
+//! second. See the `flashflow-relay` crate for the serving side.
+//!
 //! Liveness at the edges (half-open connections must not hold
 //! resources):
 //!
@@ -66,11 +75,16 @@
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use flashflow_procutil as procutil;
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use flashflow_proto::blast::{BlastEvent, BlastParser, ReportSource, DATA_HELLO_TAG};
+use flashflow_proto::blast::{
+    binding_nonce, channel_key, secret_channel_key, BlastEvent, BlastParser, ReportSource,
+    TrafficSource, DATA_HELLO_TAG,
+};
 use flashflow_proto::endpoint::Endpoint;
 use flashflow_proto::msg::{AbortReason, PeerRole, AUTH_TOKEN_LEN};
 use flashflow_proto::session::{
@@ -79,28 +93,6 @@ use flashflow_proto::session::{
 use flashflow_proto::tcp::{TcpAcceptor, TcpTransport};
 use flashflow_proto::transport::{LeasedTransport, Transport};
 use flashflow_simnet::time::SimTime;
-
-/// Set by the SIGTERM handler; the accept loop begins the drain.
-static DRAIN: AtomicBool = AtomicBool::new(false);
-
-#[cfg(unix)]
-#[allow(clippy::fn_to_numeric_cast_any)]
-fn install_sigterm_handler() {
-    extern "C" fn on_sigterm(_sig: i32) {
-        // Only async-signal-safe work here: flip the flag.
-        DRAIN.store(true, Ordering::SeqCst);
-    }
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
-    }
-    const SIGTERM: i32 = 15;
-    unsafe {
-        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
-    }
-}
-
-#[cfg(not(unix))]
-fn install_sigterm_handler() {}
 
 /// Parsed configuration (command line and/or `--config` file).
 #[derive(Debug, Clone)]
@@ -146,11 +138,10 @@ impl Default for Config {
 }
 
 impl Config {
-    /// The window a fresh connection gets to identify itself (first
-    /// byte, complete hello, known nonce), scaled with `--speedup` like
-    /// every other pacing quantity.
+    /// The identification window for fresh connections (shared
+    /// scaffolding, scaled by `--speedup`).
     fn hello_window(&self) -> Duration {
-        Duration::from_secs_f64((10.0 / self.speedup).clamp(0.05, 30.0))
+        procutil::hello_window(self.speedup)
     }
 }
 
@@ -158,18 +149,6 @@ const USAGE: &str = "usage: flashflow-measurer [--config FILE] [--listen ADDR] \
                      [--role measurer|target] [--report counters|scripted] \
                      [--token-hex HEX64] [--rate BYTES] [--bg BYTES] [--speedup X] \
                      [--sessions N]";
-
-fn parse_token_hex(s: &str) -> Result<[u8; AUTH_TOKEN_LEN], String> {
-    if s.len() != AUTH_TOKEN_LEN * 2 {
-        return Err(format!("--token-hex wants {} hex chars, got {}", AUTH_TOKEN_LEN * 2, s.len()));
-    }
-    let mut token = [0u8; AUTH_TOKEN_LEN];
-    for (ix, byte) in token.iter_mut().enumerate() {
-        *byte = u8::from_str_radix(&s[2 * ix..2 * ix + 2], 16)
-            .map_err(|e| format!("--token-hex: {e}"))?;
-    }
-    Ok(token)
-}
 
 /// Applies one `key=value` setting. Shared by the command line (`--key
 /// value`) and the config file (`key=value`), so the two cannot drift.
@@ -185,7 +164,7 @@ fn apply(cfg: &mut Config, key: &str, value: &str) -> Result<(), String> {
         }
         "report" => cfg.report = value.parse()?,
         "token-hex" => {
-            cfg.token = parse_token_hex(value)?;
+            cfg.token = procutil::parse_token_hex(value)?;
             cfg.token_explicit = true;
         }
         "rate" => cfg.rate = Some(value.parse().map_err(|e| format!("rate: {e}"))?),
@@ -202,41 +181,9 @@ fn apply(cfg: &mut Config, key: &str, value: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Loads a `key=value` config file (blank lines and `#` comments
-/// skipped) into `cfg`.
-fn apply_config_file(cfg: &mut Config, path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("--config {path}: {e}"))?;
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (key, value) = line
-            .split_once('=')
-            .ok_or(format!("--config {path}:{}: expected key=value", lineno + 1))?;
-        apply(cfg, key.trim(), value.trim())
-            .map_err(|e| format!("--config {path}:{}: {e}", lineno + 1))?;
-    }
-    Ok(())
-}
-
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
     let mut cfg = Config::default();
-    let mut args = args.peekable();
-    while let Some(flag) = args.next() {
-        if flag == "--help" || flag == "-h" {
-            return Err(USAGE.to_string());
-        }
-        let Some(key) = flag.strip_prefix("--") else {
-            return Err(format!("unknown argument {flag:?}\n{USAGE}"));
-        };
-        let value = args.next().ok_or(format!("--{key} wants a value"))?;
-        if key == "config" {
-            apply_config_file(&mut cfg, &value)?;
-        } else {
-            apply(&mut cfg, key, &value)?;
-        }
-    }
+    procutil::parse_args(args, USAGE, &mut |key, value| apply(&mut cfg, key, value))?;
     Ok(cfg)
 }
 
@@ -246,6 +193,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
 struct SessionCounters {
     received: AtomicU64,
     corrupt: AtomicU64,
+    /// Bytes of frames the parser refused outright: failed integrity
+    /// tag (forged) or replayed sequence numbers. Never credited;
+    /// surfaced in the session's end-of-slot log line.
+    rejected: AtomicU64,
     channels: AtomicU64,
 }
 
@@ -326,6 +277,62 @@ fn serve_control(transport: TcpTransport, preread: Vec<u8>, conn_id: u64, shared
     }
 }
 
+/// One echo channel to the target relay: this measurer's blast source
+/// and the verifying parser for the relay's echo stream, sharing the
+/// dialed connection.
+struct EchoChannel {
+    source: TrafficSource<TcpTransport>,
+    echo: BlastParser,
+}
+
+impl EchoChannel {
+    /// Verified echoed bytes this channel has received back.
+    fn verified(&self) -> u64 {
+        self.echo.received_total() - self.echo.corrupt_total()
+    }
+}
+
+/// Dials the slot's echo channels to the target relay and starts their
+/// blasts (clocks run on the sped-up `now`). Channels that fail to dial
+/// are skipped — the slot degrades rather than wedging; the coordinator
+/// sees it in the reported rates.
+fn dial_echo_channels(
+    spec: &flashflow_proto::msg::MeasureSpec,
+    now: SimTime,
+    session_id: u64,
+) -> Vec<EchoChannel> {
+    let Some(addr) = spec.target.socket_addr() else { return Vec::new() };
+    let nonce = binding_nonce(spec.measurement_secret);
+    let key = secret_channel_key(spec.measurement_secret);
+    let n = spec.sockets.clamp(1, 16);
+    let mut channels = Vec::new();
+    for chan in 0..n {
+        let transport = match TcpTransport::connect(addr) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("[session {session_id}] echo dial {addr} failed: {e}");
+                continue;
+            }
+        };
+        let mut source = TrafficSource::new(transport, nonce, chan).with_key(key);
+        if spec.rate_cap > 0 {
+            // Even split; the first channels absorb the remainder.
+            let cap = spec.rate_cap;
+            let share = cap / u64::from(n) + u64::from(u64::from(chan) < cap % u64::from(n));
+            source.set_rate_cap(share);
+        }
+        source.greet(now);
+        source.start(now);
+        channels.push(EchoChannel { source, echo: BlastParser::new().with_key(key) });
+    }
+    eprintln!(
+        "[session {session_id}] echo topology: {} channel(s) to {addr}, cap {} B/s",
+        channels.len(),
+        spec.rate_cap
+    );
+    channels
+}
+
 /// Serves exactly one control conversation over the leased connection.
 fn serve_one(
     leased: &mut LeasedTransport<TcpTransport>,
@@ -352,8 +359,14 @@ fn serve_one(
     let mut registered_nonce: Option<u64> = None;
     let mut counters: Option<Arc<SessionCounters>> = None;
     let mut counted_through = 0u64;
+    // Echo-topology state: this measurer's own blast channels to the
+    // target relay (empty outside the echo topology).
+    let mut echo_channels: Vec<EchoChannel> = Vec::new();
     loop {
         let now = SimTime::from_secs_f64(t0.elapsed().as_secs_f64());
+        // The blast clocks run sped up, like the reports: a "second" of
+        // the commanded rate goes out per 1/speedup wall seconds.
+        let snow = SimTime::from_secs_f64(t0.elapsed().as_secs_f64() * cfg.speedup);
         endpoint.pump(now);
         endpoint.tick(now);
         // Claim the accepted nonce in the process-wide window the moment
@@ -407,19 +420,57 @@ fn serve_one(
                     slot = Some((spec.slot_secs, bg, measured));
                     started_at = Instant::now();
                     counted_through = 0;
-                    match (cfg.role, cfg.report) {
-                        (PeerRole::Measurer, ReportSource::Counters) => {
-                            let channels =
-                                counters.as_ref().map_or(0, |c| c.channels.load(Ordering::Relaxed));
-                            eprintln!(
-                                "[session {session_id}] go — counting {channels} data channel(s)"
-                            );
+                    if cfg.role == PeerRole::Measurer && !spec.target.is_none() {
+                        // Echo topology: this measurer blasts the target
+                        // relay itself and reports the verified echo.
+                        echo_channels = dial_echo_channels(&spec, snow, session_id);
+                    } else {
+                        match (cfg.role, cfg.report) {
+                            (PeerRole::Measurer, ReportSource::Counters) => {
+                                let channels = counters
+                                    .as_ref()
+                                    .map_or(0, |c| c.channels.load(Ordering::Relaxed));
+                                eprintln!(
+                                    "[session {session_id}] go — counting {channels} data channel(s)"
+                                );
+                            }
+                            _ => eprintln!("[session {session_id}] go — reporting {measured} B/s"),
                         }
-                        _ => eprintln!("[session {session_id}] go — reporting {measured} B/s"),
                     }
                 }
                 MeasurerAction::Stop => {
-                    eprintln!("[session {session_id}] stop after {reported} seconds");
+                    for ch in &mut echo_channels {
+                        ch.source.stop(snow);
+                    }
+                    // Dropping the channels closes the dialed
+                    // connections; the relay's echo threads see EOF.
+                    echo_channels.clear();
+                    match &counters {
+                        Some(c) => eprintln!(
+                            "[session {session_id}] stop after {reported} seconds \
+                             (data plane: {} B received, {} corrupt, {} rejected)",
+                            c.received.load(Ordering::Relaxed),
+                            c.corrupt.load(Ordering::Relaxed),
+                            c.rejected.load(Ordering::Relaxed),
+                        ),
+                        None => eprintln!("[session {session_id}] stop after {reported} seconds"),
+                    }
+                }
+            }
+        }
+        // Drive the echo channels: blast the pacing budget out and
+        // verify whatever the relay has echoed back so far.
+        if !echo_channels.is_empty() && !endpoint.is_terminal() {
+            for ch in &mut echo_channels {
+                ch.source.pump(snow);
+                // A recv error means the relay hung up; verified()
+                // keeps its total either way.
+                if let Ok(bytes) = ch.source.transport_mut().recv(snow) {
+                    if !bytes.is_empty() {
+                        if let Err(e) = ch.echo.push(&bytes) {
+                            eprintln!("[session {session_id}] echo stream broke: {e}");
+                        }
+                    }
                 }
             }
         }
@@ -429,17 +480,27 @@ fn serve_one(
                 && !endpoint.is_terminal()
                 && started_at.elapsed() >= report_every * (reported + 1)
             {
-                let measured = match (&counters, cfg.report, cfg.role) {
-                    (Some(c), ReportSource::Counters, PeerRole::Measurer) => {
-                        // Counter-derived: the bytes that actually
-                        // arrived on this session's data channels since
-                        // the previous report.
-                        let through = c.received.load(Ordering::Relaxed);
-                        let delta = through - counted_through;
-                        counted_through = through;
-                        delta
+                let measured = if !echo_channels.is_empty() {
+                    // Echo-derived: the verified bytes the relay echoed
+                    // back across this session's channels since the
+                    // previous report.
+                    let through: u64 = echo_channels.iter().map(EchoChannel::verified).sum();
+                    let delta = through - counted_through;
+                    counted_through = through;
+                    delta
+                } else {
+                    match (&counters, cfg.report, cfg.role) {
+                        (Some(c), ReportSource::Counters, PeerRole::Measurer) => {
+                            // Counter-derived: the bytes that actually
+                            // arrived on this session's data channels
+                            // since the previous report.
+                            let through = c.received.load(Ordering::Relaxed);
+                            let delta = through - counted_through;
+                            counted_through = through;
+                            delta
+                        }
+                        _ => measured,
                     }
-                    _ => measured,
                 };
                 endpoint.session_mut().report_second(bg, measured);
                 reported += 1;
@@ -472,7 +533,9 @@ fn serve_one(
 /// blast bytes into the bound session's counters. A later hello on the
 /// same connection re-binds it (coordinator-side pooled data channels).
 fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, shared: &Shared) {
-    let mut parser = BlastParser::new();
+    // Coordinator-blasted channels are tagged under the pre-shared
+    // control token (which never crosses a data connection).
+    let mut parser = BlastParser::new().with_key(channel_key(&shared.cfg.token));
     let mut counters: Option<Arc<SessionCounters>> = None;
     // Bytes that arrived between a hello and its nonce registration
     // landing (sub-millisecond race); credited once bound.
@@ -518,6 +581,11 @@ fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, share
                             unbound.1 += corrupt;
                         }
                     },
+                    BlastEvent::Forged { bytes } | BlastEvent::Replayed { bytes } => {
+                        if let Some(c) = &counters {
+                            c.rejected.fetch_add(bytes, Ordering::Relaxed);
+                        }
+                    }
                 }
             }
         }
@@ -567,22 +635,12 @@ fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, share
 /// [`DATA_HELLO_TAG`] — and serves it. A connection that stays silent
 /// past the hello window is dropped: a half-open dial holds nothing.
 fn dispatch(mut transport: TcpTransport, conn_id: u64, shared: &Shared) {
-    let deadline = Instant::now() + shared.cfg.hello_window();
-    let first = loop {
-        match transport.recv(SimTime::ZERO) {
-            Ok(bytes) if !bytes.is_empty() => break bytes,
-            Ok(_) => {
-                if Instant::now() >= deadline {
-                    eprintln!("[conn {conn_id}] silent connection; dropping");
-                    return;
-                }
-                if shared.draining.load(Ordering::SeqCst) {
-                    return;
-                }
-                thread::sleep(Duration::from_millis(1));
-            }
-            Err(_) => return,
-        }
+    let draining = || shared.draining.load(Ordering::SeqCst);
+    let Some(first) =
+        procutil::await_first_bytes(&mut transport, shared.cfg.hello_window(), &draining)
+    else {
+        eprintln!("[conn {conn_id}] silent or dead before identifying itself; dropping");
+        return;
     };
     if first[0] == DATA_HELLO_TAG {
         serve_data(transport, first, conn_id, shared);
@@ -599,7 +657,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    install_sigterm_handler();
+    procutil::install_sigterm_handler();
     let acceptor = match TcpAcceptor::bind(&cfg.listen) {
         Ok(a) => a,
         Err(e) => {
@@ -634,7 +692,7 @@ fn main() {
     let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
     let mut conn_id = 0u64;
     loop {
-        if DRAIN.load(Ordering::SeqCst) {
+        if procutil::drain_requested() {
             eprintln!("SIGTERM: draining — no new connections, finishing in-flight sessions");
             break;
         }

@@ -61,6 +61,7 @@ fn spec_for(item: usize, role: PeerRole, rate: u64) -> MeasureSpec {
         slot_secs: SLOT_SECS,
         sockets: if role == PeerRole::Measurer { 8 } else { 0 },
         rate_cap: if role == PeerRole::Measurer { rate } else { 0 },
+        ..MeasureSpec::default()
     }
 }
 
@@ -327,6 +328,7 @@ fn pooled_counters_group(
                     slot_secs: C_SLOT_SECS,
                     sockets: if role == PeerRole::Measurer { C_DATA_CHANNELS as u32 } else { 0 },
                     rate_cap: if role == PeerRole::Measurer { rate } else { 0 },
+                    ..MeasureSpec::default()
                 },
                 nonce,
                 timeouts,
@@ -451,8 +453,10 @@ fn counters_multiprocess_agrees_with_scripted_reference_over_pooled_connections(
 
     // The audit rows: every measurer second carries BOTH the reported
     // rate and the coordinator's locally counted one, honest counters
-    // stay inside the divergence tolerance, and the target (no data
-    // plane) has no counted column.
+    // stay inside the divergence tolerance, and the reporting-only
+    // target's rows carry its bg claim next to the measurers'
+    // aggregated echo (its zero echo claim has nothing to cross-check,
+    // and the modest bg stays under the plausibility bound).
     for g in 0..C_ITEMS {
         let rows = run.rows(g, 0);
         let snapshot = &run.snapshots[g];
@@ -467,7 +471,13 @@ fn counters_multiprocess_agrees_with_scripted_reference_over_pooled_connections(
                     measurer_rows += 1;
                 }
                 PeerRole::Target => {
-                    assert_eq!(row.counted, None, "item {g}: target has no data plane: {row:?}");
+                    assert_eq!(row.reported, 0, "item {g}: scripted target claims no echo");
+                    assert_eq!(row.bg, 20_000, "item {g}: target bg claim: {row:?}");
+                    assert!(
+                        row.counted.is_some(),
+                        "item {g}: target row lacks the aggregated measurer echo: {row:?}"
+                    );
+                    assert!(!row.divergent, "item {g}: honest target flagged: {row:?}");
                 }
             }
         }
@@ -556,8 +566,13 @@ fn sigterm_drains_in_flight_slot_flushes_aborts_and_exits_zero() {
         report: SimDuration::from_secs(300),
     };
     let slot_secs = 5u32;
-    let spec =
-        MeasureSpec { relay_fp: [9; FINGERPRINT_LEN], slot_secs, sockets: 1, rate_cap: 1_000_000 };
+    let spec = MeasureSpec {
+        relay_fp: [9; FINGERPRINT_LEN],
+        slot_secs,
+        sockets: 1,
+        rate_cap: 1_000_000,
+        ..MeasureSpec::default()
+    };
 
     // Conversation A runs a full slot; we SIGTERM mid-slot and it must
     // still complete (drain finishes in-flight sessions).

@@ -1,0 +1,209 @@
+//! Shared scaffolding for the standalone FlashFlow processes
+//! (`flashflow-measurer`, `flashflow-relay`).
+//!
+//! Both binaries are the same *kind* of program — a loopback-friendly
+//! TCP listener that classifies connections by first byte, drains
+//! gracefully on SIGTERM, and is configured by `--key value` flags
+//! and/or `key=value` config files. The pieces that are identical by
+//! construction live here once, so a fix to signal handling or config
+//! parsing cannot silently miss one of the binaries; everything
+//! protocol-shaped (what the sessions do, what the data plane means)
+//! stays in the binaries themselves.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use flashflow_proto::msg::AUTH_TOKEN_LEN;
+use flashflow_proto::tcp::TcpTransport;
+use flashflow_proto::transport::Transport;
+use flashflow_simnet::time::SimTime;
+
+/// Set by the SIGTERM handler; the process's accept loop begins its
+/// drain when this flips.
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGTERM has been received (see
+/// [`install_sigterm_handler`]).
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}
+
+/// Installs the SIGTERM handler backing [`drain_requested`]. The
+/// handler does only async-signal-safe work (flips one flag); the
+/// serving process polls the flag from its accept loop.
+#[cfg(unix)]
+#[allow(clippy::fn_to_numeric_cast_any)]
+pub fn install_sigterm_handler() {
+    extern "C" fn on_sigterm(_sig: i32) {
+        DRAIN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
+/// No-op off Unix; the drain flag then only flips via process exit.
+#[cfg(not(unix))]
+pub fn install_sigterm_handler() {}
+
+/// Parses a `--token-hex` value: exactly [`AUTH_TOKEN_LEN`] bytes of
+/// hex.
+///
+/// # Errors
+/// Describes the length or digit that failed.
+pub fn parse_token_hex(s: &str) -> Result<[u8; AUTH_TOKEN_LEN], String> {
+    if s.len() != AUTH_TOKEN_LEN * 2 {
+        return Err(format!("--token-hex wants {} hex chars, got {}", AUTH_TOKEN_LEN * 2, s.len()));
+    }
+    let mut token = [0u8; AUTH_TOKEN_LEN];
+    for (ix, byte) in token.iter_mut().enumerate() {
+        *byte = u8::from_str_radix(&s[2 * ix..2 * ix + 2], 16)
+            .map_err(|e| format!("--token-hex: {e}"))?;
+    }
+    Ok(token)
+}
+
+/// Loads a `key=value` config file (blank lines and `#` comments
+/// skipped), feeding each setting to `apply` — the same function the
+/// command line uses, so the two surfaces cannot drift.
+///
+/// # Errors
+/// Prefixes `apply`'s (or the file's) error with file and line.
+pub fn apply_config_file(
+    path: &str,
+    apply: &mut dyn FnMut(&str, &str) -> Result<(), String>,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--config {path}: {e}"))?;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or(format!("--config {path}:{}: expected key=value", lineno + 1))?;
+        apply(key.trim(), value.trim())
+            .map_err(|e| format!("--config {path}:{}: {e}", lineno + 1))?;
+    }
+    Ok(())
+}
+
+/// Drives a `--key value` command line: `--help`/`-h` yields `usage`
+/// as the error, `--config FILE` loads a file through
+/// [`apply_config_file`], and every other flag is handed to `apply`.
+///
+/// # Errors
+/// The usage string, or whatever `apply` rejected.
+pub fn parse_args(
+    args: impl Iterator<Item = String>,
+    usage: &str,
+    apply: &mut dyn FnMut(&str, &str) -> Result<(), String>,
+) -> Result<(), String> {
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(usage.to_string());
+        }
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("unknown argument {flag:?}\n{usage}"));
+        };
+        let value = args.next().ok_or(format!("--{key} wants a value"))?;
+        if key == "config" {
+            apply_config_file(&value, apply)?;
+        } else {
+            apply(key, &value)?;
+        }
+    }
+    Ok(())
+}
+
+/// The window a fresh connection gets to identify itself (first byte,
+/// complete hello, known nonce), scaled with the process's `--speedup`
+/// like every other pacing quantity.
+pub fn hello_window(speedup: f64) -> Duration {
+    Duration::from_secs_f64((10.0 / speedup).clamp(0.05, 30.0))
+}
+
+/// Reads a freshly accepted connection's first bytes so the caller can
+/// classify it (control frame vs data hello). Returns `None` — the
+/// connection should be dropped — if it stays silent past `window`
+/// (a half-open dial must not hold a serving thread), dies, or the
+/// process starts draining while we wait.
+pub fn await_first_bytes(
+    transport: &mut TcpTransport,
+    window: Duration,
+    draining: &dyn Fn() -> bool,
+) -> Option<Vec<u8>> {
+    let deadline = Instant::now() + window;
+    loop {
+        match transport.recv(SimTime::ZERO) {
+            Ok(bytes) if !bytes.is_empty() => return Some(bytes),
+            Ok(_) => {
+                if Instant::now() >= deadline || draining() {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_hex_round_trips_and_rejects_garbage() {
+        let hex: String = (0..AUTH_TOKEN_LEN).map(|i| format!("{i:02x}")).collect();
+        let token = parse_token_hex(&hex).expect("valid hex");
+        assert_eq!(token[1], 1);
+        assert_eq!(token[31], 31);
+        assert!(parse_token_hex("abc").is_err(), "short");
+        assert!(parse_token_hex(&"zz".repeat(AUTH_TOKEN_LEN)).is_err(), "non-hex");
+    }
+
+    #[test]
+    fn args_and_config_files_share_one_apply_path() {
+        let dir = std::env::temp_dir().join(format!("ff-procutil-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mk temp dir");
+        let path = dir.join("test.conf");
+        std::fs::write(&path, "# comment\nalpha = 1\n\nbeta=two\n").expect("write");
+
+        let mut seen = Vec::new();
+        {
+            let mut apply = |k: &str, v: &str| {
+                seen.push((k.to_string(), v.to_string()));
+                Ok(())
+            };
+            let args = [
+                "--config".to_string(),
+                path.to_string_lossy().to_string(),
+                "--alpha".to_string(),
+                "override".to_string(),
+            ];
+            parse_args(args.into_iter(), "usage", &mut apply).expect("parse");
+
+            let err = parse_args(["--help".to_string()].into_iter(), "USAGE LINE", &mut apply)
+                .expect_err("help is surfaced as the usage error");
+            assert_eq!(err, "USAGE LINE");
+            let err = parse_args(["stray".to_string()].into_iter(), "usage", &mut apply)
+                .expect_err("non-flag rejected");
+            assert!(err.contains("unknown argument"));
+        }
+        assert_eq!(
+            seen,
+            vec![
+                ("alpha".to_string(), "1".to_string()),
+                ("beta".to_string(), "two".to_string()),
+                ("alpha".to_string(), "override".to_string()),
+            ],
+            "file first, CLI overrides after"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

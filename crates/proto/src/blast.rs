@@ -41,15 +41,17 @@ pub const DATA_HELLO_TAG: u8 = 0xD1;
 /// First byte of a blast frame header.
 pub const BLAST_FRAME_TAG: u8 = 0xD2;
 
-/// Data-plane wire version, carried in every hello.
-pub const DATA_PLANE_VERSION: u8 = 1;
+/// Data-plane wire version, carried in every hello. Version 2 added the
+/// keyed integrity tag to every blast frame header.
+pub const DATA_PLANE_VERSION: u8 = 2;
 
 /// Encoded size of a [`DataChannelHello`]:
 /// tag + version + nonce (u64) + channel (u32).
 pub const HELLO_LEN: usize = 1 + 1 + 8 + 4;
 
-/// Blast frame header size: tag + seq (u64) + payload length (u32).
-pub const BLAST_HEADER_LEN: usize = 1 + 8 + 4;
+/// Blast frame header size: tag + seq (u64) + payload length (u32) +
+/// keyed integrity tag (u64).
+pub const BLAST_HEADER_LEN: usize = 1 + 8 + 4 + 8;
 
 /// Largest payload a single blast frame may carry; bounds sink memory.
 pub const MAX_BLAST_PAYLOAD: usize = 64 * 1024;
@@ -61,6 +63,14 @@ pub const BLAST_CHUNK: usize = 16 * 1024;
 /// zero-latency transport (or an uncapped blast) cannot trap the caller
 /// or balloon an in-memory queue inside a single tick.
 pub const MAX_TICK_BYTES: u64 = 256 * 1024;
+
+/// Send-side backlog ([`Transport::backlog`]) above which an
+/// [`Echoer`] stops emitting: the verified backlog then waits in
+/// `pending_echo` (a `u64` count, not buffered bytes) until the peer
+/// drains the return stream. Without this, a measurer that blasts but
+/// never reads its echo would grow the relay's transport outbox
+/// without bound.
+pub const ECHO_BACKLOG_HIGH_WATER: usize = 1 << 20;
 
 /// Where a peer's `SecondReport` numbers come from.
 ///
@@ -166,6 +176,64 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+const BINDING_SALT: u64 = 0xB1D1_0000_ECC0_0001;
+const TOKEN_KEY_SALT: u64 = 0x7C8E_0000_4E40_0002;
+const SECRET_KEY_SALT: u64 = 0x5EC2_0000_7A60_0003;
+const FRAME_TAG_SALT: u64 = 0xF2A6_0000_1A90_0004;
+
+/// The **public** hello binding nonce derived from a per-measurement
+/// secret (the `measurement_secret` a `MeasureCmd` carries): every
+/// measurer of one item stamps its echo channels with this nonce, and
+/// the target relay accepts exactly it. The derivation is one-way-ish
+/// (a Davies–Meyer-style feed-forward over the mix), so reading the
+/// nonce off a data channel does not hand over the secret — and
+/// therefore not the frame-tag key either.
+///
+/// Like [`BlastPattern`], this is a cheap mix, not a cryptographic
+/// PRF; a deployment would swap in SipHash or BLAKE3 keyed hashing
+/// without changing any of the structure around it.
+pub fn binding_nonce(secret: u64) -> u64 {
+    splitmix64(secret ^ BINDING_SALT) ^ secret
+}
+
+/// The frame-tag key derived from a per-measurement secret (echo
+/// channels: measurer ↔ target relay, who share only the secret their
+/// `MeasureCmd`s carried).
+pub fn secret_channel_key(secret: u64) -> u64 {
+    splitmix64(secret ^ SECRET_KEY_SALT) ^ secret.rotate_left(17)
+}
+
+/// The frame-tag key derived from a pre-shared control token
+/// (coordinator-blasted channels: both ends hold the token, which never
+/// crosses a data connection).
+pub fn channel_key(token: &[u8; crate::msg::AUTH_TOKEN_LEN]) -> u64 {
+    let mut key = TOKEN_KEY_SALT;
+    for chunk in token.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        key = splitmix64(key ^ u64::from_be_bytes(word));
+    }
+    key
+}
+
+/// The keyed integrity tag stamped into every blast frame header: a
+/// PRF of the secret channel key and the frame's identity. The
+/// keystream alone ([`BlastPattern`]) detects *corruption* but is
+/// derived from the hello nonce, which crosses the wire in the clear —
+/// a MITM who reads it could forge whole frames that verify. The tag is
+/// keyed by a secret that never crosses the data channel (the control
+/// token, or the `MeasureCmd`'s measurement secret), so forged frames
+/// fail the tag check and are counted instead of credited. Because the
+/// tag binds the sequence number, a MITM's remaining move is re-sending
+/// captured frames — which the receiver's monotone sequence window
+/// rejects and counts as replays ([`BlastParser::replayed_total`]).
+pub fn frame_tag(key: u64, nonce: u64, seq: u64, len: u32) -> u64 {
+    let mut h = splitmix64(key ^ FRAME_TAG_SALT);
+    h = splitmix64(h ^ nonce);
+    h = splitmix64(h ^ seq);
+    splitmix64(h ^ u64::from(len)) ^ key
+}
+
 /// The keystream every blast payload is stamped with: a cheap PRF of
 /// (nonce, frame sequence number, word index). The sink regenerates it
 /// from the hello it accepted, so any byte a middlebox (or a lying
@@ -180,6 +248,12 @@ impl BlastPattern {
     /// The pattern bound to one control session's nonce.
     pub fn new(nonce: u64) -> Self {
         BlastPattern { nonce }
+    }
+
+    /// The nonce this pattern (and the frame tags of its stream) is
+    /// bound to.
+    pub fn nonce(&self) -> u64 {
+        self.nonce
     }
 
     /// Fills `buf` with the payload bytes of frame `seq`.
@@ -278,6 +352,8 @@ pub struct TrafficSource<T: Transport> {
     transport: T,
     pattern: BlastPattern,
     hello: DataChannelHello,
+    /// Frame-tag key (see [`frame_tag`]); both ends must agree.
+    key: u64,
     /// Send cap in bytes per second; `0` means uncapped (every pump
     /// writes up to [`MAX_TICK_BYTES`]).
     rate_cap: u64,
@@ -300,6 +376,7 @@ impl<T: Transport> TrafficSource<T> {
             transport,
             pattern: BlastPattern::new(nonce),
             hello: DataChannelHello { nonce, channel },
+            key: 0,
             rate_cap: 0,
             state: SourceState::Idle,
             started_at: None,
@@ -315,6 +392,15 @@ impl<T: Transport> TrafficSource<T> {
     /// any time before [`TrafficSource::start`].
     pub fn set_rate_cap(&mut self, bytes_per_sec: u64) {
         self.rate_cap = bytes_per_sec;
+    }
+
+    /// Keys the integrity tag on every frame (see [`frame_tag`]). The
+    /// receiving [`BlastParser`] must be keyed identically; the default
+    /// key is `0` on both sides.
+    #[must_use]
+    pub fn with_key(mut self, key: u64) -> Self {
+        self.key = key;
+        self
     }
 
     /// Current state.
@@ -411,6 +497,8 @@ impl<T: Transport> TrafficSource<T> {
             self.frame.push(BLAST_FRAME_TAG);
             self.frame.extend_from_slice(&seq.to_be_bytes());
             self.frame.extend_from_slice(&(len as u32).to_be_bytes());
+            let tag = frame_tag(self.key, self.pattern.nonce(), seq, len as u32);
+            self.frame.extend_from_slice(&tag.to_be_bytes());
             self.frame.resize(BLAST_HEADER_LEN + len, 0);
             self.pattern.fill(seq, &mut self.frame[BLAST_HEADER_LEN..]);
             if let Err(err) = self.transport.send(now, &self.frame) {
@@ -447,6 +535,24 @@ pub enum BlastEvent {
         /// Of those, bytes that failed pattern verification.
         corrupt: u64,
     },
+    /// A frame whose keyed integrity tag did not verify: a forgery by
+    /// someone who knows the (public) hello nonce but not the channel
+    /// key. Its payload is discarded, never credited.
+    Forged {
+        /// Payload bytes the forged frame declared (and the parser
+        /// skipped).
+        bytes: u64,
+    },
+    /// A frame whose tag verified but whose sequence number had
+    /// already been passed: a replay of a captured frame (the tag
+    /// binds key/nonce/seq/len, so a wire MITM can re-send old frames
+    /// but not mint fresh sequence numbers). Discarded, never
+    /// credited.
+    Replayed {
+        /// Payload bytes the replayed frame declared (and the parser
+        /// skipped).
+        bytes: u64,
+    },
 }
 
 enum ParseState {
@@ -455,6 +561,10 @@ enum ParseState {
     /// Mid-payload: `got` of the current frame's bytes consumed (the
     /// expected bytes live in the parser's reused buffer).
     Payload { got: usize },
+    /// Draining the payload of a rejected frame (failed tag, or a
+    /// replayed sequence number): `remaining` declared bytes are
+    /// discarded without crediting.
+    SkipForged { remaining: usize },
 }
 
 /// Incremental decoder for one data connection's byte stream: hellos
@@ -465,11 +575,22 @@ pub struct BlastParser {
     state: ParseState,
     buf: Vec<u8>,
     pattern: Option<BlastPattern>,
+    /// Frame-tag key (see [`frame_tag`]); must match the sender's.
+    key: u64,
+    /// The next sequence number a tag-valid frame must be at or above;
+    /// sources emit strictly increasing sequences, so anything below
+    /// is a replayed capture. Reset when a hello re-binds the channel
+    /// to a *different* nonce (pooled reuse); a same-nonce hello never
+    /// rewinds the window, so replaying the original hello cannot
+    /// reopen it.
+    next_seq: u64,
     /// Reused expected-payload buffer for the frame being parsed
     /// (regenerating per frame would allocate on the hot path).
     expected: Vec<u8>,
     received: u64,
     corrupt: u64,
+    forged: u64,
+    replayed: u64,
     poisoned: Option<BlastError>,
 }
 
@@ -486,11 +607,23 @@ impl BlastParser {
             state: ParseState::Header,
             buf: Vec::new(),
             pattern: None,
+            key: 0,
+            next_seq: 0,
             expected: Vec::new(),
             received: 0,
             corrupt: 0,
+            forged: 0,
+            replayed: 0,
             poisoned: None,
         }
+    }
+
+    /// Keys the integrity-tag check (see [`frame_tag`]); frames whose
+    /// tag does not verify under this key are rejected and counted.
+    #[must_use]
+    pub fn with_key(mut self, key: u64) -> Self {
+        self.key = key;
+        self
     }
 
     /// Total payload bytes consumed so far.
@@ -501,6 +634,19 @@ impl BlastParser {
     /// Total payload bytes that failed pattern verification.
     pub fn corrupt_total(&self) -> u64 {
         self.corrupt
+    }
+
+    /// Total declared payload bytes of frames whose keyed integrity tag
+    /// failed verification (discarded, never credited).
+    pub fn forged_total(&self) -> u64 {
+        self.forged
+    }
+
+    /// Total declared payload bytes of tag-valid frames whose sequence
+    /// number had already been passed (replayed captures; discarded,
+    /// never credited).
+    pub fn replayed_total(&self) -> u64 {
+        self.replayed
     }
 
     /// Consumes `bytes`, returning the events they completed.
@@ -531,6 +677,14 @@ impl BlastParser {
                                 Ok(h) => h,
                                 Err(e) => return Err(self.poison(e)),
                             };
+                            // Only a *different* nonce rewinds the
+                            // replay window: a pooled-reuse rebind is a
+                            // fresh session, while a re-sent copy of
+                            // the current hello (a replayed capture)
+                            // must not reopen old sequence numbers.
+                            if self.pattern.map(|p| p.nonce()) != Some(hello.nonce) {
+                                self.next_seq = 0;
+                            }
                             self.pattern = Some(BlastPattern::new(hello.nonce));
                             flush_data(&mut events, &mut batch_bytes, &mut batch_corrupt);
                             events.push(BlastEvent::Hello(hello));
@@ -546,15 +700,53 @@ impl BlastParser {
                                 u64::from_be_bytes(self.buf[1..9].try_into().expect("8 bytes"));
                             let len =
                                 u32::from_be_bytes(self.buf[9..13].try_into().expect("4 bytes"));
+                            let tag =
+                                u64::from_be_bytes(self.buf[13..21].try_into().expect("8 bytes"));
                             if len as usize > MAX_BLAST_PAYLOAD {
                                 return Err(self.poison(BlastError::OversizedFrame(len)));
                             }
                             self.buf.drain(..BLAST_HEADER_LEN);
+                            if tag != frame_tag(self.key, pattern.nonce(), seq, len) {
+                                // Forged: the sender knew the (public)
+                                // nonce but not the channel key. Skip the
+                                // declared payload so framing survives,
+                                // count it, credit nothing. The window
+                                // does not advance: a forged sequence
+                                // number must not displace honest ones.
+                                self.forged += u64::from(len);
+                                flush_data(&mut events, &mut batch_bytes, &mut batch_corrupt);
+                                events.push(BlastEvent::Forged { bytes: u64::from(len) });
+                                self.state = ParseState::SkipForged { remaining: len as usize };
+                                continue;
+                            }
+                            if seq < self.next_seq {
+                                // Tag-valid but already past: a wire
+                                // MITM re-sending a captured frame (it
+                                // cannot mint tags for fresh sequence
+                                // numbers). Skip, count, credit nothing.
+                                self.replayed += u64::from(len);
+                                flush_data(&mut events, &mut batch_bytes, &mut batch_corrupt);
+                                events.push(BlastEvent::Replayed { bytes: u64::from(len) });
+                                self.state = ParseState::SkipForged { remaining: len as usize };
+                                continue;
+                            }
+                            self.next_seq = seq + 1;
                             self.expected.resize(len as usize, 0);
                             pattern.fill(seq, &mut self.expected);
                             self.state = ParseState::Payload { got: 0 };
                         }
                         other => return Err(self.poison(BlastError::BadTag(other))),
+                    }
+                }
+                ParseState::SkipForged { remaining } => {
+                    if self.buf.is_empty() {
+                        break;
+                    }
+                    let take = (*remaining).min(self.buf.len());
+                    self.buf.drain(..take);
+                    *remaining -= take;
+                    if *remaining == 0 {
+                        self.state = ParseState::Header;
                     }
                 }
                 ParseState::Payload { got } => {
@@ -626,6 +818,13 @@ impl<T: Transport> TrafficSink<T> {
         }
     }
 
+    /// Keys the integrity-tag check of the underlying parser.
+    #[must_use]
+    pub fn with_key(mut self, key: u64) -> Self {
+        self.parser = std::mem::take(&mut self.parser).with_key(key);
+        self
+    }
+
     /// Starts the per-second counting clock (the slot's Go instant).
     pub fn start(&mut self, now: SimTime) {
         self.counter.start(now);
@@ -665,6 +864,10 @@ impl<T: Transport> TrafficSink<T> {
                         self.corrupt_counter.add(now, corrupt);
                     }
                 }
+                // Forgeries and replays accrue on the parser's
+                // counters only; neither is credited to the received
+                // series.
+                BlastEvent::Forged { .. } | BlastEvent::Replayed { .. } => {}
             }
         }
         Ok(true)
@@ -685,6 +888,17 @@ impl<T: Transport> TrafficSink<T> {
         self.parser.corrupt_total()
     }
 
+    /// Total declared bytes of frames whose integrity tag failed.
+    pub fn forged_total(&self) -> u64 {
+        self.parser.forged_total()
+    }
+
+    /// Total declared bytes of tag-valid frames with replayed
+    /// sequence numbers.
+    pub fn replayed_total(&self) -> u64 {
+        self.parser.replayed_total()
+    }
+
     /// Received bytes per completed second since [`TrafficSink::start`].
     pub fn completed_seconds(&self) -> &[u64] {
         self.counter.completed()
@@ -698,6 +912,335 @@ impl<T: Transport> TrafficSink<T> {
     /// The transport (fault tripping in tests).
     pub fn transport_mut(&mut self) -> &mut T {
         &mut self.transport
+    }
+}
+
+/// The target relay's half of one echo data channel: verifies every
+/// inbound payload byte against the pattern keystream (and the keyed
+/// frame tag), then loops the **verified** bytes back to the measurer as
+/// pattern-stamped frames of its own — the paper's echo, where the
+/// capacity demonstration is the relay actually moving the bytes both
+/// ways. Corrupt or forged inbound bytes are counted but never echoed,
+/// so a garbage blast cannot inflate what the measurer gets back.
+///
+/// Sans-IO like everything else here: time is caller-injected, the
+/// transport is the caller's, and the same echoer runs over the
+/// simulated duplex (in-process examples, conformance tests) and a real
+/// TCP connection inside the `flashflow-relay` process.
+pub struct Echoer<T: Transport> {
+    transport: T,
+    parser: BlastParser,
+    key: u64,
+    /// Outbound pattern + greeting, bound by the first inbound hello.
+    pattern: Option<BlastPattern>,
+    hello: Option<DataChannelHello>,
+    greeted: bool,
+    /// Verified bytes received but not yet echoed back.
+    pending: u64,
+    seq: u64,
+    echoed: u64,
+    counter: ByteCounter,
+    error: Option<TransportError>,
+    /// Adversarial hook: echo keystream-violating garbage instead of
+    /// the real pattern (a forging relay, for tests of the measurer's
+    /// corrupt accounting).
+    corrupt_echo: bool,
+    /// Reused frame buffer, same rationale as [`TrafficSource`].
+    frame: Vec<u8>,
+}
+
+impl<T: Transport> Echoer<T> {
+    /// An echoer serving one accepted data connection.
+    pub fn new(transport: T) -> Self {
+        Echoer {
+            transport,
+            parser: BlastParser::new(),
+            key: 0,
+            pattern: None,
+            hello: None,
+            greeted: false,
+            pending: 0,
+            seq: 0,
+            echoed: 0,
+            counter: ByteCounter::new(),
+            error: None,
+            corrupt_echo: false,
+            frame: Vec::with_capacity(BLAST_HEADER_LEN + BLAST_CHUNK),
+        }
+    }
+
+    /// Makes the echo payloads violate the keystream (an adversarial
+    /// relay forging its echo): the measurer's verifying parser counts
+    /// every such byte corrupt instead of crediting it.
+    pub fn set_corrupt_echo(&mut self, corrupt: bool) {
+        self.corrupt_echo = corrupt;
+    }
+
+    /// Keys both directions' integrity tags (see [`frame_tag`]): the
+    /// inbound check and the tags on the echoed frames.
+    #[must_use]
+    pub fn with_key(mut self, key: u64) -> Self {
+        self.key = key;
+        self.parser = std::mem::take(&mut self.parser).with_key(key);
+        self
+    }
+
+    /// Starts the per-second echoed-byte clock.
+    pub fn start(&mut self, now: SimTime) {
+        self.counter.start(now);
+    }
+
+    /// The hello this channel is bound to, once one arrived.
+    pub fn hello(&self) -> Option<DataChannelHello> {
+        self.hello
+    }
+
+    /// Total payload bytes received (verified or not).
+    pub fn received_total(&self) -> u64 {
+        self.parser.received_total()
+    }
+
+    /// Total payload bytes failing pattern verification.
+    pub fn corrupt_total(&self) -> u64 {
+        self.parser.corrupt_total()
+    }
+
+    /// Total declared bytes of frames whose integrity tag failed.
+    pub fn forged_total(&self) -> u64 {
+        self.parser.forged_total()
+    }
+
+    /// Total declared bytes of tag-valid frames with replayed
+    /// sequence numbers.
+    pub fn replayed_total(&self) -> u64 {
+        self.parser.replayed_total()
+    }
+
+    /// Total payload bytes echoed back so far.
+    pub fn echoed_total(&self) -> u64 {
+        self.echoed
+    }
+
+    /// Verified bytes received but not yet echoed (backlog).
+    pub fn pending_echo(&self) -> u64 {
+        self.pending
+    }
+
+    /// Echoed bytes per completed second since [`Echoer::start`].
+    pub fn completed_seconds(&self) -> &[u64] {
+        self.counter.completed()
+    }
+
+    /// The first transport error observed, if any.
+    pub fn transport_error(&self) -> Option<TransportError> {
+        self.error
+    }
+
+    /// The transport (flush nudges, fault tripping in tests).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Drains the transport once and echoes what the new bytes
+    /// verified; returns `true` if bytes moved in either direction.
+    ///
+    /// # Errors
+    /// Returns the first **framing** error (sticky). A transport
+    /// failure is recorded (see [`Echoer::transport_error`]) and later
+    /// pumps return `Ok(false)` — the measurer hanging up is the normal
+    /// end of an echo channel.
+    pub fn pump(&mut self, now: SimTime) -> Result<bool, BlastError> {
+        if self.error.is_some() {
+            return Ok(false);
+        }
+        let bytes = match self.transport.recv(now) {
+            Ok(bytes) => bytes,
+            Err(err) => {
+                self.error = Some(err);
+                return Ok(false);
+            }
+        };
+        let mut moved = self.inject(now, &bytes)?;
+        moved |= !bytes.is_empty();
+        Ok(moved)
+    }
+
+    /// Feeds bytes that arrived outside the echoer's own `recv` (a
+    /// serving process reads a connection's first bytes itself to
+    /// classify and bind it) and echoes what they verified.
+    ///
+    /// # Errors
+    /// Same contract as [`Echoer::pump`].
+    pub fn inject(&mut self, now: SimTime, bytes: &[u8]) -> Result<bool, BlastError> {
+        self.counter.roll(now);
+        if !bytes.is_empty() {
+            for event in self.parser.push(bytes)? {
+                match event {
+                    BlastEvent::Hello(h) => {
+                        // Mirror the parser's replay rule: only a hello
+                        // for a *different* nonce restarts the stream
+                        // (pooled reuse, fresh sequence space). A
+                        // re-sent copy of the current hello — a MITM
+                        // replaying a captured packet — must not reset
+                        // the outbound sequence window (which would
+                        // make every later echoed frame look replayed
+                        // to the measurer) or drop the pending backlog.
+                        if self.hello.map(|cur| cur.nonce) != Some(h.nonce) {
+                            self.greeted = false;
+                            self.seq = 0;
+                            self.pending = 0;
+                        }
+                        self.hello = Some(h);
+                        self.pattern = Some(BlastPattern::new(h.nonce));
+                    }
+                    BlastEvent::Data { bytes, corrupt } => {
+                        // Echo exactly the bytes that verified.
+                        self.pending += bytes - corrupt;
+                    }
+                    BlastEvent::Forged { .. } | BlastEvent::Replayed { .. } => {}
+                }
+            }
+        }
+        Ok(self.echo(now))
+    }
+
+    /// Writes the echo backlog out (hello first, then pattern-stamped
+    /// frames), bounded by [`MAX_TICK_BYTES`] per call and paused
+    /// entirely while the transport's send backlog sits above
+    /// [`ECHO_BACKLOG_HIGH_WATER`] — a measurer that never reads its
+    /// return stream stalls its own echo instead of growing relay
+    /// memory.
+    fn echo(&mut self, now: SimTime) -> bool {
+        let Some(pattern) = self.pattern else { return false };
+        let hello = self.hello.expect("pattern implies hello");
+        let mut moved = false;
+        if !self.greeted {
+            match self.transport.send(now, &hello.encode()) {
+                Ok(()) => {
+                    self.greeted = true;
+                    moved = true;
+                }
+                Err(err) => {
+                    self.error = Some(err);
+                    return moved;
+                }
+            }
+        }
+        if self.transport.backlog() >= ECHO_BACKLOG_HIGH_WATER {
+            // Nudge the queued outbox toward the kernel, emit nothing.
+            let _ = self.transport.send(now, &[]);
+            return moved;
+        }
+        let mut budget = self.pending.min(MAX_TICK_BYTES);
+        while budget > 0 {
+            let len = (budget as usize).min(BLAST_CHUNK);
+            let seq = self.seq;
+            self.frame.clear();
+            self.frame.push(BLAST_FRAME_TAG);
+            self.frame.extend_from_slice(&seq.to_be_bytes());
+            self.frame.extend_from_slice(&(len as u32).to_be_bytes());
+            let tag = frame_tag(self.key, pattern.nonce(), seq, len as u32);
+            self.frame.extend_from_slice(&tag.to_be_bytes());
+            self.frame.resize(BLAST_HEADER_LEN + len, 0);
+            pattern.fill(seq, &mut self.frame[BLAST_HEADER_LEN..]);
+            if self.corrupt_echo {
+                for b in &mut self.frame[BLAST_HEADER_LEN..] {
+                    *b ^= 0xFF;
+                }
+            }
+            if let Err(err) = self.transport.send(now, &self.frame) {
+                self.error = Some(err);
+                return moved;
+            }
+            self.seq += 1;
+            self.echoed += len as u64;
+            self.pending -= len as u64;
+            if self.counter.is_running() {
+                self.counter.add(now, len as u64);
+            }
+            budget -= len as u64;
+            moved = true;
+        }
+        moved
+    }
+}
+
+/// The target relay's client traffic alongside a measurement: an
+/// offered background rate, admitted up to a cap while the measurement
+/// window runs (the paper caps client traffic at the `r` fraction of
+/// capacity during a slot, so the echo gets the rest), accounted per
+/// second on the caller's clock.
+///
+/// The *admitted* series is what an honest relay reports as its
+/// `bg_bytes` column; a lying relay reports something else, which is
+/// exactly what the coordinator's plausibility check is for.
+#[derive(Debug, Clone)]
+pub struct BackgroundMeter {
+    /// Offered client traffic in bytes per second.
+    offered: u64,
+    /// Admission cap in bytes per second while set (the measurement
+    /// window); `None` admits the full offered rate.
+    cap: Option<u64>,
+    counter: ByteCounter,
+    /// Fractional-byte carry between ticks.
+    carry: f64,
+    last: Option<SimTime>,
+}
+
+impl BackgroundMeter {
+    /// A meter for `offered` bytes/second of client traffic.
+    pub fn new(offered: u64) -> Self {
+        BackgroundMeter { offered, cap: None, counter: ByteCounter::new(), carry: 0.0, last: None }
+    }
+
+    /// The offered client rate.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Caps admission at `bytes_per_sec` (the measurement window's
+    /// allowance); `0` means uncapped.
+    pub fn set_cap(&mut self, bytes_per_sec: u64) {
+        self.cap = if bytes_per_sec == 0 { None } else { Some(bytes_per_sec) };
+    }
+
+    /// The rate actually admitted right now.
+    pub fn admitted_rate(&self) -> u64 {
+        self.cap.map_or(self.offered, |cap| self.offered.min(cap))
+    }
+
+    /// Starts the per-second accounting clock.
+    pub fn start(&mut self, now: SimTime) {
+        self.counter.start(now);
+        self.carry = 0.0;
+        self.last = Some(now);
+    }
+
+    /// Accrues admitted bytes for the time elapsed since the last tick.
+    pub fn tick(&mut self, now: SimTime) {
+        let Some(last) = self.last else { return };
+        let dt = now.saturating_duration_since(last).as_secs_f64();
+        self.carry += self.admitted_rate() as f64 * dt;
+        let whole = self.carry.floor();
+        if whole > 0.0 {
+            // Credited at the interval's *start*, so bytes accrued over
+            // a span ending exactly on a second boundary land in the
+            // second they were admitted in, not the next one.
+            self.counter.add(last, whole as u64);
+            self.carry -= whole;
+        }
+        self.counter.roll(now);
+        self.last = Some(now);
+    }
+
+    /// Total admitted bytes since [`BackgroundMeter::start`].
+    pub fn admitted_total(&self) -> u64 {
+        self.counter.total()
+    }
+
+    /// Admitted bytes per completed second.
+    pub fn completed_seconds(&self) -> &[u64] {
+        self.counter.completed()
     }
 }
 
@@ -778,11 +1321,13 @@ mod tests {
         src.pump(SimTime::from_secs(1));
 
         // Flip bytes in flight by re-sending a doctored copy: build a
-        // frame whose payload does not match the keystream.
+        // frame with a *valid* tag (the attacker here is the unkeyed
+        // default, key 0) whose payload does not match the keystream.
         let mut frame = Vec::new();
         frame.push(BLAST_FRAME_TAG);
         frame.extend_from_slice(&99u64.to_be_bytes());
         frame.extend_from_slice(&8u32.to_be_bytes());
+        frame.extend_from_slice(&frame_tag(0, 7, 99, 8).to_be_bytes());
         frame.extend_from_slice(&[0xFF; 8]);
         src.transport_mut().send(SimTime::from_secs(1), &frame).unwrap();
 
@@ -792,11 +1337,261 @@ mod tests {
     }
 
     #[test]
+    fn forged_frames_are_rejected_and_counted_under_a_key() {
+        // Honest ends share a secret channel key; the forger knows the
+        // (public) nonce — enough to fake the keystream — but not the
+        // key, so its frames fail the tag and credit nothing.
+        let key = secret_channel_key(0xDEAD_5EC2);
+        let nonce = binding_nonce(0xDEAD_5EC2);
+        let (a, b) = Duplex::loopback().into_endpoints();
+        let mut src = TrafficSource::new(a, nonce, 0).with_key(key);
+        src.set_rate_cap(2_000);
+        let mut sink = TrafficSink::new(b).with_key(key);
+        src.greet(SimTime::ZERO);
+        src.start(SimTime::ZERO);
+        sink.start(SimTime::ZERO);
+        src.pump(SimTime::from_secs(1));
+        sink.pump(SimTime::from_secs(1)).unwrap();
+        let honest = sink.received_total();
+        assert!(honest > 0);
+        assert_eq!(sink.forged_total(), 0);
+
+        // The MITM forges a perfectly pattern-correct frame, tagged with
+        // the only key it has: the public nonce.
+        let seq = 1_000u64;
+        let len = 64u32;
+        let mut forged = Vec::new();
+        forged.push(BLAST_FRAME_TAG);
+        forged.extend_from_slice(&seq.to_be_bytes());
+        forged.extend_from_slice(&len.to_be_bytes());
+        forged.extend_from_slice(&frame_tag(nonce, nonce, seq, len).to_be_bytes());
+        let mut payload = vec![0u8; len as usize];
+        BlastPattern::new(nonce).fill(seq, &mut payload);
+        forged.extend_from_slice(&payload);
+        src.transport_mut().send(SimTime::from_secs(1), &forged).unwrap();
+        sink.pump(SimTime::from_secs(1)).expect("framing survives a forgery");
+        assert_eq!(sink.forged_total(), u64::from(len), "forgery counted");
+        assert_eq!(sink.received_total(), honest, "forged payload never credited");
+        assert_eq!(sink.corrupt_total(), 0);
+
+        // And the stream keeps working after the skipped frame.
+        src.pump(SimTime::from_secs(2));
+        sink.pump(SimTime::from_secs(2)).unwrap();
+        assert!(sink.received_total() > honest, "honest frames resume after the forgery");
+    }
+
+    #[test]
+    fn replayed_frames_are_rejected_and_counted() {
+        // A wire MITM cannot mint tags, but it can re-send captured
+        // frames. The sequence window rejects them: each (seq, tag)
+        // pair is credited at most once.
+        let key = secret_channel_key(0x4E91);
+        let nonce = binding_nonce(0x4E91);
+        let (a, b) = Duplex::loopback().into_endpoints();
+        let mut src = TrafficSource::new(a, nonce, 0).with_key(key);
+        src.set_rate_cap(2_000);
+        let mut sink = TrafficSink::new(b).with_key(key);
+        src.greet(SimTime::ZERO);
+        src.start(SimTime::ZERO);
+        sink.start(SimTime::ZERO);
+        src.pump(SimTime::from_secs(1));
+        sink.pump(SimTime::from_secs(1)).unwrap();
+        let honest = sink.received_total();
+        assert!(honest > 0);
+
+        // The MITM captures and re-sends frame 0 — header and
+        // pattern-correct payload, tag perfectly valid.
+        let len = honest.min(2_000) as u32;
+        let mut replay = Vec::new();
+        replay.push(BLAST_FRAME_TAG);
+        replay.extend_from_slice(&0u64.to_be_bytes());
+        replay.extend_from_slice(&len.to_be_bytes());
+        replay.extend_from_slice(&frame_tag(key, nonce, 0, len).to_be_bytes());
+        let mut payload = vec![0u8; len as usize];
+        BlastPattern::new(nonce).fill(0, &mut payload);
+        replay.extend_from_slice(&payload);
+        for _ in 0..5 {
+            src.transport_mut().send(SimTime::from_secs(1), &replay).unwrap();
+        }
+        sink.pump(SimTime::from_secs(1)).expect("framing survives replays");
+        assert_eq!(sink.received_total(), honest, "replayed bytes never credited");
+        assert_eq!(sink.replayed_total(), 5 * u64::from(len), "every replay counted");
+        assert_eq!(sink.forged_total(), 0);
+
+        // Honest traffic continues past the replays.
+        src.pump(SimTime::from_secs(2));
+        sink.pump(SimTime::from_secs(2)).unwrap();
+        assert!(sink.received_total() > honest);
+        assert_eq!(sink.corrupt_total(), 0);
+
+        // Re-sending the captured *hello* must not rewind the window.
+        let hello = DataChannelHello { nonce, channel: 0 }.encode();
+        src.transport_mut().send(SimTime::from_secs(2), &hello).unwrap();
+        src.transport_mut().send(SimTime::from_secs(2), &replay).unwrap();
+        let before = sink.received_total();
+        sink.pump(SimTime::from_secs(2)).unwrap();
+        assert_eq!(sink.received_total(), before, "hello replay cannot reopen old sequences");
+        assert_eq!(sink.replayed_total(), 6 * u64::from(len));
+    }
+
+    #[test]
+    fn mismatched_keys_reject_everything() {
+        let (a, b) = Duplex::loopback().into_endpoints();
+        let mut src = TrafficSource::new(a, 42, 0).with_key(111);
+        src.set_rate_cap(1_000);
+        let mut sink = TrafficSink::new(b).with_key(222);
+        src.greet(SimTime::ZERO);
+        src.start(SimTime::ZERO);
+        sink.start(SimTime::ZERO);
+        src.pump(SimTime::from_secs(1));
+        sink.pump(SimTime::from_secs(1)).unwrap();
+        assert_eq!(sink.received_total(), 0);
+        assert_eq!(sink.forged_total(), src.sent_total());
+    }
+
+    #[test]
+    fn echoer_loops_verified_bytes_back_over_chunked_link() {
+        // Measurer side: source + return-stream parser on one wire;
+        // relay side: the echoer. 3-byte chunks cross reassembly on
+        // both directions.
+        let secret = 0x5EC2_E700;
+        let key = secret_channel_key(secret);
+        let nonce = binding_nonce(secret);
+        let (m_end, r_end) = Duplex::new(SimDuration::ZERO, 3).into_endpoints();
+        let mut src = TrafficSource::new(m_end, nonce, 0).with_key(key);
+        src.set_rate_cap(30_000);
+        let mut echo = Echoer::new(r_end).with_key(key);
+        let mut back = BlastParser::new().with_key(key);
+
+        src.greet(SimTime::ZERO);
+        src.start(SimTime::ZERO);
+        echo.start(SimTime::ZERO);
+        let mut echoed_back = 0u64;
+        for tick in 0..=40u64 {
+            let now = SimTime::from_secs_f64(tick as f64 * 0.1);
+            src.pump(now);
+            echo.pump(now).expect("clean inbound stream");
+            let bytes = src.transport_mut().recv(now).expect("return stream open");
+            for ev in back.push(&bytes).expect("clean return stream") {
+                if let BlastEvent::Data { bytes, corrupt } = ev {
+                    assert_eq!(corrupt, 0, "echo must verify");
+                    echoed_back += bytes;
+                }
+            }
+        }
+        assert_eq!(echo.hello(), Some(DataChannelHello { nonce, channel: 0 }));
+        assert!(src.sent_total() > 0);
+        assert_eq!(echo.received_total(), src.sent_total(), "everything arrived at the relay");
+        assert_eq!(echo.corrupt_total(), 0);
+        assert_eq!(echo.echoed_total() + echo.pending_echo(), echo.received_total());
+        assert_eq!(echoed_back, echo.echoed_total(), "everything echoed arrived back verified");
+        assert!(echoed_back > 0);
+    }
+
+    #[test]
+    fn replayed_hello_does_not_reset_the_echoers_stream() {
+        let (m_end, r_end) = Duplex::loopback().into_endpoints();
+        let mut src = TrafficSource::new(m_end, 5, 0);
+        src.set_rate_cap(1_000);
+        let mut echo = Echoer::new(r_end);
+        let mut back = BlastParser::new();
+        src.greet(SimTime::ZERO);
+        src.start(SimTime::ZERO);
+        echo.start(SimTime::ZERO);
+        src.pump(SimTime::from_secs(1));
+        echo.pump(SimTime::from_secs(1)).unwrap();
+        back.push(&src.transport_mut().recv(SimTime::from_secs(1)).unwrap()).unwrap();
+        let verified = back.received_total() - back.corrupt_total();
+        assert!(verified > 0);
+
+        // A MITM re-sends the captured hello toward the relay...
+        let hello = DataChannelHello { nonce: 5, channel: 0 }.encode();
+        src.transport_mut().send(SimTime::from_secs(1), &hello).unwrap();
+        echo.pump(SimTime::from_secs(1)).unwrap();
+        // ...and the echo stream must continue unbroken: later frames
+        // keep their sequence numbers and verify at the measurer.
+        src.pump(SimTime::from_secs(2));
+        echo.pump(SimTime::from_secs(2)).unwrap();
+        back.push(&src.transport_mut().recv(SimTime::from_secs(2)).unwrap()).unwrap();
+        assert!(back.received_total() - back.corrupt_total() > verified);
+        assert_eq!(back.replayed_total(), 0, "honest echo misread as replayed");
+        assert_eq!(back.corrupt_total(), 0);
+        assert_eq!(echo.echoed_total() + echo.pending_echo(), echo.received_total());
+    }
+
+    #[test]
+    fn echoer_never_echoes_corrupt_bytes() {
+        let (m_end, r_end) = Duplex::loopback().into_endpoints();
+        let mut src = TrafficSource::new(m_end, 9, 0);
+        src.set_rate_cap(1_000);
+        let mut echo = Echoer::new(r_end);
+        src.greet(SimTime::ZERO);
+        src.start(SimTime::ZERO);
+        echo.start(SimTime::ZERO);
+        src.pump(SimTime::from_secs(1));
+        // A garbage-payload frame with a valid tag: counted corrupt,
+        // not echoed.
+        let mut frame = Vec::new();
+        frame.push(BLAST_FRAME_TAG);
+        frame.extend_from_slice(&77u64.to_be_bytes());
+        frame.extend_from_slice(&16u32.to_be_bytes());
+        frame.extend_from_slice(&frame_tag(0, 9, 77, 16).to_be_bytes());
+        frame.extend_from_slice(&[0xEE; 16]);
+        src.transport_mut().send(SimTime::from_secs(1), &frame).unwrap();
+        echo.pump(SimTime::from_secs(1)).expect("framing intact");
+        while echo.pending_echo() > 0 {
+            echo.pump(SimTime::from_secs(1)).expect("drain");
+        }
+        assert!(echo.corrupt_total() >= 15);
+        assert_eq!(
+            echo.echoed_total(),
+            echo.received_total() - echo.corrupt_total(),
+            "only verified bytes loop back"
+        );
+    }
+
+    #[test]
+    fn background_meter_caps_admission_during_the_window() {
+        let mut meter = BackgroundMeter::new(10_000);
+        assert_eq!(meter.admitted_rate(), 10_000, "uncapped admits the offered rate");
+        meter.set_cap(4_000);
+        assert_eq!(meter.admitted_rate(), 4_000);
+        meter.start(SimTime::ZERO);
+        for tick in 1..=30u64 {
+            meter.tick(SimTime::from_secs_f64(tick as f64 * 0.1));
+        }
+        assert_eq!(meter.completed_seconds().len(), 3);
+        for (ix, &sec) in meter.completed_seconds().iter().enumerate() {
+            assert!((3_998..=4_002).contains(&sec), "capped second {ix} admitted {sec}");
+        }
+        // Cap above the offer: the offer is the binding constraint.
+        meter.set_cap(50_000);
+        assert_eq!(meter.admitted_rate(), 10_000);
+        // Cap zero = uncapped.
+        meter.set_cap(0);
+        assert_eq!(meter.admitted_rate(), 10_000);
+    }
+
+    #[test]
+    fn binding_nonce_and_keys_are_stable_and_distinct() {
+        let secret = 0xABCD_EF01_2345_6789;
+        assert_eq!(binding_nonce(secret), binding_nonce(secret));
+        assert_ne!(binding_nonce(secret), secret, "nonce is not the secret itself");
+        assert_ne!(binding_nonce(secret), secret_channel_key(secret));
+        assert_ne!(binding_nonce(1), binding_nonce(2));
+        let t1 = [1u8; crate::msg::AUTH_TOKEN_LEN];
+        let t2 = [2u8; crate::msg::AUTH_TOKEN_LEN];
+        assert_ne!(channel_key(&t1), channel_key(&t2));
+        assert_eq!(channel_key(&t1), channel_key(&t1));
+    }
+
+    #[test]
     fn blast_before_hello_poisons_the_parser() {
         let mut parser = BlastParser::new();
         let mut frame = vec![BLAST_FRAME_TAG];
         frame.extend_from_slice(&0u64.to_be_bytes());
         frame.extend_from_slice(&4u32.to_be_bytes());
+        frame.extend_from_slice(&frame_tag(0, 0, 0, 4).to_be_bytes());
         frame.extend_from_slice(&[0; 4]);
         assert_eq!(parser.push(&frame), Err(BlastError::MissingHello));
         // Sticky.

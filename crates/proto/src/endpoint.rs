@@ -152,7 +152,13 @@ mod tests {
     use crate::transport::Duplex;
 
     fn spec() -> MeasureSpec {
-        MeasureSpec { relay_fp: [1; FINGERPRINT_LEN], slot_secs: 2, sockets: 8, rate_cap: 0 }
+        MeasureSpec {
+            relay_fp: [1; FINGERPRINT_LEN],
+            slot_secs: 2,
+            sockets: 8,
+            rate_cap: 0,
+            ..MeasureSpec::default()
+        }
     }
 
     #[test]

@@ -153,6 +153,10 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     fn close(&mut self) {
         self.inner.close();
     }
+
+    fn backlog(&self) -> usize {
+        self.inner.backlog()
+    }
 }
 
 #[cfg(test)]

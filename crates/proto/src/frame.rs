@@ -15,13 +15,13 @@
 //! a typed [`WireError`], never a panic.
 
 use crate::msg::{
-    AbortReason, MeasureSpec, Msg, MsgType, PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN,
-    PROTOCOL_VERSION,
+    AbortReason, MeasureSpec, Msg, MsgType, PeerRole, TargetEndpoint, AUTH_TOKEN_LEN,
+    FINGERPRINT_LEN, PROTOCOL_VERSION,
 };
 
 /// Upper bound on the length prefix. The largest legitimate frame
-/// (`Auth`) is 43 bytes of payload; anything near the cap is garbage or
-/// an attack, and rejecting it bounds decoder memory.
+/// (`MeasureCmd`) is 52 bytes of payload; anything near the cap is
+/// garbage or an attack, and rejecting it bounds decoder memory.
 pub const MAX_FRAME_LEN: usize = 256;
 
 /// Bytes of the length prefix.
@@ -125,6 +125,9 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             body.extend_from_slice(&spec.slot_secs.to_be_bytes());
             body.extend_from_slice(&spec.sockets.to_be_bytes());
             body.extend_from_slice(&spec.rate_cap.to_be_bytes());
+            body.extend_from_slice(&spec.target.ip);
+            body.extend_from_slice(&spec.target.port.to_be_bytes());
+            body.extend_from_slice(&spec.measurement_secret.to_be_bytes());
         }
         Msg::Ready => body.push(MsgType::Ready as u8),
         Msg::Go => body.push(MsgType::Go as u8),
@@ -138,6 +141,14 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
         Msg::Abort { reason } => {
             body.push(MsgType::Abort as u8);
             body.push(*reason as u8);
+        }
+        Msg::Ping { probe } => {
+            body.push(MsgType::Ping as u8);
+            body.extend_from_slice(&probe.to_be_bytes());
+        }
+        Msg::Pong { probe } => {
+            body.push(MsgType::Pong as u8);
+            body.extend_from_slice(&probe.to_be_bytes());
         }
     }
     let payload_len = (body.len() - LEN_PREFIX) as u32;
@@ -230,8 +241,19 @@ pub fn decode_payload(payload: &[u8]) -> Result<Msg, WireError> {
             let slot_secs = b.u32()?;
             let sockets = b.u32()?;
             let rate_cap = b.u64()?;
+            let mut ip = [0u8; 4];
+            ip.copy_from_slice(b.take(4)?);
+            let port = u16::from_be_bytes(b.take(2)?.try_into().expect("2 bytes"));
+            let measurement_secret = b.u64()?;
             b.finish()?;
-            Msg::MeasureCmd(MeasureSpec { relay_fp, slot_secs, sockets, rate_cap })
+            Msg::MeasureCmd(MeasureSpec {
+                relay_fp,
+                slot_secs,
+                sockets,
+                rate_cap,
+                target: TargetEndpoint { ip, port },
+                measurement_secret,
+            })
         }
         MsgType::Ready => {
             Body::new("Ready", body).finish()?;
@@ -260,6 +282,18 @@ pub fn decode_payload(payload: &[u8]) -> Result<Msg, WireError> {
                 .ok_or(WireError::BadEnumValue { field: "Abort.reason", value: code })?;
             b.finish()?;
             Msg::Abort { reason }
+        }
+        MsgType::Ping => {
+            let mut b = Body::new("Ping", body);
+            let probe = b.u64()?;
+            b.finish()?;
+            Msg::Ping { probe }
+        }
+        MsgType::Pong => {
+            let mut b = Body::new("Pong", body);
+            let probe = b.u64()?;
+            b.finish()?;
+            Msg::Pong { probe }
         }
     };
     Ok(msg)
@@ -345,12 +379,16 @@ mod tests {
                 slot_secs: 30,
                 sockets: 80,
                 rate_cap: 117_000_000,
+                target: TargetEndpoint { ip: [127, 0, 0, 1], port: 9151 },
+                measurement_secret: 0x5EC2_E7BE_EF00_1234,
             }),
             Msg::Ready,
             Msg::Go,
             Msg::SecondReport { second: 12, bg_bytes: 1_000_000, measured_bytes: 31_250_000 },
             Msg::SlotDone,
             Msg::Abort { reason: AbortReason::ReportTimeout },
+            Msg::Ping { probe: 0x1357_9BDF_0246_8ACE },
+            Msg::Pong { probe: 0x1357_9BDF_0246_8ACE },
         ]
     }
 

@@ -65,18 +65,21 @@ pub mod transport;
 /// Convenient glob-import of the most used types.
 pub mod prelude {
     pub use crate::blast::{
-        BlastError, BlastEvent, BlastParser, BlastPattern, ByteCounter, DataChannelHello,
-        ReportSource, TrafficSink, TrafficSource,
+        binding_nonce, channel_key, frame_tag, secret_channel_key, BackgroundMeter, BlastError,
+        BlastEvent, BlastParser, BlastPattern, ByteCounter, DataChannelHello, Echoer, ReportSource,
+        TrafficSink, TrafficSource,
     };
     pub use crate::endpoint::Endpoint;
     pub use crate::fault::{FaultMode, FaultyTransport};
     pub use crate::frame::{decode_payload, encode, FrameDecoder, WireError, MAX_FRAME_LEN};
     pub use crate::msg::{
-        AbortReason, MeasureSpec, Msg, PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN, PROTOCOL_VERSION,
+        AbortReason, MeasureSpec, Msg, PeerRole, TargetEndpoint, AUTH_TOKEN_LEN, FINGERPRINT_LEN,
+        PROTOCOL_VERSION,
     };
     pub use crate::session::{
         CoordAction, CoordPhase, CoordinatorSession, MeasurerAction, MeasurerPhase,
-        MeasurerSession, ReplayWindow, SessionState, SessionTimeouts, DEFAULT_REPORT_AHEAD_CAP,
+        MeasurerSession, RelaySession, ReplayWindow, SessionState, SessionTimeouts,
+        DEFAULT_REPORT_AHEAD_CAP,
     };
     pub use crate::tcp::{TcpAcceptor, TcpTransport};
     pub use crate::transport::{Duplex, DuplexEnd, End, Readiness, Transport, TransportError};

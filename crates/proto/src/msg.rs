@@ -22,9 +22,12 @@
 /// Protocol version carried in every frame. Version 2 added the
 /// `Auth`/`AuthOk` handshake nonce and the `ConnectionLost` abort code;
 /// version 3 added the `Flooded` abort code (per-session `SecondReport`
-/// backpressure). An older peer is rejected with a clean `BadVersion`
-/// error instead of a confusing body-layout failure.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// backpressure); version 4 added the target endpoint and measurement
+/// secret to `MeasureCmd` (the relay-echo topology: measurers dial the
+/// target relay's data listener and stamp their blast with a
+/// per-measurement key). An older peer is rejected with a clean
+/// `BadVersion` error instead of a confusing body-layout failure.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Length of the pre-shared authentication token.
 pub const AUTH_TOKEN_LEN: usize = 32;
@@ -111,6 +114,48 @@ impl std::fmt::Display for AbortReason {
     }
 }
 
+/// Where a measurer should aim its blast: the target relay's data
+/// listener. A zero port means "no endpoint" — the pre-echo topologies
+/// (simulation, coordinator-blasts-measurer) where the data plane never
+/// leaves the coordinator's engine.
+///
+/// IPv4 only, like the paper's prototype; six bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TargetEndpoint {
+    /// IPv4 address octets.
+    pub ip: [u8; 4],
+    /// TCP port; `0` means no endpoint is set.
+    pub port: u16,
+}
+
+impl TargetEndpoint {
+    /// The "no endpoint" sentinel (port zero).
+    pub const NONE: TargetEndpoint = TargetEndpoint { ip: [0; 4], port: 0 };
+
+    /// Wraps a socket address; `None` for non-IPv4 addresses.
+    pub fn from_addr(addr: std::net::SocketAddr) -> Option<TargetEndpoint> {
+        match addr {
+            std::net::SocketAddr::V4(v4) => {
+                Some(TargetEndpoint { ip: v4.ip().octets(), port: v4.port() })
+            }
+            std::net::SocketAddr::V6(_) => None,
+        }
+    }
+
+    /// The endpoint as a dialable address, `None` when unset.
+    pub fn socket_addr(&self) -> Option<std::net::SocketAddr> {
+        if self.port == 0 {
+            return None;
+        }
+        Some(std::net::SocketAddr::from((self.ip, self.port)))
+    }
+
+    /// True when no endpoint is set.
+    pub fn is_none(&self) -> bool {
+        self.port == 0
+    }
+}
+
 /// The command parameters of one measurement slot (§4.1's `t`, `s`, and
 /// the per-measurer allocation `a_i`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,8 +166,37 @@ pub struct MeasureSpec {
     pub slot_secs: u32,
     /// Sockets this peer opens to the target (its `s/m` share).
     pub sockets: u32,
-    /// Send-rate cap in bytes/second (`a_i`); `0` means uncapped.
+    /// Send-rate cap in bytes/second (`a_i`); `0` means uncapped. For
+    /// the target role in the echo topology this is instead the
+    /// background-traffic allowance (`r·z`) the relay may admit per
+    /// second during the slot; `0` leaves background uncapped.
     pub rate_cap: u64,
+    /// The target relay's data listener for the echo topology
+    /// ([`TargetEndpoint::NONE`] everywhere else). Measurers dial their
+    /// blast channels here instead of being blasted by the coordinator.
+    pub target: TargetEndpoint,
+    /// Coordinator-chosen **secret** shared by every peer of one
+    /// measurement item, never sent on a data channel. Echo-topology
+    /// data channels derive two values from it: the *public* hello
+    /// binding nonce (a one-way hash of the secret, see
+    /// [`binding_nonce`](crate::blast::binding_nonce)) and the keyed
+    /// integrity tag on every blast frame — so a data-channel MITM who
+    /// reads the hello nonce off the wire still cannot forge payload
+    /// bytes. `0` outside the echo topology.
+    pub measurement_secret: u64,
+}
+
+impl Default for MeasureSpec {
+    fn default() -> Self {
+        MeasureSpec {
+            relay_fp: [0; FINGERPRINT_LEN],
+            slot_secs: 0,
+            sockets: 0,
+            rate_cap: 0,
+            target: TargetEndpoint::NONE,
+            measurement_secret: 0,
+        }
+    }
 }
 
 /// A control-plane message.
@@ -170,6 +244,21 @@ pub enum Msg {
         /// Why.
         reason: AbortReason,
     },
+    /// Coordinator → parked peer: a connection-liveness probe. A
+    /// serving peer awaiting its next `Auth` answers with [`Msg::Pong`]
+    /// echoing the probe value (and refreshes its accept deadline);
+    /// this is what lets a connection pool health-check a warm
+    /// connection that idled across a period gap without starting a
+    /// conversation.
+    Ping {
+        /// Prober-chosen value the `Pong` must echo.
+        probe: u64,
+    },
+    /// Peer → coordinator: answer to [`Msg::Ping`].
+    Pong {
+        /// Echo of the probe value.
+        probe: u64,
+    },
 }
 
 /// Wire type tags; `Msg` and frame decoding agree through these.
@@ -184,6 +273,8 @@ pub(crate) enum MsgType {
     SecondReport = 6,
     SlotDone = 7,
     Abort = 8,
+    Ping = 9,
+    Pong = 10,
 }
 
 impl MsgType {
@@ -197,6 +288,8 @@ impl MsgType {
             6 => Some(MsgType::SecondReport),
             7 => Some(MsgType::SlotDone),
             8 => Some(MsgType::Abort),
+            9 => Some(MsgType::Ping),
+            10 => Some(MsgType::Pong),
             _ => None,
         }
     }
@@ -214,6 +307,8 @@ impl Msg {
             Msg::SecondReport { .. } => "SecondReport",
             Msg::SlotDone => "SlotDone",
             Msg::Abort { .. } => "Abort",
+            Msg::Ping { .. } => "Ping",
+            Msg::Pong { .. } => "Pong",
         }
     }
 }

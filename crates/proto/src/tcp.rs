@@ -270,6 +270,10 @@ impl Transport for TcpTransport {
             self.fin_sent = true;
         }
     }
+
+    fn backlog(&self) -> usize {
+        self.pending_send_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,15 @@ pub trait Transport {
     /// Closes this endpoint; the peer observes [`Readiness::Closed`]
     /// after draining. Idempotent.
     fn close(&mut self);
+
+    /// Bytes accepted by [`Transport::send`] but not yet taken by the
+    /// underlying medium — the send-side backlog a bulk producer
+    /// should pace against. In-memory transports deliver immediately
+    /// and report `0` (the default); `TcpTransport` reports its
+    /// outbox.
+    fn backlog(&self) -> usize {
+        0
+    }
 }
 
 impl<T: Transport + ?Sized> Transport for Box<T> {
@@ -104,6 +113,9 @@ impl<T: Transport + ?Sized> Transport for Box<T> {
     fn close(&mut self) {
         (**self).close();
     }
+    fn backlog(&self) -> usize {
+        (**self).backlog()
+    }
 }
 
 impl<T: Transport + ?Sized> Transport for &mut T {
@@ -118,6 +130,9 @@ impl<T: Transport + ?Sized> Transport for &mut T {
     }
     fn close(&mut self) {
         (**self).close();
+    }
+    fn backlog(&self) -> usize {
+        (**self).backlog()
     }
 }
 
@@ -182,6 +197,9 @@ impl<T: Transport> Transport for LeasedTransport<T> {
     }
     fn close(&mut self) {
         self.close_requested = true;
+    }
+    fn backlog(&self) -> usize {
+        self.inner.backlog()
     }
 }
 

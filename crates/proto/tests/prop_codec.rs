@@ -7,7 +7,7 @@
 
 use flashflow_proto::frame::{decode_payload, encode, FrameDecoder, LEN_PREFIX};
 use flashflow_proto::msg::{
-    AbortReason, MeasureSpec, Msg, PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN,
+    AbortReason, MeasureSpec, Msg, PeerRole, TargetEndpoint, AUTH_TOKEN_LEN, FINGERPRINT_LEN,
 };
 use proptest::prelude::*;
 
@@ -30,7 +30,7 @@ fn arb_fp() -> impl Strategy<Value = [u8; FINGERPRINT_LEN]> {
 fn arb_msg() -> impl Strategy<Value = Msg> {
     // Pick a variant, then fill its fields from independent draws.
     (
-        0u8..8,
+        0u8..10,
         arb_token(),
         arb_fp(),
         (any::<u64>(), any::<u64>(), any::<u64>()),
@@ -44,13 +44,25 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     nonce: c,
                 },
                 1 => Msg::AuthOk { session: a, nonce: c },
-                2 => {
-                    Msg::MeasureCmd(MeasureSpec { relay_fp, slot_secs: x, sockets: y, rate_cap: b })
-                }
+                2 => Msg::MeasureCmd(MeasureSpec {
+                    relay_fp,
+                    slot_secs: x,
+                    sockets: y,
+                    rate_cap: b,
+                    // Derive the endpoint and secret from the draws so
+                    // the new v4 fields round-trip arbitrary values too.
+                    target: TargetEndpoint {
+                        ip: relay_fp[..4].try_into().expect("4 bytes"),
+                        port: (a & 0xFFFF) as u16,
+                    },
+                    measurement_secret: c,
+                }),
                 3 => Msg::Ready,
                 4 => Msg::Go,
                 5 => Msg::SecondReport { second: x, bg_bytes: b, measured_bytes: c },
                 6 => Msg::SlotDone,
+                7 => Msg::Ping { probe: a },
+                8 => Msg::Pong { probe: b },
                 _ => Msg::Abort { reason: AbortReason::from_u8(reason).expect("reason in range") },
             },
         )

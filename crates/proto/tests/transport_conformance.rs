@@ -431,8 +431,13 @@ fn mid_slot_disconnect_aborts_in_bounded_rounds() {
         let name = base.name;
         let token = [3u8; AUTH_TOKEN_LEN];
         let timeouts = SessionTimeouts::default();
-        let spec =
-            MeasureSpec { relay_fp: [1; FINGERPRINT_LEN], slot_secs: 30, sockets: 8, rate_cap: 0 };
+        let spec = MeasureSpec {
+            relay_fp: [1; FINGERPRINT_LEN],
+            slot_secs: 30,
+            sockets: 8,
+            rate_cap: 0,
+            ..MeasureSpec::default()
+        };
         // The coordinator's side of the wire is armed to die after the
         // handshake traffic (~120 bytes) has crossed it.
         let faulty = FaultyTransport::new(base.a, FaultMode::Disconnect).trip_after_bytes(40);
@@ -487,4 +492,92 @@ fn mid_slot_disconnect_aborts_in_bounded_rounds() {
         assert!(meas_dead, "[{name}] measurer side observed the disconnect");
         assert_eq!(meas.session().phase(), MeasurerPhase::Failed, "[{name}]");
     }
+}
+
+/// The echo conformance case: a measurer-side source blasts a
+/// relay-side [`Echoer`](flashflow_proto::blast::Echoer) across every
+/// transport, keyed frame tags on both directions, and the measurer
+/// must get back exactly the bytes the relay verified — reassembled
+/// through the same partial-delivery paths as everything else.
+#[test]
+fn echo_round_trips_verified_bytes_on_every_transport() {
+    use flashflow_proto::blast::{
+        binding_nonce, secret_channel_key, BlastEvent, BlastParser, Echoer, TrafficSource,
+    };
+
+    let secret = 0xEC_C0FF_EE00;
+    let nonce = binding_nonce(secret);
+    let key = secret_channel_key(secret);
+    for pair in all_pairs() {
+        let name = pair.name;
+        let mut src = TrafficSource::new(pair.a, nonce, 0).with_key(key);
+        src.set_rate_cap(50_000);
+        let mut echo = Echoer::new(pair.b).with_key(key);
+        let mut back = BlastParser::new().with_key(key);
+        src.greet(now_for(0));
+        src.start(now_for(0));
+        echo.start(now_for(0));
+        let mut verified_back = 0u64;
+        for round in 0..800u64 {
+            let now = now_for(round);
+            if round < 300 {
+                src.pump(now);
+            } else if round == 300 {
+                src.stop(now);
+            }
+            echo.pump(now).unwrap_or_else(|e| panic!("[{name}] inbound framing: {e}"));
+            let bytes = src.transport_mut().recv(now).expect("return stream open");
+            for ev in back.push(&bytes).unwrap_or_else(|e| panic!("[{name}] echo framing: {e}")) {
+                if let BlastEvent::Data { bytes, corrupt } = ev {
+                    assert_eq!(corrupt, 0, "[{name}] echo failed verification");
+                    verified_back += bytes;
+                }
+            }
+            if round > 300 && verified_back == src.sent_total() && echo.pending_echo() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(src.sent_total() > 0, "[{name}] nothing was blasted");
+        assert_eq!(echo.received_total(), src.sent_total(), "[{name}] inbound bytes lost");
+        assert_eq!(echo.corrupt_total(), 0, "[{name}] inbound verification failed");
+        assert_eq!(echo.forged_total(), 0, "[{name}] honest frames counted forged");
+        assert_eq!(
+            verified_back,
+            src.sent_total(),
+            "[{name}] the echo must return every verified byte"
+        );
+    }
+}
+
+/// A measurer hanging up mid-echo must stop the echoer in bounded
+/// rounds (transport error recorded, later pumps quiesce), not wedge
+/// its serving thread.
+#[test]
+fn echoer_stops_in_bounded_rounds_when_the_measurer_hangs_up() {
+    use flashflow_proto::blast::{Echoer, TrafficSource};
+
+    let mut pair = duplex_pair();
+    let mut src = TrafficSource::new(&mut pair.a, 0x1234, 0);
+    src.set_rate_cap(20_000);
+    let mut echo = Echoer::new(pair.b);
+    src.greet(now_for(0));
+    src.start(now_for(0));
+    echo.start(now_for(0));
+    for round in 0..50u64 {
+        src.pump(now_for(round));
+        echo.pump(now_for(round)).expect("clean stream");
+    }
+    drop(src);
+    pair.a.close();
+    let mut stopped = false;
+    for round in 50..100u64 {
+        let _ = echo.pump(now_for(round));
+        if echo.transport_error().is_some() {
+            stopped = true;
+            break;
+        }
+    }
+    assert!(stopped, "echoer never observed the hangup");
+    assert!(!echo.pump(now_for(200)).expect("quiesced"), "terminal echoer keeps claiming progress");
 }

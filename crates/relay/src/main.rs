@@ -1,0 +1,571 @@
+//! `flashflow-relay` — a standalone **target relay** process: the third
+//! corner of the paper's measurement topology.
+//!
+//! A FlashFlow measurement aims *k* measurers at one relay, which must
+//! **echo** the blast back while still serving its clients; the
+//! coordinator's estimate is echoed measurement bytes plus the relay's
+//! self-reported background bytes (§4.1). This process plays that role
+//! on a real socket: it listens on TCP, classifies each accepted
+//! connection by its first byte — **control** (the framed session
+//! protocol, served by a [`RelaySession`]) or **data** (an echo channel
+//! opening with a [`DataChannelHello`]) — and serves both concurrently,
+//! reusing the measurer process's accept/classify/drain scaffolding.
+//!
+//! * Control connections run [`RelaySession`]s (the target role of the
+//!   protocol) and keep running them across conversations, so a
+//!   coordinator-side connection pool reuses warm connections. Once a
+//!   `MeasureCmd` is accepted, the session's
+//!   [`EchoBinding`](flashflow_proto::session::EchoBinding) — binding
+//!   nonce, frame-tag key, background allowance — is registered with
+//!   the data plane *before* `Ready` goes back, so the measurers' echo
+//!   dials (which only start at `Go`) always find their measurement.
+//! * Data connections must open with a hello carrying a registered
+//!   binding nonce; each is served by a [`Echoer`] that verifies
+//!   every inbound payload byte (pattern keystream + keyed frame tag)
+//!   and loops exactly the verified bytes back. Concurrent channels
+//!   from multiple measurers aggregate into one measurement's counters.
+//! * A [`BackgroundMeter`] simulates the relay's client traffic:
+//!   `--background RATE` bytes/second offered, admitted up to the
+//!   commanded allowance while a slot runs (the paper's `r`-ratio cap).
+//!   Per-second `SecondReport`s carry **both** columns: background
+//!   admitted and measurement bytes echoed.
+//!
+//! Adversarial knobs (for the audit-path tests; a real relay would
+//! simply lie): `--claim-bg BYTES` reports a fixed background figure
+//! regardless of what the meter admitted (TorMult-style inflation of
+//! the self-reported channel), and `--corrupt-echo true` echoes
+//! keystream-violating garbage (a forged echo, which measurers count
+//! corrupt and refuse to credit).
+//!
+//! Liveness, replay protection, `--config` files, and SIGTERM draining
+//! all match the measurer process; the only stdout line is
+//! `listening <addr>`.
+//!
+//! ```text
+//! flashflow-relay [--config FILE] [--listen ADDR] [--token-hex HEX64]
+//!     [--background BYTES] [--claim-bg BYTES] [--corrupt-echo true|false]
+//!     [--speedup X] [--sessions N]
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use flashflow_procutil as procutil;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use flashflow_proto::blast::{
+    BackgroundMeter, DataChannelHello, Echoer, DATA_HELLO_TAG, HELLO_LEN,
+};
+use flashflow_proto::endpoint::Endpoint;
+use flashflow_proto::msg::{AbortReason, AUTH_TOKEN_LEN};
+use flashflow_proto::session::{
+    MeasurerAction, MeasurerPhase, RelaySession, ReplayWindow, SessionState as _, SessionTimeouts,
+};
+use flashflow_proto::tcp::{TcpAcceptor, TcpTransport};
+use flashflow_proto::transport::{LeasedTransport, Transport};
+use flashflow_simnet::time::SimTime;
+
+/// Parsed configuration (command line and/or `--config` file).
+#[derive(Debug, Clone)]
+struct Config {
+    listen: String,
+    token: [u8; AUTH_TOKEN_LEN],
+    /// See the measurer process: the built-in default token is only
+    /// acceptable on loopback.
+    token_explicit: bool,
+    /// Offered client traffic in bytes/second (simulated background).
+    background: u64,
+    /// Adversarial: report this background figure instead of what the
+    /// meter actually admitted.
+    claim_bg: Option<u64>,
+    /// Adversarial: echo keystream-violating garbage.
+    corrupt_echo: bool,
+    /// Clock multiplier (a "second" is `1/speedup` wall seconds).
+    speedup: f64,
+    /// Exit after this many control conversations; `None` serves until
+    /// SIGTERM.
+    sessions: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            listen: "127.0.0.1:0".to_string(),
+            token: [0x42; AUTH_TOKEN_LEN],
+            token_explicit: false,
+            background: 0,
+            claim_bg: None,
+            corrupt_echo: false,
+            speedup: 1.0,
+            sessions: None,
+        }
+    }
+}
+
+impl Config {
+    /// The identification window for fresh connections (shared
+    /// scaffolding, scaled by `--speedup`).
+    fn hello_window(&self) -> Duration {
+        procutil::hello_window(self.speedup)
+    }
+}
+
+const USAGE: &str = "usage: flashflow-relay [--config FILE] [--listen ADDR] \
+                     [--token-hex HEX64] [--background BYTES] [--claim-bg BYTES] \
+                     [--corrupt-echo true|false] [--speedup X] [--sessions N]";
+
+/// Applies one `key=value` setting (shared by CLI and config file).
+fn apply(cfg: &mut Config, key: &str, value: &str) -> Result<(), String> {
+    match key {
+        "listen" => cfg.listen = value.to_string(),
+        "token-hex" => {
+            cfg.token = procutil::parse_token_hex(value)?;
+            cfg.token_explicit = true;
+        }
+        "background" => cfg.background = value.parse().map_err(|e| format!("background: {e}"))?,
+        "claim-bg" => cfg.claim_bg = Some(value.parse().map_err(|e| format!("claim-bg: {e}"))?),
+        "corrupt-echo" => {
+            cfg.corrupt_echo = value.parse().map_err(|e| format!("corrupt-echo: {e}"))?
+        }
+        "speedup" => {
+            cfg.speedup = value.parse().map_err(|e| format!("speedup: {e}"))?;
+            if !(cfg.speedup.is_finite() && cfg.speedup > 0.0) {
+                return Err("speedup must be positive and finite".to_string());
+            }
+        }
+        "sessions" => cfg.sessions = Some(value.parse().map_err(|e| format!("sessions: {e}"))?),
+        other => return Err(format!("unknown setting {other:?}\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    procutil::parse_args(args, USAGE, &mut |key, value| apply(&mut cfg, key, value))?;
+    Ok(cfg)
+}
+
+/// One commanded measurement's aggregated echo accounting, fed by
+/// however many concurrent echo channels bound to its nonce.
+#[derive(Default)]
+struct EchoCounters {
+    received: AtomicU64,
+    corrupt: AtomicU64,
+    forged: AtomicU64,
+    echoed: AtomicU64,
+    channels: AtomicU64,
+}
+
+/// One registered measurement: counters plus the frame-tag key its
+/// channels verify under.
+struct Measurement {
+    counters: Arc<EchoCounters>,
+    key: u64,
+}
+
+/// The process-wide registry binding **measurement** nonces to their
+/// echo plane. Control sessions register at `MeasureCmd` (before their
+/// `Ready` releases the coordinator's barrier) and release at the end;
+/// an echo dial presenting an unregistered nonce is refused.
+#[derive(Default)]
+struct EchoPlane {
+    measurements: Mutex<HashMap<u64, Arc<Measurement>>>,
+}
+
+impl EchoPlane {
+    fn register(&self, nonce: u64, key: u64) -> Arc<EchoCounters> {
+        let m = Arc::new(Measurement { counters: Arc::new(EchoCounters::default()), key });
+        let counters = Arc::clone(&m.counters);
+        self.measurements.lock().expect("echo plane lock").insert(nonce, m);
+        counters
+    }
+
+    fn lookup(&self, nonce: u64) -> Option<Arc<Measurement>> {
+        self.measurements.lock().expect("echo plane lock").get(&nonce).map(Arc::clone)
+    }
+
+    fn release(&self, nonce: u64) {
+        self.measurements.lock().expect("echo plane lock").remove(&nonce);
+    }
+}
+
+/// Everything the serving threads share.
+struct Shared {
+    cfg: Config,
+    replay: Mutex<ReplayWindow>,
+    echo: EchoPlane,
+    draining: AtomicBool,
+    sessions_done: AtomicU64,
+}
+
+impl Shared {
+    fn quota_reached(&self) -> bool {
+        self.cfg.sessions.is_some_and(|n| self.sessions_done.load(Ordering::SeqCst) >= n)
+    }
+}
+
+/// How one control conversation ended.
+struct Outcome {
+    authed: bool,
+    reusable: bool,
+}
+
+/// Serves control conversations on one connection until it dies, the
+/// process drains, or the quota fills (warm-connection reuse, like the
+/// measurer process).
+fn serve_control(transport: TcpTransport, preread: Vec<u8>, conn_id: u64, shared: &Shared) {
+    let mut leased = LeasedTransport::new(transport);
+    let mut preread = Some(preread);
+    let mut conversation = 0u64;
+    loop {
+        leased.reset_close();
+        let session_id = conn_id * 1_000 + conversation;
+        conversation += 1;
+        let outcome = serve_one(&mut leased, preread.take(), session_id, shared);
+        if outcome.authed {
+            shared.sessions_done.fetch_add(1, Ordering::SeqCst);
+        }
+        if !outcome.reusable || shared.draining.load(Ordering::SeqCst) || shared.quota_reached() {
+            break;
+        }
+    }
+}
+
+/// Serves exactly one control conversation: the target role end to end
+/// — handshake, measurement registration, per-second reports carrying
+/// echoed + background bytes.
+fn serve_one(
+    leased: &mut LeasedTransport<TcpTransport>,
+    preread: Option<Vec<u8>>,
+    session_id: u64,
+    shared: &Shared,
+) -> Outcome {
+    let cfg = &shared.cfg;
+    let window = shared.replay.lock().expect("replay lock").clone();
+    let session = RelaySession::new(cfg.token, session_id, SessionTimeouts::default())
+        .with_replay_window(window);
+    let mut endpoint = Endpoint::new(session, &mut *leased);
+
+    let t0 = Instant::now();
+    if let Some(bytes) = preread {
+        endpoint.session_mut().receive(SimTime::ZERO, &bytes);
+    }
+    let report_every = Duration::from_secs_f64(1.0 / cfg.speedup);
+    let mut slot: Option<u32> = None;
+    let mut started_at = Instant::now();
+    let mut reported = 0u32;
+    let mut claimed_nonce: Option<u64> = None;
+    let mut registered_binding: Option<u64> = None;
+    let mut counters: Option<Arc<EchoCounters>> = None;
+    let mut meter = BackgroundMeter::new(cfg.background);
+    let mut echoed_through = 0u64;
+    let mut bg_through = 0u64;
+    loop {
+        let now = SimTime::from_secs_f64(t0.elapsed().as_secs_f64());
+        let snow = SimTime::from_secs_f64(t0.elapsed().as_secs_f64() * cfg.speedup);
+        endpoint.pump(now);
+        endpoint.tick(now);
+        // Claim the accepted Auth nonce in the process-wide replay
+        // window (concurrent-replay arbitration, as in the measurer).
+        if claimed_nonce.is_none() {
+            if let Some(nonce) = endpoint.session().accepted_nonce() {
+                claimed_nonce = Some(nonce);
+                if !shared.replay.lock().expect("replay lock").witness(nonce) {
+                    eprintln!("[session {session_id}] concurrent Auth replay; dropping");
+                    endpoint.session_mut().abort(AbortReason::AuthFailed);
+                }
+            }
+        }
+        // Register the commanded measurement with the data plane the
+        // moment the command is accepted — Ready goes back on this same
+        // tick, so the echo dials that follow Go always find it.
+        if registered_binding.is_none() {
+            if let Some(binding) = endpoint.session().echo_binding() {
+                counters = Some(shared.echo.register(binding.binding_nonce, binding.channel_key));
+                registered_binding = Some(binding.binding_nonce);
+                meter.set_cap(binding.background_allowance);
+                eprintln!(
+                    "[session {session_id}] measurement registered: nonce {:#x}, bg allowance {} B/s",
+                    binding.binding_nonce, binding.background_allowance
+                );
+            }
+        }
+        if shared.draining.load(Ordering::SeqCst)
+            && matches!(
+                endpoint.session().phase(),
+                MeasurerPhase::AwaitAuth | MeasurerPhase::AwaitCmd | MeasurerPhase::AwaitGo
+            )
+        {
+            endpoint.session_mut().abort(AbortReason::Shutdown);
+        }
+        while let Some(action) = endpoint.session_mut().poll_action() {
+            match action {
+                MeasurerAction::Prepare { spec } => {
+                    eprintln!(
+                        "[session {session_id}] prepare: fp {:02x}{:02x}… slot {}s",
+                        spec.relay_fp[0], spec.relay_fp[1], spec.slot_secs
+                    );
+                }
+                MeasurerAction::Start { spec } => {
+                    slot = Some(spec.slot_secs);
+                    started_at = Instant::now();
+                    echoed_through = 0;
+                    bg_through = 0;
+                    meter.start(snow);
+                    eprintln!(
+                        "[session {session_id}] go — echoing, admitting {} B/s background",
+                        meter.admitted_rate()
+                    );
+                }
+                MeasurerAction::Stop => {
+                    let ch = counters.as_ref().map_or(0, |c| c.channels.load(Ordering::Relaxed));
+                    eprintln!(
+                        "[session {session_id}] stop after {reported} seconds ({ch} channel(s) still bound)"
+                    );
+                }
+            }
+        }
+        meter.tick(snow);
+        if let Some(slot_secs) = slot {
+            while reported < slot_secs
+                && !endpoint.is_terminal()
+                && started_at.elapsed() >= report_every * (reported + 1)
+            {
+                let echoed = counters.as_ref().map_or(0, |c| c.echoed.load(Ordering::Relaxed));
+                let echo_delta = echoed - echoed_through;
+                echoed_through = echoed;
+                let bg = match cfg.claim_bg {
+                    // The liar: a fixed per-second claim, regardless of
+                    // what the meter admitted.
+                    Some(claim) => claim,
+                    None => {
+                        let admitted = meter.admitted_total();
+                        let delta = admitted - bg_through;
+                        bg_through = admitted;
+                        delta
+                    }
+                };
+                endpoint.session_mut().report_second(bg, echo_delta);
+                reported += 1;
+            }
+        }
+        if endpoint.is_terminal() {
+            for _ in 0..3 {
+                endpoint.pump(SimTime::from_secs_f64(t0.elapsed().as_secs_f64()));
+                thread::sleep(Duration::from_millis(1));
+            }
+            break;
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+    let reusable =
+        endpoint.session().phase() == MeasurerPhase::Done && endpoint.transport_error().is_none();
+    let authed = claimed_nonce.is_some();
+    drop(endpoint);
+    if let Some(nonce) = registered_binding {
+        shared.echo.release(nonce);
+    }
+    Outcome { authed, reusable }
+}
+
+/// Serves one echo data connection: read the hello, bind it to a
+/// registered measurement, then verify-and-echo until the measurer
+/// hangs up. The binding deadline bounds half-open dials and unknown
+/// nonces exactly like the measurer's data path.
+fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, shared: &Shared) {
+    // Accumulate the hello (the dispatch preread may be a partial one).
+    let mut buf = preread;
+    let deadline = Instant::now() + shared.cfg.hello_window();
+    let measurement = loop {
+        if buf.len() >= HELLO_LEN {
+            let mut raw = [0u8; HELLO_LEN];
+            raw.copy_from_slice(&buf[..HELLO_LEN]);
+            let hello = match DataChannelHello::decode(&raw) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("[echo {conn_id}] bad hello: {e}; dropping");
+                    return;
+                }
+            };
+            match shared.echo.lookup(hello.nonce) {
+                Some(m) => break m,
+                None if Instant::now() >= deadline => {
+                    eprintln!(
+                        "[echo {conn_id}] hello nonce {:#x} names no commanded measurement; dropping",
+                        hello.nonce
+                    );
+                    return;
+                }
+                // The command may land microseconds after the dial;
+                // wait out the window.
+                None => thread::sleep(Duration::from_millis(1)),
+            }
+        } else {
+            if Instant::now() >= deadline {
+                eprintln!("[echo {conn_id}] no hello within the deadline; dropping");
+                return;
+            }
+            match transport.recv(SimTime::ZERO) {
+                Ok(bytes) if !bytes.is_empty() => buf.extend_from_slice(&bytes),
+                Ok(_) => thread::sleep(Duration::from_millis(1)),
+                Err(_) => return,
+            }
+        }
+    };
+    let counters = Arc::clone(&measurement.counters);
+    counters.channels.fetch_add(1, Ordering::Relaxed);
+    eprintln!(
+        "[echo {conn_id}] bound; {} channel(s) on this measurement",
+        counters.channels.load(Ordering::Relaxed)
+    );
+    let mut echoer = Echoer::new(transport).with_key(measurement.key);
+    echoer.set_corrupt_echo(shared.cfg.corrupt_echo);
+    let t0 = Instant::now();
+    let snow =
+        |t0: &Instant, speedup: f64| SimTime::from_secs_f64(t0.elapsed().as_secs_f64() * speedup);
+    echoer.start(snow(&t0, shared.cfg.speedup));
+    // Feed the pre-read bytes (hello + whatever blast followed it).
+    let mut last = (0u64, 0u64, 0u64, 0u64); // received, corrupt, forged, echoed
+    let publish = |e: &Echoer<TcpTransport>, last: &mut (u64, u64, u64, u64)| {
+        let nowv = (e.received_total(), e.corrupt_total(), e.forged_total(), e.echoed_total());
+        counters.received.fetch_add(nowv.0 - last.0, Ordering::Relaxed);
+        counters.corrupt.fetch_add(nowv.1 - last.1, Ordering::Relaxed);
+        counters.forged.fetch_add(nowv.2 - last.2, Ordering::Relaxed);
+        counters.echoed.fetch_add(nowv.3 - last.3, Ordering::Relaxed);
+        *last = nowv;
+    };
+    if let Err(e) = echoer.inject(snow(&t0, shared.cfg.speedup), &buf) {
+        eprintln!("[echo {conn_id}] framing error: {e}; dropping");
+        counters.channels.fetch_sub(1, Ordering::Relaxed);
+        return;
+    }
+    publish(&echoer, &mut last);
+    let mut last_activity = Instant::now();
+    loop {
+        let now = snow(&t0, shared.cfg.speedup);
+        let moved = match echoer.pump(now) {
+            Ok(moved) => moved,
+            Err(e) => {
+                eprintln!("[echo {conn_id}] framing error: {e}; dropping");
+                break;
+            }
+        };
+        publish(&echoer, &mut last);
+        if echoer.transport_error().is_some() {
+            break; // measurer hung up: the normal end of a channel
+        }
+        if moved {
+            last_activity = Instant::now();
+        } else {
+            // Quiet wire; don't spin.
+            thread::sleep(Duration::from_millis(1));
+        }
+        if shared.draining.load(Ordering::SeqCst)
+            && last_activity.elapsed() > Duration::from_millis(500)
+        {
+            break;
+        }
+    }
+    counters.channels.fetch_sub(1, Ordering::Relaxed);
+    eprintln!(
+        "[echo {conn_id}] closed: received {}, echoed {}, corrupt {}, forged {}",
+        echoer.received_total(),
+        echoer.echoed_total(),
+        echoer.corrupt_total(),
+        echoer.forged_total()
+    );
+}
+
+/// Classifies a fresh connection by its first byte and serves it.
+fn dispatch(mut transport: TcpTransport, conn_id: u64, shared: &Shared) {
+    let draining = || shared.draining.load(Ordering::SeqCst);
+    let Some(first) =
+        procutil::await_first_bytes(&mut transport, shared.cfg.hello_window(), &draining)
+    else {
+        eprintln!("[conn {conn_id}] silent or dead before identifying itself; dropping");
+        return;
+    };
+    if first[0] == DATA_HELLO_TAG {
+        serve_data(transport, first, conn_id, shared);
+    } else {
+        serve_control(transport, first, conn_id, shared);
+    }
+}
+
+fn main() {
+    let cfg = match parse_args(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    procutil::install_sigterm_handler();
+    let acceptor = match TcpAcceptor::bind(&cfg.listen) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bind {}: {e}", cfg.listen);
+            std::process::exit(1);
+        }
+    };
+    let addr = acceptor.local_addr().expect("local addr");
+    if !addr.ip().is_loopback() && !cfg.token_explicit {
+        eprintln!(
+            "refusing to serve {addr} with the built-in default token; \
+             pass --token-hex with a real pre-shared secret"
+        );
+        std::process::exit(2);
+    }
+    println!("listening {addr}");
+    std::io::stdout().flush().expect("flush stdout");
+    eprintln!(
+        "flashflow-relay: background {} B/s, claim-bg {:?}, corrupt-echo {}, speedup {}x, sessions {:?}",
+        cfg.background, cfg.claim_bg, cfg.corrupt_echo, cfg.speedup, cfg.sessions
+    );
+
+    let shared = Arc::new(Shared {
+        cfg,
+        replay: Mutex::new(ReplayWindow::default()),
+        echo: EchoPlane::default(),
+        draining: AtomicBool::new(false),
+        sessions_done: AtomicU64::new(0),
+    });
+    acceptor.set_nonblocking(true).expect("nonblocking listener");
+    let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
+    let mut conn_id = 0u64;
+    loop {
+        if procutil::drain_requested() {
+            eprintln!("SIGTERM: draining — no new connections, finishing in-flight sessions");
+            break;
+        }
+        if shared.quota_reached() {
+            break;
+        }
+        match acceptor.try_accept() {
+            Ok(Some((transport, peer))) => {
+                eprintln!("[conn {conn_id}] accepted {peer}");
+                let shared = Arc::clone(&shared);
+                let id = conn_id;
+                conn_id += 1;
+                handles.retain(|h| !h.is_finished());
+                handles.push(thread::spawn(move || dispatch(transport, id, &shared)));
+            }
+            Ok(None) => thread::sleep(Duration::from_millis(2)),
+            Err(e) => {
+                eprintln!("accept: {e}");
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    shared.draining.store(true, Ordering::SeqCst);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    eprintln!(
+        "served {} control conversations; exiting",
+        shared.sessions_done.load(Ordering::SeqCst)
+    );
+}

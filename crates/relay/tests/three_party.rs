@@ -1,0 +1,393 @@
+//! The three-party deployment harness: the paper's full topology as
+//! real processes over loopback TCP.
+//!
+//! A sharded coordinator (in this test process) commands **two spawned
+//! `flashflow-measurer` processes** and **one spawned `flashflow-relay`
+//! process**. Each item's `MeasureCmd` carries the relay's data
+//! endpoint and a fresh measurement secret; at `Go` the measurers dial
+//! echo channels straight at the relay and blast pattern-stamped,
+//! tag-keyed frames, the relay verifies and echoes them back while
+//! admitting capped background traffic, and everyone reports per
+//! second — measurers their verified echo, the relay echoed + admitted
+//! background. The per-relay estimate (echoed + clamped background)
+//! must land within 5% of the deterministic Duplex reference, with the
+//! audit ledger clean; the adversarial cases (a relay inflating its
+//! background claim, a relay echoing garbage) must be *flagged* in the
+//! ledger rows instead of silently believed. All children exit 0.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use flashflow_core::bwauth::measure_echo_period;
+use flashflow_core::echo::{EchoDeployment, EchoItem, EchoMeasurer};
+use flashflow_core::engine::PeerDirectory;
+use flashflow_core::measure::build_second_samples;
+use flashflow_core::pool::ConnectionPool;
+use flashflow_core::shard::script::{self, ScriptConfig, ScriptedPeer};
+use flashflow_core::shard::ShardedEngine;
+use flashflow_proto::msg::{PeerRole, AUTH_TOKEN_LEN, FINGERPRINT_LEN};
+use flashflow_simnet::stats::median;
+
+const ITEMS: usize = 3;
+const SHARDS: usize = 2;
+const SLOT_SECS: u32 = 5;
+/// Both sides run their clocks at this multiple of wall time.
+const SPEEDUP: f64 = 10.0;
+/// Echo blast caps of the two measurer processes ((sped-up) bytes/sec).
+const MEASURER_CAPS: [u64; 2] = [300_000, 150_000];
+/// Echo sockets each measurer opens to the relay.
+const SOCKETS: u32 = 2;
+/// Client traffic the relay process offers / is allowed ((sped-up) B/s).
+const BG_OFFERED: u64 = 40_000;
+const BG_ALLOWANCE: u64 = 20_000;
+/// Paper ratio r.
+const RATIO: f64 = 0.25;
+
+fn token_for(peer_ix: usize) -> [u8; AUTH_TOKEN_LEN] {
+    [peer_ix as u8 + 0x21; AUTH_TOKEN_LEN]
+}
+
+fn token_hex(peer_ix: usize) -> String {
+    token_for(peer_ix).iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Locates a sibling workspace binary next to this test's own
+/// executable (`target/<profile>/<name>`), asking cargo to (re)build it
+/// first — a filtered `cargo test -p flashflow-relay` run does not
+/// build other packages' binaries, and a *stale* sibling from an older
+/// protocol version fails the handshake in confusing ways (the build
+/// is a fast no-op when already current).
+fn sibling_bin(name: &str) -> PathBuf {
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // deps/
+    path.pop(); // target/<profile>/
+    let release = path.ends_with("release");
+    path.push(name);
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut build = Command::new(cargo);
+    build.args(["build", "-p", name, "--bin", name]);
+    if release {
+        build.arg("--release");
+    }
+    let status = build.status().expect("spawn cargo build for sibling binary");
+    assert!(status.success(), "building {name} failed");
+    assert!(path.exists(), "sibling binary {name} not found at {path:?}");
+    path
+}
+
+/// Spawns a process and reads its advertised `listening <addr>` line.
+fn spawn_listener(bin: PathBuf, args: &[String]) -> (Child, SocketAddr) {
+    // FF_RELAY_DEBUG=1 streams the children's stderr into the test
+    // output for debugging.
+    let stderr =
+        if std::env::var_os("FF_RELAY_DEBUG").is_some() { Stdio::inherit() } else { Stdio::null() };
+    let mut child = Command::new(&bin)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(stderr)
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {bin:?}: {e}"));
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read advertised address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected stdout line: {line:?}"))
+        .parse()
+        .expect("parse advertised address");
+    (child, addr)
+}
+
+fn spawn_measurer(peer_ix: usize, sessions: usize) -> (Child, SocketAddr) {
+    let args: Vec<String> = [
+        "--listen",
+        "127.0.0.1:0",
+        "--role",
+        "measurer",
+        "--token-hex",
+        &token_hex(peer_ix),
+        "--speedup",
+        &SPEEDUP.to_string(),
+        "--sessions",
+        &sessions.to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    spawn_listener(sibling_bin("flashflow-measurer"), &args)
+}
+
+fn spawn_relay(extra: &[(&str, String)], sessions: usize) -> (Child, SocketAddr) {
+    let mut args: Vec<String> = [
+        "--listen",
+        "127.0.0.1:0",
+        "--token-hex",
+        &token_hex(9),
+        "--background",
+        &BG_OFFERED.to_string(),
+        "--speedup",
+        &SPEEDUP.to_string(),
+        "--sessions",
+        &sessions.to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    for (k, v) in extra {
+        args.push((*k).to_string());
+        args.push(v.clone());
+    }
+    spawn_listener(PathBuf::from(env!("CARGO_BIN_EXE_flashflow-relay")), &args)
+}
+
+fn deployment(measurer_addrs: [SocketAddr; 2], relay_addr: SocketAddr) -> EchoDeployment {
+    EchoDeployment {
+        measurers: measurer_addrs
+            .iter()
+            .zip(MEASURER_CAPS)
+            .enumerate()
+            .map(|(ix, (&addr, rate_cap))| EchoMeasurer {
+                addr,
+                token: token_for(ix),
+                rate_cap,
+                sockets: SOCKETS,
+            })
+            .collect(),
+        relay_addr,
+        relay_token: token_for(9),
+        speedup: SPEEDUP,
+        ratio: RATIO,
+    }
+}
+
+fn items() -> Vec<EchoItem> {
+    (0..ITEMS)
+        .map(|ix| {
+            let mut fp = [0u8; FINGERPRINT_LEN];
+            fp[0] = ix as u8 + 1;
+            EchoItem {
+                relay_fp: fp,
+                slot_secs: SLOT_SECS,
+                bg_allowance: BG_ALLOWANCE,
+                // Fresh per item; unpredictability is the coordinator's
+                // job in deployment, distinctness is what the test needs.
+                measurement_secret: 0x3A11_0000_0000_0000 + ix as u64 * 0x1_0001,
+            }
+        })
+        .collect()
+}
+
+fn wait_exit_zero(children: Vec<(&'static str, Child)>) {
+    for (name, mut child) in children {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let status = loop {
+            if let Some(status) = child.try_wait().expect("try_wait") {
+                break status;
+            }
+            if Instant::now() >= deadline {
+                let _ = child.kill();
+                panic!("{name} did not exit");
+            }
+            thread::sleep(Duration::from_millis(10));
+        };
+        assert!(status.success(), "{name} exited with {status}");
+    }
+}
+
+/// The deterministic reference: the identical rates, scripted over
+/// in-memory Duplex links (measurers report their caps as echoed
+/// bytes, the relay reports the admitted background).
+fn duplex_reference_estimates() -> Vec<f64> {
+    let groups = (0..ITEMS)
+        .map(|_| {
+            let mut peers: Vec<ScriptedPeer> =
+                MEASURER_CAPS.iter().map(|&cap| ScriptedPeer::measurer(cap)).collect();
+            peers.push(ScriptedPeer::target(BG_ALLOWANCE));
+            script::group(vec![peers], ScriptConfig { slot_secs: SLOT_SECS, ..Default::default() })
+        })
+        .collect::<Vec<_>>();
+    let run = ShardedEngine::run_partitioned(groups, SHARDS);
+    assert!(run.all_clean(), "reference run had failures");
+    (0..ITEMS)
+        .map(|g| {
+            let (x, y) = run.merged_series(g, 0);
+            let seconds = build_second_samples(&x, &y, RATIO);
+            let z: Vec<f64> = seconds.iter().map(|s| s.z).collect();
+            median(&z).expect("reference seconds")
+        })
+        .collect()
+}
+
+#[test]
+fn three_party_topology_estimates_match_duplex_reference() {
+    let reference = duplex_reference_estimates();
+
+    let (m0, a0) = spawn_measurer(0, ITEMS);
+    let (m1, a1) = spawn_measurer(1, ITEMS);
+    let (relay, relay_addr) = spawn_relay(&[], ITEMS);
+
+    let pool = ConnectionPool::new();
+    let file = measure_echo_period(&deployment([a0, a1], relay_addr), &items(), SHARDS, &pool);
+
+    assert_eq!(file.entries.len(), ITEMS);
+    for (g, entry) in file.entries.iter().enumerate() {
+        let failures: Vec<_> = file
+            .run
+            .events
+            .iter()
+            .filter(|e| {
+                e.group == g
+                    && matches!(e.event, flashflow_core::engine::EngineEvent::PeerFailed { .. })
+            })
+            .collect();
+        assert!(
+            entry.clean,
+            "item {g}: a session failed against the spawned processes: {failures:?}"
+        );
+        assert_eq!(
+            entry.divergent_rows,
+            0,
+            "item {g}: honest topology flagged: {:?}",
+            file.run.rows(g, 0)
+        );
+        let est = entry.capacity.bytes_per_sec();
+        let reference = reference[g];
+        let rel = (est - reference).abs() / reference;
+        assert!(
+            rel < 0.05,
+            "item {g}: echo estimate {est:.0} B/s vs reference {reference:.0} B/s \
+             differ by {:.2}%",
+            rel * 100.0
+        );
+    }
+
+    // The relay reported real background: every target row carries a
+    // bg column near the allowance, cross-checked against the
+    // aggregated measurer echo.
+    let snapshot = &file.run.snapshots[0];
+    let target_rows: Vec<_> = file
+        .run
+        .rows(0, 0)
+        .into_iter()
+        .filter(|r| snapshot.role(r.peer) == PeerRole::Target)
+        .collect();
+    assert_eq!(target_rows.len(), SLOT_SECS as usize);
+    for row in &target_rows {
+        assert!(row.counted.is_some(), "target row lacks the aggregated echo column: {row:?}");
+        assert!(
+            row.bg <= BG_ALLOWANCE * 11 / 10,
+            "admitted background exceeded the allowance: {row:?}"
+        );
+    }
+
+    // Warm connections rode the pool across items.
+    assert!(pool.reuses() > 0, "no warm connection reused (dials {})", pool.dials());
+
+    drop(pool);
+    drop(file);
+    wait_exit_zero(vec![("measurer-0", m0), ("measurer-1", m1), ("relay", relay)]);
+}
+
+#[test]
+fn unreachable_measurer_degrades_the_item_instead_of_killing_the_period() {
+    // One measurer process is down (its address refuses connections):
+    // the item must complete degraded — unclean, with the surviving
+    // measurer's echo still measured — not panic the shard worker.
+    let (m0, a0) = spawn_measurer(0, 1);
+    let (relay, relay_addr) = spawn_relay(&[], 1);
+    // A port that refused: bind, read the addr, drop the listener.
+    let dead_addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr")
+    };
+
+    let pool = ConnectionPool::new();
+    let one_item = vec![items().remove(0)];
+    let file = measure_echo_period(&deployment([a0, dead_addr], relay_addr), &one_item, 1, &pool);
+
+    let entry = &file.entries[0];
+    assert!(!entry.clean, "a failed dial must mark the item unclean");
+    // The surviving measurer still demonstrated its share.
+    let (x, _) = file.run.merged_series(0, 0);
+    let survivor_rate = MEASURER_CAPS[0] as f64;
+    let mid = x.get(2).copied().unwrap_or(0.0);
+    assert!(
+        mid > survivor_rate * 0.5,
+        "surviving measurer's echo missing from the degraded item: {x:?}"
+    );
+
+    drop(pool);
+    drop(file);
+    wait_exit_zero(vec![("measurer-0", m0), ("relay", relay)]);
+}
+
+#[test]
+fn background_inflating_relay_is_flagged_in_the_ledger() {
+    // The TorMult-shaped lie: the relay claims 6× more background than
+    // the plausibility bound allows for what it demonstrably echoed.
+    let claim = 300_000u64;
+    let (m0, a0) = spawn_measurer(0, 1);
+    let (m1, a1) = spawn_measurer(1, 1);
+    let (relay, relay_addr) = spawn_relay(&[("--claim-bg", claim.to_string())], 1);
+
+    let pool = ConnectionPool::new();
+    let one_item = vec![items().remove(0)];
+    let file = measure_echo_period(&deployment([a0, a1], relay_addr), &one_item, 1, &pool);
+
+    let entry = &file.entries[0];
+    assert!(entry.clean, "the lie is in the numbers, not the protocol");
+    assert!(
+        entry.divergent_rows >= SLOT_SECS as usize - 1,
+        "inflated background claims must flag the audit rows: {:?}",
+        file.run.rows(0, 0)
+    );
+    let snapshot = &file.run.snapshots[0];
+    let flagged_bg = file
+        .run
+        .rows(0, 0)
+        .iter()
+        .filter(|r| snapshot.role(r.peer) == PeerRole::Target && r.divergent)
+        .all(|r| r.bg == claim);
+    assert!(flagged_bg, "the flagged rows carry the inflated claim");
+
+    drop(pool);
+    drop(file);
+    wait_exit_zero(vec![("measurer-0", m0), ("measurer-1", m1), ("relay", relay)]);
+}
+
+#[test]
+fn garbage_echoing_relay_is_not_credited_and_diverges() {
+    // A forging relay: it "echoes" keystream-violating bytes. The
+    // measurers' verifying parsers refuse to credit them, so the
+    // reported echo collapses — and the relay's own (inflated) echo
+    // claim diverges from the aggregated measurer reports.
+    let (m0, a0) = spawn_measurer(0, 1);
+    let (m1, a1) = spawn_measurer(1, 1);
+    let (relay, relay_addr) = spawn_relay(&[("--corrupt-echo", "true".to_string())], 1);
+
+    let pool = ConnectionPool::new();
+    let one_item = vec![items().remove(0)];
+    let file = measure_echo_period(&deployment([a0, a1], relay_addr), &one_item, 1, &pool);
+
+    let entry = &file.entries[0];
+    let honest_x: u64 = MEASURER_CAPS.iter().sum();
+    assert!(
+        entry.capacity.bytes_per_sec() < honest_x as f64 * 0.10,
+        "garbage echo must not be credited as measurement bytes: estimated {} B/s",
+        entry.capacity.bytes_per_sec()
+    );
+    assert!(
+        entry.divergent_rows > 0,
+        "the relay's echo claim must diverge from what the measurers verified: {:?}",
+        file.run.rows(0, 0)
+    );
+
+    drop(pool);
+    drop(file);
+    wait_exit_zero(vec![("measurer-0", m0), ("measurer-1", m1), ("relay", relay)]);
+}

@@ -105,6 +105,7 @@ fn main() {
             slot_secs: SLOT_SECS,
             sockets: if role == PeerRole::Measurer { 80 } else { 0 },
             rate_cap: measured,
+            ..MeasureSpec::default()
         };
         builder.add_peer(
             0,

@@ -63,6 +63,7 @@ fn spec_for(peer: &ScriptedPeer) -> MeasureSpec {
         slot_secs: SLOT_SECS,
         sockets: if peer.role == PeerRole::Measurer { 8 } else { 0 },
         rate_cap: 0,
+        ..MeasureSpec::default()
     }
 }
 
