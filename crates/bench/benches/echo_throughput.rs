@@ -12,6 +12,13 @@
 //! must have come back verified, with zero corrupt and zero forged
 //! bytes in either direction.
 //!
+//! The run ends with the **instrumentation overhead guard**: the same
+//! verified-echo hot path (a keyed [`BlastParser`] over a captured
+//! blast stream) is timed bare and with `flashflow-obs` counters
+//! attached, the overhead must stay under 3%, and the numbers are
+//! written to `BENCH_obs.json` at the repo root so the perf trajectory
+//! is machine-tracked.
+//!
 //! Plain `harness = false` timing (Criterion is unavailable offline):
 //! run with `cargo bench -p flashflow-bench --bench echo_throughput`.
 
@@ -21,11 +28,13 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use flashflow_obs::Json;
 use flashflow_proto::blast::{
-    binding_nonce, secret_channel_key, BlastEvent, BlastParser, Echoer, TrafficSource,
+    binding_nonce, secret_channel_key, BlastCounters, BlastEvent, BlastParser, Echoer,
+    TrafficSource,
 };
 use flashflow_proto::tcp::TcpTransport;
-use flashflow_proto::transport::Transport;
+use flashflow_proto::transport::{Duplex, Transport};
 use flashflow_simnet::time::SimTime;
 
 const CHANNEL_COUNTS: [usize; 3] = [1, 2, 4];
@@ -193,4 +202,92 @@ fn main() {
     assert_eq!(relay_forged.load(Ordering::SeqCst), 0, "forged frames on an honest channel");
     assert_eq!(total_back, total_sent, "bytes lost relay → measurer");
     println!("integrity: {total_sent} bytes sent == verified at relay == echoed back, 0 corrupt");
+
+    instrumentation_overhead_guard();
+}
+
+/// Bytes of captured blast stream the overhead rounds parse.
+const OVERHEAD_STREAM: usize = 32 << 20;
+/// Interleaved timing rounds per variant; minimums are compared (the
+/// best observed run is the least noisy estimate of the code's cost).
+const OVERHEAD_ROUNDS: usize = 5;
+/// The acceptance bound: counters on the verified-echo hot path must
+/// cost less than this much relative to the bare parser.
+const OVERHEAD_LIMIT_PCT: f64 = 3.0;
+
+/// Times the verify hot path bare vs counter-instrumented over one
+/// captured in-memory blast stream, asserts the overhead bound, and
+/// writes `BENCH_obs.json`.
+fn instrumentation_overhead_guard() {
+    let key = secret_channel_key(SECRET);
+    let nonce = binding_nonce(SECRET);
+
+    // Capture a pattern-stamped stream once, off the clock: an uncapped
+    // source over a zero-latency duplex, no sockets involved.
+    let (a, mut b) = Duplex::loopback().into_endpoints();
+    let mut src = TrafficSource::new(a, nonce, 0).with_key(key);
+    src.greet(SimTime::ZERO);
+    src.start(SimTime::ZERO);
+    let mut stream: Vec<u8> = Vec::with_capacity(OVERHEAD_STREAM + (1 << 16));
+    while stream.len() < OVERHEAD_STREAM {
+        src.pump(SimTime::ZERO);
+        stream.extend(b.recv(SimTime::ZERO).expect("in-memory recv"));
+    }
+
+    // Parse it through the identical keyed parser, with and without
+    // counters, interleaved so cache/thermal drift hits both equally.
+    let chunk = 64 << 10;
+    let run = |counters: Option<BlastCounters>| -> f64 {
+        let mut parser = BlastParser::new().with_key(key);
+        if let Some(c) = counters {
+            parser = parser.with_counters(c);
+        }
+        let t0 = Instant::now();
+        for piece in stream.chunks(chunk) {
+            parser.push(piece).expect("captured stream parses");
+        }
+        assert_eq!(parser.corrupt_total(), 0, "captured stream must verify");
+        t0.elapsed().as_secs_f64()
+    };
+    let counters = BlastCounters::default();
+    let mut bare = f64::INFINITY;
+    let mut instrumented = f64::INFINITY;
+    for _ in 0..OVERHEAD_ROUNDS {
+        bare = bare.min(run(None));
+        instrumented = instrumented.min(run(Some(counters.clone())));
+    }
+    assert!(counters.verified.get() > 0, "instrumented rounds must feed the counters");
+
+    let bytes = stream.len() as f64;
+    let overhead_pct = ((instrumented - bare) / bare * 100.0).max(0.0);
+    println!(
+        "obs overhead: bare {:.1} MB/s, instrumented {:.1} MB/s, overhead {overhead_pct:.2}%",
+        bytes / bare / 1e6,
+        bytes / instrumented / 1e6,
+    );
+
+    let doc = Json::Obj(vec![
+        ("schema".to_string(), Json::Int(1)),
+        ("bench".to_string(), Json::Str("echo_throughput/obs_overhead".to_string())),
+        ("stream_bytes".to_string(), Json::Int(stream.len() as i128)),
+        ("rounds".to_string(), Json::Int(OVERHEAD_ROUNDS as i128)),
+        ("bare_secs".to_string(), Json::Num(bare)),
+        ("instrumented_secs".to_string(), Json::Num(instrumented)),
+        ("bare_bytes_per_sec".to_string(), Json::Num(bytes / bare)),
+        ("instrumented_bytes_per_sec".to_string(), Json::Num(bytes / instrumented)),
+        ("overhead_pct".to_string(), Json::Num(overhead_pct)),
+        ("limit_pct".to_string(), Json::Num(OVERHEAD_LIMIT_PCT)),
+    ]);
+    let mut out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    out.pop();
+    out.pop();
+    out.push("BENCH_obs.json");
+    std::fs::write(&out, format!("{doc}\n")).expect("write BENCH_obs.json");
+    println!("wrote {}", out.display());
+
+    assert!(
+        overhead_pct < OVERHEAD_LIMIT_PCT,
+        "instrumented blast parse is {overhead_pct:.2}% slower than bare \
+         (limit {OVERHEAD_LIMIT_PCT}%)"
+    );
 }

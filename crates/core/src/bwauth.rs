@@ -269,12 +269,53 @@ pub fn measure_echo_period(
     shards: usize,
     pool: &crate::pool::ConnectionPool,
 ) -> EchoPeriodFile {
+    measure_echo_period_observed(deployment, items, shards, pool, None)
+}
+
+/// [`measure_echo_period`] with telemetry: when `span` is given, every
+/// engine event of every group is mirrored onto it live (`sample`,
+/// `counted`, `peer.*`, `item.complete`, …) and the post-run audit
+/// trail (`divergence`, `target.estimate`, `pool.stats`,
+/// `period.done`) follows — the stream `flashflow-top` renders and the
+/// JSONL schema the CI job validates. See [`crate::observe`].
+pub fn measure_echo_period_observed(
+    deployment: &crate::echo::EchoDeployment,
+    items: &[crate::echo::EchoItem],
+    shards: usize,
+    pool: &crate::pool::ConnectionPool,
+    span: Option<&flashflow_obs::Span>,
+) -> EchoPeriodFile {
     use flashflow_simnet::stats::median;
 
-    let groups: Vec<Box<dyn crate::shard::GroupRunner>> =
-        items.iter().map(|item| crate::echo::echo_group(deployment, *item, pool.clone())).collect();
+    if let Some(span) = span {
+        span.emit(
+            "period.start",
+            vec![
+                ("items".to_string(), flashflow_obs::Value::U64(items.len() as u64)),
+                ("shards".to_string(), flashflow_obs::Value::U64(shards as u64)),
+            ],
+        );
+    }
+    let groups: Vec<Box<dyn crate::shard::GroupRunner>> = items
+        .iter()
+        .enumerate()
+        .map(|(g, item)| {
+            let runner = crate::echo::echo_group(deployment, *item, pool.clone());
+            match span {
+                // The relay's reporting session is always the last peer
+                // of an echo group (after the k measurers).
+                Some(span) => crate::observe::observed(
+                    runner,
+                    span.group(g as u64),
+                    Some(deployment.measurers.len()),
+                ),
+                None => runner,
+            }
+        })
+        .collect();
     let mut run = crate::shard::ShardedEngine::run_partitioned(groups, shards);
     run.ledger.set_bg_ratio(deployment.ratio);
+    run.pool = Some(pool.stats());
     let entries = items
         .iter()
         .enumerate()
@@ -292,7 +333,11 @@ pub fn measure_echo_period(
             }
         })
         .collect();
-    EchoPeriodFile { entries, run }
+    let file = EchoPeriodFile { entries, run };
+    if let Some(span) = span {
+        crate::observe::emit_period_audit(span, items, &file);
+    }
+    file
 }
 
 /// Aggregates several BWAuths' bandwidth files by taking, for each relay

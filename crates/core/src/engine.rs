@@ -60,6 +60,13 @@ impl PeerId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rehydrates an id from its dense index (crate-internal: event
+    /// translation and tests).
+    #[cfg(test)]
+    pub(crate) fn from_index(index: usize) -> PeerId {
+        PeerId(index)
+    }
 }
 
 /// Everything a driver can observe from the engine, in order.

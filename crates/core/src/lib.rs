@@ -26,6 +26,7 @@
 //! | [`shard`] | §4.3, §7 | sharding a period's item groups across engines and worker threads (`ShardedEngine`), LPT group ordering |
 //! | [`pool`] | §7 | long-lived pool of warm TCP connections to measurer processes |
 //! | [`echo`] | §4.1, §7 | the deployed echo topology: coordinator-side wiring for measurers blasting a target relay that echoes back |
+//! | [`observe`] | §7 | bridge from engine events to `flashflow-obs` telemetry: observed group runners, period audits, `PeriodExport` |
 //! | [`proto_driver`] | §4.1 | the same slots driven end-to-end through the `flashflow-proto` control protocol over the engine |
 //! | [`verify`] | §4.1, §5 | random cell spot-checks |
 //! | [`sequence`] | §4.2 | adaptive re-measurement with doubling |
@@ -67,6 +68,7 @@ pub mod dynamic;
 pub mod echo;
 pub mod engine;
 pub mod measure;
+pub mod observe;
 pub mod params;
 pub mod pool;
 pub mod proto_driver;
@@ -84,8 +86,8 @@ pub use params::Params;
 pub mod prelude {
     pub use crate::alloc::{greedy_allocate, greedy_allocate_rates, AllocError};
     pub use crate::bwauth::{
-        aggregate_bwauths, measure_echo_period, BandwidthFile, BwAuth, BwEntry, EchoEntry,
-        EchoPeriodFile, MeasureBackend,
+        aggregate_bwauths, measure_echo_period, measure_echo_period_observed, BandwidthFile,
+        BwAuth, BwEntry, EchoEntry, EchoPeriodFile, MeasureBackend,
     };
     pub use crate::dynamic::{adjust_weights, DynamicPolicy, DynamicReport};
     pub use crate::echo::{echo_group, EchoDeployment, EchoItem, EchoMeasurer};

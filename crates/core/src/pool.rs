@@ -246,6 +246,35 @@ impl ConnectionPool {
     pub fn idle_count(&self) -> usize {
         self.shared.idle.lock().expect("pool lock").values().map(Vec::len).sum()
     }
+
+    /// A point-in-time copy of every pool counter, for surfacing in
+    /// coordinator results instead of querying the live pool.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            dials: self.dials(),
+            reuses: self.reuses(),
+            discarded: self.discarded(),
+            probes: self.probes(),
+            idle: self.idle_count() as u64,
+        }
+    }
+}
+
+/// A snapshot of a [`ConnectionPool`]'s traffic counters (see
+/// [`ConnectionPool::stats`]); carried by period results so audits do
+/// not need the live pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Fresh TCP dials performed.
+    pub dials: u64,
+    /// Checkouts served from a parked warm connection.
+    pub reuses: u64,
+    /// Parked connections found stale and thrown away.
+    pub discarded: u64,
+    /// Keepalive probes run on idle-past-threshold checkouts.
+    pub probes: u64,
+    /// Connections parked at snapshot time.
+    pub idle: u64,
 }
 
 /// A grant of permission for a [`PooledConn`] to park itself back in

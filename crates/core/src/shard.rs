@@ -168,6 +168,12 @@ pub struct ShardedRun {
     pub snapshots: Vec<EngineSnapshot>,
     /// The shared sample quarantine, already fed with every event.
     pub ledger: PeriodLedger,
+    /// Worker shards the run was partitioned across.
+    pub shards: usize,
+    /// Connection-pool traffic over the run, when a pool drove it
+    /// (dial/reuse/probe/discard counts surfaced in the result instead
+    /// of being query-only on the live pool).
+    pub pool: Option<crate::pool::PoolStats>,
 }
 
 impl ShardedRun {
@@ -349,6 +355,8 @@ impl ShardedEngine {
                 .map(|s| s.expect("scope join propagates worker panics first"))
                 .collect(),
             ledger,
+            shards,
+            pool: None,
         }
     }
 }

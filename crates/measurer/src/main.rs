@@ -60,17 +60,26 @@
 //! nonce with the data plane, so a hello arriving right after `AuthOk`
 //! always finds its session.
 //!
+//! **Observability**: process logging goes through one `flashflow-obs`
+//! [`EventSink`] — human text on stderr by default, and with
+//! `--log-json FILE` the same structured events as JSONL (line-atomic
+//! under concurrent session threads). `--metrics-addr ADDR` serves
+//! token-gated [`MetricsRegistry`] snapshots (blast/echo byte counters)
+//! over TCP; see `flashflow-top` for the consumer side.
+//!
 //! ```text
 //! flashflow-measurer [--config FILE] [--listen ADDR] [--role measurer|target]
 //!     [--report counters|scripted] [--token-hex HEX64] [--rate BYTES]
-//!     [--bg BYTES] [--speedup X] [--sessions N]
+//!     [--bg BYTES] [--speedup X] [--sessions N] [--log-json FILE]
+//!     [--metrics-addr ADDR]
 //! ```
 //!
-//! The only line on stdout is `listening <addr>`, so a spawning harness
-//! (or operator tooling) can read the bound ephemeral port; everything
-//! else goes to stderr. With `--sessions N` the process exits cleanly
-//! after completing N control conversations (the multi-process harness
-//! uses this); without it, it serves until SIGTERM.
+//! Stdout carries `listening <addr>` (and `metrics <addr>` when a
+//! metrics endpoint is bound), so a spawning harness (or operator
+//! tooling) can read the bound ephemeral ports; everything else goes to
+//! stderr. With `--sessions N` the process exits cleanly after
+//! completing N control conversations (the multi-process harness uses
+//! this); without it, it serves until SIGTERM.
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -81,9 +90,10 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use flashflow_obs::{fields, EventSink, MetricsRegistry, Span};
 use flashflow_proto::blast::{
-    binding_nonce, channel_key, secret_channel_key, BlastEvent, BlastParser, ReportSource,
-    TrafficSource, DATA_HELLO_TAG,
+    binding_nonce, channel_key, secret_channel_key, BlastCounters, BlastEvent, BlastParser,
+    ReportSource, TrafficSource, DATA_HELLO_TAG,
 };
 use flashflow_proto::endpoint::Endpoint;
 use flashflow_proto::msg::{AbortReason, PeerRole, AUTH_TOKEN_LEN};
@@ -119,6 +129,10 @@ struct Config {
     /// Exit after completing this many control conversations; `None`
     /// serves until SIGTERM.
     sessions: Option<u64>,
+    /// Mirror the structured event stream to this file as JSONL.
+    log_json: Option<String>,
+    /// Serve token-gated metric snapshots on this TCP address.
+    metrics_addr: Option<String>,
 }
 
 impl Default for Config {
@@ -133,6 +147,8 @@ impl Default for Config {
             bg: 0,
             speedup: 1.0,
             sessions: None,
+            log_json: None,
+            metrics_addr: None,
         }
     }
 }
@@ -148,7 +164,7 @@ impl Config {
 const USAGE: &str = "usage: flashflow-measurer [--config FILE] [--listen ADDR] \
                      [--role measurer|target] [--report counters|scripted] \
                      [--token-hex HEX64] [--rate BYTES] [--bg BYTES] [--speedup X] \
-                     [--sessions N]";
+                     [--sessions N] [--log-json FILE] [--metrics-addr ADDR]";
 
 /// Applies one `key=value` setting. Shared by the command line (`--key
 /// value`) and the config file (`key=value`), so the two cannot drift.
@@ -176,6 +192,8 @@ fn apply(cfg: &mut Config, key: &str, value: &str) -> Result<(), String> {
             }
         }
         "sessions" => cfg.sessions = Some(value.parse().map_err(|e| format!("sessions: {e}"))?),
+        "log-json" => cfg.log_json = Some(value.to_string()),
+        "metrics-addr" => cfg.metrics_addr = Some(value.to_string()),
         other => return Err(format!("unknown setting {other:?}\n{USAGE}")),
     }
     Ok(())
@@ -232,6 +250,14 @@ struct Shared {
     draining: AtomicBool,
     /// Control conversations completed (the `--sessions` quota).
     sessions_done: AtomicU64,
+    /// Root span of the process's structured event stream.
+    span: Span,
+    /// Process-global counters fed by inbound blast channels (the
+    /// coordinator-blasted data plane; `--metrics-addr` snapshot).
+    blast: BlastCounters,
+    /// Process-global counters fed by echo-topology verify parsers
+    /// (bytes the target relay echoed back at this measurer).
+    echo_blast: BlastCounters,
 }
 
 impl Shared {
@@ -299,7 +325,8 @@ impl EchoChannel {
 fn dial_echo_channels(
     spec: &flashflow_proto::msg::MeasureSpec,
     now: SimTime,
-    session_id: u64,
+    span: &Span,
+    shared: &Shared,
 ) -> Vec<EchoChannel> {
     let Some(addr) = spec.target.socket_addr() else { return Vec::new() };
     let nonce = binding_nonce(spec.measurement_secret);
@@ -310,7 +337,10 @@ fn dial_echo_channels(
         let transport = match TcpTransport::connect(addr) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("[session {session_id}] echo dial {addr} failed: {e}");
+                span.channel(u64::from(chan)).emit(
+                    "echo.dial_failed",
+                    fields![addr = format!("{addr}"), error = format!("{e}")],
+                );
                 continue;
             }
         };
@@ -323,12 +353,14 @@ fn dial_echo_channels(
         }
         source.greet(now);
         source.start(now);
-        channels.push(EchoChannel { source, echo: BlastParser::new().with_key(key) });
+        channels.push(EchoChannel {
+            source,
+            echo: BlastParser::new().with_key(key).with_counters(shared.echo_blast.clone()),
+        });
     }
-    eprintln!(
-        "[session {session_id}] echo topology: {} channel(s) to {addr}, cap {} B/s",
-        channels.len(),
-        spec.rate_cap
+    span.emit(
+        "echo.channels",
+        fields![channels = channels.len(), addr = format!("{addr}"), cap = spec.rate_cap],
     );
     channels
 }
@@ -341,6 +373,7 @@ fn serve_one(
     shared: &Shared,
 ) -> Outcome {
     let cfg = &shared.cfg;
+    let span = shared.span.session(session_id);
     let window = shared.replay.lock().expect("replay lock").clone();
     let session = MeasurerSession::new(cfg.token, cfg.role, session_id, SessionTimeouts::default())
         .with_replay_window(window);
@@ -383,7 +416,7 @@ fn serve_one(
                     // The loser of a concurrent replay must NOT release
                     // the winner's registration below — it never
                     // registered (registered_nonce stays None).
-                    eprintln!("[session {session_id}] concurrent Auth replay; dropping");
+                    span.event("session.replay_drop");
                     endpoint.session_mut().abort(AbortReason::AuthFailed);
                 } else if cfg.role == PeerRole::Measurer {
                     counters = Some(shared.data.register(nonce));
@@ -404,9 +437,13 @@ fn serve_one(
         while let Some(action) = endpoint.session_mut().poll_action() {
             match action {
                 MeasurerAction::Prepare { spec } => {
-                    eprintln!(
-                        "[session {session_id}] prepare: fp {:02x}{:02x}… slot {}s, {} sockets",
-                        spec.relay_fp[0], spec.relay_fp[1], spec.slot_secs, spec.sockets
+                    span.emit(
+                        "session.prepare",
+                        fields![
+                            fp = format!("{:02x}{:02x}", spec.relay_fp[0], spec.relay_fp[1]),
+                            slot_secs = spec.slot_secs,
+                            sockets = spec.sockets,
+                        ],
                     );
                 }
                 MeasurerAction::Start { spec } => {
@@ -423,18 +460,16 @@ fn serve_one(
                     if cfg.role == PeerRole::Measurer && !spec.target.is_none() {
                         // Echo topology: this measurer blasts the target
                         // relay itself and reports the verified echo.
-                        echo_channels = dial_echo_channels(&spec, snow, session_id);
+                        echo_channels = dial_echo_channels(&spec, snow, &span, shared);
                     } else {
                         match (cfg.role, cfg.report) {
                             (PeerRole::Measurer, ReportSource::Counters) => {
                                 let channels = counters
                                     .as_ref()
                                     .map_or(0, |c| c.channels.load(Ordering::Relaxed));
-                                eprintln!(
-                                    "[session {session_id}] go — counting {channels} data channel(s)"
-                                );
+                                span.emit("session.go", fields![channels = channels]);
                             }
-                            _ => eprintln!("[session {session_id}] go — reporting {measured} B/s"),
+                            _ => span.emit("session.go", fields![scripted_rate = measured]),
                         }
                     }
                 }
@@ -446,14 +481,16 @@ fn serve_one(
                     // connections; the relay's echo threads see EOF.
                     echo_channels.clear();
                     match &counters {
-                        Some(c) => eprintln!(
-                            "[session {session_id}] stop after {reported} seconds \
-                             (data plane: {} B received, {} corrupt, {} rejected)",
-                            c.received.load(Ordering::Relaxed),
-                            c.corrupt.load(Ordering::Relaxed),
-                            c.rejected.load(Ordering::Relaxed),
+                        Some(c) => span.emit(
+                            "session.stop",
+                            fields![
+                                seconds = reported,
+                                received = c.received.load(Ordering::Relaxed),
+                                corrupt = c.corrupt.load(Ordering::Relaxed),
+                                rejected = c.rejected.load(Ordering::Relaxed),
+                            ],
                         ),
-                        None => eprintln!("[session {session_id}] stop after {reported} seconds"),
+                        None => span.emit("session.stop", fields![seconds = reported]),
                     }
                 }
             }
@@ -468,7 +505,7 @@ fn serve_one(
                 if let Ok(bytes) = ch.source.transport_mut().recv(snow) {
                     if !bytes.is_empty() {
                         if let Err(e) = ch.echo.push(&bytes) {
-                            eprintln!("[session {session_id}] echo stream broke: {e}");
+                            span.emit("echo.stream_broke", fields![error = format!("{e}")]);
                         }
                     }
                 }
@@ -533,9 +570,12 @@ fn serve_one(
 /// blast bytes into the bound session's counters. A later hello on the
 /// same connection re-binds it (coordinator-side pooled data channels).
 fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, shared: &Shared) {
+    let span = shared.span.channel(conn_id);
     // Coordinator-blasted channels are tagged under the pre-shared
     // control token (which never crosses a data connection).
-    let mut parser = BlastParser::new().with_key(channel_key(&shared.cfg.token));
+    let mut parser = BlastParser::new()
+        .with_key(channel_key(&shared.cfg.token))
+        .with_counters(shared.blast.clone());
     let mut counters: Option<Arc<SessionCounters>> = None;
     // Bytes that arrived between a hello and its nonce registration
     // landing (sub-millisecond race); credited once bound.
@@ -557,7 +597,7 @@ fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, share
             let events = match parser.push(&bytes) {
                 Ok(events) => events,
                 Err(e) => {
-                    eprintln!("[data {conn_id}] framing error: {e}; dropping");
+                    span.emit("channel.framing_error", fields![error = format!("{e}")]);
                     break;
                 }
             };
@@ -598,17 +638,17 @@ fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, share
                 unbound = (0, 0);
                 counters = Some(c);
                 pending_nonce = None;
-                eprintln!("[data {conn_id}] bound to session nonce {nonce:#x}");
+                span.emit("channel.bound", fields![nonce = nonce]);
             } else if Instant::now() >= bind_deadline {
                 // The nonce never belonged to an authenticated session
                 // (or its session is long gone): refuse the channel.
-                eprintln!("[data {conn_id}] hello nonce {nonce:#x} unknown; dropping");
+                span.emit("channel.unknown_nonce", fields![nonce = nonce]);
                 break;
             }
         } else if counters.is_none() && Instant::now() >= bind_deadline {
             // Connected but never completed a hello: the half-open-dial
             // guard.
-            eprintln!("[data {conn_id}] no hello within the deadline; dropping");
+            span.event("channel.no_hello");
             break;
         }
         // Drain: once the control sessions are gone and the channel has
@@ -639,7 +679,7 @@ fn dispatch(mut transport: TcpTransport, conn_id: u64, shared: &Shared) {
     let Some(first) =
         procutil::await_first_bytes(&mut transport, shared.cfg.hello_window(), &draining)
     else {
-        eprintln!("[conn {conn_id}] silent or dead before identifying itself; dropping");
+        shared.span.channel(conn_id).event("conn.silent");
         return;
     };
     if first[0] == DATA_HELLO_TAG {
@@ -673,12 +713,45 @@ fn main() {
         );
         std::process::exit(2);
     }
-    // The one machine-readable stdout line: the advertised endpoint.
+    let mut sink = EventSink::new().with_stderr_text();
+    if let Some(path) = &cfg.log_json {
+        sink = match sink.with_jsonl_path(path) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("open --log-json {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+    }
+    let span = Span::root(sink);
+    let registry = MetricsRegistry::new();
+    let mut metrics_line = None;
+    if let Some(maddr) = &cfg.metrics_addr {
+        let listener = match std::net::TcpListener::bind(maddr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("bind --metrics-addr {maddr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let bound = listener.local_addr().expect("metrics local addr");
+        metrics_line = Some(format!("metrics {bound}"));
+        procutil::spawn_metrics_endpoint(listener, cfg.token, registry.clone(), cfg.speedup)
+            .expect("spawn metrics endpoint");
+    }
+    // The machine-readable stdout lines: the advertised endpoints.
     println!("listening {addr}");
+    if let Some(line) = metrics_line {
+        println!("{line}");
+    }
     std::io::stdout().flush().expect("flush stdout");
-    eprintln!(
-        "flashflow-measurer: role {:?}, report {:?}, speedup {}x, sessions {:?}",
-        cfg.role, cfg.report, cfg.speedup, cfg.sessions
+    span.emit(
+        "measurer.start",
+        fields![
+            role = format!("{:?}", cfg.role),
+            report = format!("{:?}", cfg.report),
+            speedup = cfg.speedup,
+        ],
     );
 
     let shared = Arc::new(Shared {
@@ -687,13 +760,26 @@ fn main() {
         data: DataPlane::default(),
         draining: AtomicBool::new(false),
         sessions_done: AtomicU64::new(0),
+        span,
+        blast: BlastCounters {
+            verified: registry.counter("measurer.blast.verified_bytes"),
+            corrupt: registry.counter("measurer.blast.corrupt_bytes"),
+            forged: registry.counter("measurer.blast.forged_bytes"),
+            replayed: registry.counter("measurer.blast.replayed_bytes"),
+        },
+        echo_blast: BlastCounters {
+            verified: registry.counter("measurer.echo.verified_bytes"),
+            corrupt: registry.counter("measurer.echo.corrupt_bytes"),
+            forged: registry.counter("measurer.echo.forged_bytes"),
+            replayed: registry.counter("measurer.echo.replayed_bytes"),
+        },
     });
     acceptor.set_nonblocking(true).expect("nonblocking listener");
     let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
     let mut conn_id = 0u64;
     loop {
         if procutil::drain_requested() {
-            eprintln!("SIGTERM: draining — no new connections, finishing in-flight sessions");
+            shared.span.event("measurer.drain");
             break;
         }
         if shared.quota_reached() {
@@ -701,7 +787,7 @@ fn main() {
         }
         match acceptor.try_accept() {
             Ok(Some((transport, peer))) => {
-                eprintln!("[conn {conn_id}] accepted {peer}");
+                shared.span.channel(conn_id).emit("conn.accept", fields![peer = format!("{peer}")]);
                 let shared = Arc::clone(&shared);
                 let id = conn_id;
                 conn_id += 1;
@@ -712,7 +798,7 @@ fn main() {
             }
             Ok(None) => thread::sleep(Duration::from_millis(2)),
             Err(e) => {
-                eprintln!("accept: {e}");
+                shared.span.emit("conn.accept_error", fields![error = format!("{e}")]);
                 thread::sleep(Duration::from_millis(10));
             }
         }
@@ -723,8 +809,7 @@ fn main() {
     for handle in handles {
         let _ = handle.join();
     }
-    eprintln!(
-        "served {} control conversations; exiting",
-        shared.sessions_done.load(Ordering::SeqCst)
-    );
+    shared
+        .span
+        .emit("measurer.exit", fields![sessions = shared.sessions_done.load(Ordering::SeqCst)]);
 }

@@ -1,0 +1,389 @@
+//! Process-wide metric registries: atomic counters, gauges, and
+//! fixed-bucket histograms cheap enough for the blast hot path.
+//!
+//! A [`Counter`] is one `Arc<AtomicU64>`; incrementing it from a frame
+//! parser is a single relaxed fetch-add, and handles clone freely so a
+//! per-connection parser can feed a process-global total without locks.
+//! The [`MetricsRegistry`] is only touched at registration and snapshot
+//! time — never per byte — so the registry's interior mutex stays off
+//! every hot path by construction.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// A monotonically increasing `u64` metric. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter starting at zero, not attached to any registry.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable `i64` metric (pool idle depth, live sessions, …).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge starting at zero, not attached to any registry.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds (inclusive) of each bucket, ascending; one implicit
+    /// overflow bucket follows.
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` cells.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    total: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations. Buckets are chosen
+/// at construction (no resizing, no allocation on observe); recording
+/// is a short bounds scan plus three relaxed atomics.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending inclusive upper `bounds`
+    /// plus an implicit overflow bucket.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+                total: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let inner = &*self.inner;
+        let bucket = inner.bounds.iter().position(|&b| value <= b).unwrap_or(inner.bounds.len());
+        inner.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            counts: self.inner.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// A histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; the final cell is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A named collection of metrics, shared by cloning. Handles returned
+/// by [`counter`](MetricsRegistry::counter) (and friends) are the live
+/// cells: callers keep them and update without ever re-entering the
+/// registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .expect("counters lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner.gauges.lock().expect("gauges lock").entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created with `bounds` on first use
+    /// (later calls return the existing histogram regardless of
+    /// `bounds`).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.inner
+            .histograms
+            .lock()
+            .expect("histograms lock")
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .inner
+                .counters
+                .lock()
+                .expect("counters lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .lock()
+                .expect("gauges lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .lock()
+                .expect("histograms lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A registry's state at one instant, ordered by name — what the
+/// `--metrics-addr` endpoint dumps and `flashflow-top` tabulates.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegistrySnapshot {
+    /// Counters by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// The snapshot as one JSON object
+    /// (`{"counters":{...},"gauges":{...},"histograms":{...}}`).
+    pub fn to_json(&self) -> Json {
+        let counters =
+            self.counters.iter().map(|(k, v)| (k.clone(), Json::Int(i128::from(*v)))).collect();
+        let gauges =
+            self.gauges.iter().map(|(k, v)| (k.clone(), Json::Int(i128::from(*v)))).collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::Obj(vec![
+                        (
+                            "bounds".to_string(),
+                            Json::Arr(h.bounds.iter().map(|&b| Json::Int(i128::from(b))).collect()),
+                        ),
+                        (
+                            "counts".to_string(),
+                            Json::Arr(h.counts.iter().map(|&c| Json::Int(i128::from(c))).collect()),
+                        ),
+                        ("sum".to_string(), Json::Int(i128::from(h.sum))),
+                        ("count".to_string(), Json::Int(i128::from(h.count))),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(histograms)),
+        ])
+    }
+
+    /// Parses a snapshot previously encoded by
+    /// [`to_json`](RegistrySnapshot::to_json).
+    ///
+    /// # Errors
+    /// A static description of the first malformed field.
+    pub fn parse(text: &str) -> Result<RegistrySnapshot, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let obj_pairs = |v: &Json| -> Result<Vec<(String, Json)>, String> {
+            match v {
+                Json::Obj(pairs) => Ok(pairs.clone()),
+                _ => Err("expected an object".to_string()),
+            }
+        };
+        let mut snap = RegistrySnapshot::default();
+        if let Some(counters) = doc.get("counters") {
+            for (k, v) in obj_pairs(counters)? {
+                snap.counters.push((k, v.as_u64().ok_or("counter must be a u64")?));
+            }
+        }
+        if let Some(gauges) = doc.get("gauges") {
+            for (k, v) in obj_pairs(gauges)? {
+                snap.gauges.push((k, v.as_i64().ok_or("gauge must be an i64")?));
+            }
+        }
+        if let Some(histograms) = doc.get("histograms") {
+            for (k, v) in obj_pairs(histograms)? {
+                let arr = |key: &str| -> Result<Vec<u64>, String> {
+                    v.get(key)
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| format!("histogram {k} missing {key}"))?
+                        .iter()
+                        .map(|x| x.as_u64().ok_or_else(|| format!("histogram {k}: bad {key}")))
+                        .collect()
+                };
+                snap.histograms.push((
+                    k.clone(),
+                    HistogramSnapshot {
+                        bounds: arr("bounds")?,
+                        counts: arr("counts")?,
+                        sum: v.get("sum").and_then(Json::as_u64).ok_or("bad histogram sum")?,
+                        count: v
+                            .get("count")
+                            .and_then(Json::as_u64)
+                            .ok_or("bad histogram count")?,
+                    },
+                ));
+            }
+        }
+        Ok(snap)
+    }
+
+    /// A fixed-width text table of the snapshot, one metric per line.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name:<40} {value:>16}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "{name:<40} {value:>16}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "{name:<40} count={} sum={}", h.count, h.sum);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_cells_across_clones() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("blast.received_bytes");
+        let b = registry.counter("blast.received_bytes");
+        a.add(5);
+        b.inc();
+        assert_eq!(registry.counter("blast.received_bytes").get(), 6);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [1, 10, 11, 500] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![2, 1, 1]);
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 522);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a.count").add(u64::MAX);
+        registry.gauge("b.depth").set(-3);
+        registry.histogram("c.lat", &[1, 2, 4]).observe(3);
+        let snap = registry.snapshot();
+        let back = RegistrySnapshot::parse(&snap.to_json().to_string()).unwrap();
+        assert_eq!(back, snap);
+        assert!(snap.to_text().contains("a.count"));
+    }
+}

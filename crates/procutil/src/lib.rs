@@ -10,10 +10,14 @@
 //! protocol-shaped (what the sessions do, what the data plane means)
 //! stays in the binaries themselves.
 
+mod metrics_endpoint;
+
+pub use metrics_endpoint::{fetch_metrics, spawn_metrics_endpoint};
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use flashflow_proto::msg::AUTH_TOKEN_LEN;
+pub use flashflow_proto::msg::AUTH_TOKEN_LEN;
 use flashflow_proto::tcp::TcpTransport;
 use flashflow_proto::transport::Transport;
 use flashflow_simnet::time::SimTime;

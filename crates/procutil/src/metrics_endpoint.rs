@@ -1,0 +1,126 @@
+//! The `--metrics-addr` TCP endpoint both standalone processes expose:
+//! connect, present the process's auth token, receive one JSON registry
+//! snapshot, done.
+//!
+//! The gate is deliberately the same secret that authorizes control
+//! sessions — an unauthenticated scraper on a public address would leak
+//! per-second traffic counts, which is exactly the side channel the
+//! paper's design keeps off the wire. A connection that stays silent
+//! through the hello window, or sends anything but the token, is
+//! dropped without a byte in response (indistinguishable from a closed
+//! port).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use flashflow_obs::MetricsRegistry;
+use flashflow_proto::msg::AUTH_TOKEN_LEN;
+
+use crate::{drain_requested, hello_window};
+
+/// Serves registry snapshots on `listener` from a background thread
+/// until the process drains (see [`drain_requested`]). Each accepted
+/// connection must send the `token` as its first [`AUTH_TOKEN_LEN`]
+/// raw bytes within the speedup-scaled hello window; it then receives
+/// `registry`'s snapshot as one JSON line and is closed.
+///
+/// # Errors
+/// Propagates the listener's nonblocking-mode switch failing.
+pub fn spawn_metrics_endpoint(
+    listener: TcpListener,
+    token: [u8; AUTH_TOKEN_LEN],
+    registry: MetricsRegistry,
+    speedup: f64,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    let window = hello_window(speedup);
+    Ok(std::thread::spawn(move || loop {
+        if drain_requested() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => serve_snapshot(stream, &token, &registry, window),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }))
+}
+
+fn serve_snapshot(
+    mut stream: TcpStream,
+    token: &[u8; AUTH_TOKEN_LEN],
+    registry: &MetricsRegistry,
+    window: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(window));
+    let mut presented = [0u8; AUTH_TOKEN_LEN];
+    if stream.read_exact(&mut presented).is_err() || &presented != token {
+        return;
+    }
+    let mut line = registry.snapshot().to_json().to_string();
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Fetches one snapshot from a metrics endpoint: dials `addr`, sends
+/// `token`, reads to EOF. The returned string is the JSON document
+/// (trailing newline trimmed).
+///
+/// # Errors
+/// Dial/write/read errors, or an empty response (wrong token).
+pub fn fetch_metrics(
+    addr: SocketAddr,
+    token: &[u8; AUTH_TOKEN_LEN],
+    timeout: Duration,
+) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(token)?;
+    let mut body = String::new();
+    stream.read_to_string(&mut body)?;
+    if body.trim().is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "metrics endpoint sent nothing (wrong token?)",
+        ));
+    }
+    Ok(body.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashflow_obs::RegistrySnapshot;
+
+    #[test]
+    fn endpoint_serves_snapshots_and_rejects_bad_tokens() {
+        let registry = MetricsRegistry::new();
+        registry.counter("test.bytes").add(1234);
+        let token = [7u8; AUTH_TOKEN_LEN];
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let _worker =
+            spawn_metrics_endpoint(listener, token, registry.clone(), 50.0).expect("spawn");
+
+        let body = fetch_metrics(addr, &token, Duration::from_secs(5)).expect("authorized fetch");
+        let snap = RegistrySnapshot::parse(&body).expect("valid snapshot json");
+        assert_eq!(snap.counters, vec![("test.bytes".to_string(), 1234)]);
+
+        let wrong = [8u8; AUTH_TOKEN_LEN];
+        assert!(
+            fetch_metrics(addr, &wrong, Duration::from_secs(2)).is_err(),
+            "wrong token must get nothing"
+        );
+
+        // Counters move between snapshots.
+        registry.counter("test.bytes").add(1);
+        let body = fetch_metrics(addr, &token, Duration::from_secs(5)).expect("second fetch");
+        let snap = RegistrySnapshot::parse(&body).expect("valid snapshot json");
+        assert_eq!(snap.counters[0].1, 1235);
+    }
+}

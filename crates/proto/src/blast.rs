@@ -28,9 +28,28 @@
 //! unchanged — the conformance suite runs blast streams across all
 //! three, including partial delivery and mid-blast disconnects.
 
+use flashflow_obs::Counter;
 use flashflow_simnet::time::SimTime;
 
 use crate::transport::{Transport, TransportError};
+
+/// Shared telemetry counters a blast receiver feeds: cloned
+/// `flashflow-obs` [`Counter`] handles, so one per-connection parser
+/// can stream its byte accounting into a process-global
+/// [`MetricsRegistry`](flashflow_obs::MetricsRegistry) without locks.
+/// Attaching is optional; a bare parser pays nothing.
+#[derive(Debug, Clone, Default)]
+pub struct BlastCounters {
+    /// Payload bytes that passed pattern verification.
+    pub verified: Counter,
+    /// Payload bytes that failed pattern verification.
+    pub corrupt: Counter,
+    /// Declared bytes of frames whose keyed integrity tag failed.
+    pub forged: Counter,
+    /// Declared bytes of tag-valid frames with replayed sequence
+    /// numbers.
+    pub replayed: Counter,
+}
 
 /// First byte of a [`DataChannelHello`]. Deliberately distinct from the
 /// first byte of any control frame (a length prefix below
@@ -592,6 +611,9 @@ pub struct BlastParser {
     forged: u64,
     replayed: u64,
     poisoned: Option<BlastError>,
+    /// Optional process-global telemetry counters (see
+    /// [`BlastCounters`]); `None` keeps the bare hot path.
+    counters: Option<BlastCounters>,
 }
 
 impl Default for BlastParser {
@@ -615,6 +637,7 @@ impl BlastParser {
             forged: 0,
             replayed: 0,
             poisoned: None,
+            counters: None,
         }
     }
 
@@ -623,6 +646,15 @@ impl BlastParser {
     #[must_use]
     pub fn with_key(mut self, key: u64) -> Self {
         self.key = key;
+        self
+    }
+
+    /// Streams this parser's byte accounting into shared telemetry
+    /// counters (one relaxed fetch-add per parsed chunk or rejected
+    /// frame — cheap enough for the blast hot path).
+    #[must_use]
+    pub fn with_counters(mut self, counters: BlastCounters) -> Self {
+        self.counters = Some(counters);
         self
     }
 
@@ -714,6 +746,9 @@ impl BlastParser {
                                 // does not advance: a forged sequence
                                 // number must not displace honest ones.
                                 self.forged += u64::from(len);
+                                if let Some(c) = &self.counters {
+                                    c.forged.add(u64::from(len));
+                                }
                                 flush_data(&mut events, &mut batch_bytes, &mut batch_corrupt);
                                 events.push(BlastEvent::Forged { bytes: u64::from(len) });
                                 self.state = ParseState::SkipForged { remaining: len as usize };
@@ -725,6 +760,9 @@ impl BlastParser {
                                 // cannot mint tags for fresh sequence
                                 // numbers). Skip, count, credit nothing.
                                 self.replayed += u64::from(len);
+                                if let Some(c) = &self.counters {
+                                    c.replayed.add(u64::from(len));
+                                }
                                 flush_data(&mut events, &mut batch_bytes, &mut batch_corrupt);
                                 events.push(BlastEvent::Replayed { bytes: u64::from(len) });
                                 self.state = ParseState::SkipForged { remaining: len as usize };
@@ -766,6 +804,10 @@ impl BlastParser {
                     batch_corrupt += mismatches;
                     self.received += take as u64;
                     self.corrupt += mismatches;
+                    if let Some(c) = &self.counters {
+                        c.verified.add(take as u64 - mismatches);
+                        c.corrupt.add(mismatches);
+                    }
                     if *got == self.expected.len() {
                         self.state = ParseState::Header;
                     }
@@ -822,6 +864,14 @@ impl<T: Transport> TrafficSink<T> {
     #[must_use]
     pub fn with_key(mut self, key: u64) -> Self {
         self.parser = std::mem::take(&mut self.parser).with_key(key);
+        self
+    }
+
+    /// Streams the underlying parser's byte accounting into shared
+    /// telemetry counters (see [`BlastParser::with_counters`]).
+    #[must_use]
+    pub fn with_counters(mut self, counters: BlastCounters) -> Self {
+        self.parser = std::mem::take(&mut self.parser).with_counters(counters);
         self
     }
 
@@ -941,6 +991,8 @@ pub struct Echoer<T: Transport> {
     echoed: u64,
     counter: ByteCounter,
     error: Option<TransportError>,
+    /// Optional telemetry counter fed with every echoed payload byte.
+    echoed_counter: Option<Counter>,
     /// Adversarial hook: echo keystream-violating garbage instead of
     /// the real pattern (a forging relay, for tests of the measurer's
     /// corrupt accounting).
@@ -964,6 +1016,7 @@ impl<T: Transport> Echoer<T> {
             echoed: 0,
             counter: ByteCounter::new(),
             error: None,
+            echoed_counter: None,
             corrupt_echo: false,
             frame: Vec::with_capacity(BLAST_HEADER_LEN + BLAST_CHUNK),
         }
@@ -982,6 +1035,15 @@ impl<T: Transport> Echoer<T> {
     pub fn with_key(mut self, key: u64) -> Self {
         self.key = key;
         self.parser = std::mem::take(&mut self.parser).with_key(key);
+        self
+    }
+
+    /// Streams the inbound parser's byte accounting into shared
+    /// telemetry counters and the echoed bytes into `echoed`.
+    #[must_use]
+    pub fn with_counters(mut self, counters: BlastCounters, echoed: Counter) -> Self {
+        self.parser = std::mem::take(&mut self.parser).with_counters(counters);
+        self.echoed_counter = Some(echoed);
         self
     }
 
@@ -1154,6 +1216,9 @@ impl<T: Transport> Echoer<T> {
             }
             self.seq += 1;
             self.echoed += len as u64;
+            if let Some(c) = &self.echoed_counter {
+                c.add(len as u64);
+            }
             self.pending -= len as u64;
             if self.counter.is_running() {
                 self.counter.add(now, len as u64);

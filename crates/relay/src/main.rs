@@ -38,13 +38,23 @@
 //! corrupt and refuse to credit).
 //!
 //! Liveness, replay protection, `--config` files, and SIGTERM draining
-//! all match the measurer process; the only stdout line is
-//! `listening <addr>`.
+//! all match the measurer process; stdout carries `listening <addr>`
+//! and, with `--metrics-addr`, a second `metrics <addr>` line.
+//!
+//! **Observability**: all process logging goes through one
+//! `flashflow-obs` [`EventSink`] — human text on stderr, and with
+//! `--log-json FILE` the same events as JSONL (line-atomic under
+//! concurrency). `--metrics-addr ADDR` serves token-gated
+//! [`MetricsRegistry`] snapshots (echo-plane byte counters, background
+//! accounting) over TCP. When `--claim-bg` makes the relay lie, each
+//! reported second also emits a `bg.divergence` event carrying the
+//! claimed and metered figures — the ground truth the audit tests
+//! cross-check against the coordinator's ledger flags.
 //!
 //! ```text
 //! flashflow-relay [--config FILE] [--listen ADDR] [--token-hex HEX64]
 //!     [--background BYTES] [--claim-bg BYTES] [--corrupt-echo true|false]
-//!     [--speedup X] [--sessions N]
+//!     [--speedup X] [--sessions N] [--log-json FILE] [--metrics-addr ADDR]
 //! ```
 
 use std::collections::HashMap;
@@ -56,8 +66,9 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use flashflow_obs::{fields, EventSink, MetricsRegistry, Span};
 use flashflow_proto::blast::{
-    BackgroundMeter, DataChannelHello, Echoer, DATA_HELLO_TAG, HELLO_LEN,
+    BackgroundMeter, BlastCounters, DataChannelHello, Echoer, DATA_HELLO_TAG, HELLO_LEN,
 };
 use flashflow_proto::endpoint::Endpoint;
 use flashflow_proto::msg::{AbortReason, AUTH_TOKEN_LEN};
@@ -88,6 +99,10 @@ struct Config {
     /// Exit after this many control conversations; `None` serves until
     /// SIGTERM.
     sessions: Option<u64>,
+    /// Mirror the structured event stream to this file as JSONL.
+    log_json: Option<String>,
+    /// Serve token-gated metric snapshots on this TCP address.
+    metrics_addr: Option<String>,
 }
 
 impl Default for Config {
@@ -101,6 +116,8 @@ impl Default for Config {
             corrupt_echo: false,
             speedup: 1.0,
             sessions: None,
+            log_json: None,
+            metrics_addr: None,
         }
     }
 }
@@ -115,7 +132,8 @@ impl Config {
 
 const USAGE: &str = "usage: flashflow-relay [--config FILE] [--listen ADDR] \
                      [--token-hex HEX64] [--background BYTES] [--claim-bg BYTES] \
-                     [--corrupt-echo true|false] [--speedup X] [--sessions N]";
+                     [--corrupt-echo true|false] [--speedup X] [--sessions N] \
+                     [--log-json FILE] [--metrics-addr ADDR]";
 
 /// Applies one `key=value` setting (shared by CLI and config file).
 fn apply(cfg: &mut Config, key: &str, value: &str) -> Result<(), String> {
@@ -137,6 +155,8 @@ fn apply(cfg: &mut Config, key: &str, value: &str) -> Result<(), String> {
             }
         }
         "sessions" => cfg.sessions = Some(value.parse().map_err(|e| format!("sessions: {e}"))?),
+        "log-json" => cfg.log_json = Some(value.to_string()),
+        "metrics-addr" => cfg.metrics_addr = Some(value.to_string()),
         other => return Err(format!("unknown setting {other:?}\n{USAGE}")),
     }
     Ok(())
@@ -199,6 +219,15 @@ struct Shared {
     echo: EchoPlane,
     draining: AtomicBool,
     sessions_done: AtomicU64,
+    /// Root span of the process's structured event stream.
+    span: Span,
+    /// Process-global echo-plane byte counters: every echo channel's
+    /// verifying parser feeds these (the `--metrics-addr` snapshot).
+    blast: BlastCounters,
+    echoed_bytes: flashflow_obs::Counter,
+    bg_admitted: flashflow_obs::Counter,
+    bg_reported: flashflow_obs::Counter,
+    seconds_reported: flashflow_obs::Counter,
 }
 
 impl Shared {
@@ -244,6 +273,7 @@ fn serve_one(
     shared: &Shared,
 ) -> Outcome {
     let cfg = &shared.cfg;
+    let span = shared.span.session(session_id);
     let window = shared.replay.lock().expect("replay lock").clone();
     let session = RelaySession::new(cfg.token, session_id, SessionTimeouts::default())
         .with_replay_window(window);
@@ -274,7 +304,7 @@ fn serve_one(
             if let Some(nonce) = endpoint.session().accepted_nonce() {
                 claimed_nonce = Some(nonce);
                 if !shared.replay.lock().expect("replay lock").witness(nonce) {
-                    eprintln!("[session {session_id}] concurrent Auth replay; dropping");
+                    span.event("session.replay_drop");
                     endpoint.session_mut().abort(AbortReason::AuthFailed);
                 }
             }
@@ -287,9 +317,12 @@ fn serve_one(
                 counters = Some(shared.echo.register(binding.binding_nonce, binding.channel_key));
                 registered_binding = Some(binding.binding_nonce);
                 meter.set_cap(binding.background_allowance);
-                eprintln!(
-                    "[session {session_id}] measurement registered: nonce {:#x}, bg allowance {} B/s",
-                    binding.binding_nonce, binding.background_allowance
+                span.emit(
+                    "session.registered",
+                    fields![
+                        nonce = binding.binding_nonce,
+                        bg_allowance = binding.background_allowance,
+                    ],
                 );
             }
         }
@@ -304,9 +337,12 @@ fn serve_one(
         while let Some(action) = endpoint.session_mut().poll_action() {
             match action {
                 MeasurerAction::Prepare { spec } => {
-                    eprintln!(
-                        "[session {session_id}] prepare: fp {:02x}{:02x}… slot {}s",
-                        spec.relay_fp[0], spec.relay_fp[1], spec.slot_secs
+                    span.emit(
+                        "session.prepare",
+                        fields![
+                            fp = format!("{:02x}{:02x}", spec.relay_fp[0], spec.relay_fp[1]),
+                            slot_secs = spec.slot_secs,
+                        ],
                     );
                 }
                 MeasurerAction::Start { spec } => {
@@ -315,16 +351,11 @@ fn serve_one(
                     echoed_through = 0;
                     bg_through = 0;
                     meter.start(snow);
-                    eprintln!(
-                        "[session {session_id}] go — echoing, admitting {} B/s background",
-                        meter.admitted_rate()
-                    );
+                    span.emit("session.go", fields![bg_rate = meter.admitted_rate()]);
                 }
                 MeasurerAction::Stop => {
                     let ch = counters.as_ref().map_or(0, |c| c.channels.load(Ordering::Relaxed));
-                    eprintln!(
-                        "[session {session_id}] stop after {reported} seconds ({ch} channel(s) still bound)"
-                    );
+                    span.emit("session.stop", fields![seconds = reported, channels = ch]);
                 }
             }
         }
@@ -337,17 +368,27 @@ fn serve_one(
                 let echoed = counters.as_ref().map_or(0, |c| c.echoed.load(Ordering::Relaxed));
                 let echo_delta = echoed - echoed_through;
                 echoed_through = echoed;
+                let admitted = meter.admitted_total();
+                let metered = admitted - bg_through;
+                bg_through = admitted;
                 let bg = match cfg.claim_bg {
                     // The liar: a fixed per-second claim, regardless of
-                    // what the meter admitted.
-                    Some(claim) => claim,
-                    None => {
-                        let admitted = meter.admitted_total();
-                        let delta = admitted - bg_through;
-                        bg_through = admitted;
-                        delta
+                    // what the meter admitted. The lie leaves a trail:
+                    // both figures go into the event stream, which is
+                    // what the audit tests cross-check against the
+                    // coordinator's ledger flags.
+                    Some(claim) => {
+                        span.emit(
+                            "bg.divergence",
+                            fields![second = reported, claimed = claim, metered = metered],
+                        );
+                        claim
                     }
+                    None => metered,
                 };
+                shared.bg_admitted.add(metered);
+                shared.bg_reported.add(bg);
+                shared.seconds_reported.inc();
                 endpoint.session_mut().report_second(bg, echo_delta);
                 reported += 1;
             }
@@ -376,6 +417,7 @@ fn serve_one(
 /// hangs up. The binding deadline bounds half-open dials and unknown
 /// nonces exactly like the measurer's data path.
 fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, shared: &Shared) {
+    let span = shared.span.channel(conn_id);
     // Accumulate the hello (the dispatch preread may be a partial one).
     let mut buf = preread;
     let deadline = Instant::now() + shared.cfg.hello_window();
@@ -386,17 +428,14 @@ fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, share
             let hello = match DataChannelHello::decode(&raw) {
                 Ok(h) => h,
                 Err(e) => {
-                    eprintln!("[echo {conn_id}] bad hello: {e}; dropping");
+                    span.emit("channel.bad_hello", fields![error = format!("{e}")]);
                     return;
                 }
             };
             match shared.echo.lookup(hello.nonce) {
                 Some(m) => break m,
                 None if Instant::now() >= deadline => {
-                    eprintln!(
-                        "[echo {conn_id}] hello nonce {:#x} names no commanded measurement; dropping",
-                        hello.nonce
-                    );
+                    span.emit("channel.unknown_nonce", fields![nonce = hello.nonce]);
                     return;
                 }
                 // The command may land microseconds after the dial;
@@ -405,7 +444,7 @@ fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, share
             }
         } else {
             if Instant::now() >= deadline {
-                eprintln!("[echo {conn_id}] no hello within the deadline; dropping");
+                span.event("channel.no_hello");
                 return;
             }
             match transport.recv(SimTime::ZERO) {
@@ -417,11 +456,10 @@ fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, share
     };
     let counters = Arc::clone(&measurement.counters);
     counters.channels.fetch_add(1, Ordering::Relaxed);
-    eprintln!(
-        "[echo {conn_id}] bound; {} channel(s) on this measurement",
-        counters.channels.load(Ordering::Relaxed)
-    );
-    let mut echoer = Echoer::new(transport).with_key(measurement.key);
+    span.emit("channel.bound", fields![channels = counters.channels.load(Ordering::Relaxed)]);
+    let mut echoer = Echoer::new(transport)
+        .with_key(measurement.key)
+        .with_counters(shared.blast.clone(), shared.echoed_bytes.clone());
     echoer.set_corrupt_echo(shared.cfg.corrupt_echo);
     let t0 = Instant::now();
     let snow =
@@ -438,7 +476,7 @@ fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, share
         *last = nowv;
     };
     if let Err(e) = echoer.inject(snow(&t0, shared.cfg.speedup), &buf) {
-        eprintln!("[echo {conn_id}] framing error: {e}; dropping");
+        span.emit("channel.framing_error", fields![error = format!("{e}")]);
         counters.channels.fetch_sub(1, Ordering::Relaxed);
         return;
     }
@@ -449,7 +487,7 @@ fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, share
         let moved = match echoer.pump(now) {
             Ok(moved) => moved,
             Err(e) => {
-                eprintln!("[echo {conn_id}] framing error: {e}; dropping");
+                span.emit("channel.framing_error", fields![error = format!("{e}")]);
                 break;
             }
         };
@@ -470,12 +508,14 @@ fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, share
         }
     }
     counters.channels.fetch_sub(1, Ordering::Relaxed);
-    eprintln!(
-        "[echo {conn_id}] closed: received {}, echoed {}, corrupt {}, forged {}",
-        echoer.received_total(),
-        echoer.echoed_total(),
-        echoer.corrupt_total(),
-        echoer.forged_total()
+    span.emit(
+        "channel.closed",
+        fields![
+            received = echoer.received_total(),
+            echoed = echoer.echoed_total(),
+            corrupt = echoer.corrupt_total(),
+            forged = echoer.forged_total(),
+        ],
     );
 }
 
@@ -485,7 +525,7 @@ fn dispatch(mut transport: TcpTransport, conn_id: u64, shared: &Shared) {
     let Some(first) =
         procutil::await_first_bytes(&mut transport, shared.cfg.hello_window(), &draining)
     else {
-        eprintln!("[conn {conn_id}] silent or dead before identifying itself; dropping");
+        shared.span.channel(conn_id).event("conn.silent");
         return;
     };
     if first[0] == DATA_HELLO_TAG {
@@ -519,11 +559,49 @@ fn main() {
         );
         std::process::exit(2);
     }
+    let mut sink = EventSink::new().with_stderr_text();
+    if let Some(path) = &cfg.log_json {
+        sink = match sink.with_jsonl_path(path) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("open --log-json {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+    }
+    let span = Span::root(sink);
+    let registry = MetricsRegistry::new();
+    let mut metrics_handle = None;
+    let mut metrics_line = None;
+    if let Some(maddr) = &cfg.metrics_addr {
+        let listener = match std::net::TcpListener::bind(maddr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("bind --metrics-addr {maddr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let bound = listener.local_addr().expect("metrics local addr");
+        metrics_line = Some(format!("metrics {bound}"));
+        metrics_handle = Some(
+            procutil::spawn_metrics_endpoint(listener, cfg.token, registry.clone(), cfg.speedup)
+                .expect("spawn metrics endpoint"),
+        );
+    }
     println!("listening {addr}");
+    if let Some(line) = metrics_line {
+        println!("{line}");
+    }
     std::io::stdout().flush().expect("flush stdout");
-    eprintln!(
-        "flashflow-relay: background {} B/s, claim-bg {:?}, corrupt-echo {}, speedup {}x, sessions {:?}",
-        cfg.background, cfg.claim_bg, cfg.corrupt_echo, cfg.speedup, cfg.sessions
+    span.emit(
+        "relay.start",
+        fields![
+            background = cfg.background,
+            claim_bg = cfg.claim_bg.unwrap_or(0),
+            lying = cfg.claim_bg.is_some(),
+            corrupt_echo = cfg.corrupt_echo,
+            speedup = cfg.speedup,
+        ],
     );
 
     let shared = Arc::new(Shared {
@@ -532,13 +610,24 @@ fn main() {
         echo: EchoPlane::default(),
         draining: AtomicBool::new(false),
         sessions_done: AtomicU64::new(0),
+        span,
+        blast: BlastCounters {
+            verified: registry.counter("relay.echo.verified_bytes"),
+            corrupt: registry.counter("relay.echo.corrupt_bytes"),
+            forged: registry.counter("relay.echo.forged_bytes"),
+            replayed: registry.counter("relay.echo.replayed_bytes"),
+        },
+        echoed_bytes: registry.counter("relay.echo.echoed_bytes"),
+        bg_admitted: registry.counter("relay.bg.admitted_bytes"),
+        bg_reported: registry.counter("relay.bg.reported_bytes"),
+        seconds_reported: registry.counter("relay.reported_seconds"),
     });
     acceptor.set_nonblocking(true).expect("nonblocking listener");
     let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
     let mut conn_id = 0u64;
     loop {
         if procutil::drain_requested() {
-            eprintln!("SIGTERM: draining — no new connections, finishing in-flight sessions");
+            shared.span.event("relay.drain");
             break;
         }
         if shared.quota_reached() {
@@ -546,7 +635,7 @@ fn main() {
         }
         match acceptor.try_accept() {
             Ok(Some((transport, peer))) => {
-                eprintln!("[conn {conn_id}] accepted {peer}");
+                shared.span.channel(conn_id).emit("conn.accept", fields![peer = format!("{peer}")]);
                 let shared = Arc::clone(&shared);
                 let id = conn_id;
                 conn_id += 1;
@@ -555,7 +644,7 @@ fn main() {
             }
             Ok(None) => thread::sleep(Duration::from_millis(2)),
             Err(e) => {
-                eprintln!("accept: {e}");
+                shared.span.emit("conn.accept_error", fields![error = format!("{e}")]);
                 thread::sleep(Duration::from_millis(10));
             }
         }
@@ -564,8 +653,6 @@ fn main() {
     for handle in handles {
         let _ = handle.join();
     }
-    eprintln!(
-        "served {} control conversations; exiting",
-        shared.sessions_done.load(Ordering::SeqCst)
-    );
+    drop(metrics_handle);
+    shared.span.emit("relay.exit", fields![sessions = shared.sessions_done.load(Ordering::SeqCst)]);
 }

@@ -1,0 +1,406 @@
+//! The observability pipeline end to end, over the same three-party
+//! loopback topology as `three_party.rs`: a coordinator running an
+//! **observed** period against two spawned `flashflow-measurer`
+//! processes and one spawned `flashflow-relay` process, with every
+//! telemetry surface exercised at once —
+//!
+//! - the coordinator's [`Span`] mirrors the period onto a JSONL file
+//!   whose every line must parse back into an [`Event`], carrying
+//!   `period.start` → role-tagged `sample`s → `target.estimate` →
+//!   `pool.stats` → `period.done`;
+//! - the same period builds a [`PeriodExport`] that round-trips
+//!   through its own JSON and whose capacities equal the audit
+//!   ledger's, with a text summary naming every target;
+//! - the relay's token-gated `--metrics-addr` endpoint serves a
+//!   [`RegistrySnapshot`] whose echo counters moved;
+//! - `flashflow-top --replay` renders the coordinator's JSONL into
+//!   per-target sparkline rows;
+//! - and a `--claim-bg` lying relay writes `bg.divergence` events
+//!   (claimed vs. metered, per reported second) into its *own*
+//!   `--log-json` stream — the operator-side ground truth for the
+//!   ledger's divergence flags.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use flashflow_core::bwauth::measure_echo_period_observed;
+use flashflow_core::echo::{EchoDeployment, EchoItem, EchoMeasurer};
+use flashflow_core::observe::{count_kind, hex_fp, period_export};
+use flashflow_core::pool::ConnectionPool;
+use flashflow_obs::{Event, EventSink, PeriodExport, RegistrySnapshot, Span, Value};
+use flashflow_procutil::fetch_metrics;
+use flashflow_proto::msg::{AUTH_TOKEN_LEN, FINGERPRINT_LEN};
+
+const ITEMS: usize = 3;
+const SHARDS: usize = 2;
+const SLOT_SECS: u32 = 5;
+const SPEEDUP: f64 = 10.0;
+const MEASURER_CAPS: [u64; 2] = [300_000, 150_000];
+const SOCKETS: u32 = 2;
+const BG_OFFERED: u64 = 40_000;
+const BG_ALLOWANCE: u64 = 20_000;
+const RATIO: f64 = 0.25;
+
+fn token_for(peer_ix: usize) -> [u8; AUTH_TOKEN_LEN] {
+    [peer_ix as u8 + 0x21; AUTH_TOKEN_LEN]
+}
+
+fn token_hex(peer_ix: usize) -> String {
+    token_for(peer_ix).iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// A scratch file path unique to this test process.
+fn scratch_path(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("flashflow-obs-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// See `three_party.rs`: locates a sibling workspace binary, asking
+/// cargo to (re)build it first so a filtered test run still works.
+fn sibling_bin(name: &str) -> PathBuf {
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // deps/
+    path.pop(); // target/<profile>/
+    let release = path.ends_with("release");
+    path.push(name);
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut build = Command::new(cargo);
+    build.args(["build", "-p", name, "--bin", name]);
+    if release {
+        build.arg("--release");
+    }
+    let status = build.status().expect("spawn cargo build for sibling binary");
+    assert!(status.success(), "building {name} failed");
+    assert!(path.exists(), "sibling binary {name} not found at {path:?}");
+    path
+}
+
+/// Spawns a process and reads its advertised stdout lines: always
+/// `listening <addr>`, plus `metrics <addr>` when `expect_metrics`.
+fn spawn_advertised(
+    bin: PathBuf,
+    args: &[String],
+    expect_metrics: bool,
+) -> (Child, SocketAddr, Option<SocketAddr>) {
+    let stderr =
+        if std::env::var_os("FF_RELAY_DEBUG").is_some() { Stdio::inherit() } else { Stdio::null() };
+    let mut child = Command::new(&bin)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(stderr)
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {bin:?}: {e}"));
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut read_addr = |prefix: &str| -> SocketAddr {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read advertised address");
+        line.trim()
+            .strip_prefix(prefix)
+            .unwrap_or_else(|| panic!("unexpected stdout line: {line:?}"))
+            .parse()
+            .expect("parse advertised address")
+    };
+    let listen = read_addr("listening ");
+    let metrics = expect_metrics.then(|| read_addr("metrics "));
+    (child, listen, metrics)
+}
+
+fn spawn_measurer(peer_ix: usize, sessions: usize) -> (Child, SocketAddr) {
+    let args: Vec<String> = [
+        "--listen",
+        "127.0.0.1:0",
+        "--role",
+        "measurer",
+        "--token-hex",
+        &token_hex(peer_ix),
+        "--speedup",
+        &SPEEDUP.to_string(),
+        "--sessions",
+        &sessions.to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (child, addr, _) = spawn_advertised(sibling_bin("flashflow-measurer"), &args, false);
+    (child, addr)
+}
+
+fn relay_args(extra: &[(&str, String)], sessions: usize) -> Vec<String> {
+    let mut args: Vec<String> = [
+        "--listen",
+        "127.0.0.1:0",
+        "--token-hex",
+        &token_hex(9),
+        "--background",
+        &BG_OFFERED.to_string(),
+        "--speedup",
+        &SPEEDUP.to_string(),
+        "--sessions",
+        &sessions.to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    for (k, v) in extra {
+        args.push((*k).to_string());
+        args.push(v.clone());
+    }
+    args
+}
+
+fn deployment(measurer_addrs: [SocketAddr; 2], relay_addr: SocketAddr) -> EchoDeployment {
+    EchoDeployment {
+        measurers: measurer_addrs
+            .iter()
+            .zip(MEASURER_CAPS)
+            .enumerate()
+            .map(|(ix, (&addr, rate_cap))| EchoMeasurer {
+                addr,
+                token: token_for(ix),
+                rate_cap,
+                sockets: SOCKETS,
+            })
+            .collect(),
+        relay_addr,
+        relay_token: token_for(9),
+        speedup: SPEEDUP,
+        ratio: RATIO,
+    }
+}
+
+fn items() -> Vec<EchoItem> {
+    (0..ITEMS)
+        .map(|ix| {
+            let mut fp = [0u8; FINGERPRINT_LEN];
+            fp[0] = ix as u8 + 1;
+            EchoItem {
+                relay_fp: fp,
+                slot_secs: SLOT_SECS,
+                bg_allowance: BG_ALLOWANCE,
+                measurement_secret: 0x0B5E_0000_0000_0000 + ix as u64 * 0x1_0001,
+            }
+        })
+        .collect()
+}
+
+fn wait_exit_zero(children: Vec<(&'static str, Child)>) {
+    for (name, mut child) in children {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let status = loop {
+            if let Some(status) = child.try_wait().expect("try_wait") {
+                break status;
+            }
+            if Instant::now() >= deadline {
+                let _ = child.kill();
+                panic!("{name} did not exit");
+            }
+            thread::sleep(Duration::from_millis(10));
+        };
+        assert!(status.success(), "{name} exited with {status}");
+    }
+}
+
+/// Reads a JSONL file back into events, asserting every line parses.
+fn parse_jsonl(path: &PathBuf) -> Vec<Event> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read JSONL at {path:?}: {e}"));
+    text.lines()
+        .map(|line| {
+            Event::parse_json_line(line)
+                .unwrap_or_else(|e| panic!("malformed JSONL line {line:?}: {e}"))
+        })
+        .collect()
+}
+
+#[test]
+fn observed_period_exports_metrics_and_renders_in_top() {
+    let jsonl_path = scratch_path("coordinator.jsonl");
+
+    let (m0, a0) = spawn_measurer(0, ITEMS);
+    let (m1, a1) = spawn_measurer(1, ITEMS);
+    // The relay's session quota is left above the period's demand so it
+    // is still alive (and serving metrics) after the period completes;
+    // it is killed at the end instead of draining on its own.
+    let (mut relay, relay_addr, metrics_addr) = spawn_advertised(
+        PathBuf::from(env!("CARGO_BIN_EXE_flashflow-relay")),
+        &relay_args(&[("--metrics-addr", "127.0.0.1:0".to_string())], 99),
+        true,
+    );
+    let metrics_addr = metrics_addr.expect("relay advertised its metrics endpoint");
+
+    let sink = EventSink::new()
+        .with_jsonl_path(jsonl_path.to_str().expect("utf-8 temp path"))
+        .expect("open coordinator JSONL");
+    let span = Span::root(sink.clone()).period(0);
+
+    let dep = deployment([a0, a1], relay_addr);
+    let period_items = items();
+    let pool = ConnectionPool::new();
+    let file = measure_echo_period_observed(&dep, &period_items, SHARDS, &pool, Some(&span));
+    assert_eq!(file.entries.len(), ITEMS);
+    assert!(file.run.all_clean(), "honest observed period must stay clean");
+
+    // --- the JSONL stream is schema-valid and complete -------------
+    let events = parse_jsonl(&jsonl_path);
+    assert_eq!(count_kind(&events, "period.start"), 1);
+    assert_eq!(count_kind(&events, "period.done"), 1);
+    assert_eq!(count_kind(&events, "target.estimate"), ITEMS);
+    assert_eq!(count_kind(&events, "pool.stats"), 1);
+    assert!(count_kind(&events, "slot.go") >= ITEMS, "every item releases a Go");
+    for group in 0..ITEMS {
+        let target_samples = events
+            .iter()
+            .filter(|e| {
+                e.kind == "sample"
+                    && e.scope.group == Some(group as u64)
+                    && e.field("role").and_then(Value::as_str) == Some("target")
+            })
+            .count();
+        assert!(
+            target_samples >= SLOT_SECS as usize,
+            "group {group}: expected a target-role sample per slot second, got {target_samples}"
+        );
+    }
+    let estimates: Vec<&Event> = events.iter().filter(|e| e.kind == "target.estimate").collect();
+    for (group, (item, entry)) in period_items.iter().zip(&file.entries).enumerate() {
+        let event = estimates
+            .iter()
+            .find(|e| e.scope.group == Some(group as u64))
+            .unwrap_or_else(|| panic!("no target.estimate for group {group}"));
+        assert_eq!(
+            event.field("fp").and_then(Value::as_str),
+            Some(hex_fp(&item.relay_fp).as_str())
+        );
+        assert_eq!(event.f64_field("capacity"), Some(entry.capacity.bytes_per_sec()));
+    }
+
+    // --- the machine-readable export matches the ledger ------------
+    let export = period_export(&dep, &period_items, &file);
+    let round_tripped =
+        PeriodExport::parse(&export.to_json_string()).expect("export JSON parses back");
+    assert_eq!(round_tripped, export, "PeriodExport must round-trip through its own JSON");
+    let text = export.text_summary();
+    for (target, entry) in export.targets.iter().zip(&file.entries) {
+        assert_eq!(
+            target.capacity_bytes_per_sec,
+            entry.capacity.bytes_per_sec(),
+            "export capacity diverged from the audit ledger"
+        );
+        assert!(
+            text.contains(&target.relay_fp[..8]),
+            "text summary must name target {}: {text}",
+            target.relay_fp
+        );
+    }
+    let pool_summary = export.pool.expect("pool stats must reach the export");
+    assert!(pool_summary.dials > 0, "the period dialed nothing: {pool_summary:?}");
+    assert!(pool_summary.reuses > 0, "warm connections should ride the pool across items");
+
+    // --- the relay's metrics endpoint saw the traffic --------------
+    let body = fetch_metrics(metrics_addr, &token_for(9), Duration::from_secs(5))
+        .expect("fetch relay metrics snapshot");
+    let snapshot = RegistrySnapshot::parse(&body).expect("snapshot JSON parses");
+    let counter = |name: &str| -> u64 {
+        snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("counter {name} missing from snapshot: {body}"))
+            .1
+    };
+    assert!(counter("relay.echo.verified_bytes") > 0, "relay verified no blast bytes");
+    assert!(counter("relay.echo.echoed_bytes") > 0, "relay echoed no bytes");
+    assert_eq!(counter("relay.echo.forged_bytes"), 0, "honest run forged bytes");
+    assert!(
+        counter("relay.reported_seconds") >= (ITEMS * SLOT_SECS as usize) as u64,
+        "relay reported fewer seconds than the period demanded"
+    );
+
+    // --- flashflow-top replays the stream into sparklines ----------
+    let top = Command::new(sibling_bin("flashflow-top"))
+        .args(["--replay", jsonl_path.to_str().expect("utf-8 temp path")])
+        .output()
+        .expect("run flashflow-top");
+    assert!(top.status.success(), "flashflow-top --replay failed: {top:?}");
+    let rendered = String::from_utf8(top.stdout).expect("utf-8 render");
+    assert!(rendered.contains("flashflow-top"), "missing header: {rendered}");
+    assert!(rendered.contains("period done"), "replay must reach period.done: {rendered}");
+    for item in &period_items {
+        let fp = hex_fp(&item.relay_fp);
+        assert!(rendered.contains(&fp[..8]), "target {fp} missing from render: {rendered}");
+    }
+    assert!(
+        rendered.chars().any(|c| ('\u{2581}'..='\u{2588}').contains(&c)),
+        "no sparkline glyphs in render: {rendered}"
+    );
+    assert!(rendered.contains("pool:"), "pool stats line missing from render: {rendered}");
+
+    drop(pool);
+    drop(file);
+    wait_exit_zero(vec![("measurer-0", m0), ("measurer-1", m1)]);
+    relay.kill().expect("kill relay");
+    let _ = relay.wait();
+    let _ = std::fs::remove_file(&jsonl_path);
+}
+
+#[test]
+fn lying_relay_writes_bg_divergence_into_its_own_jsonl() {
+    let relay_log = scratch_path("relay.jsonl");
+    let claim = 300_000u64;
+
+    let (m0, a0) = spawn_measurer(0, 1);
+    let (m1, a1) = spawn_measurer(1, 1);
+    let (relay, relay_addr, _) = spawn_advertised(
+        PathBuf::from(env!("CARGO_BIN_EXE_flashflow-relay")),
+        &relay_args(
+            &[
+                ("--claim-bg", claim.to_string()),
+                ("--log-json", relay_log.to_str().expect("utf-8 temp path").to_string()),
+            ],
+            1,
+        ),
+        false,
+    );
+
+    let one_item = vec![items().remove(0)];
+    let pool = ConnectionPool::new();
+    let file = flashflow_core::bwauth::measure_echo_period(
+        &deployment([a0, a1], relay_addr),
+        &one_item,
+        1,
+        &pool,
+    );
+    assert!(
+        file.entries[0].divergent_rows > 0,
+        "the coordinator's ledger must flag the inflated claim"
+    );
+
+    drop(pool);
+    drop(file);
+    // The relay exits on its session quota, closing (and flushing) its
+    // JSONL stream before we read it.
+    wait_exit_zero(vec![("measurer-0", m0), ("measurer-1", m1), ("relay", relay)]);
+
+    let events = parse_jsonl(&relay_log);
+    let divergences: Vec<&Event> = events.iter().filter(|e| e.kind == "bg.divergence").collect();
+    assert!(!divergences.is_empty(), "lying relay must log its own claimed-vs-metered divergence");
+    for event in &divergences {
+        assert_eq!(
+            event.u64_field("claimed"),
+            Some(claim),
+            "divergence event must carry the inflated claim: {event:?}"
+        );
+        let metered = event
+            .u64_field("metered")
+            .unwrap_or_else(|| panic!("divergence event lacks metered field: {event:?}"));
+        assert!(metered < claim, "metered background ({metered}) should be far below the claim");
+        assert!(event.scope.session.is_some(), "divergence must be session-scoped: {event:?}");
+    }
+    let _ = std::fs::remove_file(&relay_log);
+}

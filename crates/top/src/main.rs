@@ -1,0 +1,165 @@
+//! `flashflow-top` — the live operator dashboard.
+//!
+//! Three sources, one screen:
+//!
+//! * `--replay FILE` — fold a complete JSONL event file and print one
+//!   frame (no cursor control; CI- and pipe-friendly).
+//! * `--follow FILE` — tail a growing JSONL file, redrawing an ANSI
+//!   frame every `--interval` seconds; `--exit-on-done true` leaves
+//!   when the period finishes.
+//! * `--metrics ADDR --token-hex HEX` — fetch one registry snapshot
+//!   from a process's `--metrics-addr` endpoint and print it as a
+//!   table (`--watch true` to poll and redraw).
+
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::time::Duration;
+
+use flashflow_obs::{Event, RegistrySnapshot};
+use flashflow_top::TopState;
+
+const USAGE: &str = "usage: flashflow-top [--replay FILE | --follow FILE | --metrics ADDR]
+  --replay FILE      fold a complete JSONL event file, print one frame
+  --follow FILE      tail a JSONL file, redraw an ANSI frame per interval
+  --metrics ADDR     fetch a registry snapshot from a metrics endpoint
+  --token-hex HEX    auth token for --metrics (64 hex chars)
+  --interval SECS    redraw period for --follow/--watch (default 1.0)
+  --width COLS       frame width (default 100)
+  --exit-on-done B   with --follow: exit once period.done arrives (default true)
+  --watch B          with --metrics: poll and redraw instead of one shot
+  --config FILE      key=value file of the same settings";
+
+use flashflow_procutil as procutil;
+use procutil::AUTH_TOKEN_LEN;
+
+#[derive(Default)]
+struct Config {
+    replay: Option<String>,
+    follow: Option<String>,
+    metrics: Option<String>,
+    token: Option<[u8; AUTH_TOKEN_LEN]>,
+    interval: f64,
+    width: usize,
+    exit_on_done: bool,
+    watch: bool,
+}
+
+fn parse_config(args: impl Iterator<Item = String>) -> Result<Config, String> {
+    let mut cfg = Config { interval: 1.0, width: 100, exit_on_done: true, ..Config::default() };
+    let mut apply = |key: &str, value: &str| -> Result<(), String> {
+        match key {
+            "replay" => cfg.replay = Some(value.to_string()),
+            "follow" => cfg.follow = Some(value.to_string()),
+            "metrics" => cfg.metrics = Some(value.to_string()),
+            "token-hex" => cfg.token = Some(procutil::parse_token_hex(value)?),
+            "interval" => {
+                cfg.interval = value.parse().map_err(|e| format!("--interval: {e}"))?;
+            }
+            "width" => cfg.width = value.parse().map_err(|e| format!("--width: {e}"))?,
+            "exit-on-done" => {
+                cfg.exit_on_done = value.parse().map_err(|e| format!("--exit-on-done: {e}"))?;
+            }
+            "watch" => cfg.watch = value.parse().map_err(|e| format!("--watch: {e}"))?,
+            other => return Err(format!("unknown flag --{other}\n{USAGE}")),
+        }
+        Ok(())
+    };
+    procutil::parse_args(args, USAGE, &mut apply)?;
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = match parse_config(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let result = if let Some(path) = &cfg.replay {
+        replay(path, cfg.width)
+    } else if let Some(path) = &cfg.follow {
+        follow(path, &cfg)
+    } else if let Some(addr) = &cfg.metrics {
+        metrics(addr, &cfg)
+    } else {
+        Err(USAGE.to_string())
+    };
+    if let Err(msg) = result {
+        eprintln!("flashflow-top: {msg}");
+        std::process::exit(1);
+    }
+}
+
+/// Folds `line` into `state`; malformed lines are counted, not fatal
+/// (a live file's last line may be mid-write).
+fn fold_line(state: &mut TopState, line: &str, bad: &mut u64) {
+    let line = line.trim();
+    if line.is_empty() {
+        return;
+    }
+    match Event::parse_json_line(line) {
+        Ok(ev) => state.apply(&ev),
+        Err(_) => *bad += 1,
+    }
+}
+
+fn replay(path: &str, width: usize) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--replay {path}: {e}"))?;
+    let mut state = TopState::new();
+    let mut bad = 0u64;
+    for line in text.lines() {
+        fold_line(&mut state, line, &mut bad);
+    }
+    print!("{}", state.render(width));
+    if bad > 0 {
+        println!("({bad} malformed lines skipped)");
+    }
+    Ok(())
+}
+
+fn follow(path: &str, cfg: &Config) -> Result<(), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("--follow {path}: {e}"))?;
+    let mut reader = BufReader::new(file);
+    let mut state = TopState::new();
+    let mut bad = 0u64;
+    let mut buf = String::new();
+    loop {
+        loop {
+            buf.clear();
+            let n = reader.read_line(&mut buf).map_err(|e| e.to_string())?;
+            if n == 0 {
+                break;
+            }
+            if !buf.ends_with('\n') {
+                // Partial tail line: rewind so the next pass rereads it
+                // once the writer finishes.
+                let len = buf.len() as i64;
+                reader.seek(SeekFrom::Current(-len)).map_err(|e| e.to_string())?;
+                break;
+            }
+            fold_line(&mut state, &buf, &mut bad);
+        }
+        print!("{}", state.render_ansi(cfg.width));
+        if cfg.exit_on_done && state.period_done {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_secs_f64(cfg.interval.max(0.05)));
+    }
+}
+
+fn metrics(addr: &str, cfg: &Config) -> Result<(), String> {
+    let token = cfg.token.ok_or("--metrics needs --token-hex")?;
+    let addr: std::net::SocketAddr = addr.parse().map_err(|e| format!("--metrics {addr}: {e}"))?;
+    loop {
+        let body = procutil::fetch_metrics(addr, &token, Duration::from_secs(10))
+            .map_err(|e| format!("fetch {addr}: {e}"))?;
+        let snap = RegistrySnapshot::parse(&body)?;
+        if cfg.watch {
+            print!("\x1b[2J\x1b[H{}", snap.to_text());
+            std::thread::sleep(Duration::from_secs_f64(cfg.interval.max(0.05)));
+        } else {
+            print!("{}", snap.to_text());
+            return Ok(());
+        }
+    }
+}
