@@ -282,7 +282,8 @@ fn instrumentation_overhead_guard() {
     out.pop();
     out.pop();
     out.push("BENCH_obs.json");
-    std::fs::write(&out, format!("{doc}\n")).expect("write BENCH_obs.json");
+    flashflow_procutil::atomic_write(&out, format!("{doc}\n").as_bytes())
+        .expect("write BENCH_obs.json");
     println!("wrote {}", out.display());
 
     assert!(

@@ -1,0 +1,527 @@
+//! The period loop: recover → schedule → measure → journal → consensus.
+//!
+//! [`run_period`] drives one full roster pass against live
+//! `flashflow-measurer` / `flashflow-relay` processes. It is restart
+//! shaped end to end:
+//!
+//! * before commanding anything it replays the journal
+//!   ([`crate::journal::recover`]) and removes already-completed relays
+//!   from the plan;
+//! * relays the journal shows *in flight* are re-commanded as attempt
+//!   `n+1` with the **journaled** secret, so their control sessions
+//!   open with the v5 `Resume` handshake and the peers re-adopt the
+//!   parked conversations instead of replay-rejecting the re-derived
+//!   nonces;
+//! * every item start and completion is journaled before/after the
+//!   round runs, so the next incarnation — however this one dies —
+//!   knows exactly what remains.
+//!
+//! When the roster is complete the loop closes: the accumulated
+//! estimates become one BWAuth's vote, `flashflow-tornet`'s
+//! [`DirAuths`] vote the
+//! consensus, `flashflow-balance`'s TorFlow pipeline provides the
+//! baseline weight set the paper compares against (§8), and the
+//! consensus document is written atomically next to the journal.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use flashflow_core::bwauth::measure_echo_period_observed;
+use flashflow_core::echo::{EchoDeployment, EchoItem};
+use flashflow_core::pool::ConnectionPool;
+use flashflow_obs::{fields, Counter, Gauge, Json, MetricsRegistry, Span};
+use flashflow_simnet::time::SimTime;
+use flashflow_simnet::units::Rate;
+use flashflow_tornet::consensus::DirAuths;
+use flashflow_tornet::netbuild::TorNet;
+use flashflow_tornet::relay::RelayConfig;
+
+use crate::journal::{self, DoneItem, Record};
+use crate::roster::{self, Roster, RosterSource};
+use crate::scheduler::{plan_rounds, PlanConfig};
+
+/// Everything one period run needs beyond the deployment itself.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Journal, consensus, and period files live here.
+    pub state_dir: PathBuf,
+    /// Roster population source.
+    pub source: RosterSource,
+    /// Roster seed (fingerprints and priors derive from it).
+    pub seed: u64,
+    /// Roster size override (`None` keeps the source's default).
+    pub relays: Option<usize>,
+    /// Root for per-item measurement secrets (fresh attempts only; the
+    /// journal is the authority for resumed ones).
+    pub secret_seed: u64,
+    /// Slot length commanded per item (sped-up seconds).
+    pub slot_secs: u32,
+    /// Background allowance commanded of the relay (bytes/s).
+    pub bg_allowance: u64,
+    /// Aggregate team blast budget for round packing (bytes/s).
+    pub team_capacity: f64,
+    /// Hard cap on items per round (`0` = capacity-bound only).
+    pub round_max: usize,
+    /// Shard worker threads per round.
+    pub shards: usize,
+    /// Directory authorities voting the consensus.
+    pub dirauths: usize,
+}
+
+impl DaemonConfig {
+    /// The journal file path.
+    pub fn journal_path(&self) -> PathBuf {
+        self.state_dir.join("journal.jsonl")
+    }
+
+    /// The consensus document path.
+    pub fn consensus_path(&self) -> PathBuf {
+        self.state_dir.join("consensus.json")
+    }
+
+    /// The per-period bandwidth-file path.
+    pub fn period_path(&self) -> PathBuf {
+        self.state_dir.join("period.json")
+    }
+}
+
+/// Coordinator-side metric handles (served by `--metrics-addr`, read by
+/// `flashflow-top --coord`).
+#[derive(Clone)]
+pub struct CoordMetrics {
+    /// Rounds completed across the process lifetime.
+    pub rounds: Counter,
+    /// Items measured to completion.
+    pub items_done: Counter,
+    /// Items re-commanded with a `Resume` handshake after a restart.
+    pub items_resumed: Counter,
+    /// Periods completed (consensus emitted).
+    pub periods: Counter,
+    /// Current roster size.
+    pub roster_total: Gauge,
+    /// Relays still unmeasured in the current period.
+    pub roster_remaining: Gauge,
+}
+
+impl CoordMetrics {
+    /// Registers the coordinator's metrics in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        CoordMetrics {
+            rounds: registry.counter("coord.rounds_done"),
+            items_done: registry.counter("coord.items_done"),
+            items_resumed: registry.counter("coord.items_resumed"),
+            periods: registry.counter("coord.periods_done"),
+            roster_total: registry.gauge("coord.roster_total"),
+            roster_remaining: registry.gauge("coord.roster_remaining"),
+        }
+    }
+}
+
+/// What one [`run_period`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodOutcome {
+    /// The period's sequence number.
+    pub period: u64,
+    /// Relays measured by *this* incarnation.
+    pub measured: usize,
+    /// Relays skipped because the journal already had them done.
+    pub recovered_done: usize,
+    /// Relays re-commanded with attempt `n+1` (resumed sessions).
+    pub resumed: usize,
+    /// Rounds this incarnation ran.
+    pub rounds: usize,
+    /// True if SIGTERM cut the roster walk short (no consensus; the
+    /// journal carries the remainder for the next incarnation).
+    pub drained: bool,
+    /// Consensus entries voted (0 when drained).
+    pub consensus_entries: usize,
+}
+
+/// Runs one measurement period: walks the roster remainder in rounds
+/// against the deployment's processes, journaling every step, and —
+/// when the roster completes — votes and writes the consensus.
+/// `draining` is polled between rounds (SIGTERM leaves a resumable
+/// journal rather than finishing the walk).
+///
+/// # Errors
+/// Journal/output I/O failures. Measurement failures are not errors:
+/// they surface as unclean/degraded entries, exactly like the library
+/// path.
+pub fn run_period(
+    cfg: &DaemonConfig,
+    deployment: &EchoDeployment,
+    pool: &ConnectionPool,
+    span: &Span,
+    metrics: &CoordMetrics,
+    draining: &dyn Fn() -> bool,
+) -> io::Result<PeriodOutcome> {
+    std::fs::create_dir_all(&cfg.state_dir)?;
+    let journal_path = cfg.journal_path();
+    let roster = roster::build(cfg.source, cfg.seed, cfg.relays);
+    let state = journal::recover(&journal_path)?;
+    metrics.roster_total.set(roster.entries.len() as i64);
+
+    // A finished (or never-started) journal begins a fresh period;
+    // anything else continues the period the journal describes.
+    let fresh = !state.period_started || state.period_done;
+    let period = if fresh { state.period + 1 } else { state.period };
+    if fresh {
+        journal::append(
+            &journal_path,
+            &Record::PeriodStart {
+                period,
+                roster: roster.entries.len() as u64,
+                seed: cfg.seed,
+                source: cfg.source.name().to_string(),
+                ts: journal::now_ts(),
+            },
+        )?;
+    }
+    let mut done: BTreeMap<u64, DoneItem> = if fresh { BTreeMap::new() } else { state.done };
+    let in_flight = if fresh { BTreeMap::new() } else { state.in_flight };
+    let recovered_done = done.len();
+    if state.torn_lines > 0 {
+        span.emit("journal.torn", fields![lines = state.torn_lines]);
+    }
+    span.emit(
+        "coord.period",
+        fields![
+            period = period,
+            roster = roster.entries.len() as u64,
+            recovered = recovered_done as u64,
+            in_flight = in_flight.len() as u64,
+        ],
+    );
+
+    let pending: Vec<_> =
+        roster.entries.iter().filter(|e| !done.contains_key(&(e.ix as u64))).copied().collect();
+    metrics.roster_remaining.set(pending.len() as i64);
+    let per_item_blast: f64 =
+        deployment.measurers.iter().map(|m| m.rate_cap as f64).sum::<f64>().max(1.0);
+    let plan =
+        PlanConfig { team_capacity: cfg.team_capacity, per_item_blast, round_max: cfg.round_max };
+    let rounds = plan_rounds(&pending, &plan);
+    let total_rounds = rounds.len();
+
+    let mut measured = 0usize;
+    let mut resumed = 0usize;
+    let mut rounds_run = 0usize;
+    for (round_ix, round) in rounds.into_iter().enumerate() {
+        if draining() {
+            span.emit("coord.drain", fields![pending = (pending.len() - measured) as u64]);
+            return Ok(PeriodOutcome {
+                period,
+                measured,
+                recovered_done,
+                resumed,
+                rounds: rounds_run,
+                drained: true,
+                consensus_entries: 0,
+            });
+        }
+        let mut items = Vec::with_capacity(round.items.len());
+        for &ix in &round.items {
+            let entry = roster.entries[ix];
+            // The journal is the authority for a resumed item's secret:
+            // attempt n+1 must re-derive attempt n's nonces from the
+            // *same* secret or the Resume lineage proof fails.
+            let (secret, attempt) = match in_flight.get(&(ix as u64)) {
+                Some(parked) => (parked.secret, u32::try_from(parked.attempt + 1).unwrap_or(1)),
+                None => (roster::item_secret(cfg.secret_seed, ix), 0),
+            };
+            if attempt > 0 {
+                resumed += 1;
+                metrics.items_resumed.inc();
+                span.emit("item.resumed", fields![ix = ix as u64, attempt = attempt]);
+            }
+            journal::append(
+                &journal_path,
+                &Record::ItemStart {
+                    ix: ix as u64,
+                    fp: hex(&entry.fp),
+                    secret,
+                    attempt: u64::from(attempt),
+                    ts: journal::now_ts(),
+                },
+            )?;
+            items.push(EchoItem {
+                relay_fp: entry.fp,
+                slot_secs: cfg.slot_secs,
+                bg_allowance: cfg.bg_allowance,
+                measurement_secret: secret,
+                attempt,
+            });
+        }
+        span.emit(
+            "round.start",
+            fields![round = round_ix as u64, of = total_rounds as u64, items = items.len() as u64],
+        );
+        let file = measure_echo_period_observed(deployment, &items, cfg.shards, pool, Some(span));
+        for (entry, &ix) in file.entries.iter().zip(&round.items) {
+            journal::append(
+                &journal_path,
+                &Record::ItemDone {
+                    ix: ix as u64,
+                    fp: hex(&entry.relay_fp),
+                    capacity: entry.capacity.bytes_per_sec(),
+                    clean: entry.clean,
+                    divergent: entry.divergent_rows as u64,
+                    ts: journal::now_ts(),
+                },
+            )?;
+            done.insert(
+                ix as u64,
+                DoneItem {
+                    fp: hex(&entry.relay_fp),
+                    capacity: entry.capacity.bytes_per_sec(),
+                    clean: entry.clean,
+                    divergent: entry.divergent_rows as u64,
+                },
+            );
+            measured += 1;
+            metrics.items_done.inc();
+        }
+        metrics.roster_remaining.set((pending.len() - measured) as i64);
+        journal::append(
+            &journal_path,
+            &Record::RoundDone {
+                round: round_ix as u64,
+                items: round.items.len() as u64,
+                ts: journal::now_ts(),
+            },
+        )?;
+        rounds_run += 1;
+        metrics.rounds.inc();
+    }
+
+    // Roster complete: write the bandwidth file, vote the consensus,
+    // then seal the period in the journal (in that order — a crash
+    // between the writes re-votes from the journal next time, which is
+    // idempotent).
+    write_period_file(&cfg.period_path(), period, &done)?;
+    let consensus = vote_consensus(cfg, &roster, &done, span)?;
+    journal::append(
+        &journal_path,
+        &Record::PeriodDone { period, entries: done.len() as u64, ts: journal::now_ts() },
+    )?;
+    metrics.periods.inc();
+    span.emit(
+        "period.complete",
+        fields![period = period, entries = done.len() as u64, consensus = consensus as u64],
+    );
+    Ok(PeriodOutcome {
+        period,
+        measured,
+        recovered_done,
+        resumed,
+        rounds: rounds_run,
+        drained: false,
+        consensus_entries: consensus,
+    })
+}
+
+/// Lowercase hex of a fingerprint.
+pub fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Writes the period's bandwidth file (the deployment twin of the
+/// simulated `BandwidthFile`) atomically.
+fn write_period_file(path: &Path, period: u64, done: &BTreeMap<u64, DoneItem>) -> io::Result<()> {
+    let entries: Vec<Json> = done
+        .iter()
+        .map(|(ix, d)| {
+            Json::Obj(vec![
+                ("ix".into(), Json::Int(i128::from(*ix))),
+                ("fp".into(), Json::Str(d.fp.clone())),
+                ("capacity".into(), Json::Num(d.capacity)),
+                ("clean".into(), Json::Bool(d.clean)),
+                ("divergent".into(), Json::Int(i128::from(d.divergent))),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("flashflow.coord.period.v1".into())),
+        ("period".into(), Json::Int(i128::from(period))),
+        ("entries".into(), Json::Arr(entries)),
+    ]);
+    flashflow_procutil::atomic_write(path, format!("{doc}\n").as_bytes())
+}
+
+/// Votes the consensus from the period's estimates and writes the
+/// document atomically. Returns how many relays made it in.
+///
+/// Estimate → vote → consensus follows the paper's pipeline: each
+/// relay's accepted capacity is the BWAuth's weight vote (§4.3);
+/// `dirauths` authorities vote (all trusting this team's file — the
+/// single-team deployment), the low-median survives; the TorFlow
+/// baseline (`flashflow-balance`, §8's comparison system) weights the
+/// same network as `prior × measured/mean`, and the document records
+/// how far the two normalized weight sets diverge.
+fn vote_consensus(
+    cfg: &DaemonConfig,
+    roster: &Roster,
+    done: &BTreeMap<u64, DoneItem>,
+    span: &Span,
+) -> io::Result<usize> {
+    // Mint simulated RelayIds for the roster: the consensus machinery
+    // is keyed by them, and they are deliberately not constructible
+    // outside flashflow-tornet.
+    let mut tor = TorNet::new();
+    let host = tor.add_host(flashflow_simnet::host::HostProfile::new(
+        "coord-consensus",
+        Rate::from_gbit(1.0),
+    ));
+    let ids: Vec<_> = (0..roster.entries.len())
+        .map(|ix| tor.add_relay(host, RelayConfig::new(format!("roster-{ix}"))))
+        .collect();
+
+    let mut weights = BTreeMap::new();
+    let mut advertised = BTreeMap::new();
+    let mut speeds = BTreeMap::new();
+    for entry in &roster.entries {
+        let id = ids[entry.ix];
+        advertised.insert(id, Rate::from_bytes_per_sec(entry.prior));
+        if let Some(d) = done.get(&(entry.ix as u64)) {
+            weights.insert(id, d.capacity);
+            speeds.insert(id, d.capacity);
+        }
+    }
+    let votes = vec![weights; cfg.dirauths.max(1)];
+    let consensus = DirAuths::new(cfg.dirauths.max(1)).vote(SimTime::ZERO, &votes, &advertised);
+
+    // The §8 baseline: what TorFlow would have voted from the same
+    // priors (as self-reports) and measurements (as probe speeds).
+    let torflow = flashflow_balance::torflow::compute_weights(&advertised, &speeds);
+    let torflow_total: f64 = torflow.values().sum();
+    let normalized = consensus.normalized();
+    let mut max_diff = 0.0f64;
+    let mut sum_diff = 0.0f64;
+    let mut entries = Vec::new();
+    for (relay, norm) in &normalized {
+        let ix = ids.iter().position(|r| r == relay).expect("minted id");
+        let weight = consensus.entries.iter().find(|e| e.relay == *relay).map_or(0.0, |e| e.weight);
+        let tf_norm = if torflow_total > 0.0 {
+            torflow.get(relay).copied().unwrap_or(0.0) / torflow_total
+        } else {
+            0.0
+        };
+        let diff = (norm - tf_norm).abs();
+        max_diff = max_diff.max(diff);
+        sum_diff += diff;
+        entries.push(Json::Obj(vec![
+            ("ix".into(), Json::Int(ix as i128)),
+            ("fp".into(), Json::Str(hex(&roster.entries[ix].fp))),
+            ("weight".into(), Json::Num(weight)),
+            ("normalized".into(), Json::Num(*norm)),
+            ("prior".into(), Json::Num(roster.entries[ix].prior)),
+            ("torflow_normalized".into(), Json::Num(tf_norm)),
+        ]));
+    }
+    let count = entries.len();
+    let mean_diff = if count > 0 { sum_diff / count as f64 } else { 0.0 };
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("flashflow.coord.consensus.v1".into())),
+        ("dirauths".into(), Json::Int(cfg.dirauths.max(1) as i128)),
+        ("roster".into(), Json::Int(roster.entries.len() as i128)),
+        ("measured".into(), Json::Int(done.len() as i128)),
+        ("entries".into(), Json::Arr(entries)),
+        (
+            "balance".into(),
+            Json::Obj(vec![
+                ("baseline".into(), Json::Str("torflow".into())),
+                ("max_abs_diff".into(), Json::Num(max_diff)),
+                ("mean_abs_diff".into(), Json::Num(mean_diff)),
+            ]),
+        ),
+    ]);
+    flashflow_procutil::atomic_write(&cfg.consensus_path(), format!("{doc}\n").as_bytes())?;
+    span.emit(
+        "consensus.voted",
+        fields![entries = count as u64, max_abs_diff = max_diff, mean_abs_diff = mean_diff],
+    );
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashflow_obs::EventSink;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ff-coord-daemon-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mk temp dir");
+        dir
+    }
+
+    #[test]
+    fn consensus_includes_every_measured_relay_and_the_torflow_baseline() {
+        let dir = temp_dir("vote");
+        let cfg = DaemonConfig {
+            state_dir: dir.clone(),
+            source: RosterSource::Shadow,
+            seed: 5,
+            relays: Some(4),
+            secret_seed: 1,
+            slot_secs: 1,
+            bg_allowance: 0,
+            team_capacity: 1e9,
+            round_max: 0,
+            shards: 1,
+            dirauths: 3,
+        };
+        let roster = roster::build(cfg.source, cfg.seed, cfg.relays);
+        let mut done = BTreeMap::new();
+        for entry in &roster.entries {
+            done.insert(
+                entry.ix as u64,
+                DoneItem {
+                    fp: hex(&entry.fp),
+                    // Measured ≈ prior: the consensus should then track
+                    // capacity shares.
+                    capacity: entry.prior * 1.01,
+                    clean: true,
+                    divergent: 0,
+                },
+            );
+        }
+        let span = Span::root(EventSink::new());
+        let n = vote_consensus(&cfg, &roster, &done, &span).expect("vote");
+        assert_eq!(n, 4);
+
+        let text = std::fs::read_to_string(cfg.consensus_path()).expect("consensus written");
+        let doc = Json::parse(text.trim()).expect("valid json");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("flashflow.coord.consensus.v1"));
+        let entries = doc.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 4);
+        let norm_sum: f64 =
+            entries.iter().map(|e| e.get("normalized").unwrap().as_f64().unwrap()).sum();
+        assert!((norm_sum - 1.0).abs() < 1e-9, "normalized weights sum to 1: {norm_sum}");
+        // Measured == 1.01 × prior, so FlashFlow's shares equal the
+        // capacity shares and TorFlow's (prior × speed/mean) skews
+        // toward large relays — the balance block must report a real,
+        // finite divergence.
+        let balance = doc.get("balance").unwrap();
+        let max_diff = balance.get("max_abs_diff").unwrap().as_f64().unwrap();
+        assert!(max_diff.is_finite());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn period_file_is_written_atomically_with_all_entries() {
+        let dir = temp_dir("period");
+        let path = dir.join("period.json");
+        let mut done = BTreeMap::new();
+        done.insert(
+            0u64,
+            DoneItem { fp: "aa".repeat(20), capacity: 5.5, clean: true, divergent: 0 },
+        );
+        write_period_file(&path, 3, &done).expect("write");
+        let doc = Json::parse(std::fs::read_to_string(&path).unwrap().trim()).unwrap();
+        assert_eq!(doc.get("period").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("entries").unwrap().as_arr().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

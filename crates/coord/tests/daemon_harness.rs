@@ -1,0 +1,359 @@
+//! The daemon harness: `flashflow-coord` as a real process driving real
+//! `flashflow-measurer` / `flashflow-relay` processes over loopback.
+//!
+//! Two scenarios:
+//!
+//! 1. **End to end** — one `--once` daemon invocation walks a small
+//!    Shadow roster against the live team, and the state directory ends
+//!    up with a sealed journal, a period file, and a consensus document
+//!    whose normalized weights sum to 1 with the TorFlow-baseline
+//!    comparison attached.
+//! 2. **Crash recovery** — the daemon is SIGKILLed mid-roster (after
+//!    the journal proves an item is in flight), restarted against the
+//!    same state directory, and must finish the period **without
+//!    re-measuring a completed relay**, re-running the interrupted item
+//!    as attempt `n+1` (journal shows a resumed `item.start`), against
+//!    the *same* long-lived peer processes — which then drain to exit 0
+//!    on SIGTERM, proving the parked sessions were re-adopted, not
+//!    orphaned.
+
+use std::io::{BufRead, BufReader, Read as _};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use flashflow_coord::journal;
+use flashflow_obs::Json;
+use flashflow_proto::msg::AUTH_TOKEN_LEN;
+
+/// Both sides run their clocks at this multiple of wall time.
+const SPEEDUP: f64 = 10.0;
+
+fn token_for(peer_ix: usize) -> [u8; AUTH_TOKEN_LEN] {
+    [peer_ix as u8 + 0x31; AUTH_TOKEN_LEN]
+}
+
+fn token_hex(peer_ix: usize) -> String {
+    token_for(peer_ix).iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Locates a sibling workspace binary next to this test's own
+/// executable, asking cargo to (re)build it first (fast no-op when
+/// current; a filtered `cargo test -p flashflow-coord` does not build
+/// other packages' binaries by itself).
+fn sibling_bin(name: &str) -> PathBuf {
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // deps/
+    path.pop(); // target/<profile>/
+    let release = path.ends_with("release");
+    path.push(name);
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut build = Command::new(cargo);
+    build.args(["build", "-p", name, "--bin", name]);
+    if release {
+        build.arg("--release");
+    }
+    let status = build.status().expect("spawn cargo build for sibling binary");
+    assert!(status.success(), "building {name} failed");
+    assert!(path.exists(), "sibling binary {name} not found at {path:?}");
+    path
+}
+
+fn child_stderr() -> Stdio {
+    if std::env::var_os("FF_COORD_DEBUG").is_some() {
+        Stdio::inherit()
+    } else {
+        Stdio::null()
+    }
+}
+
+/// Spawns a process and reads its advertised `listening <addr>` line.
+fn spawn_listener(bin: PathBuf, args: &[String]) -> (Child, SocketAddr) {
+    let mut child = Command::new(&bin)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(child_stderr())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {bin:?}: {e}"));
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read advertised address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected stdout line: {line:?}"))
+        .parse()
+        .expect("parse advertised address");
+    (child, addr)
+}
+
+/// Spawns a measurer that serves until SIGTERM (no `--sessions`): the
+/// daemon's peers must outlive any one coordinator incarnation.
+fn spawn_measurer(peer_ix: usize) -> (Child, SocketAddr) {
+    let args: Vec<String> = [
+        "--listen",
+        "127.0.0.1:0",
+        "--role",
+        "measurer",
+        "--token-hex",
+        &token_hex(peer_ix),
+        "--speedup",
+        &SPEEDUP.to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    spawn_listener(sibling_bin("flashflow-measurer"), &args)
+}
+
+fn spawn_relay() -> (Child, SocketAddr) {
+    let args: Vec<String> = [
+        "--listen",
+        "127.0.0.1:0",
+        "--token-hex",
+        &token_hex(9),
+        "--background",
+        "20000",
+        "--speedup",
+        &SPEEDUP.to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    spawn_listener(sibling_bin("flashflow-relay"), &args)
+}
+
+/// Spawns `flashflow-coord` against the peers; stdout is piped for the
+/// caller to drain.
+fn spawn_coord(
+    state_dir: &Path,
+    measurers: &[SocketAddr],
+    relay: SocketAddr,
+    relays: usize,
+    slot_secs: u32,
+) -> Child {
+    let mut args: Vec<String> = Vec::new();
+    for (k, v) in [
+        ("--state-dir", state_dir.display().to_string()),
+        ("--roster", "shadow".to_string()),
+        ("--seed", "7".to_string()),
+        ("--relays", relays.to_string()),
+        ("--relay", relay.to_string()),
+        ("--token-hex", token_hex(0)),
+        ("--relay-token-hex", token_hex(9)),
+        ("--measurer-rate", "200000".to_string()),
+        ("--slot-secs", slot_secs.to_string()),
+        ("--speedup", SPEEDUP.to_string()),
+        ("--shards", "1".to_string()),
+        ("--dirauths", "3".to_string()),
+        ("--once", "true".to_string()),
+    ] {
+        args.push(k.to_string());
+        args.push(v);
+    }
+    for m in measurers {
+        args.push("--measurer".to_string());
+        args.push(m.to_string());
+    }
+    Command::new(PathBuf::from(env!("CARGO_BIN_EXE_flashflow-coord")))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(child_stderr())
+        .spawn()
+        .expect("spawn flashflow-coord")
+}
+
+/// Waits for a child to exit 0 (30 s deadline) and returns its stdout.
+fn wait_success(name: &str, mut child: Child) -> String {
+    let mut stdout = child.stdout.take().expect("child stdout");
+    let reader = thread::spawn(move || {
+        let mut text = String::new();
+        let _ = stdout.read_to_string(&mut text);
+        text
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("{name} did not exit");
+        }
+        thread::sleep(Duration::from_millis(10));
+    };
+    let text = reader.join().expect("join stdout reader");
+    assert!(status.success(), "{name} exited with {status}; stdout:\n{text}");
+    text
+}
+
+/// SIGTERMs the long-lived peers and asserts they drain to exit 0 —
+/// the "no orphaned sessions" check: a peer wedged on a parked
+/// conversation would blow the deadline instead.
+fn terminate_peers(children: Vec<(&'static str, Child)>) {
+    for (name, mut child) in children {
+        unsafe {
+            extern "C" {
+                fn kill(pid: i32, sig: i32) -> i32;
+            }
+            assert_eq!(kill(child.id() as i32, 15), 0, "SIGTERM {name}");
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let status = loop {
+            if let Some(status) = child.try_wait().expect("try_wait") {
+                break status;
+            }
+            if Instant::now() >= deadline {
+                let _ = child.kill();
+                panic!("{name} did not drain after SIGTERM");
+            }
+            thread::sleep(Duration::from_millis(10));
+        };
+        assert!(status.success(), "{name} exited with {status}");
+    }
+}
+
+fn temp_state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ff-coord-harness-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mk state dir");
+    dir
+}
+
+fn read_consensus(state_dir: &Path) -> Json {
+    let text =
+        std::fs::read_to_string(state_dir.join("consensus.json")).expect("consensus written");
+    Json::parse(text.trim()).expect("consensus parses")
+}
+
+#[test]
+fn daemon_measures_the_roster_and_emits_a_consensus() {
+    const RELAYS: usize = 4;
+    let state_dir = temp_state_dir("e2e");
+    let (m0, a0) = spawn_measurer(0);
+    let (m1, a1) = spawn_measurer(0); // same team token: one --token-hex
+    let (relay, relay_addr) = spawn_relay();
+
+    let coord = spawn_coord(&state_dir, &[a0, a1], relay_addr, RELAYS, 2);
+    let stdout = wait_success("flashflow-coord", coord);
+    assert!(
+        stdout.contains(&format!("coordinating {RELAYS} relays")),
+        "missing roster banner:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(&format!("period 1 complete entries {RELAYS}")),
+        "missing completion line:\n{stdout}"
+    );
+
+    // The journal sealed the period, with every relay measured once.
+    let state = journal::recover(&state_dir.join("journal.jsonl")).expect("recover");
+    assert_eq!(state.period, 1);
+    assert!(state.period_done, "period must be sealed");
+    assert_eq!(state.done.len(), RELAYS);
+    assert!(state.in_flight.is_empty());
+    assert!(state.done.values().all(|d| d.clean), "honest peers: {:?}", state.done);
+
+    // The consensus document: every relay voted in, weights normalized,
+    // the TorFlow baseline alongside.
+    let doc = read_consensus(&state_dir);
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("flashflow.coord.consensus.v1"));
+    assert_eq!(doc.get("measured").unwrap().as_u64(), Some(RELAYS as u64));
+    let entries = doc.get("entries").unwrap().as_arr().unwrap();
+    assert_eq!(entries.len(), RELAYS);
+    let norm_sum: f64 =
+        entries.iter().map(|e| e.get("normalized").unwrap().as_f64().unwrap()).sum();
+    assert!((norm_sum - 1.0).abs() < 1e-9, "normalized weights sum to 1: {norm_sum}");
+    let balance = doc.get("balance").unwrap();
+    assert_eq!(balance.get("baseline").unwrap().as_str(), Some("torflow"));
+    assert!(balance.get("max_abs_diff").unwrap().as_f64().unwrap().is_finite());
+
+    terminate_peers(vec![("measurer-0", m0), ("measurer-1", m1), ("relay", relay)]);
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn sigkilled_daemon_resumes_the_roster_without_remeasuring() {
+    const RELAYS: usize = 3;
+    let state_dir = temp_state_dir("crash");
+    let journal_path = state_dir.join("journal.jsonl");
+    let (m0, a0) = spawn_measurer(0);
+    let (m1, a1) = spawn_measurer(0);
+    let (relay, relay_addr) = spawn_relay();
+
+    // Incarnation 1: slot long enough (8 sped-up seconds ≈ 0.8 s wall
+    // per item, one item per round) that the kill lands mid-roster.
+    let mut first = spawn_coord(&state_dir, &[a0, a1], relay_addr, RELAYS, 8);
+    // Wait for the journal to prove an item is in flight...
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let text = std::fs::read_to_string(&journal_path).unwrap_or_default();
+        if text.contains("item.start") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no item.start journaled; journal:\n{text}");
+        thread::sleep(Duration::from_millis(20));
+    }
+    // ...then SIGKILL mid-measurement. No drain, no goodbye: the peers'
+    // sessions are parked with the item's nonces in their replay
+    // windows.
+    thread::sleep(Duration::from_millis(200));
+    first.kill().expect("SIGKILL coordinator");
+    let _ = first.wait();
+
+    let killed_state = journal::recover(&journal_path).expect("recover after kill");
+    assert!(!killed_state.period_done, "the kill must land mid-period");
+    let done_before: Vec<u64> = killed_state.done.keys().copied().collect();
+    assert!(
+        killed_state.done.len() < RELAYS,
+        "the kill landed too late to exercise recovery (done: {done_before:?})"
+    );
+
+    // Incarnation 2: same state dir, same peers. It must finish the
+    // period — resuming, not restarting.
+    let second = spawn_coord(&state_dir, &[a0, a1], relay_addr, RELAYS, 8);
+    let stdout = wait_success("flashflow-coord (restarted)", second);
+    assert!(
+        stdout.contains(&format!("period 1 complete entries {RELAYS}")),
+        "restart must complete period 1:\n{stdout}"
+    );
+
+    // The journal tells the whole story: one period, every relay done
+    // exactly once, and the interrupted item re-commanded as a resumed
+    // attempt.
+    let text = std::fs::read_to_string(&journal_path).expect("journal");
+    let records: Vec<journal::Record> = text.lines().filter_map(journal::Record::parse).collect();
+    let period_starts =
+        records.iter().filter(|r| matches!(r, journal::Record::PeriodStart { .. })).count();
+    assert_eq!(period_starts, 1, "the restart must continue period 1, not begin period 2");
+    let mut done_count = std::collections::BTreeMap::new();
+    let mut resumed_starts = 0u64;
+    for record in &records {
+        match record {
+            journal::Record::ItemDone { ix, .. } => *done_count.entry(*ix).or_insert(0u32) += 1,
+            journal::Record::ItemStart { attempt, .. } if *attempt > 0 => resumed_starts += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(done_count.len(), RELAYS, "every relay measured: {done_count:?}");
+    assert!(done_count.values().all(|&n| n == 1), "no relay may be measured twice: {done_count:?}");
+    assert!(resumed_starts >= 1, "the interrupted item must restart as attempt n+1");
+    for ix in done_before {
+        assert_eq!(done_count.get(&ix), Some(&1), "completed item {ix} must not re-run");
+    }
+
+    let state = journal::recover(&journal_path).expect("recover final");
+    assert!(state.period_done);
+    assert_eq!(state.resumed_starts, resumed_starts);
+
+    // The consensus covers the full roster despite the crash.
+    let doc = read_consensus(&state_dir);
+    assert_eq!(doc.get("measured").unwrap().as_u64(), Some(RELAYS as u64));
+    assert_eq!(doc.get("entries").unwrap().as_arr().unwrap().len(), RELAYS);
+
+    // And the peers drain cleanly: the SIGKILL orphaned nothing they
+    // cannot let go of.
+    terminate_peers(vec![("measurer-0", m0), ("measurer-1", m1), ("relay", relay)]);
+    let _ = std::fs::remove_dir_all(&state_dir);
+}

@@ -97,6 +97,26 @@ pub struct EchoItem {
     /// item receives it in its `MeasureCmd`; the echo channels derive
     /// their binding nonce and frame-tag key from it.
     pub measurement_secret: u64,
+    /// Which attempt at this item this is. `0` is a fresh measurement;
+    /// attempt `n > 0` means a restarted coordinator is re-running an
+    /// item an earlier incarnation journaled as in-flight: the control
+    /// sessions then open with a `Resume` handshake carrying attempt
+    /// `n-1`'s nonce (see [`peer_nonce`]), so peers whose replay
+    /// windows witnessed the prior attempt re-adopt the conversation
+    /// instead of rejecting the re-derived nonce as a replay.
+    pub attempt: u32,
+}
+
+/// The control-session handshake nonce for one peer of one attempt at
+/// an echo item, derived deterministically from the item's journaled
+/// measurement secret — which is exactly why a restarted coordinator
+/// *must* resume rather than re-`Auth`: attempt `n` re-derives attempt
+/// `n`'s nonces bit-for-bit, and a peer that witnessed them would
+/// correctly reject the replay. Peer index `0` is the target relay;
+/// measurer `ix` uses `ix + 1`. The attempt number occupies high bits
+/// so attempts never collide with peer indices.
+pub fn peer_nonce(secret: u64, peer_ix: u32, attempt: u32) -> u64 {
+    secret ^ (0xEC40_0000 + u64::from(peer_ix)) ^ (u64::from(attempt) << 32)
 }
 
 /// A checked-out connection to a peer, or the degraded stand-in for a
@@ -151,10 +171,14 @@ pub fn echo_group(
             };
             let (conn, handle) = checkout_or_dead(&pool, m.addr);
             handles.push(handle);
-            let nonce = item.measurement_secret ^ (0xEC40_0000 + ix as u64 + 1);
-            let session =
+            let peer_ix = ix as u32 + 1;
+            let nonce = peer_nonce(item.measurement_secret, peer_ix, item.attempt);
+            let mut session =
                 CoordinatorSession::new(m.token, PeerRole::Measurer, spec, nonce, timeouts)
                     .with_report_ahead_cap(item.slot_secs + 2);
+            if let Some(prior) = item.attempt.checked_sub(1) {
+                session = session.resuming(peer_nonce(item.measurement_secret, peer_ix, prior));
+            }
             builder.add_peer(0, session, conn);
         }
         // The relay's reporting session: its "rate cap" is the
@@ -169,8 +193,8 @@ pub fn echo_group(
         };
         let (conn, handle) = checkout_or_dead(&pool, deployment.relay_addr);
         handles.push(handle);
-        let nonce = item.measurement_secret ^ 0xEC40_0000;
-        let session = CoordinatorSession::new(
+        let nonce = peer_nonce(item.measurement_secret, 0, item.attempt);
+        let mut session = CoordinatorSession::new(
             deployment.relay_token,
             PeerRole::Target,
             spec,
@@ -178,6 +202,9 @@ pub fn echo_group(
             timeouts,
         )
         .with_report_ahead_cap(item.slot_secs + 2);
+        if let Some(prior) = item.attempt.checked_sub(1) {
+            session = session.resuming(peer_nonce(item.measurement_secret, 0, prior));
+        }
         builder.add_peer(0, session, conn);
 
         // 60 sped-up seconds of hard wall: far beyond one slot.

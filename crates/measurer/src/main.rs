@@ -90,7 +90,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use flashflow_obs::{fields, EventSink, MetricsRegistry, Span};
+use flashflow_obs::{fields, Counter, EventSink, MetricsRegistry, Span};
 use flashflow_proto::blast::{
     binding_nonce, channel_key, secret_channel_key, BlastCounters, BlastEvent, BlastParser,
     ReportSource, TrafficSource, DATA_HELLO_TAG,
@@ -258,6 +258,9 @@ struct Shared {
     /// Process-global counters fed by echo-topology verify parsers
     /// (bytes the target relay echoed back at this measurer).
     echo_blast: BlastCounters,
+    /// Conversations re-adopted via the `Resume` handshake (a restarted
+    /// coordinator picking its parked sessions back up).
+    resumed: Counter,
 }
 
 impl Shared {
@@ -418,9 +421,15 @@ fn serve_one(
                     // registered (registered_nonce stays None).
                     span.event("session.replay_drop");
                     endpoint.session_mut().abort(AbortReason::AuthFailed);
-                } else if cfg.role == PeerRole::Measurer {
-                    counters = Some(shared.data.register(nonce));
-                    registered_nonce = Some(nonce);
+                } else {
+                    if endpoint.session().resumed() {
+                        shared.resumed.inc();
+                        span.emit("session.resumed", fields![nonce = nonce]);
+                    }
+                    if cfg.role == PeerRole::Measurer {
+                        counters = Some(shared.data.register(nonce));
+                        registered_nonce = Some(nonce);
+                    }
                 }
             }
         }
@@ -715,8 +724,10 @@ fn main() {
     }
     let mut sink = EventSink::new().with_stderr_text();
     if let Some(path) = &cfg.log_json {
-        sink = match sink.with_jsonl_path(path) {
-            Ok(sink) => sink,
+        // Opened with the shared journal discipline (O_APPEND, one
+        // write per line): a crash tears at most the final line.
+        sink = match procutil::journal_writer(std::path::Path::new(path)) {
+            Ok(file) => sink.with_jsonl(Box::new(file)),
             Err(e) => {
                 eprintln!("open --log-json {path}: {e}");
                 std::process::exit(1);
@@ -773,6 +784,7 @@ fn main() {
             forged: registry.counter("measurer.echo.forged_bytes"),
             replayed: registry.counter("measurer.echo.replayed_bytes"),
         },
+        resumed: registry.counter("measurer.sessions_resumed"),
     });
     acceptor.set_nonblocking(true).expect("nonblocking listener");
     let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();

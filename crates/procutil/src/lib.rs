@@ -11,8 +11,10 @@
 //! stays in the binaries themselves.
 
 mod metrics_endpoint;
+pub mod persist;
 
 pub use metrics_endpoint::{fetch_metrics, spawn_metrics_endpoint};
+pub use persist::{append_line, atomic_write, journal_writer};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};

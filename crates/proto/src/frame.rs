@@ -150,6 +150,13 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             body.push(MsgType::Pong as u8);
             body.extend_from_slice(&probe.to_be_bytes());
         }
+        Msg::Resume { token, role, nonce_prior, nonce } => {
+            body.push(MsgType::Resume as u8);
+            body.extend_from_slice(token);
+            body.push(*role as u8);
+            body.extend_from_slice(&nonce_prior.to_be_bytes());
+            body.extend_from_slice(&nonce.to_be_bytes());
+        }
     }
     let payload_len = (body.len() - LEN_PREFIX) as u32;
     body[..LEN_PREFIX].copy_from_slice(&payload_len.to_be_bytes());
@@ -295,6 +302,18 @@ pub fn decode_payload(payload: &[u8]) -> Result<Msg, WireError> {
             b.finish()?;
             Msg::Pong { probe }
         }
+        MsgType::Resume => {
+            let mut b = Body::new("Resume", body);
+            let mut token = [0u8; AUTH_TOKEN_LEN];
+            token.copy_from_slice(b.take(AUTH_TOKEN_LEN)?);
+            let role_byte = b.u8()?;
+            let role = PeerRole::from_u8(role_byte)
+                .ok_or(WireError::BadEnumValue { field: "Resume.role", value: role_byte })?;
+            let nonce_prior = b.u64()?;
+            let nonce = b.u64()?;
+            b.finish()?;
+            Msg::Resume { token, role, nonce_prior, nonce }
+        }
     };
     Ok(msg)
 }
@@ -389,6 +408,12 @@ mod tests {
             Msg::Abort { reason: AbortReason::ReportTimeout },
             Msg::Ping { probe: 0x1357_9BDF_0246_8ACE },
             Msg::Pong { probe: 0x1357_9BDF_0246_8ACE },
+            Msg::Resume {
+                token: [7u8; AUTH_TOKEN_LEN],
+                role: PeerRole::Measurer,
+                nonce_prior: 0x0123_4567_89AB_CDEF,
+                nonce: 0xFEDC_BA98_7654_3210,
+            },
         ]
     }
 

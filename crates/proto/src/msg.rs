@@ -25,9 +25,12 @@
 /// backpressure); version 4 added the target endpoint and measurement
 /// secret to `MeasureCmd` (the relay-echo topology: measurers dial the
 /// target relay's data listener and stamp their blast with a
-/// per-measurement key). An older peer is rejected with a clean
-/// `BadVersion` error instead of a confusing body-layout failure.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// per-measurement key); version 5 added the `Resume` handshake (a
+/// restarted coordinator re-adopts a prior conversation by proving it
+/// knows that conversation's nonce, instead of being replay-rejected).
+/// An older peer is rejected with a clean `BadVersion` error instead of
+/// a confusing body-layout failure.
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Length of the pre-shared authentication token.
 pub const AUTH_TOKEN_LEN: usize = 32;
@@ -259,6 +262,28 @@ pub enum Msg {
         /// Echo of the probe value.
         probe: u64,
     },
+    /// Coordinator → peer: authenticate *and* re-adopt a conversation
+    /// begun by an earlier coordinator incarnation. Nonces are derived
+    /// deterministically from a journaled measurement secret, so a
+    /// restarted coordinator replaying its own `Auth` would be rejected
+    /// by the peer's replay window; `Resume` instead *proves lineage* —
+    /// `prior_nonce` must already be in the peer's window (only the
+    /// coordinator that ran the earlier attempt knows it), while `nonce`
+    /// must be fresh exactly like an `Auth` nonce. The peer answers with
+    /// a normal [`Msg::AuthOk`] echoing `nonce`.
+    Resume {
+        /// The pre-shared token for this peer.
+        token: [u8; AUTH_TOKEN_LEN],
+        /// The role the coordinator expects the peer to play.
+        role: PeerRole,
+        /// The nonce of the conversation being resumed; rejected with
+        /// `AuthFailed` if the peer has *not* witnessed it (a resume
+        /// claim with no lineage is just a guess).
+        nonce_prior: u64,
+        /// Fresh challenge for this attempt, with `Auth` semantics:
+        /// rejected if already witnessed, echoed in `AuthOk`.
+        nonce: u64,
+    },
 }
 
 /// Wire type tags; `Msg` and frame decoding agree through these.
@@ -275,6 +300,7 @@ pub(crate) enum MsgType {
     Abort = 8,
     Ping = 9,
     Pong = 10,
+    Resume = 11,
 }
 
 impl MsgType {
@@ -290,6 +316,7 @@ impl MsgType {
             8 => Some(MsgType::Abort),
             9 => Some(MsgType::Ping),
             10 => Some(MsgType::Pong),
+            11 => Some(MsgType::Resume),
             _ => None,
         }
     }
@@ -309,6 +336,7 @@ impl Msg {
             Msg::Abort { .. } => "Abort",
             Msg::Ping { .. } => "Ping",
             Msg::Pong { .. } => "Pong",
+            Msg::Resume { .. } => "Resume",
         }
     }
 }

@@ -30,7 +30,7 @@ fn arb_fp() -> impl Strategy<Value = [u8; FINGERPRINT_LEN]> {
 fn arb_msg() -> impl Strategy<Value = Msg> {
     // Pick a variant, then fill its fields from independent draws.
     (
-        0u8..10,
+        0u8..11,
         arb_token(),
         arb_fp(),
         (any::<u64>(), any::<u64>(), any::<u64>()),
@@ -63,6 +63,12 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 6 => Msg::SlotDone,
                 7 => Msg::Ping { probe: a },
                 8 => Msg::Pong { probe: b },
+                9 => Msg::Resume {
+                    token,
+                    role: PeerRole::from_u8(role).expect("role in range"),
+                    nonce_prior: a,
+                    nonce: c,
+                },
                 _ => Msg::Abort { reason: AbortReason::from_u8(reason).expect("reason in range") },
             },
         )

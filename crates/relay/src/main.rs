@@ -228,6 +228,9 @@ struct Shared {
     bg_admitted: flashflow_obs::Counter,
     bg_reported: flashflow_obs::Counter,
     seconds_reported: flashflow_obs::Counter,
+    /// Conversations re-adopted via the `Resume` handshake (a restarted
+    /// coordinator picking its parked sessions back up).
+    resumed: flashflow_obs::Counter,
 }
 
 impl Shared {
@@ -306,6 +309,9 @@ fn serve_one(
                 if !shared.replay.lock().expect("replay lock").witness(nonce) {
                     span.event("session.replay_drop");
                     endpoint.session_mut().abort(AbortReason::AuthFailed);
+                } else if endpoint.session().resumed() {
+                    shared.resumed.inc();
+                    span.emit("session.resumed", fields![nonce = nonce]);
                 }
             }
         }
@@ -561,8 +567,10 @@ fn main() {
     }
     let mut sink = EventSink::new().with_stderr_text();
     if let Some(path) = &cfg.log_json {
-        sink = match sink.with_jsonl_path(path) {
-            Ok(sink) => sink,
+        // Opened with the shared journal discipline (O_APPEND, one
+        // write per line): a crash tears at most the final line.
+        sink = match procutil::journal_writer(std::path::Path::new(path)) {
+            Ok(file) => sink.with_jsonl(Box::new(file)),
             Err(e) => {
                 eprintln!("open --log-json {path}: {e}");
                 std::process::exit(1);
@@ -621,6 +629,7 @@ fn main() {
         bg_admitted: registry.counter("relay.bg.admitted_bytes"),
         bg_reported: registry.counter("relay.bg.reported_bytes"),
         seconds_reported: registry.counter("relay.reported_seconds"),
+        resumed: registry.counter("relay.sessions_resumed"),
     });
     acceptor.set_nonblocking(true).expect("nonblocking listener");
     let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();

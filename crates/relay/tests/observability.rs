@@ -184,6 +184,7 @@ fn items() -> Vec<EchoItem> {
                 slot_secs: SLOT_SECS,
                 bg_allowance: BG_ALLOWANCE,
                 measurement_secret: 0x0B5E_0000_0000_0000 + ix as u64 * 0x1_0001,
+                attempt: 0,
             }
         })
         .collect()

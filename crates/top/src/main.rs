@@ -1,6 +1,6 @@
 //! `flashflow-top` — the live operator dashboard.
 //!
-//! Three sources, one screen:
+//! Four sources, one screen:
 //!
 //! * `--replay FILE` — fold a complete JSONL event file and print one
 //!   frame (no cursor control; CI- and pipe-friendly).
@@ -10,6 +10,9 @@
 //! * `--metrics ADDR --token-hex HEX` — fetch one registry snapshot
 //!   from a process's `--metrics-addr` endpoint and print it as a
 //!   table (`--watch true` to poll and redraw).
+//! * `--coord DIR` — read a `flashflow-coord` state directory's journal
+//!   and print the daemon's progress: roster completion, rounds/hour,
+//!   relays remaining, resumed sessions (`--watch true` to poll).
 
 use std::io::{BufRead, BufReader, Seek, SeekFrom};
 use std::time::Duration;
@@ -17,15 +20,17 @@ use std::time::Duration;
 use flashflow_obs::{Event, RegistrySnapshot};
 use flashflow_top::TopState;
 
-const USAGE: &str = "usage: flashflow-top [--replay FILE | --follow FILE | --metrics ADDR]
+const USAGE: &str =
+    "usage: flashflow-top [--replay FILE | --follow FILE | --metrics ADDR | --coord DIR]
   --replay FILE      fold a complete JSONL event file, print one frame
   --follow FILE      tail a JSONL file, redraw an ANSI frame per interval
   --metrics ADDR     fetch a registry snapshot from a metrics endpoint
+  --coord DIR        read a flashflow-coord state dir, print daemon progress
   --token-hex HEX    auth token for --metrics (64 hex chars)
   --interval SECS    redraw period for --follow/--watch (default 1.0)
   --width COLS       frame width (default 100)
   --exit-on-done B   with --follow: exit once period.done arrives (default true)
-  --watch B          with --metrics: poll and redraw instead of one shot
+  --watch B          with --metrics/--coord: poll and redraw instead of one shot
   --config FILE      key=value file of the same settings";
 
 use flashflow_procutil as procutil;
@@ -36,6 +41,7 @@ struct Config {
     replay: Option<String>,
     follow: Option<String>,
     metrics: Option<String>,
+    coord: Option<String>,
     token: Option<[u8; AUTH_TOKEN_LEN]>,
     interval: f64,
     width: usize,
@@ -50,6 +56,7 @@ fn parse_config(args: impl Iterator<Item = String>) -> Result<Config, String> {
             "replay" => cfg.replay = Some(value.to_string()),
             "follow" => cfg.follow = Some(value.to_string()),
             "metrics" => cfg.metrics = Some(value.to_string()),
+            "coord" => cfg.coord = Some(value.to_string()),
             "token-hex" => cfg.token = Some(procutil::parse_token_hex(value)?),
             "interval" => {
                 cfg.interval = value.parse().map_err(|e| format!("--interval: {e}"))?;
@@ -81,6 +88,8 @@ fn main() {
         follow(path, &cfg)
     } else if let Some(addr) = &cfg.metrics {
         metrics(addr, &cfg)
+    } else if let Some(dir) = &cfg.coord {
+        coord(dir, &cfg)
     } else {
         Err(USAGE.to_string())
     };
@@ -147,6 +156,59 @@ fn follow(path: &str, cfg: &Config) -> Result<(), String> {
     }
 }
 
+/// Renders a coordinator journal state as the `--coord` panel: roster
+/// completion, measurement pace, and how much crash recovery the
+/// period has needed.
+fn render_coord(state: &flashflow_coord::journal::JournalState) -> String {
+    if !state.period_started {
+        return "coordinator: no period journaled yet\n".to_string();
+    }
+    let done = state.done.len() as u64;
+    let remaining = state.roster.saturating_sub(done);
+    let pct = if state.roster > 0 { done as f64 * 100.0 / state.roster as f64 } else { 0.0 };
+    let elapsed_h = (state.last_ts - state.period_started_at).max(0.0) / 3600.0;
+    let rounds_per_hour = if elapsed_h > 0.0 { state.rounds_done as f64 / elapsed_h } else { 0.0 };
+    let bar_slots = 30usize;
+    let filled =
+        if state.roster > 0 { (done as usize * bar_slots) / state.roster as usize } else { 0 };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "coordinator period {} [{}{}] {pct:.1}%{}\n",
+        state.period,
+        "#".repeat(filled),
+        "-".repeat(bar_slots - filled),
+        if state.period_done { " (complete)" } else { "" },
+    ));
+    out.push_str(&format!(
+        "  roster {done}/{} measured, {remaining} remaining, {} in flight\n",
+        state.roster,
+        state.in_flight.len(),
+    ));
+    out.push_str(&format!(
+        "  rounds {} done ({rounds_per_hour:.1}/hour), {} resumed session starts\n",
+        state.rounds_done, state.resumed_starts,
+    ));
+    if state.torn_lines > 0 {
+        out.push_str(&format!("  journal: {} torn line(s) tolerated\n", state.torn_lines));
+    }
+    out
+}
+
+fn coord(dir: &str, cfg: &Config) -> Result<(), String> {
+    let journal = std::path::Path::new(dir).join("journal.jsonl");
+    loop {
+        let state = flashflow_coord::journal::recover(&journal)
+            .map_err(|e| format!("--coord {dir}: {e}"))?;
+        if cfg.watch {
+            print!("\x1b[2J\x1b[H{}", render_coord(&state));
+            std::thread::sleep(Duration::from_secs_f64(cfg.interval.max(0.05)));
+        } else {
+            print!("{}", render_coord(&state));
+            return Ok(());
+        }
+    }
+}
+
 fn metrics(addr: &str, cfg: &Config) -> Result<(), String> {
     let token = cfg.token.ok_or("--metrics needs --token-hex")?;
     let addr: std::net::SocketAddr = addr.parse().map_err(|e| format!("--metrics {addr}: {e}"))?;
@@ -161,5 +223,55 @@ fn metrics(addr: &str, cfg: &Config) -> Result<(), String> {
             print!("{}", snap.to_text());
             return Ok(());
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashflow_coord::journal::{JournalState, Record};
+
+    #[test]
+    fn coord_panel_reports_progress_pace_and_resumption() {
+        let mut state = JournalState::default();
+        state.apply(&Record::PeriodStart {
+            period: 2,
+            roster: 4,
+            seed: 1,
+            source: "shadow".into(),
+            ts: 0.0,
+        });
+        for ix in 0..3u64 {
+            state.apply(&Record::ItemStart {
+                ix,
+                fp: format!("{ix:040x}"),
+                secret: ix,
+                attempt: u64::from(ix == 1),
+                ts: 100.0,
+            });
+            if ix < 2 {
+                state.apply(&Record::ItemDone {
+                    ix,
+                    fp: format!("{ix:040x}"),
+                    capacity: 1.0,
+                    clean: true,
+                    divergent: 0,
+                    ts: 200.0,
+                });
+            }
+        }
+        state.apply(&Record::RoundDone { round: 0, items: 2, ts: 1800.0 });
+
+        let panel = render_coord(&state);
+        assert!(panel.contains("period 2"), "{panel}");
+        assert!(panel.contains("50.0%"), "{panel}");
+        assert!(panel.contains("roster 2/4 measured, 2 remaining, 1 in flight"), "{panel}");
+        assert!(panel.contains("rounds 1 done (2.0/hour), 1 resumed session starts"), "{panel}");
+    }
+
+    #[test]
+    fn coord_panel_handles_an_empty_journal() {
+        let state = JournalState::default();
+        assert!(render_coord(&state).contains("no period journaled yet"));
     }
 }
