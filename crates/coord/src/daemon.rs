@@ -400,7 +400,10 @@ fn vote_consensus(
     let mut sum_diff = 0.0f64;
     let mut entries = Vec::new();
     for (relay, norm) in &normalized {
-        let ix = ids.iter().position(|r| r == relay).expect("minted id");
+        // Every consensus entry is keyed by an id minted above; an
+        // unknown one would mean the voting machinery invented a
+        // relay. Skip it rather than panic the daemon mid-period.
+        let Some(ix) = ids.iter().position(|r| r == relay) else { continue };
         let weight = consensus.entries.iter().find(|e| e.relay == *relay).map_or(0.0, |e| e.weight);
         let tf_norm = if torflow_total > 0.0 {
             torflow.get(relay).copied().unwrap_or(0.0) / torflow_total

@@ -424,11 +424,11 @@ mod tests {
             &Record::PeriodStart { period: 2, roster: 1, seed: 1, source: "synth".into(), ts: 1.0 },
         )
         .unwrap();
-        // A SIGKILL mid-append: half a record, no newline.
-        use std::io::Write as _;
-        let mut file = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
-        file.write_all(b"{\"kind\":\"item.done\",\"ix\":0,\"cap").unwrap();
-        drop(file);
+        // A SIGKILL mid-append: half a record, no newline — staged
+        // through the persist test hook so even this test never opens
+        // the journal raw.
+        flashflow_procutil::append_torn_line(&path, "{\"kind\":\"item.done\",\"ix\":0,\"cap")
+            .unwrap();
 
         let state = recover(&path).expect("recover");
         assert_eq!(state.period, 2);

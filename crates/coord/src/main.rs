@@ -228,17 +228,13 @@ fn main() {
     let registry = MetricsRegistry::new();
     let metrics = CoordMetrics::register(&registry);
     if let Some(maddr) = &cfg.metrics_addr {
-        let listener = match std::net::TcpListener::bind(maddr) {
-            Ok(l) => l,
-            Err(e) => {
-                eprintln!("bind --metrics-addr {maddr}: {e}");
+        match procutil::start_metrics_endpoint(maddr, cfg.token, registry.clone(), cfg.speedup) {
+            Ok(bound) => println!("metrics {bound}"),
+            Err(msg) => {
+                eprintln!("{msg}");
                 std::process::exit(1);
             }
-        };
-        let bound = listener.local_addr().expect("metrics local addr");
-        procutil::spawn_metrics_endpoint(listener, cfg.token, registry.clone(), cfg.speedup)
-            .expect("spawn metrics endpoint");
-        println!("metrics {bound}");
+        }
     }
 
     // One item per round costs the whole team's commanded blast; the

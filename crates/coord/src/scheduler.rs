@@ -61,9 +61,10 @@ impl PlanConfig {
 /// bound. Deterministic; an empty `pending` yields no rounds.
 pub fn plan_rounds(pending: &[RosterEntry], cfg: &PlanConfig) -> Vec<Round> {
     let mut order: Vec<&RosterEntry> = pending.iter().collect();
-    order.sort_by(|a, b| {
-        b.prior.partial_cmp(&a.prior).expect("finite priors").then(a.ix.cmp(&b.ix))
-    });
+    // total_cmp instead of partial_cmp: a NaN prior (a corrupt roster
+    // line) must not panic the daemon mid-period — it sorts to an
+    // extreme and gets measured like everything else.
+    order.sort_by(|a, b| b.prior.total_cmp(&a.prior).then(a.ix.cmp(&b.ix)));
     let per_round = cfg.items_per_round();
     order
         .chunks(per_round)

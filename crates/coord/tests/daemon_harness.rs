@@ -194,7 +194,11 @@ fn wait_success(name: &str, mut child: Child) -> String {
 /// conversation would blow the deadline instead.
 fn terminate_peers(children: Vec<(&'static str, Child)>) {
     for (name, mut child) in children {
+        // SAFETY: `kill(2)` has this exact POSIX prototype on every
+        // libc we target; the pid comes from a live `Child` this test
+        // owns, so signal 15 cannot stray outside the harness.
         unsafe {
+            // SAFETY: `kill(2)`'s POSIX prototype, declared verbatim.
             extern "C" {
                 fn kill(pid: i32, sig: i32) -> i32;
             }

@@ -1,0 +1,458 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! The rules in this crate do not need a parse tree — every invariant
+//! they enforce is visible at token granularity — but they *do* need
+//! comments, strings, char literals, and lifetimes classified
+//! correctly, or a rule would read `// SAFETY:` inside a string
+//! literal, or mistake `'a'` for a lifetime. The lexer therefore
+//! handles the full lexical surface (nested block comments, raw
+//! strings with hash fences, byte strings, raw identifiers, numeric
+//! exponents) while staying a few hundred lines of `std`-only code.
+//!
+//! Tokens **tile** the source: every byte of the input belongs to
+//! exactly one token, whitespace included, so concatenating the token
+//! texts reproduces the file byte-identically. That property is what
+//! `tests/lexer_roundtrip.rs` checks against every `.rs` file in the
+//! workspace — the workspace's own sources are the property-test
+//! corpus.
+
+/// What a token is; `Ws`, `LineComment`, and `BlockComment` are the
+/// *trivia* kinds (skipped by rules except for annotation lookup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, carriage returns, newlines.
+    Ws,
+    /// `// ...` through the end of the line (newline excluded), doc
+    /// comments (`///`, `//!`) included.
+    LineComment,
+    /// `/* ... */`, nested, doc block comments included.
+    BlockComment,
+    /// `"..."` and `b"..."` with escapes.
+    Str,
+    /// `r"..."` / `r#"..."#` / `br#"..."#` with any hash fence.
+    RawStr,
+    /// `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Identifiers and keywords, raw identifiers (`r#fn`) included.
+    Ident,
+    /// Integer and float literals, suffixes and exponents included.
+    Num,
+    /// Everything else, one character at a time.
+    Punct,
+}
+
+impl TokKind {
+    /// Trivia separates significant tokens but never *is* one.
+    pub fn is_trivia(self) -> bool {
+        matches!(self, TokKind::Ws | TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Comment trivia, where `SAFETY:` / `ORDERING:` annotations live.
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// One token: a kind plus the byte span it occupies in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text, sliced back out of the source it was lexed
+    /// from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Length in bytes of the UTF-8 character starting at `b[i]`.
+fn char_len(b: &[u8], i: usize) -> usize {
+    let lead = b[i];
+    let len = if lead < 0x80 {
+        1
+    } else if lead >= 0xF0 {
+        4
+    } else if lead >= 0xE0 {
+        3
+    } else {
+        2
+    };
+    len.min(b.len() - i)
+}
+
+/// Lexes `src` into a token stream that tiles it exactly.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let start = i;
+        let kind = scan_one(b, &mut i);
+        debug_assert!(i > start, "lexer must always make progress");
+        toks.push(Token { kind, start, end: i, line });
+        line += src[start..i].bytes().filter(|&c| c == b'\n').count() as u32;
+    }
+    toks
+}
+
+/// Scans the single token starting at `*i`, advancing `*i` past it.
+fn scan_one(b: &[u8], i: &mut usize) -> TokKind {
+    let c = b[*i];
+    match c {
+        b' ' | b'\t' | b'\r' | b'\n' => {
+            while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\r' | b'\n') {
+                *i += 1;
+            }
+            TokKind::Ws
+        }
+        b'/' if peek(b, *i + 1) == Some(b'/') => {
+            while *i < b.len() && b[*i] != b'\n' {
+                *i += 1;
+            }
+            TokKind::LineComment
+        }
+        b'/' if peek(b, *i + 1) == Some(b'*') => {
+            *i += 2;
+            let mut depth = 1usize;
+            while *i < b.len() && depth > 0 {
+                if b[*i] == b'/' && peek(b, *i + 1) == Some(b'*') {
+                    depth += 1;
+                    *i += 2;
+                } else if b[*i] == b'*' && peek(b, *i + 1) == Some(b'/') {
+                    depth -= 1;
+                    *i += 2;
+                } else {
+                    *i += char_len(b, *i);
+                }
+            }
+            TokKind::BlockComment
+        }
+        b'r' => scan_r_prefixed(b, i),
+        b'b' => scan_b_prefixed(b, i),
+        b'"' => {
+            *i += 1;
+            scan_str_body(b, i);
+            TokKind::Str
+        }
+        b'\'' => scan_quote(b, i),
+        _ if is_ident_start(c) => {
+            while *i < b.len() && is_ident_continue(b[*i]) {
+                *i += 1;
+            }
+            TokKind::Ident
+        }
+        _ if c.is_ascii_digit() => scan_number(b, i),
+        _ => {
+            *i += char_len(b, *i);
+            TokKind::Punct
+        }
+    }
+}
+
+fn peek(b: &[u8], i: usize) -> Option<u8> {
+    b.get(i).copied()
+}
+
+/// `r"..."`, `r#"..."#`, or a plain/raw identifier starting with `r`.
+fn scan_r_prefixed(b: &[u8], i: &mut usize) -> TokKind {
+    let mut j = *i + 1;
+    let mut hashes = 0usize;
+    while peek(b, j) == Some(b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if peek(b, j) == Some(b'"') {
+        *i = j + 1;
+        scan_raw_str_body(b, i, hashes);
+        return TokKind::RawStr;
+    }
+    if hashes == 1 && peek(b, j).is_some_and(is_ident_start) {
+        // Raw identifier: `r#fn`.
+        *i = j + 1;
+        while *i < b.len() && is_ident_continue(b[*i]) {
+            *i += 1;
+        }
+        return TokKind::Ident;
+    }
+    // Plain identifier starting with `r`.
+    *i += 1;
+    while *i < b.len() && is_ident_continue(b[*i]) {
+        *i += 1;
+    }
+    TokKind::Ident
+}
+
+/// `b"..."`, `b'x'`, `br#"..."#`, or a plain identifier starting with
+/// `b`.
+fn scan_b_prefixed(b: &[u8], i: &mut usize) -> TokKind {
+    match peek(b, *i + 1) {
+        Some(b'"') => {
+            *i += 2;
+            scan_str_body(b, i);
+            TokKind::Str
+        }
+        Some(b'\'') => {
+            *i += 1; // now at the quote; byte chars lex like chars
+            scan_char_body(b, i);
+            TokKind::Char
+        }
+        Some(b'r') => {
+            let mut j = *i + 2;
+            let mut hashes = 0usize;
+            while peek(b, j) == Some(b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if peek(b, j) == Some(b'"') {
+                *i = j + 1;
+                scan_raw_str_body(b, i, hashes);
+                return TokKind::RawStr;
+            }
+            *i += 1;
+            while *i < b.len() && is_ident_continue(b[*i]) {
+                *i += 1;
+            }
+            TokKind::Ident
+        }
+        _ => {
+            *i += 1;
+            while *i < b.len() && is_ident_continue(b[*i]) {
+                *i += 1;
+            }
+            TokKind::Ident
+        }
+    }
+}
+
+/// Body of a `"..."` string, opening quote already consumed; consumes
+/// the closing quote.
+fn scan_str_body(b: &[u8], i: &mut usize) {
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i = (*i + 2).min(b.len()),
+            b'"' => {
+                *i += 1;
+                return;
+            }
+            _ => *i += char_len(b, *i),
+        }
+    }
+}
+
+/// Body of a raw string with `hashes` fence hashes, opening `"` already
+/// consumed; consumes the closing `"###`.
+fn scan_raw_str_body(b: &[u8], i: &mut usize, hashes: usize) {
+    while *i < b.len() {
+        if b[*i] == b'"' {
+            let mut j = *i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && peek(b, j) == Some(b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                *i = j;
+                return;
+            }
+        }
+        *i += char_len(b, *i);
+    }
+}
+
+/// A `'` starts either a char literal or a lifetime; disambiguates the
+/// way rustc does — `'a'` is a char, `'a` (no closing quote) is a
+/// lifetime — and consumes whichever it is.
+fn scan_quote(b: &[u8], i: &mut usize) -> TokKind {
+    let j = *i + 1;
+    match peek(b, j) {
+        Some(b'\\') => {
+            scan_char_body(b, i);
+            TokKind::Char
+        }
+        Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+            let mut k = j;
+            while k < b.len() && is_ident_continue(b[k]) {
+                k += 1;
+            }
+            if peek(b, k) == Some(b'\'') {
+                *i = k + 1;
+                TokKind::Char
+            } else {
+                *i = k;
+                TokKind::Lifetime
+            }
+        }
+        Some(_) => {
+            // A char literal of one non-identifier character: `' '`,
+            // `'('`, `'→'`.
+            scan_char_body(b, i);
+            TokKind::Char
+        }
+        None => {
+            *i += 1;
+            TokKind::Punct
+        }
+    }
+}
+
+/// A char literal starting at the opening quote `b[*i]`; consumes
+/// through the closing quote (escapes included).
+fn scan_char_body(b: &[u8], i: &mut usize) {
+    debug_assert_eq!(b[*i], b'\'');
+    *i += 1;
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i = (*i + 2).min(b.len()),
+            b'\'' => {
+                *i += 1;
+                return;
+            }
+            _ => *i += char_len(b, *i),
+        }
+    }
+}
+
+/// A numeric literal: decimal/hex/octal/binary, `_` separators, one
+/// fractional dot (only when a digit follows — `0..3` keeps its range
+/// dots), `e`/`E` exponents with an optional sign, and alphabetic type
+/// suffixes (`u64`, `f32`).
+fn scan_number(b: &[u8], i: &mut usize) -> TokKind {
+    let radix_prefixed = b[*i] == b'0'
+        && matches!(peek(b, *i + 1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        && peek(b, *i + 2).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_');
+    if radix_prefixed {
+        *i += 2;
+        while *i < b.len() && (is_ident_continue(b[*i])) {
+            *i += 1;
+        }
+        return TokKind::Num;
+    }
+    let mut seen_dot = false;
+    while *i < b.len() {
+        let c = b[*i];
+        if c.is_ascii_digit() || c == b'_' {
+            *i += 1;
+        } else if (c == b'e' || c == b'E')
+            && (peek(b, *i + 1).is_some_and(|n| n.is_ascii_digit())
+                || (matches!(peek(b, *i + 1), Some(b'+' | b'-'))
+                    && peek(b, *i + 2).is_some_and(|n| n.is_ascii_digit())))
+        {
+            // Exponent: consume the marker, the sign, and fall through
+            // for the digits.
+            *i += if peek(b, *i + 1).is_some_and(|n| n.is_ascii_digit()) { 1 } else { 2 };
+        } else if c.is_ascii_alphabetic() {
+            // Type suffix (`u64`, `f32`, `usize`): consume to the end
+            // of the identifier tail.
+            while *i < b.len() && is_ident_continue(b[*i]) {
+                *i += 1;
+            }
+            break;
+        } else if c == b'.' && !seen_dot && peek(b, *i + 1).is_some_and(|n| n.is_ascii_digit()) {
+            seen_dot = true;
+            *i += 1;
+        } else {
+            break;
+        }
+    }
+    TokKind::Num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    fn round_trips(src: &str) {
+        let toks = lex(src);
+        let mut rebuilt = String::new();
+        let mut prev_end = 0usize;
+        for t in &toks {
+            assert_eq!(t.start, prev_end, "tokens must tile with no gap at {}", t.start);
+            prev_end = t.end;
+            rebuilt.push_str(t.text(src));
+        }
+        assert_eq!(rebuilt, src, "concatenated tokens must reproduce the source");
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes_classify() {
+        let src = r##"// line SAFETY: x
+/* block /* nested */ still */
+let s = "str with \" quote and 'a' inside";
+let r = r#"raw "string" fence"#;
+let b = b"bytes";
+let c = 'x';
+let esc = '\n';
+let lt: &'static str = "s";
+fn f<'a>(x: &'a u8) {}
+"##;
+        round_trips(src);
+        let ks = kinds(src);
+        assert!(ks.contains(&(TokKind::LineComment, "// line SAFETY: x")));
+        assert!(ks.contains(&(TokKind::BlockComment, "/* block /* nested */ still */")));
+        assert!(ks.contains(&(TokKind::Str, "\"str with \\\" quote and 'a' inside\"")));
+        assert!(ks.contains(&(TokKind::RawStr, "r#\"raw \"string\" fence\"#")));
+        assert!(ks.contains(&(TokKind::Str, "b\"bytes\"")));
+        assert!(ks.contains(&(TokKind::Char, "'x'")));
+        assert!(ks.contains(&(TokKind::Char, "'\\n'")));
+        assert!(ks.contains(&(TokKind::Lifetime, "'static")));
+        assert!(ks.contains(&(TokKind::Lifetime, "'a")));
+    }
+
+    #[test]
+    fn numbers_keep_range_dots_and_exponents() {
+        let src = "let a = 0..3; let b = 1.0e-3; let c = 0xFFu64; let d = 1_000.5; let e = t.0;";
+        round_trips(src);
+        let ks = kinds(src);
+        assert!(ks.contains(&(TokKind::Num, "0")), "range start is a bare number");
+        assert!(ks.contains(&(TokKind::Num, "3")));
+        assert!(ks.contains(&(TokKind::Num, "1.0e-3")));
+        assert!(ks.contains(&(TokKind::Num, "0xFFu64")));
+        assert!(ks.contains(&(TokKind::Num, "1_000.5")));
+        assert!(!ks.iter().any(|(_, t)| t.contains("..")), "no token swallowed the range dots");
+    }
+
+    #[test]
+    fn raw_identifiers_and_unicode_survive() {
+        let src = "let r#fn = 1; // naïve → done §8\nlet r = rate; let brr = 2;";
+        round_trips(src);
+        let ks = kinds(src);
+        assert!(ks.contains(&(TokKind::Ident, "r#fn")));
+        assert!(ks.contains(&(TokKind::Ident, "rate")));
+        assert!(ks.contains(&(TokKind::Ident, "brr")));
+    }
+
+    #[test]
+    fn lines_are_one_based_and_advance() {
+        let src = "a\nbb\n\nc";
+        let toks = lex(src);
+        let lines: Vec<(String, u32)> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(lines, vec![("a".to_string(), 1), ("bb".to_string(), 2), ("c".to_string(), 4)]);
+    }
+}

@@ -1,0 +1,124 @@
+//! The `flashflow-lint` binary: lints the workspace and exits nonzero
+//! on findings. See the crate docs (and README § "Static analysis")
+//! for the rule catalogue.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use flashflow_lint::{json_escape, lint_workspace, Finding, LintConfig, RULES};
+
+const USAGE: &str = "\
+flashflow-lint: enforce FlashFlow's concurrency, durability, and protocol invariants
+
+USAGE: flashflow-lint [OPTIONS]
+
+OPTIONS:
+    --root DIR      workspace root to lint (default: auto-detected from cwd)
+    --allow RULE    downgrade RULE to advisory: reported, but exempt from
+                    the nonzero exit (repeatable; the burndown baseline)
+    --deny-all      ignore every --allow: all rules gate (the CI mode)
+    --json          machine-readable findings on stdout
+    --list-rules    print the rule ids and exit
+    -h, --help      this text
+
+EXIT: 0 clean, 1 findings under denied rules, 2 usage or I/O error.";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut deny_all = false;
+    let mut cfg = LintConfig::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--json" => json = true,
+            "--deny-all" => deny_all = true,
+            "--list-rules" => {
+                for rule in RULES {
+                    println!("{rule}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--root" => {
+                let dir = it.next().ok_or("--root wants a directory")?;
+                root = Some(PathBuf::from(dir));
+            }
+            "--allow" => {
+                let rule = it.next().ok_or("--allow wants a rule id")?;
+                if !RULES.contains(&rule.as_str()) {
+                    return Err(format!("--allow {rule}: unknown rule (see --list-rules)"));
+                }
+                cfg.allow.insert(rule);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    if deny_all {
+        cfg.allow.clear();
+    }
+    let root = match root {
+        Some(r) => r,
+        None => detect_root().ok_or(
+            "no workspace root found (no ancestor with Cargo.toml + crates/); pass --root",
+        )?,
+    };
+    let findings =
+        lint_workspace(&root, &cfg).map_err(|e| format!("lint {}: {e}", root.display()))?;
+    let denied: Vec<&Finding> = findings.iter().filter(|f| !cfg.allow.contains(f.rule)).collect();
+    if json {
+        print_json(&findings, &cfg);
+    } else {
+        for f in &findings {
+            let note = if cfg.allow.contains(f.rule) { " (allowed)" } else { "" };
+            println!("{f}{note}");
+        }
+        eprintln!(
+            "flashflow-lint: {} finding(s), {} gating, {} file(s) checked under {}",
+            findings.len(),
+            denied.len(),
+            flashflow_lint::workspace_files(&root).map(|f| f.len()).unwrap_or(0),
+            root.display()
+        );
+    }
+    Ok(if denied.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+/// Ascends from the cwd to the first directory that looks like the
+/// workspace root (has both `Cargo.toml` and `crates/`).
+fn detect_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn print_json(findings: &[Finding], cfg: &LintConfig) {
+    let mut lines = Vec::with_capacity(findings.len());
+    for f in findings {
+        lines.push(format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"allowed\":{},\"msg\":\"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.rule,
+            cfg.allow.contains(f.rule),
+            json_escape(&f.msg)
+        ));
+    }
+    println!("[{}]", lines.join(","));
+}

@@ -1,0 +1,328 @@
+//! `lock-order`: extracts each function's `Mutex`/`RwLock`
+//! acquisition sequence, accumulates a workspace-wide lock-order
+//! graph, and fails on cycles — the thread-per-connection listeners
+//! take locks on several shared maps, and two functions taking the
+//! same pair in opposite orders is a deadlock waiting for load.
+//!
+//! The analysis is token-level and deliberately conservative about
+//! guard lifetimes:
+//!
+//! * an acquisition bound with `let` holds its guard to the end of the
+//!   enclosing block;
+//! * an inline temporary (`shared.replay.lock()?.witness(..)`) holds
+//!   it to the end of the statement;
+//! * while a guard is held, every later acquisition adds an edge
+//!   *held → new*.
+//!
+//! Locks are identified by their receiver's final field name
+//! (`shared.replay.lock()` → `replay`), scoped per crate so unrelated
+//! crates sharing a field name cannot alias. A deliberate exception —
+//! a site the analysis misreads — is excluded with a
+//! `// LOCK-ORDER: <why>` comment on the acquisition. Only `.lock()`,
+//! `.read()`, and `.write()` with *empty* argument lists are
+//! acquisitions; `io::Write::write(buf)` takes an argument and is
+//! ignored. Test code is exempt (a test may stage lock orders on
+//! purpose); the production listeners are what must stay acyclic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::scan::FileScan;
+use crate::{Finding, LintConfig};
+
+pub const RULE: &str = "lock-order";
+
+const MARKER: &str = "LOCK-ORDER:";
+
+/// Where an edge was first observed.
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub file: String,
+    pub line: u32,
+    pub func: String,
+}
+
+/// The accumulated acquisition-order graph: `(crate, held, acquired)`
+/// → first site that took them in that order.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    edges: BTreeMap<(String, String, String), Site>,
+}
+
+/// One currently-held guard while walking a function body.
+struct Held {
+    name: String,
+    /// Token index past which the guard is dropped.
+    until: usize,
+}
+
+/// Folds `scan`'s functions into the graph.
+pub fn collect(scan: &FileScan<'_>, graph: &mut LockGraph) {
+    let krate = LintConfig::crate_of(scan.path).unwrap_or("workspace").to_string();
+    for f in &scan.fns {
+        // Skip nested fns here; they get their own walk.
+        let nested: Vec<(usize, usize)> = scan
+            .fns
+            .iter()
+            .filter(|g| g.body.0 > f.body.0 && g.body.1 < f.body.1)
+            .map(|g| g.body)
+            .collect();
+        let mut held: Vec<Held> = Vec::new();
+        for &ix in &scan.sig {
+            if ix <= f.body.0 || ix >= f.body.1 {
+                continue;
+            }
+            if nested.iter().any(|&(lo, hi)| lo <= ix && ix <= hi) {
+                continue;
+            }
+            if scan.test_mask[ix] {
+                continue;
+            }
+            let Some(name) = acquisition(scan, ix) else { continue };
+            // The exclusion comment may sit against the method or above
+            // the whole statement.
+            if scan.has_marker(ix, MARKER) || scan.has_marker(scan.stmt_start(ix), MARKER) {
+                continue;
+            }
+            held.retain(|h| h.until > ix);
+            let until = guard_end(scan, ix);
+            for h in &held {
+                graph.edges.entry((krate.clone(), h.name.clone(), name.clone())).or_insert_with(
+                    || Site {
+                        file: scan.path.to_string(),
+                        line: scan.toks[ix].line,
+                        func: f.name.clone(),
+                    },
+                );
+            }
+            held.push(Held { name, until });
+        }
+    }
+}
+
+/// If the significant token at `ix` is an acquisition method
+/// (`.lock()` / `.read()` / `.write()` with no arguments), returns the
+/// lock's name.
+fn acquisition(scan: &FileScan<'_>, ix: usize) -> Option<String> {
+    if scan.toks[ix].kind != TokKind::Ident {
+        return None;
+    }
+    if !matches!(scan.text(ix), "lock" | "read" | "write") {
+        return None;
+    }
+    let dot = scan.sig_before(ix, 1)?;
+    if scan.text(dot) != "." {
+        return None;
+    }
+    if scan.text(scan.sig_after(ix, 1)?) != "(" || scan.text(scan.sig_after(ix, 2)?) != ")" {
+        return None;
+    }
+    // Receiver's final component: step back over one balanced group if
+    // the receiver is itself a call (`stdout().lock()`), then take the
+    // identifier (or tuple index) before the dot.
+    let mut j = scan.sig_before(dot, 1)?;
+    if matches!(scan.text(j), ")" | "]") {
+        let mut depth = 1i32;
+        while depth > 0 {
+            j = scan.sig_before(j, 1)?;
+            match scan.text(j) {
+                ")" | "]" => depth += 1,
+                "(" | "[" => depth -= 1,
+                _ => {}
+            }
+        }
+        j = scan.sig_before(j, 1)?;
+    }
+    match scan.toks[j].kind {
+        TokKind::Ident | TokKind::Num => Some(scan.text(j).to_string()),
+        _ => None,
+    }
+}
+
+/// The token index where the guard acquired at `ix` drops: end of the
+/// enclosing block for `let`-bound guards, end of the statement for
+/// temporaries.
+///
+/// A guard is `let`-bound only when the binding captures the *guard
+/// itself*: the call may be adapted by `.unwrap()` / `.expect(..)` /
+/// `?`, but a further method (`.clone()`, `.get(..)`) means the bound
+/// value is derived and the guard is a temporary that drops at the
+/// statement's end.
+fn guard_end(scan: &FileScan<'_>, ix: usize) -> usize {
+    // Backward to the statement start; a `let` on the way means the
+    // statement is a binding.
+    let mut let_stmt = false;
+    let mut depth = 0i32;
+    let mut j = ix;
+    while let Some(prev) = scan.sig_before(j, 1) {
+        j = prev;
+        match scan.text(j) {
+            ")" | "]" => depth += 1,
+            "(" | "[" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ";" | "{" | "}" if depth == 0 => break,
+            "let" if depth == 0 && scan.toks[j].kind == TokKind::Ident => {
+                let_stmt = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    let bound = let_stmt && binds_guard(scan, ix);
+    // Forward to the drop point.
+    let mut depth = 0i32;
+    let mut k = ix;
+    while let Some(next) = scan.sig_after(k, 1) {
+        k = next;
+        match scan.text(k) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if !bound => depth += 1,
+            "}" if !bound => depth -= 1,
+            "{" if bound => depth += 1,
+            "}" if bound => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            ";" if !bound && depth <= 0 => return k,
+            _ => {}
+        }
+    }
+    k
+}
+
+/// True when the expression chain after the acquisition at `ix` ends
+/// with the guard (possibly through `.unwrap()` / `.expect(..)` / `?`)
+/// rather than a value derived from it.
+fn binds_guard(scan: &FileScan<'_>, ix: usize) -> bool {
+    // `ix` is the method ident; skip its `( )`.
+    let Some(mut k) = scan.sig_after(ix, 3) else { return false };
+    loop {
+        match scan.text(k) {
+            ";" => return true,
+            "?" => {}
+            "." => {
+                let Some(m) = scan.sig_after(k, 1) else { return false };
+                if !matches!(scan.text(m), "unwrap" | "expect") {
+                    return false;
+                }
+                // Skip the adapter's balanced argument list.
+                let Some(open) = scan.sig_after(m, 1) else { return false };
+                if scan.text(open) != "(" {
+                    return false;
+                }
+                let mut depth = 0i32;
+                k = open;
+                loop {
+                    match scan.text(k) {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    let Some(next) = scan.sig_after(k, 1) else { return false };
+                    k = next;
+                }
+            }
+            _ => return false,
+        }
+        let Some(next) = scan.sig_after(k, 1) else { return false };
+        k = next;
+    }
+}
+
+/// Detects cycles in the accumulated graph and reports each once.
+pub fn check(graph: &LockGraph, out: &mut Vec<Finding>) {
+    // Group edges per crate.
+    let mut crates: BTreeMap<&str, BTreeMap<&str, Vec<&str>>> = BTreeMap::new();
+    for (krate, from, to) in graph.edges.keys() {
+        crates.entry(krate).or_default().entry(from).or_default().push(to);
+    }
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for (krate, adj) in &crates {
+        let nodes: Vec<&str> =
+            adj.iter().flat_map(|(f, ts)| std::iter::once(*f).chain(ts.iter().copied())).collect();
+        for &start in &nodes {
+            let mut stack = vec![start];
+            let mut path = Vec::new();
+            dfs(adj, start, &mut stack, &mut path, &mut |cycle| {
+                // Normalize: rotate the cycle so its smallest node
+                // leads, so A→B→A and B→A→B report once.
+                let min = cycle.iter().enumerate().min_by_key(|(_, n)| n.as_str()).map(|(i, _)| i);
+                let Some(min) = min else { return };
+                let mut norm: Vec<String> =
+                    cycle[min..].iter().chain(&cycle[..min]).map(|s| s.to_string()).collect();
+                norm.push(norm[0].clone());
+                if !reported.insert(norm.clone()) {
+                    return;
+                }
+                let mut legs = Vec::new();
+                for pair in norm.windows(2) {
+                    let key = (krate.to_string(), pair[0].clone(), pair[1].clone());
+                    if let Some(site) = graph.edges.get(&key) {
+                        legs.push(format!(
+                            "{}→{} at {}:{} in `{}`",
+                            pair[0], pair[1], site.file, site.line, site.func
+                        ));
+                    }
+                }
+                let site = graph
+                    .edges
+                    .get(&(krate.to_string(), norm[0].clone(), norm[1].clone()))
+                    .cloned();
+                let (file, line) = site
+                    .map(|s| (s.file, s.line))
+                    .unwrap_or_else(|| (format!("crates/{krate}"), 1));
+                out.push(Finding {
+                    file,
+                    line,
+                    rule: RULE,
+                    msg: format!(
+                        "lock-order cycle in crate `{krate}`: {} (a thread holding one side \
+                         while another holds the other deadlocks): {}",
+                        norm.join(" → "),
+                        legs.join("; ")
+                    ),
+                });
+            });
+            debug_assert!(path.is_empty() && stack == vec![start]);
+        }
+    }
+}
+
+/// DFS from `node` along `adj`, invoking `on_cycle` with the node path
+/// of every cycle that returns to a node currently on the stack.
+/// Bounded by path length (no revisits within one path), which is
+/// plenty for a lock graph of a dozen nodes.
+fn dfs<'g>(
+    adj: &BTreeMap<&'g str, Vec<&'g str>>,
+    node: &'g str,
+    stack: &mut Vec<&'g str>,
+    path: &mut Vec<String>,
+    on_cycle: &mut impl FnMut(&[String]),
+) {
+    let Some(nexts) = adj.get(node) else { return };
+    for &next in nexts {
+        if let Some(pos) = stack.iter().position(|&n| n == next) {
+            let mut cycle: Vec<String> = stack[pos..].iter().map(|s| s.to_string()).collect();
+            cycle[0] = next.to_string();
+            on_cycle(&cycle);
+            continue;
+        }
+        stack.push(next);
+        path.push(next.to_string());
+        dfs(adj, next, stack, path, on_cycle);
+        path.pop();
+        stack.pop();
+    }
+}

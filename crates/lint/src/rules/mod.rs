@@ -1,0 +1,13 @@
+//! The rule implementations. Each module exposes a `RULE` id and a
+//! `check` entry point; file-local rules take one [`FileScan`], the
+//! cross-file rules ([`lock_order`], [`msg_exhaustive`]) accumulate
+//! over the whole workspace.
+//!
+//! [`FileScan`]: crate::scan::FileScan
+
+pub mod durability;
+pub mod lock_order;
+pub mod msg_exhaustive;
+pub mod no_panic;
+pub mod ordering;
+pub mod safety;

@@ -1,0 +1,172 @@
+//! `msg-exhaustive`: every variant of the wire-message enum must
+//! appear in the encoder, in the decoder, and in the codec property
+//! test. The replay windows and keyed tags only defend if every
+//! message actually round-trips through the codec under test — a
+//! variant added to `Msg` but forgotten in `prop_codec.rs` is a
+//! protocol surface the property tests silently stop covering (the
+//! compiler forces the *encoder* match to be exhaustive, but nothing
+//! forces the decoder's byte-level arm or the test generator until
+//! this rule).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::scan::FileScan;
+use crate::{CodecConfig, Finding, LintConfig};
+
+pub const RULE: &str = "msg-exhaustive";
+
+/// Runs against the whole workspace's `(path, source)` list.
+pub fn check(sources: &[(String, String)], cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let Some(codec) = &cfg.codec else { return };
+    let Some(enum_scan) = file(sources, &codec.enum_file) else {
+        out.push(missing(codec, &codec.enum_file, "message enum file not found"));
+        return;
+    };
+    let variants = enum_variants(&enum_scan, &codec.enum_name);
+    if variants.is_empty() {
+        out.push(missing(
+            codec,
+            &codec.enum_file,
+            &format!("enum `{}` not found or has no variants", codec.enum_name),
+        ));
+        return;
+    }
+    let Some(codec_scan) = file(sources, &codec.codec_file) else {
+        out.push(missing(codec, &codec.codec_file, "codec file not found"));
+        return;
+    };
+    let places: [(&str, Option<BTreeSet<String>>, &str); 3] = [
+        (
+            codec.codec_file.as_str(),
+            fn_refs(&codec_scan, &codec.enum_name, &codec.encode_fn),
+            "encoder",
+        ),
+        (
+            codec.codec_file.as_str(),
+            fn_refs(&codec_scan, &codec.enum_name, &codec.decode_fn),
+            "decoder",
+        ),
+        (
+            codec.prop_file.as_str(),
+            file(sources, &codec.prop_file)
+                .map(|scan| refs(&scan, &codec.enum_name, scan.body_range())),
+            "codec property test",
+        ),
+    ];
+    for (path, refs, what) in places {
+        let Some(refs) = refs else {
+            out.push(missing(codec, path, &format!("{what} not found")));
+            continue;
+        };
+        for (variant, line) in &variants {
+            if !refs.contains(variant) {
+                out.push(Finding {
+                    file: codec.enum_file.clone(),
+                    line: *line,
+                    rule: RULE,
+                    msg: format!(
+                        "`{}::{variant}` never appears in the {what} ({path}); a variant \
+                         outside the codec and its property tests is unprotected protocol \
+                         surface",
+                        codec.enum_name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn missing(codec: &CodecConfig, path: &str, msg: &str) -> Finding {
+    Finding { file: codec.enum_file.clone(), line: 1, rule: RULE, msg: format!("{msg} ({path})") }
+}
+
+fn file<'a>(sources: &'a [(String, String)], path: &str) -> Option<FileScan<'a>> {
+    sources.iter().find(|(p, _)| p == path).map(|(p, src)| FileScan::new(p, src))
+}
+
+impl FileScan<'_> {
+    /// The whole file as a token range.
+    fn body_range(&self) -> (usize, usize) {
+        (0, self.toks.len())
+    }
+}
+
+/// The variants of `enum <name> { ... }`: each `(variant, line)`.
+fn enum_variants(scan: &FileScan<'_>, name: &str) -> Vec<(String, u32)> {
+    let mut variants = Vec::new();
+    // Find `enum <name> {`.
+    let mut open = None;
+    for &ix in &scan.sig {
+        if scan.is_ident(ix, "enum")
+            && scan.sig_after(ix, 1).is_some_and(|j| scan.is_ident(j, name))
+            && scan.sig_after(ix, 2).is_some_and(|j| scan.text(j) == "{")
+        {
+            open = scan.sig_after(ix, 2);
+            break;
+        }
+    }
+    let Some(open) = open else { return variants };
+    // Walk the body at depth 1: the identifier after `{`, `,`, or a
+    // closed attribute is a variant name; nested payload braces,
+    // parens, and attribute brackets bump the depth.
+    let mut depth = 0i32;
+    let mut expecting = false;
+    for &ix in scan.sig.iter().filter(|&&ix| ix >= open) {
+        match scan.text(ix) {
+            "{" | "(" | "[" => {
+                if depth == 1 {
+                    expecting = false;
+                }
+                depth += 1;
+                if ix == open {
+                    expecting = true;
+                }
+            }
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                if depth == 1 && scan.text(ix) == "]" {
+                    // An attribute between variants closed; still
+                    // expecting the name.
+                    expecting = true;
+                }
+            }
+            "," if depth == 1 => expecting = true,
+            "#" => {}
+            _ => {
+                if depth == 1 && expecting && scan.toks[ix].kind == TokKind::Ident {
+                    variants.push((scan.text(ix).to_string(), scan.toks[ix].line));
+                    expecting = false;
+                }
+            }
+        }
+    }
+    variants
+}
+
+/// `Enum::Variant` references inside the named function's body.
+fn fn_refs(scan: &FileScan<'_>, enum_name: &str, fn_name: &str) -> Option<BTreeSet<String>> {
+    let f = scan.fns.iter().find(|f| f.name == fn_name)?;
+    Some(refs(scan, enum_name, f.body))
+}
+
+/// `Enum::Variant` references within a token range.
+fn refs(scan: &FileScan<'_>, enum_name: &str, range: (usize, usize)) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for &ix in scan.sig.iter().filter(|&&ix| ix >= range.0 && ix <= range.1) {
+        if scan.is_ident(ix, enum_name)
+            && scan.sig_after(ix, 1).is_some_and(|j| scan.text(j) == ":")
+            && scan.sig_after(ix, 2).is_some_and(|j| scan.text(j) == ":")
+        {
+            if let Some(v) = scan.sig_after(ix, 3) {
+                if scan.toks[v].kind == TokKind::Ident {
+                    out.insert(scan.text(v).to_string());
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,77 @@
+//! `atomic-ordering`: atomic memory orderings must be deliberate, in
+//! both directions.
+//!
+//! * In the hot-path modules (the metrics registry and the blast data
+//!   plane, where the <3% instrumentation-overhead gate lives),
+//!   `SeqCst` is the *expensive* choice: a full fence per counter
+//!   bump. Any `SeqCst` there must carry an `// ORDERING:` comment
+//!   saying why the fence is worth it.
+//! * Everywhere, `Relaxed` on a **store** is the *dangerous* choice:
+//!   stores are how one thread hands a flag or value to another, and
+//!   a relaxed store makes no visibility promise about anything
+//!   written before it. Any `.store(.., Relaxed)` must carry an
+//!   `// ORDERING:` comment saying why no other memory needs to be
+//!   published with it. Relaxed *loads* and `fetch_add`s of
+//!   independent counters are the normal cheap case and pass silently.
+
+use crate::scan::FileScan;
+use crate::{Finding, LintConfig};
+
+pub const RULE: &str = "atomic-ordering";
+
+const MARKER: &str = "ORDERING:";
+
+pub fn check(scan: &FileScan<'_>, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let hot = cfg.hot_path_files.iter().any(|f| scan.path.ends_with(f.as_str()));
+    // The justification naturally sits above the whole statement, not
+    // wedged against the `Ordering::` path — accept either placement.
+    let marked =
+        |ix: usize| scan.has_marker(ix, MARKER) || scan.has_marker(scan.stmt_start(ix), MARKER);
+    for &ix in &scan.sig {
+        if hot && scan.is_ident(ix, "SeqCst") && !marked(ix) {
+            out.push(Finding {
+                file: scan.path.to_string(),
+                line: scan.toks[ix].line,
+                rule: RULE,
+                msg: "`SeqCst` in a hot-path module without an `// ORDERING:` justification \
+                      (a full fence on the instrumented path)"
+                    .into(),
+            });
+        }
+        if scan.is_ident(ix, "Relaxed") && in_store_call(scan, ix) && !marked(ix) {
+            out.push(Finding {
+                file: scan.path.to_string(),
+                line: scan.toks[ix].line,
+                rule: RULE,
+                msg: "relaxed store without an `// ORDERING:` justification (a cross-thread \
+                      handoff through a relaxed store publishes nothing written before it)"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// True when the token at `ix` sits inside the argument list of a
+/// `.store(...)` call: walking backwards, the unmatched `(` enclosing
+/// `ix` is preceded by the identifier `store`. The walk stops at a
+/// statement boundary so an ordering named *near* a store is not
+/// confused with one passed *to* it.
+fn in_store_call(scan: &FileScan<'_>, ix: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = ix;
+    loop {
+        let Some(prev) = scan.sig_before(j, 1) else { return false };
+        j = prev;
+        match scan.text(j) {
+            ")" | "]" => depth += 1,
+            "(" | "[" => {
+                if depth == 0 {
+                    return scan.sig_before(j, 1).is_some_and(|k| scan.is_ident(k, "store"));
+                }
+                depth -= 1;
+            }
+            ";" | "{" | "}" if depth == 0 => return false,
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! `safety-comment`: every `unsafe` occurrence (blocks, `unsafe fn`,
+//! `unsafe impl`) and every `extern "C"` *item* (foreign block or
+//! ABI-declared function) must carry a `// SAFETY:` comment saying why
+//! the compiler-unenforced obligation holds. Applies to test code too:
+//! a harness poking `kill(2)` at child processes owes the same
+//! justification as the signal handler it exercises.
+//!
+//! `extern "C"` in *type* position (`extern "C" fn(i32)` inside a
+//! cast) carries no new obligation and is not flagged: an item is
+//! recognized by the brace of a foreign block or by `fn` followed by a
+//! function *name*.
+
+use crate::scan::FileScan;
+use crate::{Finding, LintConfig};
+
+pub const RULE: &str = "safety-comment";
+
+const MARKER: &str = "SAFETY:";
+
+pub fn check(scan: &FileScan<'_>, _cfg: &LintConfig, out: &mut Vec<Finding>) {
+    // The comment may sit against the keyword itself or above the
+    // enclosing statement (`let p = unsafe { .. };`).
+    let marked =
+        |ix: usize| scan.has_marker(ix, MARKER) || scan.has_marker(scan.stmt_start(ix), MARKER);
+    for &ix in &scan.sig {
+        if scan.is_ident(ix, "unsafe") {
+            // `unsafe` inside an `extern "C"`-type cast never occurs;
+            // every `unsafe` keyword starts an obligation.
+            if !marked(ix) {
+                out.push(finding(scan, ix, "`unsafe` without a `// SAFETY:` justification"));
+            }
+        } else if scan.is_ident(ix, "extern") && is_extern_c_item(scan, ix) && !marked(ix) {
+            out.push(finding(scan, ix, "`extern \"C\"` item without a `// SAFETY:` justification"));
+        }
+    }
+}
+
+/// True when the `extern` at `ix` opens a `"C"` foreign block or an
+/// ABI-declared named function — the item forms — rather than a
+/// function-pointer type.
+fn is_extern_c_item(scan: &FileScan<'_>, ix: usize) -> bool {
+    let Some(abi) = scan.sig_after(ix, 1) else { return false };
+    if scan.text(abi) != "\"C\"" {
+        return false;
+    }
+    match scan.sig_after(ix, 2).map(|j| scan.text(j)) {
+        Some("{") => true,
+        Some("fn") => {
+            // `extern "C" fn name(` is an item; `extern "C" fn(` is a
+            // type.
+            scan.sig_after(ix, 3).is_some_and(|j| scan.toks[j].kind == crate::lexer::TokKind::Ident)
+        }
+        _ => false,
+    }
+}
+
+fn finding(scan: &FileScan<'_>, ix: usize, msg: &str) -> Finding {
+    Finding {
+        file: scan.path.to_string(),
+        line: scan.toks[ix].line,
+        rule: RULE,
+        msg: msg.to_string(),
+    }
+}

@@ -1,0 +1,405 @@
+//! Structural context layered over the raw token stream: which tokens
+//! are test-only code, where function bodies begin and end, and
+//! whether a token carries a justification annotation (`// SAFETY:`,
+//! `// ORDERING:`) in its surrounding comments.
+//!
+//! This is deliberately *not* a parser. Every question the rules ask
+//! can be answered with brace matching and small backward/forward
+//! walks, which keeps the analysis a few hundred lines and — unlike a
+//! grammar — impossible to desynchronize from future Rust editions:
+//! unknown syntax just lexes to tokens the walks skip.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One lexed file plus the derived structure the rules share.
+pub struct FileScan<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub path: &'a str,
+    pub src: &'a str,
+    pub toks: Vec<Token>,
+    /// Indices into `toks` of the significant (non-trivia) tokens.
+    pub sig: Vec<usize>,
+    /// Per *token* (not per sig entry): true inside `#[cfg(test)]` /
+    /// `#[test]` items, or everywhere in files under `tests/` or
+    /// `benches/` directories.
+    pub test_mask: Vec<bool>,
+    /// Function bodies, innermost-last for nested functions.
+    pub fns: Vec<FnSpan>,
+}
+
+/// A `fn` item: its name and the token range of its body.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, `{` and `}` inclusive.
+    pub body: (usize, usize),
+}
+
+impl<'a> FileScan<'a> {
+    pub fn new(path: &'a str, src: &'a str) -> FileScan<'a> {
+        let toks = lex(src);
+        let sig: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].kind.is_trivia()).collect();
+        let mut scan = FileScan { path, src, toks, sig, test_mask: Vec::new(), fns: Vec::new() };
+        scan.test_mask = scan.compute_test_mask();
+        scan.fns = scan.compute_fns();
+        scan
+    }
+
+    /// The text of token `ix`.
+    pub fn text(&self, ix: usize) -> &'a str {
+        self.toks[ix].text(self.src)
+    }
+
+    /// True when token `ix` is the identifier `word`.
+    pub fn is_ident(&self, ix: usize, word: &str) -> bool {
+        self.toks[ix].kind == TokKind::Ident && self.text(ix) == word
+    }
+
+    /// The position in `sig` of token index `ix` (which must be
+    /// significant).
+    fn sig_pos(&self, ix: usize) -> usize {
+        self.sig.partition_point(|&s| s < ix)
+    }
+
+    /// The n-th significant token after the significant token `ix`
+    /// (1 = next).
+    pub fn sig_after(&self, ix: usize, n: usize) -> Option<usize> {
+        let p = self.sig_pos(ix);
+        if self.sig.get(p) != Some(&ix) {
+            return None;
+        }
+        self.sig.get(p + n).copied()
+    }
+
+    /// The n-th significant token before the significant token `ix`
+    /// (1 = previous).
+    pub fn sig_before(&self, ix: usize, n: usize) -> Option<usize> {
+        let p = self.sig_pos(ix);
+        if self.sig.get(p) != Some(&ix) {
+            return None;
+        }
+        p.checked_sub(n).map(|q| self.sig[q])
+    }
+
+    /// Whether the path lives in a directory whose *entire* contents
+    /// are test or bench code.
+    fn whole_file_is_test(path: &str) -> bool {
+        path.split('/').any(|seg| seg == "tests" || seg == "benches")
+    }
+
+    /// Marks the token ranges covered by `#[cfg(test)]` / `#[test]`
+    /// items (attribute through the item's closing brace or semicolon).
+    fn compute_test_mask(&self) -> Vec<bool> {
+        let mut mask = vec![Self::whole_file_is_test(self.path); self.toks.len()];
+        if mask.first().copied().unwrap_or(false) {
+            return mask;
+        }
+        let mut s = 0usize;
+        while s < self.sig.len() {
+            let ix = self.sig[s];
+            if self.text(ix) == "#" {
+                if let Some((attr_end_s, is_test)) = self.scan_attribute(s) {
+                    if is_test {
+                        if let Some(item_end_s) = self.item_end(attr_end_s + 1) {
+                            let lo = ix;
+                            let hi = self.sig[item_end_s];
+                            for m in mask.iter_mut().take(hi + 1).skip(lo) {
+                                *m = true;
+                            }
+                            s = item_end_s + 1;
+                            continue;
+                        }
+                    }
+                    s = attr_end_s + 1;
+                    continue;
+                }
+            }
+            s += 1;
+        }
+        mask
+    }
+
+    /// From sig position `s` at a `#`, scans the `[...]` attribute.
+    /// Returns the sig position of the closing `]` and whether the
+    /// attribute marks test code (`#[test]`, `#[cfg(test)]`, and any
+    /// `cfg` whose predicate mentions `test`).
+    fn scan_attribute(&self, s: usize) -> Option<(usize, bool)> {
+        let open = *self.sig.get(s + 1)?;
+        if self.text(open) != "[" {
+            return None;
+        }
+        let mut depth = 0usize;
+        let mut idents: Vec<&str> = Vec::new();
+        for (pos, &ix) in self.sig.iter().enumerate().skip(s + 1) {
+            match self.text(ix) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let is_test = idents.first() == Some(&"test")
+                            || (idents.first() == Some(&"cfg") && idents.contains(&"test"));
+                        return Some((pos, is_test));
+                    }
+                }
+                _ => {
+                    if self.toks[ix].kind == TokKind::Ident {
+                        idents.push(self.text(ix));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// From sig position `s` (just past an attribute), finds the sig
+    /// position where the annotated item ends: its matching `}` for a
+    /// braced item, or the `;` for a declaration. Intervening
+    /// attributes are stepped over.
+    fn item_end(&self, mut s: usize) -> Option<usize> {
+        // Skip any further attributes between the test attribute and
+        // the item keyword.
+        while s < self.sig.len() && self.text(self.sig[s]) == "#" {
+            let (end, _) = self.scan_attribute(s)?;
+            s = end + 1;
+        }
+        let mut paren = 0i32;
+        for (pos, &ix) in self.sig.iter().enumerate().skip(s) {
+            match self.text(ix) {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                ";" if paren == 0 => return Some(pos),
+                "{" if paren == 0 => return self.match_brace(pos),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Sig position of the `}` matching the `{` at sig position
+    /// `open_s`.
+    fn match_brace(&self, open_s: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        for (pos, &ix) in self.sig.iter().enumerate().skip(open_s) {
+            match self.text(ix) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(pos);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Collects every `fn name ... { body }` span. A `fn` token that
+    /// opens a function *type* (`fn(i32) -> i32`) is not followed by an
+    /// identifier and is skipped.
+    fn compute_fns(&self) -> Vec<FnSpan> {
+        let mut fns = Vec::new();
+        for (s, &ix) in self.sig.iter().enumerate() {
+            if !self.is_ident(ix, "fn") {
+                continue;
+            }
+            let Some(&name_ix) = self.sig.get(s + 1) else { continue };
+            if self.toks[name_ix].kind != TokKind::Ident {
+                continue;
+            }
+            // Scan to the body `{` at paren depth 0; a `;` first means
+            // a bodiless declaration (trait method, extern fn).
+            let mut paren = 0i32;
+            let mut body = None;
+            for (pos, &jx) in self.sig.iter().enumerate().skip(s + 2) {
+                match self.text(jx) {
+                    "(" | "[" => paren += 1,
+                    ")" | "]" => paren -= 1,
+                    ";" if paren == 0 => break,
+                    "{" if paren == 0 => {
+                        if let Some(close) = self.match_brace(pos) {
+                            body = Some((self.sig[pos], self.sig[close]));
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(body) = body {
+                fns.push(FnSpan {
+                    name: self.text(name_ix).to_string(),
+                    line: self.toks[ix].line,
+                    body,
+                });
+            }
+        }
+        fns
+    }
+
+    /// The name of the innermost function whose body contains token
+    /// `ix`, if any.
+    pub fn enclosing_fn(&self, ix: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.0 <= ix && ix <= f.body.1)
+            .min_by_key(|f| f.body.1 - f.body.0)
+    }
+
+    /// The first significant token of the statement containing the
+    /// significant token `ix`: the token after the nearest preceding
+    /// `;`, `{`, or `}`. Heuristic — a `;` inside a closure argument
+    /// also counts as a boundary — but for marker lookup that only
+    /// narrows where a comment may sit, never widens it.
+    pub fn stmt_start(&self, ix: usize) -> usize {
+        let mut j = ix;
+        let mut start = ix;
+        while let Some(prev) = self.sig_before(j, 1) {
+            if matches!(self.text(prev), ";" | "{" | "}") {
+                break;
+            }
+            j = prev;
+            start = prev;
+        }
+        start
+    }
+
+    /// True when token `ix` carries the `marker` annotation: the
+    /// nearest comment block immediately above it (attributes stepped
+    /// over), or a comment later on the same line, contains `marker`.
+    pub fn has_marker(&self, ix: usize, marker: &str) -> bool {
+        // Backward: skip whitespace; comments are inspected and
+        // *accumulate* (a justification may span several `//` lines);
+        // an attribute `#[...]` between the comment and the token is
+        // stepped over; any other token ends the search.
+        let mut j = ix;
+        let mut blanks_ok = true;
+        while j > 0 && blanks_ok {
+            j -= 1;
+            let t = &self.toks[j];
+            match t.kind {
+                TokKind::Ws => {
+                    // A blank line (two newlines) detaches the comment
+                    // above it from this token.
+                    if t.text(self.src).bytes().filter(|&b| b == b'\n').count() >= 2 {
+                        blanks_ok = false;
+                    }
+                }
+                TokKind::LineComment | TokKind::BlockComment => {
+                    if t.text(self.src).contains(marker) {
+                        return true;
+                    }
+                }
+                _ => {
+                    // Step over one attribute: `]` ... `[` `#`.
+                    if t.text(self.src) == "]" {
+                        let mut depth = 1i32;
+                        while j > 0 && depth > 0 {
+                            j -= 1;
+                            match self.text(j) {
+                                "]" => depth += 1,
+                                "[" => depth -= 1,
+                                _ => {}
+                            }
+                        }
+                        if j > 0 && self.text(j - 1) == "#" {
+                            j -= 1;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        // Forward: a trailing comment on the token's own line.
+        let line = self.toks[ix].line;
+        for t in &self.toks[ix + 1..] {
+            if t.line > line {
+                break;
+            }
+            if t.kind.is_comment() && t.text(self.src).contains(marker) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules_and_test_fns() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn helper() { y.unwrap(); }\n}\n\
+                   #[test]\nfn one() { z.unwrap(); }\n\
+                   fn also_live() {}\n";
+        let scan = FileScan::new("crates/x/src/lib.rs", src);
+        let masked: Vec<(&str, bool)> = scan
+            .sig
+            .iter()
+            .filter(|&&ix| scan.toks[ix].kind == TokKind::Ident)
+            .map(|&ix| (scan.text(ix), scan.test_mask[ix]))
+            .filter(|(t, _)| ["live", "helper", "one", "also_live", "tests"].contains(t))
+            .collect();
+        assert_eq!(
+            masked,
+            vec![
+                ("live", false),
+                ("tests", true),
+                ("helper", true),
+                ("one", true),
+                ("also_live", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn files_under_tests_dirs_are_all_test_code() {
+        let scan = FileScan::new("crates/x/tests/harness.rs", "fn f() { a.unwrap(); }");
+        assert!(scan.test_mask.iter().all(|&m| m));
+    }
+
+    #[test]
+    fn fn_spans_capture_bodies_not_fn_types() {
+        let src = "fn outer(cb: fn(i32) -> i32) -> Vec<u8> {\n    fn inner() {}\n    Vec::new()\n}";
+        let scan = FileScan::new("x.rs", src);
+        let names: Vec<&str> = scan.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        let inner_tok =
+            scan.sig.iter().copied().find(|&ix| scan.is_ident(ix, "inner")).expect("inner ident");
+        // `inner`'s name token sits in outer's body; the innermost
+        // enclosing fn of a token *inside* inner's braces is inner.
+        let brace_after_inner = scan.sig_after(inner_tok, 3).expect("inner body");
+        assert_eq!(scan.enclosing_fn(brace_after_inner).expect("enclosing").name, "inner");
+    }
+
+    #[test]
+    fn markers_are_found_above_after_and_not_through_blank_lines() {
+        let src = "// SAFETY: justified above\nunsafe { a() };\n\
+                   unsafe { b() }; // SAFETY: justified trailing\n\
+                   // SAFETY: detached\n\nunsafe { c() };\n";
+        let scan = FileScan::new("x.rs", src);
+        let sites: Vec<(usize, bool)> = scan
+            .sig
+            .iter()
+            .copied()
+            .filter(|&ix| scan.is_ident(ix, "unsafe"))
+            .map(|ix| (ix, scan.has_marker(ix, "SAFETY:")))
+            .collect();
+        assert_eq!(sites.len(), 3);
+        assert!(sites[0].1, "comment above counts");
+        assert!(sites[1].1, "trailing same-line comment counts");
+        assert!(!sites[2].1, "a blank line detaches the comment");
+    }
+
+    #[test]
+    fn marker_steps_over_attributes() {
+        let src = "// SAFETY: the handler only flips a flag\n#[allow(dead_code)]\nunsafe { a() };";
+        let scan = FileScan::new("x.rs", src);
+        let ix = scan.sig.iter().copied().find(|&ix| scan.is_ident(ix, "unsafe")).expect("site");
+        assert!(scan.has_marker(ix, "SAFETY:"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-rule fixture tests: each rule gets a positive fixture (the
+//! violation fires, with the expected count) and a negative one (the
+//! annotated / refactored form is silent). The fixture sources live
+//! under `tests/fixtures/`, which both cargo and the linter's own
+//! workspace walk ignore — they hold deliberate violations.
+
+use std::collections::BTreeSet;
+
+use flashflow_lint::rules::{self, lock_order};
+use flashflow_lint::scan::FileScan;
+use flashflow_lint::{lint_file, CodecConfig, Finding, LintConfig};
+
+/// Rule ids of `findings`, in order.
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn safety_fixtures() {
+    let cfg = LintConfig::default();
+    let bad = lint_file("crates/core/src/fx.rs", include_str!("fixtures/safety_bad.rs"), &cfg);
+    assert_eq!(rules_of(&bad), vec!["safety-comment", "safety-comment"], "{bad:?}");
+    assert!(bad[0].msg.contains("unsafe"), "{}", bad[0]);
+    assert!(bad[1].msg.contains("extern"), "{}", bad[1]);
+
+    let good = lint_file("crates/core/src/fx.rs", include_str!("fixtures/safety_good.rs"), &cfg);
+    assert_eq!(good, vec![], "annotated fixture must be silent");
+}
+
+#[test]
+fn ordering_fixtures() {
+    let cfg = LintConfig::default();
+    // Under a hot-path name both the `SeqCst` fence and the relaxed
+    // store fire; elsewhere only the relaxed store.
+    let bad_src = include_str!("fixtures/ordering_bad.rs");
+    let hot = lint_file("crates/obs/src/metrics.rs", bad_src, &cfg);
+    assert_eq!(rules_of(&hot), vec!["atomic-ordering", "atomic-ordering"], "{hot:?}");
+    let cold = lint_file("crates/core/src/fx.rs", bad_src, &cfg);
+    assert_eq!(rules_of(&cold), vec!["atomic-ordering"], "{cold:?}");
+    assert!(cold[0].msg.contains("relaxed store"), "{}", cold[0]);
+
+    let good_src = include_str!("fixtures/ordering_good.rs");
+    let good = lint_file("crates/obs/src/metrics.rs", good_src, &cfg);
+    assert_eq!(good, vec![], "justified fixture must be silent even on the hot path");
+}
+
+#[test]
+fn no_panic_fixtures() {
+    let cfg = LintConfig::default();
+    let bad_src = include_str!("fixtures/no_panic_bad.rs");
+    let bad = lint_file("crates/measurer/src/fx.rs", bad_src, &cfg);
+    assert_eq!(rules_of(&bad), vec!["no-panic"; 4], "{bad:?}");
+
+    // The same panics outside a long-running binary's crate are fine.
+    let library = lint_file("crates/core/src/fx.rs", bad_src, &cfg);
+    assert_eq!(library, vec![], "libraries may panic");
+
+    let good =
+        lint_file("crates/measurer/src/fx.rs", include_str!("fixtures/no_panic_good.rs"), &cfg);
+    assert_eq!(good, vec![], "graceful fixture must be silent; test modules are exempt");
+}
+
+#[test]
+fn durability_fixtures() {
+    let cfg = LintConfig::default();
+    let bad_src = include_str!("fixtures/durability_bad.rs");
+    let bad = lint_file("crates/coord/src/fx.rs", bad_src, &cfg);
+    assert_eq!(rules_of(&bad), vec!["durability"; 3], "{bad:?}");
+
+    // The same writes outside a durable-state crate are fine.
+    let library = lint_file("crates/core/src/fx.rs", bad_src, &cfg);
+    assert_eq!(library, vec![], "non-durable crates write freely");
+
+    let good =
+        lint_file("crates/coord/src/fx.rs", include_str!("fixtures/durability_good.rs"), &cfg);
+    assert_eq!(good, vec![], "persist-routed fixture must be silent; reads stay unrestricted");
+}
+
+/// Runs the lock-order rule alone over one fixture source.
+fn lock_findings(src: &str) -> Vec<Finding> {
+    let scan = FileScan::new("crates/measurer/src/fx.rs", src);
+    let mut graph = lock_order::LockGraph::default();
+    lock_order::collect(&scan, &mut graph);
+    let mut findings = Vec::new();
+    lock_order::check(&graph, &mut findings);
+    findings
+}
+
+#[test]
+fn lock_order_fixtures() {
+    let bad = lock_findings(include_str!("fixtures/lock_order_bad.rs"));
+    assert_eq!(rules_of(&bad), vec!["lock-order"], "one cycle, reported once: {bad:?}");
+    assert!(
+        bad[0].msg.contains("replay") && bad[0].msg.contains("sessions"),
+        "cycle names both locks: {}",
+        bad[0]
+    );
+    assert!(bad[0].msg.contains("`forward`") || bad[0].msg.contains("`backward`"), "{}", bad[0]);
+
+    let good = lock_findings(include_str!("fixtures/lock_order_good.rs"));
+    assert_eq!(good, vec![], "consistent order, temporaries, and markers must be silent");
+}
+
+/// The msg-exhaustive rule over a synthetic three-file workspace.
+fn msg_findings(codec_src: &str, prop_src: &str) -> Vec<Finding> {
+    let codec = CodecConfig {
+        enum_file: "crates/proto/src/msg.rs".into(),
+        enum_name: "Msg".into(),
+        codec_file: "crates/proto/src/frame.rs".into(),
+        encode_fn: "encode".into(),
+        decode_fn: "decode".into(),
+        prop_file: "crates/proto/tests/prop_codec.rs".into(),
+    };
+    let cfg = LintConfig { codec: Some(codec), ..LintConfig::default() };
+    let sources = vec![
+        ("crates/proto/src/msg.rs".to_string(), include_str!("fixtures/msg_enum.rs").to_string()),
+        ("crates/proto/src/frame.rs".to_string(), codec_src.to_string()),
+        ("crates/proto/tests/prop_codec.rs".to_string(), prop_src.to_string()),
+    ];
+    let mut findings = Vec::new();
+    rules::msg_exhaustive::check(&sources, &cfg, &mut findings);
+    findings
+}
+
+#[test]
+fn msg_exhaustive_fixtures() {
+    let good = msg_findings(
+        include_str!("fixtures/msg_codec_good.rs"),
+        include_str!("fixtures/msg_prop_good.rs"),
+    );
+    assert_eq!(good, vec![], "complete codec must be silent");
+
+    let bad = msg_findings(
+        include_str!("fixtures/msg_codec_bad.rs"),
+        include_str!("fixtures/msg_prop_bad.rs"),
+    );
+    assert_eq!(rules_of(&bad), vec!["msg-exhaustive", "msg-exhaustive"], "{bad:?}");
+    assert!(
+        bad.iter().all(|f| f.msg.contains("Msg::Report")),
+        "the forgotten variant is named: {bad:?}"
+    );
+    assert!(bad.iter().any(|f| f.msg.contains("decoder")), "{bad:?}");
+    assert!(bad.iter().any(|f| f.msg.contains("property test")), "{bad:?}");
+}
+
+#[test]
+fn findings_render_as_file_line_rule_message() {
+    let cfg = LintConfig::default();
+    let bad = lint_file("crates/core/src/fx.rs", include_str!("fixtures/safety_bad.rs"), &cfg);
+    let rendered = bad[0].to_string();
+    assert!(
+        rendered.starts_with("crates/core/src/fx.rs:4: safety-comment: "),
+        "grep-able format: {rendered}"
+    );
+}
+
+#[test]
+fn rule_set_is_closed_under_the_ids_fixtures_use() {
+    let seen: BTreeSet<&str> = flashflow_lint::RULES.iter().copied().collect();
+    for id in [
+        "safety-comment",
+        "atomic-ordering",
+        "no-panic",
+        "durability",
+        "lock-order",
+        "msg-exhaustive",
+    ] {
+        assert!(seen.contains(id), "{id} missing from RULES");
+    }
+    assert_eq!(seen.len(), 6);
+}

@@ -1,0 +1,8 @@
+//! Fixture: raw filesystem writes in a durable-state crate — three
+//! `durability` findings (`File::create`, `OpenOptions`, `fs::write`).
+
+pub fn save(path: &std::path::Path, data: &str) -> std::io::Result<()> {
+    let _f = std::fs::File::create(path)?;
+    let _g = std::fs::OpenOptions::new().append(true).open(path)?;
+    std::fs::write(path, data)
+}

@@ -1,0 +1,12 @@
+//! Fixture: durable-state writes routed through the persistence
+//! layer; reads and non-create opens stay unrestricted — zero
+//! findings.
+
+pub fn save(path: &std::path::Path, data: &str) -> std::io::Result<()> {
+    flashflow_procutil::atomic_write(path, data.as_bytes())
+}
+
+pub fn load(path: &std::path::Path) -> std::io::Result<String> {
+    let _probe = std::fs::File::open(path)?;
+    std::fs::read_to_string(path)
+}

@@ -1,0 +1,21 @@
+//! Fixture: two functions taking the same pair of locks in opposite
+//! orders — one `lock-order` cycle.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub sessions: Mutex<u32>,
+    pub replay: Mutex<u32>,
+}
+
+pub fn forward(s: &Shared) {
+    let sessions = s.sessions.lock().unwrap();
+    let replay = s.replay.lock().unwrap();
+    drop((sessions, replay));
+}
+
+pub fn backward(s: &Shared) {
+    let replay = s.replay.lock().unwrap();
+    let sessions = s.sessions.lock().unwrap();
+    drop((replay, sessions));
+}

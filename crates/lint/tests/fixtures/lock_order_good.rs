@@ -1,0 +1,38 @@
+//! Fixture: consistent acquisition order, a statement-end temporary,
+//! and one marked exception — zero findings.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub sessions: Mutex<u32>,
+    pub replay: Mutex<u32>,
+}
+
+pub fn forward(s: &Shared) {
+    let sessions = s.sessions.lock().unwrap();
+    let replay = s.replay.lock().unwrap();
+    drop((sessions, replay));
+}
+
+pub fn also_forward(s: &Shared) {
+    let sessions = s.sessions.lock().unwrap();
+    let replay = s.replay.lock().unwrap();
+    drop((replay, sessions));
+}
+
+pub fn snapshot_then_lock(s: &Shared) -> u32 {
+    // `.clone()` makes the replay guard a statement-end temporary; it
+    // is not held across the next acquisition.
+    let snapshot = s.replay.lock().unwrap().clone();
+    let sessions = s.sessions.lock().unwrap();
+    drop(sessions);
+    snapshot
+}
+
+pub fn marked(s: &Shared) {
+    let replay = s.replay.lock().unwrap();
+    // LOCK-ORDER: single-threaded startup path; no peer can hold
+    // `sessions` yet.
+    let sessions = s.sessions.lock().unwrap();
+    drop((replay, sessions));
+}

@@ -1,0 +1,18 @@
+//! Fixture codec: every variant encoded and decoded.
+
+pub fn encode(msg: &Msg) -> Vec<u8> {
+    match msg {
+        Msg::Ping => vec![0],
+        Msg::Pong { token } => vec![1, *token as u8],
+        Msg::Report(n) => vec![2, *n as u8],
+    }
+}
+
+pub fn decode(bytes: &[u8]) -> Option<Msg> {
+    match bytes.first()? {
+        0 => Some(Msg::Ping),
+        1 => Some(Msg::Pong { token: 0 }),
+        2 => Some(Msg::Report(0)),
+        _ => None,
+    }
+}

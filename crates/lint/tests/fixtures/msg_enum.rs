@@ -1,0 +1,11 @@
+//! Fixture: a three-variant wire enum.
+
+#[derive(Debug)]
+pub enum Msg {
+    Ping,
+    #[allow(dead_code)]
+    Pong {
+        token: u64,
+    },
+    Report(u32),
+}

@@ -1,0 +1,9 @@
+//! Fixture property test: `Msg::Report` never round-trips — one
+//! `msg-exhaustive` finding against the property test.
+
+#[test]
+fn round_trips() {
+    for msg in [Msg::Ping, Msg::Pong { token: 7 }] {
+        assert!(decode(&encode(&msg)).is_some());
+    }
+}

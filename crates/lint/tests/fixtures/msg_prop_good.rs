@@ -1,0 +1,8 @@
+//! Fixture property test: round-trips every variant.
+
+#[test]
+fn round_trips() {
+    for msg in [Msg::Ping, Msg::Pong { token: 7 }, Msg::Report(3)] {
+        assert!(decode(&encode(&msg)).is_some());
+    }
+}

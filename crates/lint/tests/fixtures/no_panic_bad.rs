@@ -1,0 +1,14 @@
+//! Fixture: panics on a daemon's serving path — four `no-panic`
+//! findings when linted under a long-running binary's crate.
+
+pub fn serve(input: Option<u32>) -> u32 {
+    let v = input.unwrap();
+    let w = input.expect("input");
+    if v + w == 0 {
+        panic!("zero");
+    }
+    match v {
+        0 => unreachable!(),
+        n => n,
+    }
+}

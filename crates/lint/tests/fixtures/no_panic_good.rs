@@ -1,0 +1,15 @@
+//! Fixture: graceful daemon code; panics live only in the test
+//! module — zero findings.
+
+pub fn serve(input: Option<u32>) -> Result<u32, String> {
+    input.ok_or_else(|| "missing input".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        super::serve(Some(1)).unwrap();
+        assert!(super::serve(None).expect_err("err").contains("missing"));
+    }
+}

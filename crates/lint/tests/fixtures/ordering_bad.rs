@@ -1,0 +1,10 @@
+//! Fixture: undeliberate atomic orderings. Linted under a hot-path
+//! name this yields two `atomic-ordering` findings (the `SeqCst`
+//! fence and the relaxed store); elsewhere only the relaxed store.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicBool, total: &AtomicU64) {
+    total.fetch_add(1, Ordering::SeqCst);
+    flag.store(true, Ordering::Relaxed);
+}

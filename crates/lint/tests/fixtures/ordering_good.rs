@@ -1,0 +1,18 @@
+//! Fixture: justified or harmless orderings — zero findings even
+//! under a hot-path name.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicBool, total: &AtomicU64) {
+    // ORDERING: the total must be globally visible before the flag
+    // flips; the fence is the point.
+    total.fetch_add(1, Ordering::SeqCst);
+    // ORDERING: readers re-check the total themselves; the flag alone
+    // carries no payload.
+    flag.store(true, Ordering::Relaxed);
+    total.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn sample(total: &AtomicU64) -> u64 {
+    total.load(Ordering::Relaxed)
+}

@@ -1,0 +1,9 @@
+//! Fixture: unannotated unsafe code — two `safety-comment` findings.
+
+pub fn raw_read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+extern "C" {
+    fn getpid() -> i32;
+}

@@ -1,0 +1,21 @@
+//! Fixture: every unsafe site justified — zero findings.
+
+pub fn raw_read(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn raw_read_bound(p: *const u8) -> u8 {
+    // SAFETY: the comment above the *statement* also counts.
+    let v = unsafe { *p };
+    v
+}
+
+// SAFETY: `getpid(2)`'s POSIX prototype, declared verbatim.
+extern "C" {
+    fn getpid() -> i32;
+}
+
+/// An `extern "C"` function-pointer *type* is not an item and carries
+/// no obligation — it must not be flagged.
+pub type Callback = extern "C" fn(i32);

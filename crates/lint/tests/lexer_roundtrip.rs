@@ -1,0 +1,55 @@
+//! The lexer property-tested against the best corpus available: this
+//! workspace's own sources. For every `.rs` file in the tree, the
+//! token stream must tile the input exactly — concatenating the token
+//! texts reproduces the file byte for byte, spans are contiguous, and
+//! line numbers never decrease. Every rule sits on top of these
+//! invariants; a lexer that drops or duplicates a byte lies to all of
+//! them at once.
+
+use std::path::PathBuf;
+
+use flashflow_lint::lexer::lex;
+use flashflow_lint::workspace_files;
+
+#[test]
+fn every_workspace_file_round_trips_through_the_lexer() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = workspace_files(&root).expect("walk workspace");
+    assert!(files.len() >= 100, "corpus unexpectedly small: {} files", files.len());
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel)).expect("read source");
+        let toks = lex(&src);
+
+        let rebuilt: String = toks.iter().map(|t| t.text(&src)).collect();
+        assert_eq!(rebuilt, src, "{rel}: token texts must tile the file exactly");
+
+        let mut pos = 0;
+        let mut line = 1;
+        for t in &toks {
+            assert_eq!(t.start, pos, "{rel}: gap or overlap at byte {pos}");
+            assert!(t.end > t.start, "{rel}: empty token at byte {pos}");
+            assert!(t.line >= line, "{rel}: line numbers must not decrease");
+            pos = t.end;
+            line = t.line;
+        }
+        assert_eq!(pos, src.len(), "{rel}: trailing bytes unlexed");
+    }
+}
+
+#[test]
+fn lexer_survives_the_fixture_corpus_too() {
+    // The fixtures directory is excluded from the workspace walk, so
+    // cover it explicitly — deliberate violations still must lex.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("fixtures dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let src = std::fs::read_to_string(&path).expect("read fixture");
+            let rebuilt: String = lex(&src).iter().map(|t| t.text(&src)).collect();
+            assert_eq!(rebuilt, src, "{}: fixture must round-trip", path.display());
+            seen += 1;
+        }
+    }
+    assert!(seen >= 15, "expected the per-rule fixtures, found {seen}");
+}

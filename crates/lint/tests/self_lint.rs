@@ -1,0 +1,36 @@
+//! The workspace lints itself to zero: every invariant the rules
+//! encode is currently true of the tree, and stays true — a PR that
+//! introduces a bare `unsafe`, a panicking daemon path, or a reversed
+//! lock order fails here (and in the CI `lint-invariants` job) with
+//! the exact file:line.
+
+use std::path::PathBuf;
+
+use flashflow_lint::{lint_workspace, workspace_files, LintConfig};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_lints_clean_with_every_rule_gating() {
+    let root = workspace_root();
+    let findings = lint_workspace(&root, &LintConfig::default()).expect("readable workspace");
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert_eq!(rendered, Vec::<String>::new(), "the workspace must lint clean");
+}
+
+#[test]
+fn walker_sees_the_real_tree_but_not_fixtures_or_target() {
+    let files = workspace_files(&workspace_root()).expect("walk");
+    assert!(
+        files.len() >= 100,
+        "the walk found only {} files — a broken walker lints nothing and passes vacuously",
+        files.len()
+    );
+    assert!(files.iter().any(|f| f == "crates/proto/src/msg.rs"), "known file present");
+    assert!(
+        files.iter().all(|f| !f.contains("/fixtures/") && !f.starts_with("target/")),
+        "fixtures (deliberate violations) and build output must be excluded"
+    );
+}

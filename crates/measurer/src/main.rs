@@ -228,16 +228,20 @@ struct DataPlane {
 }
 
 impl DataPlane {
+    // Registry access recovers from poisoning (`lock_recover`): a
+    // serving thread that panicked mid-session must degrade to one
+    // lost session, not take down every other thread that touches the
+    // registry next.
     fn register(&self, nonce: u64) -> Arc<SessionCounters> {
-        Arc::clone(self.sessions.lock().expect("data plane lock").entry(nonce).or_default())
+        Arc::clone(procutil::lock_recover(&self.sessions).entry(nonce).or_default())
     }
 
     fn lookup(&self, nonce: u64) -> Option<Arc<SessionCounters>> {
-        self.sessions.lock().expect("data plane lock").get(&nonce).map(Arc::clone)
+        procutil::lock_recover(&self.sessions).get(&nonce).map(Arc::clone)
     }
 
     fn release(&self, nonce: u64) {
-        self.sessions.lock().expect("data plane lock").remove(&nonce);
+        procutil::lock_recover(&self.sessions).remove(&nonce);
     }
 }
 
@@ -377,7 +381,7 @@ fn serve_one(
 ) -> Outcome {
     let cfg = &shared.cfg;
     let span = shared.span.session(session_id);
-    let window = shared.replay.lock().expect("replay lock").clone();
+    let window = procutil::lock_recover(&shared.replay).clone();
     let session = MeasurerSession::new(cfg.token, cfg.role, session_id, SessionTimeouts::default())
         .with_replay_window(window);
     let mut endpoint = Endpoint::new(session, &mut *leased);
@@ -415,7 +419,7 @@ fn serve_one(
         if claimed_nonce.is_none() {
             if let Some(nonce) = endpoint.session().accepted_nonce() {
                 claimed_nonce = Some(nonce);
-                if !shared.replay.lock().expect("replay lock").witness(nonce) {
+                if !procutil::lock_recover(&shared.replay).witness(nonce) {
                     // The loser of a concurrent replay must NOT release
                     // the winner's registration below — it never
                     // registered (registered_nonce stays None).
@@ -714,7 +718,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let addr = acceptor.local_addr().expect("local addr");
+    let addr = match acceptor.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("query bound address for {}: {e}", cfg.listen);
+            std::process::exit(1);
+        }
+    };
     if !addr.ip().is_loopback() && !cfg.token_explicit {
         eprintln!(
             "refusing to serve {addr} with the built-in default token; \
@@ -738,24 +748,25 @@ fn main() {
     let registry = MetricsRegistry::new();
     let mut metrics_line = None;
     if let Some(maddr) = &cfg.metrics_addr {
-        let listener = match std::net::TcpListener::bind(maddr) {
-            Ok(l) => l,
-            Err(e) => {
-                eprintln!("bind --metrics-addr {maddr}: {e}");
+        match procutil::start_metrics_endpoint(maddr, cfg.token, registry.clone(), cfg.speedup) {
+            Ok(bound) => metrics_line = Some(format!("metrics {bound}")),
+            Err(msg) => {
+                eprintln!("{msg}");
                 std::process::exit(1);
             }
-        };
-        let bound = listener.local_addr().expect("metrics local addr");
-        metrics_line = Some(format!("metrics {bound}"));
-        procutil::spawn_metrics_endpoint(listener, cfg.token, registry.clone(), cfg.speedup)
-            .expect("spawn metrics endpoint");
+        }
     }
-    // The machine-readable stdout lines: the advertised endpoints.
+    // The machine-readable stdout lines: the advertised endpoints. A
+    // failed flush means whoever spawned us cannot learn the bound
+    // address — serving anyway would wedge the parent, so exit instead.
     println!("listening {addr}");
     if let Some(line) = metrics_line {
         println!("{line}");
     }
-    std::io::stdout().flush().expect("flush stdout");
+    if let Err(e) = std::io::stdout().flush() {
+        eprintln!("flush advertised endpoints to stdout: {e}");
+        std::process::exit(1);
+    }
     span.emit(
         "measurer.start",
         fields![
@@ -786,7 +797,10 @@ fn main() {
         },
         resumed: registry.counter("measurer.sessions_resumed"),
     });
-    acceptor.set_nonblocking(true).expect("nonblocking listener");
+    if let Err(e) = acceptor.set_nonblocking(true) {
+        shared.span.emit("measurer.fatal", fields![error = format!("nonblocking listener: {e}")]);
+        std::process::exit(1);
+    }
     let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
     let mut conn_id = 0u64;
     loop {

@@ -55,6 +55,9 @@ impl Gauge {
     /// Sets the value.
     #[inline]
     pub fn set(&self, v: i64) {
+        // ORDERING: Relaxed is sufficient — a gauge is a monitoring
+        // sample with no reader synchronizing on it; a scrape may see
+        // a slightly stale value but never a torn one.
         self.0.store(v, Ordering::Relaxed);
     }
 

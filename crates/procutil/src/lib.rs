@@ -13,10 +13,11 @@
 mod metrics_endpoint;
 pub mod persist;
 
-pub use metrics_endpoint::{fetch_metrics, spawn_metrics_endpoint};
-pub use persist::{append_line, atomic_write, journal_writer};
+pub use metrics_endpoint::{fetch_metrics, spawn_metrics_endpoint, start_metrics_endpoint};
+pub use persist::{append_line, append_torn_line, atomic_write, journal_writer};
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 pub use flashflow_proto::msg::AUTH_TOKEN_LEN;
@@ -40,13 +41,24 @@ pub fn drain_requested() -> bool {
 #[cfg(unix)]
 #[allow(clippy::fn_to_numeric_cast_any)]
 pub fn install_sigterm_handler() {
+    // SAFETY: the handler is async-signal-safe — it performs exactly
+    // one lock-free atomic store and touches no allocator, lock, or
+    // errno state.
     extern "C" fn on_sigterm(_sig: i32) {
         DRAIN.store(true, Ordering::SeqCst);
     }
+    // SAFETY: `signal(2)` has this exact prototype in every libc we
+    // target (POSIX: `void (*signal(int, void (*)(int)))(int)`); the
+    // handler address is passed as `usize`, matching the ABI's
+    // pointer-sized argument.
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
     const SIGTERM: i32 = 15;
+    // SAFETY: installing a handler that is itself async-signal-safe
+    // (see above) is sound at any point; the previous disposition is
+    // deliberately discarded because the processes install exactly
+    // once, at startup.
     unsafe {
         signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
     }
@@ -55,6 +67,21 @@ pub fn install_sigterm_handler() {
 /// No-op off Unix; the drain flag then only flips via process exit.
 #[cfg(not(unix))]
 pub fn install_sigterm_handler() {}
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// The long-running binaries must not panic-cascade: a serving thread
+/// that dies mid-session poisons whatever registry lock it held, and
+/// without recovery every *other* thread's next `lock().expect(..)`
+/// would take the whole daemon down — turning one bad session into a
+/// full outage that crash recovery then has to repair. Recovery is
+/// sound for the workspace's registries because every critical
+/// section is a single map or window operation (insert / lookup /
+/// remove / witness), each of which leaves the structure consistent
+/// even when the holder unwinds immediately after.
+pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Parses a `--token-hex` value: exactly [`AUTH_TOKEN_LEN`] bytes of
 /// hex.

@@ -49,6 +49,30 @@ pub fn spawn_metrics_endpoint(
     }))
 }
 
+/// Binds `addr`, spawns the snapshot endpoint on it, and returns the
+/// bound address (for the process's `metrics <addr>` stdout line).
+/// One call with one string error so the binaries share a single
+/// graceful failure path instead of each panicking its own way.
+///
+/// # Errors
+/// Describes which step failed: the bind, the local-address query, or
+/// the endpoint spawn.
+pub fn start_metrics_endpoint(
+    addr: &str,
+    token: [u8; AUTH_TOKEN_LEN],
+    registry: MetricsRegistry,
+    speedup: f64,
+) -> Result<SocketAddr, String> {
+    let listener =
+        TcpListener::bind(addr).map_err(|e| format!("bind --metrics-addr {addr}: {e}"))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| format!("--metrics-addr {addr}: query bound address: {e}"))?;
+    spawn_metrics_endpoint(listener, token, registry, speedup)
+        .map_err(|e| format!("--metrics-addr {addr}: start endpoint: {e}"))?;
+    Ok(bound)
+}
+
 fn serve_snapshot(
     mut stream: TcpStream,
     token: &[u8; AUTH_TOKEN_LEN],

@@ -78,6 +78,24 @@ pub fn append_line(path: &Path, line: &str) -> io::Result<()> {
     file.sync_all()
 }
 
+/// Appends `partial` to the journal at `path` **without** a trailing
+/// newline and **without** fsync — simulating a writer SIGKILLed
+/// mid-append, the torn final line journal readers must tolerate.
+///
+/// This is a *test hook*, not a persistence primitive: it exists so
+/// crash-tolerance tests in durable-state crates can stage a torn
+/// journal without reaching for raw `OpenOptions` themselves (the
+/// `flashflow-lint` `durability` rule forbids raw file writes there,
+/// with no allowlist — the one sanctioned place for an undisciplined
+/// write is here, where the discipline is defined).
+///
+/// # Errors
+/// Whatever opening or writing returned.
+pub fn append_torn_line(path: &Path, partial: &str) -> io::Result<()> {
+    let mut file = journal_writer(path)?;
+    file.write_all(partial.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +131,17 @@ mod tests {
         append_line(&journal, "{\"n\":2}").expect("append");
         let text = std::fs::read_to_string(&journal).expect("read");
         assert_eq!(text, "{\"n\":1}\n{\"n\":2}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_torn_line_stages_a_partial_final_line() {
+        let dir = temp_dir("torn");
+        let journal = dir.join("journal.jsonl");
+        append_line(&journal, "{\"n\":1}").expect("append");
+        append_torn_line(&journal, "{\"n\":2,\"cap").expect("tear");
+        let text = std::fs::read_to_string(&journal).expect("read");
+        assert_eq!(text, "{\"n\":1}\n{\"n\":2,\"cap", "no newline after the torn half");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -196,19 +196,23 @@ struct EchoPlane {
 }
 
 impl EchoPlane {
+    // Registry access recovers from poisoning (`lock_recover`): a
+    // serving thread that panicked mid-measurement must degrade to one
+    // lost measurement, not take down every other thread that touches
+    // the registry next.
     fn register(&self, nonce: u64, key: u64) -> Arc<EchoCounters> {
         let m = Arc::new(Measurement { counters: Arc::new(EchoCounters::default()), key });
         let counters = Arc::clone(&m.counters);
-        self.measurements.lock().expect("echo plane lock").insert(nonce, m);
+        procutil::lock_recover(&self.measurements).insert(nonce, m);
         counters
     }
 
     fn lookup(&self, nonce: u64) -> Option<Arc<Measurement>> {
-        self.measurements.lock().expect("echo plane lock").get(&nonce).map(Arc::clone)
+        procutil::lock_recover(&self.measurements).get(&nonce).map(Arc::clone)
     }
 
     fn release(&self, nonce: u64) {
-        self.measurements.lock().expect("echo plane lock").remove(&nonce);
+        procutil::lock_recover(&self.measurements).remove(&nonce);
     }
 }
 
@@ -277,7 +281,7 @@ fn serve_one(
 ) -> Outcome {
     let cfg = &shared.cfg;
     let span = shared.span.session(session_id);
-    let window = shared.replay.lock().expect("replay lock").clone();
+    let window = procutil::lock_recover(&shared.replay).clone();
     let session = RelaySession::new(cfg.token, session_id, SessionTimeouts::default())
         .with_replay_window(window);
     let mut endpoint = Endpoint::new(session, &mut *leased);
@@ -306,7 +310,7 @@ fn serve_one(
         if claimed_nonce.is_none() {
             if let Some(nonce) = endpoint.session().accepted_nonce() {
                 claimed_nonce = Some(nonce);
-                if !shared.replay.lock().expect("replay lock").witness(nonce) {
+                if !procutil::lock_recover(&shared.replay).witness(nonce) {
                     span.event("session.replay_drop");
                     endpoint.session_mut().abort(AbortReason::AuthFailed);
                 } else if endpoint.session().resumed() {
@@ -557,7 +561,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let addr = acceptor.local_addr().expect("local addr");
+    let addr = match acceptor.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("query bound address for {}: {e}", cfg.listen);
+            std::process::exit(1);
+        }
+    };
     if !addr.ip().is_loopback() && !cfg.token_explicit {
         eprintln!(
             "refusing to serve {addr} with the built-in default token; \
@@ -579,28 +589,26 @@ fn main() {
     }
     let span = Span::root(sink);
     let registry = MetricsRegistry::new();
-    let mut metrics_handle = None;
     let mut metrics_line = None;
     if let Some(maddr) = &cfg.metrics_addr {
-        let listener = match std::net::TcpListener::bind(maddr) {
-            Ok(l) => l,
-            Err(e) => {
-                eprintln!("bind --metrics-addr {maddr}: {e}");
+        match procutil::start_metrics_endpoint(maddr, cfg.token, registry.clone(), cfg.speedup) {
+            Ok(bound) => metrics_line = Some(format!("metrics {bound}")),
+            Err(msg) => {
+                eprintln!("{msg}");
                 std::process::exit(1);
             }
-        };
-        let bound = listener.local_addr().expect("metrics local addr");
-        metrics_line = Some(format!("metrics {bound}"));
-        metrics_handle = Some(
-            procutil::spawn_metrics_endpoint(listener, cfg.token, registry.clone(), cfg.speedup)
-                .expect("spawn metrics endpoint"),
-        );
+        }
     }
+    // A failed flush means whoever spawned us cannot learn the bound
+    // address — serving anyway would wedge the parent, so exit instead.
     println!("listening {addr}");
     if let Some(line) = metrics_line {
         println!("{line}");
     }
-    std::io::stdout().flush().expect("flush stdout");
+    if let Err(e) = std::io::stdout().flush() {
+        eprintln!("flush advertised endpoints to stdout: {e}");
+        std::process::exit(1);
+    }
     span.emit(
         "relay.start",
         fields![
@@ -631,7 +639,10 @@ fn main() {
         seconds_reported: registry.counter("relay.reported_seconds"),
         resumed: registry.counter("relay.sessions_resumed"),
     });
-    acceptor.set_nonblocking(true).expect("nonblocking listener");
+    if let Err(e) = acceptor.set_nonblocking(true) {
+        shared.span.emit("relay.fatal", fields![error = format!("nonblocking listener: {e}")]);
+        std::process::exit(1);
+    }
     let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
     let mut conn_id = 0u64;
     loop {
@@ -662,6 +673,5 @@ fn main() {
     for handle in handles {
         let _ = handle.join();
     }
-    drop(metrics_handle);
     shared.span.emit("relay.exit", fields![sessions = shared.sessions_done.load(Ordering::SeqCst)]);
 }
