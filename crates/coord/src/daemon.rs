@@ -29,8 +29,10 @@ use std::path::{Path, PathBuf};
 
 use flashflow_core::bwauth::measure_echo_period_observed;
 use flashflow_core::echo::{EchoDeployment, EchoItem};
+use flashflow_core::engine::EngineEvent;
 use flashflow_core::pool::ConnectionPool;
 use flashflow_obs::{fields, Counter, Gauge, Json, MetricsRegistry, Span};
+use flashflow_proto::msg::AbortReason;
 use flashflow_simnet::time::SimTime;
 use flashflow_simnet::units::Rate;
 use flashflow_tornet::consensus::DirAuths;
@@ -96,6 +98,9 @@ pub struct CoordMetrics {
     pub items_done: Counter,
     /// Items re-commanded with a `Resume` handshake after a restart.
     pub items_resumed: Counter,
+    /// Resumed items whose `Resume` a peer refused (restarted peer,
+    /// lost replay window) and that were re-run with a fresh `Auth`.
+    pub resume_refused: Counter,
     /// Periods completed (consensus emitted).
     pub periods: Counter,
     /// Current roster size.
@@ -111,6 +116,7 @@ impl CoordMetrics {
             rounds: registry.counter("coord.rounds_done"),
             items_done: registry.counter("coord.items_done"),
             items_resumed: registry.counter("coord.items_resumed"),
+            resume_refused: registry.counter("coord.resume_refused"),
             periods: registry.counter("coord.periods_done"),
             roster_total: registry.gauge("coord.roster_total"),
             roster_remaining: registry.gauge("coord.roster_remaining"),
@@ -129,6 +135,9 @@ pub struct PeriodOutcome {
     pub recovered_done: usize,
     /// Relays re-commanded with attempt `n+1` (resumed sessions).
     pub resumed: usize,
+    /// Resumed relays whose `Resume` was refused and that fell back to
+    /// a fresh `Auth` attempt.
+    pub resume_refused: usize,
     /// Rounds this incarnation ran.
     pub rounds: usize,
     /// True if SIGTERM cut the roster walk short (no consensus; the
@@ -206,6 +215,7 @@ pub fn run_period(
 
     let mut measured = 0usize;
     let mut resumed = 0usize;
+    let mut resume_refused = 0usize;
     let mut rounds_run = 0usize;
     for (round_ix, round) in rounds.into_iter().enumerate() {
         if draining() {
@@ -215,6 +225,7 @@ pub fn run_period(
                 measured,
                 recovered_done,
                 resumed,
+                resume_refused,
                 rounds: rounds_run,
                 drained: true,
                 consensus_entries: 0,
@@ -251,6 +262,7 @@ pub fn run_period(
                 bg_allowance: cfg.bg_allowance,
                 measurement_secret: secret,
                 attempt,
+                resume: attempt > 0,
             });
         }
         span.emit(
@@ -258,7 +270,68 @@ pub fn run_period(
             fields![round = round_ix as u64, of = total_rounds as u64, items = items.len() as u64],
         );
         let file = measure_echo_period_observed(deployment, &items, cfg.shards, pool, Some(span));
-        for (entry, &ix) in file.entries.iter().zip(&round.items) {
+
+        // A resumed item whose peer aborted the handshake with
+        // `AuthFailed` hit a peer that cannot honor the `Resume`
+        // lineage — it restarted since the prior attempt and lost its
+        // replay window, so *no* retry of the proof can succeed. Fall
+        // back to a fresh `Auth` as attempt `n+1`: its nonce has never
+        // been offered to anyone, so surviving peers (which simply see
+        // a new conversation) and restarted peers (fresh windows)
+        // both accept it.
+        let refused: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(g, item)| {
+                item.resume
+                    && file.run.events.iter().any(|ev| {
+                        ev.group == *g
+                            && matches!(
+                                ev.event,
+                                EngineEvent::PeerFailed { reason: AbortReason::AuthFailed, .. }
+                            )
+                    })
+            })
+            .map(|(g, _)| g)
+            .collect();
+        let mut entries = file.entries;
+        if !refused.is_empty() {
+            let mut retry_items = Vec::with_capacity(refused.len());
+            for &g in &refused {
+                let ix = round.items[g];
+                let item = items[g];
+                let attempt = item.attempt + 1;
+                resume_refused += 1;
+                metrics.resume_refused.inc();
+                span.emit(
+                    "item.resume_refused",
+                    fields![ix = ix as u64, attempt = u64::from(attempt)],
+                );
+                journal::append(
+                    &journal_path,
+                    &Record::ItemStart {
+                        ix: ix as u64,
+                        fp: hex(&roster.entries[ix].fp),
+                        secret: item.measurement_secret,
+                        attempt: u64::from(attempt),
+                        ts: journal::now_ts(),
+                    },
+                )?;
+                retry_items.push(EchoItem { attempt, resume: false, ..item });
+            }
+            let retry = measure_echo_period_observed(
+                deployment,
+                &retry_items,
+                cfg.shards,
+                pool,
+                Some(span),
+            );
+            for (entry, &g) in retry.entries.into_iter().zip(&refused) {
+                entries[g] = entry;
+            }
+        }
+
+        for (entry, &ix) in entries.iter().zip(&round.items) {
             journal::append(
                 &journal_path,
                 &Record::ItemDone {
@@ -315,6 +388,7 @@ pub fn run_period(
         measured,
         recovered_done,
         resumed,
+        resume_refused,
         rounds: rounds_run,
         drained: false,
         consensus_entries: consensus,

@@ -278,10 +278,11 @@ fn main() {
             }
             Ok(outcome) => {
                 println!(
-                    "period {} complete entries {} resumed {}",
+                    "period {} complete entries {} resumed {} resume_refused {}",
                     outcome.period,
                     outcome.measured + outcome.recovered_done,
                     outcome.resumed,
+                    outcome.resume_refused,
                 );
             }
             Err(e) => {

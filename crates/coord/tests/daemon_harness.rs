@@ -1,7 +1,7 @@
 //! The daemon harness: `flashflow-coord` as a real process driving real
 //! `flashflow-measurer` / `flashflow-relay` processes over loopback.
 //!
-//! Two scenarios:
+//! Three scenarios:
 //!
 //! 1. **End to end** — one `--once` daemon invocation walks a small
 //!    Shadow roster against the live team, and the state directory ends
@@ -16,6 +16,14 @@
 //!    the *same* long-lived peer processes — which then drain to exit 0
 //!    on SIGTERM, proving the parked sessions were re-adopted, not
 //!    orphaned.
+//! 3. **Refused resume** — the daemon is SIGKILLed mid-roster *and* one
+//!    measurer is killed and restarted on the same `--listen` port
+//!    before the daemon comes back. The replacement's fresh replay
+//!    window cannot honor the `Resume` lineage proof, so it refuses the
+//!    resumed handshake — and the daemon must fall back to a fresh
+//!    `Auth` as attempt `n+1` (journal shows both starts) and still
+//!    finish the period with every relay measured exactly once, all
+//!    clean.
 
 use std::io::{BufRead, BufReader, Read as _};
 use std::net::SocketAddr;
@@ -92,9 +100,15 @@ fn spawn_listener(bin: PathBuf, args: &[String]) -> (Child, SocketAddr) {
 /// Spawns a measurer that serves until SIGTERM (no `--sessions`): the
 /// daemon's peers must outlive any one coordinator incarnation.
 fn spawn_measurer(peer_ix: usize) -> (Child, SocketAddr) {
+    spawn_measurer_at(peer_ix, "127.0.0.1:0")
+}
+
+/// Like [`spawn_measurer`] with an explicit `--listen` address — how a
+/// replacement process re-takes a dead measurer's configured port.
+fn spawn_measurer_at(peer_ix: usize, listen: &str) -> (Child, SocketAddr) {
     let args: Vec<String> = [
         "--listen",
-        "127.0.0.1:0",
+        listen,
         "--role",
         "measurer",
         "--token-hex",
@@ -358,6 +372,104 @@ fn sigkilled_daemon_resumes_the_roster_without_remeasuring() {
 
     // And the peers drain cleanly: the SIGKILL orphaned nothing they
     // cannot let go of.
+    terminate_peers(vec![("measurer-0", m0), ("measurer-1", m1), ("relay", relay)]);
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn restarted_measurer_refuses_resume_and_the_item_falls_back_to_fresh_auth() {
+    const RELAYS: usize = 3;
+    let state_dir = temp_state_dir("refused");
+    let journal_path = state_dir.join("journal.jsonl");
+    let (m0, a0) = spawn_measurer(0);
+    let (m1, a1) = spawn_measurer(0);
+    let (relay, relay_addr) = spawn_relay();
+
+    // Incarnation 1: killed mid-item, exactly like the crash-recovery
+    // scenario — the journal is left with an in-flight item whose
+    // nonces sit in the live peers' replay windows.
+    let mut first = spawn_coord(&state_dir, &[a0, a1], relay_addr, RELAYS, 8);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let text = std::fs::read_to_string(&journal_path).unwrap_or_default();
+        if text.contains("item.start") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no item.start journaled; journal:\n{text}");
+        thread::sleep(Duration::from_millis(20));
+    }
+    thread::sleep(Duration::from_millis(200));
+    first.kill().expect("SIGKILL coordinator");
+    let _ = first.wait();
+
+    let killed_state = journal::recover(&journal_path).expect("recover after kill");
+    assert!(!killed_state.period_done, "the kill must land mid-period");
+    assert!(
+        killed_state.done.len() < RELAYS,
+        "the kill landed too late to exercise recovery (done: {:?})",
+        killed_state.done.keys().collect::<Vec<_>>()
+    );
+
+    // Kill one measurer too — and restart it on the *same* port (the
+    // process's SO_REUSEADDR listener makes the rebind race-free even
+    // with the dead incarnation's connections in TIME_WAIT). The
+    // replacement has a fresh replay window: it has witnessed nothing,
+    // so the coming `Resume` lineage proof *must* fail against it.
+    let mut m1 = m1;
+    m1.kill().expect("SIGKILL measurer-1");
+    let _ = m1.wait();
+    let (m1, a1_again) = spawn_measurer_at(0, &a1.to_string());
+    assert_eq!(a1_again, a1, "the replacement must re-take the configured port");
+
+    // Incarnation 2: resumes the in-flight item. The restarted measurer
+    // refuses the `Resume` (AuthFailed), and the daemon must fall back
+    // to a fresh `Auth` attempt — finishing the period regardless.
+    let second = spawn_coord(&state_dir, &[a0, a1], relay_addr, RELAYS, 8);
+    let stdout = wait_success("flashflow-coord (restarted)", second);
+    assert!(
+        stdout.contains(&format!("period 1 complete entries {RELAYS}")),
+        "restart must complete period 1:\n{stdout}"
+    );
+
+    // The journal shows the full lineage: a resumed start (attempt
+    // n+1 ≥ 1) *and* a fresh-fallback start (attempt n+2 ≥ 2) for the
+    // interrupted item, one completion per relay, everything clean.
+    let text = std::fs::read_to_string(&journal_path).expect("journal");
+    let records: Vec<journal::Record> = text.lines().filter_map(journal::Record::parse).collect();
+    let mut done_count = std::collections::BTreeMap::new();
+    let mut max_attempt = std::collections::BTreeMap::new();
+    for record in &records {
+        match record {
+            journal::Record::ItemDone { ix, .. } => *done_count.entry(*ix).or_insert(0u32) += 1,
+            journal::Record::ItemStart { ix, attempt, .. } => {
+                let slot = max_attempt.entry(*ix).or_insert(0u64);
+                *slot = (*slot).max(*attempt);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(done_count.len(), RELAYS, "every relay measured: {done_count:?}");
+    assert!(done_count.values().all(|&n| n == 1), "no relay may be measured twice: {done_count:?}");
+    assert!(
+        max_attempt.values().any(|&a| a >= 2),
+        "the refused resume must journal a fresh-Auth fallback start (attempts: {max_attempt:?})"
+    );
+
+    let state = journal::recover(&journal_path).expect("recover final");
+    assert!(state.period_done);
+    assert!(state.in_flight.is_empty());
+    // The fallback's fresh handshake must have produced a *clean*
+    // measurement — a degraded one would mean the daemon accepted the
+    // refused attempt's crippled estimate instead of re-running.
+    assert!(
+        state.done.values().all(|d| d.clean),
+        "refused item must re-run clean: {:?}",
+        state.done
+    );
+
+    let doc = read_consensus(&state_dir);
+    assert_eq!(doc.get("measured").unwrap().as_u64(), Some(RELAYS as u64));
+
     terminate_peers(vec![("measurer-0", m0), ("measurer-1", m1), ("relay", relay)]);
     let _ = std::fs::remove_dir_all(&state_dir);
 }

@@ -98,13 +98,19 @@ pub struct EchoItem {
     /// their binding nonce and frame-tag key from it.
     pub measurement_secret: u64,
     /// Which attempt at this item this is. `0` is a fresh measurement;
-    /// attempt `n > 0` means a restarted coordinator is re-running an
-    /// item an earlier incarnation journaled as in-flight: the control
-    /// sessions then open with a `Resume` handshake carrying attempt
-    /// `n-1`'s nonce (see [`peer_nonce`]), so peers whose replay
-    /// windows witnessed the prior attempt re-adopt the conversation
-    /// instead of rejecting the re-derived nonce as a replay.
+    /// attempt `n > 0` means an earlier attempt was commanded and did
+    /// not complete. Each attempt derives its own nonces (see
+    /// [`peer_nonce`]), so re-running never replays.
     pub attempt: u32,
+    /// Open the control sessions with a v5 `Resume` handshake proving
+    /// attempt `n-1`'s lineage (requires `attempt > 0`): peers whose
+    /// replay windows witnessed the prior attempt re-adopt the parked
+    /// conversation instead of rejecting the re-derived nonce as a
+    /// replay. `false` opens with a plain `Auth` — the right call when
+    /// a `Resume` was already *refused* (the peer restarted and lost
+    /// its window, so no lineage proof can succeed) and the item falls
+    /// back to a fresh handshake whose nonce no peer has witnessed.
+    pub resume: bool,
 }
 
 /// The control-session handshake nonce for one peer of one attempt at
@@ -176,8 +182,10 @@ pub fn echo_group(
             let mut session =
                 CoordinatorSession::new(m.token, PeerRole::Measurer, spec, nonce, timeouts)
                     .with_report_ahead_cap(item.slot_secs + 2);
-            if let Some(prior) = item.attempt.checked_sub(1) {
-                session = session.resuming(peer_nonce(item.measurement_secret, peer_ix, prior));
+            if item.resume {
+                if let Some(prior) = item.attempt.checked_sub(1) {
+                    session = session.resuming(peer_nonce(item.measurement_secret, peer_ix, prior));
+                }
             }
             builder.add_peer(0, session, conn);
         }
@@ -202,8 +210,10 @@ pub fn echo_group(
             timeouts,
         )
         .with_report_ahead_cap(item.slot_secs + 2);
-        if let Some(prior) = item.attempt.checked_sub(1) {
-            session = session.resuming(peer_nonce(item.measurement_secret, 0, prior));
+        if item.resume {
+            if let Some(prior) = item.attempt.checked_sub(1) {
+                session = session.resuming(peer_nonce(item.measurement_secret, 0, prior));
+            }
         }
         builder.add_peer(0, session, conn);
 

@@ -12,6 +12,7 @@
 //! | `durability`      | durable-state crates write files only through `flashflow-procutil::persist` |
 //! | `lock-order`      | the workspace-wide lock acquisition graph is acyclic |
 //! | `msg-exhaustive`  | every `Msg::` variant appears in encode, decode, and the codec property test |
+//! | `no-sleep-in-reactor` | no `thread::sleep` in non-test reactor code — a blocked shard stalls every connection it drives |
 //!
 //! Findings print as `file:line: rule-id: message`; `--json` emits the
 //! same findings machine-readably; `--allow RULE` downgrades one rule
@@ -53,6 +54,7 @@ pub const RULES: &[&str] = &[
     rules::durability::RULE,
     rules::lock_order::RULE,
     rules::msg_exhaustive::RULE,
+    rules::no_sleep_in_reactor::RULE,
 ];
 
 /// What the rules key off: which files are hot paths, which crates are
@@ -74,6 +76,11 @@ pub struct LintConfig {
     /// The protocol-exhaustiveness rule's anchors; `None` disables the
     /// rule (fixture trees have no codec).
     pub codec: Option<CodecConfig>,
+    /// Path fragments naming reactor modules (matched against each
+    /// `/`-separated segment): non-test code there must never
+    /// `thread::sleep` — a blocked shard stalls every connection the
+    /// epoll loop drives.
+    pub reactor_path_fragments: Vec<String>,
     /// Rules downgraded to advisory: still reported, but exempt from
     /// the nonzero exit.
     pub allow: BTreeSet<String>,
@@ -115,6 +122,7 @@ impl Default for LintConfig {
                 decode_fn: "decode_payload".into(),
                 prop_file: "crates/proto/tests/prop_codec.rs".into(),
             }),
+            reactor_path_fragments: vec!["reactor".into()],
             allow: BTreeSet::new(),
         }
     }
@@ -139,6 +147,7 @@ pub fn lint_file(path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
     rules::ordering::check(&scan, cfg, &mut findings);
     rules::no_panic::check(&scan, cfg, &mut findings);
     rules::durability::check(&scan, cfg, &mut findings);
+    rules::no_sleep_in_reactor::check(&scan, cfg, &mut findings);
     findings
 }
 

@@ -9,5 +9,6 @@ pub mod durability;
 pub mod lock_order;
 pub mod msg_exhaustive;
 pub mod no_panic;
+pub mod no_sleep_in_reactor;
 pub mod ordering;
 pub mod safety;

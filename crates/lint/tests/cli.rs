@@ -111,7 +111,8 @@ fn list_rules_names_the_full_catalogue() {
             "no-panic",
             "durability",
             "lock-order",
-            "msg-exhaustive"
+            "msg-exhaustive",
+            "no-sleep-in-reactor"
         ]
     );
 }

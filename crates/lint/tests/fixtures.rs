@@ -144,6 +144,24 @@ fn msg_exhaustive_fixtures() {
 }
 
 #[test]
+fn no_sleep_in_reactor_fixtures() {
+    let cfg = LintConfig::default();
+    let bad_src = include_str!("fixtures/no_sleep_in_reactor_bad.rs");
+    let bad = lint_file("crates/relay/src/reactor.rs", bad_src, &cfg);
+    assert_eq!(rules_of(&bad), vec!["no-sleep-in-reactor"; 2], "{bad:?}");
+    assert!(bad[0].msg.contains("stalls every"), "{}", bad[0]);
+
+    // The same sleeps off the reactor path are fine — blocking a
+    // harness or CLI thread parks nobody's data plane.
+    let elsewhere = lint_file("crates/relay/src/main.rs", bad_src, &cfg);
+    assert_eq!(elsewhere, vec![], "non-reactor paths may sleep");
+
+    let good_src = include_str!("fixtures/no_sleep_in_reactor_good.rs");
+    let good = lint_file("crates/relay/src/reactor.rs", good_src, &cfg);
+    assert_eq!(good, vec![], "tick/deadline waiting and a local `sleep` binding must be silent");
+}
+
+#[test]
 fn findings_render_as_file_line_rule_message() {
     let cfg = LintConfig::default();
     let bad = lint_file("crates/core/src/fx.rs", include_str!("fixtures/safety_bad.rs"), &cfg);
@@ -164,8 +182,9 @@ fn rule_set_is_closed_under_the_ids_fixtures_use() {
         "durability",
         "lock-order",
         "msg-exhaustive",
+        "no-sleep-in-reactor",
     ] {
         assert!(seen.contains(id), "{id} missing from RULES");
     }
-    assert_eq!(seen.len(), 6);
+    assert_eq!(seen.len(), 7);
 }

@@ -1,0 +1,27 @@
+//! Fixture: `thread::sleep` on a reactor path. Linted under the path
+//! `crates/relay/src/reactor.rs`, so both sleeps below must fire —
+//! each one parks a shard thread and stalls every connection its
+//! epoll loop drives.
+
+use std::thread;
+use std::time::Duration;
+
+pub fn drain_backlog() {
+    // Fully qualified form.
+    std::thread::sleep(Duration::from_millis(5));
+}
+
+pub fn await_peer() {
+    // Imported form.
+    thread::sleep(Duration::from_millis(1));
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: harness code sleeping between assertions blocks nobody's
+    // data plane.
+    #[test]
+    fn settles() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

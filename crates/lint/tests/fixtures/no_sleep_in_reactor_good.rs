@@ -1,0 +1,25 @@
+//! Fixture: reactor code that waits correctly. Linted under the path
+//! `crates/relay/src/reactor.rs` and must produce zero findings — the
+//! loop bounds idle latency with the poller's wait timeout and
+//! expresses "later" with per-connection tick deadlines, never by
+//! parking the shard thread.
+
+use std::time::{Duration, Instant};
+
+pub struct Shard {
+    next_tick: Instant,
+}
+
+impl Shard {
+    /// The poll timeout: time until the nearest deadline, floored at
+    /// zero. `epoll_wait` sleeps so the shard thread never has to.
+    pub fn wait_budget(&self) -> Duration {
+        self.next_tick.saturating_duration_since(Instant::now())
+    }
+
+    /// A local named `sleep` is not `thread::sleep`; the rule must not
+    /// fire on the identifier alone.
+    pub fn arm(&mut self, sleep: Duration) {
+        self.next_tick = Instant::now() + sleep;
+    }
+}

@@ -6,9 +6,15 @@
 //! classifies each accepted connection as **control** (the framed
 //! session protocol) or **data** (a blast channel opening with a
 //! [`DataChannelHello`](flashflow_proto::blast::DataChannelHello)), and
-//! serves both concurrently:
+//! serves both concurrently.
 //!
-//! * Control connections run [`MeasurerSession`]s — and keep running
+//! Serving is **reactor-driven**: every accepted connection becomes a
+//! state machine (see the `reactor` module) driven by a shard of a
+//! shared epoll event loop (`flashflow-procutil`'s `reactor`), so
+//! thousands of channels share `--io-threads` threads instead of one
+//! thread each:
+//!
+//! * Control connections run `MeasurerSession`s — and keep running
 //!   them: after a conversation ends cleanly the process waits for the
 //!   next `Auth` on the *same* connection, which is what lets a
 //!   coordinator-side connection pool reuse warm connections across
@@ -70,8 +76,8 @@
 //! ```text
 //! flashflow-measurer [--config FILE] [--listen ADDR] [--role measurer|target]
 //!     [--report counters|scripted] [--token-hex HEX64] [--rate BYTES]
-//!     [--bg BYTES] [--speedup X] [--sessions N] [--log-json FILE]
-//!     [--metrics-addr ADDR]
+//!     [--bg BYTES] [--speedup X] [--sessions N] [--io-threads N]
+//!     [--log-json FILE] [--metrics-addr ADDR]
 //! ```
 //!
 //! Stdout carries `listening <addr>` (and `metrics <addr>` when a
@@ -81,27 +87,25 @@
 //! completing N control conversations (the multi-process harness uses
 //! this); without it, it serves until SIGTERM.
 
+mod reactor;
+
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use flashflow_procutil as procutil;
+use procutil::reactor::{Reactor, ReactorConfig};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use flashflow_obs::{fields, Counter, EventSink, MetricsRegistry, Span};
 use flashflow_proto::blast::{
-    binding_nonce, channel_key, secret_channel_key, BlastCounters, BlastEvent, BlastParser,
-    ReportSource, TrafficSource, DATA_HELLO_TAG,
+    binding_nonce, secret_channel_key, BlastCounters, BlastParser, ReportSource, TrafficSource,
 };
-use flashflow_proto::endpoint::Endpoint;
-use flashflow_proto::msg::{AbortReason, PeerRole, AUTH_TOKEN_LEN};
-use flashflow_proto::session::{
-    MeasurerAction, MeasurerPhase, MeasurerSession, ReplayWindow, SessionTimeouts,
-};
-use flashflow_proto::tcp::{TcpAcceptor, TcpTransport};
-use flashflow_proto::transport::{LeasedTransport, Transport};
+use flashflow_proto::msg::{PeerRole, AUTH_TOKEN_LEN};
+use flashflow_proto::session::ReplayWindow;
+use flashflow_proto::tcp::TcpTransport;
 use flashflow_simnet::time::SimTime;
 
 /// Parsed configuration (command line and/or `--config` file).
@@ -129,6 +133,8 @@ struct Config {
     /// Exit after completing this many control conversations; `None`
     /// serves until SIGTERM.
     sessions: Option<u64>,
+    /// Reactor shard threads serving every connection.
+    io_threads: usize,
     /// Mirror the structured event stream to this file as JSONL.
     log_json: Option<String>,
     /// Serve token-gated metric snapshots on this TCP address.
@@ -147,6 +153,7 @@ impl Default for Config {
             bg: 0,
             speedup: 1.0,
             sessions: None,
+            io_threads: 4,
             log_json: None,
             metrics_addr: None,
         }
@@ -164,7 +171,8 @@ impl Config {
 const USAGE: &str = "usage: flashflow-measurer [--config FILE] [--listen ADDR] \
                      [--role measurer|target] [--report counters|scripted] \
                      [--token-hex HEX64] [--rate BYTES] [--bg BYTES] [--speedup X] \
-                     [--sessions N] [--log-json FILE] [--metrics-addr ADDR]";
+                     [--sessions N] [--io-threads N] [--log-json FILE] \
+                     [--metrics-addr ADDR]";
 
 /// Applies one `key=value` setting. Shared by the command line (`--key
 /// value`) and the config file (`key=value`), so the two cannot drift.
@@ -192,6 +200,12 @@ fn apply(cfg: &mut Config, key: &str, value: &str) -> Result<(), String> {
             }
         }
         "sessions" => cfg.sessions = Some(value.parse().map_err(|e| format!("sessions: {e}"))?),
+        "io-threads" => {
+            cfg.io_threads = value.parse().map_err(|e| format!("io-threads: {e}"))?;
+            if cfg.io_threads == 0 {
+                return Err("io-threads must be at least 1".to_string());
+            }
+        }
         "log-json" => cfg.log_json = Some(value.to_string()),
         "metrics-addr" => cfg.metrics_addr = Some(value.to_string()),
         other => return Err(format!("unknown setting {other:?}\n{USAGE}")),
@@ -277,39 +291,6 @@ impl Shared {
     }
 }
 
-/// How one control conversation ended.
-struct Outcome {
-    /// The session passed `Auth` (counts toward the quota).
-    authed: bool,
-    /// Ended `Done` on a healthy transport: the connection may serve
-    /// another conversation.
-    reusable: bool,
-}
-
-/// Serves control conversations on one connection until it dies, the
-/// process drains, or the quota fills. Each conversation is a fresh
-/// [`MeasurerSession`] seeded from the shared replay window; the
-/// connection itself is leased so a clean conversation's end does not
-/// close it — the coordinator-side pool reuses it for the next item.
-fn serve_control(transport: TcpTransport, preread: Vec<u8>, conn_id: u64, shared: &Shared) {
-    let mut leased = LeasedTransport::new(transport);
-    let mut preread = Some(preread);
-    let mut conversation = 0u64;
-    loop {
-        leased.reset_close();
-        let session_id = conn_id * 1_000 + conversation;
-        conversation += 1;
-        let outcome = serve_one(&mut leased, preread.take(), session_id, shared);
-        if outcome.authed {
-            shared.sessions_done.fetch_add(1, Ordering::SeqCst);
-        }
-        if !outcome.reusable || shared.stop_serving() {
-            break;
-        }
-        // Warm connection: wait for the next conversation's Auth.
-    }
-}
-
 /// One echo channel to the target relay: this measurer's blast source
 /// and the verifying parser for the relay's echo stream, sharing the
 /// dialed connection.
@@ -372,336 +353,6 @@ fn dial_echo_channels(
     channels
 }
 
-/// Serves exactly one control conversation over the leased connection.
-fn serve_one(
-    leased: &mut LeasedTransport<TcpTransport>,
-    preread: Option<Vec<u8>>,
-    session_id: u64,
-    shared: &Shared,
-) -> Outcome {
-    let cfg = &shared.cfg;
-    let span = shared.span.session(session_id);
-    let window = procutil::lock_recover(&shared.replay).clone();
-    let session = MeasurerSession::new(cfg.token, cfg.role, session_id, SessionTimeouts::default())
-        .with_replay_window(window);
-    let mut endpoint = Endpoint::new(session, &mut *leased);
-
-    let t0 = Instant::now();
-    if let Some(bytes) = preread {
-        endpoint.session_mut().receive(SimTime::ZERO, &bytes);
-    }
-    let report_every = Duration::from_secs_f64(1.0 / cfg.speedup);
-    // (slot_secs, scripted bg, scripted measured) once Go arrives.
-    let mut slot: Option<(u32, u64, u64)> = None;
-    let mut started_at = Instant::now();
-    let mut reported = 0u32;
-    let mut claimed_nonce: Option<u64> = None;
-    let mut registered_nonce: Option<u64> = None;
-    let mut counters: Option<Arc<SessionCounters>> = None;
-    let mut counted_through = 0u64;
-    // Echo-topology state: this measurer's own blast channels to the
-    // target relay (empty outside the echo topology).
-    let mut echo_channels: Vec<EchoChannel> = Vec::new();
-    loop {
-        let now = SimTime::from_secs_f64(t0.elapsed().as_secs_f64());
-        // The blast clocks run sped up, like the reports: a "second" of
-        // the commanded rate goes out per 1/speedup wall seconds.
-        let snow = SimTime::from_secs_f64(t0.elapsed().as_secs_f64() * cfg.speedup);
-        endpoint.pump(now);
-        endpoint.tick(now);
-        // Claim the accepted nonce in the process-wide window the moment
-        // the handshake passes: of two concurrent connections replaying
-        // the same opener, exactly one witnesses it first and the loser
-        // is dropped — a session-local window cannot arbitrate that. The
-        // same claim registers the nonce with the data plane *before*
-        // AuthOk reaches the coordinator, so the hellos it then sends
-        // always find their session.
-        if claimed_nonce.is_none() {
-            if let Some(nonce) = endpoint.session().accepted_nonce() {
-                claimed_nonce = Some(nonce);
-                if !procutil::lock_recover(&shared.replay).witness(nonce) {
-                    // The loser of a concurrent replay must NOT release
-                    // the winner's registration below — it never
-                    // registered (registered_nonce stays None).
-                    span.event("session.replay_drop");
-                    endpoint.session_mut().abort(AbortReason::AuthFailed);
-                } else {
-                    if endpoint.session().resumed() {
-                        shared.resumed.inc();
-                        span.emit("session.resumed", fields![nonce = nonce]);
-                    }
-                    if cfg.role == PeerRole::Measurer {
-                        counters = Some(shared.data.register(nonce));
-                        registered_nonce = Some(nonce);
-                    }
-                }
-            }
-        }
-        // Drain: finish a running slot, but abort a conversation still
-        // in its handshake — the Abort frame is flushed below.
-        if shared.draining.load(Ordering::SeqCst)
-            && matches!(
-                endpoint.session().phase(),
-                MeasurerPhase::AwaitAuth | MeasurerPhase::AwaitCmd | MeasurerPhase::AwaitGo
-            )
-        {
-            endpoint.session_mut().abort(AbortReason::Shutdown);
-        }
-        while let Some(action) = endpoint.session_mut().poll_action() {
-            match action {
-                MeasurerAction::Prepare { spec } => {
-                    span.emit(
-                        "session.prepare",
-                        fields![
-                            fp = format!("{:02x}{:02x}", spec.relay_fp[0], spec.relay_fp[1]),
-                            slot_secs = spec.slot_secs,
-                            sockets = spec.sockets,
-                        ],
-                    );
-                }
-                MeasurerAction::Start { spec } => {
-                    let (bg, measured) = match (cfg.role, cfg.report) {
-                        (PeerRole::Measurer, ReportSource::Counters) => (0, 0),
-                        (PeerRole::Measurer, ReportSource::Scripted) => {
-                            (0, cfg.rate.unwrap_or(spec.rate_cap))
-                        }
-                        (PeerRole::Target, _) => (cfg.bg, 0),
-                    };
-                    slot = Some((spec.slot_secs, bg, measured));
-                    started_at = Instant::now();
-                    counted_through = 0;
-                    if cfg.role == PeerRole::Measurer && !spec.target.is_none() {
-                        // Echo topology: this measurer blasts the target
-                        // relay itself and reports the verified echo.
-                        echo_channels = dial_echo_channels(&spec, snow, &span, shared);
-                    } else {
-                        match (cfg.role, cfg.report) {
-                            (PeerRole::Measurer, ReportSource::Counters) => {
-                                let channels = counters
-                                    .as_ref()
-                                    .map_or(0, |c| c.channels.load(Ordering::Relaxed));
-                                span.emit("session.go", fields![channels = channels]);
-                            }
-                            _ => span.emit("session.go", fields![scripted_rate = measured]),
-                        }
-                    }
-                }
-                MeasurerAction::Stop => {
-                    for ch in &mut echo_channels {
-                        ch.source.stop(snow);
-                    }
-                    // Dropping the channels closes the dialed
-                    // connections; the relay's echo threads see EOF.
-                    echo_channels.clear();
-                    match &counters {
-                        Some(c) => span.emit(
-                            "session.stop",
-                            fields![
-                                seconds = reported,
-                                received = c.received.load(Ordering::Relaxed),
-                                corrupt = c.corrupt.load(Ordering::Relaxed),
-                                rejected = c.rejected.load(Ordering::Relaxed),
-                            ],
-                        ),
-                        None => span.emit("session.stop", fields![seconds = reported]),
-                    }
-                }
-            }
-        }
-        // Drive the echo channels: blast the pacing budget out and
-        // verify whatever the relay has echoed back so far.
-        if !echo_channels.is_empty() && !endpoint.is_terminal() {
-            for ch in &mut echo_channels {
-                ch.source.pump(snow);
-                // A recv error means the relay hung up; verified()
-                // keeps its total either way.
-                if let Ok(bytes) = ch.source.transport_mut().recv(snow) {
-                    if !bytes.is_empty() {
-                        if let Err(e) = ch.echo.push(&bytes) {
-                            span.emit("echo.stream_broke", fields![error = format!("{e}")]);
-                        }
-                    }
-                }
-            }
-        }
-        if let Some((slot_secs, bg, measured)) = slot {
-            // One report per (sped-up) second, paced off the Go instant.
-            while reported < slot_secs
-                && !endpoint.is_terminal()
-                && started_at.elapsed() >= report_every * (reported + 1)
-            {
-                let measured = if !echo_channels.is_empty() {
-                    // Echo-derived: the verified bytes the relay echoed
-                    // back across this session's channels since the
-                    // previous report.
-                    let through: u64 = echo_channels.iter().map(EchoChannel::verified).sum();
-                    let delta = through - counted_through;
-                    counted_through = through;
-                    delta
-                } else {
-                    match (&counters, cfg.report, cfg.role) {
-                        (Some(c), ReportSource::Counters, PeerRole::Measurer) => {
-                            // Counter-derived: the bytes that actually
-                            // arrived on this session's data channels
-                            // since the previous report.
-                            let through = c.received.load(Ordering::Relaxed);
-                            let delta = through - counted_through;
-                            counted_through = through;
-                            delta
-                        }
-                        _ => measured,
-                    }
-                };
-                endpoint.session_mut().report_second(bg, measured);
-                reported += 1;
-            }
-        }
-        if endpoint.is_terminal() {
-            // Flush the tail (SlotDone / Abort) before returning.
-            for _ in 0..3 {
-                endpoint.pump(SimTime::from_secs_f64(t0.elapsed().as_secs_f64()));
-                thread::sleep(Duration::from_millis(1));
-            }
-            break;
-        }
-        thread::sleep(Duration::from_millis(1));
-    }
-    let reusable =
-        endpoint.session().phase() == MeasurerPhase::Done && endpoint.transport_error().is_none();
-    let authed = claimed_nonce.is_some();
-    drop(endpoint);
-    // Release only a registration THIS conversation created: a
-    // replay-losing conversation claims the nonce but never registers,
-    // and must not unbind the concurrent winner's data channels.
-    if let Some(nonce) = registered_nonce {
-        shared.data.release(nonce);
-    }
-    Outcome { authed, reusable }
-}
-
-/// Serves one data connection: bind via hello, then count verified
-/// blast bytes into the bound session's counters. A later hello on the
-/// same connection re-binds it (coordinator-side pooled data channels).
-fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, shared: &Shared) {
-    let span = shared.span.channel(conn_id);
-    // Coordinator-blasted channels are tagged under the pre-shared
-    // control token (which never crosses a data connection).
-    let mut parser = BlastParser::new()
-        .with_key(channel_key(&shared.cfg.token))
-        .with_counters(shared.blast.clone());
-    let mut counters: Option<Arc<SessionCounters>> = None;
-    // Bytes that arrived between a hello and its nonce registration
-    // landing (sub-millisecond race); credited once bound.
-    let mut unbound: (u64, u64) = (0, 0);
-    let mut pending_nonce: Option<u64> = None;
-    let mut bind_deadline = Instant::now() + shared.cfg.hello_window();
-    let mut last_activity = Instant::now();
-    let mut backlog = Some(preread);
-    loop {
-        let bytes = match backlog.take() {
-            Some(bytes) => bytes,
-            None => match transport.recv(SimTime::ZERO) {
-                Ok(bytes) => bytes,
-                Err(_) => break, // peer closed or failed
-            },
-        };
-        if !bytes.is_empty() {
-            last_activity = Instant::now();
-            let events = match parser.push(&bytes) {
-                Ok(events) => events,
-                Err(e) => {
-                    span.emit("channel.framing_error", fields![error = format!("{e}")]);
-                    break;
-                }
-            };
-            for event in events {
-                match event {
-                    BlastEvent::Hello(hello) => {
-                        if let Some(c) = counters.take() {
-                            c.channels.fetch_sub(1, Ordering::Relaxed);
-                        }
-                        pending_nonce = Some(hello.nonce);
-                        bind_deadline = Instant::now() + shared.cfg.hello_window();
-                        unbound = (0, 0);
-                    }
-                    BlastEvent::Data { bytes, corrupt } => match &counters {
-                        Some(c) => {
-                            c.received.fetch_add(bytes, Ordering::Relaxed);
-                            c.corrupt.fetch_add(corrupt, Ordering::Relaxed);
-                        }
-                        None => {
-                            unbound.0 += bytes;
-                            unbound.1 += corrupt;
-                        }
-                    },
-                    BlastEvent::Forged { bytes } | BlastEvent::Replayed { bytes } => {
-                        if let Some(c) = &counters {
-                            c.rejected.fetch_add(bytes, Ordering::Relaxed);
-                        }
-                    }
-                }
-            }
-        }
-        // Resolve a pending hello against the registry.
-        if let Some(nonce) = pending_nonce {
-            if let Some(c) = shared.data.lookup(nonce) {
-                c.channels.fetch_add(1, Ordering::Relaxed);
-                c.received.fetch_add(unbound.0, Ordering::Relaxed);
-                c.corrupt.fetch_add(unbound.1, Ordering::Relaxed);
-                unbound = (0, 0);
-                counters = Some(c);
-                pending_nonce = None;
-                span.emit("channel.bound", fields![nonce = nonce]);
-            } else if Instant::now() >= bind_deadline {
-                // The nonce never belonged to an authenticated session
-                // (or its session is long gone): refuse the channel.
-                span.emit("channel.unknown_nonce", fields![nonce = nonce]);
-                break;
-            }
-        } else if counters.is_none() && Instant::now() >= bind_deadline {
-            // Connected but never completed a hello: the half-open-dial
-            // guard.
-            span.event("channel.no_hello");
-            break;
-        }
-        // Drain: once the control sessions are gone and the channel has
-        // gone quiet, let the thread end.
-        if shared.draining.load(Ordering::SeqCst)
-            && last_activity.elapsed() > Duration::from_millis(500)
-        {
-            break;
-        }
-        // Sleep only when the wire is quiet: a full read means the
-        // sender is ahead of us, and parking 1 ms per RECV_BUDGET would
-        // cap ingest (and lag the counters behind the wire).
-        if bytes.is_empty() {
-            thread::sleep(Duration::from_millis(1));
-        }
-    }
-    if let Some(c) = counters {
-        c.channels.fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
-/// Classifies a fresh connection by its first byte — control frames
-/// begin with a length prefix (first byte `0x00`), data channels with
-/// [`DATA_HELLO_TAG`] — and serves it. A connection that stays silent
-/// past the hello window is dropped: a half-open dial holds nothing.
-fn dispatch(mut transport: TcpTransport, conn_id: u64, shared: &Shared) {
-    let draining = || shared.draining.load(Ordering::SeqCst);
-    let Some(first) =
-        procutil::await_first_bytes(&mut transport, shared.cfg.hello_window(), &draining)
-    else {
-        shared.span.channel(conn_id).event("conn.silent");
-        return;
-    };
-    if first[0] == DATA_HELLO_TAG {
-        serve_data(transport, first, conn_id, shared);
-    } else {
-        serve_control(transport, first, conn_id, shared);
-    }
-}
-
 fn main() {
     let cfg = match parse_args(std::env::args().skip(1)) {
         Ok(cfg) => cfg,
@@ -711,14 +362,16 @@ fn main() {
         }
     };
     procutil::install_sigterm_handler();
-    let acceptor = match TcpAcceptor::bind(&cfg.listen) {
-        Ok(a) => a,
+    // SO_REUSEADDR: a replacement measurer must re-take its configured
+    // port while the killed incarnation's connections sit in TIME_WAIT.
+    let listener = match procutil::listen_reuseaddr(&*cfg.listen) {
+        Ok(l) => l,
         Err(e) => {
             eprintln!("bind {}: {e}", cfg.listen);
             std::process::exit(1);
         }
     };
-    let addr = match acceptor.local_addr() {
+    let addr = match listener.local_addr() {
         Ok(addr) => addr,
         Err(e) => {
             eprintln!("query bound address for {}: {e}", cfg.listen);
@@ -797,12 +450,20 @@ fn main() {
         },
         resumed: registry.counter("measurer.sessions_resumed"),
     });
-    if let Err(e) = acceptor.set_nonblocking(true) {
-        shared.span.emit("measurer.fatal", fields![error = format!("nonblocking listener: {e}")]);
-        std::process::exit(1);
-    }
-    let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
-    let mut conn_id = 0u64;
+    // Serve everything — control sessions, inbound blast channels —
+    // from the sharded reactor; this thread only watches for the drain
+    // signal and the session quota.
+    let reactor = match Reactor::serve(
+        Some(listener),
+        ReactorConfig { shards: shared.cfg.io_threads, tick: Duration::from_millis(1) },
+        reactor::accept_factory(Arc::clone(&shared)),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.span.emit("measurer.fatal", fields![error = format!("start reactor: {e}")]);
+            std::process::exit(1);
+        }
+    };
     loop {
         if procutil::drain_requested() {
             shared.span.event("measurer.drain");
@@ -811,29 +472,14 @@ fn main() {
         if shared.quota_reached() {
             break;
         }
-        match acceptor.try_accept() {
-            Ok(Some((transport, peer))) => {
-                shared.span.channel(conn_id).emit("conn.accept", fields![peer = format!("{peer}")]);
-                let shared = Arc::clone(&shared);
-                let id = conn_id;
-                conn_id += 1;
-                // Reap finished threads so a long-lived process does not
-                // grow a handle per connection it ever served.
-                handles.retain(|h| !h.is_finished());
-                handles.push(thread::spawn(move || dispatch(transport, id, &shared)));
-            }
-            Ok(None) => thread::sleep(Duration::from_millis(2)),
-            Err(e) => {
-                shared.span.emit("conn.accept_error", fields![error = format!("{e}")]);
-                thread::sleep(Duration::from_millis(10));
-            }
-        }
+        thread::sleep(Duration::from_millis(2));
     }
     // Stop serving: running slots finish, handshakes abort, data
-    // channels wind down, and every thread joins before exit.
+    // channels wind down, and every shard joins before exit.
     shared.draining.store(true, Ordering::SeqCst);
-    for handle in handles {
-        let _ = handle.join();
+    reactor.stop();
+    if let Err(e) = reactor.join() {
+        shared.span.emit("measurer.fatal", fields![error = e]);
     }
     shared
         .span

@@ -11,9 +11,12 @@
 //! stays in the binaries themselves.
 
 mod metrics_endpoint;
+pub mod net;
 pub mod persist;
+pub mod reactor;
 
 pub use metrics_endpoint::{fetch_metrics, spawn_metrics_endpoint, start_metrics_endpoint};
+pub use net::listen_reuseaddr;
 pub use persist::{append_line, append_torn_line, atomic_write, journal_writer};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -1,0 +1,157 @@
+//! Listener construction for restartable serving processes.
+//!
+//! [`listen_reuseaddr`] is `TcpListener::bind` with `SO_REUSEADDR` set
+//! before the bind. The difference matters exactly once in a process's
+//! life: when it is a **replacement**. A killed peer's accepted
+//! connections linger in `TIME_WAIT` on its listen port for minutes,
+//! and a plain `bind(2)` of the same port fails with `EADDRINUSE`
+//! until they age out — so a supervisor restarting `flashflow-relay`
+//! or `flashflow-measurer` on its configured `--listen` address would
+//! flap. `SO_REUSEADDR` lets the replacement bind immediately while
+//! still refusing a port another *live* listener holds.
+//!
+//! `std` offers no hook between `socket(2)` and `bind(2)`, and
+//! crates.io is unreachable, so the socket is built with the raw
+//! syscalls (same policy as [`crate::reactor`]'s epoll layer) and then
+//! handed to `TcpListener` via `FromRawFd`.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::fd::FromRawFd;
+
+// SAFETY: the exact libc prototypes on every Linux we target (see
+// `socket(2)`, `setsockopt(2)`, `bind(2)`, `listen(2)`, `close(2)`):
+// integer fds, pointer + length option/address buffers, C `int`
+// returns with errno.
+extern "C" {
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
+    fn bind(fd: i32, addr: *const SockAddrIn, addrlen: u32) -> i32;
+    fn listen(fd: i32, backlog: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+const AF_INET: i32 = 2;
+const SOCK_STREAM: i32 = 1;
+const SOCK_CLOEXEC: i32 = 0x80000;
+const SOL_SOCKET: i32 = 1;
+const SO_REUSEADDR: i32 = 2;
+
+/// The kernel's `struct sockaddr_in` (IPv4 only: every FlashFlow
+/// endpoint is an IPv4 address — see `TargetEndpoint`).
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    /// Network byte order.
+    port: u16,
+    /// Network byte order.
+    addr: u32,
+    zero: [u8; 8],
+}
+
+/// Binds a listening socket with `SO_REUSEADDR`, so a restarted process
+/// can re-take its configured port while the previous incarnation's
+/// connections are still in `TIME_WAIT`.
+///
+/// `addr` resolves like `TcpListener::bind`'s argument; the first
+/// resolved IPv4 address is used (IPv6 endpoints fall back to a plain
+/// `bind` without the option — FlashFlow's wire format is IPv4-only
+/// anyway).
+///
+/// # Errors
+/// Address resolution and any of the underlying syscalls.
+pub fn listen_reuseaddr<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+    let mut last_err = None;
+    for resolved in addr.to_socket_addrs()? {
+        let SocketAddr::V4(v4) = resolved else {
+            match TcpListener::bind(resolved) {
+                Ok(l) => return Ok(l),
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            }
+        };
+        match listen_v4_reuseaddr(v4.ip().octets(), v4.port()) {
+            Ok(l) => return Ok(l),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    }))
+}
+
+fn listen_v4_reuseaddr(ip: [u8; 4], port: u16) -> io::Result<TcpListener> {
+    // SAFETY: plain syscalls on a socket this function owns end to
+    // end; on any failure the fd is closed before the error returns,
+    // and on success its ownership moves into the `TcpListener`.
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fail = |fd: i32| -> io::Error {
+            let err = io::Error::last_os_error();
+            close(fd);
+            err
+        };
+        let one: i32 = 1;
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, std::ptr::addr_of!(one).cast::<u8>(), 4) != 0 {
+            return Err(fail(fd));
+        }
+        let sa = SockAddrIn {
+            family: AF_INET as u16,
+            port: port.to_be(),
+            addr: u32::from_be_bytes(ip).to_be(),
+            zero: [0; 8],
+        };
+        #[allow(clippy::cast_possible_truncation)]
+        if bind(fd, &sa, std::mem::size_of::<SockAddrIn>() as u32) != 0 {
+            return Err(fail(fd));
+        }
+        if listen(fd, 1024) != 0 {
+            return Err(fail(fd));
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    #[test]
+    fn listener_accepts_and_reports_its_bound_address() {
+        let listener = listen_reuseaddr("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr");
+        assert!(addr.port() != 0, "ephemeral port must be resolved");
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"hi").expect("send");
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        let mut buf = [0u8; 2];
+        conn.read_exact(&mut buf).expect("recv");
+        assert_eq!(&buf, b"hi");
+        client.join().expect("client thread");
+    }
+
+    #[test]
+    fn port_can_be_retaken_immediately_after_the_previous_listener_dies() {
+        // Manufacture the restart hazard: the first listener's accepted
+        // connection is closed server-side first, parking a TIME_WAIT
+        // entry on the listen port; a replacement must still bind.
+        let first = listen_reuseaddr("127.0.0.1:0").expect("first bind");
+        let addr = first.local_addr().expect("local addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (conn, _) = first.accept().expect("accept");
+        drop(conn); // server closes first: TIME_WAIT lands on our port
+        drop(client);
+        drop(first);
+        let second = listen_reuseaddr(addr).expect("rebind the same port");
+        assert_eq!(second.local_addr().expect("addr").port(), addr.port());
+    }
+}

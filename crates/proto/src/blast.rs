@@ -83,6 +83,12 @@ pub const BLAST_CHUNK: usize = 16 * 1024;
 /// or balloon an in-memory queue inside a single tick.
 pub const MAX_TICK_BYTES: u64 = 256 * 1024;
 
+/// Target size of one batched `Transport::send`: the blast senders
+/// assemble several frames into their reused buffer and hand them to
+/// the transport together, so a full-rate blast costs one syscall per
+/// ~4 frames instead of one per frame.
+pub const SEND_BATCH_BYTES: usize = 64 * 1024;
+
 /// Send-side backlog ([`Transport::backlog`]) above which an
 /// [`Echoer`] stops emitting: the verified backlog then waits in
 /// `pending_echo` (a `u64` count, not buffered bytes) until the peer
@@ -187,6 +193,20 @@ impl std::fmt::Display for BlastError {
 }
 
 impl std::error::Error for BlastError {}
+
+/// Appends one pattern-stamped frame (header + payload, keystream via
+/// [`BlastPattern::fill`]) for `seq` to `buf` — the shared hot-path
+/// builder both blast senders batch with.
+fn append_frame(buf: &mut Vec<u8>, pattern: BlastPattern, key: u64, seq: u64, len: usize) {
+    buf.push(BLAST_FRAME_TAG);
+    buf.extend_from_slice(&seq.to_be_bytes());
+    buf.extend_from_slice(&(len as u32).to_be_bytes());
+    let tag = frame_tag(key, pattern.nonce(), seq, len as u32);
+    buf.extend_from_slice(&tag.to_be_bytes());
+    let start = buf.len();
+    buf.resize(start + len, 0);
+    pattern.fill(seq, &mut buf[start..]);
+}
 
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -510,24 +530,24 @@ impl<T: Transport> TrafficSource<T> {
         let mut budget = allowed.saturating_sub(self.sent).min(MAX_TICK_BYTES);
         let mut moved = false;
         while budget > 0 {
-            let len = (budget as usize).min(BLAST_CHUNK);
-            let seq = self.seq;
+            // Assemble a batch of frames in the reused buffer and hand
+            // them to the transport together (one vectored write /
+            // syscall per batch instead of per frame).
             self.frame.clear();
-            self.frame.push(BLAST_FRAME_TAG);
-            self.frame.extend_from_slice(&seq.to_be_bytes());
-            self.frame.extend_from_slice(&(len as u32).to_be_bytes());
-            let tag = frame_tag(self.key, self.pattern.nonce(), seq, len as u32);
-            self.frame.extend_from_slice(&tag.to_be_bytes());
-            self.frame.resize(BLAST_HEADER_LEN + len, 0);
-            self.pattern.fill(seq, &mut self.frame[BLAST_HEADER_LEN..]);
+            let mut batch_payload = 0u64;
+            while budget > 0 && self.frame.len() < SEND_BATCH_BYTES {
+                let len = (budget as usize).min(BLAST_CHUNK);
+                append_frame(&mut self.frame, self.pattern, self.key, self.seq, len);
+                self.seq += 1;
+                batch_payload += len as u64;
+                budget -= len as u64;
+            }
             if let Err(err) = self.transport.send(now, &self.frame) {
                 self.fail(err);
                 return moved;
             }
-            self.seq += 1;
-            self.sent += len as u64;
-            self.counter.add(now, len as u64);
-            budget -= len as u64;
+            self.sent += batch_payload;
+            self.counter.add(now, batch_payload);
             moved = true;
         }
         moved
@@ -845,6 +865,8 @@ pub struct TrafficSink<T: Transport> {
     corrupt_counter: ByteCounter,
     hello: Option<DataChannelHello>,
     error: Option<TransportError>,
+    /// Reused receive buffer ([`Transport::recv_into`]).
+    rxbuf: Vec<u8>,
 }
 
 impl<T: Transport> TrafficSink<T> {
@@ -857,6 +879,7 @@ impl<T: Transport> TrafficSink<T> {
             corrupt_counter: ByteCounter::new(),
             hello: None,
             error: None,
+            rxbuf: Vec::new(),
         }
     }
 
@@ -895,17 +918,23 @@ impl<T: Transport> TrafficSink<T> {
         }
         self.counter.roll(now);
         self.corrupt_counter.roll(now);
-        let bytes = match self.transport.recv(now) {
-            Ok(bytes) => bytes,
+        // Swap the reused buffer out so the parser can borrow `self`.
+        let mut rx = std::mem::take(&mut self.rxbuf);
+        let got = match self.transport.recv_into(now, &mut rx) {
+            Ok(got) => got,
             Err(err) => {
                 self.error = Some(err);
+                self.rxbuf = rx;
                 return Ok(false);
             }
         };
-        if bytes.is_empty() {
+        if got == 0 {
+            self.rxbuf = rx;
             return Ok(false);
         }
-        for event in self.parser.push(&bytes)? {
+        let events = self.parser.push(&rx);
+        self.rxbuf = rx;
+        for event in events? {
             match event {
                 BlastEvent::Hello(h) => self.hello = Some(h),
                 BlastEvent::Data { bytes, corrupt } => {
@@ -999,6 +1028,9 @@ pub struct Echoer<T: Transport> {
     corrupt_echo: bool,
     /// Reused frame buffer, same rationale as [`TrafficSource`].
     frame: Vec<u8>,
+    /// Reused receive buffer ([`Transport::recv_into`]): a pump must
+    /// not allocate per drain at echo rates.
+    rxbuf: Vec<u8>,
 }
 
 impl<T: Transport> Echoer<T> {
@@ -1019,6 +1051,7 @@ impl<T: Transport> Echoer<T> {
             echoed_counter: None,
             corrupt_echo: false,
             frame: Vec::with_capacity(BLAST_HEADER_LEN + BLAST_CHUNK),
+            rxbuf: Vec::new(),
         }
     }
 
@@ -1115,15 +1148,20 @@ impl<T: Transport> Echoer<T> {
         if self.error.is_some() {
             return Ok(false);
         }
-        let bytes = match self.transport.recv(now) {
-            Ok(bytes) => bytes,
+        // Swap the reused buffer out so `inject` can borrow `self`.
+        let mut rx = std::mem::take(&mut self.rxbuf);
+        let got = match self.transport.recv_into(now, &mut rx) {
+            Ok(got) => got,
             Err(err) => {
                 self.error = Some(err);
+                self.rxbuf = rx;
                 return Ok(false);
             }
         };
-        let mut moved = self.inject(now, &bytes)?;
-        moved |= !bytes.is_empty();
+        let injected = self.inject(now, &rx);
+        self.rxbuf = rx;
+        let mut moved = injected?;
+        moved |= got > 0;
         Ok(moved)
     }
 
@@ -1195,35 +1233,35 @@ impl<T: Transport> Echoer<T> {
         }
         let mut budget = self.pending.min(MAX_TICK_BYTES);
         while budget > 0 {
-            let len = (budget as usize).min(BLAST_CHUNK);
-            let seq = self.seq;
+            // Batch frames into the reused buffer, one transport send
+            // (one vectored write) per batch — see [`SEND_BATCH_BYTES`].
             self.frame.clear();
-            self.frame.push(BLAST_FRAME_TAG);
-            self.frame.extend_from_slice(&seq.to_be_bytes());
-            self.frame.extend_from_slice(&(len as u32).to_be_bytes());
-            let tag = frame_tag(self.key, pattern.nonce(), seq, len as u32);
-            self.frame.extend_from_slice(&tag.to_be_bytes());
-            self.frame.resize(BLAST_HEADER_LEN + len, 0);
-            pattern.fill(seq, &mut self.frame[BLAST_HEADER_LEN..]);
-            if self.corrupt_echo {
-                for b in &mut self.frame[BLAST_HEADER_LEN..] {
-                    *b ^= 0xFF;
+            let mut batch_payload = 0u64;
+            while budget > 0 && self.frame.len() < SEND_BATCH_BYTES {
+                let len = (budget as usize).min(BLAST_CHUNK);
+                let frame_start = self.frame.len();
+                append_frame(&mut self.frame, pattern, self.key, self.seq, len);
+                if self.corrupt_echo {
+                    for b in &mut self.frame[frame_start + BLAST_HEADER_LEN..] {
+                        *b ^= 0xFF;
+                    }
                 }
+                self.seq += 1;
+                batch_payload += len as u64;
+                budget -= len as u64;
             }
             if let Err(err) = self.transport.send(now, &self.frame) {
                 self.error = Some(err);
                 return moved;
             }
-            self.seq += 1;
-            self.echoed += len as u64;
+            self.echoed += batch_payload;
             if let Some(c) = &self.echoed_counter {
-                c.add(len as u64);
+                c.add(batch_payload);
             }
-            self.pending -= len as u64;
+            self.pending -= batch_payload;
             if self.counter.is_running() {
-                self.counter.add(now, len as u64);
+                self.counter.add(now, batch_payload);
             }
-            budget -= len as u64;
             moved = true;
         }
         moved

@@ -14,7 +14,8 @@
 //! coordinator can run its timeout logic on accelerated time in tests
 //! and on real elapsed time in deployment without touching this code.
 
-use std::io::{Read, Write};
+use std::collections::VecDeque;
+use std::io::{IoSlice, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 
 use flashflow_simnet::time::SimTime;
@@ -95,12 +96,36 @@ const READ_CHUNK: usize = 4096;
 /// next pump, and the sessions' own bounds abort a flooding peer.
 const RECV_BUDGET: usize = 256 * 1024;
 
+/// Coalescing bound for the outbox: a queued send is appended to the
+/// trailing segment while that segment stays under this size, so many
+/// small backpressured frames share one buffer instead of one each.
+const OUTBOX_SEGMENT: usize = 64 * 1024;
+
+/// Flushed segments kept for reuse so steady-state backpressure
+/// (queue, flush, queue, ...) recycles buffers instead of allocating.
+const SPARE_SEGMENTS: usize = 8;
+
+/// Most segments one `writev` submits; deeper outboxes flush over
+/// several calls, which is already the backpressured slow path.
+const MAX_IOVECS: usize = 32;
+
 /// One endpoint of a TCP control connection.
 #[derive(Debug)]
 pub struct TcpTransport {
     stream: TcpStream,
-    /// Bytes accepted by `send` but not yet written (kernel backpressure).
-    outbox: Vec<u8>,
+    /// Bytes accepted by `send` but not yet written (kernel
+    /// backpressure), as a queue of segments flushed with one
+    /// vectored write instead of a coalesced copy — `send` never
+    /// re-copies bytes that are merely waiting.
+    outbox: VecDeque<Vec<u8>>,
+    /// Bytes of the front segment already written (a partial
+    /// `writev`); draining advances this instead of memmoving the
+    /// segment.
+    head: usize,
+    /// Total queued bytes across `outbox`, minus `head`.
+    queued: usize,
+    /// Recycled segments (bounded by [`SPARE_SEGMENTS`]).
+    spare: Vec<Vec<u8>>,
     /// Set once this side called `close`; `send`/`recv` refuse from then
     /// on, but the FIN may be deferred (see `fin_sent`).
     closed: bool,
@@ -113,6 +138,10 @@ pub struct TcpTransport {
     broken: Option<TransportError>,
     /// The peer sent EOF; drained reads then error.
     eof: bool,
+    /// Read scratch, zeroed once at construction: `recv_into` reads
+    /// here and copies only the bytes that actually arrived, so an
+    /// idle poll (`WouldBlock`) costs no buffer zeroing.
+    scratch: Box<[u8]>,
 }
 
 impl TcpTransport {
@@ -126,11 +155,15 @@ impl TcpTransport {
         stream.set_nodelay(true)?;
         Ok(TcpTransport {
             stream,
-            outbox: Vec::new(),
+            outbox: VecDeque::new(),
+            head: 0,
+            queued: 0,
+            spare: Vec::new(),
             closed: false,
             fin_sent: false,
             broken: None,
             eof: false,
+            scratch: vec![0; READ_CHUNK].into_boxed_slice(),
         })
     }
 
@@ -157,7 +190,16 @@ impl TcpTransport {
     /// returned `WouldBlock` mid-frame and the remainder is queued, not
     /// torn or dropped.
     pub fn pending_send_bytes(&self) -> usize {
-        self.outbox.len()
+        self.queued
+    }
+
+    /// The raw socket fd, for readiness registration in an event loop
+    /// (see `flashflow-procutil`'s reactor). The fd stays owned by this
+    /// transport; callers must deregister it before dropping.
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> i32 {
+        use std::os::fd::AsRawFd;
+        self.stream.as_raw_fd()
     }
 
     /// True while the connection can still carry another conversation:
@@ -168,13 +210,55 @@ impl TcpTransport {
         self.broken.is_none() && !self.eof && !self.closed
     }
 
-    /// Writes as much of the outbox as the kernel will take.
+    /// Queues `bytes` behind whatever is already backpressured,
+    /// coalescing small writes into the trailing segment.
+    fn queue_bytes(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.queued += bytes.len();
+        if let Some(tail) = self.outbox.back_mut() {
+            if tail.len() < OUTBOX_SEGMENT {
+                tail.extend_from_slice(bytes);
+                return;
+            }
+        }
+        let mut seg = self.spare.pop().unwrap_or_default();
+        seg.clear();
+        seg.extend_from_slice(bytes);
+        self.outbox.push_back(seg);
+    }
+
+    /// Writes as much of the outbox as the kernel will take: one
+    /// `writev` over the queued segments per loop, advancing a head
+    /// offset instead of memmoving partially written buffers.
     fn flush_outbox(&mut self) -> Result<(), TransportError> {
         while !self.outbox.is_empty() {
-            match self.stream.write(&self.outbox) {
+            let mut iov = [IoSlice::new(&[]); MAX_IOVECS];
+            let mut iov_len = 0;
+            for (ix, seg) in self.outbox.iter().take(MAX_IOVECS).enumerate() {
+                let part = if ix == 0 { &seg[self.head..] } else { &seg[..] };
+                iov[iov_len] = IoSlice::new(part);
+                iov_len += 1;
+            }
+            match self.stream.write_vectored(&iov[..iov_len]) {
                 Ok(0) => return Err(self.fail(TransportError::Closed)),
-                Ok(n) => {
-                    self.outbox.drain(..n);
+                Ok(mut wrote) => {
+                    self.queued -= wrote;
+                    while wrote > 0 {
+                        let front_left = self.outbox[0].len() - self.head;
+                        if wrote >= front_left {
+                            wrote -= front_left;
+                            self.head = 0;
+                            let seg = self.outbox.pop_front().unwrap_or_default();
+                            if self.spare.len() < SPARE_SEGMENTS {
+                                self.spare.push(seg);
+                            }
+                        } else {
+                            self.head += wrote;
+                            wrote = 0;
+                        }
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -198,11 +282,36 @@ impl Transport for TcpTransport {
         if let Some(err) = self.broken {
             return Err(err);
         }
-        self.outbox.extend_from_slice(bytes);
+        if self.queued == 0 {
+            // Fast path: nothing backpressured, so write straight from
+            // the caller's buffer — the blast plane's reused frame
+            // buffers then reach the kernel with zero copies on this
+            // side. Only what the kernel refuses is queued.
+            let mut offset = 0;
+            while offset < bytes.len() {
+                match self.stream.write(&bytes[offset..]) {
+                    Ok(0) => return Err(self.fail(TransportError::Closed)),
+                    Ok(n) => offset += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(self.fail(TransportError::Io(e.kind()))),
+                }
+            }
+            self.queue_bytes(&bytes[offset..]);
+            return Ok(());
+        }
+        self.queue_bytes(bytes);
         self.flush_outbox()
     }
 
-    fn recv(&mut self, _now: SimTime) -> Result<Vec<u8>, TransportError> {
+    fn recv(&mut self, now: SimTime) -> Result<Vec<u8>, TransportError> {
+        let mut out = Vec::new();
+        self.recv_into(now, &mut out)?;
+        Ok(out)
+    }
+
+    fn recv_into(&mut self, _now: SimTime, out: &mut Vec<u8>) -> Result<usize, TransportError> {
+        out.clear();
         if self.closed {
             return Err(TransportError::Closed);
         }
@@ -211,15 +320,16 @@ impl Transport for TcpTransport {
         if self.broken.is_none() {
             let _ = self.flush_outbox();
         }
-        let mut out = Vec::new();
-        let mut buf = [0u8; READ_CHUNK];
         while out.len() < RECV_BUDGET {
-            match self.stream.read(&mut buf) {
+            // Read into the pre-zeroed scratch and copy only what
+            // arrived: the caller's buffer grows by `extend_from_slice`
+            // (a memcpy), never by zero-filling capacity it may not use.
+            match self.stream.read(&mut self.scratch) {
                 Ok(0) => {
                     self.eof = true;
                     break;
                 }
-                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Ok(n) => out.extend_from_slice(&self.scratch[..n]),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => {
@@ -237,7 +347,7 @@ impl Transport for TcpTransport {
                 return Err(TransportError::Closed);
             }
         }
-        Ok(out)
+        Ok(out.len())
     }
 
     fn readiness(&mut self, _now: SimTime) -> Readiness {
@@ -265,7 +375,7 @@ impl Transport for TcpTransport {
         // retry `close` (the endpoint does so on every pump while its
         // session is terminal), and this never blocks the pump thread.
         let _ = self.flush_outbox();
-        if self.outbox.is_empty() || self.broken.is_some() {
+        if self.queued == 0 || self.broken.is_some() {
             let _ = self.stream.shutdown(Shutdown::Both);
             self.fin_sent = true;
         }

@@ -83,6 +83,22 @@ pub trait Transport {
     /// Fails once the connection is closed or broken and drained.
     fn recv(&mut self, now: SimTime) -> Result<Vec<u8>, TransportError>;
 
+    /// Like [`Transport::recv`], but **replaces** `out`'s contents
+    /// instead of allocating, returning the byte count. Hot receive
+    /// loops (the blast plane, the reactor's per-connection drains)
+    /// call this with a reused per-channel buffer so steady-state
+    /// receiving allocates nothing; the default simply delegates to
+    /// `recv`, so in-memory transports need no changes.
+    ///
+    /// # Errors
+    /// Same contract as [`Transport::recv`].
+    fn recv_into(&mut self, now: SimTime, out: &mut Vec<u8>) -> Result<usize, TransportError> {
+        out.clear();
+        let bytes = self.recv(now)?;
+        out.extend_from_slice(&bytes);
+        Ok(out.len())
+    }
+
     /// Polls readiness without consuming bytes.
     fn readiness(&mut self, now: SimTime) -> Readiness;
 
@@ -107,6 +123,9 @@ impl<T: Transport + ?Sized> Transport for Box<T> {
     fn recv(&mut self, now: SimTime) -> Result<Vec<u8>, TransportError> {
         (**self).recv(now)
     }
+    fn recv_into(&mut self, now: SimTime, out: &mut Vec<u8>) -> Result<usize, TransportError> {
+        (**self).recv_into(now, out)
+    }
     fn readiness(&mut self, now: SimTime) -> Readiness {
         (**self).readiness(now)
     }
@@ -124,6 +143,9 @@ impl<T: Transport + ?Sized> Transport for &mut T {
     }
     fn recv(&mut self, now: SimTime) -> Result<Vec<u8>, TransportError> {
         (**self).recv(now)
+    }
+    fn recv_into(&mut self, now: SimTime, out: &mut Vec<u8>) -> Result<usize, TransportError> {
+        (**self).recv_into(now, out)
     }
     fn readiness(&mut self, now: SimTime) -> Readiness {
         (**self).readiness(now)
@@ -191,6 +213,9 @@ impl<T: Transport> Transport for LeasedTransport<T> {
     }
     fn recv(&mut self, now: SimTime) -> Result<Vec<u8>, TransportError> {
         self.inner.recv(now)
+    }
+    fn recv_into(&mut self, now: SimTime, out: &mut Vec<u8>) -> Result<usize, TransportError> {
+        self.inner.recv_into(now, out)
     }
     fn readiness(&mut self, now: SimTime) -> Readiness {
         self.inner.readiness(now)

@@ -7,11 +7,18 @@
 //! self-reported background bytes (§4.1). This process plays that role
 //! on a real socket: it listens on TCP, classifies each accepted
 //! connection by its first byte — **control** (the framed session
-//! protocol, served by a [`RelaySession`]) or **data** (an echo channel
-//! opening with a [`DataChannelHello`]) — and serves both concurrently,
-//! reusing the measurer process's accept/classify/drain scaffolding.
+//! protocol, served by a `RelaySession`) or **data** (an echo channel
+//! opening with a `DataChannelHello`) — and serves both concurrently.
 //!
-//! * Control connections run [`RelaySession`]s (the target role of the
+//! Serving is **reactor-driven** (see [`reactor`] and
+//! `flashflow_procutil::reactor`): `--io-threads N` epoll shards share
+//! the listening socket via `EPOLLEXCLUSIVE` and drive every accepted
+//! connection as a state machine, so thousands of concurrent echo
+//! channels multiplex over a fixed thread budget instead of a thread
+//! per connection.
+//!
+//! * Control connections run [`RelaySession`](flashflow_proto::session::RelaySession)s
+//!   (the target role of the
 //!   protocol) and keep running them across conversations, so a
 //!   coordinator-side connection pool reuses warm connections. Once a
 //!   `MeasureCmd` is accepted, the session's
@@ -20,11 +27,13 @@
 //!   the data plane *before* `Ready` goes back, so the measurers' echo
 //!   dials (which only start at `Go`) always find their measurement.
 //! * Data connections must open with a hello carrying a registered
-//!   binding nonce; each is served by a [`Echoer`] that verifies
+//!   binding nonce; each is served by an
+//!   [`Echoer`](flashflow_proto::blast::Echoer) that verifies
 //!   every inbound payload byte (pattern keystream + keyed frame tag)
 //!   and loops exactly the verified bytes back. Concurrent channels
 //!   from multiple measurers aggregate into one measurement's counters.
-//! * A [`BackgroundMeter`] simulates the relay's client traffic:
+//! * A [`BackgroundMeter`](flashflow_proto::blast::BackgroundMeter)
+//!   simulates the relay's client traffic:
 //!   `--background RATE` bytes/second offered, admitted up to the
 //!   commanded allowance while a slot runs (the paper's `r`-ratio cap).
 //!   Per-second `SecondReport`s carry **both** columns: background
@@ -54,30 +63,26 @@
 //! ```text
 //! flashflow-relay [--config FILE] [--listen ADDR] [--token-hex HEX64]
 //!     [--background BYTES] [--claim-bg BYTES] [--corrupt-echo true|false]
-//!     [--speedup X] [--sessions N] [--log-json FILE] [--metrics-addr ADDR]
+//!     [--speedup X] [--sessions N] [--io-threads N] [--log-json FILE]
+//!     [--metrics-addr ADDR]
 //! ```
+
+mod reactor;
 
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use flashflow_procutil as procutil;
+use procutil::reactor::{Reactor, ReactorConfig};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use flashflow_obs::{fields, EventSink, MetricsRegistry, Span};
-use flashflow_proto::blast::{
-    BackgroundMeter, BlastCounters, DataChannelHello, Echoer, DATA_HELLO_TAG, HELLO_LEN,
-};
-use flashflow_proto::endpoint::Endpoint;
-use flashflow_proto::msg::{AbortReason, AUTH_TOKEN_LEN};
-use flashflow_proto::session::{
-    MeasurerAction, MeasurerPhase, RelaySession, ReplayWindow, SessionState as _, SessionTimeouts,
-};
-use flashflow_proto::tcp::{TcpAcceptor, TcpTransport};
-use flashflow_proto::transport::{LeasedTransport, Transport};
-use flashflow_simnet::time::SimTime;
+use flashflow_proto::blast::BlastCounters;
+use flashflow_proto::msg::AUTH_TOKEN_LEN;
+use flashflow_proto::session::ReplayWindow;
 
 /// Parsed configuration (command line and/or `--config` file).
 #[derive(Debug, Clone)]
@@ -99,6 +104,8 @@ struct Config {
     /// Exit after this many control conversations; `None` serves until
     /// SIGTERM.
     sessions: Option<u64>,
+    /// Reactor shard (event-loop thread) count.
+    io_threads: usize,
     /// Mirror the structured event stream to this file as JSONL.
     log_json: Option<String>,
     /// Serve token-gated metric snapshots on this TCP address.
@@ -116,6 +123,7 @@ impl Default for Config {
             corrupt_echo: false,
             speedup: 1.0,
             sessions: None,
+            io_threads: 4,
             log_json: None,
             metrics_addr: None,
         }
@@ -133,7 +141,7 @@ impl Config {
 const USAGE: &str = "usage: flashflow-relay [--config FILE] [--listen ADDR] \
                      [--token-hex HEX64] [--background BYTES] [--claim-bg BYTES] \
                      [--corrupt-echo true|false] [--speedup X] [--sessions N] \
-                     [--log-json FILE] [--metrics-addr ADDR]";
+                     [--io-threads N] [--log-json FILE] [--metrics-addr ADDR]";
 
 /// Applies one `key=value` setting (shared by CLI and config file).
 fn apply(cfg: &mut Config, key: &str, value: &str) -> Result<(), String> {
@@ -155,6 +163,12 @@ fn apply(cfg: &mut Config, key: &str, value: &str) -> Result<(), String> {
             }
         }
         "sessions" => cfg.sessions = Some(value.parse().map_err(|e| format!("sessions: {e}"))?),
+        "io-threads" => {
+            cfg.io_threads = value.parse().map_err(|e| format!("io-threads: {e}"))?;
+            if cfg.io_threads == 0 {
+                return Err("io-threads must be at least 1".to_string());
+            }
+        }
         "log-json" => cfg.log_json = Some(value.to_string()),
         "metrics-addr" => cfg.metrics_addr = Some(value.to_string()),
         other => return Err(format!("unknown setting {other:?}\n{USAGE}")),
@@ -243,308 +257,6 @@ impl Shared {
     }
 }
 
-/// How one control conversation ended.
-struct Outcome {
-    authed: bool,
-    reusable: bool,
-}
-
-/// Serves control conversations on one connection until it dies, the
-/// process drains, or the quota fills (warm-connection reuse, like the
-/// measurer process).
-fn serve_control(transport: TcpTransport, preread: Vec<u8>, conn_id: u64, shared: &Shared) {
-    let mut leased = LeasedTransport::new(transport);
-    let mut preread = Some(preread);
-    let mut conversation = 0u64;
-    loop {
-        leased.reset_close();
-        let session_id = conn_id * 1_000 + conversation;
-        conversation += 1;
-        let outcome = serve_one(&mut leased, preread.take(), session_id, shared);
-        if outcome.authed {
-            shared.sessions_done.fetch_add(1, Ordering::SeqCst);
-        }
-        if !outcome.reusable || shared.draining.load(Ordering::SeqCst) || shared.quota_reached() {
-            break;
-        }
-    }
-}
-
-/// Serves exactly one control conversation: the target role end to end
-/// — handshake, measurement registration, per-second reports carrying
-/// echoed + background bytes.
-fn serve_one(
-    leased: &mut LeasedTransport<TcpTransport>,
-    preread: Option<Vec<u8>>,
-    session_id: u64,
-    shared: &Shared,
-) -> Outcome {
-    let cfg = &shared.cfg;
-    let span = shared.span.session(session_id);
-    let window = procutil::lock_recover(&shared.replay).clone();
-    let session = RelaySession::new(cfg.token, session_id, SessionTimeouts::default())
-        .with_replay_window(window);
-    let mut endpoint = Endpoint::new(session, &mut *leased);
-
-    let t0 = Instant::now();
-    if let Some(bytes) = preread {
-        endpoint.session_mut().receive(SimTime::ZERO, &bytes);
-    }
-    let report_every = Duration::from_secs_f64(1.0 / cfg.speedup);
-    let mut slot: Option<u32> = None;
-    let mut started_at = Instant::now();
-    let mut reported = 0u32;
-    let mut claimed_nonce: Option<u64> = None;
-    let mut registered_binding: Option<u64> = None;
-    let mut counters: Option<Arc<EchoCounters>> = None;
-    let mut meter = BackgroundMeter::new(cfg.background);
-    let mut echoed_through = 0u64;
-    let mut bg_through = 0u64;
-    loop {
-        let now = SimTime::from_secs_f64(t0.elapsed().as_secs_f64());
-        let snow = SimTime::from_secs_f64(t0.elapsed().as_secs_f64() * cfg.speedup);
-        endpoint.pump(now);
-        endpoint.tick(now);
-        // Claim the accepted Auth nonce in the process-wide replay
-        // window (concurrent-replay arbitration, as in the measurer).
-        if claimed_nonce.is_none() {
-            if let Some(nonce) = endpoint.session().accepted_nonce() {
-                claimed_nonce = Some(nonce);
-                if !procutil::lock_recover(&shared.replay).witness(nonce) {
-                    span.event("session.replay_drop");
-                    endpoint.session_mut().abort(AbortReason::AuthFailed);
-                } else if endpoint.session().resumed() {
-                    shared.resumed.inc();
-                    span.emit("session.resumed", fields![nonce = nonce]);
-                }
-            }
-        }
-        // Register the commanded measurement with the data plane the
-        // moment the command is accepted — Ready goes back on this same
-        // tick, so the echo dials that follow Go always find it.
-        if registered_binding.is_none() {
-            if let Some(binding) = endpoint.session().echo_binding() {
-                counters = Some(shared.echo.register(binding.binding_nonce, binding.channel_key));
-                registered_binding = Some(binding.binding_nonce);
-                meter.set_cap(binding.background_allowance);
-                span.emit(
-                    "session.registered",
-                    fields![
-                        nonce = binding.binding_nonce,
-                        bg_allowance = binding.background_allowance,
-                    ],
-                );
-            }
-        }
-        if shared.draining.load(Ordering::SeqCst)
-            && matches!(
-                endpoint.session().phase(),
-                MeasurerPhase::AwaitAuth | MeasurerPhase::AwaitCmd | MeasurerPhase::AwaitGo
-            )
-        {
-            endpoint.session_mut().abort(AbortReason::Shutdown);
-        }
-        while let Some(action) = endpoint.session_mut().poll_action() {
-            match action {
-                MeasurerAction::Prepare { spec } => {
-                    span.emit(
-                        "session.prepare",
-                        fields![
-                            fp = format!("{:02x}{:02x}", spec.relay_fp[0], spec.relay_fp[1]),
-                            slot_secs = spec.slot_secs,
-                        ],
-                    );
-                }
-                MeasurerAction::Start { spec } => {
-                    slot = Some(spec.slot_secs);
-                    started_at = Instant::now();
-                    echoed_through = 0;
-                    bg_through = 0;
-                    meter.start(snow);
-                    span.emit("session.go", fields![bg_rate = meter.admitted_rate()]);
-                }
-                MeasurerAction::Stop => {
-                    let ch = counters.as_ref().map_or(0, |c| c.channels.load(Ordering::Relaxed));
-                    span.emit("session.stop", fields![seconds = reported, channels = ch]);
-                }
-            }
-        }
-        meter.tick(snow);
-        if let Some(slot_secs) = slot {
-            while reported < slot_secs
-                && !endpoint.is_terminal()
-                && started_at.elapsed() >= report_every * (reported + 1)
-            {
-                let echoed = counters.as_ref().map_or(0, |c| c.echoed.load(Ordering::Relaxed));
-                let echo_delta = echoed - echoed_through;
-                echoed_through = echoed;
-                let admitted = meter.admitted_total();
-                let metered = admitted - bg_through;
-                bg_through = admitted;
-                let bg = match cfg.claim_bg {
-                    // The liar: a fixed per-second claim, regardless of
-                    // what the meter admitted. The lie leaves a trail:
-                    // both figures go into the event stream, which is
-                    // what the audit tests cross-check against the
-                    // coordinator's ledger flags.
-                    Some(claim) => {
-                        span.emit(
-                            "bg.divergence",
-                            fields![second = reported, claimed = claim, metered = metered],
-                        );
-                        claim
-                    }
-                    None => metered,
-                };
-                shared.bg_admitted.add(metered);
-                shared.bg_reported.add(bg);
-                shared.seconds_reported.inc();
-                endpoint.session_mut().report_second(bg, echo_delta);
-                reported += 1;
-            }
-        }
-        if endpoint.is_terminal() {
-            for _ in 0..3 {
-                endpoint.pump(SimTime::from_secs_f64(t0.elapsed().as_secs_f64()));
-                thread::sleep(Duration::from_millis(1));
-            }
-            break;
-        }
-        thread::sleep(Duration::from_millis(1));
-    }
-    let reusable =
-        endpoint.session().phase() == MeasurerPhase::Done && endpoint.transport_error().is_none();
-    let authed = claimed_nonce.is_some();
-    drop(endpoint);
-    if let Some(nonce) = registered_binding {
-        shared.echo.release(nonce);
-    }
-    Outcome { authed, reusable }
-}
-
-/// Serves one echo data connection: read the hello, bind it to a
-/// registered measurement, then verify-and-echo until the measurer
-/// hangs up. The binding deadline bounds half-open dials and unknown
-/// nonces exactly like the measurer's data path.
-fn serve_data(mut transport: TcpTransport, preread: Vec<u8>, conn_id: u64, shared: &Shared) {
-    let span = shared.span.channel(conn_id);
-    // Accumulate the hello (the dispatch preread may be a partial one).
-    let mut buf = preread;
-    let deadline = Instant::now() + shared.cfg.hello_window();
-    let measurement = loop {
-        if buf.len() >= HELLO_LEN {
-            let mut raw = [0u8; HELLO_LEN];
-            raw.copy_from_slice(&buf[..HELLO_LEN]);
-            let hello = match DataChannelHello::decode(&raw) {
-                Ok(h) => h,
-                Err(e) => {
-                    span.emit("channel.bad_hello", fields![error = format!("{e}")]);
-                    return;
-                }
-            };
-            match shared.echo.lookup(hello.nonce) {
-                Some(m) => break m,
-                None if Instant::now() >= deadline => {
-                    span.emit("channel.unknown_nonce", fields![nonce = hello.nonce]);
-                    return;
-                }
-                // The command may land microseconds after the dial;
-                // wait out the window.
-                None => thread::sleep(Duration::from_millis(1)),
-            }
-        } else {
-            if Instant::now() >= deadline {
-                span.event("channel.no_hello");
-                return;
-            }
-            match transport.recv(SimTime::ZERO) {
-                Ok(bytes) if !bytes.is_empty() => buf.extend_from_slice(&bytes),
-                Ok(_) => thread::sleep(Duration::from_millis(1)),
-                Err(_) => return,
-            }
-        }
-    };
-    let counters = Arc::clone(&measurement.counters);
-    counters.channels.fetch_add(1, Ordering::Relaxed);
-    span.emit("channel.bound", fields![channels = counters.channels.load(Ordering::Relaxed)]);
-    let mut echoer = Echoer::new(transport)
-        .with_key(measurement.key)
-        .with_counters(shared.blast.clone(), shared.echoed_bytes.clone());
-    echoer.set_corrupt_echo(shared.cfg.corrupt_echo);
-    let t0 = Instant::now();
-    let snow =
-        |t0: &Instant, speedup: f64| SimTime::from_secs_f64(t0.elapsed().as_secs_f64() * speedup);
-    echoer.start(snow(&t0, shared.cfg.speedup));
-    // Feed the pre-read bytes (hello + whatever blast followed it).
-    let mut last = (0u64, 0u64, 0u64, 0u64); // received, corrupt, forged, echoed
-    let publish = |e: &Echoer<TcpTransport>, last: &mut (u64, u64, u64, u64)| {
-        let nowv = (e.received_total(), e.corrupt_total(), e.forged_total(), e.echoed_total());
-        counters.received.fetch_add(nowv.0 - last.0, Ordering::Relaxed);
-        counters.corrupt.fetch_add(nowv.1 - last.1, Ordering::Relaxed);
-        counters.forged.fetch_add(nowv.2 - last.2, Ordering::Relaxed);
-        counters.echoed.fetch_add(nowv.3 - last.3, Ordering::Relaxed);
-        *last = nowv;
-    };
-    if let Err(e) = echoer.inject(snow(&t0, shared.cfg.speedup), &buf) {
-        span.emit("channel.framing_error", fields![error = format!("{e}")]);
-        counters.channels.fetch_sub(1, Ordering::Relaxed);
-        return;
-    }
-    publish(&echoer, &mut last);
-    let mut last_activity = Instant::now();
-    loop {
-        let now = snow(&t0, shared.cfg.speedup);
-        let moved = match echoer.pump(now) {
-            Ok(moved) => moved,
-            Err(e) => {
-                span.emit("channel.framing_error", fields![error = format!("{e}")]);
-                break;
-            }
-        };
-        publish(&echoer, &mut last);
-        if echoer.transport_error().is_some() {
-            break; // measurer hung up: the normal end of a channel
-        }
-        if moved {
-            last_activity = Instant::now();
-        } else {
-            // Quiet wire; don't spin.
-            thread::sleep(Duration::from_millis(1));
-        }
-        if shared.draining.load(Ordering::SeqCst)
-            && last_activity.elapsed() > Duration::from_millis(500)
-        {
-            break;
-        }
-    }
-    counters.channels.fetch_sub(1, Ordering::Relaxed);
-    span.emit(
-        "channel.closed",
-        fields![
-            received = echoer.received_total(),
-            echoed = echoer.echoed_total(),
-            corrupt = echoer.corrupt_total(),
-            forged = echoer.forged_total(),
-        ],
-    );
-}
-
-/// Classifies a fresh connection by its first byte and serves it.
-fn dispatch(mut transport: TcpTransport, conn_id: u64, shared: &Shared) {
-    let draining = || shared.draining.load(Ordering::SeqCst);
-    let Some(first) =
-        procutil::await_first_bytes(&mut transport, shared.cfg.hello_window(), &draining)
-    else {
-        shared.span.channel(conn_id).event("conn.silent");
-        return;
-    };
-    if first[0] == DATA_HELLO_TAG {
-        serve_data(transport, first, conn_id, shared);
-    } else {
-        serve_control(transport, first, conn_id, shared);
-    }
-}
-
 fn main() {
     let cfg = match parse_args(std::env::args().skip(1)) {
         Ok(cfg) => cfg,
@@ -554,14 +266,16 @@ fn main() {
         }
     };
     procutil::install_sigterm_handler();
-    let acceptor = match TcpAcceptor::bind(&cfg.listen) {
-        Ok(a) => a,
+    // SO_REUSEADDR: a replacement relay must re-take its configured
+    // port while the killed incarnation's connections sit in TIME_WAIT.
+    let listener = match procutil::listen_reuseaddr(&*cfg.listen) {
+        Ok(l) => l,
         Err(e) => {
             eprintln!("bind {}: {e}", cfg.listen);
             std::process::exit(1);
         }
     };
-    let addr = match acceptor.local_addr() {
+    let addr = match listener.local_addr() {
         Ok(addr) => addr,
         Err(e) => {
             eprintln!("query bound address for {}: {e}", cfg.listen);
@@ -639,12 +353,20 @@ fn main() {
         seconds_reported: registry.counter("relay.reported_seconds"),
         resumed: registry.counter("relay.sessions_resumed"),
     });
-    if let Err(e) = acceptor.set_nonblocking(true) {
-        shared.span.emit("relay.fatal", fields![error = format!("nonblocking listener: {e}")]);
-        std::process::exit(1);
-    }
-    let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
-    let mut conn_id = 0u64;
+    // The reactor owns the listener from here: `--io-threads` epoll
+    // shards accept (EPOLLEXCLUSIVE) and drive every connection as a
+    // state machine; this thread only supervises drain and quota.
+    let reactor = match Reactor::serve(
+        Some(listener),
+        ReactorConfig { shards: shared.cfg.io_threads, tick: Duration::from_millis(1) },
+        reactor::accept_factory(Arc::clone(&shared)),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.span.emit("relay.fatal", fields![error = format!("start reactor: {e}")]);
+            std::process::exit(1);
+        }
+    };
     loop {
         if procutil::drain_requested() {
             shared.span.event("relay.drain");
@@ -653,25 +375,12 @@ fn main() {
         if shared.quota_reached() {
             break;
         }
-        match acceptor.try_accept() {
-            Ok(Some((transport, peer))) => {
-                shared.span.channel(conn_id).emit("conn.accept", fields![peer = format!("{peer}")]);
-                let shared = Arc::clone(&shared);
-                let id = conn_id;
-                conn_id += 1;
-                handles.retain(|h| !h.is_finished());
-                handles.push(thread::spawn(move || dispatch(transport, id, &shared)));
-            }
-            Ok(None) => thread::sleep(Duration::from_millis(2)),
-            Err(e) => {
-                shared.span.emit("conn.accept_error", fields![error = format!("{e}")]);
-                thread::sleep(Duration::from_millis(10));
-            }
-        }
+        thread::sleep(Duration::from_millis(2));
     }
     shared.draining.store(true, Ordering::SeqCst);
-    for handle in handles {
-        let _ = handle.join();
+    reactor.stop();
+    if let Err(e) = reactor.join() {
+        shared.span.emit("relay.fatal", fields![error = e]);
     }
     shared.span.emit("relay.exit", fields![sessions = shared.sessions_done.load(Ordering::SeqCst)]);
 }

@@ -185,6 +185,7 @@ fn items() -> Vec<EchoItem> {
                 bg_allowance: BG_ALLOWANCE,
                 measurement_secret: 0x0B5E_0000_0000_0000 + ix as u64 * 0x1_0001,
                 attempt: 0,
+                resume: false,
             }
         })
         .collect()

@@ -178,6 +178,7 @@ fn items() -> Vec<EchoItem> {
                 // job in deployment, distinctness is what the test needs.
                 measurement_secret: 0x3A11_0000_0000_0000 + ix as u64 * 0x1_0001,
                 attempt: 0,
+                resume: false,
             }
         })
         .collect()
