@@ -12,23 +12,27 @@
 //! must have come back verified, with zero corrupt and zero forged
 //! bytes in either direction.
 //!
-//! The run ends with the **instrumentation overhead guard**: the same
-//! verified-echo hot path (a keyed [`BlastParser`] over a captured
+//! The run ends with the **instrumentation overhead guards**: first
+//! the verify hot path itself (a keyed [`BlastParser`] over a captured
 //! blast stream) is timed bare and with `flashflow-obs` counters
-//! attached, the overhead must stay under 3%, and the numbers are
-//! written to `BENCH_obs.json` at the repo root so the perf trajectory
-//! is machine-tracked.
+//! attached, then the reactor-served round trip is timed bare
+//! ([`Reactor::serve`]) and fully instrumented (`serve_observed` with
+//! per-shard histograms, gauges, and the stall watchdog). Both
+//! overheads must stay under 3%, and the numbers are written to
+//! `BENCH_obs.json` at the repo root so the perf trajectory is
+//! machine-tracked.
 //!
 //! Plain `harness = false` timing (Criterion is unavailable offline):
 //! run with `cargo bench -p flashflow-bench --bench echo_throughput`.
 
-use std::net::TcpListener;
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use flashflow_obs::Json;
+use flashflow_obs::{EventSink, Json, MetricsRegistry, Span};
+use flashflow_procutil::reactor::{AcceptFn, Driven, Reactor, ReactorConfig, ReactorObs, Step};
 use flashflow_proto::blast::{
     binding_nonce, secret_channel_key, BlastCounters, BlastEvent, BlastParser, Echoer,
     TrafficSource,
@@ -203,7 +207,23 @@ fn main() {
     assert_eq!(total_back, total_sent, "bytes lost relay → measurer");
     println!("integrity: {total_sent} bytes sent == verified at relay == echoed back, 0 corrupt");
 
-    instrumentation_overhead_guard();
+    let parser_block = instrumentation_overhead_guard();
+    let reactor_block = reactor_overhead_guard();
+
+    let doc = Json::Obj(vec![
+        ("schema".to_string(), Json::Int(2)),
+        ("bench".to_string(), Json::Str("echo_throughput/obs_overhead".to_string())),
+        ("limit_pct".to_string(), Json::Num(OVERHEAD_LIMIT_PCT)),
+        ("blast_parser".to_string(), parser_block),
+        ("reactor".to_string(), reactor_block),
+    ]);
+    let mut out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    out.pop();
+    out.pop();
+    out.push("BENCH_obs.json");
+    flashflow_procutil::atomic_write(&out, format!("{doc}\n").as_bytes())
+        .expect("write BENCH_obs.json");
+    println!("wrote {}", out.display());
 }
 
 /// Bytes of captured blast stream the overhead rounds parse.
@@ -217,8 +237,8 @@ const OVERHEAD_LIMIT_PCT: f64 = 3.0;
 
 /// Times the verify hot path bare vs counter-instrumented over one
 /// captured in-memory blast stream, asserts the overhead bound, and
-/// writes `BENCH_obs.json`.
-fn instrumentation_overhead_guard() {
+/// returns the `blast_parser` block of `BENCH_obs.json`.
+fn instrumentation_overhead_guard() -> Json {
     let key = secret_channel_key(SECRET);
     let nonce = binding_nonce(SECRET);
 
@@ -266,9 +286,13 @@ fn instrumentation_overhead_guard() {
         bytes / instrumented / 1e6,
     );
 
-    let doc = Json::Obj(vec![
-        ("schema".to_string(), Json::Int(1)),
-        ("bench".to_string(), Json::Str("echo_throughput/obs_overhead".to_string())),
+    assert!(
+        overhead_pct < OVERHEAD_LIMIT_PCT,
+        "instrumented blast parse is {overhead_pct:.2}% slower than bare \
+         (limit {OVERHEAD_LIMIT_PCT}%)"
+    );
+
+    Json::Obj(vec![
         ("stream_bytes".to_string(), Json::Int(stream.len() as i128)),
         ("rounds".to_string(), Json::Int(OVERHEAD_ROUNDS as i128)),
         ("bare_secs".to_string(), Json::Num(bare)),
@@ -276,19 +300,202 @@ fn instrumentation_overhead_guard() {
         ("bare_bytes_per_sec".to_string(), Json::Num(bytes / bare)),
         ("instrumented_bytes_per_sec".to_string(), Json::Num(bytes / instrumented)),
         ("overhead_pct".to_string(), Json::Num(overhead_pct)),
-        ("limit_pct".to_string(), Json::Num(OVERHEAD_LIMIT_PCT)),
-    ]);
-    let mut out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    out.pop();
-    out.pop();
-    out.push("BENCH_obs.json");
-    flashflow_procutil::atomic_write(&out, format!("{doc}\n").as_bytes())
-        .expect("write BENCH_obs.json");
-    println!("wrote {}", out.display());
+    ])
+}
 
+/// Bytes each reactor-overhead round pushes through the verified-echo
+/// round trip (smaller than the parser rounds: every byte crosses the
+/// loopback twice and is verified twice).
+const REACTOR_STREAM: u64 = 8 << 20;
+/// Interleaved rounds per reactor variant; minimums are compared.
+const REACTOR_ROUNDS: usize = 5;
+/// Shards for the overhead reactors — enough to exercise the sharded
+/// accept without spreading the tiny workload thin.
+const REACTOR_SHARDS: usize = 2;
+
+/// One echoing reactor connection, as in `reactor_scaling`: the relay
+/// data plane's hot loop with none of the session machinery.
+struct EchoConn {
+    fd: i32,
+    echoer: Echoer<TcpTransport>,
+    t0: Instant,
+    backlog: bool,
+}
+
+impl EchoConn {
+    fn step(&mut self) -> Step {
+        let now = SimTime::from_secs_f64(self.t0.elapsed().as_secs_f64());
+        for _ in 0..4 {
+            match self.echoer.pump(now) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => panic!("echo framing broke: {e}"),
+            }
+        }
+        if self.echoer.transport_error().is_some() {
+            return Step::Done; // measurer hung up: the normal end
+        }
+        self.backlog =
+            self.echoer.pending_echo() > 0 || self.echoer.transport_mut().pending_send_bytes() > 0;
+        Step::Continue
+    }
+}
+
+impl Driven for EchoConn {
+    fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    fn on_ready(&mut self) -> Step {
+        self.step()
+    }
+
+    fn on_tick(&mut self) -> Step {
+        if self.backlog {
+            return self.step();
+        }
+        Step::Continue
+    }
+
+    fn wants_write(&self) -> bool {
+        self.backlog
+    }
+}
+
+fn echo_accept_factory(key: u64) -> Arc<AcceptFn> {
+    Arc::new(move |stream: TcpStream, _peer: SocketAddr| {
+        let transport = TcpTransport::from_stream(stream).ok()?;
+        Some(Box::new(EchoConn {
+            fd: transport.raw_fd(),
+            echoer: Echoer::new(transport).with_key(key),
+            t0: Instant::now(),
+            backlog: false,
+        }) as Box<dyn Driven>)
+    })
+}
+
+/// One verified-echo round against the reactor at `addr`: blast
+/// `REACTOR_STREAM` bytes down one channel, verify every echoed byte,
+/// and return the wall seconds for the full round trip.
+fn reactor_round(addr: SocketAddr, key: u64, nonce: u64) -> f64 {
+    let t = TcpTransport::connect(addr).expect("dial reactor");
+    let mut src = TrafficSource::new(t, nonce, 0).with_key(key);
+    let mut back = BlastParser::new().with_key(key);
+    let mut verified = 0u64;
+    let t0 = Instant::now();
+    src.greet(SimTime::ZERO);
+    src.start(SimTime::ZERO);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut stopped = false;
+    loop {
+        let now = SimTime::from_secs_f64(t0.elapsed().as_secs_f64());
+        let mut idle = true;
+        if !stopped {
+            if src.sent_total() >= REACTOR_STREAM {
+                src.stop(now);
+                stopped = true;
+            } else if src.transport_mut().pending_send_bytes() < OUTBOX_HIGH_WATER {
+                src.pump(now);
+                idle = false;
+            } else {
+                let _ = src.transport_mut().send(now, &[]);
+            }
+        }
+        if let Ok(bytes) = src.transport_mut().recv(now) {
+            if !bytes.is_empty() {
+                idle = false;
+                for ev in back.push(&bytes).expect("echo framing intact") {
+                    if let BlastEvent::Data { bytes, corrupt } = ev {
+                        assert_eq!(corrupt, 0, "echo must verify");
+                        verified += bytes;
+                    }
+                }
+            }
+        }
+        if stopped && verified >= src.sent_total() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "echo never drained: {verified}");
+        if idle {
+            thread::sleep(Duration::from_micros(100));
+        }
+    }
+    assert_eq!(verified, src.sent_total(), "bytes lost in the echo round trip");
+    t0.elapsed().as_secs_f64()
+}
+
+/// Times the reactor-served verified-echo round trip bare
+/// (`Reactor::serve`) vs fully instrumented (`serve_observed` with
+/// per-shard histograms, gauges, and the stall watchdog), asserts the
+/// same overhead bound, and returns the `reactor` block of
+/// `BENCH_obs.json`.
+fn reactor_overhead_guard() -> Json {
+    let key = secret_channel_key(SECRET);
+    let nonce = binding_nonce(SECRET);
+
+    let start = |obs: Option<ReactorObs>| {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("addr");
+        let reactor = Reactor::serve_observed(
+            Some(listener),
+            ReactorConfig { shards: REACTOR_SHARDS, tick: Duration::from_millis(1) },
+            echo_accept_factory(key),
+            obs,
+        )
+        .expect("start reactor");
+        (reactor, addr)
+    };
+    let registry = MetricsRegistry::new();
+    let (bare_reactor, bare_addr) = start(None);
+    let (observed_reactor, observed_addr) = start(Some(ReactorObs {
+        registry: registry.clone(),
+        prefix: "bench.reactor".to_string(),
+        span: Span::root(EventSink::new()),
+        stall_budget: Duration::from_millis(50),
+    }));
+
+    let mut bare = f64::INFINITY;
+    let mut observed = f64::INFINITY;
+    for _ in 0..REACTOR_ROUNDS {
+        bare = bare.min(reactor_round(bare_addr, key, nonce));
+        observed = observed.min(reactor_round(observed_addr, key, nonce));
+    }
+    bare_reactor.stop();
+    bare_reactor.join().expect("bare reactor shards");
+    observed_reactor.stop();
+    observed_reactor.join().expect("observed reactor shards");
+
+    // The instrumented variant must actually have been measuring.
+    let snap = registry.snapshot();
+    let dwell_turns: u64 = snap
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.ends_with(".epoll_dwell_us"))
+        .map(|(_, h)| h.count)
+        .sum();
+    assert!(dwell_turns > 0, "observed reactor rounds must feed the histograms");
+
+    let bytes = REACTOR_STREAM as f64;
+    let overhead_pct = ((observed - bare) / bare * 100.0).max(0.0);
+    println!(
+        "reactor overhead: bare {:.1} MB/s, observed {:.1} MB/s, overhead {overhead_pct:.2}%",
+        bytes / bare / 1e6,
+        bytes / observed / 1e6,
+    );
     assert!(
         overhead_pct < OVERHEAD_LIMIT_PCT,
-        "instrumented blast parse is {overhead_pct:.2}% slower than bare \
+        "observed reactor echo is {overhead_pct:.2}% slower than bare \
          (limit {OVERHEAD_LIMIT_PCT}%)"
     );
+
+    Json::Obj(vec![
+        ("stream_bytes".to_string(), Json::Int(REACTOR_STREAM as i128)),
+        ("rounds".to_string(), Json::Int(REACTOR_ROUNDS as i128)),
+        ("shards".to_string(), Json::Int(REACTOR_SHARDS as i128)),
+        ("bare_secs".to_string(), Json::Num(bare)),
+        ("observed_secs".to_string(), Json::Num(observed)),
+        ("bare_bytes_per_sec".to_string(), Json::Num(bytes / bare)),
+        ("observed_bytes_per_sec".to_string(), Json::Num(bytes / observed)),
+        ("overhead_pct".to_string(), Json::Num(overhead_pct)),
+    ])
 }

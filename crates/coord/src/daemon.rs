@@ -256,6 +256,8 @@ pub fn run_period(
                     ts: journal::now_ts(),
                 },
             )?;
+            let trace_id = flashflow_core::echo::item_trace_id(secret, attempt);
+            span.emit("item.trace", fields![ix = ix as u64, attempt = attempt, trace = trace_id]);
             items.push(EchoItem {
                 relay_fp: entry.fp,
                 slot_secs: cfg.slot_secs,
@@ -263,6 +265,7 @@ pub fn run_period(
                 measurement_secret: secret,
                 attempt,
                 resume: attempt > 0,
+                trace_id,
             });
         }
         span.emit(
@@ -317,7 +320,16 @@ pub fn run_period(
                         ts: journal::now_ts(),
                     },
                 )?;
-                retry_items.push(EchoItem { attempt, resume: false, ..item });
+                // A fresh attempt is a fresh trace: re-mint so the
+                // retry's telemetry never merges into the refused
+                // attempt's timeline.
+                let trace_id =
+                    flashflow_core::echo::item_trace_id(item.measurement_secret, attempt);
+                span.emit(
+                    "item.trace",
+                    fields![ix = ix as u64, attempt = u64::from(attempt), trace = trace_id],
+                );
+                retry_items.push(EchoItem { attempt, resume: false, trace_id, ..item });
             }
             let retry = measure_echo_period_observed(
                 deployment,

@@ -303,10 +303,12 @@ pub fn measure_echo_period_observed(
             let runner = crate::echo::echo_group(deployment, *item, pool.clone());
             match span {
                 // The relay's reporting session is always the last peer
-                // of an echo group (after the k measurers).
+                // of an echo group (after the k measurers). The group
+                // span carries the item's trace id so the coordinator's
+                // stream joins the peers' on the same key.
                 Some(span) => crate::observe::observed(
                     runner,
-                    span.group(g as u64),
+                    span.group(g as u64).trace(item.trace_id),
                     Some(deployment.measurers.len()),
                 ),
                 None => runner,

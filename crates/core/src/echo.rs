@@ -111,6 +111,31 @@ pub struct EchoItem {
     /// its window, so no lineage proof can succeed) and the item falls
     /// back to a fresh handshake whose nonce no peer has witnessed.
     pub resume: bool,
+    /// The item-attempt's correlation key, carried in every peer's
+    /// `MeasureCmd` (and `Resume`) so coordinator, measurer, and relay
+    /// telemetry join on it — see [`MeasureSpec::trace_id`]. Derived
+    /// deterministically per attempt (see [`item_trace_id`]) so a
+    /// restarted coordinator re-mints the same id from its journal.
+    pub trace_id: u64,
+}
+
+/// The correlation key for one attempt at an echo item, derived from
+/// the item's journaled measurement secret like [`peer_nonce`] — same
+/// journal replay, same trace id — but over a disjoint constant so a
+/// trace id can never collide with (or leak) a handshake nonce. Public
+/// by design: it appears in every peer's telemetry.
+pub fn item_trace_id(secret: u64, attempt: u32) -> u64 {
+    // A fixed-key xorshift mix of (secret, attempt): one-way enough
+    // that the public trace id does not reveal the secret, cheap enough
+    // to be dependency-free, and stable across restarts.
+    let mut x = secret ^ 0x7ACE_1D00_0000_0000u64.rotate_left(attempt % 61);
+    x ^= u64::from(attempt) << 1;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^= x >> 33;
+    x
 }
 
 /// The control-session handshake nonce for one peer of one attempt at
@@ -174,6 +199,7 @@ pub fn echo_group(
                 rate_cap: m.rate_cap,
                 target,
                 measurement_secret: item.measurement_secret,
+                trace_id: item.trace_id,
             };
             let (conn, handle) = checkout_or_dead(&pool, m.addr);
             handles.push(handle);
@@ -198,6 +224,7 @@ pub fn echo_group(
             rate_cap: item.bg_allowance,
             target: TargetEndpoint::NONE,
             measurement_secret: item.measurement_secret,
+            trace_id: item.trace_id,
         };
         let (conn, handle) = checkout_or_dead(&pool, deployment.relay_addr);
         handles.push(handle);

@@ -124,7 +124,7 @@ pub fn observed(
 /// per entry, the `pool.stats` snapshot, and `period.done`.
 pub fn emit_period_audit(span: &Span, items: &[EchoItem], file: &EchoPeriodFile) {
     for (group, (item, entry)) in items.iter().zip(&file.entries).enumerate() {
-        let group_span = span.group(group as u64);
+        let group_span = span.group(group as u64).trace(item.trace_id);
         for row in file.run.rows(group, 0) {
             if row.divergent {
                 group_span.item(0).emit(
@@ -212,6 +212,10 @@ pub fn period_export(
             probes: p.probes,
             idle: p.idle,
         }),
+        // The coordinator has no reactor of its own; harnesses that
+        // fetch peer metrics snapshots fill this block via
+        // `ReactorSummary::from_snapshot`.
+        reactor: None,
     }
 }
 

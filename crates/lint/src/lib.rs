@@ -12,6 +12,7 @@
 //! | `durability`      | durable-state crates write files only through `flashflow-procutil::persist` |
 //! | `lock-order`      | the workspace-wide lock acquisition graph is acyclic |
 //! | `msg-exhaustive`  | every `Msg::` variant appears in encode, decode, and the codec property test |
+//! | `journal-exhaustive` | every journal `Record::` variant appears in the encoder, decoder, and recovery fold |
 //! | `no-sleep-in-reactor` | no `thread::sleep` in non-test reactor code — a blocked shard stalls every connection it drives |
 //!
 //! Findings print as `file:line: rule-id: message`; `--json` emits the
@@ -54,6 +55,7 @@ pub const RULES: &[&str] = &[
     rules::durability::RULE,
     rules::lock_order::RULE,
     rules::msg_exhaustive::RULE,
+    rules::journal_exhaustive::RULE,
     rules::no_sleep_in_reactor::RULE,
 ];
 
@@ -76,6 +78,9 @@ pub struct LintConfig {
     /// The protocol-exhaustiveness rule's anchors; `None` disables the
     /// rule (fixture trees have no codec).
     pub codec: Option<CodecConfig>,
+    /// The journal-exhaustiveness rule's anchors; `None` disables the
+    /// rule (fixture trees have no journal).
+    pub journal: Option<JournalConfig>,
     /// Path fragments naming reactor modules (matched against each
     /// `/`-separated segment): non-test code there must never
     /// `thread::sleep` — a blocked shard stalls every connection the
@@ -105,6 +110,25 @@ pub struct CodecConfig {
     pub prop_file: String,
 }
 
+/// Where the coordinator's crash journal lives and which functions
+/// must handle every record variant (the durable-state analogue of
+/// [`CodecConfig`]).
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// File declaring the record enum, its codec, and the recovery
+    /// fold (they live together in the journal module).
+    pub journal_file: String,
+    /// The enum's name (`Record`).
+    pub enum_name: String,
+    /// Line-encoder method; every variant must be matched inside it.
+    pub encode_fn: String,
+    /// Line-decoder method; a variant missing here comes back from a
+    /// crash as a torn line.
+    pub decode_fn: String,
+    /// Recovery fold; a variant missing here parses and is dropped.
+    pub apply_fn: String,
+}
+
 impl Default for LintConfig {
     fn default() -> Self {
         LintConfig {
@@ -121,6 +145,13 @@ impl Default for LintConfig {
                 encode_fn: "encode".into(),
                 decode_fn: "decode_payload".into(),
                 prop_file: "crates/proto/tests/prop_codec.rs".into(),
+            }),
+            journal: Some(JournalConfig {
+                journal_file: "crates/coord/src/journal.rs".into(),
+                enum_name: "Record".into(),
+                encode_fn: "to_json_line".into(),
+                decode_fn: "parse".into(),
+                apply_fn: "apply".into(),
             }),
             reactor_path_fragments: vec!["reactor".into()],
             allow: BTreeSet::new(),
@@ -173,6 +204,7 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Find
     }
     rules::lock_order::check(&lock_graph, &mut findings);
     rules::msg_exhaustive::check(&sources, cfg, &mut findings);
+    rules::journal_exhaustive::check(&sources, cfg, &mut findings);
     findings.sort();
     Ok(findings)
 }

@@ -1,0 +1,65 @@
+//! `journal-exhaustive`: every variant of the coordinator's journal
+//! `Record` enum must be handled in the line encoder, the line
+//! decoder, and the crash-recovery fold. The daemon's resumption
+//! argument rests on the journal being the authority for what a
+//! crashed period had committed — a variant that appends
+//! (`to_json_line`) but is missing from `parse` comes back from a
+//! crash as a "torn line" and silently vanishes from the recovered
+//! state; one missing from `apply` parses and is then dropped on the
+//! floor. The compiler forces the *encoder* match to be exhaustive,
+//! but `parse` is string-keyed and `apply` may use a wildcard arm, so
+//! nothing forces the recovery path until this rule (the
+//! `msg-exhaustive` analogue for durable state instead of wire
+//! protocol).
+
+use crate::rules::msg_exhaustive::{enum_variants, file, fn_refs};
+use crate::{Finding, JournalConfig, LintConfig};
+
+pub const RULE: &str = "journal-exhaustive";
+
+/// Runs against the whole workspace's `(path, source)` list.
+pub fn check(sources: &[(String, String)], cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let Some(journal) = &cfg.journal else { return };
+    let Some(scan) = file(sources, &journal.journal_file) else {
+        out.push(missing(journal, "journal file not found"));
+        return;
+    };
+    let variants = enum_variants(&scan, &journal.enum_name);
+    if variants.is_empty() {
+        out.push(missing(
+            journal,
+            &format!("enum `{}` not found or has no variants", journal.enum_name),
+        ));
+        return;
+    }
+    let places = [
+        (&journal.encode_fn, "journal encoder"),
+        (&journal.decode_fn, "journal decoder"),
+        (&journal.apply_fn, "recovery fold"),
+    ];
+    for (fn_name, what) in places {
+        let Some(refs) = fn_refs(&scan, &journal.enum_name, fn_name) else {
+            out.push(missing(journal, &format!("{what} `{fn_name}` not found")));
+            continue;
+        };
+        for (variant, line) in &variants {
+            if !refs.contains(variant) {
+                out.push(Finding {
+                    file: journal.journal_file.clone(),
+                    line: *line,
+                    rule: RULE,
+                    msg: format!(
+                        "`{}::{variant}` never appears in the {what} (`{fn_name}`); a \
+                         journal variant outside the recovery path is state a crash \
+                         silently loses",
+                        journal.enum_name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn missing(journal: &JournalConfig, msg: &str) -> Finding {
+    Finding { file: journal.journal_file.clone(), line: 1, rule: RULE, msg: msg.to_string() }
+}

@@ -6,6 +6,7 @@
 //! [`FileScan`]: crate::scan::FileScan
 
 pub mod durability;
+pub mod journal_exhaustive;
 pub mod lock_order;
 pub mod msg_exhaustive;
 pub mod no_panic;

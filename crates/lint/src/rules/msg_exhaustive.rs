@@ -81,7 +81,7 @@ fn missing(codec: &CodecConfig, path: &str, msg: &str) -> Finding {
     Finding { file: codec.enum_file.clone(), line: 1, rule: RULE, msg: format!("{msg} ({path})") }
 }
 
-fn file<'a>(sources: &'a [(String, String)], path: &str) -> Option<FileScan<'a>> {
+pub(crate) fn file<'a>(sources: &'a [(String, String)], path: &str) -> Option<FileScan<'a>> {
     sources.iter().find(|(p, _)| p == path).map(|(p, src)| FileScan::new(p, src))
 }
 
@@ -93,7 +93,7 @@ impl FileScan<'_> {
 }
 
 /// The variants of `enum <name> { ... }`: each `(variant, line)`.
-fn enum_variants(scan: &FileScan<'_>, name: &str) -> Vec<(String, u32)> {
+pub(crate) fn enum_variants(scan: &FileScan<'_>, name: &str) -> Vec<(String, u32)> {
     let mut variants = Vec::new();
     // Find `enum <name> {`.
     let mut open = None;
@@ -148,7 +148,11 @@ fn enum_variants(scan: &FileScan<'_>, name: &str) -> Vec<(String, u32)> {
 }
 
 /// `Enum::Variant` references inside the named function's body.
-fn fn_refs(scan: &FileScan<'_>, enum_name: &str, fn_name: &str) -> Option<BTreeSet<String>> {
+pub(crate) fn fn_refs(
+    scan: &FileScan<'_>,
+    enum_name: &str,
+    fn_name: &str,
+) -> Option<BTreeSet<String>> {
     let f = scan.fns.iter().find(|f| f.name == fn_name)?;
     Some(refs(scan, enum_name, f.body))
 }

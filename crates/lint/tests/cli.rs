@@ -35,6 +35,13 @@ fn violating_workspace(tag: &str) -> PathBuf {
         "pub fn save(p: &std::path::Path) -> std::io::Result<()> {\n    std::fs::write(p, b\"x\")\n}\n",
     )
     .expect("violation");
+    // A minimal, complete journal so the default journal-exhaustive
+    // anchors are satisfied and only the durability violation fires.
+    std::fs::write(
+        coord_src.join("journal.rs"),
+        "pub enum Record {\n    Fin,\n}\nimpl Record {\n    pub fn to_json_line(&self) -> &'static str {\n        match self {\n            Record::Fin => \"fin\",\n        }\n    }\n    pub fn parse(line: &str) -> Option<Record> {\n        if line == \"fin\" {\n            Some(Record::Fin)\n        } else {\n            None\n        }\n    }\n}\npub struct State;\nimpl State {\n    pub fn apply(&mut self, r: &Record) {\n        match r {\n            Record::Fin => {}\n        }\n    }\n}\n",
+    )
+    .expect("journal");
     root
 }
 
@@ -112,6 +119,7 @@ fn list_rules_names_the_full_catalogue() {
             "durability",
             "lock-order",
             "msg-exhaustive",
+            "journal-exhaustive",
             "no-sleep-in-reactor"
         ]
     );

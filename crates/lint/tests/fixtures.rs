@@ -8,7 +8,7 @@ use std::collections::BTreeSet;
 
 use flashflow_lint::rules::{self, lock_order};
 use flashflow_lint::scan::FileScan;
-use flashflow_lint::{lint_file, CodecConfig, Finding, LintConfig};
+use flashflow_lint::{lint_file, CodecConfig, Finding, JournalConfig, LintConfig};
 
 /// Rule ids of `findings`, in order.
 fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
@@ -143,6 +143,36 @@ fn msg_exhaustive_fixtures() {
     assert!(bad.iter().any(|f| f.msg.contains("property test")), "{bad:?}");
 }
 
+fn journal_findings(journal_src: &str) -> Vec<Finding> {
+    let journal = JournalConfig {
+        journal_file: "crates/coord/src/journal.rs".into(),
+        enum_name: "Record".into(),
+        encode_fn: "to_json_line".into(),
+        decode_fn: "parse".into(),
+        apply_fn: "apply".into(),
+    };
+    let cfg = LintConfig { journal: Some(journal), ..LintConfig::default() };
+    let sources = vec![("crates/coord/src/journal.rs".to_string(), journal_src.to_string())];
+    let mut findings = Vec::new();
+    rules::journal_exhaustive::check(&sources, &cfg, &mut findings);
+    findings
+}
+
+#[test]
+fn journal_exhaustive_fixtures() {
+    let good = journal_findings(include_str!("fixtures/journal_good.rs"));
+    assert_eq!(good, vec![], "complete recovery path must be silent");
+
+    let bad = journal_findings(include_str!("fixtures/journal_bad.rs"));
+    assert_eq!(rules_of(&bad), vec!["journal-exhaustive"; 2], "{bad:?}");
+    assert!(
+        bad.iter().all(|f| f.msg.contains("Record::PeriodDone")),
+        "the forgotten variant is named: {bad:?}"
+    );
+    assert!(bad.iter().any(|f| f.msg.contains("journal decoder")), "{bad:?}");
+    assert!(bad.iter().any(|f| f.msg.contains("recovery fold")), "{bad:?}");
+}
+
 #[test]
 fn no_sleep_in_reactor_fixtures() {
     let cfg = LintConfig::default();
@@ -182,9 +212,10 @@ fn rule_set_is_closed_under_the_ids_fixtures_use() {
         "durability",
         "lock-order",
         "msg-exhaustive",
+        "journal-exhaustive",
         "no-sleep-in-reactor",
     ] {
         assert!(seen.contains(id), "{id} missing from RULES");
     }
-    assert_eq!(seen.len(), 7);
+    assert_eq!(seen.len(), 8);
 }

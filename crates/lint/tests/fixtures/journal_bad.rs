@@ -1,0 +1,44 @@
+//! Fixture journal: the decoder and the recovery fold both forgot
+//! `Record::PeriodDone` — two `journal-exhaustive` findings. The
+//! variant still encodes, so a real daemon would append it and then
+//! lose it on every crash recovery.
+
+#[derive(Debug)]
+pub enum Record {
+    PeriodStart { period: u64 },
+    ItemDone { ix: u64 },
+    PeriodDone,
+}
+
+impl Record {
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Record::PeriodStart { period } => format!("start {period}"),
+            Record::ItemDone { ix } => format!("done {ix}"),
+            Record::PeriodDone => "fin".to_string(),
+        }
+    }
+
+    pub fn parse(line: &str) -> Option<Record> {
+        match line.split(' ').next()? {
+            "start" => Some(Record::PeriodStart { period: 0 }),
+            "done" => Some(Record::ItemDone { ix: 0 }),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct State {
+    pub done: u64,
+}
+
+impl State {
+    pub fn apply(&mut self, record: &Record) {
+        match record {
+            Record::PeriodStart { .. } => self.done = 0,
+            Record::ItemDone { .. } => self.done += 1,
+            _ => {}
+        }
+    }
+}

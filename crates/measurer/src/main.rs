@@ -94,7 +94,7 @@ use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use flashflow_procutil as procutil;
-use procutil::reactor::{Reactor, ReactorConfig};
+use procutil::reactor::{Reactor, ReactorConfig, ReactorObs};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
@@ -453,10 +453,16 @@ fn main() {
     // Serve everything — control sessions, inbound blast channels —
     // from the sharded reactor; this thread only watches for the drain
     // signal and the session quota.
-    let reactor = match Reactor::serve(
+    let reactor = match Reactor::serve_observed(
         Some(listener),
         ReactorConfig { shards: shared.cfg.io_threads, tick: Duration::from_millis(1) },
         reactor::accept_factory(Arc::clone(&shared)),
+        Some(ReactorObs {
+            registry: registry.clone(),
+            prefix: "measurer.reactor".to_string(),
+            span: shared.span.clone(),
+            stall_budget: Duration::from_millis(20),
+        }),
     ) {
         Ok(r) => r,
         Err(e) => {

@@ -309,6 +309,14 @@ impl ControlConn {
                 } else {
                     if endpoint.session().resumed() {
                         self.shared.resumed.inc();
+                        // A resumed conversation learns its trace id
+                        // from the Resume opener itself, before the
+                        // re-sent MeasureCmd arrives.
+                        if let Some(trace) =
+                            endpoint.session().resume_trace_id().filter(|&t| t != 0)
+                        {
+                            self.span = self.span.trace(trace);
+                        }
                         self.span.emit("session.resumed", fields![nonce = nonce]);
                     }
                     if cfg.role == PeerRole::Measurer {
@@ -331,6 +339,11 @@ impl ControlConn {
         while let Some(action) = endpoint.session_mut().poll_action() {
             match action {
                 MeasurerAction::Prepare { spec } => {
+                    // Every event from here on carries the coordinator's
+                    // trace id for this item-attempt.
+                    if spec.trace_id != 0 {
+                        self.span = self.span.trace(spec.trace_id);
+                    }
                     self.span.emit(
                         "session.prepare",
                         fields![

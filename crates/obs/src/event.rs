@@ -1,7 +1,7 @@
 //! Structured events: one record per observable occurrence, carrying a
 //! monotonic timestamp, a dotted `kind`, the scope coordinates of the
-//! period hierarchy (period → group → item → channel), and free-form
-//! typed fields.
+//! period hierarchy (period → group → item → channel, plus the
+//! cross-process trace id), and free-form typed fields.
 //!
 //! Every event has two faithful encodings: a single JSONL line (for
 //! machines and replay) and a human text line (for operator stderr).
@@ -143,6 +143,12 @@ pub struct Scope {
     pub channel: Option<u64>,
     /// Control session id (process side).
     pub session: Option<u64>,
+    /// Cross-process trace id: the coordinator-minted correlation key
+    /// of one item-attempt, carried over the wire (protocol v6) and
+    /// stamped by every peer — the join key that merges the
+    /// coordinator's, the measurers', and the relay's JSONL streams
+    /// into one causal record.
+    pub trace: Option<u64>,
 }
 
 impl Scope {
@@ -151,10 +157,10 @@ impl Scope {
         Scope::default()
     }
 
-    const KEYS: [&'static str; 5] = ["period", "group", "item", "channel", "session"];
+    const KEYS: [&'static str; 6] = ["period", "group", "item", "channel", "session", "trace"];
 
-    fn slots(&self) -> [Option<u64>; 5] {
-        [self.period, self.group, self.item, self.channel, self.session]
+    fn slots(&self) -> [Option<u64>; 6] {
+        [self.period, self.group, self.item, self.channel, self.session, self.trace]
     }
 
     fn set(&mut self, key: &str, value: u64) {
@@ -164,6 +170,7 @@ impl Scope {
             "item" => self.item = Some(value),
             "channel" => self.channel = Some(value),
             "session" => self.session = Some(value),
+            "trace" => self.trace = Some(value),
             _ => {}
         }
     }

@@ -201,6 +201,114 @@ impl PoolSummary {
     }
 }
 
+/// Reactor-runtime health over the period, condensed from the
+/// per-shard instruments a peer's `--metrics-addr` endpoint serves
+/// (see `flashflow-procutil`'s `ReactorObs`): shard count, stall
+/// count, live/backlog slot totals, and mean latencies of the three
+/// loop histograms. Built with
+/// [`from_snapshot`](ReactorSummary::from_snapshot) from a fetched
+/// [`RegistrySnapshot`](crate::metrics::RegistrySnapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReactorSummary {
+    /// Shards that registered instruments under the prefix.
+    pub shards: u64,
+    /// Loop turns that blew the stall budget (`<prefix>.stalls`).
+    pub stalls: u64,
+    /// Live slab slots summed across shards at snapshot time.
+    pub live: i64,
+    /// Write-armed (backlogged) slots summed across shards.
+    pub write_backlog: i64,
+    /// Mean `epoll_wait` dwell across all shards' observations, µs.
+    pub dwell_mean_us: f64,
+    /// Mean per-`on_ready` dispatch latency, µs.
+    pub dispatch_mean_us: f64,
+    /// Mean tick-sweep overshoot beyond the configured cadence, µs.
+    pub tick_jitter_mean_us: f64,
+}
+
+impl ReactorSummary {
+    /// Condenses the `<prefix>.shard<i>.*` instruments of `snap` into
+    /// one summary; `None` when the snapshot has no reactor metrics
+    /// under `prefix` (an uninstrumented or pre-upgrade peer).
+    pub fn from_snapshot(snap: &crate::metrics::RegistrySnapshot, prefix: &str) -> Option<Self> {
+        let shard_prefix = format!("{prefix}.shard");
+        let mut shards = 0u64;
+        let mut live = 0i64;
+        let mut backlog = 0i64;
+        for (name, value) in &snap.gauges {
+            let Some(rest) = name.strip_prefix(&shard_prefix) else { continue };
+            if rest.ends_with(".slab_live") {
+                shards += 1;
+                live += value;
+            } else if rest.ends_with(".write_backlog") {
+                backlog += value;
+            }
+        }
+        if shards == 0 {
+            return None;
+        }
+        let mean_of = |suffix: &str| {
+            let (sum, count) = snap
+                .histograms
+                .iter()
+                .filter(|(name, _)| name.starts_with(&shard_prefix) && name.ends_with(suffix))
+                .fold((0u64, 0u64), |(s, c), (_, h)| (s + h.sum, c + h.count));
+            if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            }
+        };
+        let stalls = snap
+            .counters
+            .iter()
+            .find(|(name, _)| *name == format!("{prefix}.stalls"))
+            .map_or(0, |(_, v)| *v);
+        Some(ReactorSummary {
+            shards,
+            stalls,
+            live,
+            write_backlog: backlog,
+            dwell_mean_us: mean_of(".epoll_dwell_us"),
+            dispatch_mean_us: mean_of(".dispatch_us"),
+            tick_jitter_mean_us: mean_of(".tick_jitter_us"),
+        })
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("shards".to_string(), Json::Int(i128::from(self.shards))),
+            ("stalls".to_string(), Json::Int(i128::from(self.stalls))),
+            ("live".to_string(), Json::Int(i128::from(self.live))),
+            ("write_backlog".to_string(), Json::Int(i128::from(self.write_backlog))),
+            ("dwell_mean_us".to_string(), Json::Num(self.dwell_mean_us)),
+            ("dispatch_mean_us".to_string(), Json::Num(self.dispatch_mean_us)),
+            ("tick_jitter_mean_us".to_string(), Json::Num(self.tick_jitter_mean_us)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<ReactorSummary, String> {
+        let int = |key: &str| {
+            json.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing reactor {key}"))
+        };
+        let num = |key: &str| {
+            json.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing reactor {key}"))
+        };
+        Ok(ReactorSummary {
+            shards: int("shards")?,
+            stalls: int("stalls")?,
+            live: json.get("live").and_then(Json::as_i64).ok_or("missing reactor live")?,
+            write_backlog: json
+                .get("write_backlog")
+                .and_then(Json::as_i64)
+                .ok_or("missing reactor write_backlog")?,
+            dwell_mean_us: num("dwell_mean_us")?,
+            dispatch_mean_us: num("dispatch_mean_us")?,
+            tick_jitter_mean_us: num("tick_jitter_mean_us")?,
+        })
+    }
+}
+
 /// A full period's machine-readable result file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PeriodExport {
@@ -214,6 +322,10 @@ pub struct PeriodExport {
     pub targets: Vec<TargetSummary>,
     /// Pool traffic, when a pool drove the period.
     pub pool: Option<PoolSummary>,
+    /// Reactor-runtime health of the serving peers, when the exporter
+    /// had metrics snapshots to condense (absent otherwise — older
+    /// exports parse unchanged).
+    pub reactor: Option<ReactorSummary>,
 }
 
 impl PeriodExport {
@@ -231,6 +343,9 @@ impl PeriodExport {
         ];
         if let Some(pool) = self.pool {
             pairs.push(("pool".to_string(), pool.to_json()));
+        }
+        if let Some(reactor) = self.reactor {
+            pairs.push(("reactor".to_string(), reactor.to_json()));
         }
         Json::Obj(pairs).to_string()
     }
@@ -260,6 +375,10 @@ impl PeriodExport {
                 .collect::<Result<_, _>>()?,
             pool: match doc.get("pool") {
                 Some(v) => Some(PoolSummary::from_json(v)?),
+                None => None,
+            },
+            reactor: match doc.get("reactor") {
+                Some(v) => Some(ReactorSummary::from_json(v)?),
                 None => None,
             },
         })
@@ -304,6 +423,19 @@ impl PeriodExport {
                 out,
                 "  pool: {} dials, {} reuses, {} discarded, {} probes, {} idle",
                 pool.dials, pool.reuses, pool.discarded, pool.probes, pool.idle
+            );
+        }
+        if let Some(r) = self.reactor {
+            let _ = writeln!(
+                out,
+                "  reactor: {} shards, {} stalls, {} live, {} backlogged, dwell {:.0}us, dispatch {:.0}us, jitter {:.0}us",
+                r.shards,
+                r.stalls,
+                r.live,
+                r.write_backlog,
+                r.dwell_mean_us,
+                r.dispatch_mean_us,
+                r.tick_jitter_mean_us,
             );
         }
         out
@@ -358,6 +490,7 @@ mod tests {
                 },
             ],
             pool: Some(PoolSummary { dials: 4, reuses: 8, discarded: 1, probes: 6, idle: 2 }),
+            reactor: None,
         }
     }
 
@@ -382,6 +515,62 @@ mod tests {
         let summary = sample_export().text_summary();
         let expected = "period summary: 2 targets (1 clean), 3 divergent rows, r=0.25, 2 shards\n  target               capacity   clean divergent  echo.median    bg.median\n  aaaaaaaaaaaaaaaa    36.0 MB/s     yes         0       16 B/s        0 B/s\n  bbbbbbbbbbbbbbbb   150.0 kB/s      NO         3            -            -\n  pool: 4 dials, 8 reuses, 1 discarded, 6 probes, 2 idle\n";
         assert_eq!(summary, expected, "golden text summary drifted:\n{summary}");
+    }
+
+    #[test]
+    fn reactor_block_round_trips_and_prints() {
+        let mut export = sample_export();
+        export.reactor = Some(ReactorSummary {
+            shards: 4,
+            stalls: 1,
+            live: 12,
+            write_backlog: 3,
+            dwell_mean_us: 950.5,
+            dispatch_mean_us: 12.25,
+            tick_jitter_mean_us: 80.0,
+        });
+        let back = PeriodExport::parse(&export.to_json_string()).unwrap();
+        assert_eq!(back, export);
+        let summary = export.text_summary();
+        assert!(
+            summary.contains("reactor: 4 shards, 1 stalls, 12 live, 3 backlogged"),
+            "{summary}"
+        );
+        // Absent block stays absent: the golden summary above proves
+        // the old shape, this proves parse tolerance.
+        assert_eq!(sample_export().reactor, None);
+    }
+
+    #[test]
+    fn reactor_summary_condenses_a_registry_snapshot() {
+        let registry = crate::metrics::MetricsRegistry::new();
+        for shard in 0..2 {
+            let h = registry
+                .histogram(&format!("relay.reactor.shard{shard}.epoll_dwell_us"), &[1_000, 10_000]);
+            h.observe(500);
+            h.observe(1_500);
+            registry
+                .histogram(&format!("relay.reactor.shard{shard}.dispatch_us"), &[10, 100])
+                .observe(4);
+            registry
+                .histogram(&format!("relay.reactor.shard{shard}.tick_jitter_us"), &[100])
+                .observe(50);
+            registry.gauge(&format!("relay.reactor.shard{shard}.slab_live")).set(5);
+            registry.gauge(&format!("relay.reactor.shard{shard}.write_backlog")).set(1);
+        }
+        registry.counter("relay.reactor.stalls").add(3);
+        let snap = registry.snapshot();
+
+        let summary = ReactorSummary::from_snapshot(&snap, "relay.reactor").expect("present");
+        assert_eq!(summary.shards, 2);
+        assert_eq!(summary.stalls, 3);
+        assert_eq!(summary.live, 10);
+        assert_eq!(summary.write_backlog, 2);
+        assert_eq!(summary.dwell_mean_us, 1000.0);
+        assert_eq!(summary.dispatch_mean_us, 4.0);
+        assert_eq!(summary.tick_jitter_mean_us, 50.0);
+
+        assert_eq!(ReactorSummary::from_snapshot(&snap, "measurer.reactor"), None);
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod metrics;
 pub mod sink;
 
 pub use event::{Event, Scope, Value};
-pub use export::{fmt_rate, Percentiles, PeriodExport, PoolSummary, TargetSummary, EXPORT_SCHEMA};
+pub use export::{
+    fmt_rate, Percentiles, PeriodExport, PoolSummary, ReactorSummary, TargetSummary, EXPORT_SCHEMA,
+};
 pub use json::{Json, JsonError};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,

@@ -203,6 +203,14 @@ impl Span {
         child
     }
 
+    /// A child span stamped with cross-process trace id `trace`.
+    #[must_use]
+    pub fn trace(&self, trace: u64) -> Span {
+        let mut child = self.clone();
+        child.scope.trace = Some(trace);
+        child
+    }
+
     /// Emits `kind` with this span's scope and the given fields.
     pub fn emit(&self, kind: &str, fields: Vec<(String, Value)>) {
         self.sink.emit(kind, self.scope, fields);

@@ -35,6 +35,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use flashflow_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span, Value};
+
 use crate::lock_recover;
 
 // SAFETY: these are the exact kernel/libc prototypes on every Linux
@@ -342,6 +344,82 @@ impl Default for ReactorConfig {
     }
 }
 
+/// Telemetry wiring for a reactor: where the per-shard runtime
+/// instruments register and where stall events land. Instrumentation is
+/// opt-in ([`Reactor::serve`] passes none) and the hot-path cost when
+/// enabled is a handful of monotonic clock reads plus relaxed atomics
+/// per loop turn — gated by the `instrumentation_overhead_guard` bench.
+#[derive(Clone)]
+pub struct ReactorObs {
+    /// Registry the per-shard histograms/gauges/counters register in.
+    pub registry: MetricsRegistry,
+    /// Metric-name prefix, e.g. `"relay.reactor"` yields
+    /// `relay.reactor.shard0.epoll_dwell_us`, `relay.reactor.stalls`, ….
+    pub prefix: String,
+    /// Span `reactor.stall` events are emitted on.
+    pub span: Span,
+    /// Budget for one full loop turn (event dispatch + adoption +
+    /// ticks, excluding the `epoll_wait` sleep). A turn exceeding it
+    /// increments `<prefix>.stalls` and emits one `reactor.stall`
+    /// event — a loop that stalls is a loop whose tick clock (report
+    /// pacing, deadlines) is drifting, which is exactly the §4.2
+    /// per-second accounting hazard worth an operator page.
+    pub stall_budget: Duration,
+}
+
+/// Bucket upper bounds (µs) for the `epoll_wait` dwell histogram: the
+/// sleep is bounded by the tick (1–2 ms in the binaries), so buckets
+/// concentrate there with headroom for scheduler overshoot.
+const DWELL_BOUNDS_US: &[u64] = &[50, 100, 250, 500, 1_000, 2_000, 5_000, 10_000, 25_000];
+/// Bucket upper bounds (µs) for per-`on_ready` dispatch latency: a
+/// healthy dispatch is microseconds, so the low buckets are fine-grained
+/// and the tail marks connections doing too much work per readiness.
+const DISPATCH_BOUNDS_US: &[u64] = &[1, 2, 5, 10, 25, 50, 100, 250, 1_000, 5_000];
+/// Bucket upper bounds (µs) for tick-to-tick jitter (elapsed minus the
+/// configured cadence when a tick sweep fires).
+const JITTER_BOUNDS_US: &[u64] = &[10, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000];
+
+/// One shard's registered instruments (see [`ReactorObs`]).
+struct ShardObs {
+    /// Time spent inside `epoll_wait` per loop turn.
+    dwell_us: Histogram,
+    /// Per-`on_ready` dispatch latency.
+    dispatch_us: Histogram,
+    /// Tick-sweep overshoot beyond the configured cadence.
+    tick_jitter_us: Histogram,
+    /// Live slots in this shard's slab.
+    occupancy: Gauge,
+    /// Slots currently armed for write readiness (unflushed backlog).
+    backlog: Gauge,
+    /// Loop turns that blew [`ReactorObs::stall_budget`] (shared across
+    /// shards — one counter per reactor).
+    stalls: Counter,
+    span: Span,
+    stall_budget: Duration,
+}
+
+impl ShardObs {
+    fn register(obs: &ReactorObs, shard_ix: usize) -> ShardObs {
+        let name = |what: &str| format!("{}.shard{shard_ix}.{what}", obs.prefix);
+        ShardObs {
+            dwell_us: obs.registry.histogram(&name("epoll_dwell_us"), DWELL_BOUNDS_US),
+            dispatch_us: obs.registry.histogram(&name("dispatch_us"), DISPATCH_BOUNDS_US),
+            tick_jitter_us: obs.registry.histogram(&name("tick_jitter_us"), JITTER_BOUNDS_US),
+            occupancy: obs.registry.gauge(&name("slab_live")),
+            backlog: obs.registry.gauge(&name("write_backlog")),
+            stalls: obs.registry.counter(&format!("{}.stalls", obs.prefix)),
+            span: obs.span.clone(),
+            stall_budget: obs.stall_budget,
+        }
+    }
+}
+
+/// Saturating whole-microsecond rendering of a duration for histogram
+/// observation.
+fn whole_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Builds [`Driven`] connections from freshly accepted sockets.
 /// Returning `None` drops the connection (admission control: quota,
 /// drain). The stream arrives still blocking; implementations that
@@ -391,6 +469,22 @@ impl Reactor {
         cfg: ReactorConfig,
         factory: Arc<AcceptFn>,
     ) -> io::Result<Reactor> {
+        Reactor::serve_observed(listener, cfg, factory, None)
+    }
+
+    /// [`Reactor::serve`] with runtime telemetry: each shard registers
+    /// dwell/dispatch/jitter histograms and occupancy/backlog gauges
+    /// under `obs.prefix`, and loop turns exceeding the stall budget
+    /// emit `reactor.stall` (see [`ReactorObs`]).
+    ///
+    /// # Errors
+    /// Poller/waker creation or listener registration errno.
+    pub fn serve_observed(
+        listener: Option<TcpListener>,
+        cfg: ReactorConfig,
+        factory: Arc<AcceptFn>,
+        obs: Option<ReactorObs>,
+    ) -> io::Result<Reactor> {
         let shard_count = cfg.shards.max(1);
         let listener = match listener {
             Some(l) => {
@@ -419,6 +513,7 @@ impl Reactor {
                 factory: Arc::clone(&factory),
                 flags: Arc::clone(&flags),
                 tick: cfg.tick.max(Duration::from_millis(1)),
+                obs: obs.as_ref().map(|o| ShardObs::register(o, shard_ix)),
             };
             threads.push(
                 std::thread::Builder::new()
@@ -488,7 +583,6 @@ struct Slot {
 }
 
 struct Shard {
-    #[allow(dead_code)]
     ix: usize,
     poller: Poller,
     remote: Arc<ShardRemote>,
@@ -496,6 +590,7 @@ struct Shard {
     factory: Arc<AcceptFn>,
     flags: Arc<Flags>,
     tick: Duration,
+    obs: Option<ShardObs>,
 }
 
 impl Shard {
@@ -506,17 +601,32 @@ impl Shard {
         let mut listening = self.listener.is_some();
         let mut last_tick = Instant::now();
         loop {
+            // Clock reads below are Option-gated so an uninstrumented
+            // reactor's loop stays exactly as it was.
+            let slept = self.obs.as_ref().map(|_| Instant::now());
             if self.poller.wait(&mut events, self.tick).is_err() {
                 self.flags.failed.fetch_add(1, Ordering::SeqCst);
                 break;
             }
+            let turn_start = match (&self.obs, slept) {
+                (Some(obs), Some(slept)) => {
+                    let now = Instant::now();
+                    obs.dwell_us.observe(whole_us(now.duration_since(slept)));
+                    Some(now)
+                }
+                _ => None,
+            };
             for ev in &events {
                 match ev.token {
                     TOKEN_WAKER => self.remote.waker.drain(),
                     TOKEN_LISTENER => self.accept_burst(&mut slots, &mut free),
                     token => {
                         let slot_ix = (token - TOKEN_CONN0) as usize;
+                        let before = self.obs.as_ref().map(|_| Instant::now());
                         self.drive(&mut slots, &mut free, slot_ix, DriveWhy::Ready);
+                        if let (Some(obs), Some(before)) = (&self.obs, before) {
+                            obs.dispatch_us.observe(whole_us(before.elapsed()));
+                        }
                     }
                 }
             }
@@ -533,9 +643,30 @@ impl Shard {
                 listening = false;
             }
             if last_tick.elapsed() >= self.tick {
+                if let Some(obs) = &self.obs {
+                    let overshoot = last_tick.elapsed().saturating_sub(self.tick);
+                    obs.tick_jitter_us.observe(whole_us(overshoot));
+                }
                 last_tick = Instant::now();
                 for slot_ix in 0..slots.len() {
                     self.drive(&mut slots, &mut free, slot_ix, DriveWhy::Tick);
+                }
+            }
+            if let Some(obs) = &self.obs {
+                obs.occupancy.set(slots.iter().flatten().count() as i64);
+                obs.backlog.set(slots.iter().flatten().filter(|s| s.writing).count() as i64);
+                if let Some(turn_start) = turn_start {
+                    let busy = turn_start.elapsed();
+                    if busy > obs.stall_budget {
+                        obs.stalls.inc();
+                        obs.span.emit(
+                            "reactor.stall",
+                            vec![
+                                ("shard".to_string(), Value::from(self.ix as u64)),
+                                ("busy_us".to_string(), Value::from(whole_us(busy))),
+                            ],
+                        );
+                    }
                 }
             }
             if self.flags.stop.load(Ordering::SeqCst)
@@ -773,6 +904,131 @@ mod tests {
         client.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
         client.read_exact(&mut got).expect("echo");
         assert_eq!(&got, b"adopted");
+
+        drop(client);
+        reactor.stop();
+        reactor.join().expect("clean join");
+    }
+
+    #[test]
+    fn observed_reactor_registers_per_shard_instruments() {
+        let registry = MetricsRegistry::new();
+        let sink = flashflow_obs::EventSink::new();
+        let obs = ReactorObs {
+            registry: registry.clone(),
+            prefix: "test.reactor".to_string(),
+            span: Span::root(sink),
+            stall_budget: Duration::from_secs(5),
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let reactor = Reactor::serve_observed(
+            Some(listener),
+            ReactorConfig { shards: 2, tick: Duration::from_millis(1) },
+            echo_factory(),
+            Some(obs),
+        )
+        .expect("reactor");
+
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.write_all(b"probe").expect("write");
+        let mut got = [0u8; 5];
+        client.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+        client.read_exact(&mut got).expect("echo back");
+
+        let snap = registry.snapshot();
+        for shard in 0..2 {
+            for what in ["epoll_dwell_us", "dispatch_us", "tick_jitter_us"] {
+                let name = format!("test.reactor.shard{shard}.{what}");
+                assert!(
+                    snap.histograms.iter().any(|(n, _)| *n == name),
+                    "missing histogram {name}"
+                );
+            }
+            for what in ["slab_live", "write_backlog"] {
+                let name = format!("test.reactor.shard{shard}.{what}");
+                assert!(snap.gauges.iter().any(|(n, _)| *n == name), "missing gauge {name}");
+            }
+        }
+        assert!(snap.counters.iter().any(|(n, _)| n == "test.reactor.stalls"));
+        // The serving shard slept in epoll_wait at least once, so its
+        // dwell histogram has observations.
+        let dwell_total: u64 = snap
+            .histograms
+            .iter()
+            .filter(|(n, _)| n.ends_with("epoll_dwell_us"))
+            .map(|(_, h)| h.count)
+            .sum();
+        assert!(dwell_total > 0, "no dwell observations");
+
+        drop(client);
+        reactor.stop();
+        reactor.join().expect("clean join");
+    }
+
+    #[test]
+    fn stall_budget_breach_emits_event_and_counter() {
+        /// Sleeps once inside `on_ready`, blowing any sub-sleep budget.
+        struct SlowConn {
+            t: TcpTransport,
+            slept: bool,
+        }
+
+        impl Driven for SlowConn {
+            fn fd(&self) -> i32 {
+                self.t.raw_fd()
+            }
+
+            fn on_ready(&mut self) -> Step {
+                if !self.slept {
+                    self.slept = true;
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                match self.t.recv(SimTime::ZERO) {
+                    Ok(_) => Step::Continue,
+                    Err(_) => Step::Done,
+                }
+            }
+
+            fn on_tick(&mut self) -> Step {
+                Step::Continue
+            }
+        }
+
+        let registry = MetricsRegistry::new();
+        let sink = flashflow_obs::EventSink::new();
+        let obs = ReactorObs {
+            registry: registry.clone(),
+            prefix: "test.reactor".to_string(),
+            span: Span::root(sink.clone()),
+            stall_budget: Duration::from_millis(5),
+        };
+        let reactor = Reactor::serve_observed(
+            None,
+            ReactorConfig { shards: 1, tick: Duration::from_millis(1) },
+            Arc::new(|_, _| None),
+            Some(obs),
+        )
+        .expect("reactor");
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (served, _) = listener.accept().expect("accept");
+        let t = TcpTransport::from_stream(served).expect("transport");
+        reactor.adopt(Box::new(SlowConn { t, slept: false }));
+        client.write_all(b"tick").expect("write");
+
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let stalls = registry.counter("test.reactor.stalls");
+        while stalls.get() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(stalls.get() > 0, "stall counter never incremented");
+        assert!(
+            sink.ring().iter().any(|e| e.kind == "reactor.stall"),
+            "no reactor.stall event emitted"
+        );
 
         drop(client);
         reactor.stop();

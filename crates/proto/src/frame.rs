@@ -20,7 +20,7 @@ use crate::msg::{
 };
 
 /// Upper bound on the length prefix. The largest legitimate frame
-/// (`MeasureCmd`) is 52 bytes of payload; anything near the cap is
+/// (`MeasureCmd`) is 60 bytes of payload; anything near the cap is
 /// garbage or an attack, and rejecting it bounds decoder memory.
 pub const MAX_FRAME_LEN: usize = 256;
 
@@ -128,6 +128,7 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             body.extend_from_slice(&spec.target.ip);
             body.extend_from_slice(&spec.target.port.to_be_bytes());
             body.extend_from_slice(&spec.measurement_secret.to_be_bytes());
+            body.extend_from_slice(&spec.trace_id.to_be_bytes());
         }
         Msg::Ready => body.push(MsgType::Ready as u8),
         Msg::Go => body.push(MsgType::Go as u8),
@@ -150,12 +151,13 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             body.push(MsgType::Pong as u8);
             body.extend_from_slice(&probe.to_be_bytes());
         }
-        Msg::Resume { token, role, nonce_prior, nonce } => {
+        Msg::Resume { token, role, nonce_prior, nonce, trace_id } => {
             body.push(MsgType::Resume as u8);
             body.extend_from_slice(token);
             body.push(*role as u8);
             body.extend_from_slice(&nonce_prior.to_be_bytes());
             body.extend_from_slice(&nonce.to_be_bytes());
+            body.extend_from_slice(&trace_id.to_be_bytes());
         }
     }
     let payload_len = (body.len() - LEN_PREFIX) as u32;
@@ -252,6 +254,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Msg, WireError> {
             ip.copy_from_slice(b.take(4)?);
             let port = u16::from_be_bytes(b.take(2)?.try_into().expect("2 bytes"));
             let measurement_secret = b.u64()?;
+            let trace_id = b.u64()?;
             b.finish()?;
             Msg::MeasureCmd(MeasureSpec {
                 relay_fp,
@@ -260,6 +263,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Msg, WireError> {
                 rate_cap,
                 target: TargetEndpoint { ip, port },
                 measurement_secret,
+                trace_id,
             })
         }
         MsgType::Ready => {
@@ -311,8 +315,9 @@ pub fn decode_payload(payload: &[u8]) -> Result<Msg, WireError> {
                 .ok_or(WireError::BadEnumValue { field: "Resume.role", value: role_byte })?;
             let nonce_prior = b.u64()?;
             let nonce = b.u64()?;
+            let trace_id = b.u64()?;
             b.finish()?;
-            Msg::Resume { token, role, nonce_prior, nonce }
+            Msg::Resume { token, role, nonce_prior, nonce, trace_id }
         }
     };
     Ok(msg)
@@ -400,6 +405,7 @@ mod tests {
                 rate_cap: 117_000_000,
                 target: TargetEndpoint { ip: [127, 0, 0, 1], port: 9151 },
                 measurement_secret: 0x5EC2_E7BE_EF00_1234,
+                trace_id: 0x7ACE_0001_0000_0003,
             }),
             Msg::Ready,
             Msg::Go,
@@ -413,6 +419,7 @@ mod tests {
                 role: PeerRole::Measurer,
                 nonce_prior: 0x0123_4567_89AB_CDEF,
                 nonce: 0xFEDC_BA98_7654_3210,
+                trace_id: 0x7ACE_0002_0000_0001,
             },
         ]
     }

@@ -27,10 +27,14 @@
 /// target relay's data listener and stamp their blast with a
 /// per-measurement key); version 5 added the `Resume` handshake (a
 /// restarted coordinator re-adopts a prior conversation by proving it
-/// knows that conversation's nonce, instead of being replay-rejected).
+/// knows that conversation's nonce, instead of being replay-rejected);
+/// version 6 added the `trace_id` to `MeasureCmd` and `Resume` (the
+/// coordinator-minted correlation key every peer stamps into its own
+/// telemetry, making the per-process JSONL streams one joinable causal
+/// record per item-attempt).
 /// An older peer is rejected with a clean `BadVersion` error instead of
 /// a confusing body-layout failure.
-pub const PROTOCOL_VERSION: u8 = 5;
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Length of the pre-shared authentication token.
 pub const AUTH_TOKEN_LEN: usize = 32;
@@ -187,6 +191,12 @@ pub struct MeasureSpec {
     /// reads the hello nonce off the wire still cannot forge payload
     /// bytes. `0` outside the echo topology.
     pub measurement_secret: u64,
+    /// Coordinator-minted correlation key for this item-attempt,
+    /// **public** (unlike the secret): every peer stamps it into the
+    /// telemetry it emits for the item, so the coordinator's, the
+    /// measurers', and the relay's JSONL streams join into one causal
+    /// record. `0` means untraced (pre-v6 topologies and tests).
+    pub trace_id: u64,
 }
 
 impl Default for MeasureSpec {
@@ -198,6 +208,7 @@ impl Default for MeasureSpec {
             rate_cap: 0,
             target: TargetEndpoint::NONE,
             measurement_secret: 0,
+            trace_id: 0,
         }
     }
 }
@@ -283,6 +294,11 @@ pub enum Msg {
         /// Fresh challenge for this attempt, with `Auth` semantics:
         /// rejected if already witnessed, echoed in `AuthOk`.
         nonce: u64,
+        /// Correlation key of the *resumed* attempt (see
+        /// [`MeasureSpec::trace_id`]): the re-adopted conversation's
+        /// telemetry joins the new attempt's stream under this id even
+        /// before the re-sent `MeasureCmd` arrives.
+        trace_id: u64,
     },
 }
 

@@ -346,9 +346,13 @@ impl CoordinatorSession {
     pub fn start(&mut self, now: SimTime) {
         assert_eq!(self.phase, CoordPhase::Idle, "start() on a started session");
         let opener = match self.resume_prior {
-            Some(nonce_prior) => {
-                Msg::Resume { token: self.token, role: self.role, nonce_prior, nonce: self.nonce }
-            }
+            Some(nonce_prior) => Msg::Resume {
+                token: self.token,
+                role: self.role,
+                nonce_prior,
+                nonce: self.nonce,
+                trace_id: self.spec.trace_id,
+            },
             None => Msg::Auth { token: self.token, role: self.role, nonce: self.nonce },
         };
         self.send(opener);
@@ -562,6 +566,9 @@ pub struct MeasurerSession {
     accepted_nonce: Option<u64>,
     /// True when the conversation was opened by an accepted `Resume`.
     resumed: bool,
+    /// The trace id an accepted `Resume` carried (the resumed attempt's
+    /// correlation key), available before the re-sent `MeasureCmd`.
+    resume_trace_id: Option<u64>,
     decoder: FrameDecoder,
     outbound: VecDeque<Vec<u8>>,
     actions: VecDeque<MeasurerAction>,
@@ -592,6 +599,7 @@ impl MeasurerSession {
             replay: ReplayWindow::default(),
             accepted_nonce: None,
             resumed: false,
+            resume_trace_id: None,
             decoder: FrameDecoder::new(),
             outbound: VecDeque::new(),
             actions: VecDeque::new(),
@@ -632,6 +640,14 @@ impl MeasurerSession {
     /// count resumptions).
     pub fn resumed(&self) -> bool {
         self.resumed
+    }
+
+    /// The trace id the accepted [`Msg::Resume`] carried, if this
+    /// conversation was resumed: the correlation key of the attempt
+    /// being re-adopted, so a peer can scope its telemetry before the
+    /// re-sent `MeasureCmd` (whose spec repeats the id) arrives.
+    pub fn resume_trace_id(&self) -> Option<u64> {
+        self.resume_trace_id
     }
 
     /// Current phase.
@@ -761,7 +777,10 @@ impl MeasurerSession {
                 self.phase = MeasurerPhase::AwaitCmd;
                 self.deadline = Some(now + self.timeouts.handshake);
             }
-            (MeasurerPhase::AwaitAuth, Msg::Resume { token, role, nonce_prior, nonce }) => {
+            (
+                MeasurerPhase::AwaitAuth,
+                Msg::Resume { token, role, nonce_prior, nonce, trace_id },
+            ) => {
                 if token != self.expected_token || role != self.expected_role {
                     self.fail(AbortReason::AuthFailed, true);
                     return;
@@ -782,6 +801,7 @@ impl MeasurerSession {
                 }
                 self.accepted_nonce = Some(nonce);
                 self.resumed = true;
+                self.resume_trace_id = Some(trace_id);
                 self.send(Msg::AuthOk { session: self.session_id, nonce });
                 self.phase = MeasurerPhase::AwaitCmd;
                 self.deadline = Some(now + self.timeouts.handshake);
@@ -848,6 +868,10 @@ pub struct EchoBinding {
     pub background_allowance: u64,
     /// Slot length in whole seconds.
     pub slot_secs: u32,
+    /// The item-attempt's trace id from the commanding `MeasureCmd`
+    /// (`0` = untraced); the relay stamps it onto the echo channels'
+    /// telemetry so the data plane joins the same timeline.
+    pub trace_id: u64,
 }
 
 /// The target relay's half of one conversation: the relay-side role of
@@ -924,6 +948,12 @@ impl RelaySession {
         self.inner.resumed()
     }
 
+    /// The trace id the accepted `Resume` opener carried, if any (see
+    /// [`MeasurerSession::resume_trace_id`]).
+    pub fn resume_trace_id(&self) -> Option<u64> {
+        self.inner.resume_trace_id()
+    }
+
     /// Current phase (shared with the measurer role).
     pub fn phase(&self) -> MeasurerPhase {
         self.inner.phase()
@@ -944,6 +974,7 @@ impl RelaySession {
             channel_key: crate::blast::secret_channel_key(spec.measurement_secret),
             background_allowance: spec.rate_cap,
             slot_secs: spec.slot_secs,
+            trace_id: spec.trace_id,
         })
     }
 
@@ -1456,6 +1487,7 @@ mod tests {
                 role: PeerRole::Measurer,
                 nonce_prior: 0xAAAA,
                 nonce: 0xBBBB,
+                trace_id: 0,
             }),
         );
         assert_eq!(meas.phase(), MeasurerPhase::Failed, "unwitnessed prior nonce is a guess");
@@ -1471,7 +1503,13 @@ mod tests {
             .with_replay_window(first.take_replay_window());
         second.receive(
             now,
-            &encode(&Msg::Resume { token, role: PeerRole::Measurer, nonce_prior: 0x1, nonce: 0x1 }),
+            &encode(&Msg::Resume {
+                token,
+                role: PeerRole::Measurer,
+                nonce_prior: 0x1,
+                nonce: 0x1,
+                trace_id: 0,
+            }),
         );
         assert_eq!(second.phase(), MeasurerPhase::Failed, "replayed resume nonce rejected");
 
@@ -1484,6 +1522,7 @@ mod tests {
                 role: PeerRole::Measurer,
                 nonce_prior: 0x1,
                 nonce: 0x2,
+                trace_id: 0,
             }),
         );
         assert_eq!(meas.phase(), MeasurerPhase::Failed);
@@ -1501,11 +1540,18 @@ mod tests {
             RelaySession::new(token, 2, t).with_replay_window(first.take_replay_window());
         second.receive(
             now,
-            &encode(&Msg::Resume { token, role: PeerRole::Target, nonce_prior: 0x9, nonce: 0xA }),
+            &encode(&Msg::Resume {
+                token,
+                role: PeerRole::Target,
+                nonce_prior: 0x9,
+                nonce: 0xA,
+                trace_id: 0x7ACE,
+            }),
         );
         assert_eq!(second.phase(), MeasurerPhase::AwaitCmd);
         assert!(second.resumed());
         assert_eq!(second.accepted_nonce(), Some(0xA));
+        assert_eq!(second.resume_trace_id(), Some(0x7ACE), "resume carries the trace id");
     }
 
     #[test]

@@ -49,13 +49,15 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     slot_secs: x,
                     sockets: y,
                     rate_cap: b,
-                    // Derive the endpoint and secret from the draws so
-                    // the new v4 fields round-trip arbitrary values too.
+                    // Derive the endpoint, secret, and trace id from the
+                    // draws so the v4/v6 fields round-trip arbitrary
+                    // values too.
                     target: TargetEndpoint {
                         ip: relay_fp[..4].try_into().expect("4 bytes"),
                         port: (a & 0xFFFF) as u16,
                     },
                     measurement_secret: c,
+                    trace_id: a ^ b,
                 }),
                 3 => Msg::Ready,
                 4 => Msg::Go,
@@ -68,6 +70,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     role: PeerRole::from_u8(role).expect("role in range"),
                     nonce_prior: a,
                     nonce: c,
+                    trace_id: b ^ c,
                 },
                 _ => Msg::Abort { reason: AbortReason::from_u8(reason).expect("reason in range") },
             },

@@ -74,7 +74,7 @@ use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use flashflow_procutil as procutil;
-use procutil::reactor::{Reactor, ReactorConfig};
+use procutil::reactor::{Reactor, ReactorConfig, ReactorObs};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
@@ -194,10 +194,11 @@ struct EchoCounters {
 }
 
 /// One registered measurement: counters plus the frame-tag key its
-/// channels verify under.
+/// channels verify under and the commanding item-attempt's trace id.
 struct Measurement {
     counters: Arc<EchoCounters>,
     key: u64,
+    trace_id: u64,
 }
 
 /// The process-wide registry binding **measurement** nonces to their
@@ -214,8 +215,9 @@ impl EchoPlane {
     // serving thread that panicked mid-measurement must degrade to one
     // lost measurement, not take down every other thread that touches
     // the registry next.
-    fn register(&self, nonce: u64, key: u64) -> Arc<EchoCounters> {
-        let m = Arc::new(Measurement { counters: Arc::new(EchoCounters::default()), key });
+    fn register(&self, nonce: u64, key: u64, trace_id: u64) -> Arc<EchoCounters> {
+        let m =
+            Arc::new(Measurement { counters: Arc::new(EchoCounters::default()), key, trace_id });
         let counters = Arc::clone(&m.counters);
         procutil::lock_recover(&self.measurements).insert(nonce, m);
         counters
@@ -356,10 +358,16 @@ fn main() {
     // The reactor owns the listener from here: `--io-threads` epoll
     // shards accept (EPOLLEXCLUSIVE) and drive every connection as a
     // state machine; this thread only supervises drain and quota.
-    let reactor = match Reactor::serve(
+    let reactor = match Reactor::serve_observed(
         Some(listener),
         ReactorConfig { shards: shared.cfg.io_threads, tick: Duration::from_millis(1) },
         reactor::accept_factory(Arc::clone(&shared)),
+        Some(ReactorObs {
+            registry: registry.clone(),
+            prefix: "relay.reactor".to_string(),
+            span: shared.span.clone(),
+            stall_budget: Duration::from_millis(20),
+        }),
     ) {
         Ok(r) => r,
         Err(e) => {

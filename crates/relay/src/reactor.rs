@@ -347,6 +347,12 @@ impl ControlConn {
                     endpoint.session_mut().abort(AbortReason::AuthFailed);
                 } else if endpoint.session().resumed() {
                     self.shared.resumed.inc();
+                    // A resumed conversation learns its trace id from
+                    // the Resume opener itself, before the re-sent
+                    // MeasureCmd arrives.
+                    if let Some(trace) = endpoint.session().resume_trace_id().filter(|&t| t != 0) {
+                        self.span = self.span.trace(trace);
+                    }
                     self.span.emit("session.resumed", fields![nonce = nonce]);
                 }
             }
@@ -356,8 +362,11 @@ impl ControlConn {
         // step, so the echo dials that follow Go always find it.
         if self.registered_binding.is_none() {
             if let Some(binding) = endpoint.session().echo_binding() {
-                self.counters =
-                    Some(self.shared.echo.register(binding.binding_nonce, binding.channel_key));
+                self.counters = Some(self.shared.echo.register(
+                    binding.binding_nonce,
+                    binding.channel_key,
+                    binding.trace_id,
+                ));
                 self.registered_binding = Some(binding.binding_nonce);
                 self.meter.set_cap(binding.background_allowance);
                 self.span.emit(
@@ -380,6 +389,11 @@ impl ControlConn {
         while let Some(action) = endpoint.session_mut().poll_action() {
             match action {
                 MeasurerAction::Prepare { spec } => {
+                    // Every event from here on carries the coordinator's
+                    // trace id for this item-attempt.
+                    if spec.trace_id != 0 {
+                        self.span = self.span.trace(spec.trace_id);
+                    }
                     self.span.emit(
                         "session.prepare",
                         fields![
@@ -509,6 +523,9 @@ impl DataConn {
     ) -> Option<DataConn> {
         let counters = Arc::clone(&measurement.counters);
         counters.channels.fetch_add(1, Ordering::Relaxed);
+        // The channel inherits its measurement's trace id: the data
+        // plane's events join the same cross-process timeline.
+        let span = if measurement.trace_id != 0 { span.trace(measurement.trace_id) } else { span };
         span.emit("channel.bound", fields![channels = counters.channels.load(Ordering::Relaxed)]);
         let mut echoer = Echoer::new(transport)
             .with_key(measurement.key)

@@ -28,10 +28,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use flashflow_core::bwauth::measure_echo_period_observed;
-use flashflow_core::echo::{EchoDeployment, EchoItem, EchoMeasurer};
+use flashflow_core::echo::{item_trace_id, EchoDeployment, EchoItem, EchoMeasurer};
 use flashflow_core::observe::{count_kind, hex_fp, period_export};
 use flashflow_core::pool::ConnectionPool;
-use flashflow_obs::{Event, EventSink, PeriodExport, RegistrySnapshot, Span, Value};
+use flashflow_obs::{
+    Event, EventSink, Json, PeriodExport, ReactorSummary, RegistrySnapshot, Span, Value,
+};
 use flashflow_procutil::fetch_metrics;
 use flashflow_proto::msg::{AUTH_TOKEN_LEN, FINGERPRINT_LEN};
 
@@ -63,6 +65,12 @@ fn scratch_path(name: &str) -> PathBuf {
 /// See `three_party.rs`: locates a sibling workspace binary, asking
 /// cargo to (re)build it first so a filtered test run still works.
 fn sibling_bin(name: &str) -> PathBuf {
+    sibling_bin_of(name, name)
+}
+
+/// The general form, for binaries whose package name differs from the
+/// binary name (`flashflow-trace` lives in the `flashflow-top` crate).
+fn sibling_bin_of(package: &str, name: &str) -> PathBuf {
     let mut path = std::env::current_exe().expect("test exe path");
     path.pop(); // deps/
     path.pop(); // target/<profile>/
@@ -70,7 +78,7 @@ fn sibling_bin(name: &str) -> PathBuf {
     path.push(name);
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let mut build = Command::new(cargo);
-    build.args(["build", "-p", name, "--bin", name]);
+    build.args(["build", "-p", package, "--bin", name]);
     if release {
         build.arg("--release");
     }
@@ -111,8 +119,12 @@ fn spawn_advertised(
     (child, listen, metrics)
 }
 
-fn spawn_measurer(peer_ix: usize, sessions: usize) -> (Child, SocketAddr) {
-    let args: Vec<String> = [
+fn spawn_measurer(
+    peer_ix: usize,
+    sessions: usize,
+    extra: &[(&str, String)],
+) -> (Child, SocketAddr, Option<SocketAddr>) {
+    let mut args: Vec<String> = [
         "--listen",
         "127.0.0.1:0",
         "--role",
@@ -127,8 +139,12 @@ fn spawn_measurer(peer_ix: usize, sessions: usize) -> (Child, SocketAddr) {
     .iter()
     .map(|s| s.to_string())
     .collect();
-    let (child, addr, _) = spawn_advertised(sibling_bin("flashflow-measurer"), &args, false);
-    (child, addr)
+    for (k, v) in extra {
+        args.push((*k).to_string());
+        args.push(v.clone());
+    }
+    let expect_metrics = extra.iter().any(|(k, _)| *k == "--metrics-addr");
+    spawn_advertised(sibling_bin("flashflow-measurer"), &args, expect_metrics)
 }
 
 fn relay_args(extra: &[(&str, String)], sessions: usize) -> Vec<String> {
@@ -179,13 +195,15 @@ fn items() -> Vec<EchoItem> {
         .map(|ix| {
             let mut fp = [0u8; FINGERPRINT_LEN];
             fp[0] = ix as u8 + 1;
+            let secret = 0x0B5E_0000_0000_0000 + ix as u64 * 0x1_0001;
             EchoItem {
                 relay_fp: fp,
                 slot_secs: SLOT_SECS,
                 bg_allowance: BG_ALLOWANCE,
-                measurement_secret: 0x0B5E_0000_0000_0000 + ix as u64 * 0x1_0001,
+                measurement_secret: secret,
                 attempt: 0,
                 resume: false,
+                trace_id: item_trace_id(secret, 0),
             }
         })
         .collect()
@@ -224,8 +242,14 @@ fn parse_jsonl(path: &PathBuf) -> Vec<Event> {
 fn observed_period_exports_metrics_and_renders_in_top() {
     let jsonl_path = scratch_path("coordinator.jsonl");
 
-    let (m0, a0) = spawn_measurer(0, ITEMS);
-    let (m1, a1) = spawn_measurer(1, ITEMS);
+    // Measurer 0 gets a metrics endpoint and a session quota above the
+    // period's demand so it is still alive (and serving snapshots) when
+    // the reactor-telemetry assertions below run; it is killed at the
+    // end alongside the relay. Measurer 1 drains on its quota as usual.
+    let (mut m0, a0, m0_metrics) =
+        spawn_measurer(0, 99, &[("--metrics-addr", "127.0.0.1:0".to_string())]);
+    let m0_metrics = m0_metrics.expect("measurer advertised its metrics endpoint");
+    let (m1, a1, _) = spawn_measurer(1, ITEMS, &[]);
     // The relay's session quota is left above the period's demand so it
     // is still alive (and serving metrics) after the period completes;
     // it is killed at the end instead of draining on its own.
@@ -324,6 +348,65 @@ fn observed_period_exports_metrics_and_renders_in_top() {
         "relay reported fewer seconds than the period demanded"
     );
 
+    // --- reactor runtime telemetry reached both peers' endpoints ---
+    // Each process registers five instruments per epoll shard plus one
+    // shared stall counter; the dwell/jitter histograms accumulate on
+    // every loop turn, and the period's traffic must have produced at
+    // least one timed ready dispatch somewhere across the shards.
+    let assert_reactor_telemetry = |snapshot: &RegistrySnapshot, prefix: &str, shards: usize| {
+        let histogram = |name: &str| {
+            &snapshot
+                .histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("histogram {name} missing from {prefix} snapshot"))
+                .1
+        };
+        let mut dwell_turns = 0u64;
+        let mut dispatches = 0u64;
+        for shard in 0..shards {
+            dwell_turns += histogram(&format!("{prefix}.shard{shard}.epoll_dwell_us")).count;
+            dispatches += histogram(&format!("{prefix}.shard{shard}.dispatch_us")).count;
+            assert!(
+                histogram(&format!("{prefix}.shard{shard}.tick_jitter_us")).count > 0,
+                "shard {shard} of {prefix} never ticked"
+            );
+            for gauge in ["slab_live", "write_backlog"] {
+                let name = format!("{prefix}.shard{shard}.{gauge}");
+                assert!(
+                    snapshot.gauges.iter().any(|(n, _)| *n == name),
+                    "gauge {name} missing from {prefix} snapshot"
+                );
+            }
+        }
+        assert!(dwell_turns > 0, "{prefix} epoll shards never woke");
+        assert!(dispatches > 0, "{prefix} shards dispatched no ready events");
+        assert!(
+            snapshot.counters.iter().any(|(n, _)| *n == format!("{prefix}.stalls")),
+            "stall counter missing from {prefix} snapshot"
+        );
+        let summary = ReactorSummary::from_snapshot(snapshot, prefix)
+            .unwrap_or_else(|| panic!("ReactorSummary::from_snapshot found no {prefix} shards"));
+        assert_eq!(summary.shards, shards as u64, "summary miscounted {prefix} shards");
+        assert!(summary.dwell_mean_us > 0.0, "summary dwell mean is zero for {prefix}");
+    };
+    assert_reactor_telemetry(&snapshot, "relay.reactor", 4);
+
+    let measurer_body = fetch_metrics(m0_metrics, &token_for(0), Duration::from_secs(5))
+        .expect("fetch measurer metrics snapshot");
+    let measurer_snapshot =
+        RegistrySnapshot::parse(&measurer_body).expect("measurer snapshot JSON parses");
+    assert_reactor_telemetry(&measurer_snapshot, "measurer.reactor", 4);
+
+    // --- the endpoints still answer a wrong token with silence ------
+    let wrong_token = [0u8; AUTH_TOKEN_LEN];
+    for addr in [metrics_addr, m0_metrics] {
+        assert!(
+            fetch_metrics(addr, &wrong_token, Duration::from_secs(5)).is_err(),
+            "metrics endpoint {addr} answered a wrong token"
+        );
+    }
+
     // --- flashflow-top replays the stream into sparklines ----------
     let top = Command::new(sibling_bin("flashflow-top"))
         .args(["--replay", jsonl_path.to_str().expect("utf-8 temp path")])
@@ -345,9 +428,11 @@ fn observed_period_exports_metrics_and_renders_in_top() {
 
     drop(pool);
     drop(file);
-    wait_exit_zero(vec![("measurer-0", m0), ("measurer-1", m1)]);
-    relay.kill().expect("kill relay");
-    let _ = relay.wait();
+    wait_exit_zero(vec![("measurer-1", m1)]);
+    for held_open in [&mut m0, &mut relay] {
+        held_open.kill().expect("kill held-open peer");
+        let _ = held_open.wait();
+    }
     let _ = std::fs::remove_file(&jsonl_path);
 }
 
@@ -356,8 +441,8 @@ fn lying_relay_writes_bg_divergence_into_its_own_jsonl() {
     let relay_log = scratch_path("relay.jsonl");
     let claim = 300_000u64;
 
-    let (m0, a0) = spawn_measurer(0, 1);
-    let (m1, a1) = spawn_measurer(1, 1);
+    let (m0, a0, _) = spawn_measurer(0, 1, &[]);
+    let (m1, a1, _) = spawn_measurer(1, 1, &[]);
     let (relay, relay_addr, _) = spawn_advertised(
         PathBuf::from(env!("CARGO_BIN_EXE_flashflow-relay")),
         &relay_args(
@@ -405,4 +490,104 @@ fn lying_relay_writes_bg_divergence_into_its_own_jsonl() {
         assert!(event.scope.session.is_some(), "divergence must be session-scoped: {event:?}");
     }
     let _ = std::fs::remove_file(&relay_log);
+}
+
+/// The full distributed-tracing pipeline: every process in the
+/// three-party topology writes its own `--log-json` stream, and
+/// `flashflow-trace` joins the four files into per-item causal
+/// timelines — the coordinator-minted trace id must reappear in the
+/// relay's and the measurers' streams, and every item's story must be
+/// complete from handshake to ledger row. This is the test the CI
+/// `trace-pipeline` job runs.
+#[test]
+fn trace_pipeline_reconstructs_complete_timelines() {
+    let coord_log = scratch_path("trace-coordinator.jsonl");
+    let relay_log = scratch_path("trace-relay.jsonl");
+    let m0_log = scratch_path("trace-m0.jsonl");
+    let m1_log = scratch_path("trace-m1.jsonl");
+    let arg = |p: &PathBuf| p.to_str().expect("utf-8 temp path").to_string();
+
+    let (m0, a0, _) = spawn_measurer(0, ITEMS, &[("--log-json", arg(&m0_log))]);
+    let (m1, a1, _) = spawn_measurer(1, ITEMS, &[("--log-json", arg(&m1_log))]);
+    let (relay, relay_addr, _) = spawn_advertised(
+        PathBuf::from(env!("CARGO_BIN_EXE_flashflow-relay")),
+        &relay_args(&[("--log-json", arg(&relay_log))], ITEMS),
+        false,
+    );
+
+    let sink = EventSink::new().with_jsonl_path(&arg(&coord_log)).expect("open coordinator JSONL");
+    let span = Span::root(sink).period(0);
+    let dep = deployment([a0, a1], relay_addr);
+    let period_items = items();
+    let pool = ConnectionPool::new();
+    let file = measure_echo_period_observed(&dep, &period_items, SHARDS, &pool, Some(&span));
+    assert!(file.run.all_clean(), "honest observed period must stay clean");
+    drop(pool);
+    drop(file);
+    // Every peer drains on its session quota, flushing its JSONL
+    // stream, before the join tool reads the files.
+    wait_exit_zero(vec![("measurer-0", m0), ("measurer-1", m1), ("relay", relay)]);
+
+    let trace_bin = sibling_bin_of("flashflow-top", "flashflow-trace");
+    let logs = [&coord_log, &relay_log, &m0_log, &m1_log];
+    let out = Command::new(&trace_bin)
+        .arg("--json")
+        .args(logs.iter().map(|p| arg(p)))
+        .output()
+        .expect("run flashflow-trace");
+    assert!(out.status.success(), "flashflow-trace failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 json");
+    let doc = Json::parse(stdout.trim()).expect("flashflow-trace --json parses");
+
+    let items_json = doc.get("items").and_then(Json::as_arr).expect("items array");
+    assert_eq!(items_json.len(), ITEMS, "one timeline per item-attempt: {stdout}");
+    let minted: Vec<String> = period_items
+        .iter()
+        .map(|item| format!("{:016x}", item_trace_id(item.measurement_secret, item.attempt)))
+        .collect();
+    for timeline in items_json {
+        let trace = timeline.get("trace").and_then(Json::as_str).expect("trace hex");
+        assert!(minted.iter().any(|t| t == trace), "unminted trace id {trace} in {stdout}");
+        assert_eq!(
+            timeline.get("complete").and_then(Json::as_bool),
+            Some(true),
+            "incomplete timeline for trace {trace}: {stdout}"
+        );
+        let lanes = match timeline.get("lanes") {
+            Some(Json::Obj(lanes)) => lanes,
+            other => panic!("lanes must be an object, got {other:?}"),
+        };
+        // The coordinator's trace id must have propagated over the wire
+        // into the relay's stream and at least one measurer's stream —
+        // three independently-clocked processes telling one story.
+        assert!(lanes.len() >= 3, "trace {trace} seen by only {} process(es)", lanes.len());
+        for marker in ["coordinator", "relay", "m0"] {
+            assert!(
+                lanes.iter().any(|(label, _)| label.contains(marker)),
+                "no {marker} lane for trace {trace}: {stdout}"
+            );
+        }
+        let skews = match timeline.get("skew_secs") {
+            Some(Json::Obj(skews)) => skews,
+            other => panic!("skew_secs must be an object, got {other:?}"),
+        };
+        assert!(!skews.is_empty(), "no clock-skew estimates for trace {trace}: {stdout}");
+    }
+
+    // The human-readable rendering agrees: every timeline complete.
+    let text = Command::new(&trace_bin)
+        .args(logs.iter().map(|p| arg(p)))
+        .output()
+        .expect("run flashflow-trace (text)");
+    assert!(text.status.success(), "flashflow-trace text mode failed: {text:?}");
+    let rendered = String::from_utf8(text.stdout).expect("utf-8 render");
+    assert!(
+        rendered.contains(&format!("{ITEMS} complete")),
+        "text header must count complete timelines: {rendered}"
+    );
+    assert!(!rendered.contains("INCOMPLETE"), "no timeline may be incomplete: {rendered}");
+
+    for log in logs {
+        let _ = std::fs::remove_file(log);
+    }
 }

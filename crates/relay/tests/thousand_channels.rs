@@ -112,6 +112,7 @@ fn relay_serves_1000_channels_on_a_fixed_thread_budget() {
         rate_cap: 0, // background allowance: none offered, none allowed
         target: TargetEndpoint::NONE,
         measurement_secret: SECRET,
+        trace_id: 0,
     };
     let control = TcpTransport::connect(addr).expect("dial control");
     let session = CoordinatorSession::new(

@@ -23,7 +23,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use flashflow_core::bwauth::measure_echo_period;
-use flashflow_core::echo::{EchoDeployment, EchoItem, EchoMeasurer};
+use flashflow_core::echo::{item_trace_id, EchoDeployment, EchoItem, EchoMeasurer};
 use flashflow_core::engine::PeerDirectory;
 use flashflow_core::measure::build_second_samples;
 use flashflow_core::pool::ConnectionPool;
@@ -170,15 +170,17 @@ fn items() -> Vec<EchoItem> {
         .map(|ix| {
             let mut fp = [0u8; FINGERPRINT_LEN];
             fp[0] = ix as u8 + 1;
+            // Fresh per item; unpredictability is the coordinator's
+            // job in deployment, distinctness is what the test needs.
+            let secret = 0x3A11_0000_0000_0000 + ix as u64 * 0x1_0001;
             EchoItem {
                 relay_fp: fp,
                 slot_secs: SLOT_SECS,
                 bg_allowance: BG_ALLOWANCE,
-                // Fresh per item; unpredictability is the coordinator's
-                // job in deployment, distinctness is what the test needs.
-                measurement_secret: 0x3A11_0000_0000_0000 + ix as u64 * 0x1_0001,
+                measurement_secret: secret,
                 attempt: 0,
                 resume: false,
+                trace_id: item_trace_id(secret, 0),
             }
         })
         .collect()

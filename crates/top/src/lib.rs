@@ -10,6 +10,8 @@
 //! `period.done`); unknown kinds are ignored, so process-level events
 //! from the measurer/relay binaries can share the same file.
 
+pub mod trace;
+
 use std::collections::BTreeMap;
 
 use flashflow_obs::{fmt_rate, Event};

@@ -126,9 +126,18 @@ fn replay(path: &str, width: usize) -> Result<(), String> {
     Ok(())
 }
 
-fn follow(path: &str, cfg: &Config) -> Result<(), String> {
+/// Opens `path` for tailing and returns the reader with the file's
+/// inode (the rotation fingerprint).
+fn open_tail(path: &str) -> Result<(BufReader<std::fs::File>, u64), String> {
+    use std::os::unix::fs::MetadataExt as _;
     let file = std::fs::File::open(path).map_err(|e| format!("--follow {path}: {e}"))?;
-    let mut reader = BufReader::new(file);
+    let ino = file.metadata().map_err(|e| e.to_string())?.ino();
+    Ok((BufReader::new(file), ino))
+}
+
+fn follow(path: &str, cfg: &Config) -> Result<(), String> {
+    use std::os::unix::fs::MetadataExt as _;
+    let (mut reader, mut ino) = open_tail(path)?;
     let mut state = TopState::new();
     let mut bad = 0u64;
     let mut buf = String::new();
@@ -147,6 +156,23 @@ fn follow(path: &str, cfg: &Config) -> Result<(), String> {
                 break;
             }
             fold_line(&mut state, &buf, &mut bad);
+        }
+        // Rotation/truncation watch: a new inode under the same name
+        // (logrotate) or a length regression (in-place truncate) means
+        // the stream we were tailing is gone — restart from offset 0 of
+        // whatever the path names now, with a fresh dashboard (the old
+        // events describe a file that no longer exists). A transient
+        // stat failure is the mid-rotation window; retry next tick.
+        let offset = reader.stream_position().map_err(|e| e.to_string())?;
+        if let Ok(meta) = std::fs::metadata(path) {
+            if meta.ino() != ino || meta.len() < offset {
+                let (r, i) = open_tail(path)?;
+                reader = r;
+                ino = i;
+                state = TopState::new();
+                bad = 0;
+                continue;
+            }
         }
         print!("{}", state.render_ansi(cfg.width));
         if cfg.exit_on_done && state.period_done {

@@ -1,0 +1,64 @@
+//! `flashflow-trace` — cross-process timeline reconstruction.
+//!
+//! Feed it the `--log-json` JSONL files of a coordinator, its
+//! measurers, and the target relay; it joins every event on the
+//! coordinator-minted trace id (`scope.trace`, protocol v6) and prints
+//! one causal timeline per item-attempt: handshake → Go barrier →
+//! slot seconds → reports → ledger row, with per-lane event counts and
+//! Go-barrier clock-skew estimates.
+//!
+//! ```text
+//! flashflow-trace [--json] FILE [FILE ...]
+//! ```
+//!
+//! Each positional FILE is one process's JSONL event file; its lane is
+//! labeled with the file's stem (`coord.jsonl` → `coord`). `--json`
+//! replaces the text timeline with a machine-readable export of the
+//! same join — the trace-pipeline CI job asserts completeness on it.
+
+use flashflow_top::trace::{parse_jsonl, TraceReport};
+
+const USAGE: &str = "usage: flashflow-trace [--json] FILE [FILE ...]
+  FILE     one process's --log-json JSONL event file (coordinator,
+           measurer, or relay); the lane label is the file stem
+  --json   print the machine-readable join instead of the timeline";
+
+fn lane_label(path: &str) -> String {
+    std::path::Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or(path).to_string()
+}
+
+fn run(args: Vec<String>) -> Result<String, String> {
+    let mut json = false;
+    let mut files = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}\n{USAGE}"));
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    let mut report = TraceReport::default();
+    for path in &files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let events = parse_jsonl(&mut report, &text);
+        report.fold_source(&lane_label(path), &events);
+    }
+    report.estimate_skews();
+    Ok(if json { format!("{}\n", report.to_json()) } else { report.render() })
+}
+
+fn main() {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("flashflow-trace: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -69,6 +69,7 @@ fn main() {
             // command, exactly as it does over TCP.
             target: TargetEndpoint::NONE,
             measurement_secret: SECRET,
+            trace_id: 0,
         };
         let (ca, cb) = Duplex::loopback().into_endpoints();
         builder.add_peer(
@@ -98,6 +99,7 @@ fn main() {
         rate_cap: BG_ALLOWANCE,
         target: TargetEndpoint::NONE,
         measurement_secret: SECRET,
+        trace_id: 0,
     };
     let (ca, cb) = Duplex::loopback().into_endpoints();
     builder.add_peer(
